@@ -1,0 +1,166 @@
+package surge_test
+
+import (
+	"testing"
+
+	"surge"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	det, err := surge.New(surge.CellCSPOT, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := randomObjects(61, 600, 6)
+	for _, o := range objs[:400] {
+		if _, err := det.Push(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := det.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := surge.Restore(surge.CellCSPOT, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := det.Best(), restored.Best()
+	if a.Found != b.Found || (a.Found && !almost(a.Score, b.Score)) {
+		t.Fatalf("restored best %+v != original %+v", b, a)
+	}
+	if restored.Now() != det.Now() {
+		t.Fatalf("clock %v != %v", restored.Now(), det.Now())
+	}
+	if restored.Live() != det.Live() {
+		t.Fatalf("live %d != %d", restored.Live(), det.Live())
+	}
+	// Continue both streams: behaviour must stay identical.
+	for _, o := range objs[400:] {
+		ra, err := det.Push(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := restored.Push(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as, bs := ra.Score, rb.Score
+		if !ra.Found {
+			as = 0
+		}
+		if !rb.Found {
+			bs = 0
+		}
+		if !almost(as, bs) {
+			t.Fatalf("divergence after restore at t=%v: %v vs %v", o.Time, as, bs)
+		}
+	}
+}
+
+// TestCheckpointCrossAlgorithm: a checkpoint written by the exact detector
+// restores into the approximate one (the format is engine-independent).
+func TestCheckpointCrossAlgorithm(t *testing.T) {
+	exact, _ := surge.New(surge.CellCSPOT, opts())
+	for _, o := range randomObjects(71, 300, 5) {
+		if _, err := exact.Push(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := exact.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := surge.Restore(surge.GridApprox, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.Algorithm() != surge.GridApprox {
+		t.Fatal("restored algorithm mismatch")
+	}
+	e, g := exact.Best(), grid.Best()
+	if e.Found && g.Found {
+		alpha := 0.5
+		if g.Score < (1-alpha)/4*e.Score-1e-9 {
+			t.Fatalf("restored approximate detector below guarantee: %v vs %v", g.Score, e.Score)
+		}
+	}
+}
+
+func TestCheckpointPreservesOptions(t *testing.T) {
+	o := opts()
+	o.PastWindow = 120
+	o.Alpha = 0.7
+	o.Area = &surge.Region{MinX: 0, MinY: 0, MaxX: 8, MaxY: 8}
+	det, err := surge.New(surge.Oracle, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push one in-area and one out-of-area object.
+	if _, err := det.Push(surge.Object{X: 1, Y: 1, Weight: 3, Time: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Push(surge.Object{X: 100, Y: 100, Weight: 99, Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := det.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := surge.Restore(surge.Oracle, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := det.Best(), restored.Best()
+	if !a.Found || !b.Found || !almost(a.Score, b.Score) {
+		t.Fatalf("area/window options not preserved: %+v vs %+v", b, a)
+	}
+	// The out-of-area object must still be excluded after restore.
+	if b.Region.Contains(100, 100) {
+		t.Fatal("restored detector lost the preferred-area filter")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := surge.Restore(surge.CellCSPOT, []byte("not a checkpoint")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := surge.Restore(surge.CellCSPOT, nil); err == nil {
+		t.Fatal("empty checkpoint accepted")
+	}
+}
+
+func TestCheckpointEmptyDetector(t *testing.T) {
+	det, _ := surge.New(surge.MultiGrid, opts())
+	data, err := det.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := surge.Restore(surge.MultiGrid, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Best().Found {
+		t.Fatal("restored empty detector found something")
+	}
+}
+
+func TestCheckpointDeterministic(t *testing.T) {
+	det, _ := surge.New(surge.GridApprox, opts())
+	for _, o := range randomObjects(81, 200, 5) {
+		if _, err := det.Push(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := det.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := det.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("checkpoint is not deterministic")
+	}
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"surge"
+)
+
+func TestParseAlgo(t *testing.T) {
+	cases := map[string]surge.Algorithm{
+		"CCS":    surge.CellCSPOT,
+		"ccs":    surge.CellCSPOT,
+		"B-CCS":  surge.StaticBound,
+		"BCCS":   surge.StaticBound,
+		"base":   surge.Baseline,
+		"ag2":    surge.AG2,
+		"GAPS":   surge.GridApprox,
+		"mgaps":  surge.MultiGrid,
+		"Oracle": surge.Oracle,
+	}
+	for in, want := range cases {
+		got, err := parseAlgo(in)
+		if err != nil || got != want {
+			t.Errorf("parseAlgo(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseAlgo("bogus"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestForEachObject(t *testing.T) {
+	input := strings.NewReader(`
+# comment lines and blanks are skipped
+
+1.0, 2.0, 3.0, 4.0
+2.5,1,1,10
+`)
+	var objs []surge.Object
+	err := forEachObject(input, func(o surge.Object) error {
+		objs = append(objs, o)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("parsed %d objects, want 2", len(objs))
+	}
+	if objs[0] != (surge.Object{Time: 1, X: 2, Y: 3, Weight: 4}) {
+		t.Fatalf("first object = %+v", objs[0])
+	}
+	if objs[1].Weight != 10 || objs[1].Time != 2.5 {
+		t.Fatalf("second object = %+v", objs[1])
+	}
+}
+
+func TestForEachObjectErrors(t *testing.T) {
+	if err := forEachObject(strings.NewReader("1,2,3\n"), func(surge.Object) error { return nil }); err == nil {
+		t.Error("short line accepted")
+	}
+	if err := forEachObject(strings.NewReader("a,2,3,4\n"), func(surge.Object) error { return nil }); err == nil {
+		t.Error("non-numeric field accepted")
+	}
+}
+
+func TestRegionChanged(t *testing.T) {
+	a := surge.Result{Found: true, Score: 1, Region: surge.Region{MaxX: 1, MaxY: 1}}
+	same := a
+	if regionChanged(a, same) {
+		t.Error("identical results flagged as change")
+	}
+	b := a
+	b.Score = 2
+	if !regionChanged(a, b) {
+		t.Error("score change missed")
+	}
+	c := a
+	c.Region.MaxX = 2
+	if !regionChanged(a, c) {
+		t.Error("region move missed")
+	}
+	if !regionChanged(surge.Result{}, a) {
+		t.Error("found transition missed")
+	}
+	if regionChanged(surge.Result{}, surge.Result{}) {
+		t.Error("empty-to-empty flagged")
+	}
+}
+
+func TestRunSingleOnDemoStream(t *testing.T) {
+	opt := surge.Options{Width: 1, Height: 1, Window: 60, Alpha: 0.5}
+	src := demoStream(&opt)
+	if err := runSingle(surge.GridApprox, opt, src, 1000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTopKOnDemoStream(t *testing.T) {
+	opt := surge.Options{Width: 1, Height: 1, Window: 60, Alpha: 0.5}
+	src := demoStream(&opt)
+	if err := runTopK(surge.GridApprox, opt, 3, src, 1000); err != nil {
+		t.Fatal(err)
+	}
+}

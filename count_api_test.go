@@ -1,0 +1,157 @@
+package surge_test
+
+import (
+	"testing"
+
+	"surge"
+)
+
+func countOpts(nc, np float64) surge.Options {
+	return surge.Options{
+		Width: 1, Height: 1,
+		Window: nc, PastWindow: np,
+		Alpha:        0.5,
+		CountWindows: true,
+	}
+}
+
+func TestCountWindowsValidation(t *testing.T) {
+	if _, err := surge.New(surge.CellCSPOT, countOpts(10.5, 10)); err == nil {
+		t.Fatal("fractional count accepted")
+	}
+	if _, err := surge.New(surge.CellCSPOT, countOpts(0, 10)); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	if _, err := surge.New(surge.CellCSPOT, countOpts(10, 0)); err != nil {
+		t.Fatalf("PastWindow=0 should default to Window: %v", err)
+	}
+}
+
+// TestCountWindowsScore: with count windows of size 2/2 the score evolution
+// is fully predictable.
+func TestCountWindowsScore(t *testing.T) {
+	d, err := surge.New(surge.CellCSPOT, countOpts(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All objects land in the same query cell.
+	push := func(w float64, tm float64) surge.Result {
+		res, err := d.Push(surge.Object{X: 0.5, Y: 0.5, Weight: w, Time: tm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// #1: current = {4}. fc = 4/2 = 2; S = 0.5*2 + 0.5*2 = 2.
+	if res := push(4, 1); !almost(res.Score, 2) {
+		t.Fatalf("after 1 object: %v, want 2", res.Score)
+	}
+	// #2: current = {4, 6}. fc = 10/2 = 5; S = 5.
+	if res := push(6, 2); !almost(res.Score, 5) {
+		t.Fatalf("after 2 objects: %v, want 5", res.Score)
+	}
+	// #3: current = {6, 2}, past = {4}. fc = 4, fp = 2; S = 0.5*2 + 0.5*4 = 3.
+	if res := push(2, 3); !almost(res.Score, 3) {
+		t.Fatalf("after 3 objects: %v, want 3", res.Score)
+	}
+	// #4: current = {2, 8}, past = {4, 6}. fc = 5, fp = 5; S = 0.5*0+0.5*5.
+	if res := push(8, 4); !almost(res.Score, 2.5) {
+		t.Fatalf("after 4 objects: %v, want 2.5", res.Score)
+	}
+	// #5: current = {8, 10}, past = {6, 2}; 4 expired. fc = 9, fp = 4;
+	// S = 0.5*5 + 0.5*9 = 7.
+	if res := push(10, 5); !almost(res.Score, 7) {
+		t.Fatalf("after 5 objects: %v, want 7", res.Score)
+	}
+	if d.Live() != 4 {
+		t.Fatalf("live = %d, want 4 (2 current + 2 past)", d.Live())
+	}
+}
+
+// TestCountWindowsAllEnginesAgree: the exact engines agree under the
+// count-based generator too (they are event-driven and agnostic).
+func TestCountWindowsAllEnginesAgree(t *testing.T) {
+	algs := []surge.Algorithm{surge.CellCSPOT, surge.Baseline, surge.AG2, surge.Oracle}
+	dets := make([]*surge.Detector, len(algs))
+	for i, a := range algs {
+		var err error
+		dets[i], err = surge.New(a, countOpts(40, 60))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, o := range randomObjects(91, 500, 5) {
+		var ref surge.Result
+		for i, d := range dets {
+			res, err := d.Push(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				ref = res
+				continue
+			}
+			if !almost(ref.Score, res.Score) {
+				t.Fatalf("t=%v: %v=%v vs %v=%v", o.Time, algs[i], res.Score, algs[0], ref.Score)
+			}
+		}
+	}
+}
+
+// TestCountWindowsApproxGuarantee: the (1-alpha)/4 bound holds regardless
+// of the window model.
+func TestCountWindowsApproxGuarantee(t *testing.T) {
+	exact, _ := surge.New(surge.CellCSPOT, countOpts(50, 50))
+	grid, _ := surge.New(surge.GridApprox, countOpts(50, 50))
+	for _, o := range randomObjects(93, 600, 6) {
+		er, err := exact.Push(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, _ := grid.Push(o)
+		if er.Found && gr.Score < (1-0.5)/4*er.Score-1e-9 {
+			t.Fatalf("guarantee violated under count windows: %v vs %v", gr.Score, er.Score)
+		}
+	}
+}
+
+func TestCountWindowsTopK(t *testing.T) {
+	kccs, err := surge.NewTopK(surge.CellCSPOT, countOpts(30, 30), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, _ := surge.NewTopK(surge.Oracle, countOpts(30, 30), 3)
+	for _, o := range randomObjects(95, 300, 4) {
+		a, err := kccs.Push(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := naive.Push(o)
+		for i := range a {
+			if !almost(a[i].Score, b[i].Score) {
+				t.Fatalf("t=%v rank %d: %v vs %v", o.Time, i, a[i].Score, b[i].Score)
+			}
+		}
+	}
+}
+
+func TestCountWindowsCheckpoint(t *testing.T) {
+	d, _ := surge.New(surge.GridApprox, countOpts(20, 20))
+	for _, o := range randomObjects(97, 100, 4) {
+		if _, err := d.Push(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := d.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := surge.Restore(surge.GridApprox, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := d.Best(), r.Best()
+	if a.Found != b.Found || (a.Found && !almost(a.Score, b.Score)) {
+		t.Fatalf("count-window checkpoint mismatch: %+v vs %+v", b, a)
+	}
+}

@@ -1,0 +1,55 @@
+// Package surge continuously detects bursty regions over a stream of
+// weighted spatial objects, implementing the SURGE problem and the full
+// algorithm suite of
+//
+//	Feng, Guo, Cong, Bhowmick, Ma.
+//	"SURGE: Continuous Detection of Bursty Regions Over a Stream of
+//	Spatial Objects." ICDE 2018.
+//
+// # Problem
+//
+// A spatial object is a weighted point with a creation time. Given a query
+// rectangle size W x H and two consecutive sliding windows — the current
+// window Wc and the past window Wp — the burst score of a region r is
+//
+//	S(r) = alpha*max(f(r,Wc) - f(r,Wp), 0) + (1-alpha)*f(r,Wc)
+//
+// where f(r, W) is the total weight of the objects inside r created during W,
+// normalised by the window length. SURGE continuously reports the position of
+// the W x H region with the maximum burst score; the top-k variant reports k
+// regions such that every object contributes to at most one of them.
+//
+// # Detectors
+//
+// Seven interchangeable detectors are provided, selected by Algorithm:
+//
+//	CellCSPOT   exact; grid cells + upper bounds + lazy sweep (the paper's CCS)
+//	StaticBound exact; static upper bound only (ablation, the paper's B-CCS)
+//	Baseline    exact; re-search affected cells per event (the paper's Base)
+//	AG2         exact; adapted continuous-MaxRS baseline (the paper's aG2)
+//	GridApprox  approximate; query-aligned grid of candidate cells (GAP-SURGE)
+//	MultiGrid   approximate; best of four shifted grids (MGAP-SURGE)
+//	Oracle      exact; from-scratch sweep per query (reference implementation)
+//
+// The approximate detectors process an object in O(log n) and guarantee a
+// burst score of at least (1-alpha)/4 of the optimum; in practice they reach
+// 73-94% (paper Tables III-IV, reproduced in EXPERIMENTS.md).
+//
+// # Usage
+//
+//	det, err := surge.New(surge.CellCSPOT, surge.Options{
+//	    Width: 0.01, Height: 0.01, // query rectangle size
+//	    Window: 3600,              // 1h sliding windows
+//	    Alpha:  0.5,
+//	})
+//	...
+//	for obj := range stream {
+//	    res, err := det.Push(surge.Object{X: obj.Lon, Y: obj.Lat, Weight: 1, Time: obj.T})
+//	    if res.Found {
+//	        fmt.Println("bursty region:", res.Region, "score:", res.Score)
+//	    }
+//	}
+//
+// Times are float64 values in any consistent unit; objects must be pushed in
+// non-decreasing time order. Use NewTopK for the top-k detectors.
+package surge

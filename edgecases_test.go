@@ -1,0 +1,134 @@
+package surge_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"surge"
+)
+
+// exactAlgorithms are all detectors that must agree bit-for-bit (up to fp
+// tolerance) on every stream.
+func exactAlgorithms() []surge.Algorithm {
+	return []surge.Algorithm{
+		surge.CellCSPOT, surge.StaticBound, surge.Baseline, surge.AG2, surge.Oracle,
+	}
+}
+
+func agreeOnStream(t *testing.T, name string, objs []surge.Object) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		dets := make([]*surge.Detector, 0, len(exactAlgorithms()))
+		for _, a := range exactAlgorithms() {
+			d, err := surge.New(a, opts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			dets = append(dets, d)
+		}
+		for i, o := range objs {
+			var ref surge.Result
+			for j, d := range dets {
+				res, err := d.Push(o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if j == 0 {
+					ref = res
+					continue
+				}
+				rs, gs := ref.Score, res.Score
+				if !ref.Found {
+					rs = 0
+				}
+				if !res.Found {
+					gs = 0
+				}
+				if !almost(rs, gs) {
+					t.Fatalf("object %d: %v=%v disagrees with %v=%v",
+						i, exactAlgorithms()[j], gs, exactAlgorithms()[0], rs)
+				}
+			}
+		}
+	})
+}
+
+// TestEdgeCaseStreams feeds adversarial streams through every exact engine:
+// coincident positions, identical timestamps, zero weights, lattice-aligned
+// coordinates (coincident rectangle edges everywhere), and extreme
+// coordinates.
+func TestEdgeCaseStreams(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 102))
+
+	coincident := make([]surge.Object, 60)
+	for i := range coincident {
+		coincident[i] = surge.Object{X: 3.25, Y: 3.25, Weight: 1 + rng.Float64(), Time: float64(i)}
+	}
+	agreeOnStream(t, "coincident-positions", coincident)
+
+	sameTime := make([]surge.Object, 60)
+	for i := range sameTime {
+		sameTime[i] = surge.Object{
+			X: rng.Float64() * 4, Y: rng.Float64() * 4,
+			Weight: 1 + rng.Float64()*9,
+			Time:   float64(i / 10), // bursts of 10 identical timestamps
+		}
+	}
+	agreeOnStream(t, "identical-timestamps", sameTime)
+
+	zeroW := make([]surge.Object, 60)
+	for i := range zeroW {
+		w := 0.0
+		if i%3 == 0 {
+			w = 5
+		}
+		zeroW[i] = surge.Object{X: rng.Float64() * 3, Y: rng.Float64() * 3, Weight: w, Time: float64(i)}
+	}
+	agreeOnStream(t, "zero-weights", zeroW)
+
+	lattice := make([]surge.Object, 80)
+	for i := range lattice {
+		lattice[i] = surge.Object{
+			X: float64(rng.IntN(5)), Y: float64(rng.IntN(5)),
+			Weight: 1 + rng.Float64(),
+			Time:   float64(i) * 0.7,
+		}
+	}
+	agreeOnStream(t, "lattice-aligned", lattice)
+
+	farAway := make([]surge.Object, 40)
+	for i := range farAway {
+		base := 1e7 // large coordinates: grid indices far from the origin
+		farAway[i] = surge.Object{
+			X: base + rng.Float64()*5, Y: -base + rng.Float64()*5,
+			Weight: 1 + rng.Float64()*9,
+			Time:   float64(i),
+		}
+	}
+	agreeOnStream(t, "far-from-origin", farAway)
+
+	negative := make([]surge.Object, 60)
+	for i := range negative {
+		negative[i] = surge.Object{
+			X: -10 + rng.Float64()*4, Y: -7 + rng.Float64()*4,
+			Weight: 1 + rng.Float64()*9,
+			Time:   float64(i) * 0.3,
+		}
+	}
+	agreeOnStream(t, "negative-coordinates", negative)
+}
+
+// TestTinyAndHugeWeights: extreme weight magnitudes must not break the
+// bound arithmetic.
+func TestExtremeWeights(t *testing.T) {
+	rng := rand.New(rand.NewPCG(103, 104))
+	objs := make([]surge.Object, 60)
+	for i := range objs {
+		w := 1e-9
+		if i%2 == 0 {
+			w = 1e9
+		}
+		objs[i] = surge.Object{X: rng.Float64() * 4, Y: rng.Float64() * 4, Weight: w, Time: float64(i)}
+	}
+	agreeOnStream(t, "extreme-weights", objs)
+}

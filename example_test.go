@@ -1,0 +1,65 @@
+package surge_test
+
+import (
+	"fmt"
+
+	"surge"
+)
+
+// ExampleNew demonstrates the minimal detection loop: three objects land in
+// the same spot within one window, producing a bursty region around them.
+func ExampleNew() {
+	det, err := surge.New(surge.CellCSPOT, surge.Options{
+		Width:  1,
+		Height: 1,
+		Window: 10,
+		Alpha:  0.5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	var res surge.Result
+	for i := 0; i < 3; i++ {
+		res, err = det.Push(surge.Object{X: 4.2, Y: 4.7, Weight: 10, Time: float64(i)})
+		if err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("found=%v score=%.0f contains-objects=%v\n",
+		res.Found, res.Score, res.Region.Contains(4.2, 4.7))
+	// Output: found=true score=3 contains-objects=true
+}
+
+// ExampleNewTopK tracks two separated hotspots simultaneously.
+func ExampleNewTopK() {
+	det, err := surge.NewTopK(surge.CellCSPOT, surge.Options{
+		Width:  1,
+		Height: 1,
+		Window: 10,
+		Alpha:  0.5,
+	}, 2)
+	if err != nil {
+		panic(err)
+	}
+	_, _ = det.Push(surge.Object{X: 0, Y: 0, Weight: 20, Time: 0})
+	res, err := det.Push(surge.Object{X: 50, Y: 50, Weight: 10, Time: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rank1 score=%.0f rank2 score=%.0f\n", res[0].Score, res[1].Score)
+	// Output: rank1 score=2 rank2 score=1
+}
+
+// ExampleDetector_Checkpoint persists a detector and restores it with a
+// different (faster, approximate) algorithm.
+func ExampleDetector_Checkpoint() {
+	exact, _ := surge.New(surge.CellCSPOT, surge.Options{Width: 1, Height: 1, Window: 10, Alpha: 0.5})
+	_, _ = exact.Push(surge.Object{X: 1, Y: 1, Weight: 10, Time: 0})
+
+	data, _ := exact.Checkpoint()
+	approx, _ := surge.Restore(surge.GridApprox, data)
+
+	fmt.Printf("restored algorithm=%v live=%d found=%v\n",
+		approx.Algorithm(), approx.Live(), approx.Best().Found)
+	// Output: restored algorithm=GAPS live=1 found=true
+}

@@ -1,0 +1,89 @@
+// Surge pricing (the paper's Example 2): monitor a stream of ride requests
+// and alert idle drivers the moment a region's demand spikes.
+//
+// A Taxi-like request stream (Rome envelope, Table I) carries a planted
+// demand surge — a subway disruption near Termini at minute 40. The fast
+// O(log n) grid detector (GAP-SURGE) watches the whole city in real time; a
+// driver's preferred area uses the exact detector to decide where exactly to
+// reposition.
+//
+// Run with: go run ./examples/surgepricing
+package main
+
+import (
+	"fmt"
+
+	"surge"
+	"surge/internal/stream"
+)
+
+func main() {
+	// Rome-like request stream: positions in lon/lat, times in seconds,
+	// weight = passenger count (1-4).
+	d := stream.TaxiLike(7)
+	d.RatePerHour *= 0.1
+	d.WeightMin, d.WeightMax = 1, 4
+	objs := d.Generate(6000)
+
+	// Subway disruption at minute 40 near Termini: 350 extra requests in
+	// eight minutes, concentrated in a couple of blocks.
+	termini := struct{ X, Y float64 }{12.501, 41.901}
+	objs = stream.Inject(objs, stream.Burst{
+		CX: termini.X, CY: termini.Y,
+		SX: 0.002, SY: 0.002,
+		Start: 40 * 60, Duration: 8 * 60, Count: 350, Weight: 2, Seed: 7,
+	})
+
+	// City-wide monitor: ~500m regions, 5-minute windows, burstiness-heavy
+	// (alpha 0.8) because we care about *sudden* demand, not steady demand.
+	city, err := surge.New(surge.GridApprox, surge.Options{
+		Width: 0.006, Height: 0.0045,
+		Window: 5 * 60,
+		Alpha:  0.8,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// One driver watches only the city centre with the exact detector.
+	centre := surge.Region{MinX: 12.45, MinY: 41.86, MaxX: 12.55, MaxY: 41.94}
+	driver, err := surge.New(surge.CellCSPOT, surge.Options{
+		Width: 0.006, Height: 0.0045,
+		Window: 5 * 60,
+		Alpha:  0.8,
+		Area:   &centre,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	alertThreshold := 0.25 // burst score: weighted requests per second
+	lastAlert := -1e9
+	for _, o := range objs {
+		obj := surge.Object{X: o.X, Y: o.Y, Weight: o.Weight, Time: o.T}
+		cityRes, err := city.Push(obj)
+		if err != nil {
+			panic(err)
+		}
+		driverRes, err := driver.Push(obj)
+		if err != nil {
+			panic(err)
+		}
+		if cityRes.Found && cityRes.Score > alertThreshold && o.T-lastAlert > 60 {
+			lastAlert = o.T
+			fmt.Printf("[%5.1f min] SURGE ALERT  score %.2f  region lon:[%.4f,%.4f) lat:[%.4f,%.4f)",
+				o.T/60, cityRes.Score,
+				cityRes.Region.MinX, cityRes.Region.MaxX, cityRes.Region.MinY, cityRes.Region.MaxY)
+			if cityRes.Region.Contains(termini.X, termini.Y) {
+				fmt.Printf("  <- Termini disruption")
+			}
+			fmt.Println()
+			if driverRes.Found && driverRes.Score > alertThreshold {
+				fmt.Printf("            driver: reposition to lon:[%.4f,%.4f) lat:[%.4f,%.4f) (exact score %.2f)\n",
+					driverRes.Region.MinX, driverRes.Region.MaxX,
+					driverRes.Region.MinY, driverRes.Region.MaxY, driverRes.Score)
+			}
+		}
+	}
+	fmt.Printf("\ncity monitor processed %d events at O(log n) per event\n", city.Stats().Events)
+}

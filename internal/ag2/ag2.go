@@ -1,0 +1,338 @@
+// Package ag2 implements the adapted aG2 baseline (Appendix J of the paper):
+// the continuous-MaxRS monitoring algorithm of Amagata & Hara (EDBT 2016)
+// modified for the SURGE burst score.
+//
+// A coarse grid is imposed over the space whose cell size is a multiple
+// gamma of the query rectangle (the paper uses gamma = 10). Every rectangle
+// object is mapped to the cells its coverage overlaps, and within each cell
+// the algorithm maintains an *overlap graph*: nodes are rectangle objects
+// and two nodes are connected when their coverage rectangles overlap. For
+// every rectangle the algorithm maintains a burst-score upper bound over the
+// points inside its coverage; a branch-and-bound loop searches rectangles in
+// descending bound order, invoking SL-CSPOT restricted to a rectangle's
+// coverage over its graph neighbourhood. The per-cell graphs are the
+// algorithm's weakness reproduced here on purpose: their edge sets cost
+// O(n^2) space in dense cells, which is what makes aG2 lose to CCS in the
+// paper's Figure 5 and run out of memory on large windows.
+package ag2
+
+import (
+	"errors"
+	"math"
+
+	"surge/internal/core"
+	"surge/internal/geom"
+	"surge/internal/grid"
+	"surge/internal/iheap"
+	"surge/internal/sweep"
+)
+
+type node struct {
+	id       uint64
+	x, y, wt float64
+	past     bool
+	nbrs     map[uint64]*node
+
+	usStatic float64 // sum of current-window weights of self+neighbours / WC
+	usCur    int     // current-window members of self+neighbours
+	ud       float64 // dynamic bound; +Inf before first search
+	cand     candidate
+}
+
+type candidate struct {
+	valid  bool
+	found  bool
+	p      geom.Point
+	fc, fp float64
+}
+
+// Engine is the adapted aG2 exact detector. It is not safe for concurrent
+// use.
+type Engine struct {
+	cfg   core.Config
+	gamma float64
+	grid  grid.Grid
+	cells map[grid.Cell]map[uint64]*node
+	nodes map[uint64]*node
+	heap  *iheap.Heap[uint64]
+	sr    sweep.Searcher
+	stats core.Stats
+
+	searchesAtEvent uint64
+	pendingEvent    bool
+
+	cellScratch  []grid.Cell
+	entryScratch []sweep.Entry
+}
+
+var _ core.Engine = (*Engine)(nil)
+
+// New returns an aG2 engine whose grid cells are gamma times the query
+// rectangle (the paper's experiments use gamma = 10).
+func New(cfg core.Config, gamma float64) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !(gamma >= 1) {
+		return nil, errors.New("ag2: gamma must be >= 1")
+	}
+	return &Engine{
+		cfg:   cfg,
+		gamma: gamma,
+		grid:  grid.Aligned(gamma*cfg.Width, gamma*cfg.Height),
+		cells: make(map[grid.Cell]map[uint64]*node),
+		nodes: make(map[uint64]*node),
+		heap:  iheap.New[uint64](),
+	}, nil
+}
+
+// Stats returns the instrumentation counters.
+func (e *Engine) Stats() core.Stats { return e.stats }
+
+// EdgeCount returns the number of (directed) adjacency entries currently
+// held, the O(n^2) memory term the paper criticises.
+func (e *Engine) EdgeCount() int {
+	n := 0
+	for _, g := range e.nodes {
+		n += len(g.nbrs)
+	}
+	return n
+}
+
+func (e *Engine) cover(n *node) geom.Rect { return e.cfg.CoverRect(n.x, n.y) }
+
+// Process applies one window-transition event, maintaining the per-cell
+// overlap graphs and the per-rectangle bounds.
+func (e *Engine) Process(ev core.Event) {
+	if !e.cfg.InArea(ev.Obj) {
+		return
+	}
+	e.accountEventBoundary()
+	e.stats.Events++
+	e.searchesAtEvent = e.stats.Searches
+	e.pendingEvent = true
+
+	o := ev.Obj
+	dc := o.Weight / e.cfg.WC
+	dp := o.Weight / e.cfg.WP
+	switch ev.Kind {
+	case core.New:
+		g := &node{id: o.ID, x: o.X, y: o.Y, wt: o.Weight, nbrs: make(map[uint64]*node)}
+		g.usStatic = dc
+		g.usCur = 1
+		g.ud = math.Inf(1)
+		e.nodes[o.ID] = g
+		cov := e.cover(g)
+		e.cellScratch = e.grid.CoverCells(e.cellScratch[:0], o.X, o.Y, e.cfg.Width, e.cfg.Height)
+		for _, ck := range e.cellScratch {
+			e.stats.CellsTouched++
+			members := e.cells[ck]
+			if members == nil {
+				members = make(map[uint64]*node)
+				e.cells[ck] = members
+			}
+			for _, m := range members {
+				if _, dup := g.nbrs[m.id]; dup {
+					continue
+				}
+				if cov.Overlaps(e.cover(m)) {
+					g.nbrs[m.id] = m
+					m.nbrs[g.id] = g
+					// The new current-window rectangle raises the
+					// neighbour's bounds (Eqn 3, new case).
+					m.usStatic += dc
+					m.usCur++
+					if !math.IsInf(m.ud, 1) {
+						m.ud += dc
+					}
+					if !m.past {
+						g.usStatic += m.wt / e.cfg.WC
+						g.usCur++
+					}
+					e.invalidate(m, cov, core.New, dc, dp)
+					e.heap.Set(m.id, bound(m))
+				}
+			}
+			members[g.id] = g
+		}
+		e.heap.Set(g.id, bound(g))
+	case core.Grown:
+		g, ok := e.nodes[o.ID]
+		if !ok || g.past {
+			return
+		}
+		g.past = true
+		cov := e.cover(g)
+		g.usStatic -= dc
+		g.usCur--
+		fixStatic(g)
+		// Grown leaves dynamic bounds unchanged (Eqn 3).
+		e.invalidate(g, cov, core.Grown, dc, dp)
+		e.heap.Set(g.id, bound(g))
+		for _, m := range g.nbrs {
+			m.usStatic -= dc
+			m.usCur--
+			fixStatic(m)
+			e.invalidate(m, cov, core.Grown, dc, dp)
+			e.heap.Set(m.id, bound(m))
+		}
+	case core.Expired:
+		g, ok := e.nodes[o.ID]
+		if !ok {
+			return
+		}
+		cov := e.cover(g)
+		for _, m := range g.nbrs {
+			delete(m.nbrs, g.id)
+			if !math.IsInf(m.ud, 1) {
+				m.ud += e.cfg.Alpha * dp
+			}
+			e.invalidate(m, cov, core.Expired, dc, dp)
+			e.heap.Set(m.id, bound(m))
+		}
+		e.cellScratch = e.grid.CoverCells(e.cellScratch[:0], g.x, g.y, e.cfg.Width, e.cfg.Height)
+		for _, ck := range e.cellScratch {
+			e.stats.CellsTouched++
+			if members := e.cells[ck]; members != nil {
+				delete(members, g.id)
+				if len(members) == 0 {
+					delete(e.cells, ck)
+				}
+			}
+		}
+		delete(e.nodes, g.id)
+		e.heap.Remove(g.id)
+	}
+}
+
+// invalidate applies the Lemma-4 style candidate maintenance for node m when
+// the event's coverage rectangle is cov.
+func (e *Engine) invalidate(m *node, cov geom.Rect, kind core.EventKind, dc, dp float64) {
+	if !m.cand.valid {
+		return
+	}
+	switch kind {
+	case core.New:
+		switch {
+		case !m.cand.found:
+			m.cand.valid = false
+		case cov.CoversOC(m.cand.p):
+			keep := m.cand.fc >= m.cand.fp
+			m.cand.fc += dc
+			if !keep {
+				m.cand.valid = false
+			}
+		default:
+			m.cand.valid = false
+		}
+	case core.Grown:
+		if m.cand.found && cov.CoversOC(m.cand.p) {
+			m.cand.fc -= dc
+			m.cand.fp += dp
+			m.cand.valid = false
+		}
+	case core.Expired:
+		if !m.cand.found {
+			return // all scores in m's coverage are zero and stay zero
+		}
+		if cov.CoversOC(m.cand.p) {
+			keep := m.cand.fc >= m.cand.fp
+			m.cand.fp -= dp
+			if !keep {
+				m.cand.valid = false
+			}
+		} else {
+			m.cand.valid = false
+		}
+	}
+	if m.cand.valid {
+		m.ud = e.candScore(m)
+	}
+}
+
+func (e *Engine) candScore(m *node) float64 {
+	if !m.cand.found {
+		return 0
+	}
+	return e.cfg.Score(m.cand.fc, m.cand.fp)
+}
+
+func bound(m *node) float64 {
+	if m.usStatic < m.ud {
+		return m.usStatic
+	}
+	return m.ud
+}
+
+func fixStatic(m *node) {
+	if m.usCur <= 0 {
+		m.usCur = 0
+		m.usStatic = 0
+	}
+}
+
+// searchNode runs SL-CSPOT over m and its neighbours, restricted to m's
+// coverage rectangle, and refreshes m's candidate and bounds.
+func (e *Engine) searchNode(m *node) {
+	e.entryScratch = e.entryScratch[:0]
+	us := 0.0
+	cur := 0
+	add := func(n *node) {
+		e.entryScratch = append(e.entryScratch, sweep.Entry{X: n.x, Y: n.y, Weight: n.wt, Past: n.past})
+		if !n.past {
+			us += n.wt / e.cfg.WC
+			cur++
+		}
+	}
+	add(m)
+	for _, n := range m.nbrs {
+		add(n)
+	}
+	m.usStatic = us
+	m.usCur = cur
+	res := e.sr.Search(e.cfg, e.entryScratch, e.cover(m))
+	e.stats.Searches++
+	e.stats.SweepEntries += uint64(len(e.entryScratch))
+	m.cand = candidate{valid: true, found: res.Found, p: res.Point, fc: res.FC, fp: res.FP}
+	m.ud = res.Score
+}
+
+// Best runs the branch-and-bound loop: rectangles are visited in descending
+// bound order and searched when their cached candidate is stale; a valid
+// top-of-heap rectangle is exact and is returned.
+func (e *Engine) Best() core.Result {
+	defer e.accountEventBoundary()
+	for {
+		id, _, ok := e.heap.Max()
+		if !ok {
+			return core.Result{}
+		}
+		m := e.nodes[id]
+		if m.cand.valid {
+			if !m.cand.found {
+				return core.Result{}
+			}
+			sc := e.candScore(m)
+			if sc <= 0 {
+				return core.Result{}
+			}
+			return core.Result{
+				Point:  m.cand.p,
+				Region: e.cfg.RegionAt(m.cand.p),
+				Score:  sc,
+				FC:     m.cand.fc,
+				FP:     m.cand.fp,
+				Found:  true,
+			}
+		}
+		e.searchNode(m)
+		e.heap.Set(id, bound(m))
+	}
+}
+
+func (e *Engine) accountEventBoundary() {
+	if e.pendingEvent && e.stats.Searches > e.searchesAtEvent {
+		e.stats.SearchEvents++
+	}
+	e.pendingEvent = false
+}

@@ -1,0 +1,179 @@
+package ag2_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"surge/internal/ag2"
+	"surge/internal/core"
+	"surge/internal/topk"
+	"surge/internal/window"
+)
+
+func almost(a, b float64) bool {
+	d := math.Abs(a - b)
+	m := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return d <= 1e-9*m
+}
+
+func randomStream(seed uint64, n int, span, wc, wp float64, liveTarget int) []core.Object {
+	rng := rand.New(rand.NewPCG(seed, seed+99))
+	meanGap := (wc + wp) / float64(liveTarget)
+	objs := make([]core.Object, n)
+	t := 0.0
+	for i := range objs {
+		t += rng.ExpFloat64() * meanGap
+		objs[i] = core.Object{
+			X:      rng.Float64() * span,
+			Y:      rng.Float64() * span,
+			Weight: 1 + rng.Float64()*99,
+			T:      t,
+		}
+	}
+	return objs
+}
+
+func drive(t *testing.T, wc, wp float64, objs []core.Object, step func(core.Event)) {
+	t.Helper()
+	win, err := window.New(wc, wp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		if _, err := win.Push(o, step); err != nil {
+			t.Fatal(err)
+		}
+	}
+	win.Drain(step)
+}
+
+func TestRejectsBadGamma(t *testing.T) {
+	cfg := core.Config{Width: 1, Height: 1, WC: 1, WP: 1, Alpha: 0.5}
+	if _, err := ag2.New(cfg, 0.5); err == nil {
+		t.Fatal("gamma < 1 must be rejected")
+	}
+	if _, err := ag2.New(core.Config{}, 10); err == nil {
+		t.Fatal("invalid config must be rejected")
+	}
+}
+
+// TestMatchesOracle: aG2 is an exact method; it must equal the from-scratch
+// oracle after every event, for several gammas and configurations.
+func TestMatchesOracle(t *testing.T) {
+	cases := []struct {
+		cfg   core.Config
+		gamma float64
+		seed  uint64
+	}{
+		{core.Config{Width: 1, Height: 1, WC: 50, WP: 50, Alpha: 0.5}, 10, 1},
+		{core.Config{Width: 1, Height: 1, WC: 50, WP: 50, Alpha: 0.5}, 3, 2},
+		{core.Config{Width: 0.7, Height: 1.4, WC: 30, WP: 60, Alpha: 0.2}, 10, 3},
+		{core.Config{Width: 1, Height: 1, WC: 40, WP: 40, Alpha: 0.9}, 5, 4},
+	}
+	for ci, tc := range cases {
+		eng, err := ag2.New(tc.cfg, tc.gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, _ := topk.NewOracle(tc.cfg)
+		objs := randomStream(tc.seed, 700, 7, tc.cfg.WC, tc.cfg.WP, 100)
+		step := 0
+		drive(t, tc.cfg.WC, tc.cfg.WP, objs, func(ev core.Event) {
+			eng.Process(ev)
+			oracle.Process(ev)
+			g, w := eng.Best(), oracle.Best()
+			gs, ws := g.Score, w.Score
+			if !g.Found {
+				gs = 0
+			}
+			if !w.Found {
+				ws = 0
+			}
+			if !almost(gs, ws) {
+				t.Fatalf("case %d event %d (%v): aG2=%v oracle=%v", ci, step, ev.Kind, gs, ws)
+			}
+			if g.Found {
+				fc, fp := oracle.RegionScore(g.Region)
+				if !almost(tc.cfg.Score(fc, fp), g.Score) {
+					t.Fatalf("case %d event %d: region does not achieve score: %v vs %v",
+						ci, step, g.Score, tc.cfg.Score(fc, fp))
+				}
+			}
+			step++
+		})
+	}
+}
+
+// TestDenseCluster: many mutually overlapping rectangles in one spot — the
+// O(n^2) graph regime — must still be exact.
+func TestDenseCluster(t *testing.T) {
+	cfg := core.Config{Width: 1, Height: 1, WC: 100, WP: 100, Alpha: 0.5}
+	eng, _ := ag2.New(cfg, 10)
+	oracle, _ := topk.NewOracle(cfg)
+	objs := randomStream(9, 400, 1.5, cfg.WC, cfg.WP, 120) // tiny span: everything overlaps
+	step := 0
+	drive(t, cfg.WC, cfg.WP, objs, func(ev core.Event) {
+		eng.Process(ev)
+		oracle.Process(ev)
+		g, w := eng.Best(), oracle.Best()
+		gs, ws := g.Score, w.Score
+		if !g.Found {
+			gs = 0
+		}
+		if !w.Found {
+			ws = 0
+		}
+		if !almost(gs, ws) {
+			t.Fatalf("event %d: aG2=%v oracle=%v", step, gs, ws)
+		}
+		step++
+	})
+	if eng.EdgeCount() != 0 {
+		t.Fatalf("edges remain after drain: %d", eng.EdgeCount())
+	}
+}
+
+// TestEdgeGrowth: the per-cell graphs exhibit the quadratic edge blow-up the
+// paper criticises — with all rectangles overlapping, edges ~ n^2.
+func TestEdgeGrowth(t *testing.T) {
+	cfg := core.Config{Width: 10, Height: 10, WC: 1e9, WP: 1e9, Alpha: 0.5}
+	eng, _ := ag2.New(cfg, 10)
+	n := 60
+	for i := 0; i < n; i++ {
+		eng.Process(core.Event{Kind: core.New, Obj: core.Object{
+			ID: uint64(i + 1), X: float64(i) * 0.01, Y: float64(i) * 0.01, Weight: 1, T: float64(i),
+		}})
+	}
+	want := n * (n - 1) // directed adjacency entries of a clique
+	if got := eng.EdgeCount(); got != want {
+		t.Fatalf("edge count = %d, want %d (clique)", got, want)
+	}
+}
+
+func TestEmptyEngine(t *testing.T) {
+	cfg := core.Config{Width: 1, Height: 1, WC: 1, WP: 1, Alpha: 0.5}
+	eng, _ := ag2.New(cfg, 10)
+	if res := eng.Best(); res.Found {
+		t.Fatalf("empty engine found %+v", res)
+	}
+}
+
+// TestSearchesFewerThanEvents: the branch-and-bound caching must avoid
+// searching on most events (the whole point of aG2's bounds).
+func TestSearchesBounded(t *testing.T) {
+	cfg := core.Config{Width: 1, Height: 1, WC: 50, WP: 50, Alpha: 0.5}
+	eng, _ := ag2.New(cfg, 10)
+	objs := randomStream(15, 2000, 6, cfg.WC, cfg.WP, 120)
+	drive(t, cfg.WC, cfg.WP, objs, func(ev core.Event) {
+		eng.Process(ev)
+		eng.Best()
+	})
+	st := eng.Stats()
+	if st.SearchRatio() >= 1 {
+		t.Fatalf("search ratio %v: caching is not working at all", st.SearchRatio())
+	}
+	if st.Events == 0 || st.Searches == 0 {
+		t.Fatalf("stats not recorded: %+v", st)
+	}
+}

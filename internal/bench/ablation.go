@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+
+	"surge/internal/ag2"
+	"surge/internal/cellcspot"
+)
+
+// Ablation runs the design-choice studies promised in DESIGN.md, beyond the
+// paper's own baselines:
+//
+//  1. CCS component ablation — full CCS vs. CCS without candidate reuse
+//     (bounds only) vs. B-CCS (static bound only) vs. Base (nothing) — on
+//     one Taxi-like configuration, separating the contribution of the
+//     dynamic bound from that of the Lemma-4 candidate reuse.
+//  2. aG2 grid-granularity sweep — the gamma parameter (cell size as a
+//     multiple of the query rectangle) controls the graph density.
+func Ablation(o Options) error {
+	d := o.dataset("Taxi")
+	w := defaultWindow("Taxi")
+	cfg := o.cfgFor(d, w, 1)
+	objs := genFor(d, w, o.MaxExact)
+
+	t := NewTable(o.Out, "Ablation: CCS components (Taxi, 5m windows)",
+		"Variant", "time/object (us)", "searches", "%events searching")
+	for _, mode := range []cellcspot.Mode{
+		cellcspot.ModeCCS, cellcspot.ModeNoReuse, cellcspot.ModeStatic, cellcspot.ModeBase,
+	} {
+		eng, err := cellcspot.New(cfg, mode)
+		if err != nil {
+			return err
+		}
+		m := ReplayLimited(cfg, eng, objs, o.MaxExact)
+		t.Row(mode.String(),
+			fmt.Sprintf("%.1f", m.MicrosPerObject()),
+			m.Stats.Searches,
+			fmt.Sprintf("%.2f%%", m.Stats.SearchRatio()*100))
+	}
+	t.Flush()
+
+	t = NewTable(o.Out, "Ablation: aG2 grid granularity (Taxi, 5m windows)",
+		"gamma", "time/object (us)", "edges at end", "searches")
+	for _, gamma := range []float64{2, 5, 10, 20} {
+		eng, err := ag2.New(cfg, gamma)
+		if err != nil {
+			return err
+		}
+		m := ReplayLimited(cfg, eng, objs, o.MaxExact)
+		t.Row(fmt.Sprintf("%g", gamma),
+			fmt.Sprintf("%.1f", m.MicrosPerObject()),
+			eng.EdgeCount(),
+			m.Stats.Searches)
+	}
+	t.Flush()
+	return nil
+}

@@ -1,0 +1,210 @@
+// Package bench is the shared experiment harness behind cmd/surgebench and
+// the root bench_test.go: it constructs engines by their paper names,
+// replays generated streams through the window engine with continuous
+// querying, and formats paper-style result tables.
+//
+// Measurement methodology follows Section VII: the stream is replayed
+// through the dual sliding windows, every window-transition event is
+// processed and the bursty region re-queried ("continuous detection"), and
+// the average per-object processing time is reported. As in the paper,
+// timing starts once the system is stable — after the first object has
+// expired from the past window.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"surge/internal/ag2"
+	"surge/internal/cellcspot"
+	"surge/internal/core"
+	"surge/internal/gapsurge"
+	"surge/internal/topk"
+	"surge/internal/window"
+)
+
+// NewEngine constructs a single-region engine by its paper name:
+// CCS, B-CCS, Base, aG2, GAPS, MGAPS, Oracle.
+func NewEngine(name string, cfg core.Config) (core.Engine, error) {
+	switch name {
+	case "CCS":
+		return cellcspot.New(cfg, cellcspot.ModeCCS)
+	case "B-CCS":
+		return cellcspot.New(cfg, cellcspot.ModeStatic)
+	case "Base":
+		return cellcspot.New(cfg, cellcspot.ModeBase)
+	case "aG2":
+		return ag2.New(cfg, 10)
+	case "GAPS":
+		return gapsurge.New(cfg, false)
+	case "MGAPS":
+		return gapsurge.New(cfg, true)
+	case "Oracle":
+		return topk.NewOracle(cfg)
+	default:
+		return nil, fmt.Errorf("bench: unknown engine %q", name)
+	}
+}
+
+// NewTopKEngine constructs a top-k engine by name: kCCS, kGAPS, kMGAPS,
+// Naive.
+func NewTopKEngine(name string, cfg core.Config, k int) (core.TopKEngine, error) {
+	switch name {
+	case "kCCS":
+		return topk.NewKCCS(cfg, k)
+	case "kGAPS":
+		return gapsurge.NewTopK(cfg, false, k)
+	case "kMGAPS":
+		return gapsurge.NewTopK(cfg, true, k)
+	case "Naive":
+		return topk.NewNaive(cfg, k)
+	default:
+		return nil, fmt.Errorf("bench: unknown top-k engine %q", name)
+	}
+}
+
+// Measurement is the outcome of a replay.
+type Measurement struct {
+	Objects   int           // objects fed after warm-up
+	Events    int           // window events processed after warm-up
+	Elapsed   time.Duration // wall time spent in Process+Best after warm-up
+	Stats     core.Stats
+	StreamSec float64 // stream-time span processed after warm-up
+}
+
+// PerObject returns the average processing time per arriving object.
+func (m Measurement) PerObject() time.Duration {
+	if m.Objects == 0 {
+		return 0
+	}
+	return m.Elapsed / time.Duration(m.Objects)
+}
+
+// MicrosPerObject returns the per-object cost in microseconds, the unit of
+// the paper's runtime figures.
+func (m Measurement) MicrosPerObject() float64 {
+	if m.Objects == 0 {
+		return 0
+	}
+	return float64(m.Elapsed.Nanoseconds()) / 1e3 / float64(m.Objects)
+}
+
+// PerStreamHour returns the wall-clock seconds spent per hour of stream
+// time — the paper's Figure 8 metric th.
+func (m Measurement) PerStreamHour() float64 {
+	if m.StreamSec <= 0 {
+		return 0
+	}
+	return m.Elapsed.Seconds() / (m.StreamSec / 3600)
+}
+
+type statser interface{ Stats() core.Stats }
+
+// Replay feeds objs through a window engine into eng, querying Best after
+// every event. Timing excludes the warm-up prefix (until the first Expired
+// event) so the windows are full, matching the paper's setup; during warm-up
+// only Process runs (no querying).
+func Replay(cfg core.Config, eng core.Engine, objs []core.Object) Measurement {
+	return ReplayLimited(cfg, eng, objs, 0)
+}
+
+// ReplayLimited is Replay but stops after measuring maxMeasured objects
+// past warm-up (0 = unlimited). It keeps slow baselines affordable on long
+// parameter sweeps without biasing the per-object average.
+func ReplayLimited(cfg core.Config, eng core.Engine, objs []core.Object, maxMeasured int) Measurement {
+	return replay(cfg, objs, maxMeasured, eng.Process, func() { eng.Best() }, eng)
+}
+
+// ReplayTopK is Replay for top-k engines.
+func ReplayTopK(cfg core.Config, eng core.TopKEngine, objs []core.Object, maxMeasured int) Measurement {
+	return replay(cfg, objs, maxMeasured, eng.Process, func() { eng.BestK() }, eng)
+}
+
+func replay(cfg core.Config, objs []core.Object, maxMeasured int, process func(core.Event), query func(), eng any) Measurement {
+	win, err := window.New(cfg.WC, cfg.WP)
+	if err != nil {
+		panic(err)
+	}
+	var m Measurement
+	warm := true
+	var warmStart float64
+	started := false
+	var t0 time.Time
+	wrapped := func(ev core.Event) {
+		if warm && ev.Kind == core.Expired {
+			warm = false
+		}
+		process(ev)
+		if !warm {
+			m.Events++
+			query()
+		}
+	}
+	for _, o := range objs {
+		if warm {
+			// Outside the timed section: process but do not account.
+			if _, err := win.Push(o, wrapped); err != nil {
+				panic(err)
+			}
+			warmStart = o.T
+			continue
+		}
+		if !started {
+			started = true
+			t0 = time.Now()
+		}
+		if _, err := win.Push(o, wrapped); err != nil {
+			panic(err)
+		}
+		m.Objects++
+		if maxMeasured > 0 && m.Objects >= maxMeasured {
+			break
+		}
+	}
+	if started {
+		m.Elapsed = time.Since(t0)
+		m.StreamSec = win.Now() - warmStart
+	}
+	if s, ok := eng.(statser); ok {
+		m.Stats = s.Stats()
+	}
+	return m
+}
+
+// Table is a minimal aligned-column table printer.
+type Table struct {
+	w     *tabwriter.Writer
+	title string
+}
+
+// NewTable starts a table with a title and header row.
+func NewTable(out io.Writer, title string, headers ...string) *Table {
+	t := &Table{w: tabwriter.NewWriter(out, 2, 4, 2, ' ', 0), title: title}
+	fmt.Fprintf(t.w, "\n== %s ==\n", title)
+	t.Row(headersToAny(headers)...)
+	return t
+}
+
+func headersToAny(h []string) []any {
+	out := make([]any, len(h))
+	for i, s := range h {
+		out[i] = s
+	}
+	return out
+}
+
+// Row appends one row.
+func (t *Table) Row(cols ...any) {
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Fprint(t.w, "\t")
+		}
+		fmt.Fprintf(t.w, "%v", c)
+	}
+	fmt.Fprintln(t.w)
+}
+
+// Flush renders the table.
+func (t *Table) Flush() { t.w.Flush() }

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"surge/internal/core"
+	"surge/internal/stream"
+)
+
+func smallOptions(buf *bytes.Buffer) Options {
+	o := DefaultOptions(buf)
+	o.RateScale = 0.01
+	o.MaxExact = 250
+	o.MaxApprox = 1500
+	return o
+}
+
+func TestNewEngineNames(t *testing.T) {
+	cfg := core.Config{Width: 1, Height: 1, WC: 1, WP: 1, Alpha: 0.5}
+	for _, name := range []string{"CCS", "B-CCS", "Base", "aG2", "GAPS", "MGAPS", "Oracle"} {
+		if _, err := NewEngine(name, cfg); err != nil {
+			t.Errorf("NewEngine(%q): %v", name, err)
+		}
+	}
+	if _, err := NewEngine("nope", cfg); err == nil {
+		t.Error("unknown engine name accepted")
+	}
+	for _, name := range []string{"kCCS", "kGAPS", "kMGAPS", "Naive"} {
+		if _, err := NewTopKEngine(name, cfg, 3); err != nil {
+			t.Errorf("NewTopKEngine(%q): %v", name, err)
+		}
+	}
+	if _, err := NewTopKEngine("nope", cfg, 3); err == nil {
+		t.Error("unknown top-k engine name accepted")
+	}
+}
+
+func TestReplayMeasurement(t *testing.T) {
+	d := stream.TaxiLike(1)
+	d.RatePerHour *= 0.02
+	cfg := core.Config{Width: d.QueryWidth(), Height: d.QueryHeight(), WC: 300, WP: 300, Alpha: 0.5}
+	objs := genFor(d, 300, 500)
+	eng, _ := NewEngine("GAPS", cfg)
+	m := ReplayLimited(cfg, eng, objs, 500)
+	if m.Objects == 0 {
+		t.Fatal("no objects measured — warm-up never completed")
+	}
+	if m.Objects > 500 {
+		t.Fatalf("measured %d objects, cap was 500", m.Objects)
+	}
+	if m.Events < m.Objects {
+		t.Fatalf("events %d < objects %d (each arrival implies >=1 event)", m.Events, m.Objects)
+	}
+	if m.MicrosPerObject() <= 0 || m.PerObject() <= 0 {
+		t.Fatal("no time recorded")
+	}
+	if m.StreamSec <= 0 || m.PerStreamHour() <= 0 {
+		t.Fatalf("stream-time accounting broken: %+v", m)
+	}
+}
+
+func TestReplayEmptyMeasurement(t *testing.T) {
+	var m Measurement
+	if m.PerObject() != 0 || m.MicrosPerObject() != 0 || m.PerStreamHour() != 0 {
+		t.Fatal("zero measurement must report zeros")
+	}
+}
+
+func TestApproxRatioBounds(t *testing.T) {
+	d := stream.TaxiLike(2)
+	d.RatePerHour *= 0.02
+	cfg := core.Config{Width: d.QueryWidth(), Height: d.QueryHeight(), WC: 300, WP: 300, Alpha: 0.5}
+	objs := genFor(d, 300, 400)
+	g, m, err := ApproxRatio(cfg, objs, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := (1 - cfg.Alpha) / 4
+	if g < floor || g > 1+1e-9 {
+		t.Fatalf("GAPS ratio %v outside [%v, 1]", g, floor)
+	}
+	if m < g-1e-9 || m > 1+1e-9 {
+		t.Fatalf("MGAPS ratio %v should be in [GAPS=%v, 1]", m, g)
+	}
+}
+
+func TestApproxRatioTooShort(t *testing.T) {
+	cfg := core.Config{Width: 1, Height: 1, WC: 1e9, WP: 1e9, Alpha: 0.5}
+	objs := stream.TaxiLike(1).Generate(50)
+	if _, _, err := ApproxRatio(cfg, objs, 0); err == nil {
+		t.Fatal("stream shorter than the windows must error, not report 0 samples")
+	}
+}
+
+func TestTablePrinter(t *testing.T) {
+	var buf bytes.Buffer
+	tb := NewTable(&buf, "Demo", "A", "B")
+	tb.Row(1, "x")
+	tb.Row(2.5, "y")
+	tb.Flush()
+	out := buf.String()
+	for _, want := range []string{"== Demo ==", "A", "B", "2.5", "y"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("bogus", smallOptions(&buf)); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+// TestAllExperimentsSmoke runs every registered experiment at a miniature
+// scale to catch panics, wiring bugs and empty-measurement regressions.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are slow")
+	}
+	for _, id := range Experiments() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			o := smallOptions(&buf)
+			if err := Run(id, o); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", id)
+			}
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"surge/roadnet"
+)
+
+// RoadNet benchmarks the road-network extension (the paper's future-work
+// direction): per-object cost of the network-ball detector on a Manhattan
+// grid city as the ball radius grows. The cost is dominated by the bounded
+// Dijkstra, whose frontier grows quadratically with the radius — the
+// network analogue of Figure 5's query-size sweep.
+func RoadNet(o Options) error {
+	city := roadnet.Grid(60, 60, 100)
+	t := NewTable(o.Out, "Extension: road-network SURGE, time/object (us) vs ball radius",
+		"Radius (m)", "time/object (us)", "ball size (approx vertices)")
+	for _, radius := range []float64{100, 200, 400, 800} {
+		det, err := roadnet.NewDetector(city, roadnet.Options{
+			Radius: radius,
+			Window: 600,
+			Alpha:  0.5,
+		})
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewPCG(o.Seed, 11))
+		tm := 0.0
+		n := 20000
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			tm += rng.ExpFloat64() * 0.2
+			if _, err := det.Push(roadnet.Object{
+				X:      rng.Float64() * 5900,
+				Y:      rng.Float64() * 5900,
+				Weight: 1 + rng.Float64()*99,
+				Time:   tm,
+			}); err != nil {
+				return err
+			}
+		}
+		elapsed := time.Since(start)
+		// Ball size on an r/spacing Manhattan grid: 2k^2+2k+1 with k = r/100.
+		k := int(radius / 100)
+		t.Row(fmt.Sprintf("%.0f", radius),
+			fmt.Sprintf("%.2f", float64(elapsed.Nanoseconds())/1e3/float64(n)),
+			2*k*k+2*k+1)
+	}
+	t.Flush()
+	return nil
+}

@@ -1,0 +1,420 @@
+// Package cellcspot implements the paper's exact solution to the SURGE
+// problem (Section IV): the Cell-CSPOT algorithm (CCS) together with its two
+// ablation baselines used in the evaluation (Appendix J):
+//
+//   - ModeCCS: full Algorithm 2 — static upper bound (Definition 7), dynamic
+//     upper bound (Eqn 3), candidate points with Lemma 4 validity, and lazy
+//     best-first search of cells.
+//   - ModeStatic (B-CCS): only the static upper bound; cached cell results
+//     are invalidated by any event touching the cell.
+//   - ModeBase (Base): no upper bounds — every cell overlapping an event's
+//     rectangle is re-searched immediately.
+//
+// The plane is divided into grid cells of exactly the query-rectangle size
+// (Definition 6), so every rectangle object overlaps at most four cells
+// (Lemma 1). Each cell keeps the rectangle objects overlapping it and a
+// candidate point; the engine keeps the cells in an indexed max-heap ordered
+// by their burst-score upper bound U(c) = min(Us(c), Ud(c)).
+//
+// Invariant maintained by ModeCCS: whenever a cell's candidate is valid,
+// Ud(c) equals the exact maximum burst score inside the cell, so the heap
+// key of a valid cell is exact and the lazy search loop can stop as soon as
+// the top cell is valid.
+package cellcspot
+
+import (
+	"fmt"
+	"math"
+
+	"surge/internal/core"
+	"surge/internal/geom"
+	"surge/internal/grid"
+	"surge/internal/iheap"
+	"surge/internal/sweep"
+)
+
+// Mode selects the exact-engine variant.
+type Mode uint8
+
+const (
+	// ModeCCS is the full Cell-CSPOT algorithm.
+	ModeCCS Mode = iota
+	// ModeStatic is the B-CCS baseline (static upper bound only).
+	ModeStatic
+	// ModeBase is the Base baseline (no upper bounds).
+	ModeBase
+	// ModeNoReuse is an ablation beyond the paper's baselines: both upper
+	// bounds are maintained (Eqns 2-3) but the Lemma-4 candidate-point reuse
+	// is disabled — any event touching a cell invalidates its candidate. It
+	// isolates how much of CCS's win comes from candidate reuse versus bound
+	// tightness.
+	ModeNoReuse
+)
+
+// String names the mode as in the paper's experiment section.
+func (m Mode) String() string {
+	switch m {
+	case ModeCCS:
+		return "CCS"
+	case ModeStatic:
+		return "B-CCS"
+	case ModeBase:
+		return "Base"
+	case ModeNoReuse:
+		return "CCS-noreuse"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+type obj struct {
+	x, y, wt float64
+	past     bool
+}
+
+type candidate struct {
+	valid  bool
+	found  bool
+	p      geom.Point
+	fc, fp float64
+}
+
+type cell struct {
+	key      grid.Cell
+	objs     map[uint64]*obj
+	curCount int     // objects currently in Wc
+	us       float64 // static upper bound (Definition 7)
+	ud       float64 // dynamic upper bound (Eqn 3); +Inf before first search
+	cand     candidate
+}
+
+// Engine is an exact SURGE detector. It is not safe for concurrent use.
+type Engine struct {
+	cfg   core.Config
+	mode  Mode
+	grid  grid.Grid
+	cells map[grid.Cell]*cell
+	heap  *iheap.Heap[grid.Cell]
+	sr    sweep.Searcher
+	stats core.Stats
+
+	searchesAtEvent uint64 // search counter snapshot at the last Process
+	pendingEvent    bool
+
+	cellScratch  []grid.Cell
+	entryScratch []sweep.Entry
+	popScratch   []grid.Cell
+}
+
+var _ core.Engine = (*Engine)(nil)
+
+// New returns an exact engine in the given mode.
+func New(cfg core.Config, mode Mode) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:   cfg,
+		mode:  mode,
+		grid:  grid.Aligned(cfg.Width, cfg.Height),
+		cells: make(map[grid.Cell]*cell),
+		heap:  iheap.New[grid.Cell](),
+	}, nil
+}
+
+// Mode returns the engine variant.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// Stats returns the instrumentation counters.
+func (e *Engine) Stats() core.Stats { return e.stats }
+
+// Process applies one window-transition event (Algorithm 2, lines 1-3).
+func (e *Engine) Process(ev core.Event) {
+	if !e.cfg.InArea(ev.Obj) {
+		return
+	}
+	e.accountEventBoundary()
+	e.stats.Events++
+	e.searchesAtEvent = e.stats.Searches
+	e.pendingEvent = true
+
+	o := ev.Obj
+	cover := e.cfg.CoverRect(o.X, o.Y)
+	e.cellScratch = e.grid.CoverCells(e.cellScratch[:0], o.X, o.Y, e.cfg.Width, e.cfg.Height)
+	for _, ck := range e.cellScratch {
+		e.stats.CellsTouched++
+		c := e.cells[ck]
+		if c == nil {
+			if ev.Kind != core.New {
+				continue // object was filtered or unknown; nothing to undo
+			}
+			c = &cell{key: ck, objs: make(map[uint64]*obj), ud: math.Inf(1)}
+			e.cells[ck] = c
+		}
+		e.applyEvent(c, ev, cover)
+		if len(c.objs) == 0 {
+			delete(e.cells, ck)
+			e.heap.Remove(ck)
+			continue
+		}
+		if e.mode == ModeBase {
+			e.searchCell(c)
+			e.heap.Set(ck, e.candScore(c))
+		} else {
+			e.heap.Set(ck, c.bound())
+		}
+	}
+	if e.mode == ModeBase {
+		e.accountEventBoundary()
+	}
+}
+
+// applyEvent updates a cell's object list, bounds and candidate for one
+// event, implementing Eqn 2, Eqn 3 and Lemma 4.
+func (e *Engine) applyEvent(c *cell, ev core.Event, cover geom.Rect) {
+	id, w := ev.Obj.ID, ev.Obj.Weight
+	dc := w / e.cfg.WC
+	dp := w / e.cfg.WP
+	switch ev.Kind {
+	case core.New:
+		c.objs[id] = &obj{x: ev.Obj.X, y: ev.Obj.Y, wt: w}
+		c.curCount++
+		c.us += dc
+		if e.mode == ModeBase {
+			return
+		}
+		if !math.IsInf(c.ud, 1) {
+			c.ud += dc
+		}
+		if e.mode != ModeCCS {
+			c.cand.valid = false
+			return
+		}
+		if c.cand.valid {
+			switch {
+			case !c.cand.found:
+				c.cand.valid = false
+			case cover.CoversOC(c.cand.p):
+				keep := c.cand.fc >= c.cand.fp
+				c.cand.fc += dc
+				if !keep {
+					c.cand.valid = false
+				}
+			default:
+				c.cand.valid = false
+			}
+		}
+	case core.Grown:
+		g, ok := c.objs[id]
+		if !ok || g.past {
+			return
+		}
+		g.past = true
+		c.curCount--
+		c.us -= dc
+		if c.curCount == 0 {
+			c.us = 0 // kill float drift once the current window empties
+		}
+		if e.mode == ModeBase {
+			return
+		}
+		if e.mode != ModeCCS {
+			c.cand.valid = false
+			return
+		}
+		// Dynamic bound is unchanged (Eqn 3, grown case). The candidate
+		// survives iff the rectangle does not cover it (Lemma 4, case 2).
+		if c.cand.valid && c.cand.found && cover.CoversOC(c.cand.p) {
+			c.cand.fc -= dc
+			c.cand.fp += dp
+			c.cand.valid = false
+		}
+	case core.Expired:
+		g, ok := c.objs[id]
+		if !ok {
+			return
+		}
+		if !g.past { // object expired without a Grown event (defensive)
+			c.curCount--
+			c.us -= dc
+			if c.curCount == 0 {
+				c.us = 0
+			}
+		}
+		delete(c.objs, id)
+		if e.mode == ModeBase {
+			return
+		}
+		if !math.IsInf(c.ud, 1) {
+			c.ud += e.cfg.Alpha * dp
+		}
+		if e.mode != ModeCCS {
+			c.cand.valid = false
+			return
+		}
+		if c.cand.valid && c.cand.found {
+			switch {
+			case cover.CoversOC(c.cand.p):
+				keep := c.cand.fc >= c.cand.fp
+				c.cand.fp -= dp
+				if !keep {
+					c.cand.valid = false
+				}
+			default:
+				c.cand.valid = false
+			}
+		}
+		// A valid not-found candidate stays valid: every point in the cell
+		// has fc == 0 and removing past weight keeps all scores at zero.
+	}
+	if e.mode == ModeCCS && c.cand.valid {
+		// Valid candidate => Ud equals the exact in-cell maximum.
+		c.ud = e.candScore(c)
+	}
+}
+
+func (c *cell) bound() float64 {
+	if c.us < c.ud {
+		return c.us
+	}
+	return c.ud
+}
+
+// candScore returns the burst score of the cell's candidate (0 when the last
+// search found no positive-score point).
+func (e *Engine) candScore(c *cell) float64 {
+	if !c.cand.found {
+		return 0
+	}
+	return e.cfg.Score(c.cand.fc, c.cand.fp)
+}
+
+// searchCell runs SL-CSPOT restricted to the cell (Algorithm 2, line 6) and
+// refreshes the candidate, the dynamic bound and, to kill float drift, the
+// static bound.
+func (e *Engine) searchCell(c *cell) {
+	e.entryScratch = e.entryScratch[:0]
+	us := 0.0
+	cur := 0
+	for _, g := range c.objs {
+		e.entryScratch = append(e.entryScratch, sweep.Entry{X: g.x, Y: g.y, Weight: g.wt, Past: g.past})
+		if !g.past {
+			us += g.wt / e.cfg.WC
+			cur++
+		}
+	}
+	c.us = us
+	c.curCount = cur
+	res := e.sr.Search(e.cfg, e.entryScratch, e.grid.CellRect(c.key))
+	e.stats.Searches++
+	e.stats.SweepEntries += uint64(len(e.entryScratch))
+	c.cand = candidate{valid: true, found: res.Found, p: res.Point, fc: res.FC, fp: res.FP}
+	if e.mode != ModeStatic {
+		c.ud = res.Score
+	}
+}
+
+// Best reports the current bursty region (Algorithm 2, lines 4-9).
+func (e *Engine) Best() core.Result {
+	defer e.accountEventBoundary()
+	switch e.mode {
+	case ModeBase:
+		return e.bestBase()
+	case ModeStatic:
+		return e.bestStatic()
+	default:
+		return e.bestCCS()
+	}
+}
+
+func (e *Engine) bestCCS() core.Result {
+	for {
+		ck, _, ok := e.heap.Max()
+		if !ok {
+			return core.Result{}
+		}
+		c := e.cells[ck]
+		if c.cand.valid {
+			return e.resultOf(c)
+		}
+		e.searchCell(c)
+		e.heap.Set(ck, c.bound())
+	}
+}
+
+func (e *Engine) bestStatic() core.Result {
+	var best core.Result
+	e.popScratch = e.popScratch[:0]
+	for e.heap.Len() > 0 {
+		ck, u, _ := e.heap.Max()
+		if u <= best.Score || u <= 0 {
+			break
+		}
+		c := e.cells[ck]
+		if !c.cand.valid {
+			e.searchCell(c)
+		}
+		if sc := e.candScore(c); c.cand.found && sc > best.Score {
+			best = e.resultOf(c)
+		}
+		e.heap.PopMax()
+		e.popScratch = append(e.popScratch, ck)
+	}
+	// Reinstate the popped cells with their (unchanged) static bounds.
+	for _, ck := range e.popScratch {
+		e.heap.Set(ck, e.cells[ck].us)
+	}
+	return best
+}
+
+func (e *Engine) bestBase() core.Result {
+	ck, sc, ok := e.heap.Max()
+	if !ok || sc <= 0 {
+		return core.Result{}
+	}
+	c := e.cells[ck]
+	if !c.cand.found {
+		return core.Result{}
+	}
+	return e.resultOf(c)
+}
+
+func (e *Engine) resultOf(c *cell) core.Result {
+	if !c.cand.found {
+		return core.Result{}
+	}
+	sc := e.candScore(c)
+	if sc <= 0 {
+		return core.Result{}
+	}
+	return core.Result{
+		Point:  c.cand.p,
+		Region: e.cfg.RegionAt(c.cand.p),
+		Score:  sc,
+		FC:     c.cand.fc,
+		FP:     c.cand.fp,
+		Found:  true,
+	}
+}
+
+// accountEventBoundary finalises the per-event "triggered a search" counter
+// (Table II) once the searches attributable to the last event are known.
+func (e *Engine) accountEventBoundary() {
+	if e.pendingEvent && e.stats.Searches > e.searchesAtEvent {
+		e.stats.SearchEvents++
+	}
+	e.pendingEvent = false
+}
+
+// CellCount returns the number of live (non-empty) grid cells.
+func (e *Engine) CellCount() int { return len(e.cells) }
+
+// LiveObjects returns the number of object copies held across all cells
+// (each live object is stored in at most four cells, Lemma 1).
+func (e *Engine) LiveObjects() int {
+	n := 0
+	for _, c := range e.cells {
+		n += len(c.objs)
+	}
+	return n
+}

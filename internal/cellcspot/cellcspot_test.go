@@ -1,0 +1,336 @@
+package cellcspot_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"surge/internal/cellcspot"
+	"surge/internal/core"
+	"surge/internal/geom"
+	"surge/internal/topk"
+	"surge/internal/window"
+)
+
+func almost(a, b float64) bool {
+	d := math.Abs(a - b)
+	m := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return d <= 1e-9*m
+}
+
+// randomStream returns n time-ordered objects spread over span x span with
+// roughly `liveTarget` objects inside the two windows at steady state.
+func randomStream(seed uint64, n int, span, wc, wp float64, liveTarget int) []core.Object {
+	rng := rand.New(rand.NewPCG(seed, seed*2654435761+1))
+	meanGap := (wc + wp) / float64(liveTarget)
+	objs := make([]core.Object, n)
+	t := 0.0
+	for i := range objs {
+		t += rng.ExpFloat64() * meanGap
+		objs[i] = core.Object{
+			X:      rng.Float64() * span,
+			Y:      rng.Float64() * span,
+			Weight: 1 + rng.Float64()*99,
+			T:      t,
+		}
+	}
+	return objs
+}
+
+// drive replays the stream through the window engine, invoking step for
+// every window-transition event (including a final drain).
+func drive(t *testing.T, wc, wp float64, objs []core.Object, step func(core.Event)) {
+	t.Helper()
+	win, err := window.New(wc, wp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		if _, err := win.Push(o, step); err != nil {
+			t.Fatal(err)
+		}
+	}
+	win.Drain(step)
+}
+
+// checkAgainstOracle drives one engine and the from-scratch oracle in
+// lockstep, requiring equal burst scores after every event.
+func checkAgainstOracle(t *testing.T, cfg core.Config, eng core.Engine, objs []core.Object) {
+	t.Helper()
+	oracle, err := topk.NewOracle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := 0
+	drive(t, cfg.WC, cfg.WP, objs, func(ev core.Event) {
+		eng.Process(ev)
+		oracle.Process(ev)
+		got := eng.Best()
+		want := oracle.Best()
+		gs, ws := got.Score, want.Score
+		if !got.Found {
+			gs = 0
+		}
+		if !want.Found {
+			ws = 0
+		}
+		if !almost(gs, ws) {
+			t.Fatalf("event %d (%v of obj %d): engine score %v != oracle %v",
+				step, ev.Kind, ev.Obj.ID, gs, ws)
+		}
+		if got.Found {
+			// The reported region must actually achieve the reported score:
+			// recompute its f values from the oracle's live set.
+			fc, fp := oracle.RegionScore(got.Region)
+			if !almost(cfg.Score(fc, fp), got.Score) {
+				t.Fatalf("event %d: region %+v does not achieve reported score %v (true %v)",
+					step, got.Region, got.Score, cfg.Score(fc, fp))
+			}
+		}
+		step++
+	})
+}
+
+func configs() []core.Config {
+	return []core.Config{
+		{Width: 1, Height: 1, WC: 50, WP: 50, Alpha: 0.5},
+		{Width: 1.3, Height: 0.7, WC: 30, WP: 60, Alpha: 0.2}, // asymmetric windows
+		{Width: 0.8, Height: 0.8, WC: 40, WP: 40, Alpha: 0.9},
+		{Width: 1, Height: 1, WC: 50, WP: 50, Alpha: 0},
+	}
+}
+
+func TestCCSMatchesOracle(t *testing.T) {
+	for i, cfg := range configs() {
+		eng, err := cellcspot.New(cfg, cellcspot.ModeCCS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs := randomStream(uint64(100+i), 900, 8, cfg.WC, cfg.WP, 120)
+		checkAgainstOracle(t, cfg, eng, objs)
+	}
+}
+
+func TestCCSMatchesOracleDense(t *testing.T) {
+	// Few cells, many objects per cell: stresses the sweep and candidate
+	// maintenance.
+	cfg := core.Config{Width: 1, Height: 1, WC: 50, WP: 50, Alpha: 0.6}
+	eng, _ := cellcspot.New(cfg, cellcspot.ModeCCS)
+	objs := randomStream(7, 900, 2.5, cfg.WC, cfg.WP, 150)
+	checkAgainstOracle(t, cfg, eng, objs)
+}
+
+func TestStaticMatchesOracle(t *testing.T) {
+	cfg := core.Config{Width: 1, Height: 1, WC: 50, WP: 50, Alpha: 0.5}
+	eng, _ := cellcspot.New(cfg, cellcspot.ModeStatic)
+	objs := randomStream(11, 700, 6, cfg.WC, cfg.WP, 100)
+	checkAgainstOracle(t, cfg, eng, objs)
+}
+
+func TestNoReuseMatchesOracle(t *testing.T) {
+	cfg := core.Config{Width: 1, Height: 1, WC: 50, WP: 50, Alpha: 0.5}
+	eng, _ := cellcspot.New(cfg, cellcspot.ModeNoReuse)
+	objs := randomStream(12, 700, 6, cfg.WC, cfg.WP, 100)
+	checkAgainstOracle(t, cfg, eng, objs)
+}
+
+func TestNoReuseAsymmetric(t *testing.T) {
+	cfg := core.Config{Width: 1.3, Height: 0.7, WC: 30, WP: 60, Alpha: 0.8}
+	eng, _ := cellcspot.New(cfg, cellcspot.ModeNoReuse)
+	objs := randomStream(14, 600, 5, cfg.WC, cfg.WP, 90)
+	checkAgainstOracle(t, cfg, eng, objs)
+}
+
+func TestBaseMatchesOracle(t *testing.T) {
+	cfg := core.Config{Width: 1, Height: 1, WC: 50, WP: 50, Alpha: 0.5}
+	eng, _ := cellcspot.New(cfg, cellcspot.ModeBase)
+	objs := randomStream(13, 700, 6, cfg.WC, cfg.WP, 100)
+	checkAgainstOracle(t, cfg, eng, objs)
+}
+
+func TestAllModesAgreePairwise(t *testing.T) {
+	cfg := core.Config{Width: 1, Height: 1.5, WC: 25, WP: 75, Alpha: 0.35}
+	ccs, _ := cellcspot.New(cfg, cellcspot.ModeCCS)
+	bcc, _ := cellcspot.New(cfg, cellcspot.ModeStatic)
+	base, _ := cellcspot.New(cfg, cellcspot.ModeBase)
+	objs := randomStream(17, 800, 7, cfg.WC, cfg.WP, 110)
+	step := 0
+	drive(t, cfg.WC, cfg.WP, objs, func(ev core.Event) {
+		ccs.Process(ev)
+		bcc.Process(ev)
+		base.Process(ev)
+		a, b, c := ccs.Best().Score, bcc.Best().Score, base.Best().Score
+		if !almost(a, b) || !almost(a, c) {
+			t.Fatalf("event %d: CCS=%v B-CCS=%v Base=%v", step, a, b, c)
+		}
+		step++
+	})
+}
+
+// TestSearchTriggerOrdering reproduces the qualitative content of Table II:
+// the full CCS bound machinery must trigger searches on far fewer events
+// than B-CCS, which in turn searches less than Base.
+func TestSearchTriggerOrdering(t *testing.T) {
+	cfg := core.Config{Width: 1, Height: 1, WC: 50, WP: 50, Alpha: 0.5}
+	ccs, _ := cellcspot.New(cfg, cellcspot.ModeCCS)
+	bcc, _ := cellcspot.New(cfg, cellcspot.ModeStatic)
+	base, _ := cellcspot.New(cfg, cellcspot.ModeBase)
+	objs := randomStream(19, 3000, 6, cfg.WC, cfg.WP, 150)
+	drive(t, cfg.WC, cfg.WP, objs, func(ev core.Event) {
+		for _, e := range []core.Engine{ccs, bcc, base} {
+			e.Process(ev)
+			e.Best()
+		}
+	})
+	rc := ccs.Stats().SearchRatio()
+	rb := bcc.Stats().SearchRatio()
+	ra := base.Stats().SearchRatio()
+	if !(rc < rb) {
+		t.Fatalf("CCS search ratio %.4f should be below B-CCS %.4f", rc, rb)
+	}
+	if !(rb <= ra) {
+		t.Fatalf("B-CCS search ratio %.4f should be at most Base %.4f", rb, ra)
+	}
+	if rc > 0.5 {
+		t.Fatalf("CCS search ratio %.4f is implausibly high", rc)
+	}
+	if ccs.Stats().Searches >= base.Stats().Searches {
+		t.Fatalf("CCS total searches %d should be below Base %d",
+			ccs.Stats().Searches, base.Stats().Searches)
+	}
+}
+
+func TestEmptyEngine(t *testing.T) {
+	cfg := core.Config{Width: 1, Height: 1, WC: 1, WP: 1, Alpha: 0.5}
+	for _, mode := range []cellcspot.Mode{cellcspot.ModeCCS, cellcspot.ModeStatic, cellcspot.ModeBase} {
+		eng, err := cellcspot.New(cfg, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := eng.Best(); res.Found {
+			t.Fatalf("%v: empty engine reported %+v", mode, res)
+		}
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	if _, err := cellcspot.New(core.Config{}, cellcspot.ModeCCS); err == nil {
+		t.Fatal("zero config must be rejected")
+	}
+}
+
+func TestDrainEmptiesEngine(t *testing.T) {
+	cfg := core.Config{Width: 1, Height: 1, WC: 10, WP: 10, Alpha: 0.5}
+	eng, _ := cellcspot.New(cfg, cellcspot.ModeCCS)
+	objs := randomStream(23, 400, 5, cfg.WC, cfg.WP, 60)
+	drive(t, cfg.WC, cfg.WP, objs, func(ev core.Event) { eng.Process(ev) })
+	if eng.CellCount() != 0 || eng.LiveObjects() != 0 {
+		t.Fatalf("after drain: cells=%d objects=%d, want 0/0", eng.CellCount(), eng.LiveObjects())
+	}
+	if res := eng.Best(); res.Found {
+		t.Fatalf("drained engine still reports %+v", res)
+	}
+}
+
+func TestLemma1Storage(t *testing.T) {
+	cfg := core.Config{Width: 1, Height: 1, WC: 1e9, WP: 1e9, Alpha: 0.5}
+	eng, _ := cellcspot.New(cfg, cellcspot.ModeCCS)
+	n := 100
+	rng := rand.New(rand.NewPCG(29, 31))
+	objs := make([]core.Object, n)
+	for i := range objs {
+		objs[i] = core.Object{X: rng.Float64() * 5, Y: rng.Float64() * 5, Weight: 1, T: float64(i)}
+	}
+	win, _ := window.New(cfg.WC, cfg.WP)
+	for _, o := range objs {
+		if _, err := win.Push(o, eng.Process); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With giant windows nothing has grown or expired: every object is live
+	// and stored in exactly four cells (Lemma 1).
+	if live := eng.LiveObjects(); live != 4*n {
+		t.Fatalf("live object copies = %d, want %d", live, 4*n)
+	}
+}
+
+func TestAreaFilter(t *testing.T) {
+	area := geom.NewRect(0, 0, 3, 3)
+	cfgA := core.Config{Width: 1, Height: 1, WC: 50, WP: 50, Alpha: 0.5, Area: &area}
+	cfgB := cfgA
+	cfgB.Area = nil
+
+	filtered, _ := cellcspot.New(cfgA, cellcspot.ModeCCS)
+	reference, _ := cellcspot.New(cfgB, cellcspot.ModeCCS)
+
+	objs := randomStream(31, 800, 8, cfgA.WC, cfgA.WP, 100)
+	// Feed the filtered engine everything; feed the reference only the
+	// objects inside the area. Scores must agree after every event batch.
+	win1, _ := window.New(cfgA.WC, cfgA.WP)
+	win2, _ := window.New(cfgB.WC, cfgB.WP)
+	for _, o := range objs {
+		if _, err := win1.Push(o, filtered.Process); err != nil {
+			t.Fatal(err)
+		}
+		if area.ContainsCO(geom.Point{X: o.X, Y: o.Y}) {
+			if _, err := win2.Push(o, reference.Process); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := win2.Advance(o.T, reference.Process); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a, b := filtered.Best(), reference.Best()
+		as, bs := a.Score, b.Score
+		if !a.Found {
+			as = 0
+		}
+		if !b.Found {
+			bs = 0
+		}
+		if !almost(as, bs) {
+			t.Fatalf("at t=%v: filtered=%v reference=%v", o.T, as, bs)
+		}
+	}
+}
+
+// TestBurstScenario plants an abrupt hotspot and checks CCS tracks it: the
+// detected region must contain the hotspot centre while the burst is the
+// dominant signal.
+func TestBurstScenario(t *testing.T) {
+	cfg := core.Config{Width: 1, Height: 1, WC: 10, WP: 10, Alpha: 0.8}
+	eng, _ := cellcspot.New(cfg, cellcspot.ModeCCS)
+	rng := rand.New(rand.NewPCG(37, 41))
+	var objs []core.Object
+	tm := 0.0
+	for i := 0; i < 600; i++ {
+		tm += 0.05
+		o := core.Object{X: rng.Float64() * 20, Y: rng.Float64() * 20, Weight: 1, T: tm}
+		if tm > 20 && tm < 25 { // burst: heavy objects at (10.5, 10.5)
+			o.X = 10.3 + rng.Float64()*0.4
+			o.Y = 10.3 + rng.Float64()*0.4
+			o.Weight = 50
+		}
+		objs = append(objs, o)
+	}
+	var during []core.Result
+	win, _ := window.New(cfg.WC, cfg.WP)
+	for _, o := range objs {
+		_, err := win.Push(o, func(ev core.Event) { eng.Process(ev) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.T > 22 && o.T < 25 {
+			during = append(during, eng.Best())
+		}
+	}
+	for _, r := range during {
+		if !r.Found {
+			t.Fatal("burst not detected")
+		}
+		if !r.Region.ContainsCO(geom.Point{X: 10.5, Y: 10.5}) {
+			t.Fatalf("detected region %+v misses the burst centre", r.Region)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"surge/internal/geom"
+)
+
+func validCfg() Config {
+	return Config{Width: 1, Height: 1, WC: 1, WP: 1, Alpha: 0.5}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := validCfg().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Width: 0, Height: 1, WC: 1, WP: 1},
+		{Width: 1, Height: 0, WC: 1, WP: 1},
+		{Width: -1, Height: 1, WC: 1, WP: 1},
+		{Width: 1, Height: 1, WC: 0, WP: 1},
+		{Width: 1, Height: 1, WC: 1, WP: -2},
+		{Width: 1, Height: 1, WC: 1, WP: 1, Alpha: 1},
+		{Width: 1, Height: 1, WC: 1, WP: 1, Alpha: -0.1},
+		{Width: 1, Height: 1, WC: 1, WP: 1, Alpha: math.NaN()},
+		{Width: 1, Height: 1, WC: 1, WP: 1, Area: &geom.Rect{MinX: 1, MaxX: 0, MinY: 0, MaxY: 1}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestScoreDefinition(t *testing.T) {
+	c := validCfg()
+	c.Alpha = 0.5
+	cases := []struct {
+		fc, fp, want float64
+	}{
+		{0, 0, 0},
+		{2, 0, 2},      // 0.5*2 + 0.5*2
+		{2, 2, 1},      // burst term clamped at 0: 0.5*0 + 0.5*2
+		{2, 5, 1},      // negative difference clamped
+		{4, 1, 3.5},    // 0.5*3 + 0.5*4
+		{0, 10, 0},     // past-only region scores zero
+		{1, 0.5, 0.75}, // 0.5*0.5 + 0.5*1
+	}
+	for _, tc := range cases {
+		if got := c.Score(tc.fc, tc.fp); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Score(%v,%v) = %v, want %v", tc.fc, tc.fp, got, tc.want)
+		}
+	}
+}
+
+func TestScoreAlphaExtremes(t *testing.T) {
+	c := validCfg()
+	c.Alpha = 0
+	if got := c.Score(3, 100); got != 3 {
+		t.Fatalf("alpha=0 must ignore the past window: %v", got)
+	}
+	c.Alpha = 0.99
+	// Near alpha=1 the burst term dominates.
+	if got := c.Score(3, 3); math.Abs(got-0.03) > 1e-12 {
+		t.Fatalf("Score(3,3) at alpha=.99 = %v, want 0.03", got)
+	}
+}
+
+// TestScoreProperties: non-negativity, monotonicity in fc, antitonicity in
+// fp — the facts the upper-bound lemmas rest on.
+func TestScoreProperties(t *testing.T) {
+	clamp := func(x float64) float64 {
+		x = math.Abs(x)
+		if !(x < 1e6) { // also catches NaN/Inf from quick's extreme inputs
+			x = math.Mod(x, 1e6)
+			if math.IsNaN(x) {
+				x = 1
+			}
+		}
+		return x
+	}
+	f := func(fcRaw, fpRaw, dRaw, aRaw float64) bool {
+		fc, fp := clamp(fcRaw), clamp(fpRaw)
+		d := clamp(dRaw)
+		alpha := math.Mod(clamp(aRaw), 0.999)
+		c := validCfg()
+		c.Alpha = alpha
+		s := c.Score(fc, fp)
+		if s < 0 {
+			return false
+		}
+		// Lemma 2's heart: S <= fc.
+		if s > fc+1e-9*(1+fc) {
+			return false
+		}
+		// Lemma 3 case 1: adding d to fc raises S by at most d.
+		if c.Score(fc+d, fp) > s+d+1e-9*(1+s+d) {
+			return false
+		}
+		// Monotone in fc, antitone in fp.
+		if c.Score(fc+d, fp) < s-1e-12 || c.Score(fc, fp+d) > s+1e-12 {
+			return false
+		}
+		// Lemma 3 case 3: removing d from fp raises S by at most alpha*d.
+		fp2 := fp + d
+		if c.Score(fc, fp) > c.Score(fc, fp2)+alpha*d+1e-9*(1+s) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverRectRegionAtDuality(t *testing.T) {
+	c := Config{Width: 2, Height: 3, WC: 1, WP: 1, Alpha: 0.5}
+	rng := rand.New(rand.NewPCG(1, 1))
+	for trial := 0; trial < 2000; trial++ {
+		ox, oy := rng.Float64()*10, rng.Float64()*10
+		px, py := rng.Float64()*14, rng.Float64()*14
+		p := geom.Point{X: px, Y: py}
+		covered := c.CoverRect(ox, oy).CoversOC(p)
+		inRegion := c.RegionAt(p).ContainsCO(geom.Point{X: ox, Y: oy})
+		if covered != inRegion {
+			t.Fatalf("Theorem 1 duality violated: obj=(%v,%v) p=%+v", ox, oy, p)
+		}
+	}
+}
+
+func TestInArea(t *testing.T) {
+	c := validCfg()
+	if !c.InArea(Object{X: 1e9, Y: -1e9}) {
+		t.Fatal("nil area must accept everything")
+	}
+	area := geom.NewRect(0, 0, 10, 10)
+	c.Area = &area
+	if !c.InArea(Object{X: 0, Y: 0}) {
+		t.Fatal("bottom-left corner is inside (closed-open)")
+	}
+	if c.InArea(Object{X: 10, Y: 5}) {
+		t.Fatal("right edge is outside (closed-open)")
+	}
+	if c.InArea(Object{X: 11, Y: 5}) {
+		t.Fatal("outside point accepted")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if New.String() != "new" || Grown.String() != "grown" || Expired.String() != "expired" {
+		t.Fatal("event kind names changed")
+	}
+	if EventKind(99).String() == "" {
+		t.Fatal("unknown kinds must still format")
+	}
+}
+
+func TestStatsSearchRatio(t *testing.T) {
+	s := Stats{}
+	if s.SearchRatio() != 0 {
+		t.Fatal("zero events => ratio 0")
+	}
+	s.Events = 200
+	s.SearchEvents = 10
+	if got := s.SearchRatio(); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("ratio = %v, want 0.05", got)
+	}
+}

@@ -1,0 +1,232 @@
+// Package gapsurge implements the paper's approximate solutions:
+//
+//   - GAP-SURGE (Algorithm 3): a grid of query-sized cells; every cell is a
+//     candidate region whose burst score is maintained incrementally under
+//     window-transition events, with the cells kept in an indexed max-heap.
+//     Processing an event costs O(log n); the returned region's burst score
+//     is at least (1-alpha)/4 of the optimum (Theorem 3).
+//   - MGAP-SURGE (Algorithm 5): runs GAP-SURGE on the four half-cell-shifted
+//     grids of Section V-B and reports the best of the four candidates. The
+//     worst-case ratio is unchanged (Theorem 4) but the practical quality is
+//     substantially better (Tables III/IV).
+//   - Their top-k extensions (Algorithms 6 and 7): top-k cells of the single
+//     grid, or the top-k non-overlapping cells among the top-4k cells of each
+//     of the four grids.
+package gapsurge
+
+import (
+	"sort"
+
+	"surge/internal/core"
+	"surge/internal/geom"
+	"surge/internal/grid"
+	"surge/internal/iheap"
+)
+
+type gcell struct {
+	fc, fp float64
+	nc, np int
+}
+
+type layer struct {
+	g     grid.Grid
+	cells map[grid.Cell]*gcell
+	heap  *iheap.Heap[grid.Cell]
+}
+
+// Engine is a grid-based approximate SURGE detector. It is not safe for
+// concurrent use.
+type Engine struct {
+	cfg    core.Config
+	layers []layer
+	k      int // number of regions reported by BestK
+	stats  core.Stats
+
+	popKeys   []grid.Cell
+	popScores []float64
+	merged    []core.Result
+}
+
+var (
+	_ core.Engine     = (*Engine)(nil)
+	_ core.TopKEngine = (*Engine)(nil)
+)
+
+// New returns a GAP-SURGE engine (multi == false) or an MGAP-SURGE engine
+// (multi == true).
+func New(cfg core.Config, multi bool) (*Engine, error) {
+	return NewTopK(cfg, multi, 1)
+}
+
+// NewTopK returns the top-k extension with the given k >= 1.
+func NewTopK(cfg core.Config, multi bool, k int) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		k = 1
+	}
+	var grids []grid.Grid
+	if multi {
+		g4 := grid.FourGrids(cfg.Width, cfg.Height)
+		grids = g4[:]
+	} else {
+		grids = []grid.Grid{grid.Aligned(cfg.Width, cfg.Height)}
+	}
+	e := &Engine{cfg: cfg, k: k}
+	for _, g := range grids {
+		e.layers = append(e.layers, layer{
+			g:     g,
+			cells: make(map[grid.Cell]*gcell),
+			heap:  iheap.New[grid.Cell](),
+		})
+	}
+	return e, nil
+}
+
+// Stats returns the instrumentation counters.
+func (e *Engine) Stats() core.Stats { return e.stats }
+
+// MultiGrid reports whether this is the multi-grid (MGAP-SURGE) variant.
+func (e *Engine) MultiGrid() bool { return len(e.layers) == 4 }
+
+// Process applies one window-transition event (Algorithm 3, lines 1-5).
+func (e *Engine) Process(ev core.Event) {
+	if !e.cfg.InArea(ev.Obj) {
+		return
+	}
+	e.stats.Events++
+	o := ev.Obj
+	dc := o.Weight / e.cfg.WC
+	dp := o.Weight / e.cfg.WP
+	for li := range e.layers {
+		l := &e.layers[li]
+		ck := l.g.CellOf(o.X, o.Y)
+		c := l.cells[ck]
+		if c == nil {
+			if ev.Kind != core.New {
+				continue
+			}
+			c = &gcell{}
+			l.cells[ck] = c
+		}
+		e.stats.CellsTouched++
+		switch ev.Kind {
+		case core.New:
+			c.fc += dc
+			c.nc++
+		case core.Grown:
+			c.fc -= dc
+			c.nc--
+			c.fp += dp
+			c.np++
+		case core.Expired:
+			c.fp -= dp
+			c.np--
+		}
+		// Reset empty accumulators so float drift cannot build up over the
+		// lifetime of a long stream.
+		if c.nc == 0 {
+			c.fc = 0
+		}
+		if c.np == 0 {
+			c.fp = 0
+		}
+		if c.nc == 0 && c.np == 0 {
+			delete(l.cells, ck)
+			l.heap.Remove(ck)
+			continue
+		}
+		l.heap.Set(ck, e.cfg.Score(c.fc, c.fp))
+	}
+}
+
+// Best reports the cell with the maximum burst score across all grids.
+func (e *Engine) Best() core.Result {
+	var best core.Result
+	for li := range e.layers {
+		l := &e.layers[li]
+		ck, sc, ok := l.heap.Max()
+		if !ok || sc <= 0 || sc <= best.Score {
+			continue
+		}
+		best = e.resultOf(l, ck, sc)
+	}
+	return best
+}
+
+// BestK reports the current top-k regions (Algorithm 6 for the single grid,
+// Algorithm 7 for the multi-grid variant).
+func (e *Engine) BestK() []core.Result {
+	out := make([]core.Result, e.k)
+	if !e.MultiGrid() {
+		l := &e.layers[0]
+		top := e.popTop(l, e.k, e.merged[:0])
+		e.merged = top[:0]
+		copy(out, top)
+		return out
+	}
+	// Multi-grid: take the top-4k cells of each grid, merge, and greedily
+	// keep the best non-overlapping k.
+	e.merged = e.merged[:0]
+	for li := range e.layers {
+		e.merged = e.popTop(&e.layers[li], 4*e.k, e.merged)
+	}
+	sort.Slice(e.merged, func(i, j int) bool { return e.merged[i].Score > e.merged[j].Score })
+	n := 0
+	for _, r := range e.merged {
+		if n == e.k {
+			break
+		}
+		overlaps := false
+		for i := 0; i < n; i++ {
+			if out[i].Region.Overlaps(r.Region) {
+				overlaps = true
+				break
+			}
+		}
+		if !overlaps {
+			out[n] = r
+			n++
+		}
+	}
+	return out
+}
+
+// popTop removes up to k positive-score cells from the layer's heap in
+// descending order, restores them, and appends their results to dst.
+func (e *Engine) popTop(l *layer, k int, dst []core.Result) []core.Result {
+	e.popKeys = e.popKeys[:0]
+	e.popScores = e.popScores[:0]
+	taken := 0
+	for taken < k {
+		ck, sc, ok := l.heap.PopMax()
+		if !ok {
+			break
+		}
+		e.popKeys = append(e.popKeys, ck)
+		e.popScores = append(e.popScores, sc)
+		if sc <= 0 {
+			break
+		}
+		dst = append(dst, e.resultOf(l, ck, sc))
+		taken++
+	}
+	for i, ck := range e.popKeys {
+		l.heap.Set(ck, e.popScores[i])
+	}
+	return dst
+}
+
+func (e *Engine) resultOf(l *layer, ck grid.Cell, sc float64) core.Result {
+	c := l.cells[ck]
+	r := l.g.CellRect(ck)
+	return core.Result{
+		Point:  geom.Point{X: r.MaxX, Y: r.MaxY},
+		Region: r,
+		Score:  sc,
+		FC:     c.fc,
+		FP:     c.fp,
+		Found:  true,
+	}
+}

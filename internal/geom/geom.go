@@ -1,0 +1,98 @@
+// Package geom provides the small set of planar geometry primitives used by
+// the SURGE engines: points and axis-aligned rectangles with the half-open
+// coverage semantics fixed in DESIGN.md.
+//
+// Two rectangle interpretations appear throughout the code base:
+//
+//   - A *region* anchored at its bottom-left corner covers the half-open box
+//     [MinX, MaxX) x [MinY, MaxY). Regions partition the plane when laid out
+//     on a grid, which GAP-SURGE relies on.
+//   - A *coverage rectangle* of a rectangle object covers the half-open box
+//     (MinX, MaxX] x (MinY, MaxY]. With this choice the region whose
+//     top-right corner is p covers exactly the objects whose coverage
+//     rectangle covers p, making the SURGE-to-cSPOT reduction (Theorem 1 of
+//     the paper) exact rather than almost-everywhere.
+package geom
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Rect is an axis-aligned rectangle described by its extreme coordinates.
+// Whether the boundary belongs to the rectangle depends on the interpretation
+// (see the package comment); the predicates below make the choice explicit.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// NewRect returns the rectangle with the given bottom-left corner and size.
+func NewRect(x, y, w, h float64) Rect {
+	return Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}
+}
+
+// Width returns the x-extent of r.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the y-extent of r.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Empty reports whether r has no interior.
+func (r Rect) Empty() bool { return r.MaxX <= r.MinX || r.MaxY <= r.MinY }
+
+// ContainsCO reports whether p lies in r under closed-open (region)
+// semantics: MinX <= p.X < MaxX and MinY <= p.Y < MaxY.
+func (r Rect) ContainsCO(p Point) bool {
+	return r.MinX <= p.X && p.X < r.MaxX && r.MinY <= p.Y && p.Y < r.MaxY
+}
+
+// CoversOC reports whether p lies in r under open-closed (coverage)
+// semantics: MinX < p.X <= MaxX and MinY < p.Y <= MaxY.
+func (r Rect) CoversOC(p Point) bool {
+	return r.MinX < p.X && p.X <= r.MaxX && r.MinY < p.Y && p.Y <= r.MaxY
+}
+
+// Overlaps reports whether the interiors of r and o intersect. For two
+// half-open boxes of either orientation this is also exactly the condition
+// under which they share at least one common point.
+func (r Rect) Overlaps(o Rect) bool {
+	return r.MinX < o.MaxX && o.MinX < r.MaxX && r.MinY < o.MaxY && o.MinY < r.MaxY
+}
+
+// Intersect returns the intersection of the coordinate spans of r and o.
+// The result may be empty.
+func (r Rect) Intersect(o Rect) Rect {
+	return Rect{
+		MinX: maxf(r.MinX, o.MinX),
+		MinY: maxf(r.MinY, o.MinY),
+		MaxX: minf(r.MaxX, o.MaxX),
+		MaxY: minf(r.MaxY, o.MaxY),
+	}
+}
+
+// Union returns the smallest rectangle containing both r and o.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		MinX: minf(r.MinX, o.MinX),
+		MinY: minf(r.MinY, o.MinY),
+		MaxX: maxf(r.MaxX, o.MaxX),
+		MaxY: maxf(r.MaxY, o.MaxY),
+	}
+}
+
+// TopRight returns the top-right corner of r.
+func (r Rect) TopRight() Point { return Point{X: r.MaxX, Y: r.MaxY} }
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,174 @@
+package geom
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRect(t *testing.T) {
+	r := NewRect(1, 2, 3, 4)
+	if r.MinX != 1 || r.MinY != 2 || r.MaxX != 4 || r.MaxY != 6 {
+		t.Fatalf("NewRect = %+v", r)
+	}
+	if r.Width() != 3 || r.Height() != 4 {
+		t.Fatalf("size = %v x %v", r.Width(), r.Height())
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if NewRect(0, 0, 1, 1).Empty() {
+		t.Fatal("positive rect must not be empty")
+	}
+	if !NewRect(0, 0, 0, 1).Empty() || !NewRect(0, 0, 1, 0).Empty() {
+		t.Fatal("zero-extent rect must be empty")
+	}
+	if !(Rect{MinX: 1, MaxX: 0, MinY: 0, MaxY: 1}).Empty() {
+		t.Fatal("inverted rect must be empty")
+	}
+}
+
+func TestContainsCOBoundaries(t *testing.T) {
+	r := NewRect(0, 0, 2, 2)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},     // closed at min
+		{Point{2, 2}, false},    // open at max
+		{Point{2, 1}, false},    // open at max x
+		{Point{1, 2}, false},    // open at max y
+		{Point{1, 1}, true},     // interior
+		{Point{-0.1, 1}, false}, // outside
+	}
+	for _, c := range cases {
+		if got := r.ContainsCO(c.p); got != c.want {
+			t.Errorf("ContainsCO(%+v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestCoversOCBoundaries(t *testing.T) {
+	r := NewRect(0, 0, 2, 2)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, false}, // open at min
+		{Point{2, 2}, true},  // closed at max
+		{Point{0, 1}, false},
+		{Point{1, 0}, false},
+		{Point{2, 0.5}, true},
+		{Point{1, 1}, true},
+	}
+	for _, c := range cases {
+		if got := r.CoversOC(c.p); got != c.want {
+			t.Errorf("CoversOC(%+v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+// TestCoverageComplement: for a region and the coverage rect of the same
+// box, ContainsCO(p) of the region anchored at p-top-right corner duality.
+// Specifically: region [l,l+w) x [b,b+h) contains (x, y) iff the coverage
+// rect anchored at (x, y) covers the region's top-right corner.
+func TestRegionCoverageDuality(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	for trial := 0; trial < 2000; trial++ {
+		w := 0.5 + rng.Float64()
+		h := 0.5 + rng.Float64()
+		l := rng.Float64() * 4
+		b := rng.Float64() * 4
+		x := rng.Float64() * 6
+		y := rng.Float64() * 6
+		region := NewRect(l, b, w, h)
+		cover := NewRect(x, y, w, h)
+		corner := region.TopRight()
+		if region.ContainsCO(Point{x, y}) != cover.CoversOC(corner) {
+			t.Fatalf("duality violated: region=%+v obj=(%v,%v)", region, x, y)
+		}
+	}
+	// And exactly on the interesting boundaries:
+	region := NewRect(0, 0, 1, 1)
+	for _, c := range []struct {
+		x, y float64
+	}{{0, 0}, {1, 1}, {0.999999, 0}, {0, 0.999999}} {
+		cover := NewRect(c.x, c.y, 1, 1)
+		if region.ContainsCO(Point{c.x, c.y}) != cover.CoversOC(region.TopRight()) {
+			t.Fatalf("boundary duality violated at (%v,%v)", c.x, c.y)
+		}
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	if !a.Overlaps(NewRect(1, 1, 2, 2)) {
+		t.Fatal("overlapping rects")
+	}
+	if a.Overlaps(NewRect(2, 0, 1, 1)) {
+		t.Fatal("edge-touching rects do not overlap (no shared interior)")
+	}
+	if a.Overlaps(NewRect(2, 2, 1, 1)) {
+		t.Fatal("corner-touching rects do not overlap")
+	}
+	if a.Overlaps(NewRect(5, 5, 1, 1)) {
+		t.Fatal("disjoint rects")
+	}
+}
+
+func TestOverlapsSymmetric(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh float64) bool {
+		a := NewRect(ax, ay, abs(aw), abs(ah))
+		b := NewRect(bx, by, abs(bw), abs(bh))
+		return a.Overlaps(b) == b.Overlaps(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	a := NewRect(0, 0, 3, 3)
+	b := NewRect(2, 1, 3, 3)
+	i := a.Intersect(b)
+	if i.MinX != 2 || i.MinY != 1 || i.MaxX != 3 || i.MaxY != 3 {
+		t.Fatalf("intersect = %+v", i)
+	}
+	u := a.Union(b)
+	if u.MinX != 0 || u.MinY != 0 || u.MaxX != 5 || u.MaxY != 4 {
+		t.Fatalf("union = %+v", u)
+	}
+	if !a.Intersect(NewRect(10, 10, 1, 1)).Empty() {
+		t.Fatal("disjoint intersection must be empty")
+	}
+}
+
+// TestOverlapIffSharedPoint: two coverage boxes overlap iff some lattice of
+// sample points is covered by both (probabilistic check of the claim in the
+// Overlaps doc).
+func TestOverlapIffSharedPoint(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	for trial := 0; trial < 500; trial++ {
+		a := NewRect(rng.Float64()*3, rng.Float64()*3, 0.5+rng.Float64(), 0.5+rng.Float64())
+		b := NewRect(rng.Float64()*3, rng.Float64()*3, 0.5+rng.Float64(), 0.5+rng.Float64())
+		if a.Overlaps(b) {
+			// The intersection box must be non-empty, and its top-right
+			// corner is covered (OC) by both.
+			i := a.Intersect(b)
+			if i.Empty() {
+				t.Fatalf("overlapping rects with empty intersection: %+v %+v", a, b)
+			}
+			p := i.TopRight()
+			if !a.CoversOC(p) || !b.CoversOC(p) {
+				t.Fatalf("shared corner %+v not covered by both %+v %+v", p, a, b)
+			}
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,89 @@
+// Package grid implements the regular grids used by the SURGE engines.
+//
+// The exact engine (Cell-CSPOT, Section IV-C of the paper) uses a grid whose
+// cells have exactly the query-rectangle size, so every rectangle object
+// overlaps at most four cells (Lemma 1). GAP-SURGE (Section V-A) uses the
+// same grid with each cell acting as a candidate region, and MGAP-SURGE
+// (Section V-B) adds the three half-cell-shifted grids. The adapted aG2
+// baseline uses a coarser grid whose cells are a multiple of the query size.
+//
+// A cell (i, j) of grid g covers the half-open box
+// [OffX+i*CW, OffX+(i+1)*CW) x [OffY+j*CH, OffY+(j+1)*CH), so the cells
+// partition the plane and every object belongs to exactly one cell.
+package grid
+
+import (
+	"math"
+
+	"surge/internal/geom"
+)
+
+// Cell identifies a grid cell by its column and row index.
+type Cell struct {
+	I, J int
+}
+
+// Grid is a regular grid with cell size CW x CH, whose lines are offset from
+// the origin by (OffX, OffY).
+type Grid struct {
+	CW, CH     float64
+	OffX, OffY float64
+}
+
+// Aligned returns the origin-aligned grid with cell size w x h (the paper's
+// Definition 6 grid, "Grid 1").
+func Aligned(w, h float64) Grid { return Grid{CW: w, CH: h} }
+
+// Shifted returns the grid with cell size w x h shifted by (fx*w, fy*h).
+// Shifted(w, h, 0.5, 0), Shifted(w, h, 0, 0.5) and Shifted(w, h, 0.5, 0.5)
+// are the paper's Grids 2-4.
+func Shifted(w, h, fx, fy float64) Grid {
+	return Grid{CW: w, CH: h, OffX: fx * w, OffY: fy * h}
+}
+
+// FourGrids returns the four grids of the MGAP-SURGE algorithm.
+func FourGrids(w, h float64) [4]Grid {
+	return [4]Grid{
+		Shifted(w, h, 0, 0),
+		Shifted(w, h, 0.5, 0),
+		Shifted(w, h, 0, 0.5),
+		Shifted(w, h, 0.5, 0.5),
+	}
+}
+
+// CellOf returns the cell containing the point (x, y) under the closed-open
+// partition.
+func (g Grid) CellOf(x, y float64) Cell {
+	return Cell{
+		I: int(math.Floor((x - g.OffX) / g.CW)),
+		J: int(math.Floor((y - g.OffY) / g.CH)),
+	}
+}
+
+// CellRect returns the region of cell c under closed-open semantics.
+func (g Grid) CellRect(c Cell) geom.Rect {
+	x := g.OffX + float64(c.I)*g.CW
+	y := g.OffY + float64(c.J)*g.CH
+	return geom.NewRect(x, y, g.CW, g.CH)
+}
+
+// CoverCells appends to dst the cells whose region intersects the coverage
+// rectangle (x, x+w] x (y, y+h] of a rectangle object anchored at (x, y),
+// and returns the extended slice. When w <= CW and h <= CH (the Cell-CSPOT
+// configuration) this is always exactly four cells (Lemma 1).
+func (g Grid) CoverCells(dst []Cell, x, y, w, h float64) []Cell {
+	// Columns run from the one containing the open left edge to the one
+	// containing the closed right endpoint x+w; analogously for rows. The
+	// left column floor((x-OffX)/CW) always intersects because the coverage
+	// interval (x, x+w] starts strictly inside or at the start of it.
+	i0 := int(math.Floor((x - g.OffX) / g.CW))
+	i1 := int(math.Floor((x + w - g.OffX) / g.CW))
+	j0 := int(math.Floor((y - g.OffY) / g.CH))
+	j1 := int(math.Floor((y + h - g.OffY) / g.CH))
+	for i := i0; i <= i1; i++ {
+		for j := j0; j <= j1; j++ {
+			dst = append(dst, Cell{I: i, J: j})
+		}
+	}
+	return dst
+}

@@ -1,0 +1,123 @@
+// Package iheap provides an indexed max-heap: a priority queue over
+// comparable keys whose priorities can be updated or removed in O(log n).
+// The detection engines use it to maintain cells (or rectangle nodes)
+// ordered by their burst-score upper bounds.
+package iheap
+
+// Heap is an indexed max-heap. The zero value is not usable; use New.
+type Heap[K comparable] struct {
+	keys []K
+	prio []float64
+	pos  map[K]int
+}
+
+// New returns an empty heap.
+func New[K comparable]() *Heap[K] {
+	return &Heap[K]{pos: make(map[K]int)}
+}
+
+// Len returns the number of keys in the heap.
+func (h *Heap[K]) Len() int { return len(h.keys) }
+
+// Set inserts k with priority p, or updates k's priority if present.
+func (h *Heap[K]) Set(k K, p float64) {
+	if i, ok := h.pos[k]; ok {
+		old := h.prio[i]
+		h.prio[i] = p
+		if p > old {
+			h.up(i)
+		} else if p < old {
+			h.down(i)
+		}
+		return
+	}
+	h.keys = append(h.keys, k)
+	h.prio = append(h.prio, p)
+	i := len(h.keys) - 1
+	h.pos[k] = i
+	h.up(i)
+}
+
+// Get returns the priority of k and whether it is present.
+func (h *Heap[K]) Get(k K) (float64, bool) {
+	i, ok := h.pos[k]
+	if !ok {
+		return 0, false
+	}
+	return h.prio[i], true
+}
+
+// Remove deletes k from the heap if present.
+func (h *Heap[K]) Remove(k K) {
+	i, ok := h.pos[k]
+	if !ok {
+		return
+	}
+	last := len(h.keys) - 1
+	h.swap(i, last)
+	h.keys = h.keys[:last]
+	h.prio = h.prio[:last]
+	delete(h.pos, k)
+	if i < last {
+		h.up(i)
+		h.down(i)
+	}
+}
+
+// Max returns the key with the highest priority without removing it.
+func (h *Heap[K]) Max() (K, float64, bool) {
+	if len(h.keys) == 0 {
+		var zero K
+		return zero, 0, false
+	}
+	return h.keys[0], h.prio[0], true
+}
+
+// PopMax removes and returns the key with the highest priority.
+func (h *Heap[K]) PopMax() (K, float64, bool) {
+	k, p, ok := h.Max()
+	if ok {
+		h.Remove(k)
+	}
+	return k, p, ok
+}
+
+func (h *Heap[K]) swap(i, j int) {
+	if i == j {
+		return
+	}
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
+	h.pos[h.keys[i]] = i
+	h.pos[h.keys[j]] = j
+}
+
+func (h *Heap[K]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prio[parent] >= h.prio[i] {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap[K]) down(i int) {
+	n := len(h.keys)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.prio[l] > h.prio[best] {
+			best = l
+		}
+		if r < n && h.prio[r] > h.prio[best] {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}

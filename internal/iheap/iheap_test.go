@@ -1,0 +1,153 @@
+package iheap
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	h := New[string]()
+	if h.Len() != 0 {
+		t.Fatal("new heap must be empty")
+	}
+	if _, _, ok := h.Max(); ok {
+		t.Fatal("Max on empty heap must report !ok")
+	}
+	if _, _, ok := h.PopMax(); ok {
+		t.Fatal("PopMax on empty heap must report !ok")
+	}
+	h.Remove("missing") // must not panic
+}
+
+func TestBasicOrdering(t *testing.T) {
+	h := New[int]()
+	h.Set(1, 5)
+	h.Set(2, 9)
+	h.Set(3, 1)
+	if k, p, _ := h.Max(); k != 2 || p != 9 {
+		t.Fatalf("max = %v/%v, want 2/9", k, p)
+	}
+	h.Set(3, 100) // increase-key
+	if k, _, _ := h.Max(); k != 3 {
+		t.Fatalf("max = %v after increase, want 3", k)
+	}
+	h.Set(3, 0) // decrease-key
+	if k, _, _ := h.Max(); k != 2 {
+		t.Fatalf("max = %v after decrease, want 2", k)
+	}
+	h.Remove(2)
+	if k, _, _ := h.Max(); k != 1 {
+		t.Fatalf("max = %v after removal, want 1", k)
+	}
+}
+
+func TestGet(t *testing.T) {
+	h := New[int]()
+	h.Set(7, 3.5)
+	if p, ok := h.Get(7); !ok || p != 3.5 {
+		t.Fatalf("Get = %v/%v", p, ok)
+	}
+	if _, ok := h.Get(8); ok {
+		t.Fatal("Get of absent key must report !ok")
+	}
+}
+
+// model is a trivially correct reference implementation.
+type model map[int]float64
+
+func (m model) max() (int, float64, bool) {
+	best, bp, ok := 0, 0.0, false
+	for k, p := range m {
+		if !ok || p > bp || (p == bp && k < best) {
+			best, bp, ok = k, p, true
+		}
+	}
+	return best, bp, ok
+}
+
+// TestAgainstModel runs randomized operations against the map-based model.
+func TestAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 50; trial++ {
+		h := New[int]()
+		m := model{}
+		for op := 0; op < 500; op++ {
+			k := rng.IntN(40)
+			switch rng.IntN(4) {
+			case 0, 1: // set
+				p := float64(rng.IntN(1000)) // integer priorities avoid ties ambiguity? ties allowed, compare priorities only
+				h.Set(k, p)
+				m[k] = p
+			case 2: // remove
+				h.Remove(k)
+				delete(m, k)
+			case 3: // pop
+				if gk, gp, ok := h.PopMax(); ok {
+					if mp, ok2 := m[gk]; !ok2 || mp != gp {
+						t.Fatalf("popped %v/%v not in model (%v/%v)", gk, gp, mp, ok2)
+					}
+					if _, wp, _ := m.max(); wp != gp {
+						t.Fatalf("popped priority %v but model max is %v", gp, wp)
+					}
+					delete(m, gk)
+				} else if len(m) != 0 {
+					t.Fatal("heap empty but model is not")
+				}
+			}
+			if h.Len() != len(m) {
+				t.Fatalf("len mismatch: heap %d model %d", h.Len(), len(m))
+			}
+			if _, gp, gok := h.Max(); gok {
+				if _, wp, _ := m.max(); wp != gp {
+					t.Fatalf("max priority mismatch: heap %v model %v", gp, wp)
+				}
+			}
+		}
+	}
+}
+
+// TestDrainSorted pops everything and checks the priorities come out in
+// non-increasing order (heap property), via testing/quick.
+func TestDrainSorted(t *testing.T) {
+	f := func(prios []float64) bool {
+		h := New[int]()
+		for i, p := range prios {
+			h.Set(i, p)
+		}
+		last := 0.0
+		first := true
+		for {
+			_, p, ok := h.PopMax()
+			if !ok {
+				break
+			}
+			if !first && p > last {
+				return false
+			}
+			last, first = p, false
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetIdempotent: setting the same priority twice must not corrupt the
+// position map.
+func TestSetIdempotent(t *testing.T) {
+	h := New[int]()
+	for i := 0; i < 20; i++ {
+		h.Set(i, float64(i))
+	}
+	for i := 0; i < 20; i++ {
+		h.Set(i, float64(i)) // no-op updates
+	}
+	for want := 19; want >= 0; want-- {
+		k, _, ok := h.PopMax()
+		if !ok || k != want {
+			t.Fatalf("PopMax = %v/%v, want %d", k, ok, want)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"surge/internal/core"
+)
+
+func TestDatasetEnvelopes(t *testing.T) {
+	// Table I reproduction: each generator must stay inside its published
+	// coordinate envelope and hit its published arrival rate within a few
+	// percent.
+	for _, d := range Datasets(1) {
+		objs := d.Generate(50000)
+		if len(objs) != 50000 {
+			t.Fatalf("%s: generated %d objects", d.Name, len(objs))
+		}
+		st := Summarize(objs)
+		if st.XMin < d.XMin || st.XMax >= d.XMax || st.YMin < d.YMin || st.YMax >= d.YMax {
+			t.Fatalf("%s: objects escape the envelope: %+v vs dataset %+v", d.Name, st, d)
+		}
+		if rel := math.Abs(st.RatePerHour-d.RatePerHour) / d.RatePerHour; rel > 0.05 {
+			t.Fatalf("%s: arrival rate %v deviates %.1f%% from %v", d.Name, st.RatePerHour, rel*100, d.RatePerHour)
+		}
+		if st.MeanWeight < 45 || st.MeanWeight > 56 {
+			t.Fatalf("%s: mean weight %v, want ~50.5 (uniform [1,100])", d.Name, st.MeanWeight)
+		}
+	}
+}
+
+func TestGenerateOrderedAndDeterministic(t *testing.T) {
+	d := TaxiLike(7)
+	a := d.Generate(5000)
+	b := d.Generate(5000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generation is not deterministic at index %d", i)
+		}
+		if i > 0 && a[i].T < a[i-1].T {
+			t.Fatalf("timestamps out of order at %d", i)
+		}
+		if a[i].Weight < 1 || a[i].Weight > 100 {
+			t.Fatalf("weight %v out of [1,100]", a[i].Weight)
+		}
+	}
+	// A different seed must change the stream.
+	c := TaxiLike(8).Generate(5000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestHotspotSkew(t *testing.T) {
+	// The Taxi generator concentrates mass near the city centre: the centre
+	// square must be far denser than a same-sized peripheral square.
+	d := TaxiLike(3)
+	objs := d.Generate(20000)
+	centre, periphery := 0, 0
+	for _, o := range objs {
+		if math.Abs(o.X-12.48) < 0.05 && math.Abs(o.Y-41.89) < 0.05 {
+			centre++
+		}
+		if math.Abs(o.X-12.1) < 0.05 && math.Abs(o.Y-42.1) < 0.05 {
+			periphery++
+		}
+	}
+	if centre < 10*(periphery+1) {
+		t.Fatalf("no hotspot skew: centre=%d periphery=%d", centre, periphery)
+	}
+}
+
+func TestStretch(t *testing.T) {
+	d := UKLike(2)
+	objs := d.Generate(20000)
+	for _, rate := range []float64{2e6, 10e6} {
+		st := Stretch(objs, rate)
+		if len(st) != len(objs) {
+			t.Fatalf("stretch changed the object count")
+		}
+		s := Summarize(st)
+		wantPerHour := rate / 24
+		if rel := math.Abs(s.RatePerHour-wantPerHour) / wantPerHour; rel > 0.01 {
+			t.Fatalf("stretched rate %v, want %v", s.RatePerHour, wantPerHour)
+		}
+		// Order preserved, positions and weights untouched.
+		for i := range st {
+			if i > 0 && st[i].T < st[i-1].T {
+				t.Fatalf("stretched stream out of order at %d", i)
+			}
+			if st[i].X != objs[i].X || st[i].Weight != objs[i].Weight {
+				t.Fatalf("stretch altered object %d", i)
+			}
+		}
+	}
+}
+
+func TestStretchEdgeCases(t *testing.T) {
+	if out := Stretch(nil, 1e6); out != nil {
+		t.Fatal("stretching an empty stream must return nil")
+	}
+	same := []core.Object{{T: 5}, {T: 5}}
+	out := Stretch(same, 1e6)
+	if len(out) != 2 {
+		t.Fatal("zero-span stream must be copied through")
+	}
+}
+
+func TestInjectBurst(t *testing.T) {
+	d := TaxiLike(5)
+	objs := d.Generate(10000)
+	b := Burst{CX: 12.7, CY: 42.0, SX: 0.003, SY: 0.003, Start: 600, Duration: 120, Count: 500, Seed: 1}
+	merged := Inject(objs, b)
+	if len(merged) != len(objs)+b.Count {
+		t.Fatalf("merged length %d, want %d", len(merged), len(objs)+b.Count)
+	}
+	inWindow := 0
+	for i, o := range merged {
+		if i > 0 && o.T < merged[i-1].T {
+			t.Fatalf("merged stream out of order at %d", i)
+		}
+		if o.T >= b.Start && o.T <= b.Start+b.Duration &&
+			math.Abs(o.X-b.CX) < 0.02 && math.Abs(o.Y-b.CY) < 0.02 {
+			inWindow++
+		}
+	}
+	if inWindow < 450 {
+		t.Fatalf("only %d burst objects near the burst centre/time", inWindow)
+	}
+}
+
+func TestQuerySize(t *testing.T) {
+	d := USLike(1)
+	if w := d.QueryWidth(); math.Abs(w-(150.4-100.1)/1000) > 1e-12 {
+		t.Fatalf("query width %v", w)
+	}
+	if h := d.QueryHeight(); math.Abs(h-(118.8-40.2)/1000) > 1e-12 {
+		t.Fatalf("query height %v", h)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}

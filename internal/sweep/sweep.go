@@ -1,0 +1,302 @@
+// Package sweep implements SL-CSPOT (Algorithm 1 of the paper): given a
+// snapshot of rectangle objects tagged with the window they belong to, find a
+// point with the maximum burst score, optionally restricted to a search
+// domain.
+//
+// # Exactness
+//
+// Coverage rectangles use open-closed semantics (geom.Rect.CoversOC), under
+// which the coverage set of any point p equals the coverage set of the open
+// arrangement face immediately to its left and below (DESIGN.md Section 1).
+// The sweep therefore only needs to evaluate the open faces: the x-axis is
+// cut into open intervals by the vertical edges of the rectangles (the
+// paper's "2n+1 intervals") and a horizontal line sweeps the distinct edge
+// y-coordinates top-down. Each face between two consecutive sweep positions
+// is represented by an interior point ("a point beneath the interval,
+// between the sweep-line and the next horizontal edge"), whose true burst
+// score equals the face score exactly.
+//
+// Removing a past-window rectangle can *increase* scores, so faces are
+// evaluated only after every edge event at a given y has been applied;
+// evaluating mid-update could report a transient coverage set that no real
+// point has.
+package sweep
+
+import (
+	"math"
+	"sort"
+
+	"surge/internal/core"
+	"surge/internal/geom"
+)
+
+// Entry is one rectangle object in a snapshot: the anchor (bottom-left
+// corner, i.e. the originating object's location), its weight, and whether it
+// currently belongs to the past window.
+type Entry struct {
+	X, Y   float64
+	Weight float64
+	Past   bool
+}
+
+// Result is the outcome of a snapshot search. Point is an interior
+// representative of the best open face; FC and FP are the normalised window
+// scores of that point and Score the burst score. Found is false when the
+// snapshot admits no point with positive score.
+type Result struct {
+	Point  geom.Point
+	FC, FP float64
+	Score  float64
+	Found  bool
+}
+
+// Searcher performs snapshot searches. It is reusable to amortise its
+// scratch allocations; a zero Searcher is ready to use. Searcher is not safe
+// for concurrent use.
+type Searcher struct {
+	xs      []float64
+	fc, fp  []float64
+	events  []edgeEvent
+	touched []int32
+	mark    []int32
+	epoch   int32
+}
+
+type edgeEvent struct {
+	y      float64
+	lo, hi int32 // affected interval index range [lo, hi)
+	wc, wp float64
+}
+
+// Search finds a point with the maximum burst score among the open faces of
+// the arrangement of entries restricted to the open domain
+// (domain.MinX, domain.MaxX) x (domain.MinY, domain.MaxY). The returned
+// point is interior to the best face, so its burst score is exact even under
+// the global coverage semantics (with entries outside the domain's reach
+// excluded by the caller).
+func (s *Searcher) Search(cfg core.Config, entries []Entry, domain geom.Rect) Result {
+	if len(entries) == 0 || domain.Empty() {
+		return Result{}
+	}
+
+	// Collect the x-boundaries: domain clamps plus every vertical edge
+	// strictly inside the domain.
+	s.xs = s.xs[:0]
+	s.xs = append(s.xs, domain.MinX, domain.MaxX)
+	for _, e := range entries {
+		if x := e.X; x > domain.MinX && x < domain.MaxX {
+			s.xs = append(s.xs, x)
+		}
+		if x := e.X + cfg.Width; x > domain.MinX && x < domain.MaxX {
+			s.xs = append(s.xs, x)
+		}
+	}
+	sort.Float64s(s.xs)
+	s.xs = dedupe(s.xs)
+	nIv := len(s.xs) - 1 // number of open intervals
+	if nIv <= 0 {
+		return Result{}
+	}
+	s.fc = grow(s.fc, nIv)
+	s.fp = grow(s.fp, nIv)
+	s.mark = grow32(s.mark, nIv)
+	s.epoch++
+
+	// Build edge events. Each entry contributes an add event at its (clipped)
+	// top edge and a remove event at its (clipped) bottom edge. An entry
+	// whose y-span does not intersect the open domain, or whose x-span covers
+	// no interval, is skipped.
+	s.events = s.events[:0]
+	wc := 1 / cfg.WC
+	wp := 1 / cfg.WP
+	for _, e := range entries {
+		top := e.Y + cfg.Height
+		bot := e.Y
+		if top > domain.MaxY {
+			top = domain.MaxY
+		}
+		if bot < domain.MinY {
+			bot = domain.MinY
+		}
+		if top <= domain.MinY || bot >= domain.MaxY || top <= bot {
+			continue
+		}
+		lo, hi := s.intervalRange(e.X, e.X+cfg.Width)
+		if lo >= hi {
+			continue
+		}
+		var dc, dp float64
+		if e.Past {
+			dp = e.Weight * wp
+		} else {
+			dc = e.Weight * wc
+		}
+		s.events = append(s.events,
+			edgeEvent{y: top, lo: lo, hi: hi, wc: dc, wp: dp},
+			edgeEvent{y: bot, lo: lo, hi: hi, wc: -dc, wp: -dp},
+		)
+	}
+	if len(s.events) == 0 {
+		return Result{}
+	}
+	sort.Slice(s.events, func(i, j int) bool { return s.events[i].y > s.events[j].y })
+
+	best := Result{Score: math.Inf(-1)}
+	for k := 0; k < len(s.events); {
+		y := s.events[k].y
+		// Apply every event at this sweep position, remembering which
+		// intervals changed.
+		s.touched = s.touched[:0]
+		for ; k < len(s.events) && s.events[k].y == y; k++ {
+			ev := s.events[k]
+			for i := ev.lo; i < ev.hi; i++ {
+				s.fc[i] += ev.wc
+				s.fp[i] += ev.wp
+				if s.mark[i] != s.epoch {
+					s.mark[i] = s.epoch
+					s.touched = append(s.touched, i)
+				}
+			}
+		}
+		if y <= domain.MinY {
+			break // no band below the domain
+		}
+		// The band below y extends down to the next event position (or the
+		// domain floor). The representative point must be *interior* to the
+		// face — the paper's "point beneath I, between the sweep-line and
+		// the next horizontal edge" — because on a face boundary the true
+		// coverage may include rectangles outside this search's entry set.
+		yLo := domain.MinY
+		if k < len(s.events) && s.events[k].y > yLo {
+			yLo = s.events[k].y
+		}
+		midY := interior(yLo, y)
+		// Evaluate the affected intervals for this band. Untouched intervals
+		// keep the score they had in the band above, which was already
+		// compared.
+		for _, i := range s.touched {
+			s.mark[i] = s.epoch - 1 // allow re-touching at the next y
+			sc := cfg.Score(s.fc[i], s.fp[i])
+			if sc > best.Score {
+				best = Result{
+					Point: geom.Point{X: interior(s.xs[i], s.xs[i+1]), Y: midY},
+					FC:    s.fc[i],
+					FP:    s.fp[i],
+					Score: sc,
+					Found: true,
+				}
+			}
+		}
+	}
+	if !best.Found || best.Score <= 0 {
+		return Result{}
+	}
+	return best
+}
+
+// intervalRange returns the half-open range [lo, hi) of interval indices
+// fully covered by the coverage span (x1, x2].
+func (s *Searcher) intervalRange(x1, x2 float64) (int32, int32) {
+	// Interval i is (xs[i], xs[i+1]); it is covered iff x1 <= xs[i] and
+	// xs[i+1] <= x2.
+	lo := sort.SearchFloat64s(s.xs, x1)
+	hi := sort.SearchFloat64s(s.xs, x2)
+	if hi == len(s.xs) || s.xs[hi] != x2 {
+		// x2 is beyond the last boundary <= x2; intervals end strictly
+		// before it, so the last covered interval is hi-1 ... but only if
+		// xs[hi-1+1] <= x2, i.e. boundary hi-1 terminates an interval within
+		// x2. hi currently points at the first boundary > x2.
+		hi--
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.xs)-1 {
+		hi = len(s.xs) - 1
+	}
+	if lo > hi {
+		return 0, 0
+	}
+	return int32(lo), int32(hi)
+}
+
+// SearchAll runs Search over a domain large enough to contain every coverage
+// rectangle in the snapshot, so it returns the global bursty point (the
+// oracle used by tests and the approximation-ratio experiments).
+func (s *Searcher) SearchAll(cfg core.Config, entries []Entry) Result {
+	if len(entries) == 0 {
+		return Result{}
+	}
+	d := geom.Rect{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+	for _, e := range entries {
+		if e.X < d.MinX {
+			d.MinX = e.X
+		}
+		if e.Y < d.MinY {
+			d.MinY = e.Y
+		}
+		if e.X+cfg.Width > d.MaxX {
+			d.MaxX = e.X + cfg.Width
+		}
+		if e.Y+cfg.Height > d.MaxY {
+			d.MaxY = e.Y + cfg.Height
+		}
+	}
+	// Expand so that every edge is strictly inside the domain and the clamps
+	// never coincide with an edge.
+	pad := 1 + 1e-9*(math.Abs(d.MaxX)+math.Abs(d.MaxY))
+	d.MinX -= pad
+	d.MinY -= pad
+	d.MaxX += pad
+	d.MaxY += pad
+	return s.Search(cfg, entries, d)
+}
+
+// interior returns a point strictly inside the open interval (lo, hi) when
+// one is representable, preferring the midpoint. For degenerate one-ULP
+// intervals it falls back to hi.
+func interior(lo, hi float64) float64 {
+	m := lo + (hi-lo)/2
+	if m > lo && m < hi {
+		return m
+	}
+	if n := math.Nextafter(lo, hi); n > lo && n < hi {
+		return n
+	}
+	return hi
+}
+
+func dedupe(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		s = make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func grow32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		s = make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}

@@ -1,0 +1,44 @@
+package sweep
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"surge/internal/geom"
+)
+
+// BenchmarkSearchAll measures the raw snapshot search (Algorithm 1) at the
+// snapshot sizes Cell-CSPOT typically feeds it.
+func BenchmarkSearchAll(b *testing.B) {
+	for _, n := range []int{8, 32, 128, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(1, uint64(n)))
+			c := cfg(1, 1, 1, 1, 0.5)
+			entries := randomEntries(rng, n, 3, 0.4)
+			var s Searcher
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := s.SearchAll(c, entries)
+				if n > 0 && !res.Found {
+					b.Fatal("expected a result")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearchClipped measures the domain-restricted variant used for
+// per-cell searches.
+func BenchmarkSearchClipped(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2, 3))
+	c := cfg(1, 1, 1, 1, 0.5)
+	entries := randomEntries(rng, 64, 2, 0.4)
+	dom := geom.NewRect(0.5, 0.5, 1, 1)
+	var s Searcher
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Search(c, entries, dom)
+	}
+}

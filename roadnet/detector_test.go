@@ -1,0 +1,259 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestNewDetectorValidation(t *testing.T) {
+	g := Grid(3, 3, 1)
+	good := Options{Radius: 2, Window: 10, Alpha: 0.5}
+	if _, err := NewDetector(g, good); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Options{
+		{Radius: 0, Window: 10, Alpha: 0.5},
+		{Radius: math.Inf(1), Window: 10, Alpha: 0.5},
+		{Radius: 2, Window: 0, Alpha: 0.5},
+		{Radius: 2, Window: 10, PastWindow: -1, Alpha: 0.5},
+		{Radius: 2, Window: 10, Alpha: 1},
+		{Radius: 2, Window: 10, Alpha: -0.2},
+	}
+	for i, o := range bad {
+		if _, err := NewDetector(g, o); err == nil {
+			t.Errorf("bad options %d accepted: %+v", i, o)
+		}
+	}
+	if _, err := NewDetector(nil, good); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := NewDetector(NewGraph(), good); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+// oracle recomputes every ball score from scratch from a live-object list.
+type roracle struct {
+	g      *Graph
+	r      float64
+	wc, wp float64
+	alpha  float64
+	live   map[uint64]struct {
+		v    VertexID
+		w    float64
+		past bool
+	}
+}
+
+func (o *roracle) bestScore() float64 {
+	// Accumulate per-vertex f values, then per-centre ball sums.
+	n := o.g.VertexCount()
+	fc := make([]float64, n)
+	fp := make([]float64, n)
+	for _, l := range o.live {
+		if l.past {
+			fp[l.v] += l.w / o.wp
+		} else {
+			fc[l.v] += l.w / o.wc
+		}
+	}
+	best := 0.0
+	for c := 0; c < n; c++ {
+		var bc, bp float64
+		o.g.Ball(VertexID(c), o.r, func(v VertexID, _ float64) {
+			bc += fc[v]
+			bp += fp[v]
+		})
+		diff := bc - bp
+		if diff < 0 {
+			diff = 0
+		}
+		if s := o.alpha*diff + (1-o.alpha)*bc; s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// TestDetectorMatchesOracle: the incremental ball maintenance equals a
+// from-scratch recomputation after every pushed object.
+func TestDetectorMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	for _, tc := range []struct {
+		alpha  float64
+		wc, wp float64
+		radius float64
+	}{
+		{0.5, 20, 20, 2.5},
+		{0.9, 10, 30, 1.0},
+		{0, 15, 15, 3.5},
+	} {
+		g := Grid(7, 7, 1)
+		det, err := NewDetector(g, Options{Radius: tc.radius, Window: tc.wc, PastWindow: tc.wp, Alpha: tc.alpha})
+		if err != nil {
+			t.Fatal(err)
+		}
+		orc := &roracle{g: g, r: tc.radius, wc: tc.wc, wp: tc.wp, alpha: tc.alpha,
+			live: map[uint64]struct {
+				v    VertexID
+				w    float64
+				past bool
+			}{}}
+		tm := 0.0
+		var nextID uint64
+		timeOf := map[uint64]float64{}
+		for i := 0; i < 400; i++ {
+			tm += rng.ExpFloat64() * 0.4
+			o := Object{
+				X:      rng.Float64() * 6,
+				Y:      rng.Float64() * 6,
+				Weight: 1 + rng.Float64()*9,
+				Time:   tm,
+			}
+			res, err := det.Push(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Mirror the window transitions in the oracle's live set: the
+			// object enters current, objects older than |Wc| are past, and
+			// anything older than |Wc|+|Wp| expires.
+			nextID++
+			v, _ := g.Nearest(o.X, o.Y)
+			orc.live[nextID] = struct {
+				v    VertexID
+				w    float64
+				past bool
+			}{v, o.Weight, false}
+			timeOf[nextID] = tm
+			for id := range orc.live {
+				age := tm - timeOf[id]
+				switch {
+				case age >= tc.wc+tc.wp:
+					delete(orc.live, id)
+					delete(timeOf, id)
+				case age >= tc.wc:
+					l := orc.live[id]
+					l.past = true
+					orc.live[id] = l
+				}
+			}
+			want := orc.bestScore()
+			got := 0.0
+			if res.Found {
+				got = res.Score
+			}
+			if math.Abs(got-want) > 1e-9*(1+want) {
+				t.Fatalf("alpha=%v push %d: detector %v oracle %v", tc.alpha, i, got, want)
+			}
+		}
+	}
+}
+
+// TestBurstOnNetwork: a burst of requests at one intersection must move the
+// bursty ball centre onto (or adjacent to) that intersection.
+func TestBurstOnNetwork(t *testing.T) {
+	g := Grid(10, 10, 1)
+	det, err := NewDetector(g, Options{Radius: 1.5, Window: 10, Alpha: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	tm := 0.0
+	target := VertexID(5*10 + 5) // intersection (5,5)
+	tx, ty := g.Position(target)
+	for i := 0; i < 800; i++ {
+		tm += 0.05
+		o := Object{X: rng.Float64() * 9, Y: rng.Float64() * 9, Weight: 1, Time: tm}
+		if tm > 20 && tm < 30 && i%2 == 0 {
+			o.X = tx + rng.Float64()*0.2 - 0.1
+			o.Y = ty + rng.Float64()*0.2 - 0.1
+			o.Weight = 20
+		}
+		res, err := det.Push(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tm > 22 && tm < 30 {
+			if !res.Found {
+				t.Fatal("burst not detected")
+			}
+			// The ball centre must be within the radius of the burst vertex.
+			d := math.Hypot(res.X-tx, res.Y-ty)
+			if d > 1.5 {
+				t.Fatalf("t=%v: ball centre (%v,%v) too far from burst (%v)", tm, res.X, res.Y, d)
+			}
+		}
+	}
+	// After everything expires, the detector goes quiet.
+	res, err := det.AdvanceTo(1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatalf("expired content still reported: %+v", res)
+	}
+	if det.Live() != 0 {
+		t.Fatalf("live = %d, want 0", det.Live())
+	}
+}
+
+func TestSnapLimit(t *testing.T) {
+	g := Grid(2, 2, 1)
+	det, _ := NewDetector(g, Options{Radius: 1, Window: 10, Alpha: 0.5, SnapLimit: 0.5})
+	// An object far from every vertex is skipped; the clock still advances.
+	res, err := det.Push(Object{X: 100, Y: 100, Weight: 50, Time: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatalf("far object was snapped: %+v", res)
+	}
+	if det.Now() != 1 {
+		t.Fatalf("clock did not advance: %v", det.Now())
+	}
+	res, err = det.Push(Object{X: 0.1, Y: 0.1, Weight: 1, Time: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Center != 0 {
+		t.Fatalf("near object not detected at vertex 0: %+v", res)
+	}
+}
+
+func TestBallScoreAccessor(t *testing.T) {
+	g := Grid(3, 3, 1)
+	det, _ := NewDetector(g, Options{Radius: 1, Window: 10, Alpha: 0})
+	if det.BallScore(0) != 0 || det.BallScore(-1) != 0 || det.BallScore(99) != 0 {
+		t.Fatal("empty/out-of-range ball scores must be 0")
+	}
+	if _, err := det.Push(Object{X: 0, Y: 0, Weight: 10, Time: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 0's ball (radius 1) includes vertices 0, 1, 3; all three have
+	// the object's weight in reach of their centre? No: the object snapped
+	// to vertex 0, so every centre within distance 1 of vertex 0 sees it.
+	want := 10.0 / 10.0
+	for _, v := range []VertexID{0, 1, 3} {
+		if s := det.BallScore(v); math.Abs(s-want) > 1e-12 {
+			t.Fatalf("ball %d score = %v, want %v", v, s, want)
+		}
+	}
+	if s := det.BallScore(8); s != 0 {
+		t.Fatalf("distant ball score = %v, want 0", s)
+	}
+	if det.Events() == 0 {
+		t.Fatal("events not counted")
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	g := Grid(2, 2, 1)
+	det, _ := NewDetector(g, Options{Radius: 1, Window: 10, Alpha: 0.5})
+	if _, err := det.Push(Object{X: 0, Y: 0, Weight: 1, Time: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Push(Object{X: 0, Y: 0, Weight: 1, Time: 1}); err == nil {
+		t.Fatal("out-of-order push accepted")
+	}
+}

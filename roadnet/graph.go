@@ -1,0 +1,278 @@
+// Package roadnet extends SURGE to road networks — the future-work
+// direction stated in the paper's conclusion ("we intend to explore the
+// SURGE problem in the context of road network").
+//
+// In the Euclidean problem a candidate region is an axis-aligned rectangle;
+// on a road network the natural analogue is a *network ball*: the set of
+// vertices within network distance r of a centre vertex. Objects (ride
+// requests, incidents, check-ins) snap to their nearest vertex, and the
+// burst score of a ball is the usual
+//
+//	S(B) = alpha*max(fc(B) - fp(B), 0) + (1-alpha)*fc(B)
+//
+// over the two sliding windows, with fc/fp the window-normalised weight of
+// the objects snapped inside the ball. The Detector continuously reports
+// the centre vertex whose ball has the maximum burst score.
+//
+// The exact maintenance mirrors GAP-SURGE's granularity argument: every
+// event changes the score of exactly the balls whose centre lies within r
+// of the event's vertex, so a bounded Dijkstra from that vertex updates all
+// affected centres and an indexed heap keeps the argmax available in O(1).
+package roadnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"surge/internal/geom"
+	"surge/internal/iheap"
+)
+
+// VertexID identifies a vertex of a Graph.
+type VertexID int32
+
+// HalfEdge is one directed half of an undirected road segment.
+type HalfEdge struct {
+	To     VertexID
+	Length float64
+}
+
+// Graph is an undirected road network with embedded vertex coordinates.
+// Vertices are added once; edges carry positive lengths (travel distance).
+// The zero value is an empty graph ready for use.
+type Graph struct {
+	xs, ys []float64
+	adj    [][]HalfEdge
+
+	// nearest-vertex bucket index, built lazily
+	index     map[[2]int][]VertexID
+	indexCell float64
+
+	// bounded-Dijkstra scratch
+	dist  []float64
+	epoch []int64
+	round int64
+	pq    *iheap.Heap[VertexID]
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// AddVertex adds a vertex at (x, y) and returns its ID.
+func (g *Graph) AddVertex(x, y float64) VertexID {
+	g.xs = append(g.xs, x)
+	g.ys = append(g.ys, y)
+	g.adj = append(g.adj, nil)
+	g.index = nil // invalidate
+	return VertexID(len(g.xs) - 1)
+}
+
+// VertexCount returns the number of vertices.
+func (g *Graph) VertexCount() int { return len(g.xs) }
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int {
+	n := 0
+	for _, a := range g.adj {
+		n += len(a)
+	}
+	return n / 2
+}
+
+// Position returns the coordinates of v.
+func (g *Graph) Position(v VertexID) (x, y float64) { return g.xs[v], g.ys[v] }
+
+// Neighbors returns v's adjacency list. The returned slice must not be
+// modified.
+func (g *Graph) Neighbors(v VertexID) []HalfEdge { return g.adj[v] }
+
+// AddEdge connects a and b with an undirected edge. A non-positive length
+// means "use the Euclidean distance between the endpoints".
+func (g *Graph) AddEdge(a, b VertexID, length float64) error {
+	if a == b {
+		return errors.New("roadnet: self-loop edges are not allowed")
+	}
+	if int(a) >= len(g.xs) || int(b) >= len(g.xs) || a < 0 || b < 0 {
+		return fmt.Errorf("roadnet: edge (%d,%d) references unknown vertices", a, b)
+	}
+	if length <= 0 {
+		dx, dy := g.xs[a]-g.xs[b], g.ys[a]-g.ys[b]
+		length = math.Hypot(dx, dy)
+	}
+	if length <= 0 || math.IsNaN(length) || math.IsInf(length, 0) {
+		return fmt.Errorf("roadnet: edge (%d,%d) has invalid length", a, b)
+	}
+	g.adj[a] = append(g.adj[a], HalfEdge{To: b, Length: length})
+	g.adj[b] = append(g.adj[b], HalfEdge{To: a, Length: length})
+	return nil
+}
+
+// Grid builds a Manhattan-style nx x ny grid network with the given block
+// spacing — a convenient synthetic city for experiments and tests.
+func Grid(nx, ny int, spacing float64) *Graph {
+	g := NewGraph()
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			g.AddVertex(float64(i)*spacing, float64(j)*spacing)
+		}
+	}
+	id := func(i, j int) VertexID { return VertexID(j*nx + i) }
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			if i+1 < nx {
+				_ = g.AddEdge(id(i, j), id(i+1, j), spacing)
+			}
+			if j+1 < ny {
+				_ = g.AddEdge(id(i, j), id(i, j+1), spacing)
+			}
+		}
+	}
+	return g
+}
+
+// Nearest returns the vertex closest (in Euclidean distance) to (x, y),
+// used to snap objects onto the network. It reports false only for an
+// empty graph.
+func (g *Graph) Nearest(x, y float64) (VertexID, bool) {
+	n := len(g.xs)
+	if n == 0 {
+		return 0, false
+	}
+	if g.index == nil {
+		g.buildIndex()
+	}
+	cx := int(math.Floor(x / g.indexCell))
+	cy := int(math.Floor(y / g.indexCell))
+	best := VertexID(-1)
+	bestD := math.Inf(1)
+	// Search outward ring by ring. A vertex in ring m is at Euclidean
+	// distance at least (m-1)*cell from the query point, so once the current
+	// best beats that lower bound no farther ring can improve it.
+	for ring := 0; ; ring++ {
+		if best >= 0 && float64(ring-1)*g.indexCell > bestD {
+			break
+		}
+		for dx := -ring; dx <= ring; dx++ {
+			for dy := -ring; dy <= ring; dy++ {
+				if maxAbs(dx, dy) != ring {
+					continue // only the ring boundary
+				}
+				for _, v := range g.index[[2]int{cx + dx, cy + dy}] {
+					d := math.Hypot(g.xs[v]-x, g.ys[v]-y)
+					if d < bestD {
+						bestD, best = d, v
+					}
+				}
+			}
+		}
+	}
+	return best, best >= 0
+}
+
+func maxAbs(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (g *Graph) buildIndex() {
+	// Cell size: spread the vertices ~1 per cell on average.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for i := range g.xs {
+		minX = math.Min(minX, g.xs[i])
+		maxX = math.Max(maxX, g.xs[i])
+		minY = math.Min(minY, g.ys[i])
+		maxY = math.Max(maxY, g.ys[i])
+	}
+	area := (maxX - minX) * (maxY - minY)
+	cell := 1.0
+	if area > 0 && len(g.xs) > 0 {
+		cell = math.Sqrt(area / float64(len(g.xs)))
+	}
+	if cell <= 0 || math.IsNaN(cell) || math.IsInf(cell, 0) {
+		cell = 1
+	}
+	g.indexCell = cell
+	g.index = make(map[[2]int][]VertexID, len(g.xs))
+	for i := range g.xs {
+		key := [2]int{int(math.Floor(g.xs[i] / cell)), int(math.Floor(g.ys[i] / cell))}
+		g.index[key] = append(g.index[key], VertexID(i))
+	}
+}
+
+// Ball runs a bounded Dijkstra from src and calls visit for every vertex
+// within network distance r (including src at distance 0), in
+// non-decreasing distance order.
+func (g *Graph) Ball(src VertexID, r float64, visit func(v VertexID, dist float64)) {
+	n := len(g.xs)
+	if int(src) >= n || src < 0 {
+		return
+	}
+	if len(g.dist) < n {
+		g.dist = make([]float64, n)
+		g.epoch = make([]int64, n)
+	}
+	if g.pq == nil {
+		g.pq = iheap.New[VertexID]()
+	}
+	g.round++
+	round := g.round
+	// iheap is a max-heap; store negated distances to pop the minimum.
+	g.dist[src] = 0
+	g.epoch[src] = round
+	g.pq.Set(src, 0)
+	for {
+		v, negd, ok := g.pq.PopMax()
+		if !ok {
+			break
+		}
+		d := -negd
+		if g.epoch[v] == round && d > g.dist[v] {
+			continue // stale entry
+		}
+		visit(v, d)
+		for _, e := range g.adj[v] {
+			nd := d + e.Length
+			if nd > r {
+				continue
+			}
+			if g.epoch[e.To] != round || nd < g.dist[e.To] {
+				g.epoch[e.To] = round
+				g.dist[e.To] = nd
+				g.pq.Set(e.To, -nd)
+			}
+		}
+	}
+}
+
+// Distances computes single-source shortest-path distances from src to all
+// vertices (math.Inf for unreachable ones). Exposed for tests and analysis.
+func (g *Graph) Distances(src VertexID) []float64 {
+	out := make([]float64, len(g.xs))
+	for i := range out {
+		out[i] = math.Inf(1)
+	}
+	g.Ball(src, math.Inf(1), func(v VertexID, d float64) { out[v] = d })
+	return out
+}
+
+// bounds of the embedded vertices (used by tests and the example).
+func (g *Graph) Bounds() geom.Rect {
+	r := geom.Rect{MinX: math.Inf(1), MinY: math.Inf(1), MaxX: math.Inf(-1), MaxY: math.Inf(-1)}
+	for i := range g.xs {
+		r.MinX = math.Min(r.MinX, g.xs[i])
+		r.MaxX = math.Max(r.MaxX, g.xs[i])
+		r.MinY = math.Min(r.MinY, g.ys[i])
+		r.MaxY = math.Max(r.MaxY, g.ys[i])
+	}
+	return r
+}

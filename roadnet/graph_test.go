@@ -1,0 +1,228 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestGridConstruction(t *testing.T) {
+	g := Grid(4, 3, 2.0)
+	if g.VertexCount() != 12 {
+		t.Fatalf("vertices = %d, want 12", g.VertexCount())
+	}
+	// Edges: horizontal 3*3=9, vertical 4*2=8.
+	if g.EdgeCount() != 17 {
+		t.Fatalf("edges = %d, want 17", g.EdgeCount())
+	}
+	x, y := g.Position(5) // (i=1, j=1)
+	if x != 2 || y != 2 {
+		t.Fatalf("vertex 5 at (%v,%v), want (2,2)", x, y)
+	}
+	b := g.Bounds()
+	if b.MinX != 0 || b.MinY != 0 || b.MaxX != 6 || b.MaxY != 4 {
+		t.Fatalf("bounds = %+v", b)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := NewGraph()
+	a := g.AddVertex(0, 0)
+	b := g.AddVertex(3, 4)
+	if err := g.AddEdge(a, a, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := g.AddEdge(a, 99, 1); err == nil {
+		t.Fatal("unknown vertex accepted")
+	}
+	if err := g.AddEdge(a, b, 0); err != nil { // 0 => euclidean = 5
+		t.Fatal(err)
+	}
+	if got := g.Neighbors(a)[0].Length; got != 5 {
+		t.Fatalf("euclidean default length = %v, want 5", got)
+	}
+	// Coincident vertices with default length would be a zero-length edge.
+	c := g.AddVertex(0, 0)
+	if err := g.AddEdge(a, c, 0); err == nil {
+		t.Fatal("zero-length edge accepted")
+	}
+	if err := g.AddEdge(a, c, math.NaN()); err == nil {
+		t.Fatal("NaN length accepted")
+	}
+}
+
+// floydWarshall is the brute-force all-pairs reference.
+func floydWarshall(g *Graph) [][]float64 {
+	n := g.VertexCount()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = math.Inf(1)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, e := range g.Neighbors(VertexID(v)) {
+			if e.Length < d[v][e.To] {
+				d[v][e.To] = e.Length
+				d[e.To][v] = e.Length
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if s := d[i][k] + d[k][j]; s < d[i][j] {
+					d[i][j] = s
+				}
+			}
+		}
+	}
+	return d
+}
+
+func randomGraph(rng *rand.Rand, n int, extraEdges int) *Graph {
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddVertex(rng.Float64()*10, rng.Float64()*10)
+	}
+	// Spanning chain keeps it connected, then random chords.
+	for i := 1; i < n; i++ {
+		_ = g.AddEdge(VertexID(i-1), VertexID(i), 0.1+rng.Float64())
+	}
+	for i := 0; i < extraEdges; i++ {
+		a := VertexID(rng.IntN(n))
+		b := VertexID(rng.IntN(n))
+		if a != b {
+			_ = g.AddEdge(a, b, 0.1+rng.Float64()*2)
+		}
+	}
+	return g
+}
+
+// TestDijkstraMatchesFloydWarshall validates the bounded Dijkstra on random
+// graphs, including parallel edges.
+func TestDijkstraMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.IntN(25)
+		g := randomGraph(rng, n, rng.IntN(2*n))
+		want := floydWarshall(g)
+		for src := 0; src < n; src++ {
+			got := g.Distances(VertexID(src))
+			for v := 0; v < n; v++ {
+				if math.Abs(got[v]-want[src][v]) > 1e-9 && !(math.IsInf(got[v], 1) && math.IsInf(want[src][v], 1)) {
+					t.Fatalf("trial %d: dist(%d,%d) = %v, want %v", trial, src, v, got[v], want[src][v])
+				}
+			}
+		}
+	}
+}
+
+// TestBallBounded: Ball visits exactly the vertices within r, in
+// non-decreasing distance order.
+func TestBallBounded(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.IntN(20)
+		g := randomGraph(rng, n, rng.IntN(n))
+		all := floydWarshall(g)
+		src := VertexID(rng.IntN(n))
+		r := rng.Float64() * 3
+		visited := map[VertexID]float64{}
+		last := -1.0
+		g.Ball(src, r, func(v VertexID, d float64) {
+			if d < last {
+				t.Fatalf("ball visits out of order: %v after %v", d, last)
+			}
+			last = d
+			if _, dup := visited[v]; dup {
+				t.Fatalf("vertex %d visited twice", v)
+			}
+			visited[v] = d
+		})
+		for v := 0; v < n; v++ {
+			d := all[src][v]
+			got, ok := visited[VertexID(v)]
+			if (d <= r) != ok {
+				t.Fatalf("trial %d: vertex %d dist %v r %v: visited=%v", trial, v, d, r, ok)
+			}
+			if ok && math.Abs(got-d) > 1e-9 {
+				t.Fatalf("trial %d: ball distance %v, want %v", trial, got, d)
+			}
+		}
+	}
+}
+
+// TestBallScratchReuse: repeated Ball calls on the same graph must be
+// independent.
+func TestBallScratchReuse(t *testing.T) {
+	g := Grid(6, 6, 1)
+	count := func(src VertexID, r float64) int {
+		n := 0
+		g.Ball(src, r, func(VertexID, float64) { n++ })
+		return n
+	}
+	a := count(0, 2)
+	for i := 0; i < 10; i++ {
+		count(VertexID(i%36), float64(i%4))
+	}
+	if b := count(0, 2); a != b {
+		t.Fatalf("ball size changed on reuse: %d vs %d", a, b)
+	}
+	// Grid ball of radius 2 from a corner: vertices with manhattan dist <= 2
+	// inside the grid = 1 + 2 + 3 = 6.
+	if a != 6 {
+		t.Fatalf("corner ball size = %d, want 6", a)
+	}
+}
+
+// TestNearest: brute-force comparison on random point sets and queries.
+func TestNearest(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	for trial := 0; trial < 30; trial++ {
+		g := NewGraph()
+		n := 1 + rng.IntN(60)
+		for i := 0; i < n; i++ {
+			g.AddVertex(rng.Float64()*20-10, rng.Float64()*20-10)
+		}
+		for q := 0; q < 50; q++ {
+			x := rng.Float64()*30 - 15 // queries also outside the hull
+			y := rng.Float64()*30 - 15
+			got, ok := g.Nearest(x, y)
+			if !ok {
+				t.Fatal("nearest not found on non-empty graph")
+			}
+			gx, gy := g.Position(got)
+			gd := math.Hypot(gx-x, gy-y)
+			for v := 0; v < n; v++ {
+				vx, vy := g.Position(VertexID(v))
+				if d := math.Hypot(vx-x, vy-y); d < gd-1e-12 {
+					t.Fatalf("trial %d: nearest(%v,%v) = %d at %v, but %d at %v",
+						trial, x, y, got, gd, v, d)
+				}
+			}
+		}
+	}
+}
+
+func TestNearestEmptyGraph(t *testing.T) {
+	g := NewGraph()
+	if _, ok := g.Nearest(0, 0); ok {
+		t.Fatal("empty graph must report not found")
+	}
+}
+
+func TestNearestAfterVertexAddition(t *testing.T) {
+	g := NewGraph()
+	g.AddVertex(0, 0)
+	if v, _ := g.Nearest(5, 5); v != 0 {
+		t.Fatal("single vertex")
+	}
+	b := g.AddVertex(5, 5) // index must rebuild
+	if v, _ := g.Nearest(5, 5); v != b {
+		t.Fatal("index not invalidated by AddVertex")
+	}
+}

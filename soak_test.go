@@ -1,0 +1,127 @@
+package surge_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"surge"
+)
+
+// TestSoakLongStreamDrift runs a long stream (tens of thousands of events,
+// many full window turnovers) through the incremental detectors and checks
+// them against the from-scratch oracle at sampled points. It exists to catch
+// floating-point drift and stale-cache bugs that only accumulate over time.
+func TestSoakLongStreamDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	o := surge.Options{Width: 1, Height: 1, Window: 12, Alpha: 0.6}
+	exact, _ := surge.New(surge.CellCSPOT, o)
+	ag2, _ := surge.New(surge.AG2, o)
+	grid, _ := surge.New(surge.GridApprox, o)
+	oracle, _ := surge.New(surge.Oracle, o)
+
+	rng := rand.New(rand.NewPCG(1234, 5678))
+	tm := 0.0
+	for i := 0; i < 6000; i++ {
+		tm += rng.ExpFloat64() * 0.4
+		obj := surge.Object{
+			X:      rng.Float64() * 8,
+			Y:      rng.Float64() * 8,
+			Weight: 1 + rng.Float64()*99,
+			Time:   tm,
+		}
+		// Periodic regime shifts: hotspots appear and vanish so cells fill
+		// and empty repeatedly (the drift-reset paths get exercised).
+		if phase := int(tm/40) % 3; phase == 1 {
+			obj.X = 2 + rng.Float64()
+			obj.Y = 2 + rng.Float64()
+		} else if phase == 2 {
+			obj.X = 6 + rng.Float64()*0.5
+			obj.Y = 1 + rng.Float64()*0.5
+		}
+		er, err := exact.Push(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ar, _ := ag2.Push(obj)
+		gr, _ := grid.Push(obj)
+		wr := oracleAt(t, oracle, obj)
+		if i%97 != 0 {
+			continue
+		}
+		es, as, ws := er.Score, ar.Score, wr.Score
+		if !er.Found {
+			es = 0
+		}
+		if !ar.Found {
+			as = 0
+		}
+		if !wr.Found {
+			ws = 0
+		}
+		if !almost(es, ws) {
+			t.Fatalf("event %d (t=%.1f): CCS drifted: %v vs oracle %v", i, tm, es, ws)
+		}
+		if !almost(as, ws) {
+			t.Fatalf("event %d (t=%.1f): aG2 drifted: %v vs oracle %v", i, tm, as, ws)
+		}
+		if wr.Found && gr.Score < (1-o.Alpha)/4*ws-1e-9 {
+			t.Fatalf("event %d: GAPS below guarantee after long run: %v vs %v", i, gr.Score, ws)
+		}
+	}
+}
+
+func oracleAt(t *testing.T, oracle *surge.Detector, obj surge.Object) surge.Result {
+	t.Helper()
+	res, err := oracle.Push(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSoakTopK does the same for the top-k machinery, whose level
+// bookkeeping is the most intricate state in the repository.
+func TestSoakTopK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	o := surge.Options{Width: 1, Height: 1, Window: 15, Alpha: 0.5}
+	kccs, _ := surge.NewTopK(surge.CellCSPOT, o, 4)
+	naive, _ := surge.NewTopK(surge.Oracle, o, 4)
+	rng := rand.New(rand.NewPCG(77, 88))
+	tm := 0.0
+	for i := 0; i < 1200; i++ {
+		tm += rng.ExpFloat64() * 0.3
+		obj := surge.Object{
+			X:      rng.Float64() * 4, // small area: heavy overlap between ranks
+			Y:      rng.Float64() * 4,
+			Weight: 1 + rng.Float64()*99,
+			Time:   tm,
+		}
+		a, err := kccs.Push(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := naiveAt(t, naive, obj)
+		if i%31 != 0 {
+			continue
+		}
+		for r := 0; r < 4; r++ {
+			as, bs := a[r].Score, b[r].Score
+			if !almost(as, bs) {
+				t.Fatalf("event %d rank %d: kCCS %v vs naive %v", i, r, as, bs)
+			}
+		}
+	}
+}
+
+func naiveAt(t *testing.T, naive *surge.TopKDetector, obj surge.Object) []surge.Result {
+	t.Helper()
+	res, err := naive.Push(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}

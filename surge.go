@@ -1,0 +1,303 @@
+package surge
+
+import (
+	"fmt"
+
+	"surge/internal/ag2"
+	"surge/internal/cellcspot"
+	"surge/internal/core"
+	"surge/internal/gapsurge"
+	"surge/internal/geom"
+	"surge/internal/topk"
+	"surge/internal/window"
+)
+
+// Algorithm selects a detection engine.
+type Algorithm int
+
+const (
+	// CellCSPOT is the paper's exact solution (Algorithm 2, "CCS").
+	CellCSPOT Algorithm = iota
+	// StaticBound is the exact B-CCS ablation: static upper bounds only.
+	StaticBound
+	// Baseline is the exact Base ablation: no upper bounds.
+	Baseline
+	// AG2 is the adapted continuous-MaxRS baseline of Amagata & Hara.
+	AG2
+	// GridApprox is GAP-SURGE (Algorithm 3), the O(log n) grid approximation.
+	GridApprox
+	// MultiGrid is MGAP-SURGE (Algorithm 5), the best of four shifted grids.
+	MultiGrid
+	// Oracle recomputes the bursty point from scratch on every query. It is
+	// exact and simple but slow; it serves as the reference answer.
+	Oracle
+)
+
+// String returns the paper's abbreviation for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case CellCSPOT:
+		return "CCS"
+	case StaticBound:
+		return "B-CCS"
+	case Baseline:
+		return "Base"
+	case AG2:
+		return "aG2"
+	case GridApprox:
+		return "GAPS"
+	case MultiGrid:
+		return "MGAPS"
+	case Oracle:
+		return "Oracle"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Region is an axis-aligned rectangle; a detected region covers the
+// half-open box [MinX, MaxX) x [MinY, MaxY).
+type Region struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Contains reports whether the region covers the point (x, y).
+func (r Region) Contains(x, y float64) bool {
+	return r.MinX <= x && x < r.MaxX && r.MinY <= y && y < r.MaxY
+}
+
+// Overlaps reports whether two regions share interior points.
+func (r Region) Overlaps(o Region) bool {
+	return r.MinX < o.MaxX && o.MinX < r.MaxX && r.MinY < o.MaxY && o.MinY < r.MaxY
+}
+
+// Object is one stream element: a weighted point created at Time.
+type Object struct {
+	X, Y   float64
+	Weight float64
+	Time   float64
+}
+
+// Result is a detected bursty region. When Found is false the windows
+// contain nothing that yields a positive burst score and the other fields
+// are zero.
+type Result struct {
+	Region Region
+	Score  float64
+	Found  bool
+}
+
+// Stats exposes the engines' instrumentation counters (see core.Stats).
+type Stats struct {
+	Events       uint64
+	Searches     uint64
+	SearchEvents uint64
+	SweepEntries uint64
+	CellsTouched uint64
+}
+
+// SearchRatio is the fraction of events that triggered at least one snapshot
+// search — the quantity of the paper's Table II.
+func (s Stats) SearchRatio() float64 {
+	if s.Events == 0 {
+		return 0
+	}
+	return float64(s.SearchEvents) / float64(s.Events)
+}
+
+// Options configures a detector.
+type Options struct {
+	// Width and Height are the query-rectangle extents (the paper's a x b).
+	Width, Height float64
+	// Window is the length of the current window |Wc|.
+	Window float64
+	// PastWindow is the length of the past window |Wp|; 0 means equal to
+	// Window (the paper's default).
+	PastWindow float64
+	// Alpha balances burstiness against significance; it must lie in [0, 1).
+	Alpha float64
+	// Area optionally restricts detection to a preferred area A; objects
+	// outside are ignored.
+	Area *Region
+	// AG2Gamma is the aG2 grid-cell multiplier (default 10, as in the
+	// paper's experiments). Ignored by the other algorithms.
+	AG2Gamma float64
+	// CountWindows switches from the paper's time-based sliding windows to
+	// count-based ones: Window and PastWindow are then object counts (the
+	// current window holds the last Window objects), and scores are
+	// normalised by those counts. Object times are still required to be
+	// non-decreasing.
+	CountWindows bool
+}
+
+func (o Options) config() (core.Config, error) {
+	wp := o.PastWindow
+	if wp == 0 {
+		wp = o.Window
+	}
+	cfg := core.Config{
+		Width:  o.Width,
+		Height: o.Height,
+		WC:     o.Window,
+		WP:     wp,
+		Alpha:  o.Alpha,
+	}
+	if o.Area != nil {
+		cfg.Area = &geom.Rect{MinX: o.Area.MinX, MinY: o.Area.MinY, MaxX: o.Area.MaxX, MaxY: o.Area.MaxY}
+	}
+	return cfg, cfg.Validate()
+}
+
+type statser interface{ Stats() core.Stats }
+
+// Detector continuously maintains the bursty region over a stream of
+// objects. It is not safe for concurrent use.
+type Detector struct {
+	alg      Algorithm
+	cfg      core.Config
+	win      window.Source
+	eng      core.Engine
+	cur      core.Result
+	liveObjs map[uint64]core.Object // live set for Checkpoint
+	ag2Gamma float64
+	counted  bool
+}
+
+// New returns a detector running the given algorithm.
+func New(alg Algorithm, opt Options) (*Detector, error) {
+	cfg, err := opt.config()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := newEngine(alg, cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	win, err := newSource(opt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	gamma := opt.AG2Gamma
+	if gamma == 0 {
+		gamma = 10
+	}
+	return &Detector{
+		alg: alg, cfg: cfg, win: win, eng: eng,
+		liveObjs: make(map[uint64]core.Object),
+		ag2Gamma: gamma,
+		counted:  opt.CountWindows,
+	}, nil
+}
+
+// newSource builds the time- or count-based window event generator.
+func newSource(opt Options, cfg core.Config) (window.Source, error) {
+	if !opt.CountWindows {
+		return window.New(cfg.WC, cfg.WP)
+	}
+	nc, np := int(cfg.WC), int(cfg.WP)
+	if float64(nc) != cfg.WC || float64(np) != cfg.WP {
+		return nil, fmt.Errorf("surge: count-based windows need integer counts, got %v/%v", cfg.WC, cfg.WP)
+	}
+	return window.NewCount(nc, np)
+}
+
+func newEngine(alg Algorithm, cfg core.Config, opt Options) (core.Engine, error) {
+	switch alg {
+	case CellCSPOT:
+		return cellcspot.New(cfg, cellcspot.ModeCCS)
+	case StaticBound:
+		return cellcspot.New(cfg, cellcspot.ModeStatic)
+	case Baseline:
+		return cellcspot.New(cfg, cellcspot.ModeBase)
+	case AG2:
+		gamma := opt.AG2Gamma
+		if gamma == 0 {
+			gamma = 10
+		}
+		return ag2.New(cfg, gamma)
+	case GridApprox:
+		return gapsurge.New(cfg, false)
+	case MultiGrid:
+		return gapsurge.New(cfg, true)
+	case Oracle:
+		return topk.NewOracle(cfg)
+	default:
+		return nil, fmt.Errorf("surge: unknown algorithm %v", alg)
+	}
+}
+
+// Algorithm returns the detector's algorithm.
+func (d *Detector) Algorithm() Algorithm { return d.alg }
+
+// Push feeds one object into the stream, processes every window transition
+// it makes due, and returns the refreshed bursty region. Objects must arrive
+// in non-decreasing time order.
+func (d *Detector) Push(o Object) (Result, error) {
+	_, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.step)
+	if err != nil {
+		return Result{}, err
+	}
+	return toResult(d.cur), nil
+}
+
+// AdvanceTo moves the stream clock to t without a new arrival (processing
+// any Grown/Expired transitions that become due) and returns the refreshed
+// bursty region.
+func (d *Detector) AdvanceTo(t float64) (Result, error) {
+	if err := d.win.Advance(t, d.step); err != nil {
+		return Result{}, err
+	}
+	d.cur = d.eng.Best()
+	return toResult(d.cur), nil
+}
+
+// step processes one window event and refreshes the current answer, matching
+// the paper's continuous semantics (one detection per rectangle message).
+func (d *Detector) step(ev core.Event) {
+	d.trackLive(ev)
+	d.eng.Process(ev)
+	d.cur = d.eng.Best()
+}
+
+// Best returns the current bursty region.
+func (d *Detector) Best() Result {
+	d.cur = d.eng.Best()
+	return toResult(d.cur)
+}
+
+// Now returns the current stream time.
+func (d *Detector) Now() float64 { return d.win.Now() }
+
+// Live returns the number of objects currently inside the two windows.
+func (d *Detector) Live() int { return d.win.Live() }
+
+// Stats returns instrumentation counters for engines that expose them.
+func (d *Detector) Stats() Stats {
+	if s, ok := d.eng.(statser); ok {
+		st := s.Stats()
+		return Stats{
+			Events:       st.Events,
+			Searches:     st.Searches,
+			SearchEvents: st.SearchEvents,
+			SweepEntries: st.SweepEntries,
+			CellsTouched: st.CellsTouched,
+		}
+	}
+	return Stats{}
+}
+
+func toResult(r core.Result) Result {
+	if !r.Found {
+		return Result{}
+	}
+	return Result{
+		Region: Region{MinX: r.Region.MinX, MinY: r.Region.MinY, MaxX: r.Region.MaxX, MaxY: r.Region.MaxY},
+		Score:  r.Score,
+		Found:  true,
+	}
+}

@@ -1,0 +1,264 @@
+package surge_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"surge"
+)
+
+func almost(a, b float64) bool {
+	d := math.Abs(a - b)
+	m := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return d <= 1e-9*m
+}
+
+func opts() surge.Options {
+	return surge.Options{Width: 1, Height: 1, Window: 50, Alpha: 0.5}
+}
+
+func randomObjects(seed uint64, n int, span float64) []surge.Object {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	objs := make([]surge.Object, n)
+	t := 0.0
+	for i := range objs {
+		t += rng.ExpFloat64()
+		objs[i] = surge.Object{
+			X:      rng.Float64() * span,
+			Y:      rng.Float64() * span,
+			Weight: 1 + rng.Float64()*99,
+			Time:   t,
+		}
+	}
+	return objs
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := surge.New(surge.CellCSPOT, surge.Options{}); err == nil {
+		t.Fatal("zero options must be rejected")
+	}
+	if _, err := surge.New(surge.Algorithm(99), opts()); err == nil {
+		t.Fatal("unknown algorithm must be rejected")
+	}
+	if _, err := surge.New(surge.CellCSPOT, surge.Options{Width: 1, Height: 1, Window: 1, Alpha: 1}); err == nil {
+		t.Fatal("alpha = 1 must be rejected")
+	}
+}
+
+func TestAllAlgorithmsConstruct(t *testing.T) {
+	algs := []surge.Algorithm{
+		surge.CellCSPOT, surge.StaticBound, surge.Baseline,
+		surge.AG2, surge.GridApprox, surge.MultiGrid, surge.Oracle,
+	}
+	for _, a := range algs {
+		d, err := surge.New(a, opts())
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if d.Algorithm() != a {
+			t.Fatalf("algorithm mismatch: %v vs %v", d.Algorithm(), a)
+		}
+		if res := d.Best(); res.Found {
+			t.Fatalf("%v: fresh detector found %+v", a, res)
+		}
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	want := map[surge.Algorithm]string{
+		surge.CellCSPOT:   "CCS",
+		surge.StaticBound: "B-CCS",
+		surge.Baseline:    "Base",
+		surge.AG2:         "aG2",
+		surge.GridApprox:  "GAPS",
+		surge.MultiGrid:   "MGAPS",
+		surge.Oracle:      "Oracle",
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), s)
+		}
+	}
+}
+
+// TestExactDetectorsAgree drives all exact algorithms through the public API
+// and checks they report identical scores at every arrival.
+func TestExactDetectorsAgree(t *testing.T) {
+	algs := []surge.Algorithm{surge.CellCSPOT, surge.StaticBound, surge.Baseline, surge.AG2, surge.Oracle}
+	dets := make([]*surge.Detector, len(algs))
+	for i, a := range algs {
+		var err error
+		dets[i], err = surge.New(a, opts())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, o := range randomObjects(3, 800, 6) {
+		var ref surge.Result
+		for i, d := range dets {
+			res, err := d.Push(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				ref = res
+				continue
+			}
+			rs, gs := ref.Score, res.Score
+			if !almost(rs, gs) {
+				t.Fatalf("t=%v: %v score %v != %v score %v", o.Time, algs[i], gs, algs[0], rs)
+			}
+		}
+	}
+}
+
+func TestApproxWithinGuarantee(t *testing.T) {
+	alpha := 0.5
+	o := opts()
+	o.Alpha = alpha
+	exact, _ := surge.New(surge.CellCSPOT, o)
+	grid, _ := surge.New(surge.GridApprox, o)
+	multi, _ := surge.New(surge.MultiGrid, o)
+	for _, obj := range randomObjects(9, 800, 6) {
+		er, _ := exact.Push(obj)
+		gr, _ := grid.Push(obj)
+		mr, _ := multi.Push(obj)
+		if !er.Found {
+			continue
+		}
+		bound := (1 - alpha) / 4 * er.Score
+		if gr.Score < bound-1e-9 || mr.Score < bound-1e-9 {
+			t.Fatalf("approximation guarantee violated: exact=%v grid=%v multi=%v",
+				er.Score, gr.Score, mr.Score)
+		}
+	}
+}
+
+func TestPushOutOfOrder(t *testing.T) {
+	d, _ := surge.New(surge.GridApprox, opts())
+	if _, err := d.Push(surge.Object{X: 0, Y: 0, Weight: 1, Time: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Push(surge.Object{X: 0, Y: 0, Weight: 1, Time: 5}); err == nil {
+		t.Fatal("out-of-order push must fail")
+	}
+}
+
+func TestAdvanceToExpiresBurst(t *testing.T) {
+	d, _ := surge.New(surge.CellCSPOT, opts())
+	for i := 0; i < 10; i++ {
+		if _, err := d.Push(surge.Object{X: 1, Y: 1, Weight: 10, Time: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := d.Best()
+	if !res.Found {
+		t.Fatal("burst not detected")
+	}
+	// After both windows pass, the detector must go quiet.
+	res, err := d.AdvanceTo(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatalf("expired content still reported: %+v", res)
+	}
+	if d.Live() != 0 {
+		t.Fatalf("live = %d, want 0", d.Live())
+	}
+}
+
+func TestRegionContainsDetectedObjects(t *testing.T) {
+	d, _ := surge.New(surge.CellCSPOT, opts())
+	res, err := d.Push(surge.Object{X: 3.5, Y: 4.5, Weight: 7, Time: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("single object must produce a bursty region")
+	}
+	if !res.Region.Contains(3.5, 4.5) {
+		t.Fatalf("region %+v does not contain the only object", res.Region)
+	}
+	want := 0.5*(7.0/50) + 0.5*(7.0/50)
+	if !almost(res.Score, want) {
+		t.Fatalf("score = %v, want %v", res.Score, want)
+	}
+}
+
+func TestAreaOption(t *testing.T) {
+	o := opts()
+	o.Area = &surge.Region{MinX: 0, MinY: 0, MaxX: 5, MaxY: 5}
+	d, _ := surge.New(surge.CellCSPOT, o)
+	// An enormous burst outside the area must be invisible.
+	res, err := d.Push(surge.Object{X: 50, Y: 50, Weight: 1000, Time: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatalf("object outside the preferred area was detected: %+v", res)
+	}
+	res, _ = d.Push(surge.Object{X: 2, Y: 2, Weight: 1, Time: 2})
+	if !res.Found || !res.Region.Contains(2, 2) {
+		t.Fatalf("in-area object not detected: %+v", res)
+	}
+}
+
+func TestPastWindowOption(t *testing.T) {
+	o := opts()
+	o.Window = 10
+	o.PastWindow = 30
+	d, err := surge.New(surge.Oracle, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Object at t=0: current until 10, past until 40.
+	if _, err := d.Push(surge.Object{X: 0, Y: 0, Weight: 30, Time: 0}); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := d.AdvanceTo(5)
+	if !res.Found {
+		t.Fatal("object should be current at t=5")
+	}
+	res, _ = d.AdvanceTo(15) // now past-only: score 0
+	if res.Found {
+		t.Fatalf("past-only content must score 0, got %+v", res)
+	}
+	// New object at 20 at exactly the same location, so any region covering
+	// it also covers the past object: fc=30/10=3, fp=30/30=1 =>
+	// S = 0.5*2 + 0.5*3 = 2.5.
+	res, _ = d.Push(surge.Object{X: 0, Y: 0, Weight: 30, Time: 20})
+	if !res.Found || !almost(res.Score, 2.5) {
+		t.Fatalf("asymmetric window score = %+v, want 2.5", res)
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	d, _ := surge.New(surge.CellCSPOT, opts())
+	for _, o := range randomObjects(13, 300, 5) {
+		if _, err := d.Push(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.Events == 0 || st.Searches == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+	if st.SearchRatio() <= 0 || st.SearchRatio() > 1 {
+		t.Fatalf("search ratio %v out of range", st.SearchRatio())
+	}
+}
+
+func TestRegionHelpers(t *testing.T) {
+	r := surge.Region{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}
+	if !r.Contains(0, 0) || r.Contains(2, 2) {
+		t.Fatal("Contains must be closed-open")
+	}
+	if !r.Overlaps(surge.Region{MinX: 1, MinY: 1, MaxX: 3, MaxY: 3}) {
+		t.Fatal("overlap expected")
+	}
+	if r.Overlaps(surge.Region{MinX: 2, MinY: 0, MaxX: 3, MaxY: 2}) {
+		t.Fatal("edge-touching regions do not overlap")
+	}
+}

@@ -1,0 +1,124 @@
+package surge
+
+import (
+	"fmt"
+
+	"surge/internal/core"
+	"surge/internal/gapsurge"
+	"surge/internal/topk"
+	"surge/internal/window"
+)
+
+// TopKDetector continuously maintains the top-k bursty regions (Section VI
+// of the paper): k regions of the query size such that every object
+// contributes to the burst score of at most one of them, selected greedily
+// by score. It is not safe for concurrent use.
+type TopKDetector struct {
+	alg Algorithm
+	k   int
+	cfg core.Config
+	win window.Source
+	eng core.TopKEngine
+	cur []core.Result
+}
+
+// NewTopK returns a top-k detector. Supported algorithms: CellCSPOT (the
+// paper's kCCS), GridApprox (kGAPS), MultiGrid (kMGAPS) and Oracle (the
+// naive greedy baseline of Section VII-F).
+func NewTopK(alg Algorithm, opt Options, k int) (*TopKDetector, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("surge: k must be >= 1, got %d", k)
+	}
+	cfg, err := opt.config()
+	if err != nil {
+		return nil, err
+	}
+	var eng core.TopKEngine
+	switch alg {
+	case CellCSPOT:
+		eng, err = topk.NewKCCS(cfg, k)
+	case GridApprox:
+		eng, err = gapsurge.NewTopK(cfg, false, k)
+	case MultiGrid:
+		eng, err = gapsurge.NewTopK(cfg, true, k)
+	case Oracle:
+		eng, err = topk.NewNaive(cfg, k)
+	default:
+		return nil, fmt.Errorf("surge: algorithm %v has no top-k variant", alg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	win, err := newSource(opt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &TopKDetector{alg: alg, k: k, cfg: cfg, win: win, eng: eng}, nil
+}
+
+// Algorithm returns the detector's algorithm.
+func (d *TopKDetector) Algorithm() Algorithm { return d.alg }
+
+// K returns the number of regions maintained.
+func (d *TopKDetector) K() int { return d.k }
+
+// Push feeds one object into the stream, processes every window transition
+// it makes due, and returns the refreshed top-k regions in rank order.
+// Slots beyond the number of non-empty regions have Found == false.
+func (d *TopKDetector) Push(o Object) ([]Result, error) {
+	_, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.step)
+	if err != nil {
+		return nil, err
+	}
+	return d.results(), nil
+}
+
+// AdvanceTo moves the stream clock to t without a new arrival and returns
+// the refreshed top-k regions.
+func (d *TopKDetector) AdvanceTo(t float64) ([]Result, error) {
+	if err := d.win.Advance(t, d.step); err != nil {
+		return nil, err
+	}
+	d.cur = d.eng.BestK()
+	return d.results(), nil
+}
+
+func (d *TopKDetector) step(ev core.Event) {
+	d.eng.Process(ev)
+	d.cur = d.eng.BestK()
+}
+
+// BestK returns the current top-k regions.
+func (d *TopKDetector) BestK() []Result {
+	d.cur = d.eng.BestK()
+	return d.results()
+}
+
+// Now returns the current stream time.
+func (d *TopKDetector) Now() float64 { return d.win.Now() }
+
+// Stats returns instrumentation counters for engines that expose them.
+func (d *TopKDetector) Stats() Stats {
+	if s, ok := d.eng.(statser); ok {
+		st := s.Stats()
+		return Stats{
+			Events:       st.Events,
+			Searches:     st.Searches,
+			SearchEvents: st.SearchEvents,
+			SweepEntries: st.SweepEntries,
+			CellsTouched: st.CellsTouched,
+		}
+	}
+	return Stats{}
+}
+
+func (d *TopKDetector) results() []Result {
+	out := make([]Result, d.k)
+	for i, r := range d.cur {
+		if i >= d.k {
+			break
+		}
+		out[i] = toResult(r)
+	}
+	return out
+}
