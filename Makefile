@@ -1,0 +1,29 @@
+# Development targets; `make check` is the tier-1 gate (format, vet, build,
+# test). `make race` additionally runs the suite under the race detector,
+# which exercises the sharded pipeline's fan-out and barrier.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) run ./cmd/surgebench -exp all

@@ -13,6 +13,11 @@
 // instead of reading input, which makes a quick smoke test:
 //
 //	surged -demo
+//
+// For heavy streams, -shards N runs the sharded concurrent pipeline (N engine
+// goroutines over a spatial column partitioning; 0 = one per CPU) and -batch M
+// ingests M objects per detector synchronisation. A summary with the shard
+// count and merged engine statistics is reported on exit.
 package main
 
 import (
@@ -22,8 +27,10 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"surge"
 	"surge/internal/stream"
@@ -41,6 +48,8 @@ func main() {
 		in     = flag.String("in", "-", "input CSV file ('-' = stdin)")
 		every  = flag.Int("every", 1, "print at most every Nth change")
 		demo   = flag.Bool("demo", false, "run on a generated demo stream with a planted burst")
+		shards = flag.Int("shards", 1, "engine shards: 1 = single engine, 0 = one per CPU")
+		batch  = flag.Int("batch", 0, "objects ingested per detector sync (0 = auto: 1 single-engine, 512 sharded)")
 	)
 	flag.Parse()
 
@@ -48,9 +57,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	nShards := *shards
+	if nShards == 0 {
+		nShards = runtime.NumCPU()
+	}
+	if nShards < 1 {
+		fatal(fmt.Errorf("invalid -shards %d", *shards))
+	}
+	nBatch := *batch
+	if nBatch == 0 {
+		if nShards > 1 {
+			nBatch = 512
+		} else {
+			nBatch = 1
+		}
+	}
+	if nBatch < 1 {
+		fatal(fmt.Errorf("invalid -batch %d", *batch))
+	}
 	opt := surge.Options{
 		Width: *width, Height: *height,
 		Window: *win, PastWindow: *pastW, Alpha: *alpha,
+		Shards: nShards,
 	}
 
 	var src io.Reader
@@ -69,12 +97,15 @@ func main() {
 	}
 
 	if *k > 1 {
+		if nShards > 1 {
+			fmt.Fprintln(os.Stderr, "surged: top-k detection has no sharded pipeline yet; -shards ignored")
+		}
 		if err := runTopK(alg, opt, *k, src, *every); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	if err := runSingle(alg, opt, src, *every); err != nil {
+	if err := runSingle(alg, opt, src, *every, nBatch); err != nil {
 		fatal(err)
 	}
 }
@@ -100,27 +131,70 @@ func parseAlgo(s string) (surge.Algorithm, error) {
 	}
 }
 
-func runSingle(alg surge.Algorithm, opt surge.Options, src io.Reader, every int) error {
+func runSingle(alg surge.Algorithm, opt surge.Options, src io.Reader, every, batchSize int) error {
 	det, err := surge.New(alg, opt)
 	if err != nil {
 		return err
 	}
-	var last surge.Result
-	changes := 0
-	return forEachObject(src, func(o surge.Object) error {
-		res, err := det.Push(o)
-		if err != nil {
-			return err
-		}
+	defer det.Close()
+	var (
+		last    surge.Result
+		changes int
+		objects int
+		buf     = make([]surge.Object, 0, batchSize)
+		start   = time.Now()
+	)
+	report := func(t float64, res surge.Result) {
 		if regionChanged(last, res) {
 			changes++
 			if changes%every == 0 {
-				printResult(o.Time, res)
+				printResult(t, res)
 			}
 			last = res
 		}
+	}
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		res, err := det.PushBatch(buf)
+		if err != nil {
+			return err
+		}
+		report(buf[len(buf)-1].Time, res)
+		buf = buf[:0]
+		return nil
+	}
+	err = forEachObject(src, func(o surge.Object) error {
+		objects++
+		if batchSize == 1 {
+			res, err := det.Push(o)
+			if err != nil {
+				return err
+			}
+			report(o.Time, res)
+			return nil
+		}
+		buf = append(buf, o)
+		if len(buf) >= batchSize {
+			return flush()
+		}
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	st := det.Stats()
+	fmt.Fprintf(os.Stderr,
+		"surged: %d objects in %v (%.0f objects/s), shards=%d batch=%d, events=%d searches=%d (%.2f%% of events)\n",
+		objects, elapsed.Round(time.Millisecond),
+		float64(objects)/math.Max(elapsed.Seconds(), 1e-9),
+		det.Shards(), batchSize, st.Events, st.Searches, st.SearchRatio()*100)
+	return nil
 }
 
 func runTopK(alg surge.Algorithm, opt surge.Options, k int, src io.Reader, every int) error {

@@ -92,7 +92,15 @@ func TestRegionChanged(t *testing.T) {
 func TestRunSingleOnDemoStream(t *testing.T) {
 	opt := surge.Options{Width: 1, Height: 1, Window: 60, Alpha: 0.5}
 	src := demoStream(&opt)
-	if err := runSingle(surge.GridApprox, opt, src, 1000); err != nil {
+	if err := runSingle(surge.GridApprox, opt, src, 1000, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleShardedBatched(t *testing.T) {
+	opt := surge.Options{Width: 1, Height: 1, Window: 60, Alpha: 0.5, Shards: 3}
+	src := demoStream(&opt)
+	if err := runSingle(surge.CellCSPOT, opt, src, 1000, 256); err != nil {
 		t.Fatal(err)
 	}
 }

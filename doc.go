@@ -52,4 +52,42 @@
 //
 // Times are float64 values in any consistent unit; objects must be pushed in
 // non-decreasing time order. Use NewTopK for the top-k detectors.
+//
+// # Sharded concurrent pipeline
+//
+// With Options.Shards >= 2 the detector runs as a sharded pipeline: the
+// plane is partitioned into query-width column blocks striped round-robin
+// over the shards, and each shard runs its own detection engine on a
+// dedicated goroutine fed by a buffered event channel. A shard owns the
+// candidate bursty points whose column floor(x/Width) falls in its blocks; a
+// merger takes the maximum score over the shards, ties broken
+// deterministically by the lowest shard index.
+//
+// The partitioning preserves exactness through the halo invariant: a region
+// anchored at a point in column m spans only columns m-1 and m, so the
+// router replicates every window event to the owners of the columns its
+// coverage rectangle touches — a halo exactly one query width wide to the
+// left of each owned block. The owning shard of any candidate therefore
+// scores it over complete data, while the engines' ownership filter
+// (core.ColumnSet) keeps a shard from ever reporting a candidate it only has
+// halo data for. As a result the sharded detector returns the same best
+// scores as the single-engine path, bit for bit, for every algorithm except
+// AG2 (which has no sharded variant and falls back to one engine).
+//
+// Push on a sharded detector synchronises the pipeline on every call; the
+// batch API amortises that:
+//
+//	det, _ := surge.New(surge.CellCSPOT, surge.Options{
+//	    Width: 0.01, Height: 0.01, Window: 3600, Alpha: 0.5,
+//	    Shards: 8,
+//	})
+//	defer det.Close()
+//	for batch := range batches { // e.g. 512 objects at a time
+//	    res, err := det.PushBatch(batch)
+//	    ...
+//	}
+//
+// PushBatch is also worthwhile on the single-engine path: window transitions
+// are applied one by one, but the lazy engines defer their snapshot searches
+// to a single query at the end of the batch.
 package surge

@@ -1,0 +1,3 @@
+module surge
+
+go 1.24

@@ -44,7 +44,7 @@ func DefaultOptions(out io.Writer) Options {
 
 // Experiments returns the registry of experiment ids in run order.
 func Experiments() []string {
-	return []string{"table1", "fig5", "table2", "fig6", "fig7", "table3", "table4", "fig8", "fig9", "case", "ablation", "roadnet"}
+	return []string{"table1", "fig5", "table2", "fig6", "fig7", "table3", "table4", "fig8", "fig9", "case", "ablation", "roadnet", "shards"}
 }
 
 // Run executes one experiment by id.
@@ -74,6 +74,8 @@ func Run(id string, o Options) error {
 		return Ablation(o)
 	case "roadnet":
 		return RoadNet(o)
+	case "shards":
+		return ShardScaling(o)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v)", id, Experiments())
 	}

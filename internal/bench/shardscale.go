@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"surge"
+	"surge/internal/core"
+)
+
+// ShardScaling measures the end-to-end ingestion throughput of the public
+// sharded pipeline (surge.Options.Shards + Detector.PushBatch) against the
+// shard count, on the Taxi-like workload. Shards = 1 is the single-engine
+// baseline; the other rows fan events out to per-shard engine goroutines
+// over the column partitioning. Alongside the throughput it cross-checks
+// that every shard count ends the stream on the same best score.
+//
+// Boundary objects are replicated into at most one neighbouring shard, so
+// perfect scaling is bounded by shards/(1+halo); meaningful speedups need
+// real hardware parallelism (GOMAXPROCS > 1).
+func ShardScaling(o Options) error {
+	d := o.dataset("Taxi")
+	w := defaultWindow("Taxi")
+
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	type spec struct {
+		name  string
+		alg   surge.Algorithm
+		limit int
+		batch int
+	}
+	specs := []spec{
+		{"CCS", surge.CellCSPOT, o.MaxExact * 4, 512},
+		{"GAPS", surge.GridApprox, o.MaxApprox, 1024},
+	}
+
+	t := NewTable(o.Out, fmt.Sprintf("Shard scaling (Taxi, GOMAXPROCS=%d): PushBatch throughput vs shards", runtime.GOMAXPROCS(0)),
+		"Shards", "CCS kobj/s", "CCS speedup", "GAPS kobj/s", "GAPS speedup")
+
+	rows := make([][]any, len(counts))
+	for i, n := range counts {
+		rows[i] = []any{n}
+	}
+	for _, sp := range specs {
+		objs := genFor(d, w, sp.limit)
+		var base float64
+		var refScore float64
+		var refFound bool
+		for i, n := range counts {
+			opt := surge.Options{
+				Width: d.QueryWidth(), Height: d.QueryHeight(),
+				Window: w, Alpha: o.Alpha, Shards: n,
+			}
+			det, err := surge.New(sp.alg, opt)
+			if err != nil {
+				return err
+			}
+			res, elapsed, err := replayBatched(det, objs, sp.batch)
+			if err != nil {
+				det.Close()
+				return err
+			}
+			if err := det.Close(); err != nil {
+				return err
+			}
+			if i == 0 {
+				refScore, refFound = res.Score, res.Found
+			} else if res.Found != refFound || res.Score != refScore {
+				return fmt.Errorf("shards=%d %s: final score %v (found=%v) != single-engine %v (found=%v)",
+					n, sp.name, res.Score, res.Found, refScore, refFound)
+			}
+			kops := float64(len(objs)) / elapsed.Seconds() / 1e3
+			if i == 0 {
+				base = kops
+			}
+			rows[i] = append(rows[i], fmt.Sprintf("%.1f", kops), fmt.Sprintf("%.2fx", kops/base))
+		}
+	}
+	for _, r := range rows {
+		t.Row(r...)
+	}
+	t.Flush()
+	fmt.Fprintf(o.Out, "(final best scores verified identical across shard counts)\n")
+	return nil
+}
+
+// replayBatched feeds the whole stream through PushBatch in fixed-size
+// chunks and returns the final result with the wall time spent.
+func replayBatched(det *surge.Detector, objs []core.Object, batch int) (surge.Result, time.Duration, error) {
+	buf := make([]surge.Object, 0, batch)
+	var res surge.Result
+	start := time.Now()
+	for lo := 0; lo < len(objs); lo += batch {
+		hi := lo + batch
+		if hi > len(objs) {
+			hi = len(objs)
+		}
+		buf = buf[:0]
+		for _, ob := range objs[lo:hi] {
+			buf = append(buf, surge.Object{X: ob.X, Y: ob.Y, Weight: ob.Weight, Time: ob.T})
+		}
+		var err error
+		res, err = det.PushBatch(buf)
+		if err != nil {
+			return surge.Result{}, 0, err
+		}
+	}
+	return res, time.Since(start), nil
+}

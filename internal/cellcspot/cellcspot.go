@@ -68,8 +68,10 @@ func (m Mode) String() string {
 }
 
 type obj struct {
+	id       uint64
 	x, y, wt float64
 	past     bool
+	dead     bool
 }
 
 type candidate struct {
@@ -79,13 +81,54 @@ type candidate struct {
 	fc, fp float64
 }
 
+// cell keeps its rectangle objects in arrival order (IDs are assigned by the
+// window engine in stream order, and within a cell objects arrive and expire
+// in ID order). The ordered storage makes every per-cell computation — the
+// snapshot search's entry list, the bound recomputations and the canonical
+// candidate rescores — a pure function of the cell's content, independent of
+// map iteration order and of when searches happen to run. That determinism
+// is what lets the sharded pipeline return bit-identical scores to a single
+// engine.
 type cell struct {
 	key      grid.Cell
-	objs     map[uint64]*obj
-	curCount int     // objects currently in Wc
-	us       float64 // static upper bound (Definition 7)
-	ud       float64 // dynamic upper bound (Eqn 3); +Inf before first search
+	objs     []obj          // arrival-ordered; expired entries are tombstoned
+	index    map[uint64]int // object ID -> position in objs
+	dead     int            // tombstones in objs
+	curCount int            // objects currently in Wc
+	us       float64        // static upper bound (Definition 7)
+	ud       float64        // dynamic upper bound (Eqn 3); +Inf before first search
 	cand     candidate
+}
+
+// live returns the number of live objects in the cell.
+func (c *cell) live() int { return len(c.objs) - c.dead }
+
+// lookup returns the position of the live object with the given ID.
+func (c *cell) lookup(id uint64) (int, bool) {
+	i, ok := c.index[id]
+	return i, ok
+}
+
+// remove tombstones the object at position i and compacts the backing array
+// once half of it is dead. Compaction preserves arrival order, so iteration
+// yields the same sequence no matter when compactions ran.
+func (c *cell) remove(i int) {
+	c.objs[i].dead = true
+	delete(c.index, c.objs[i].id)
+	c.dead++
+	if c.dead > 16 && c.dead*2 >= len(c.objs) {
+		kept := c.objs[:0]
+		for _, g := range c.objs {
+			if !g.dead {
+				kept = append(kept, g)
+			}
+		}
+		c.objs = kept
+		c.dead = 0
+		for j := range c.objs {
+			c.index[c.objs[j].id] = j
+		}
+	}
 }
 
 // Engine is an exact SURGE detector. It is not safe for concurrent use.
@@ -133,14 +176,28 @@ func (e *Engine) Process(ev core.Event) {
 	if !e.cfg.InArea(ev.Obj) {
 		return
 	}
+	o := ev.Obj
+	e.cellScratch = e.grid.CoverCells(e.cellScratch[:0], o.X, o.Y, e.cfg.Width, e.cfg.Height)
+	if e.cfg.Cols != nil {
+		// Sharded ownership: the grid is query-aligned, so cell column I is
+		// exactly candidate-point column I; keep only the owned cells.
+		kept := e.cellScratch[:0]
+		for _, ck := range e.cellScratch {
+			if e.cfg.Cols.Owns(ck.I) {
+				kept = append(kept, ck)
+			}
+		}
+		e.cellScratch = kept
+		if len(e.cellScratch) == 0 {
+			return
+		}
+	}
 	e.accountEventBoundary()
 	e.stats.Events++
 	e.searchesAtEvent = e.stats.Searches
 	e.pendingEvent = true
 
-	o := ev.Obj
 	cover := e.cfg.CoverRect(o.X, o.Y)
-	e.cellScratch = e.grid.CoverCells(e.cellScratch[:0], o.X, o.Y, e.cfg.Width, e.cfg.Height)
 	for _, ck := range e.cellScratch {
 		e.stats.CellsTouched++
 		c := e.cells[ck]
@@ -148,11 +205,11 @@ func (e *Engine) Process(ev core.Event) {
 			if ev.Kind != core.New {
 				continue // object was filtered or unknown; nothing to undo
 			}
-			c = &cell{key: ck, objs: make(map[uint64]*obj), ud: math.Inf(1)}
+			c = &cell{key: ck, index: make(map[uint64]int), ud: math.Inf(1)}
 			e.cells[ck] = c
 		}
 		e.applyEvent(c, ev, cover)
-		if len(c.objs) == 0 {
+		if c.live() == 0 {
 			delete(e.cells, ck)
 			e.heap.Remove(ck)
 			continue
@@ -171,13 +228,24 @@ func (e *Engine) Process(ev core.Event) {
 
 // applyEvent updates a cell's object list, bounds and candidate for one
 // event, implementing Eqn 2, Eqn 3 and Lemma 4.
+//
+// Candidate values are kept *canonical*: whenever the candidate is valid and
+// found, cand.fc and cand.fp equal the arrival-order left folds of the
+// covering objects' window contributions. A surviving New appends the last
+// element of that fold (an O(1) update that preserves canonical form exactly,
+// since the new object is last in arrival order); a surviving Expired removes
+// an interior element, so the fold is recomputed by rescore. Canonical values
+// are a pure function of (cell content, candidate face), which makes the
+// reported scores independent of when searches ran — the property the sharded
+// pipeline's bit-identical guarantee rests on.
 func (e *Engine) applyEvent(c *cell, ev core.Event, cover geom.Rect) {
 	id, w := ev.Obj.ID, ev.Obj.Weight
 	dc := w / e.cfg.WC
 	dp := w / e.cfg.WP
 	switch ev.Kind {
 	case core.New:
-		c.objs[id] = &obj{x: ev.Obj.X, y: ev.Obj.Y, wt: w}
+		c.index[id] = len(c.objs)
+		c.objs = append(c.objs, obj{id: id, x: ev.Obj.X, y: ev.Obj.Y, wt: w})
 		c.curCount++
 		c.us += dc
 		if e.mode == ModeBase {
@@ -205,11 +273,11 @@ func (e *Engine) applyEvent(c *cell, ev core.Event, cover geom.Rect) {
 			}
 		}
 	case core.Grown:
-		g, ok := c.objs[id]
-		if !ok || g.past {
+		i, ok := c.lookup(id)
+		if !ok || c.objs[i].past {
 			return
 		}
-		g.past = true
+		c.objs[i].past = true
 		c.curCount--
 		c.us -= dc
 		if c.curCount == 0 {
@@ -225,23 +293,21 @@ func (e *Engine) applyEvent(c *cell, ev core.Event, cover geom.Rect) {
 		// Dynamic bound is unchanged (Eqn 3, grown case). The candidate
 		// survives iff the rectangle does not cover it (Lemma 4, case 2).
 		if c.cand.valid && c.cand.found && cover.CoversOC(c.cand.p) {
-			c.cand.fc -= dc
-			c.cand.fp += dp
 			c.cand.valid = false
 		}
 	case core.Expired:
-		g, ok := c.objs[id]
+		i, ok := c.lookup(id)
 		if !ok {
 			return
 		}
-		if !g.past { // object expired without a Grown event (defensive)
+		if !c.objs[i].past { // object expired without a Grown event (defensive)
 			c.curCount--
 			c.us -= dc
 			if c.curCount == 0 {
 				c.us = 0
 			}
 		}
-		delete(c.objs, id)
+		c.remove(i)
 		if e.mode == ModeBase {
 			return
 		}
@@ -256,8 +322,9 @@ func (e *Engine) applyEvent(c *cell, ev core.Event, cover geom.Rect) {
 			switch {
 			case cover.CoversOC(c.cand.p):
 				keep := c.cand.fc >= c.cand.fp
-				c.cand.fp -= dp
-				if !keep {
+				if keep {
+					e.rescore(c)
+				} else {
 					c.cand.valid = false
 				}
 			default:
@@ -271,6 +338,25 @@ func (e *Engine) applyEvent(c *cell, ev core.Event, cover geom.Rect) {
 		// Valid candidate => Ud equals the exact in-cell maximum.
 		c.ud = e.candScore(c)
 	}
+}
+
+// rescore recomputes the candidate's window scores at its point as the
+// canonical arrival-order fold over the cell's live objects.
+func (e *Engine) rescore(c *cell) {
+	var fc, fp float64
+	p := c.cand.p
+	for i := range c.objs {
+		g := &c.objs[i]
+		if g.dead || !e.cfg.CoverRect(g.x, g.y).CoversOC(p) {
+			continue
+		}
+		if g.past {
+			fp += g.wt / e.cfg.WP
+		} else {
+			fc += g.wt / e.cfg.WC
+		}
+	}
+	c.cand.fc, c.cand.fp = fc, fp
 }
 
 func (c *cell) bound() float64 {
@@ -291,12 +377,18 @@ func (e *Engine) candScore(c *cell) float64 {
 
 // searchCell runs SL-CSPOT restricted to the cell (Algorithm 2, line 6) and
 // refreshes the candidate, the dynamic bound and, to kill float drift, the
-// static bound.
+// static bound. The entry list is built in arrival order and the found
+// candidate is rescored canonically, so the refreshed state is a pure
+// function of the cell's content (see applyEvent).
 func (e *Engine) searchCell(c *cell) {
 	e.entryScratch = e.entryScratch[:0]
 	us := 0.0
 	cur := 0
-	for _, g := range c.objs {
+	for i := range c.objs {
+		g := &c.objs[i]
+		if g.dead {
+			continue
+		}
 		e.entryScratch = append(e.entryScratch, sweep.Entry{X: g.x, Y: g.y, Weight: g.wt, Past: g.past})
 		if !g.past {
 			us += g.wt / e.cfg.WC
@@ -308,9 +400,12 @@ func (e *Engine) searchCell(c *cell) {
 	res := e.sr.Search(e.cfg, e.entryScratch, e.grid.CellRect(c.key))
 	e.stats.Searches++
 	e.stats.SweepEntries += uint64(len(e.entryScratch))
-	c.cand = candidate{valid: true, found: res.Found, p: res.Point, fc: res.FC, fp: res.FP}
+	c.cand = candidate{valid: true, found: res.Found, p: res.Point}
+	if res.Found {
+		e.rescore(c)
+	}
 	if e.mode != ModeStatic {
-		c.ud = res.Score
+		c.ud = e.candScore(c)
 	}
 }
 
@@ -414,7 +509,7 @@ func (e *Engine) CellCount() int { return len(e.cells) }
 func (e *Engine) LiveObjects() int {
 	n := 0
 	for _, c := range e.cells {
-		n += len(c.objs)
+		n += c.live()
 	}
 	return n
 }

@@ -91,7 +91,63 @@ type Config struct {
 	// Area restricts detection to a preferred area A. Objects outside A are
 	// ignored. Nil means the whole plane.
 	Area *geom.Rect
+	// Cols optionally restricts the engine to the candidate bursty points
+	// whose query-width column belongs to the set (the sharded pipeline's
+	// ownership filter). Nil means the engine owns the whole plane.
+	Cols *ColumnSet
 }
+
+// ColumnSet selects a periodic subset of the query-width columns of the
+// plane. Column m is the x-interval [m*Width, (m+1)*Width); the columns are
+// grouped into contiguous blocks of Block columns and the blocks are striped
+// round-robin over Shards shards, so block B belongs to shard B mod Shards.
+//
+// The sharded pipeline gives shard Index the set {m : floor(m/Block) mod
+// Shards == Index}. Because ownership is defined on integer column indices
+// (the same floor(x/Width) arithmetic the engines' grids use), an engine and
+// the router always agree on who owns a candidate point.
+type ColumnSet struct {
+	Block  int // columns per contiguous block (>= 1)
+	Shards int // number of shards the blocks are striped over (>= 1)
+	Index  int // this engine's shard index in [0, Shards)
+}
+
+// Validate reports whether the column set is usable.
+func (s *ColumnSet) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.Block < 1 || s.Shards < 1 || s.Index < 0 || s.Index >= s.Shards {
+		return fmt.Errorf("core: invalid column set %+v", *s)
+	}
+	return nil
+}
+
+// Owns reports whether column m belongs to the set.
+func (s *ColumnSet) Owns(m int) bool {
+	if s == nil {
+		return true
+	}
+	return s.ShardOf(m) == s.Index
+}
+
+// ShardOf returns the shard index owning column m (floor division, so the
+// striping is uniform across negative columns too).
+func (s *ColumnSet) ShardOf(m int) int {
+	b := m / s.Block
+	if m < 0 && m%s.Block != 0 {
+		b--
+	}
+	r := b % s.Shards
+	if r < 0 {
+		r += s.Shards
+	}
+	return r
+}
+
+// OwnsCol reports whether the engine owns candidate points in column m;
+// engines with no column restriction own every column.
+func (c Config) OwnsCol(m int) bool { return c.Cols.Owns(m) }
 
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
@@ -105,7 +161,7 @@ func (c Config) Validate() error {
 	case c.Area != nil && c.Area.Empty():
 		return errors.New("core: preferred area must have positive extent")
 	}
-	return nil
+	return c.Cols.Validate()
 }
 
 // Score computes the burst score from window scores that are already

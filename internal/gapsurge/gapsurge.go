@@ -95,13 +95,24 @@ func (e *Engine) Process(ev core.Event) {
 	if !e.cfg.InArea(ev.Obj) {
 		return
 	}
-	e.stats.Events++
 	o := ev.Obj
 	dc := o.Weight / e.cfg.WC
 	dp := o.Weight / e.cfg.WP
+	counted := false
 	for li := range e.layers {
 		l := &e.layers[li]
 		ck := l.g.CellOf(o.X, o.Y)
+		// Sharded ownership: a cell is owned by the shard owning its
+		// candidate bursty point, the cell's top-right corner. Every grid
+		// offset satisfies 0 <= OffX < CW, so MaxX = (I+1)*CW + OffX always
+		// falls in query-width column I+1.
+		if !e.cfg.OwnsCol(ck.I + 1) {
+			continue
+		}
+		if !counted {
+			counted = true
+			e.stats.Events++
+		}
 		c := l.cells[ck]
 		if c == nil {
 			if ev.Kind != core.New {

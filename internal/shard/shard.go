@@ -1,0 +1,300 @@
+// Package shard implements the sharded, concurrent detection pipeline: the
+// plane is partitioned into query-width column blocks striped round-robin
+// over K shards, each shard runs its own detection engine on a dedicated
+// goroutine fed by a buffered event channel, and a merger combines the
+// per-shard answers into the global bursty region.
+//
+// # Ownership and the halo invariant
+//
+// Every candidate bursty point p belongs to the query-width column
+// m = floor(p.X / Width); column blocks of Block consecutive columns are
+// striped over the shards, so each candidate point is owned by exactly one
+// shard (core.ColumnSet). A region anchored at a point in column m spans the
+// x-interval (p.X - Width, p.X], which is contained in the columns m-1 and
+// m. The router therefore replicates every window event to the owners of the
+// columns its coverage rectangle touches — a halo of exactly one query width
+// to the left of each owned block — so the owning shard of any candidate
+// point holds *all* objects of the region anchored there and computes its
+// burst score over complete data, bit-identically to a single engine. A
+// non-owning shard never reports a candidate it does not own (the engines
+// apply the ColumnSet filter), so partial halo data can never surface as an
+// inflated score.
+//
+// Events are routed by the same floor(x/Width) arithmetic the engines' grids
+// use (grid.CoverCells), so the router and the engines always agree on
+// ownership, including at column boundaries and for negative coordinates.
+//
+// # Concurrency model
+//
+// The pipeline is an SPMD fan-out with a barrier merger:
+//
+//	caller ──Route──▶ per-shard event buffers ──chan──▶ K engine goroutines
+//	caller ◀─merged Result── barrier Query ◀─reply chan── (Best per shard)
+//
+// Route buffers events per shard and ships them in batches to amortise
+// channel synchronisation. Query flushes every buffer, sends a barrier
+// message down each channel and merges the K answers by maximum score, ties
+// broken deterministically by the lowest shard index. The Pipeline itself is
+// not safe for concurrent use by multiple callers: one goroutine routes and
+// queries, the parallelism lives inside.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"surge/internal/core"
+)
+
+// DefaultBlockCols is the default number of query-width columns per
+// ownership block. Small blocks spread hotspots over more shards; large
+// blocks shrink the halo fraction (only objects within one query width of a
+// block edge are routed to two shards).
+const DefaultBlockCols = 4
+
+const (
+	// flushEvents is the per-shard buffer size at which Route ships a batch.
+	flushEvents = 256
+	// chanDepth is the per-shard channel capacity in batches.
+	chanDepth = 8
+)
+
+// EngineFactory builds the detection engine for one shard. The passed config
+// carries the shard's ColumnSet ownership filter; the factory must hand it
+// through to the engine unchanged.
+type EngineFactory func(cfg core.Config) (core.Engine, error)
+
+type statser interface{ Stats() core.Stats }
+
+// batch is one unit of work shipped to a shard: a slice of events and,
+// when q is non-nil, a barrier request answered with the shard's current
+// best result after the events are applied.
+type batch struct {
+	evs []core.Event
+	q   chan<- reply
+}
+
+type reply struct {
+	idx   int
+	best  core.Result
+	stats core.Stats
+}
+
+type worker struct {
+	idx  int
+	eng  core.Engine
+	ch   chan batch
+	done chan struct{}
+}
+
+// Pipeline fans window events out to per-shard engines and merges their
+// answers. Use New, Route, Query and Close; see the package comment for the
+// concurrency contract.
+type Pipeline struct {
+	cfg     core.Config
+	block   int
+	cs      core.ColumnSet // Index unused; ShardOf routes
+	workers []*worker
+	pending [][]core.Event
+	pool    sync.Pool
+	replyc  chan reply
+	results []core.Result
+	stats   []core.Stats
+	closed  bool
+}
+
+// New builds a pipeline of `shards` engines over the given base config.
+// blockCols is the ownership block width in query-width columns (0 selects
+// DefaultBlockCols). The factory is called once per shard with a config
+// whose Cols field identifies the shard's owned columns.
+func New(cfg core.Config, shards, blockCols int, factory EngineFactory) (*Pipeline, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", shards)
+	}
+	if blockCols == 0 {
+		blockCols = DefaultBlockCols
+	}
+	if blockCols < 1 {
+		return nil, fmt.Errorf("shard: block width must be >= 1 column, got %d", blockCols)
+	}
+	if cfg.Cols != nil {
+		return nil, errors.New("shard: base config already carries a column set")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		cfg:     cfg,
+		block:   blockCols,
+		cs:      core.ColumnSet{Block: blockCols, Shards: shards},
+		workers: make([]*worker, shards),
+		pending: make([][]core.Event, shards),
+		replyc:  make(chan reply, shards),
+		results: make([]core.Result, shards),
+		stats:   make([]core.Stats, shards),
+	}
+	p.pool.New = func() any {
+		s := make([]core.Event, 0, flushEvents)
+		return &s
+	}
+	for i := 0; i < shards; i++ {
+		scfg := cfg
+		scfg.Cols = &core.ColumnSet{Block: blockCols, Shards: shards, Index: i}
+		eng, err := factory(scfg)
+		if err != nil {
+			p.stop()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		w := &worker{idx: i, eng: eng, ch: make(chan batch, chanDepth), done: make(chan struct{})}
+		p.workers[i] = w
+		go p.run(w)
+	}
+	return p, nil
+}
+
+// run is the shard goroutine: apply event batches, answer barriers.
+func (p *Pipeline) run(w *worker) {
+	defer close(w.done)
+	for b := range w.ch {
+		for _, ev := range b.evs {
+			w.eng.Process(ev)
+		}
+		if b.evs != nil {
+			b.evs = b.evs[:0]
+			p.pool.Put(&b.evs)
+		}
+		if b.q != nil {
+			r := reply{idx: w.idx, best: w.eng.Best()}
+			if s, ok := w.eng.(statser); ok {
+				r.stats = s.Stats()
+			}
+			b.q <- r
+		}
+	}
+}
+
+// Shards returns the number of engine shards.
+func (p *Pipeline) Shards() int { return len(p.workers) }
+
+// BlockCols returns the ownership block width in query-width columns.
+func (p *Pipeline) BlockCols() int { return p.block }
+
+// Closed reports whether Close has been called.
+func (p *Pipeline) Closed() bool { return p.closed }
+
+// Route buffers one window event for every shard whose owned columns the
+// event's coverage rectangle touches (one shard in the interior of a block,
+// two across a block boundary — the halo replication). Events for objects
+// outside the preferred area are dropped. Route must not be called after
+// Close.
+func (p *Pipeline) Route(ev core.Event) {
+	if !p.cfg.InArea(ev.Obj) {
+		return
+	}
+	// The coverage rectangle (x, x+Width] touches columns i0..i1 under the
+	// identical floor arithmetic of grid.CoverCells; a candidate in column
+	// i0+1 can also depend on this object through a grid shifted by less
+	// than one cell (gapsurge), so the routed span always includes it.
+	x := ev.Obj.X
+	i0 := int(math.Floor(x / p.cfg.Width))
+	i1 := int(math.Floor((x + p.cfg.Width) / p.cfg.Width))
+	if i1 < i0+1 {
+		i1 = i0 + 1
+	}
+	// The span covers at most three columns; dedupe the owners so an event
+	// reaches each shard once (with Block == 1 the owner pattern can be
+	// A,B,A, so positional dedupe is not enough).
+	var sent [3]int
+	n := 0
+	for m := i0; m <= i1; m++ {
+		s := p.cs.ShardOf(m)
+		dup := false
+		for j := 0; j < n; j++ {
+			if sent[j] == s {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		sent[n] = s
+		n++
+		p.enqueue(s, ev)
+	}
+}
+
+func (p *Pipeline) enqueue(s int, ev core.Event) {
+	buf := p.pending[s]
+	if buf == nil {
+		buf = (*p.pool.Get().(*[]core.Event))[:0]
+	}
+	buf = append(buf, ev)
+	if len(buf) >= flushEvents {
+		p.workers[s].ch <- batch{evs: buf}
+		buf = nil
+	}
+	p.pending[s] = buf
+}
+
+// Query flushes the event buffers, waits for every shard to drain, and
+// returns the merged bursty region (maximum score, ties to the lowest shard
+// index) together with the summed engine statistics. It is the pipeline's
+// only synchronisation point: after Query returns, every routed event has
+// been applied.
+func (p *Pipeline) Query() (core.Result, core.Stats, error) {
+	if p.closed {
+		return core.Result{}, core.Stats{}, errors.New("shard: pipeline is closed")
+	}
+	for i, w := range p.workers {
+		w.ch <- batch{evs: p.pending[i], q: p.replyc}
+		p.pending[i] = nil
+	}
+	for range p.workers {
+		r := <-p.replyc
+		p.results[r.idx] = r.best
+		p.stats[r.idx] = r.stats
+	}
+	var best core.Result
+	for _, r := range p.results {
+		if r.Found && (!best.Found || r.Score > best.Score) {
+			best = r
+		}
+	}
+	var st core.Stats
+	for _, s := range p.stats {
+		st.Events += s.Events
+		st.Searches += s.Searches
+		st.SearchEvents += s.SearchEvents
+		st.SweepEntries += s.SweepEntries
+		st.CellsTouched += s.CellsTouched
+	}
+	return best, st, nil
+}
+
+// Close stops the shard goroutines and waits for them to exit. Buffered
+// events that were never followed by a Query are discarded. Close is
+// idempotent; Route and Query must not be used afterwards.
+func (p *Pipeline) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	p.stop()
+	return nil
+}
+
+func (p *Pipeline) stop() {
+	for _, w := range p.workers {
+		if w != nil {
+			close(w.ch)
+		}
+	}
+	for _, w := range p.workers {
+		if w != nil {
+			<-w.done
+		}
+	}
+}

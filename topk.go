@@ -25,6 +25,10 @@ type TopKDetector struct {
 // NewTopK returns a top-k detector. Supported algorithms: CellCSPOT (the
 // paper's kCCS), GridApprox (kGAPS), MultiGrid (kMGAPS) and Oracle (the
 // naive greedy baseline of Section VII-F).
+//
+// The top-k detectors have no sharded pipeline yet: Options.Shards and
+// Options.ShardBlockCols are ignored and detection runs on a single engine
+// (cross-shard top-k merge is a ROADMAP item).
 func NewTopK(alg Algorithm, opt Options, k int) (*TopKDetector, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("surge: k must be >= 1, got %d", k)
@@ -73,6 +77,23 @@ func (d *TopKDetector) Push(o Object) ([]Result, error) {
 	return d.results(), nil
 }
 
+// PushBatch feeds a time-ordered batch of objects and returns the top-k
+// regions after the whole batch, querying the engine once at the end rather
+// than after every window transition. The final answer is equivalent to
+// pushing the objects individually: same regions, with scores equal up to
+// the floating-point rounding of the engines' incrementally maintained
+// caches (the query schedule decides when cached candidates are refreshed).
+// On error the stream state includes every object before the offending one.
+func (d *TopKDetector) PushBatch(objs []Object) ([]Result, error) {
+	for _, o := range objs {
+		if _, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.eng.Process); err != nil {
+			return nil, err
+		}
+	}
+	d.cur = d.eng.BestK()
+	return d.results(), nil
+}
+
 // AdvanceTo moves the stream clock to t without a new arrival and returns
 // the refreshed top-k regions.
 func (d *TopKDetector) AdvanceTo(t float64) ([]Result, error) {
@@ -100,14 +121,7 @@ func (d *TopKDetector) Now() float64 { return d.win.Now() }
 // Stats returns instrumentation counters for engines that expose them.
 func (d *TopKDetector) Stats() Stats {
 	if s, ok := d.eng.(statser); ok {
-		st := s.Stats()
-		return Stats{
-			Events:       st.Events,
-			Searches:     st.Searches,
-			SearchEvents: st.SearchEvents,
-			SweepEntries: st.SweepEntries,
-			CellsTouched: st.CellsTouched,
-		}
+		return toStats(s.Stats())
 	}
 	return Stats{}
 }
