@@ -39,6 +39,12 @@ type checkpointOptions struct {
 	Area               Region
 	AG2Gamma           float64
 	CountWindows       bool
+	// Shards and ShardBlockCols record the writing detector's pipeline
+	// shape so Restore rebuilds it. gob decodes by field name, so
+	// checkpoints written before these fields existed restore with the
+	// zero values — the single-engine path, their original behaviour.
+	Shards         int
+	ShardBlockCols int
 }
 
 type checkpointObject struct {
@@ -68,13 +74,15 @@ func (d *Detector) Checkpoint() ([]byte, error) {
 		Algorithm: int32(d.alg),
 		Clock:     d.win.Now(),
 		Options: checkpointOptions{
-			Width:        d.cfg.Width,
-			Height:       d.cfg.Height,
-			Window:       d.cfg.WC,
-			PastWindow:   d.cfg.WP,
-			Alpha:        d.cfg.Alpha,
-			AG2Gamma:     d.ag2Gamma,
-			CountWindows: d.counted,
+			Width:          d.cfg.Width,
+			Height:         d.cfg.Height,
+			Window:         d.cfg.WC,
+			PastWindow:     d.cfg.WP,
+			Alpha:          d.cfg.Alpha,
+			AG2Gamma:       d.ag2Gamma,
+			CountWindows:   d.counted,
+			Shards:         d.shards,
+			ShardBlockCols: d.blkCols,
 		},
 	}
 	if d.cfg.Area != nil {
@@ -105,44 +113,131 @@ func (d *Detector) Checkpoint() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// KeepShards passes the checkpoint's recorded shard configuration through
+// to RestoreSharded unchanged.
+const KeepShards = -1
+
 // Restore rebuilds a detector from a checkpoint, running the given
 // algorithm (which need not be the one that wrote the checkpoint). The
 // restored detector reports the same scores and continues the stream from
-// the checkpointed clock.
+// the checkpointed clock. The pipeline shape recorded in the checkpoint is
+// honoured: a checkpoint written by a sharded detector restores into a
+// sharded pipeline with the same shard count (use RestoreSharded to
+// override it).
+//
+// Scores are bit-identical to the writing detector when object timestamps
+// are unique. Objects sharing a timestamp are replayed in the checkpoint's
+// canonical (time, x, y) order, so their within-tie arrival order — and
+// with it the last-bit rounding of the engines' score folds — may differ
+// from the original stream.
 func Restore(alg Algorithm, data []byte) (*Detector, error) {
-	var env checkpointEnvelope
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
-		return nil, fmt.Errorf("surge: decoding checkpoint: %w", err)
+	return RestoreSharded(alg, data, KeepShards, KeepShards)
+}
+
+// RestoreSharded is Restore with an explicit pipeline shape: shards and
+// blockCols replace the checkpointed Options.Shards and
+// Options.ShardBlockCols (KeepShards keeps the recorded value; 0 or 1
+// shards selects the single-engine path). Because a checkpoint is
+// engine-independent — the logical state is the live object set — a
+// checkpoint written at any shard count restores into any other with
+// identical scores.
+func RestoreSharded(alg Algorithm, data []byte, shards, blockCols int) (*Detector, error) {
+	env, opt, err := decodeCheckpoint(data)
+	if err != nil {
+		return nil, err
 	}
-	if env.Version != checkpointVersion {
-		return nil, fmt.Errorf("surge: unsupported checkpoint version %d", env.Version)
+	if shards != KeepShards {
+		opt.Shards = shards
 	}
-	opt := Options{
-		Width:        env.Options.Width,
-		Height:       env.Options.Height,
-		Window:       env.Options.Window,
-		PastWindow:   env.Options.PastWindow,
-		Alpha:        env.Options.Alpha,
-		AG2Gamma:     env.Options.AG2Gamma,
-		CountWindows: env.Options.CountWindows,
-	}
-	if env.Options.HasArea {
-		a := env.Options.Area
-		opt.Area = &a
+	if blockCols != KeepShards {
+		opt.ShardBlockCols = blockCols
 	}
 	d, err := New(alg, opt)
 	if err != nil {
 		return nil, err
 	}
-	// Replay the live objects in time order; Grown transitions for objects
-	// already past fire naturally as the clock advances through the replay.
-	for _, o := range env.Objects {
-		if _, err := d.Push(Object{X: o.X, Y: o.Y, Weight: o.Weight, Time: o.Time}); err != nil {
-			return nil, fmt.Errorf("surge: replaying checkpoint: %w", err)
-		}
-	}
-	if _, err := d.AdvanceTo(env.Clock); err != nil {
-		return nil, fmt.Errorf("surge: advancing restored clock: %w", err)
+	if err := replayCheckpoint(env, d.PushBatch, d.AdvanceTo); err != nil {
+		d.Close()
+		return nil, err
 	}
 	return d, nil
+}
+
+// RestoreTopK rebuilds a top-k detector from a checkpoint written by a
+// (single-region) Detector: the live objects are replayed through a fresh
+// TopKDetector, which therefore answers BestK over exactly the windows the
+// checkpoint captured. This is how a serving layer derives on-demand top-k
+// answers from a continuously maintained detector. Supported algorithms are
+// those of NewTopK. The checkpointed shard configuration is ignored (top-k
+// detection has no sharded pipeline yet).
+func RestoreTopK(alg Algorithm, data []byte, k int) (*TopKDetector, error) {
+	env, opt, err := decodeCheckpoint(data)
+	if err != nil {
+		return nil, err
+	}
+	opt.Shards = 0
+	opt.ShardBlockCols = 0
+	d, err := NewTopK(alg, opt, k)
+	if err != nil {
+		return nil, err
+	}
+	pushAll := func(objs []Object) (Result, error) {
+		_, err := d.PushBatch(objs)
+		return Result{}, err
+	}
+	advance := func(t float64) (Result, error) {
+		_, err := d.AdvanceTo(t)
+		return Result{}, err
+	}
+	if err := replayCheckpoint(env, pushAll, advance); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// decodeCheckpoint validates the envelope and reconstructs the writing
+// detector's Options.
+func decodeCheckpoint(data []byte) (checkpointEnvelope, Options, error) {
+	var env checkpointEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return env, Options{}, fmt.Errorf("surge: decoding checkpoint: %w", err)
+	}
+	if env.Version != checkpointVersion {
+		return env, Options{}, fmt.Errorf("surge: unsupported checkpoint version %d", env.Version)
+	}
+	opt := Options{
+		Width:          env.Options.Width,
+		Height:         env.Options.Height,
+		Window:         env.Options.Window,
+		PastWindow:     env.Options.PastWindow,
+		Alpha:          env.Options.Alpha,
+		AG2Gamma:       env.Options.AG2Gamma,
+		CountWindows:   env.Options.CountWindows,
+		Shards:         env.Options.Shards,
+		ShardBlockCols: env.Options.ShardBlockCols,
+	}
+	if env.Options.HasArea {
+		a := env.Options.Area
+		opt.Area = &a
+	}
+	return env, opt, nil
+}
+
+// replayCheckpoint feeds the checkpointed live objects back through a fresh
+// detector in time order and advances the clock to the checkpointed stream
+// time. Grown transitions for objects already past Wc fire naturally as the
+// clock moves through the replay; the batch path keeps the replay a single
+// synchronisation on a sharded pipeline.
+func replayCheckpoint(env checkpointEnvelope, pushBatch func([]Object) (Result, error), advanceTo func(float64) (Result, error)) error {
+	objs := make([]Object, len(env.Objects))
+	for i, o := range env.Objects {
+		objs[i] = Object{X: o.X, Y: o.Y, Weight: o.Weight, Time: o.Time}
+	}
+	if _, err := pushBatch(objs); err != nil {
+		return fmt.Errorf("surge: replaying checkpoint: %w", err)
+	}
+	if _, err := advanceTo(env.Clock); err != nil {
+		return fmt.Errorf("surge: advancing restored clock: %w", err)
+	}
+	return nil
 }

@@ -1,0 +1,196 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"surge"
+)
+
+// NDJSON and CSV are the ingest content types the server accepts.
+const (
+	NDJSON = "application/x-ndjson"
+	CSV    = "text/csv"
+)
+
+// Client talks to one surged serve instance. The zero value is not usable;
+// use New. Client is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customises a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying HTTP client (e.g. to set
+// timeouts for the unary calls; Subscribe streams indefinitely, so a
+// global client timeout would kill subscriptions).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the server at base, e.g. "http://localhost:7077".
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// EncodeNDJSON writes the objects as NDJSON ingest lines.
+func EncodeNDJSON(w io.Writer, objs []surge.Object) error {
+	enc := json.NewEncoder(w)
+	for _, o := range objs {
+		if err := enc.Encode(FromObject(o)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Ingest streams a time-ordered batch of objects to the server as NDJSON
+// and returns the server's ingest summary.
+func (c *Client) Ingest(ctx context.Context, objs []surge.Object) (*IngestResult, error) {
+	var buf bytes.Buffer
+	if err := EncodeNDJSON(&buf, objs); err != nil {
+		return nil, err
+	}
+	return c.IngestStream(ctx, &buf, NDJSON)
+}
+
+// IngestStream streams an ingest body (NDJSON or CSV per contentType)
+// without buffering it in memory.
+func (c *Client) IngestStream(ctx context.Context, body io.Reader, contentType string) (*IngestResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/ingest", body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	var out IngestResult
+	if err := c.doJSON(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Best returns the current bursty region and stream clock.
+func (c *Client) Best(ctx context.Context) (*State, error) {
+	var out State
+	if err := c.getJSON(ctx, "/v1/best", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// TopK returns the greedy top-k bursty regions over the live windows.
+// k <= 0 uses the server's configured default.
+func (c *Client) TopK(ctx context.Context, k int) (*TopK, error) {
+	path := "/v1/topk"
+	if k > 0 {
+		path += "?k=" + strconv.Itoa(k)
+	}
+	var out TopK
+	if err := c.getJSON(ctx, path, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Snapshot returns a detector checkpoint (see surge.Restore).
+func (c *Client) Snapshot(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/snapshot", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Restore replaces the server's detector with the state of a checkpoint
+// (restored into the server's configured shard count) and returns the new
+// state.
+func (c *Client) Restore(ctx context.Context, checkpoint []byte) (*State, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/restore", bytes.NewReader(checkpoint))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	var out State
+	if err := c.doJSON(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health returns the server's health summary.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var out Health
+	if err := c.getJSON(ctx, "/healthz", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics returns the raw Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.doJSON(req, out)
+}
+
+func (c *Client) doJSON(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeError turns a non-2xx reply into an *Error when the body carries
+// the JSON error schema, or a plain error otherwise.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var e Error
+	if err := json.Unmarshal(body, &e); err == nil && e.Err != "" {
+		return &e
+	}
+	return fmt.Errorf("client: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+}

@@ -1,0 +1,178 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Subscription is a live feed of bursty-region change notifications
+// (GET /v1/subscribe, Server-Sent Events). Read Events until it closes,
+// then consult Err; Close cancels the stream.
+type Subscription struct {
+	hello  State
+	events chan Notification
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu   sync.Mutex
+	err  error
+	done chan struct{}
+}
+
+// Subscribe opens the notification stream. It returns once the server's
+// initial "hello" event has been received — from that point on, every
+// change to the bursty region is delivered (or accounted for in a
+// Notification.Dropped count if this subscriber falls behind the server's
+// per-subscriber buffer).
+func (c *Client) Subscribe(ctx context.Context) (*Subscription, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/subscribe", nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		cancel()
+		return nil, decodeError(resp)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		resp.Body.Close()
+		cancel()
+		return nil, fmt.Errorf("client: subscribe: unexpected content type %q", ct)
+	}
+
+	sub := &Subscription{
+		events: make(chan Notification, 256),
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+
+	// The hello event arrives synchronously so the caller knows the
+	// subscription is registered before it triggers any changes.
+	event, data, err := nextEvent(sc)
+	if err != nil {
+		resp.Body.Close()
+		cancel()
+		return nil, fmt.Errorf("client: subscribe: reading hello: %w", err)
+	}
+	if event != "hello" {
+		resp.Body.Close()
+		cancel()
+		return nil, fmt.Errorf("client: subscribe: first event %q, want hello", event)
+	}
+	if err := json.Unmarshal([]byte(data), &sub.hello); err != nil {
+		resp.Body.Close()
+		cancel()
+		return nil, fmt.Errorf("client: subscribe: decoding hello: %w", err)
+	}
+
+	go sub.run(resp.Body, sc)
+	return sub, nil
+}
+
+// Hello returns the server state at subscription time.
+func (s *Subscription) Hello() State { return s.hello }
+
+// Events returns the notification channel. It is closed when the stream
+// ends; check Err afterwards.
+func (s *Subscription) Events() <-chan Notification { return s.events }
+
+// Err returns the terminal stream error, if any, once Events is closed.
+// A subscription ended by Close (or its context) reports nil.
+func (s *Subscription) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close cancels the subscription and waits for the reader to finish.
+func (s *Subscription) Close() error {
+	s.cancel()
+	<-s.done
+	return nil
+}
+
+func (s *Subscription) run(body io.ReadCloser, sc *bufio.Scanner) {
+	defer close(s.done)
+	defer close(s.events)
+	defer body.Close()
+	for {
+		event, data, err := nextEvent(sc)
+		if err != nil {
+			// Cancellation surfaces as a read error on the body; report
+			// only errors the caller didn't cause.
+			if err != io.EOF && !isCanceled(err) {
+				s.mu.Lock()
+				s.err = err
+				s.mu.Unlock()
+			}
+			return
+		}
+		if event != "burst" {
+			continue // future event types are skippable by design
+		}
+		var n Notification
+		if err := json.Unmarshal([]byte(data), &n); err != nil {
+			s.mu.Lock()
+			s.err = fmt.Errorf("client: subscribe: decoding notification: %w", err)
+			s.mu.Unlock()
+			return
+		}
+		// The send must stay cancellable: a consumer that stopped reading
+		// would otherwise pin this goroutine (and Close) on a full buffer.
+		select {
+		case s.events <- n:
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+func isCanceled(err error) bool {
+	return strings.Contains(err.Error(), "context canceled") ||
+		strings.Contains(err.Error(), "use of closed network connection")
+}
+
+// nextEvent reads one SSE event: "event:"/"data:" field lines terminated
+// by a blank line. Comment lines (leading ':') are keep-alives and are
+// skipped. Returns io.EOF at end of stream.
+func nextEvent(sc *bufio.Scanner) (event, data string, err error) {
+	var dataLines []string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if event != "" || len(dataLines) > 0 {
+				return event, strings.Join(dataLines, "\n"), nil
+			}
+		case strings.HasPrefix(line, ":"):
+			// keep-alive comment
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			dataLines = append(dataLines, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		default:
+			// id: and unknown fields are ignored
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", "", err
+	}
+	return "", "", io.EOF
+}

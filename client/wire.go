@@ -1,0 +1,155 @@
+// Package client is the typed Go client for a surged serve instance (the
+// internal/server HTTP host), and the canonical definition of its JSON wire
+// schema — the server marshals these exact types, so a client and a server
+// built from the same module always agree on the format.
+//
+// Wire format summary (all bodies JSON unless noted):
+//
+//	POST /v1/ingest     NDJSON lines {"time","x","y","weight"} (or CSV
+//	                    "time,x,y,weight" with Content-Type text/csv)
+//	                    -> IngestResult
+//	GET  /v1/best       -> State (current bursty region + stream clock)
+//	GET  /v1/topk?k=N   -> TopK (greedy top-k over the live windows)
+//	GET  /v1/subscribe  -> text/event-stream: one "hello" event (State),
+//	                    then a "burst" event (Notification) per change
+//	POST /v1/snapshot   -> application/octet-stream detector checkpoint
+//	POST /v1/restore    <- application/octet-stream checkpoint -> State
+//	GET  /healthz       -> Health
+//	GET  /metrics       -> Prometheus text format
+//
+// JSON float64 fields use Go's shortest round-trip encoding, so scores and
+// coordinates survive the wire bit-for-bit.
+package client
+
+import "surge"
+
+// Object is one stream element on the wire: an NDJSON ingest line. A
+// missing weight defaults to 1 on the server.
+type Object struct {
+	Time   float64 `json:"time"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Weight float64 `json:"weight"`
+}
+
+// Region is an axis-aligned rectangle on the wire.
+type Region struct {
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
+}
+
+// Result is a detection answer on the wire. Region is nil when Found is
+// false.
+type Result struct {
+	Found  bool    `json:"found"`
+	Score  float64 `json:"score,omitempty"`
+	Region *Region `json:"region,omitempty"`
+}
+
+// EngineStats mirrors surge.Stats on the wire. On a sharded detector an
+// event replicated into a halo is counted by each shard that received it,
+// so Events can exceed the number of window transitions.
+type EngineStats struct {
+	Events       uint64 `json:"events"`
+	Searches     uint64 `json:"searches"`
+	SearchEvents uint64 `json:"search_events"`
+	SweepEntries uint64 `json:"sweep_entries"`
+	CellsTouched uint64 `json:"cells_touched"`
+}
+
+// State is a point-in-time view of the detector: the answer of /v1/best,
+// the payload of the SSE "hello" event, and the reply to /v1/restore.
+type State struct {
+	Seq    uint64      `json:"seq"` // sequence number of the latest change
+	Now    float64     `json:"now"` // stream clock
+	Live   int         `json:"live"`
+	Shards int         `json:"shards"`
+	Result Result      `json:"result"`
+	Stats  EngineStats `json:"stats"`
+}
+
+// Notification is one SSE "burst" event: the bursty region changed.
+// Dropped counts the notifications this subscriber lost to the
+// slow-consumer policy since the previously delivered one.
+type Notification struct {
+	Seq     uint64  `json:"seq"`
+	Time    float64 `json:"time"` // stream clock at the change
+	Result  Result  `json:"result"`
+	Dropped uint64  `json:"dropped,omitempty"`
+}
+
+// IngestResult is the reply to /v1/ingest.
+type IngestResult struct {
+	Accepted int    `json:"accepted"` // objects applied to the detector
+	Clamped  int    `json:"clamped"`  // late objects lifted to the stream clock
+	Result   Result `json:"result"`   // answer after the last batch
+}
+
+// TopK is the reply to /v1/topk.
+type TopK struct {
+	K         int      `json:"k"`
+	Algorithm string   `json:"algorithm"`
+	Results   []Result `json:"results"` // rank order; Found=false slots trail
+}
+
+// Health is the reply to /healthz.
+type Health struct {
+	OK          bool    `json:"ok"`
+	Algorithm   string  `json:"algorithm"`
+	Shards      int     `json:"shards"`
+	Now         float64 `json:"now"`
+	Live        int     `json:"live"`
+	Subscribers int     `json:"subscribers"`
+	UptimeSec   float64 `json:"uptime_sec"`
+}
+
+// Error is the JSON body of a non-2xx reply.
+type Error struct {
+	Err      string `json:"error"`
+	Accepted int    `json:"accepted,omitempty"` // objects applied before the failure
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Err }
+
+// FromObject converts a surge.Object to its wire form.
+func FromObject(o surge.Object) Object {
+	return Object{Time: o.Time, X: o.X, Y: o.Y, Weight: o.Weight}
+}
+
+// ToObject converts a wire object to a surge.Object.
+func (o Object) ToObject() surge.Object {
+	return surge.Object{Time: o.Time, X: o.X, Y: o.Y, Weight: o.Weight}
+}
+
+// FromResult converts a surge.Result to its wire form.
+func FromResult(r surge.Result) Result {
+	if !r.Found {
+		return Result{}
+	}
+	return Result{
+		Found: true,
+		Score: r.Score,
+		Region: &Region{
+			MinX: r.Region.MinX, MinY: r.Region.MinY,
+			MaxX: r.Region.MaxX, MaxY: r.Region.MaxY,
+		},
+	}
+}
+
+// ToResult converts a wire result back to a surge.Result.
+func (r Result) ToResult() surge.Result {
+	if !r.Found || r.Region == nil {
+		return surge.Result{}
+	}
+	return surge.Result{
+		Found: true,
+		Score: r.Score,
+		Region: surge.Region{
+			MinX: r.Region.MinX, MinY: r.Region.MinY,
+			MaxX: r.Region.MaxX, MaxY: r.Region.MaxY,
+		},
+	}
+}

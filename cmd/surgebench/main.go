@@ -32,6 +32,7 @@ func main() {
 		maxExact  = flag.Int("max-exact", 8000, "measured objects per point for exact engines")
 		maxApprox = flag.Int("max-approx", 120000, "measured objects per point for approximate engines")
 		full      = flag.Bool("full", false, "paper scale: rate-scale=1, larger samples")
+		jsonDir   = flag.String("json-dir", ".", "directory for machine-readable results (BENCH_*.json); empty disables")
 	)
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func main() {
 	o.RateScale = *rateScale
 	o.MaxExact = *maxExact
 	o.MaxApprox = *maxApprox
+	o.JSONDir = *jsonDir
 	if *full {
 		o.RateScale = 1
 		o.MaxExact = 50000

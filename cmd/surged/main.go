@@ -18,6 +18,13 @@
 // goroutines over a spatial column partitioning; 0 = one per CPU) and -batch M
 // ingests M objects per detector synchronisation. A summary with the shard
 // count and merged engine statistics is reported on exit.
+//
+// With the serve subcommand, surged instead runs as a long-lived HTTP
+// service (see surge/internal/server and the surge/client package):
+//
+//	surged serve -addr :7077 -algo CCS -shards 0 -checkpoint surge.ckpt
+//
+// See serve.go for the endpoint list and flags.
 package main
 
 import (
@@ -37,6 +44,12 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	var (
 		algo   = flag.String("algo", "CCS", "algorithm: CCS, B-CCS, Base, aG2, GAPS, MGAPS, Oracle")
 		width  = flag.Float64("width", 0.01, "query rectangle width")

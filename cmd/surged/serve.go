@@ -1,0 +1,142 @@
+// surged serve: host a detector as a long-running HTTP service.
+//
+// Endpoints (see surge/client for the wire schema):
+//
+//	POST /v1/ingest     NDJSON or CSV object batches
+//	GET  /v1/best       current bursty region
+//	GET  /v1/topk?k=N   greedy top-k over the live windows
+//	GET  /v1/subscribe  SSE stream of bursty-region changes
+//	POST /v1/snapshot   detector checkpoint (octet-stream)
+//	POST /v1/restore    replace state from a checkpoint
+//	GET  /healthz       health summary
+//	GET  /metrics       Prometheus text metrics
+//
+// On SIGINT/SIGTERM the server checkpoints to -checkpoint (if set), stops
+// accepting work and shuts the HTTP listener down gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"surge"
+	"surge/internal/server"
+)
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("surged serve", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", ":7077", "listen address")
+		algo    = fs.String("algo", "CCS", "algorithm: CCS, B-CCS, Base, aG2, GAPS, MGAPS, Oracle")
+		width   = fs.Float64("width", 0.01, "query rectangle width")
+		height  = fs.Float64("height", 0.01, "query rectangle height")
+		win     = fs.Float64("window", 3600, "window length |Wc| (= |Wp| unless -past-window)")
+		pastW   = fs.Float64("past-window", 0, "past window length |Wp| (0 = same as -window)")
+		alpha   = fs.Float64("alpha", 0.5, "burst-score balance parameter in [0,1)")
+		shards  = fs.Int("shards", 0, "engine shards: 1 = single engine, 0 = one per CPU")
+		blkCols = fs.Int("block-cols", 0, "ownership block width in query-width columns (0 = default)")
+		batch   = fs.Int("batch", 512, "objects per detector synchronisation on ingest")
+		k       = fs.Int("k", 5, "default k for /v1/topk")
+		policy  = fs.String("time-policy", "clamp", "out-of-order ingest timestamps: clamp (lift to the stream clock, safe for concurrent ingesters) or strict (reject)")
+		subBuf  = fs.Int("sub-buffer", 64, "per-subscriber notification buffer before oldest-first drops")
+		ckptOut = fs.String("checkpoint", "", "write a checkpoint to this file on shutdown")
+		ckptIn  = fs.String("restore", "", "seed the detector from this checkpoint file at boot")
+	)
+	fs.Parse(args)
+
+	alg, err := parseAlgo(*algo)
+	if err != nil {
+		return err
+	}
+	tp, err := server.ParseTimePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	nShards := *shards
+	if nShards == 0 {
+		nShards = runtime.NumCPU()
+	}
+	if nShards < 1 {
+		return fmt.Errorf("invalid -shards %d", *shards)
+	}
+	cfg := server.Config{
+		Algorithm: alg,
+		Options: surge.Options{
+			Width: *width, Height: *height,
+			Window: *win, PastWindow: *pastW, Alpha: *alpha,
+			Shards: nShards, ShardBlockCols: *blkCols,
+		},
+		TopK:             *k,
+		TimePolicy:       tp,
+		BatchSize:        *batch,
+		SubscriberBuffer: *subBuf,
+	}
+	if *ckptIn != "" {
+		data, err := os.ReadFile(*ckptIn)
+		if err != nil {
+			return err
+		}
+		cfg.Checkpoint = data
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Report the effective query options: a -restore checkpoint defines
+	// the geometry, overriding the width/height/window/alpha flags.
+	eff, err := s.DetectorOptions()
+	if err != nil {
+		s.Close()
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "surged: serving %s shards=%d on %s (query %gx%g window %g/%g alpha %g)\n",
+			alg, nShards, *addr, eff.Width, eff.Height, eff.Window, eff.PastWindow, eff.Alpha)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: Shutdown stops accepting work *before* the
+	// checkpoint is taken, so every acknowledged ingest is in the file and
+	// SSE subscribers disconnect, letting the listener drain.
+	fmt.Fprintln(os.Stderr, "surged: shutting down")
+	if *ckptOut != "" {
+		data, err := s.Shutdown()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "surged: checkpoint failed: %v\n", err)
+		} else if err := os.WriteFile(*ckptOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "surged: writing %s: %v\n", *ckptOut, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "surged: checkpoint written to %s (%d bytes)\n", *ckptOut, len(data))
+		}
+	}
+	if err := s.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "surged: detector close: %v\n", err)
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"surge/client"
+)
+
+// TestRunServeEndToEnd boots the serve subcommand on a free port, ingests
+// a small stream, checkpoints it via SIGTERM and reboots from the file.
+func TestRunServeEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	ckpt := filepath.Join(t.TempDir(), "surge.ckpt")
+
+	done := make(chan error, 1)
+	go func() {
+		done <- runServe([]string{
+			"-addr", addr, "-algo", "CCS", "-width", "1", "-height", "1",
+			"-window", "60", "-shards", "2", "-checkpoint", ckpt,
+		})
+	}()
+
+	c := client.New("http://" + addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	waitHealthy(ctx, t, c)
+
+	body := "1,2,2,5\n2,2.1,2.1,5\n3,2.05,2.05,5\n"
+	res, err := c.IngestStream(ctx, strings.NewReader(body), client.CSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 3 {
+		t.Fatalf("accepted %d, want 3", res.Accepted)
+	}
+
+	// SIGTERM: graceful shutdown must write the checkpoint.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runServe: %v", err)
+		}
+	case <-ctx.Done():
+		t.Fatal("serve did not shut down on SIGTERM")
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil || len(data) == 0 {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+
+	// Reboot from the checkpoint; the live set must survive.
+	go func() {
+		done <- runServe([]string{
+			"-addr", addr, "-algo", "CCS", "-width", "1", "-height", "1",
+			"-window", "60", "-shards", "3", "-restore", ckpt,
+		})
+	}()
+	waitHealthy(ctx, t, c)
+	st, err := c.Best(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Live != 3 || st.Shards != 3 {
+		t.Fatalf("rebooted state live=%d shards=%d, want 3/3", st.Live, st.Shards)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("second runServe: %v", err)
+		}
+	case <-ctx.Done():
+		t.Fatal("second serve did not shut down")
+	}
+}
+
+func TestRunServeRejectsBadFlags(t *testing.T) {
+	if err := runServe([]string{"-algo", "bogus"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := runServe([]string{"-time-policy", "loose"}); err == nil {
+		t.Fatal("unknown time policy accepted")
+	}
+	if err := runServe([]string{"-shards", "-2"}); err == nil {
+		t.Fatal("negative shards accepted")
+	}
+	if err := runServe([]string{"-restore", "/nonexistent/surge.ckpt"}); err == nil {
+		t.Fatal("missing restore file accepted")
+	}
+}
+
+func waitHealthy(ctx context.Context, t *testing.T, c *client.Client) {
+	t.Helper()
+	for {
+		if h, err := c.Health(ctx); err == nil && h.OK {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatal("server never became healthy")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}

@@ -90,4 +90,38 @@
 // PushBatch is also worthwhile on the single-engine path: window transitions
 // are applied one by one, but the lazy engines defer their snapshot searches
 // to a single query at the end of the batch.
+//
+// # Serving
+//
+// surged serve hosts a detector as a long-running HTTP service
+// (internal/server), turning continuous detection from a polled library
+// call into a pushed notification stream. The endpoints:
+//
+//	POST /v1/ingest     NDJSON {"time","x","y","weight"} or CSV
+//	                    "time,x,y,weight" object batches
+//	GET  /v1/best       current bursty region, stream clock, engine stats
+//	GET  /v1/topk?k=N   greedy top-k over the live windows (computed on
+//	                    demand by replaying a checkpoint off the hot path)
+//	GET  /v1/subscribe  Server-Sent Events: a "hello" event with the
+//	                    current state, then one "burst" event per change
+//	POST /v1/snapshot   detector checkpoint (restorable by Restore)
+//	POST /v1/restore    replace the server's state from a checkpoint
+//	GET  /healthz       health summary
+//	GET  /metrics       Prometheus text counters
+//
+// The wire schema is defined (and consumed) by the typed surge/client
+// package; see examples/server for an end-to-end tour.
+//
+// Consistency guarantees: the detector is owned by a single-writer event
+// loop — handlers parse request bodies concurrently and the loop applies
+// them as PushBatch batches — so concurrent ingesters serialise into one
+// global stream order and the SSE notification stream equals the answer
+// changes of a single-process run of that order, bit for bit in the scores
+// (for every algorithm except AG2). Out-of-order timestamps across
+// uncoordinated ingesters are rejected ("strict" policy) or lifted to the
+// stream clock ("clamp"). A subscriber that falls behind its buffer loses
+// oldest-first notifications, with the loss counted on the next delivered
+// notification — never silently. On SIGTERM the server checkpoints before
+// the listener drains, and a later "surged serve -restore" resumes the
+// stream, into any shard count (RestoreSharded).
 package surge

@@ -27,6 +27,10 @@ type Options struct {
 	// point for exact and approximate engines respectively.
 	MaxExact  int
 	MaxApprox int
+	// JSONDir, when non-empty, is where experiments that emit
+	// machine-readable results (currently "serve" -> BENCH_serve.json)
+	// write their JSON files. Empty disables the files.
+	JSONDir string
 }
 
 // DefaultOptions returns laptop-scale defaults.
@@ -44,7 +48,7 @@ func DefaultOptions(out io.Writer) Options {
 
 // Experiments returns the registry of experiment ids in run order.
 func Experiments() []string {
-	return []string{"table1", "fig5", "table2", "fig6", "fig7", "table3", "table4", "fig8", "fig9", "case", "ablation", "roadnet", "shards"}
+	return []string{"table1", "fig5", "table2", "fig6", "fig7", "table3", "table4", "fig8", "fig9", "case", "ablation", "roadnet", "shards", "serve"}
 }
 
 // Run executes one experiment by id.
@@ -76,6 +80,8 @@ func Run(id string, o Options) error {
 		return RoadNet(o)
 	case "shards":
 		return ShardScaling(o)
+	case "serve":
+		return Serve(o)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v)", id, Experiments())
 	}

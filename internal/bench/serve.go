@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"surge"
+	"surge/client"
+	"surge/internal/server"
+)
+
+// serveIngesters is the number of concurrent NDJSON ingesters driven
+// against the server — the acceptance scenario of the serving subsystem.
+const serveIngesters = 4
+
+// serveRow is one measured point of the serve experiment, as emitted to
+// BENCH_serve.json.
+type serveRow struct {
+	Shards        int     `json:"shards"`
+	Ingesters     int     `json:"ingesters"`
+	Objects       int     `json:"objects"`
+	Seconds       float64 `json:"seconds"`
+	ObjectsPerSec float64 `json:"objects_per_sec"`
+	// EventsPerSec counts engine window events (halo replicas counted per
+	// receiving shard), the detector-side view of the same throughput.
+	EventsPerSec float64 `json:"events_per_sec"`
+	Speedup      float64 `json:"speedup"` // vs the 1-shard row
+}
+
+// serveReport is the BENCH_serve.json document.
+type serveReport struct {
+	Experiment string     `json:"experiment"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	Rows       []serveRow `json:"rows"`
+}
+
+// Serve measures end-to-end ingest throughput of the HTTP serving layer —
+// concurrent NDJSON ingesters through internal/server into the sharded
+// pipeline — against the shard count, on the Taxi-like workload. Unlike
+// ShardScaling this includes the full network path: HTTP framing, NDJSON
+// decoding (concurrent, off the event loop) and the single-writer loop.
+// When Options.JSONDir is set the rows are also written to
+// <JSONDir>/BENCH_serve.json.
+func Serve(o Options) error {
+	d := o.dataset("Taxi")
+	w := defaultWindow("Taxi")
+	objs := genFor(d, w, o.MaxApprox)
+
+	// Round-robin split: each ingester's slice stays time-sorted, the
+	// interleaving is absorbed by the server's clamp policy.
+	bodies := make([][]byte, serveIngesters)
+	{
+		parts := make([][]surge.Object, serveIngesters)
+		for i, ob := range objs {
+			g := i % serveIngesters
+			parts[g] = append(parts[g], surge.Object{X: ob.X, Y: ob.Y, Weight: ob.Weight, Time: ob.T})
+		}
+		for g, part := range parts {
+			var buf bytes.Buffer
+			if err := client.EncodeNDJSON(&buf, part); err != nil {
+				return err
+			}
+			bodies[g] = buf.Bytes()
+		}
+	}
+
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	t := NewTable(o.Out, fmt.Sprintf("Serve (Taxi, GOMAXPROCS=%d): HTTP ingest throughput, %d NDJSON ingesters vs shards",
+		runtime.GOMAXPROCS(0), serveIngesters),
+		"Shards", "kobj/s", "kevents/s", "Speedup")
+	rows := make([]serveRow, 0, len(counts))
+	var base float64
+	for _, n := range counts {
+		row, err := serveOnce(o, d.QueryWidth(), d.QueryHeight(), w, n, bodies, len(objs))
+		if err != nil {
+			return err
+		}
+		if base == 0 {
+			base = row.ObjectsPerSec
+		}
+		row.Speedup = row.ObjectsPerSec / base
+		rows = append(rows, row)
+		t.Row(n, fmt.Sprintf("%.1f", row.ObjectsPerSec/1e3),
+			fmt.Sprintf("%.1f", row.EventsPerSec/1e3),
+			fmt.Sprintf("%.2fx", row.Speedup))
+	}
+	t.Flush()
+	if o.JSONDir != "" {
+		path := filepath.Join(o.JSONDir, "BENCH_serve.json")
+		doc, err := json.MarshalIndent(serveReport{
+			Experiment: "serve",
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Rows:       rows,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(doc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(o.Out, "(rows written to %s)\n", path)
+	}
+	return nil
+}
+
+// serveOnce stands a server up on a loopback listener, fires the
+// pre-encoded ingest bodies concurrently and reads the final counters.
+func serveOnce(o Options, qw, qh, window float64, shards int, bodies [][]byte, total int) (serveRow, error) {
+	s, err := server.New(server.Config{
+		Algorithm: surge.CellCSPOT,
+		Options: surge.Options{
+			Width: qw, Height: qh, Window: window, Alpha: o.Alpha, Shards: shards,
+		},
+		TimePolicy: server.Clamp,
+		BatchSize:  512,
+	})
+	if err != nil {
+		return serveRow{}, err
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(bodies))
+	start := time.Now()
+	for g, body := range bodies {
+		wg.Add(1)
+		go func(g int, body []byte) {
+			defer wg.Done()
+			res, err := c.IngestStream(ctx, bytes.NewReader(body), client.NDJSON)
+			if err == nil && res.Accepted == 0 {
+				err = fmt.Errorf("ingester %d: nothing accepted", g)
+			}
+			errs[g] = err
+		}(g, body)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return serveRow{}, err
+		}
+	}
+	st, err := c.Best(ctx)
+	if err != nil {
+		return serveRow{}, err
+	}
+	return serveRow{
+		Shards:        shards,
+		Ingesters:     len(bodies),
+		Objects:       total,
+		Seconds:       elapsed.Seconds(),
+		ObjectsPerSec: float64(total) / elapsed.Seconds(),
+		EventsPerSec:  float64(st.Stats.Events) / elapsed.Seconds(),
+	}, nil
+}

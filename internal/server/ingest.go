@@ -1,0 +1,186 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"surge"
+	"surge/client"
+)
+
+// handleIngest streams an NDJSON (default) or CSV batch into the detector.
+// The body is parsed here, concurrently with other ingesters — the hot
+// path — and applied in BatchSize chunks on the event loop, so every chunk
+// is one PushBatch synchronisation of the sharded pipeline.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	parse := parseNDJSON
+	if ct := r.Header.Get("Content-Type"); strings.Contains(ct, "csv") {
+		parse = parseCSV
+	}
+	var (
+		accepted, clamped int
+		final             surge.Result
+	)
+	apply := func(chunk []surge.Object) error {
+		var res surge.Result
+		var c int
+		var aerr error
+		if err := s.do(func() { res, c, aerr = s.applyBatch(chunk) }); err != nil {
+			return err
+		}
+		if aerr != nil {
+			return aerr
+		}
+		final = res
+		accepted += len(chunk)
+		clamped += c
+		return nil
+	}
+
+	// Objects are validated (and, under the strict policy, order-checked
+	// within the request) before a chunk is submitted, so PushBatch can
+	// only fail on its first object — a chunk is applied in full or not at
+	// all, keeping the reported Accepted count exact.
+	strict := s.cfg.TimePolicy != Clamp
+	lastT := math.Inf(-1)
+	chunk := make([]surge.Object, 0, s.batch)
+	err := parse(r.Body, func(o surge.Object) error {
+		if err := validateObject(o); err != nil {
+			return err
+		}
+		if strict {
+			if o.Time < lastT {
+				return fmt.Errorf("server: out-of-order object at t=%v before t=%v (strict policy)", o.Time, lastT)
+			}
+			lastT = o.Time
+		}
+		chunk = append(chunk, o)
+		if len(chunk) >= s.batch {
+			if err := apply(chunk); err != nil {
+				return err
+			}
+			chunk = chunk[:0]
+		}
+		return nil
+	})
+	if err == nil && len(chunk) > 0 {
+		err = apply(chunk)
+	}
+	if err != nil {
+		s.ingestErr.Add(1)
+		status := http.StatusBadRequest
+		if err == ErrClosed {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err, accepted)
+		return
+	}
+	writeJSON(w, client.IngestResult{
+		Accepted: accepted,
+		Clamped:  clamped,
+		Result:   client.FromResult(final),
+	})
+}
+
+// validateObject mirrors the window engine's own object validation so a
+// bad object is rejected before its chunk is submitted, never mid-batch.
+func validateObject(o surge.Object) error {
+	if math.IsNaN(o.X) || math.IsInf(o.X, 0) || math.IsNaN(o.Y) || math.IsInf(o.Y, 0) {
+		return fmt.Errorf("server: object has non-finite location (%v, %v)", o.X, o.Y)
+	}
+	if math.IsNaN(o.Time) || math.IsInf(o.Time, 0) {
+		return fmt.Errorf("server: object has non-finite time %v", o.Time)
+	}
+	if !(o.Weight >= 0) || math.IsInf(o.Weight, 0) {
+		return fmt.Errorf("server: object weight %v must be finite and non-negative", o.Weight)
+	}
+	return nil
+}
+
+// wireObject decodes one NDJSON ingest line; pointer fields distinguish
+// missing from zero (weight defaults to 1, time/x/y are required).
+type wireObject struct {
+	Time   *float64 `json:"time"`
+	X      *float64 `json:"x"`
+	Y      *float64 `json:"y"`
+	Weight *float64 `json:"weight"`
+}
+
+// parseNDJSON streams objects from newline-delimited JSON.
+func parseNDJSON(r io.Reader, emit func(surge.Object) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var wo wireObject
+		if err := json.Unmarshal([]byte(text), &wo); err != nil {
+			return fmt.Errorf("server: ingest line %d: %w", line, err)
+		}
+		if wo.Time == nil || wo.X == nil || wo.Y == nil {
+			return fmt.Errorf("server: ingest line %d: time, x and y are required", line)
+		}
+		o := surge.Object{Time: *wo.Time, X: *wo.X, Y: *wo.Y, Weight: 1}
+		if wo.Weight != nil {
+			o.Weight = *wo.Weight
+		}
+		if err := emit(o); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// parseCSV streams objects from "time,x,y,weight" lines — the same format
+// surged reads offline, so a recorded stream replays into the server
+// unchanged. Blank lines and '#' comments are skipped.
+func parseCSV(r io.Reader, emit func(surge.Object) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 4 {
+			return fmt.Errorf("server: ingest line %d: want time,x,y,weight", line)
+		}
+		var vals [4]float64
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return fmt.Errorf("server: ingest line %d field %d: %w", line, i+1, err)
+			}
+			vals[i] = v
+		}
+		if err := emit(surge.Object{Time: vals[0], X: vals[1], Y: vals[2], Weight: vals[3]}); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// readBody reads a request body up to limit bytes, erroring beyond it.
+func readBody(r *http.Request, limit int64) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		return nil, fmt.Errorf("server: reading body: %w", err)
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("server: body exceeds %d bytes", limit)
+	}
+	return data, nil
+}

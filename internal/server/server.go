@@ -1,0 +1,523 @@
+// Package server hosts a surge detector behind HTTP: surged serve. It turns
+// the embeddable, single-goroutine Detector into a long-running service —
+// network ingestion, push-based change notification, snapshots and
+// observability — without giving up the library's exactness guarantees.
+//
+// # Concurrency model
+//
+// The Detector (sharded or not) is owned by a single-writer event loop: one
+// goroutine receives closures over a channel and is the only code that
+// touches the detector. HTTP handlers parse request bodies concurrently (the
+// hot path — NDJSON/CSV decoding dominates ingest cost) and submit
+// fixed-size object batches to the loop, which applies them with PushBatch,
+// the batch path of the sharded pipeline. Concurrent ingesters therefore
+// serialise at the loop, inherit its backpressure, and observe a single
+// global stream order; with the Clamp time policy, late timestamps are
+// lifted to the stream clock so independent ingesters never violate the
+// library's time-ordering contract.
+//
+// # Consistency
+//
+// Because every mutation flows through the loop and PushBatch is
+// answer-equivalent to per-object Push, the SSE notification stream is
+// exactly the sequence of answer changes a single-process run of the same
+// object sequence (with the same batch boundaries) would observe — down to
+// the bit pattern of the scores for the schedule-independent engines (CCS,
+// B-CCS, Base, GAPS, MGAPS, Oracle).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"surge"
+	"surge/client"
+)
+
+// ErrClosed is returned by server methods after Close.
+var ErrClosed = errors.New("server: closed")
+
+// TimePolicy selects how ingested timestamps that precede the stream clock
+// are handled.
+type TimePolicy int
+
+const (
+	// Strict rejects out-of-order objects, preserving the library's
+	// contract verbatim. Single-ingester deployments keep exact time
+	// semantics this way.
+	Strict TimePolicy = iota
+	// Clamp lifts late timestamps to the current stream clock, so any
+	// number of concurrent ingesters can stream without coordinating.
+	Clamp
+)
+
+// ParseTimePolicy parses "strict" or "clamp".
+func ParseTimePolicy(s string) (TimePolicy, error) {
+	switch s {
+	case "strict":
+		return Strict, nil
+	case "clamp":
+		return Clamp, nil
+	default:
+		return 0, fmt.Errorf("server: unknown time policy %q (want strict or clamp)", s)
+	}
+}
+
+// Config configures a Server. Algorithm and Options are handed to surge.New
+// unchanged (Options.Shards >= 2 serves from the sharded pipeline).
+type Config struct {
+	Algorithm surge.Algorithm
+	Options   surge.Options
+	// TopK is the default k of /v1/topk (0 = 5).
+	TopK int
+	// TimePolicy handles out-of-order ingest timestamps (default Strict).
+	TimePolicy TimePolicy
+	// BatchSize is the number of objects per detector synchronisation on
+	// the ingest path (0 = 512).
+	BatchSize int
+	// SubscriberBuffer is the per-subscriber notification buffer; a
+	// subscriber that falls further behind loses oldest-first, with the
+	// loss accounted in Notification.Dropped (0 = 64).
+	SubscriberBuffer int
+	// Checkpoint optionally seeds the detector from a snapshot instead of
+	// starting empty. The checkpoint's recorded query options (width,
+	// height, windows, alpha, area) define the detector — only Shards and
+	// ShardBlockCols are taken from Options. Inspect DetectorOptions for
+	// the effective configuration.
+	Checkpoint []byte
+}
+
+// Server hosts one detector. Create with New, expose Handler on an
+// http.Server, and Close on shutdown.
+type Server struct {
+	cfg      Config
+	batch    int
+	subBuf   int
+	mux      *http.ServeMux
+	reqs     chan func()
+	quit     chan struct{} // closed by Close: rejects new work, ends SSE
+	done     chan struct{} // closed when the loop exits
+	start    time.Time
+	stopping sync.Once
+	closing  sync.Once
+	closeErr error
+
+	// Loop-owned state: only the event loop may touch these.
+	det   *surge.Detector
+	clock float64      // largest ingested timestamp
+	last  surge.Result // last published answer
+	seq   uint64       // change sequence number
+
+	hub hub
+
+	// Counters (atomics so /metrics and handlers read them lock-free).
+	objects   atomic.Uint64 // objects applied
+	clamped   atomic.Uint64 // objects lifted to the clock (Clamp policy)
+	batches   atomic.Uint64 // detector synchronisations
+	notifs    atomic.Uint64 // notifications published
+	dropped   atomic.Uint64 // notifications lost to slow subscribers
+	ingestErr atomic.Uint64 // failed ingest requests
+	snapshots atomic.Uint64
+	restores  atomic.Uint64
+}
+
+// New builds the detector and starts the event loop.
+func New(cfg Config) (*Server, error) {
+	if cfg.TopK == 0 {
+		cfg.TopK = 5
+	}
+	if cfg.TopK < 1 {
+		return nil, fmt.Errorf("server: invalid TopK %d", cfg.TopK)
+	}
+	var det *surge.Detector
+	var err error
+	if cfg.Checkpoint != nil {
+		det, err = surge.RestoreSharded(cfg.Algorithm, cfg.Checkpoint,
+			cfg.Options.Shards, cfg.Options.ShardBlockCols)
+	} else {
+		det, err = surge.New(cfg.Algorithm, cfg.Options)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:    cfg,
+		batch:  cfg.BatchSize,
+		subBuf: cfg.SubscriberBuffer,
+		reqs:   make(chan func()),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+		start:  time.Now(),
+		det:    det,
+		clock:  det.Now(),
+		last:   det.Best(),
+	}
+	if s.batch <= 0 {
+		s.batch = 512
+	}
+	if s.subBuf <= 0 {
+		s.subBuf = 64
+	}
+	s.hub.subs = make(map[*subscriber]struct{})
+	s.routes()
+	go s.loop()
+	return s, nil
+}
+
+// loop is the single-writer event loop: the only goroutine that touches
+// the detector.
+func (s *Server) loop() {
+	defer close(s.done)
+	for {
+		select {
+		case fn := <-s.reqs:
+			fn()
+		case <-s.quit:
+			// Drain work that already won the submission race.
+			for {
+				select {
+				case fn := <-s.reqs:
+					fn()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// do runs fn on the event loop and waits for it.
+func (s *Server) do(fn func()) error {
+	ran := make(chan struct{})
+	select {
+	case s.reqs <- func() { defer close(ran); fn() }:
+	case <-s.quit:
+		return ErrClosed
+	}
+	<-ran
+	return nil
+}
+
+// stopLoop stops accepting work and waits for the event loop to drain:
+// afterwards nothing touches the detector concurrently, in-flight requests
+// that were not applied get ErrClosed (never a 200), and SSE subscribers
+// disconnect.
+func (s *Server) stopLoop() {
+	s.stopping.Do(func() {
+		close(s.quit)
+		<-s.done
+	})
+}
+
+// Shutdown stops accepting work, then checkpoints the final detector
+// state. Stopping first closes the acknowledgement window: every ingest
+// acked with a 200 is in the returned checkpoint, every one rejected with
+// 503 is not. The caller should still Close.
+func (s *Server) Shutdown() ([]byte, error) {
+	s.stopLoop()
+	s.snapshots.Add(1)
+	return s.det.Checkpoint()
+}
+
+// Close stops the event loop, disconnects subscribers and closes the
+// detector. It is idempotent.
+func (s *Server) Close() error {
+	s.closing.Do(func() {
+		s.stopLoop()
+		s.closeErr = s.det.Close()
+	})
+	return s.closeErr
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// DetectorOptions returns the detector's effective configuration, which
+// differs from Config.Options when the server was seeded from (or live-
+// restored to) a checkpoint with different query options.
+func (s *Server) DetectorOptions() (surge.Options, error) {
+	var o surge.Options
+	if err := s.do(func() { o = s.det.Options() }); err != nil {
+		return surge.Options{}, err
+	}
+	return o, nil
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/best", s.handleBest)
+	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("GET /v1/subscribe", s.handleSubscribe)
+	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /v1/restore", s.handleRestore)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// applyBatch runs on the event loop: apply the time policy, push the batch,
+// publish the answer if it changed.
+func (s *Server) applyBatch(objs []surge.Object) (surge.Result, int, error) {
+	clamped := 0
+	if s.cfg.TimePolicy == Clamp {
+		for i := range objs {
+			if objs[i].Time < s.clock {
+				objs[i].Time = s.clock
+				clamped++
+			} else {
+				s.clock = objs[i].Time
+			}
+		}
+		s.clamped.Add(uint64(clamped))
+	} else {
+		for i := range objs {
+			if objs[i].Time > s.clock {
+				s.clock = objs[i].Time
+			}
+		}
+	}
+	res, err := s.det.PushBatch(objs)
+	s.batches.Add(1)
+	if now := s.det.Now(); now > s.clock {
+		s.clock = now
+	}
+	s.publish(res)
+	if err != nil {
+		return res, clamped, err
+	}
+	s.objects.Add(uint64(len(objs)))
+	return res, clamped, nil
+}
+
+// publish runs on the event loop: broadcast the answer when it changed.
+// Change detection is exact (bitwise on the score), so the notification
+// stream matches an offline run bit-for-bit.
+func (s *Server) publish(res surge.Result) {
+	if res == s.last {
+		return
+	}
+	s.last = res
+	s.seq++
+	s.notifs.Add(1)
+	n := client.Notification{Seq: s.seq, Time: s.det.Now(), Result: client.FromResult(res)}
+	s.dropped.Add(s.hub.broadcast(n))
+}
+
+// state runs on the event loop: snapshot the queryable state. Best and
+// Stats are pipeline synchronisation points on a sharded detector.
+func (s *Server) state() client.State {
+	st := s.det.Stats()
+	return client.State{
+		Seq:    s.seq,
+		Now:    s.det.Now(),
+		Live:   s.det.Live(),
+		Shards: s.det.Shards(),
+		Result: client.FromResult(s.det.Best()),
+		Stats: client.EngineStats{
+			Events:       st.Events,
+			Searches:     st.Searches,
+			SearchEvents: st.SearchEvents,
+			SweepEntries: st.SweepEntries,
+			CellsTouched: st.CellsTouched,
+		},
+	}
+}
+
+// Snapshot checkpoints the detector (consistent: it runs on the event
+// loop, between ingest batches).
+func (s *Server) Snapshot() ([]byte, error) {
+	var data []byte
+	var err error
+	if derr := s.do(func() { data, err = s.det.Checkpoint(); s.snapshots.Add(1) }); derr != nil {
+		return nil, derr
+	}
+	return data, err
+}
+
+// Restore replaces the detector with the checkpointed state, restored into
+// the server's configured shard count. The replay happens off the event
+// loop; only the swap synchronises with ingest.
+func (s *Server) Restore(data []byte) error {
+	nd, err := surge.RestoreSharded(s.cfg.Algorithm, data,
+		s.cfg.Options.Shards, s.cfg.Options.ShardBlockCols)
+	if err != nil {
+		return err
+	}
+	derr := s.do(func() {
+		old := s.det
+		s.det = nd
+		s.clock = nd.Now()
+		s.restores.Add(1)
+		s.publish(nd.Best())
+		old.Close()
+	})
+	if derr != nil {
+		nd.Close()
+		return derr
+	}
+	return nil
+}
+
+func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
+	var st client.State
+	if err := s.do(func() { st = s.state() }); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err, 0)
+		return
+	}
+	writeJSON(w, st)
+}
+
+// handleTopK serves greedy top-k on demand: the live windows are
+// checkpointed on the loop, then replayed into a fresh top-k detector off
+// the loop, so an expensive top-k query never stalls ingestion.
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	k := s.cfg.TopK
+	if q := r.URL.Query().Get("k"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 || v > 1000 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("server: invalid k %q", q), 0)
+			return
+		}
+		k = v
+	}
+	data, err := s.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err, 0)
+		return
+	}
+	alg := topKAlgorithm(s.cfg.Algorithm)
+	td, err := surge.RestoreTopK(alg, data, k)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err, 0)
+		return
+	}
+	results := td.BestK()
+	out := client.TopK{K: k, Algorithm: alg.String(), Results: make([]client.Result, len(results))}
+	for i, res := range results {
+		out.Results[i] = client.FromResult(res)
+	}
+	writeJSON(w, out)
+}
+
+// topKAlgorithm maps the serving algorithm to its top-k variant, falling
+// back to the paper's exact kCCS for algorithms without one.
+func topKAlgorithm(alg surge.Algorithm) surge.Algorithm {
+	switch alg {
+	case surge.CellCSPOT, surge.GridApprox, surge.MultiGrid, surge.Oracle:
+		return alg
+	default:
+		return surge.CellCSPOT
+	}
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	data, err := s.Snapshot()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err, 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Write(data)
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	data, err := readBody(r, 1<<30)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+	if err := s.Restore(data); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err, 0)
+		return
+	}
+	var st client.State
+	if err := s.do(func() { st = s.state() }); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err, 0)
+		return
+	}
+	writeJSON(w, st)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := client.Health{
+		Algorithm:   s.cfg.Algorithm.String(),
+		UptimeSec:   time.Since(s.start).Seconds(),
+		Subscribers: s.hub.count(),
+	}
+	err := s.do(func() {
+		h.OK = true
+		h.Shards = s.det.Shards()
+		h.Now = s.det.Now()
+		h.Live = s.det.Live()
+	})
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(h)
+		return
+	}
+	writeJSON(w, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var st client.State
+	if err := s.do(func() { st = s.state() }); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err, 0)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	found := 0.0
+	if st.Result.Found {
+		found = 1
+	}
+	writeMetric(w, "surge_objects_ingested_total", "counter", "Objects applied to the detector.", float64(s.objects.Load()))
+	writeMetric(w, "surge_objects_clamped_total", "counter", "Late objects lifted to the stream clock (clamp policy).", float64(s.clamped.Load()))
+	writeMetric(w, "surge_ingest_batches_total", "counter", "Detector synchronisations on the ingest path.", float64(s.batches.Load()))
+	writeMetric(w, "surge_ingest_errors_total", "counter", "Failed ingest requests.", float64(s.ingestErr.Load()))
+	writeMetric(w, "surge_notifications_total", "counter", "Bursty-region change notifications published.", float64(s.notifs.Load()))
+	writeMetric(w, "surge_notifications_dropped_total", "counter", "Notifications lost to slow subscribers.", float64(s.dropped.Load()))
+	writeMetric(w, "surge_snapshots_total", "counter", "Checkpoints taken.", float64(s.snapshots.Load()))
+	writeMetric(w, "surge_restores_total", "counter", "Checkpoints restored.", float64(s.restores.Load()))
+	writeMetric(w, "surge_subscribers", "gauge", "Open notification subscriptions.", float64(s.hub.count()))
+	writeMetric(w, "surge_shards", "gauge", "Engine shards processing the stream.", float64(st.Shards))
+	writeMetric(w, "surge_live_objects", "gauge", "Objects inside the sliding windows.", float64(st.Live))
+	writeMetric(w, "surge_stream_time", "gauge", "Current stream clock.", st.Now)
+	writeMetric(w, "surge_best_found", "gauge", "Whether a bursty region currently exists.", found)
+	writeMetric(w, "surge_best_score", "gauge", "Burst score of the current bursty region.", st.Result.Score)
+	writeMetric(w, "surge_engine_events_total", "counter", "Window events processed by the engines (halo replicas counted per shard).", float64(st.Stats.Events))
+	writeMetric(w, "surge_engine_searches_total", "counter", "Snapshot searches run by the engines.", float64(st.Stats.Searches))
+	writeMetric(w, "surge_engine_search_events_total", "counter", "Events that triggered at least one search.", float64(st.Stats.SearchEvents))
+	writeMetric(w, "surge_engine_sweep_entries_total", "counter", "Sweep entries processed by the engines.", float64(st.Stats.SweepEntries))
+	writeMetric(w, "surge_engine_cells_touched_total", "counter", "Grid cells touched by the engines.", float64(st.Stats.CellsTouched))
+	writeMetric(w, "surge_uptime_seconds", "gauge", "Seconds since the server started.", time.Since(s.start).Seconds())
+}
+
+func writeMetric(w http.ResponseWriter, name, kind, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, kind, name, v)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error, accepted int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(client.Error{Err: err.Error(), Accepted: accepted})
+}

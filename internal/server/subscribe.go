@@ -1,0 +1,158 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"surge/client"
+)
+
+// keepAliveInterval paces the SSE comment lines that keep idle
+// subscriptions from being reaped by proxies and detect dead peers.
+const keepAliveInterval = 15 * time.Second
+
+// subscriber is one open /v1/subscribe stream. The channel is written only
+// by the event loop (under the hub lock); dropped accumulates the
+// notifications lost to the slow-consumer policy since the last delivery
+// and is loop-owned too.
+type subscriber struct {
+	ch      chan client.Notification
+	dropped uint64
+}
+
+// hub is the subscriber registry. Handlers add/remove under the lock; the
+// event loop broadcasts under the lock, so a subscriber present during
+// broadcast is guaranteed delivery or a Dropped account — never a silent
+// gap.
+type hub struct {
+	mu   sync.Mutex
+	subs map[*subscriber]struct{}
+}
+
+func (h *hub) add(sub *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.subs[sub] = struct{}{}
+}
+
+func (h *hub) remove(sub *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.subs, sub)
+}
+
+func (h *hub) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// broadcast delivers n to every subscriber without ever blocking the event
+// loop. A full subscriber loses its oldest buffered notification to make
+// room for the newest one — the freshest answer is always deliverable —
+// and the loss is surfaced on the next delivered notification's Dropped
+// field. Returns the number of notifications dropped across subscribers.
+func (h *hub) broadcast(n client.Notification) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var lost uint64
+	for sub := range h.subs {
+		if sub.trySend(n) {
+			continue
+		}
+		// Full: evict the oldest (the only receiver is the subscriber's
+		// handler, so draining one slot is enough room unless the handler
+		// raced a receive — then the retry has room anyway). The evicted
+		// notification's own Dropped account is reclaimed so the invariant
+		// "delivered count + sum of delivered Dropped = published count"
+		// holds however far a subscriber falls behind.
+		select {
+		case old := <-sub.ch:
+			sub.dropped += old.Dropped + 1
+			lost++
+		default:
+		}
+		if !sub.trySend(n) {
+			sub.dropped++ // cannot happen with a buffered channel; never block
+			lost++
+		}
+	}
+	return lost
+}
+
+// trySend attaches the accumulated loss count and delivers without
+// blocking.
+func (sub *subscriber) trySend(n client.Notification) bool {
+	n.Dropped = sub.dropped
+	select {
+	case sub.ch <- n:
+		sub.dropped = 0
+		return true
+	default:
+		return false
+	}
+}
+
+// handleSubscribe streams bursty-region changes as Server-Sent Events: a
+// "hello" event carrying the current State, then one "burst" event
+// (Notification) per answer change. The hello is sent only after the
+// subscriber is registered, so a client that has read it observes every
+// subsequent change (modulo the accounted slow-consumer drops).
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("server: streaming unsupported"), 0)
+		return
+	}
+	sub := &subscriber{ch: make(chan client.Notification, s.subBuf)}
+	s.hub.add(sub)
+	defer s.hub.remove(sub)
+
+	var st client.State
+	if err := s.do(func() { st = s.state() }); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err, 0)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	if err := writeEvent(w, "hello", st.Seq, st); err != nil {
+		return
+	}
+	fl.Flush()
+
+	ticker := time.NewTicker(keepAliveInterval)
+	defer ticker.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case n := <-sub.ch:
+			if err := writeEvent(w, "burst", n.Seq, n); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-ticker.C:
+			if _, err := fmt.Fprint(w, ": keep-alive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-ctx.Done():
+			return
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// writeEvent renders one SSE frame.
+func writeEvent(w http.ResponseWriter, event string, id uint64, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", event, id, data)
+	return err
+}

@@ -14,8 +14,11 @@ import (
 	"surge/internal/window"
 )
 
-// errClosed is returned when a sharded detector is used after Close.
-var errClosed = errors.New("surge: detector is closed")
+// ErrClosed is returned by Push, PushBatch and AdvanceTo after Close. The
+// query methods (Best, Stats, Now, Live, Checkpoint) keep reporting the
+// state captured at Close, so a server can drain its answer and write a
+// final checkpoint during shutdown while new ingests are rejected.
+var ErrClosed = errors.New("surge: detector is closed")
 
 // Algorithm selects a detection engine.
 type Algorithm int
@@ -191,6 +194,9 @@ type Detector struct {
 	liveObjs map[uint64]core.Object // live set for Checkpoint
 	ag2Gamma float64
 	counted  bool
+	shards   int // requested Options.Shards (recorded in checkpoints)
+	blkCols  int // requested Options.ShardBlockCols
+	closed   bool
 
 	finalStats Stats // merged stats captured by Close (sharded path)
 }
@@ -214,6 +220,8 @@ func New(alg Algorithm, opt Options) (*Detector, error) {
 		liveObjs: make(map[uint64]core.Object),
 		ag2Gamma: gamma,
 		counted:  opt.CountWindows,
+		shards:   opt.Shards,
+		blkCols:  opt.ShardBlockCols,
 	}
 	if opt.Shards >= 2 && alg != AG2 {
 		d.pipe, err = shard.New(cfg, opt.Shards, opt.ShardBlockCols,
@@ -270,11 +278,40 @@ func newEngine(alg Algorithm, cfg core.Config, opt Options) (core.Engine, error)
 // Algorithm returns the detector's algorithm.
 func (d *Detector) Algorithm() Algorithm { return d.alg }
 
+// Options returns the detector's effective configuration — for a restored
+// detector, the options reconstructed from the checkpoint (with any
+// RestoreSharded overrides applied). PastWindow is always explicit, even
+// when it was derived from Window.
+func (d *Detector) Options() Options {
+	opt := Options{
+		Width:          d.cfg.Width,
+		Height:         d.cfg.Height,
+		Window:         d.cfg.WC,
+		PastWindow:     d.cfg.WP,
+		Alpha:          d.cfg.Alpha,
+		AG2Gamma:       d.ag2Gamma,
+		CountWindows:   d.counted,
+		Shards:         d.shards,
+		ShardBlockCols: d.blkCols,
+	}
+	if d.cfg.Area != nil {
+		opt.Area = &Region{
+			MinX: d.cfg.Area.MinX, MinY: d.cfg.Area.MinY,
+			MaxX: d.cfg.Area.MaxX, MaxY: d.cfg.Area.MaxY,
+		}
+	}
+	return opt
+}
+
 // Push feeds one object into the stream, processes every window transition
 // it makes due, and returns the refreshed bursty region. Objects must arrive
 // in non-decreasing time order. On a sharded detector every Push is a full
-// pipeline synchronisation; use PushBatch for throughput.
+// pipeline synchronisation; use PushBatch for throughput. After Close it
+// returns the last answer and ErrClosed.
 func (d *Detector) Push(o Object) (Result, error) {
+	if d.closed {
+		return toResult(d.cur), ErrClosed
+	}
 	if d.pipe != nil {
 		return d.pushSharded([]Object{o})
 	}
@@ -293,8 +330,12 @@ func (d *Detector) Push(o Object) (Result, error) {
 // of the batch — on the sharded pipeline this is the single synchronisation
 // point, on the single-engine path it lets the lazy engines defer searches
 // across the batch. On error the stream state includes every object before
-// the offending one and the previous answer is retained.
+// the offending one and the previous answer is retained. After Close it
+// returns the last answer and ErrClosed.
 func (d *Detector) PushBatch(objs []Object) (Result, error) {
+	if d.closed {
+		return toResult(d.cur), ErrClosed
+	}
 	if d.pipe != nil {
 		return d.pushSharded(objs)
 	}
@@ -308,9 +349,6 @@ func (d *Detector) PushBatch(objs []Object) (Result, error) {
 }
 
 func (d *Detector) pushSharded(objs []Object) (Result, error) {
-	if d.pipe.Closed() {
-		return toResult(d.cur), errClosed
-	}
 	for _, o := range objs {
 		if _, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.routeStep); err != nil {
 			return toResult(d.cur), err
@@ -326,12 +364,12 @@ func (d *Detector) pushSharded(objs []Object) (Result, error) {
 
 // AdvanceTo moves the stream clock to t without a new arrival (processing
 // any Grown/Expired transitions that become due) and returns the refreshed
-// bursty region.
+// bursty region. After Close it returns the last answer and ErrClosed.
 func (d *Detector) AdvanceTo(t float64) (Result, error) {
+	if d.closed {
+		return toResult(d.cur), ErrClosed
+	}
 	if d.pipe != nil {
-		if d.pipe.Closed() {
-			return toResult(d.cur), errClosed
-		}
 		if err := d.win.Advance(t, d.routeStep); err != nil {
 			return Result{}, err
 		}
@@ -371,8 +409,12 @@ func (d *Detector) routeStep(ev core.Event) {
 }
 
 // Best returns the current bursty region. On a sharded detector this is a
-// pipeline synchronisation point.
+// pipeline synchronisation point. After Close it keeps returning the answer
+// captured at Close.
 func (d *Detector) Best() Result {
+	if d.closed {
+		return toResult(d.cur)
+	}
 	if d.pipe != nil {
 		if res, _, err := d.pipe.Query(); err == nil {
 			d.cur = res
@@ -398,20 +440,27 @@ func (d *Detector) Shards() int {
 	return 1
 }
 
-// Close stops the shard goroutines of a sharded detector; the detector must
-// not be pushed to afterwards. Buffered events are flushed and a final
-// synchronisation runs first, so Best and Stats keep reporting the
-// end-of-stream answer after Close. It is a no-op on the single-engine path
-// and is idempotent.
+// Close stops the detector: on the sharded path the shard goroutines are
+// shut down after buffered events are flushed and a final synchronisation
+// runs, so Best and Stats keep reporting the end-of-stream answer. After
+// Close, Push, PushBatch and AdvanceTo return ErrClosed (on both the sharded
+// and the single-engine path) while the query methods keep answering from
+// the captured state. Close is idempotent.
 func (d *Detector) Close() error {
-	if d.pipe == nil {
+	if d.closed {
 		return nil
 	}
-	if !d.pipe.Closed() {
-		if res, st, err := d.pipe.Query(); err == nil {
-			d.cur = res
-			d.finalStats = toStats(st)
+	d.closed = true
+	if d.pipe == nil {
+		d.cur = d.eng.Best()
+		if s, ok := d.eng.(statser); ok {
+			d.finalStats = toStats(s.Stats())
 		}
+		return nil
+	}
+	if res, st, err := d.pipe.Query(); err == nil {
+		d.cur = res
+		d.finalStats = toStats(st)
 	}
 	return d.pipe.Close()
 }
@@ -423,10 +472,10 @@ func (d *Detector) Close() error {
 // Events can exceed the single-engine count while the search and cell
 // counters match.
 func (d *Detector) Stats() Stats {
+	if d.closed {
+		return d.finalStats
+	}
 	if d.pipe != nil {
-		if d.pipe.Closed() {
-			return d.finalStats
-		}
 		_, st, err := d.pipe.Query()
 		if err != nil {
 			return Stats{}
