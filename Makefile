@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-smoke
 
 check: fmt vet build test
 
@@ -27,3 +27,9 @@ race:
 
 bench:
 	$(GO) run ./cmd/surgebench -exp all
+
+# Laptop-scale hotpath benchmark; writes BENCH_hotpath.json to bench-out/ so
+# CI can archive every PR's perf point (ns/obj, allocs/obj, objs/sec).
+bench-smoke:
+	mkdir -p bench-out
+	$(GO) run ./cmd/surgebench -exp hotpath -max-exact 1000 -max-approx 10000 -json-dir bench-out

@@ -1,0 +1,56 @@
+package surge_test
+
+import (
+	"testing"
+
+	"surge"
+)
+
+// pushAllocs primes a detector into steady state — objects cycling over a
+// fixed set of locations at a constant inter-arrival, long enough for every
+// queue, cell, heap and scratch buffer to reach its final capacity — and
+// then measures the amortised heap allocations of one more Push.
+func pushAllocs(t *testing.T, alg surge.Algorithm) float64 {
+	t.Helper()
+	det, err := surge.New(alg, surge.Options{
+		Width: 1, Height: 1, Window: 16, Alpha: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer det.Close()
+	locs := [5][2]float64{{0.5, 0.5}, {3.2, 1.7}, {-2.4, 0.9}, {7.9, -3.3}, {0.6, 0.4}}
+	i := 0
+	tm := 0.0
+	push := func() {
+		l := locs[i%len(locs)]
+		i++
+		tm += 0.125
+		if _, err := det.Push(surge.Object{X: l[0], Y: l[1], Weight: 1, Time: tm}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 4096 pushes = 16 full window generations at 128 objects per window.
+	for n := 0; n < 4096; n++ {
+		push()
+	}
+	return testing.AllocsPerRun(2048, push)
+}
+
+// TestPushZeroAllocCCS and TestPushZeroAllocGAPS are the hot-path
+// allocation-regression guards: steady-state Push (window transitions,
+// cell updates, bound maintenance, continuous Best) must not touch the
+// heap on the single-engine paths. Any new per-object allocation — a
+// rebound method value, an interface boxing in a sort, a map rebuild —
+// fails these tests rather than silently landing on the hot path.
+func TestPushZeroAllocCCS(t *testing.T) {
+	if a := pushAllocs(t, surge.CellCSPOT); a != 0 {
+		t.Fatalf("CCS Push allocates %v allocs/op in steady state, want 0", a)
+	}
+}
+
+func TestPushZeroAllocGAPS(t *testing.T) {
+	if a := pushAllocs(t, surge.GridApprox); a != 0 {
+		t.Fatalf("GAPS Push allocates %v allocs/op in steady state, want 0", a)
+	}
+}

@@ -142,6 +142,15 @@ func Restore(alg Algorithm, data []byte) (*Detector, error) {
 // checkpoint written at any shard count restores into any other with
 // identical scores.
 func RestoreSharded(alg Algorithm, data []byte, shards, blockCols int) (*Detector, error) {
+	return RestoreShardedTuned(alg, data, shards, blockCols, 0)
+}
+
+// RestoreShardedTuned is RestoreSharded with the shard router's flush size
+// (Options.ShardFlushEvents) re-applied. Flush sizing is runtime tuning,
+// not logical state, so checkpoints never record it — a caller that pinned
+// a fixed flush must pass it again on restore (0 selects the
+// backlog-adaptive default).
+func RestoreShardedTuned(alg Algorithm, data []byte, shards, blockCols, flushEvents int) (*Detector, error) {
 	env, opt, err := decodeCheckpoint(data)
 	if err != nil {
 		return nil, err
@@ -152,6 +161,7 @@ func RestoreSharded(alg Algorithm, data []byte, shards, blockCols int) (*Detecto
 	if blockCols != KeepShards {
 		opt.ShardBlockCols = blockCols
 	}
+	opt.ShardFlushEvents = flushEvents
 	d, err := New(alg, opt)
 	if err != nil {
 		return nil, err

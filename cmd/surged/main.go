@@ -16,8 +16,11 @@
 //
 // For heavy streams, -shards N runs the sharded concurrent pipeline (N engine
 // goroutines over a spatial column partitioning; 0 = one per CPU) and -batch M
-// ingests M objects per detector synchronisation. A summary with the shard
-// count and merged engine statistics is reported on exit.
+// ingests M objects per detector synchronisation (-batch auto picks 1
+// single-engine, 512 sharded). Inside the pipeline the router sizes its
+// per-shard event batches by observed backlog; -flush N pins that size
+// instead. A summary with the shard count and merged engine statistics is
+// reported on exit.
 //
 // With the serve subcommand, surged instead runs as a long-lived HTTP
 // service (see surge/internal/server and the surge/client package):
@@ -62,7 +65,8 @@ func main() {
 		every  = flag.Int("every", 1, "print at most every Nth change")
 		demo   = flag.Bool("demo", false, "run on a generated demo stream with a planted burst")
 		shards = flag.Int("shards", 1, "engine shards: 1 = single engine, 0 = one per CPU")
-		batch  = flag.Int("batch", 0, "objects ingested per detector sync (0 = auto: 1 single-engine, 512 sharded)")
+		batch  = flag.String("batch", "auto", "objects ingested per detector sync: a number, or auto (1 single-engine, 512 sharded)")
+		flush  = flag.Int("flush", 0, "sharded router flush size in events per shard (0 = adapt to shard backlog)")
 	)
 	flag.Parse()
 
@@ -77,21 +81,17 @@ func main() {
 	if nShards < 1 {
 		fatal(fmt.Errorf("invalid -shards %d", *shards))
 	}
-	nBatch := *batch
-	if nBatch == 0 {
-		if nShards > 1 {
-			nBatch = 512
-		} else {
-			nBatch = 1
-		}
+	nBatch, err := parseBatch(*batch, nShards)
+	if err != nil {
+		fatal(err)
 	}
-	if nBatch < 1 {
-		fatal(fmt.Errorf("invalid -batch %d", *batch))
+	if *flush < 0 {
+		fatal(fmt.Errorf("invalid -flush %d", *flush))
 	}
 	opt := surge.Options{
 		Width: *width, Height: *height,
 		Window: *win, PastWindow: *pastW, Alpha: *alpha,
-		Shards: nShards,
+		Shards: nShards, ShardFlushEvents: *flush,
 	}
 
 	var src io.Reader
@@ -121,6 +121,30 @@ func main() {
 	if err := runSingle(alg, opt, src, *every, nBatch); err != nil {
 		fatal(err)
 	}
+}
+
+// parseBatch resolves the -batch flag: "auto" (or 0) selects 1 on the
+// single-engine path and 512 on the sharded pipeline, where per-object
+// synchronisation would dominate.
+func parseBatch(s string, shards int) (int, error) {
+	n := 0
+	if s != "auto" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("invalid -batch %q (want a number or auto)", s)
+		}
+		n = v
+	}
+	if n == 0 {
+		if shards > 1 {
+			return 512, nil
+		}
+		return 1, nil
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("invalid -batch %d", n)
+	}
+	return n, nil
 }
 
 func parseAlgo(s string) (surge.Algorithm, error) {

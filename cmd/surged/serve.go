@@ -49,6 +49,8 @@ func runServe(args []string) error {
 		subBuf  = fs.Int("sub-buffer", 64, "per-subscriber notification buffer before oldest-first drops")
 		ckptOut = fs.String("checkpoint", "", "write a checkpoint to this file on shutdown")
 		ckptIn  = fs.String("restore", "", "seed the detector from this checkpoint file at boot")
+		flush   = fs.Int("flush", 0, "sharded router flush size in events per shard (0 = adapt to shard backlog)")
+		pprofOn = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling; leave off unless the listener is access-controlled)")
 	)
 	fs.Parse(args)
 
@@ -67,17 +69,21 @@ func runServe(args []string) error {
 	if nShards < 1 {
 		return fmt.Errorf("invalid -shards %d", *shards)
 	}
+	if *flush < 0 {
+		return fmt.Errorf("invalid -flush %d", *flush)
+	}
 	cfg := server.Config{
 		Algorithm: alg,
 		Options: surge.Options{
 			Width: *width, Height: *height,
 			Window: *win, PastWindow: *pastW, Alpha: *alpha,
-			Shards: nShards, ShardBlockCols: *blkCols,
+			Shards: nShards, ShardBlockCols: *blkCols, ShardFlushEvents: *flush,
 		},
 		TopK:             *k,
 		TimePolicy:       tp,
 		BatchSize:        *batch,
 		SubscriberBuffer: *subBuf,
+		EnablePprof:      *pprofOn,
 	}
 	if *ckptIn != "" {
 		data, err := os.ReadFile(*ckptIn)

@@ -91,6 +91,46 @@
 // are applied one by one, but the lazy engines defer their snapshot searches
 // to a single query at the end of the batch.
 //
+// # Performance
+//
+// The steady-state ingest path is allocation-free from the HTTP body to the
+// engines, and regression-guarded: testing.AllocsPerRun tests assert zero
+// amortised allocations per Push for the CCS and GAPS engines and for the
+// server's NDJSON line decoder (run by the ordinary test suite, i.e. by
+// `make check`). The pooling contract behind that:
+//
+//   - The engines recycle their per-cell storage: a cell emptied by expiry
+//     is reset and reused for the next cell born anywhere on the grid, so
+//     cell churn under a moving stream costs no heap traffic. Recycled
+//     state is byte-identical to a fresh cell's, so reuse cannot perturb
+//     the bit-identical score guarantees.
+//   - The shard router recycles its event batches through a sync.Pool —
+//     shard workers hand slices back after applying them — and sizes each
+//     flush by the receiving shard's backlog: Options.ShardFlushEvents = 0
+//     (the default) starts at small batches while a shard's channel is
+//     empty (low detection latency) and doubles the batch up to the
+//     maximum as the channel fills (fewer synchronisations exactly when
+//     they are most contended). A fixed size can be pinned with
+//     Options.ShardFlushEvents or `surged -flush N`; batch sizing never
+//     changes which events a shard sees or their order, so answers are
+//     identical under every setting. `surged -batch auto` picks the
+//     PushBatch chunking (1 single-engine, 512 sharded).
+//   - The server decodes NDJSON/CSV ingest bodies with a zero-copy field
+//     scanner over the request buffer (exotic lines fall back to
+//     encoding/json, so accepted inputs are unchanged) and recycles the
+//     per-request chunk buffers.
+//
+// The perf trajectory is tracked by machine-readable benchmark reports:
+// `surgebench -exp hotpath -json-dir .` writes BENCH_hotpath.json with
+// ns/obj, allocs/obj and objs/sec for the single-engine (CCS, GAPS),
+// sharded-batch and HTTP-ingest configurations, and the `shards` and
+// `serve` experiments write BENCH_shards.json / BENCH_serve.json with
+// their scaling curves (rows of objects_per_sec and speedup per shard
+// count). CI runs the hotpath experiment at laptop scale on every PR and
+// archives the JSON, so regressions show up as a diff in the perf point.
+// For profiling a live instance, `surged serve -pprof` mounts
+// net/http/pprof under /debug/pprof/ (off by default).
+//
 // # Serving
 //
 // surged serve hosts a detector as a long-running HTTP service

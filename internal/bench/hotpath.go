@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"time"
+
+	"surge"
+	"surge/client"
+	"surge/internal/core"
+	"surge/internal/server"
+)
+
+// hotpathRow is one measured configuration of the hotpath experiment, as
+// emitted to BENCH_hotpath.json.
+type hotpathRow struct {
+	Config        string  `json:"config"`
+	Shards        int     `json:"shards,omitempty"`
+	Objects       int     `json:"objects"`
+	Seconds       float64 `json:"seconds"`
+	NsPerObj      float64 `json:"ns_per_obj"`
+	AllocsPerObj  float64 `json:"allocs_per_obj"`
+	BytesPerObj   float64 `json:"bytes_per_obj"`
+	ObjectsPerSec float64 `json:"objects_per_sec"`
+}
+
+// hotpathReport is the BENCH_hotpath.json document.
+type hotpathReport struct {
+	Experiment string       `json:"experiment"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Rows       []hotpathRow `json:"rows"`
+}
+
+// Hotpath measures the steady-state ingest cost — ns/obj, heap allocations
+// and allocated bytes per object — of four hot-path configurations on the
+// Taxi-like workload:
+//
+//	ccs-push     single-engine CCS, Push per object (continuous query)
+//	gaps-push    single-engine GAPS, Push per object
+//	sharded      CCS sharded pipeline, PushBatch in 512-object chunks
+//	http-ingest  full HTTP path: concurrent NDJSON ingesters through
+//	             internal/server into the sharded pipeline
+//
+// Unlike the paper-replay experiments it times the entire feed (no warm-up
+// split) and reads runtime.MemStats around it: the rows are a perf-trajectory
+// metric for the ingest path, tracked in BENCH_hotpath.json via -json-dir,
+// not the paper's per-object detection latency.
+func Hotpath(o Options) error {
+	d := o.dataset("Taxi")
+	w := defaultWindow("Taxi")
+	qw, qh := d.QueryWidth(), d.QueryHeight()
+	// At least 2 shards so the pipeline (router, channels, merger) is
+	// actually on the measured path even on single-core runners.
+	shards := runtime.NumCPU()
+	if shards < 2 {
+		shards = 2
+	}
+
+	rows := make([]hotpathRow, 0, 4)
+
+	// Single-engine Push, continuous query per arrival.
+	for _, sp := range []struct {
+		name  string
+		alg   surge.Algorithm
+		limit int
+	}{
+		{"ccs-push", surge.CellCSPOT, o.MaxExact * 4},
+		{"gaps-push", surge.GridApprox, o.MaxApprox},
+	} {
+		objs := toSurgeObjects(genFor(d, w, sp.limit))
+		det, err := surge.New(sp.alg, surge.Options{
+			Width: qw, Height: qh, Window: w, Alpha: o.Alpha,
+		})
+		if err != nil {
+			return err
+		}
+		row, err := measureHotpath(sp.name, len(objs), func() error {
+			for _, ob := range objs {
+				if _, err := det.Push(ob); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		det.Close()
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+	}
+
+	// Sharded pipeline, batch ingest.
+	{
+		objs := toSurgeObjects(genFor(d, w, o.MaxExact*4))
+		det, err := surge.New(surge.CellCSPOT, surge.Options{
+			Width: qw, Height: qh, Window: w, Alpha: o.Alpha, Shards: shards,
+		})
+		if err != nil {
+			return err
+		}
+		row, err := measureHotpath("sharded", len(objs), func() error {
+			const batch = 512
+			for lo := 0; lo < len(objs); lo += batch {
+				hi := lo + batch
+				if hi > len(objs) {
+					hi = len(objs)
+				}
+				if _, err := det.PushBatch(objs[lo:hi]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		det.Close()
+		if err != nil {
+			return err
+		}
+		row.Shards = shards
+		rows = append(rows, row)
+	}
+
+	// Full HTTP ingest path: concurrent NDJSON ingesters.
+	{
+		objs := toSurgeObjects(genFor(d, w, o.MaxApprox))
+		bodies, err := ndjsonBodies(objs, serveIngesters)
+		if err != nil {
+			return err
+		}
+		s, err := server.New(server.Config{
+			Algorithm: surge.CellCSPOT,
+			Options: surge.Options{
+				Width: qw, Height: qh, Window: w, Alpha: o.Alpha, Shards: shards,
+			},
+			TimePolicy: server.Clamp,
+			BatchSize:  512,
+		})
+		if err != nil {
+			return err
+		}
+		ts := httptest.NewServer(s.Handler())
+		c := client.New(ts.URL)
+		ctx := context.Background()
+		row, err := measureHotpath("http-ingest", len(objs), func() error {
+			var wg sync.WaitGroup
+			errs := make([]error, len(bodies))
+			for g, body := range bodies {
+				wg.Add(1)
+				go func(g int, body []byte) {
+					defer wg.Done()
+					res, err := c.IngestStream(ctx, bytes.NewReader(body), client.NDJSON)
+					if err == nil && res.Accepted == 0 {
+						err = fmt.Errorf("ingester %d: nothing accepted", g)
+					}
+					errs[g] = err
+				}(g, body)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		ts.Close()
+		s.Close()
+		if err != nil {
+			return err
+		}
+		row.Shards = shards
+		rows = append(rows, row)
+	}
+
+	t := NewTable(o.Out, fmt.Sprintf("Hotpath (Taxi, GOMAXPROCS=%d): ingest cost per object", runtime.GOMAXPROCS(0)),
+		"Config", "Objects", "ns/obj", "allocs/obj", "B/obj", "kobj/s")
+	for _, r := range rows {
+		t.Row(r.Config, r.Objects,
+			fmt.Sprintf("%.0f", r.NsPerObj),
+			fmt.Sprintf("%.2f", r.AllocsPerObj),
+			fmt.Sprintf("%.0f", r.BytesPerObj),
+			fmt.Sprintf("%.1f", r.ObjectsPerSec/1e3))
+	}
+	t.Flush()
+
+	return o.writeJSONReport("BENCH_hotpath.json", hotpathReport{
+		Experiment: "hotpath",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Rows:       rows,
+	})
+}
+
+// measureHotpath times fn and attributes the process-wide heap traffic it
+// caused to the fed objects. A GC runs first so leftover garbage from the
+// previous configuration is not charged to this one.
+func measureHotpath(name string, objects int, fn func() error) (hotpathRow, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	if err := fn(); err != nil {
+		return hotpathRow{}, err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := float64(objects)
+	return hotpathRow{
+		Config:        name,
+		Objects:       objects,
+		Seconds:       elapsed.Seconds(),
+		NsPerObj:      float64(elapsed.Nanoseconds()) / n,
+		AllocsPerObj:  float64(m1.Mallocs-m0.Mallocs) / n,
+		BytesPerObj:   float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+		ObjectsPerSec: n / elapsed.Seconds(),
+	}, nil
+}
+
+// toSurgeObjects converts a generated core stream to the public object type.
+func toSurgeObjects(objs []core.Object) []surge.Object {
+	out := make([]surge.Object, len(objs))
+	for i, ob := range objs {
+		out[i] = surge.Object{X: ob.X, Y: ob.Y, Weight: ob.Weight, Time: ob.T}
+	}
+	return out
+}
+
+// ndjsonBodies splits objs round-robin into n pre-encoded NDJSON ingest
+// bodies; each ingester's slice stays time-sorted, the interleaving is
+// absorbed by the server's clamp policy.
+func ndjsonBodies(objs []surge.Object, n int) ([][]byte, error) {
+	parts := make([][]surge.Object, n)
+	for i, ob := range objs {
+		g := i % n
+		parts[g] = append(parts[g], ob)
+	}
+	bodies := make([][]byte, n)
+	for g, part := range parts {
+		var buf bytes.Buffer
+		if err := client.EncodeNDJSON(&buf, part); err != nil {
+			return nil, err
+		}
+		bodies[g] = buf.Bytes()
+	}
+	return bodies, nil
+}

@@ -3,11 +3,8 @@ package bench
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"net/http/httptest"
-	"os"
-	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -54,22 +51,9 @@ func Serve(o Options) error {
 	w := defaultWindow("Taxi")
 	objs := genFor(d, w, o.MaxApprox)
 
-	// Round-robin split: each ingester's slice stays time-sorted, the
-	// interleaving is absorbed by the server's clamp policy.
-	bodies := make([][]byte, serveIngesters)
-	{
-		parts := make([][]surge.Object, serveIngesters)
-		for i, ob := range objs {
-			g := i % serveIngesters
-			parts[g] = append(parts[g], surge.Object{X: ob.X, Y: ob.Y, Weight: ob.Weight, Time: ob.T})
-		}
-		for g, part := range parts {
-			var buf bytes.Buffer
-			if err := client.EncodeNDJSON(&buf, part); err != nil {
-				return err
-			}
-			bodies[g] = buf.Bytes()
-		}
+	bodies, err := ndjsonBodies(toSurgeObjects(objs), serveIngesters)
+	if err != nil {
+		return err
 	}
 
 	counts := []int{1, 2, 4}
@@ -96,22 +80,11 @@ func Serve(o Options) error {
 			fmt.Sprintf("%.2fx", row.Speedup))
 	}
 	t.Flush()
-	if o.JSONDir != "" {
-		path := filepath.Join(o.JSONDir, "BENCH_serve.json")
-		doc, err := json.MarshalIndent(serveReport{
-			Experiment: "serve",
-			GoMaxProcs: runtime.GOMAXPROCS(0),
-			Rows:       rows,
-		}, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(path, append(doc, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Fprintf(o.Out, "(rows written to %s)\n", path)
-	}
-	return nil
+	return o.writeJSONReport("BENCH_serve.json", serveReport{
+		Experiment: "serve",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Rows:       rows,
+	})
 }
 
 // serveOnce stands a server up on a loopback listener, fires the

@@ -9,12 +9,34 @@ import (
 	"surge/internal/core"
 )
 
+// shardsRow is one measured point of the shards experiment, as emitted to
+// BENCH_shards.json.
+type shardsRow struct {
+	Engine        string  `json:"engine"`
+	Shards        int     `json:"shards"`
+	Objects       int     `json:"objects"`
+	Batch         int     `json:"batch"`
+	Seconds       float64 `json:"seconds"`
+	ObjectsPerSec float64 `json:"objects_per_sec"`
+	Speedup       float64 `json:"speedup"` // vs the engine's 1-shard row
+}
+
+// shardsReport is the BENCH_shards.json document.
+type shardsReport struct {
+	Experiment string      `json:"experiment"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Rows       []shardsRow `json:"rows"`
+}
+
 // ShardScaling measures the end-to-end ingestion throughput of the public
 // sharded pipeline (surge.Options.Shards + Detector.PushBatch) against the
 // shard count, on the Taxi-like workload. Shards = 1 is the single-engine
 // baseline; the other rows fan events out to per-shard engine goroutines
 // over the column partitioning. Alongside the throughput it cross-checks
-// that every shard count ends the stream on the same best score.
+// that every shard count ends the stream on the same best score. When
+// Options.JSONDir is set the rows are also written to
+// <JSONDir>/BENCH_shards.json, so both scaling curves land in the perf
+// trajectory next to BENCH_serve.json and BENCH_hotpath.json.
 //
 // Boundary objects are replicated into at most one neighbouring shard, so
 // perfect scaling is bounded by shards/(1+halo); meaningful speedups need
@@ -41,10 +63,11 @@ func ShardScaling(o Options) error {
 	t := NewTable(o.Out, fmt.Sprintf("Shard scaling (Taxi, GOMAXPROCS=%d): PushBatch throughput vs shards", runtime.GOMAXPROCS(0)),
 		"Shards", "CCS kobj/s", "CCS speedup", "GAPS kobj/s", "GAPS speedup")
 
-	rows := make([][]any, len(counts))
+	tableRows := make([][]any, len(counts))
 	for i, n := range counts {
-		rows[i] = []any{n}
+		tableRows[i] = []any{n}
 	}
+	jsonRows := make([]shardsRow, 0, len(counts)*len(specs))
 	for _, sp := range specs {
 		objs := genFor(d, w, sp.limit)
 		var base float64
@@ -73,19 +96,32 @@ func ShardScaling(o Options) error {
 				return fmt.Errorf("shards=%d %s: final score %v (found=%v) != single-engine %v (found=%v)",
 					n, sp.name, res.Score, res.Found, refScore, refFound)
 			}
-			kops := float64(len(objs)) / elapsed.Seconds() / 1e3
+			ops := float64(len(objs)) / elapsed.Seconds()
 			if i == 0 {
-				base = kops
+				base = ops
 			}
-			rows[i] = append(rows[i], fmt.Sprintf("%.1f", kops), fmt.Sprintf("%.2fx", kops/base))
+			tableRows[i] = append(tableRows[i], fmt.Sprintf("%.1f", ops/1e3), fmt.Sprintf("%.2fx", ops/base))
+			jsonRows = append(jsonRows, shardsRow{
+				Engine:        sp.name,
+				Shards:        n,
+				Objects:       len(objs),
+				Batch:         sp.batch,
+				Seconds:       elapsed.Seconds(),
+				ObjectsPerSec: ops,
+				Speedup:       ops / base,
+			})
 		}
 	}
-	for _, r := range rows {
+	for _, r := range tableRows {
 		t.Row(r...)
 	}
 	t.Flush()
 	fmt.Fprintf(o.Out, "(final best scores verified identical across shard counts)\n")
-	return nil
+	return o.writeJSONReport("BENCH_shards.json", shardsReport{
+		Experiment: "shards",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Rows:       jsonRows,
+	})
 }
 
 // replayBatched feeds the whole stream through PushBatch in fixed-size

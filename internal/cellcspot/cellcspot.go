@@ -91,22 +91,36 @@ type candidate struct {
 // engine.
 type cell struct {
 	key      grid.Cell
-	objs     []obj          // arrival-ordered; expired entries are tombstoned
-	index    map[uint64]int // object ID -> position in objs
-	dead     int            // tombstones in objs
-	curCount int            // objects currently in Wc
-	us       float64        // static upper bound (Definition 7)
-	ud       float64        // dynamic upper bound (Eqn 3); +Inf before first search
+	objs     []obj   // arrival-ordered; expired entries are tombstoned
+	dead     int     // tombstones in objs
+	curCount int     // objects currently in Wc
+	us       float64 // static upper bound (Definition 7)
+	ud       float64 // dynamic upper bound (Eqn 3); +Inf before first search
 	cand     candidate
 }
 
 // live returns the number of live objects in the cell.
 func (c *cell) live() int { return len(c.objs) - c.dead }
 
-// lookup returns the position of the live object with the given ID.
+// lookup returns the position of the live object with the given ID. IDs are
+// assigned in stream order and objs is arrival-ordered (compaction
+// preserves it), so the slice is sorted by ID and a binary search replaces
+// the ID index map a cell used to carry — no map write per New, no delete
+// per expiry, and cells are cheap to create.
 func (c *cell) lookup(id uint64) (int, bool) {
-	i, ok := c.index[id]
-	return i, ok
+	lo, hi := 0, len(c.objs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.objs[mid].id < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.objs) && c.objs[lo].id == id && !c.objs[lo].dead {
+		return lo, true
+	}
+	return 0, false
 }
 
 // remove tombstones the object at position i and compacts the backing array
@@ -114,7 +128,6 @@ func (c *cell) lookup(id uint64) (int, bool) {
 // yields the same sequence no matter when compactions ran.
 func (c *cell) remove(i int) {
 	c.objs[i].dead = true
-	delete(c.index, c.objs[i].id)
 	c.dead++
 	if c.dead > 16 && c.dead*2 >= len(c.objs) {
 		kept := c.objs[:0]
@@ -125,9 +138,6 @@ func (c *cell) remove(i int) {
 		}
 		c.objs = kept
 		c.dead = 0
-		for j := range c.objs {
-			c.index[c.objs[j].id] = j
-		}
 	}
 }
 
@@ -147,6 +157,7 @@ type Engine struct {
 	cellScratch  []grid.Cell
 	entryScratch []sweep.Entry
 	popScratch   []grid.Cell
+	free         []*cell // emptied cells kept for reuse (see recycle)
 }
 
 var _ core.Engine = (*Engine)(nil)
@@ -205,13 +216,20 @@ func (e *Engine) Process(ev core.Event) {
 			if ev.Kind != core.New {
 				continue // object was filtered or unknown; nothing to undo
 			}
-			c = &cell{key: ck, index: make(map[uint64]int), ud: math.Inf(1)}
+			if n := len(e.free); n > 0 {
+				c = e.free[n-1]
+				e.free = e.free[:n-1]
+				c.key = ck
+			} else {
+				c = &cell{key: ck, ud: math.Inf(1)}
+			}
 			e.cells[ck] = c
 		}
 		e.applyEvent(c, ev, cover)
 		if c.live() == 0 {
 			delete(e.cells, ck)
 			e.heap.Remove(ck)
+			e.recycle(c)
 			continue
 		}
 		if e.mode == ModeBase {
@@ -244,7 +262,6 @@ func (e *Engine) applyEvent(c *cell, ev core.Event, cover geom.Rect) {
 	dp := w / e.cfg.WP
 	switch ev.Kind {
 	case core.New:
-		c.index[id] = len(c.objs)
 		c.objs = append(c.objs, obj{id: id, x: ev.Obj.X, y: ev.Obj.Y, wt: w})
 		c.curCount++
 		c.us += dc
@@ -338,6 +355,21 @@ func (e *Engine) applyEvent(c *cell, ev core.Event, cover geom.Rect) {
 		// Valid candidate => Ud equals the exact in-cell maximum.
 		c.ud = e.candScore(c)
 	}
+}
+
+// recycle resets an emptied cell to the state of a fresh one and keeps it
+// for reuse, so cell churn under a moving stream stops allocating: the objs
+// backing array keeps its capacity. The reset state is byte-for-byte a new
+// cell's, which keeps reuse invisible to the bit-identical score
+// guarantees.
+func (e *Engine) recycle(c *cell) {
+	c.objs = c.objs[:0]
+	c.dead = 0
+	c.curCount = 0
+	c.us = 0
+	c.ud = math.Inf(1)
+	c.cand = candidate{}
+	e.free = append(e.free, c)
 }
 
 // rescore recomputes the candidate's window scores at its point as the

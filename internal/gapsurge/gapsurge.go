@@ -45,6 +45,7 @@ type Engine struct {
 	popKeys   []grid.Cell
 	popScores []float64
 	merged    []core.Result
+	free      []*gcell // emptied cells kept for reuse, shared across layers
 }
 
 var (
@@ -118,7 +119,14 @@ func (e *Engine) Process(ev core.Event) {
 			if ev.Kind != core.New {
 				continue
 			}
-			c = &gcell{}
+			// Reuse an emptied cell so churn under a moving stream does not
+			// allocate; a recycled cell is zeroed, exactly a fresh one.
+			if n := len(e.free); n > 0 {
+				c = e.free[n-1]
+				e.free = e.free[:n-1]
+			} else {
+				c = &gcell{}
+			}
 			l.cells[ck] = c
 		}
 		e.stats.CellsTouched++
@@ -146,6 +154,8 @@ func (e *Engine) Process(ev core.Event) {
 		if c.nc == 0 && c.np == 0 {
 			delete(l.cells, ck)
 			l.heap.Remove(ck)
+			*c = gcell{}
+			e.free = append(e.free, c)
 			continue
 		}
 		l.heap.Set(ck, e.cfg.Score(c.fc, c.fp))

@@ -92,32 +92,54 @@ func (h *Heap[K]) swap(i, j int) {
 	h.pos[h.keys[j]] = j
 }
 
+// up and down sift with a hole instead of pairwise swaps: the moving
+// element is held aside, displaced elements shift one level, and the held
+// element is written once at its final slot. The resulting layout is
+// identical to swap-based sifting, but the position map — the dominant cost
+// of every heap operation — is written once per shifted level instead of
+// twice, and not at all when the element does not move.
+
 func (h *Heap[K]) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if h.prio[parent] >= h.prio[i] {
-			return
+	j := i
+	k, p := h.keys[i], h.prio[i]
+	for j > 0 {
+		parent := (j - 1) / 2
+		if h.prio[parent] >= p {
+			break
 		}
-		h.swap(i, parent)
-		i = parent
+		h.keys[j], h.prio[j] = h.keys[parent], h.prio[parent]
+		h.pos[h.keys[j]] = j
+		j = parent
+	}
+	if j != i {
+		h.keys[j], h.prio[j] = k, p
+		h.pos[k] = j
 	}
 }
 
 func (h *Heap[K]) down(i int) {
 	n := len(h.keys)
+	j := i
+	k, p := h.keys[i], h.prio[i]
 	for {
-		l, r := 2*i+1, 2*i+2
-		best := i
-		if l < n && h.prio[l] > h.prio[best] {
-			best = l
+		l, r := 2*j+1, 2*j+2
+		best := -1
+		bp := p
+		if l < n && h.prio[l] > bp {
+			best, bp = l, h.prio[l]
 		}
-		if r < n && h.prio[r] > h.prio[best] {
+		if r < n && h.prio[r] > bp {
 			best = r
 		}
-		if best == i {
-			return
+		if best < 0 {
+			break
 		}
-		h.swap(i, best)
-		i = best
+		h.keys[j], h.prio[j] = h.keys[best], h.prio[best]
+		h.pos[h.keys[j]] = j
+		j = best
+	}
+	if j != i {
+		h.keys[j], h.prio[j] = k, p
+		h.pos[k] = j
 	}
 }

@@ -2,13 +2,16 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
 	"strconv"
 	"strings"
+	"unsafe"
 
 	"surge"
 	"surge/client"
@@ -18,6 +21,12 @@ import (
 // The body is parsed here, concurrently with other ingesters — the hot
 // path — and applied in BatchSize chunks on the event loop, so every chunk
 // is one PushBatch synchronisation of the sharded pipeline.
+//
+// The parse is allocation-free in the steady state: lines are scanned as
+// byte slices out of the reader's buffer, fields are decoded in place
+// (parseObjectJSON / the CSV field walk) and the chunk buffer is recycled
+// across requests, so per-request heap traffic is bounded by the handful of
+// event-loop submissions, not by the object count.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	parse := parseNDJSON
 	if ct := r.Header.Get("Content-Type"); strings.Contains(ct, "csv") {
@@ -49,7 +58,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// all, keeping the reported Accepted count exact.
 	strict := s.cfg.TimePolicy != Clamp
 	lastT := math.Inf(-1)
-	chunk := make([]surge.Object, 0, s.batch)
+	chunk := s.getChunk()
+	defer s.putChunk(chunk)
 	err := parse(r.Body, func(o surge.Object) error {
 		if err := validateObject(o); err != nil {
 			return err
@@ -60,17 +70,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			}
 			lastT = o.Time
 		}
-		chunk = append(chunk, o)
-		if len(chunk) >= s.batch {
-			if err := apply(chunk); err != nil {
+		*chunk = append(*chunk, o)
+		if len(*chunk) >= s.batch {
+			if err := apply(*chunk); err != nil {
 				return err
 			}
-			chunk = chunk[:0]
+			*chunk = (*chunk)[:0]
 		}
 		return nil
 	})
-	if err == nil && len(chunk) > 0 {
-		err = apply(chunk)
+	if err == nil && len(*chunk) > 0 {
+		err = apply(*chunk)
 	}
 	if err != nil {
 		s.ingestErr.Add(1)
@@ -103,8 +113,66 @@ func validateObject(o surge.Object) error {
 	return nil
 }
 
-// wireObject decodes one NDJSON ingest line; pointer fields distinguish
-// missing from zero (weight defaults to 1, time/x/y are required).
+// maxLineBytes caps a single ingest line; the scanners reject longer lines
+// with a line-numbered error instead of bufio's bare "token too long".
+const maxLineBytes = 1 << 20
+
+// newLineScanner returns a line scanner whose Bytes() views slice into the
+// scanner's own buffer — no per-line copy.
+func newLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	return sc
+}
+
+// scanErr maps the scanner's terminal error; line is the last line that
+// scanned successfully, so the offending line is the next one.
+func scanErr(sc *bufio.Scanner, line int) error {
+	err := sc.Err()
+	if errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Errorf("server: ingest line %d exceeds the %d-byte line limit — send one object per line and split oversized batches: %w",
+			line+1, maxLineBytes, err)
+	}
+	return err
+}
+
+// bstr reinterprets b as a string without copying, to feed byte-slice
+// fields to strconv.ParseFloat allocation-free. The result aliases b: it
+// must not be retained past the next scanner advance. ParseFloat itself
+// does not keep it; the *NumError it returns on failure does, which is safe
+// here because parsing stops (no further scans) as soon as an error
+// surfaces.
+func bstr(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// parseNDJSON streams objects from newline-delimited JSON.
+func parseNDJSON(r io.Reader, emit func(surge.Object) error) error {
+	sc := newLineScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
+			continue
+		}
+		o, err := parseObjectJSON(text)
+		if err != nil {
+			return fmt.Errorf("server: ingest line %d: %w", line, err)
+		}
+		if err := emit(o); err != nil {
+			return err
+		}
+	}
+	return scanErr(sc, line)
+}
+
+// wireObject decodes one NDJSON ingest line on the reflective slow path;
+// pointer fields distinguish missing from zero (weight defaults to 1,
+// time/x/y are required).
 type wireObject struct {
 	Time   *float64 `json:"time"`
 	X      *float64 `json:"x"`
@@ -112,55 +180,251 @@ type wireObject struct {
 	Weight *float64 `json:"weight"`
 }
 
-// parseNDJSON streams objects from newline-delimited JSON.
-func parseNDJSON(r io.Reader, emit func(surge.Object) error) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64<<10), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
-		var wo wireObject
-		if err := json.Unmarshal([]byte(text), &wo); err != nil {
-			return fmt.Errorf("server: ingest line %d: %w", line, err)
-		}
-		if wo.Time == nil || wo.X == nil || wo.Y == nil {
-			return fmt.Errorf("server: ingest line %d: time, x and y are required", line)
-		}
-		o := surge.Object{Time: *wo.Time, X: *wo.X, Y: *wo.Y, Weight: 1}
-		if wo.Weight != nil {
-			o.Weight = *wo.Weight
-		}
-		if err := emit(o); err != nil {
-			return err
+// errSlowJSON routes a line from the fast scanner to encoding/json.
+var errSlowJSON = errors.New("ingest: json slow path")
+
+var errMissingFields = errors.New("time, x and y are required")
+
+// parseObjectJSON decodes one {"time","x","y","weight"} line. The fast path
+// is a hand-rolled, allocation-free scanner for the flat wire schema; any
+// line outside that shape (escaped or unknown keys, non-number values,
+// trailing data) falls back to encoding/json, so the set of accepted lines
+// — and the error text for rejected ones — matches the reflective decoder.
+func parseObjectJSON(b []byte) (surge.Object, error) {
+	o, err := fastObjectJSON(b)
+	if err == errSlowJSON {
+		return slowObjectJSON(b)
+	}
+	return o, err
+}
+
+func slowObjectJSON(b []byte) (surge.Object, error) {
+	var wo wireObject
+	if err := json.Unmarshal(b, &wo); err != nil {
+		return surge.Object{}, err
+	}
+	if wo.Time == nil || wo.X == nil || wo.Y == nil {
+		return surge.Object{}, errMissingFields
+	}
+	o := surge.Object{Time: *wo.Time, X: *wo.X, Y: *wo.Y, Weight: 1}
+	if wo.Weight != nil {
+		o.Weight = *wo.Weight
+	}
+	return o, nil
+}
+
+// Field bits of the fast JSON scanner.
+const (
+	haveTime = 1 << iota
+	haveX
+	haveY
+	haveWeight
+)
+
+func fastObjectJSON(b []byte) (surge.Object, error) {
+	i := skipWS(b, 0)
+	if i >= len(b) || b[i] != '{' {
+		return surge.Object{}, errSlowJSON
+	}
+	i = skipWS(b, i+1)
+	o := surge.Object{Weight: 1}
+	have := 0
+	if i < len(b) && b[i] == '}' {
+		i++
+	} else {
+		for {
+			key, j, ok := scanPlainKey(b, i)
+			if !ok {
+				return surge.Object{}, errSlowJSON
+			}
+			var field int
+			switch {
+			case bytes.Equal(key, keyTime):
+				field = haveTime
+			case bytes.Equal(key, keyX):
+				field = haveX
+			case bytes.Equal(key, keyY):
+				field = haveY
+			case bytes.Equal(key, keyWeight):
+				field = haveWeight
+			default:
+				// Unknown key: its value can be any JSON; let the
+				// reflective decoder handle (and ignore) it.
+				return surge.Object{}, errSlowJSON
+			}
+			j = skipWS(b, j)
+			if j >= len(b) || b[j] != ':' {
+				return surge.Object{}, errSlowJSON
+			}
+			j = skipWS(b, j+1)
+			if isNull(b, j) {
+				// JSON null resets a pointer field to nil: the field counts
+				// as missing again (last value wins, like encoding/json).
+				j += 4
+				have &^= field
+				if field == haveWeight {
+					o.Weight = 1
+				}
+			} else {
+				num, k, ok := scanNumber(b, j)
+				if !ok {
+					return surge.Object{}, errSlowJSON
+				}
+				v, err := strconv.ParseFloat(bstr(num), 64)
+				if err != nil {
+					return surge.Object{}, errSlowJSON // e.g. out of range
+				}
+				j = k
+				have |= field
+				switch field {
+				case haveTime:
+					o.Time = v
+				case haveX:
+					o.X = v
+				case haveY:
+					o.Y = v
+				case haveWeight:
+					o.Weight = v
+				}
+			}
+			j = skipWS(b, j)
+			if j >= len(b) {
+				return surge.Object{}, errSlowJSON
+			}
+			if b[j] == '}' {
+				i = j + 1
+				break
+			}
+			if b[j] != ',' {
+				return surge.Object{}, errSlowJSON
+			}
+			i = skipWS(b, j+1)
 		}
 	}
-	return sc.Err()
+	if skipWS(b, i) != len(b) {
+		return surge.Object{}, errSlowJSON // trailing data
+	}
+	if have&(haveTime|haveX|haveY) != haveTime|haveX|haveY {
+		return surge.Object{}, errMissingFields
+	}
+	return o, nil
+}
+
+var (
+	keyTime   = []byte("time")
+	keyX      = []byte("x")
+	keyY      = []byte("y")
+	keyWeight = []byte("weight")
+)
+
+func skipWS(b []byte, i int) int {
+	for i < len(b) {
+		switch b[i] {
+		case ' ', '\t', '\r', '\n':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+// scanPlainKey scans a double-quoted key with no escapes starting at i and
+// returns the key bytes and the index past the closing quote. Keys with
+// backslashes take the slow path.
+func scanPlainKey(b []byte, i int) ([]byte, int, bool) {
+	if i >= len(b) || b[i] != '"' {
+		return nil, 0, false
+	}
+	j := bytes.IndexByte(b[i+1:], '"')
+	if j < 0 {
+		return nil, 0, false
+	}
+	key := b[i+1 : i+1+j]
+	if bytes.IndexByte(key, '\\') >= 0 {
+		return nil, 0, false
+	}
+	return key, i + j + 2, true
+}
+
+func isNull(b []byte, i int) bool {
+	return i+4 <= len(b) && b[i] == 'n' && b[i+1] == 'u' && b[i+2] == 'l' && b[i+3] == 'l'
+}
+
+// scanNumber scans a JSON number (RFC 8259 shape: -?int frac? exp?) at i
+// and returns its bytes and the index past it. The shape check keeps the
+// fast path exactly as strict as encoding/json — strconv alone would also
+// accept "+1", "Inf", hex floats and other non-JSON spellings.
+func scanNumber(b []byte, i int) ([]byte, int, bool) {
+	start := i
+	if i < len(b) && b[i] == '-' {
+		i++
+	}
+	switch {
+	case i < len(b) && b[i] == '0':
+		i++
+	case i < len(b) && b[i] >= '1' && b[i] <= '9':
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	default:
+		return nil, 0, false
+	}
+	if i < len(b) && b[i] == '.' {
+		i++
+		j := i
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+		if i == j {
+			return nil, 0, false
+		}
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		if i < len(b) && (b[i] == '+' || b[i] == '-') {
+			i++
+		}
+		j := i
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+		if i == j {
+			return nil, 0, false
+		}
+	}
+	return b[start:i], i, true
 }
 
 // parseCSV streams objects from "time,x,y,weight" lines — the same format
 // surged reads offline, so a recorded stream replays into the server
 // unchanged. Blank lines and '#' comments are skipped.
 func parseCSV(r io.Reader, emit func(surge.Object) error) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	sc := newLineScanner(r)
 	line := 0
 	for sc.Scan() {
 		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 || text[0] == '#' {
 			continue
 		}
-		parts := strings.Split(text, ",")
-		if len(parts) != 4 {
-			return fmt.Errorf("server: ingest line %d: want time,x,y,weight", line)
-		}
 		var vals [4]float64
-		for i, p := range parts {
-			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		rest := text
+		for i := 0; i < 4; i++ {
+			var field []byte
+			j := bytes.IndexByte(rest, ',')
+			if i < 3 {
+				if j < 0 {
+					return fmt.Errorf("server: ingest line %d: want time,x,y,weight", line)
+				}
+				field, rest = rest[:j], rest[j+1:]
+			} else {
+				if j >= 0 {
+					return fmt.Errorf("server: ingest line %d: want time,x,y,weight", line)
+				}
+				field = rest
+			}
+			v, err := strconv.ParseFloat(bstr(bytes.TrimSpace(field)), 64)
 			if err != nil {
 				return fmt.Errorf("server: ingest line %d field %d: %w", line, i+1, err)
 			}
@@ -170,7 +434,7 @@ func parseCSV(r io.Reader, emit func(surge.Object) error) error {
 			return err
 		}
 	}
-	return sc.Err()
+	return scanErr(sc, line)
 }
 
 // readBody reads a request body up to limit bytes, erroring beyond it.

@@ -1,0 +1,37 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"surge"
+)
+
+// TestPprofGated verifies the profiling endpoints exist only when opted in.
+func TestPprofGated(t *testing.T) {
+	for _, enabled := range []bool{false, true} {
+		s, err := New(Config{
+			Algorithm:   surge.GridApprox,
+			Options:     surge.Options{Width: 1, Height: 1, Window: 10, Alpha: 0.5},
+			EnablePprof: enabled,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		resp, err := http.Get(ts.URL + "/debug/pprof/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		ts.Close()
+		s.Close()
+		if enabled && resp.StatusCode != http.StatusOK {
+			t.Fatalf("pprof enabled: GET /debug/pprof/ = %d, want 200", resp.StatusCode)
+		}
+		if !enabled && resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("pprof disabled: GET /debug/pprof/ = %d, want 404", resp.StatusCode)
+		}
+	}
+}

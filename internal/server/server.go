@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -87,10 +88,15 @@ type Config struct {
 	SubscriberBuffer int
 	// Checkpoint optionally seeds the detector from a snapshot instead of
 	// starting empty. The checkpoint's recorded query options (width,
-	// height, windows, alpha, area) define the detector — only Shards and
-	// ShardBlockCols are taken from Options. Inspect DetectorOptions for
-	// the effective configuration.
+	// height, windows, alpha, area) define the detector — only Shards,
+	// ShardBlockCols and ShardFlushEvents are taken from Options. Inspect
+	// DetectorOptions for the effective configuration.
 	Checkpoint []byte
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ so hot-path
+	// regressions can be profiled in place. Off by default: the handlers
+	// expose internals and cost memory, so only enable them on instances
+	// whose listener is access-controlled.
+	EnablePprof bool
 }
 
 // Server hosts one detector. Create with New, expose Handler on an
@@ -116,6 +122,10 @@ type Server struct {
 
 	hub hub
 
+	// chunkPool recycles the per-request ingest chunk buffers (capacity
+	// s.batch) across requests, keeping the ingest hot path allocation-free.
+	chunkPool sync.Pool
+
 	// Counters (atomics so /metrics and handlers read them lock-free).
 	objects   atomic.Uint64 // objects applied
 	clamped   atomic.Uint64 // objects lifted to the clock (Clamp policy)
@@ -138,8 +148,8 @@ func New(cfg Config) (*Server, error) {
 	var det *surge.Detector
 	var err error
 	if cfg.Checkpoint != nil {
-		det, err = surge.RestoreSharded(cfg.Algorithm, cfg.Checkpoint,
-			cfg.Options.Shards, cfg.Options.ShardBlockCols)
+		det, err = surge.RestoreShardedTuned(cfg.Algorithm, cfg.Checkpoint,
+			cfg.Options.Shards, cfg.Options.ShardBlockCols, cfg.Options.ShardFlushEvents)
 	} else {
 		det, err = surge.New(cfg.Algorithm, cfg.Options)
 	}
@@ -163,6 +173,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	if s.subBuf <= 0 {
 		s.subBuf = 64
+	}
+	s.chunkPool.New = func() any {
+		c := make([]surge.Object, 0, s.batch)
+		return &c
 	}
 	s.hub.subs = make(map[*subscriber]struct{})
 	s.routes()
@@ -259,6 +273,26 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/restore", s.handleRestore)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// getChunk borrows an ingest chunk buffer from the pool.
+func (s *Server) getChunk() *[]surge.Object {
+	return s.chunkPool.Get().(*[]surge.Object)
+}
+
+// putChunk returns an ingest chunk buffer. The detector copies objects into
+// its own storage during applyBatch, so recycling the backing array is safe
+// once the request is done with it.
+func (s *Server) putChunk(c *[]surge.Object) {
+	*c = (*c)[:0]
+	s.chunkPool.Put(c)
 }
 
 // applyBatch runs on the event loop: apply the time policy, push the batch,
@@ -344,8 +378,8 @@ func (s *Server) Snapshot() ([]byte, error) {
 // the server's configured shard count. The replay happens off the event
 // loop; only the swap synchronises with ingest.
 func (s *Server) Restore(data []byte) error {
-	nd, err := surge.RestoreSharded(s.cfg.Algorithm, data,
-		s.cfg.Options.Shards, s.cfg.Options.ShardBlockCols)
+	nd, err := surge.RestoreShardedTuned(s.cfg.Algorithm, data,
+		s.cfg.Options.Shards, s.cfg.Options.ShardBlockCols, s.cfg.Options.ShardFlushEvents)
 	if err != nil {
 		return err
 	}

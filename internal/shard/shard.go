@@ -32,7 +32,11 @@
 //	caller ◀─merged Result── barrier Query ◀─reply chan── (Best per shard)
 //
 // Route buffers events per shard and ships them in batches to amortise
-// channel synchronisation. Query flushes every buffer, sends a barrier
+// channel synchronisation; by default the batch size adapts to each shard's
+// backlog (MinFlush while the shard's channel is empty, doubling with the
+// channel depth up to MaxFlush), and batch slices are recycled through a
+// sync.Pool — workers hand them back after applying them, so the steady
+// state routes without allocating. Query flushes every buffer, sends a barrier
 // message down each channel and merges the K answers by maximum score, ties
 // broken deterministically by the lowest shard index. The Pipeline itself is
 // not safe for concurrent use by multiple callers: one goroutine routes and
@@ -55,11 +59,27 @@ import (
 const DefaultBlockCols = 4
 
 const (
-	// flushEvents is the per-shard buffer size at which Route ships a batch.
-	flushEvents = 256
+	// MinFlush is the router's flush threshold while a shard's channel is
+	// empty: the shard is keeping up, so small batches minimise the time an
+	// event sits in the router before the engine sees it.
+	MinFlush = 64
+	// MaxFlush caps the adaptive flush threshold and sizes the pooled batch
+	// slices. Under backlog the router ships up to this many events per
+	// channel synchronisation, amortising the send exactly when the channel
+	// is most contended.
+	MaxFlush = 1024
 	// chanDepth is the per-shard channel capacity in batches.
 	chanDepth = 8
 )
+
+// Params tunes the pipeline beyond the spatial partitioning itself.
+type Params struct {
+	// FlushEvents fixes the router's per-shard flush size. 0 selects the
+	// backlog-adaptive policy: the threshold starts at MinFlush and doubles
+	// with the shard's channel depth up to MaxFlush, so idle shards get
+	// low-latency small batches and backlogged shards get large ones.
+	FlushEvents int
+}
 
 // EngineFactory builds the detection engine for one shard. The passed config
 // carries the shard's ColumnSet ownership filter; the factory must hand it
@@ -93,23 +113,31 @@ type worker struct {
 // answers. Use New, Route, Query and Close; see the package comment for the
 // concurrency contract.
 type Pipeline struct {
-	cfg     core.Config
-	block   int
-	cs      core.ColumnSet // Index unused; ShardOf routes
-	workers []*worker
-	pending [][]core.Event
-	pool    sync.Pool
-	replyc  chan reply
-	results []core.Result
-	stats   []core.Stats
-	closed  bool
+	cfg      core.Config
+	block    int
+	cs       core.ColumnSet // Index unused; ShardOf routes
+	flush    int            // fixed flush size; 0 = backlog-adaptive
+	batchCap int            // capacity of the pooled batch slices
+	workers  []*worker
+	pending  [][]core.Event
+	pool     sync.Pool
+	replyc   chan reply
+	results  []core.Result
+	stats    []core.Stats
+	closed   bool
 }
 
-// New builds a pipeline of `shards` engines over the given base config.
-// blockCols is the ownership block width in query-width columns (0 selects
-// DefaultBlockCols). The factory is called once per shard with a config
-// whose Cols field identifies the shard's owned columns.
+// New builds a pipeline of `shards` engines over the given base config with
+// default tuning (backlog-adaptive flush sizing). blockCols is the ownership
+// block width in query-width columns (0 selects DefaultBlockCols). The
+// factory is called once per shard with a config whose Cols field identifies
+// the shard's owned columns.
 func New(cfg core.Config, shards, blockCols int, factory EngineFactory) (*Pipeline, error) {
+	return NewWithParams(cfg, shards, blockCols, Params{}, factory)
+}
+
+// NewWithParams is New with explicit tuning parameters.
+func NewWithParams(cfg core.Config, shards, blockCols int, par Params, factory EngineFactory) (*Pipeline, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", shards)
 	}
@@ -122,21 +150,30 @@ func New(cfg core.Config, shards, blockCols int, factory EngineFactory) (*Pipeli
 	if cfg.Cols != nil {
 		return nil, errors.New("shard: base config already carries a column set")
 	}
+	if par.FlushEvents < 0 {
+		return nil, fmt.Errorf("shard: flush size must be >= 0, got %d", par.FlushEvents)
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	batchCap := MaxFlush
+	if par.FlushEvents > 0 {
+		batchCap = par.FlushEvents
+	}
 	p := &Pipeline{
-		cfg:     cfg,
-		block:   blockCols,
-		cs:      core.ColumnSet{Block: blockCols, Shards: shards},
-		workers: make([]*worker, shards),
-		pending: make([][]core.Event, shards),
-		replyc:  make(chan reply, shards),
-		results: make([]core.Result, shards),
-		stats:   make([]core.Stats, shards),
+		cfg:      cfg,
+		block:    blockCols,
+		cs:       core.ColumnSet{Block: blockCols, Shards: shards},
+		flush:    par.FlushEvents,
+		batchCap: batchCap,
+		workers:  make([]*worker, shards),
+		pending:  make([][]core.Event, shards),
+		replyc:   make(chan reply, shards),
+		results:  make([]core.Result, shards),
+		stats:    make([]core.Stats, shards),
 	}
 	p.pool.New = func() any {
-		s := make([]core.Event, 0, flushEvents)
+		s := make([]core.Event, 0, batchCap)
 		return &s
 	}
 	for i := 0; i < shards; i++ {
@@ -232,11 +269,27 @@ func (p *Pipeline) enqueue(s int, ev core.Event) {
 		buf = (*p.pool.Get().(*[]core.Event))[:0]
 	}
 	buf = append(buf, ev)
-	if len(buf) >= flushEvents {
+	if len(buf) >= p.flushTarget(s) {
 		p.workers[s].ch <- batch{evs: buf}
 		buf = nil
 	}
 	p.pending[s] = buf
+}
+
+// flushTarget returns the buffered-event count at which the router ships a
+// batch to shard s. A fixed Params.FlushEvents wins; otherwise the target
+// adapts to the shard's observed backlog — the channel depth read here is a
+// heuristic (the worker drains concurrently), so the target only steers
+// batch sizing and never affects which events a shard sees or their order.
+func (p *Pipeline) flushTarget(s int) int {
+	if p.flush > 0 {
+		return p.flush
+	}
+	t := MinFlush << uint(len(p.workers[s].ch))
+	if t > MaxFlush || t <= 0 {
+		return MaxFlush
+	}
+	return t
 }
 
 // Query flushes the event buffers, waits for every shard to drain, and

@@ -24,6 +24,7 @@ package sweep
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"surge/internal/core"
@@ -91,7 +92,7 @@ func (s *Searcher) Search(cfg core.Config, entries []Entry, domain geom.Rect) Re
 			s.xs = append(s.xs, x)
 		}
 	}
-	sort.Float64s(s.xs)
+	slices.Sort(s.xs) // generic sort: no interface boxing on the search path
 	s.xs = dedupe(s.xs)
 	nIv := len(s.xs) - 1 // number of open intervals
 	if nIv <= 0 {
@@ -139,7 +140,37 @@ func (s *Searcher) Search(cfg core.Config, entries []Entry, domain geom.Rect) Re
 	if len(s.events) == 0 {
 		return Result{}
 	}
-	sort.Slice(s.events, func(i, j int) bool { return s.events[i].y > s.events[j].y })
+	// Sweep order is y-descending; the remaining fields make the order
+	// total, so the floating-point accumulation sequence for events sharing
+	// a y — and with it the reported score bits — is a pure function of the
+	// entry set, independent of the sort algorithm's tie handling.
+	// slices.SortFunc also keeps the per-search sort allocation-free
+	// (sort.Slice boxes the slice and closure on every call).
+	slices.SortFunc(s.events, func(a, b edgeEvent) int {
+		switch {
+		case a.y > b.y:
+			return -1
+		case a.y < b.y:
+			return 1
+		}
+		if a.lo != b.lo {
+			return int(a.lo - b.lo)
+		}
+		if a.hi != b.hi {
+			return int(a.hi - b.hi)
+		}
+		switch {
+		case a.wc < b.wc:
+			return -1
+		case a.wc > b.wc:
+			return 1
+		case a.wp < b.wp:
+			return -1
+		case a.wp > b.wp:
+			return 1
+		}
+		return 0
+	})
 
 	best := Result{Score: math.Inf(-1)}
 	for k := 0; k < len(s.events); {

@@ -58,6 +58,10 @@ type Detector struct {
 	pendingSnap  VertexID // snap target for the New event of the Push in flight
 
 	events uint64
+
+	// step captured once: binding the method value per Push would put a
+	// closure allocation on the per-object hot path.
+	stepFn func(core.Event)
 }
 
 // NewDetector returns a detector over the given graph. The graph must not
@@ -83,7 +87,7 @@ func NewDetector(g *Graph, opt Options) (*Detector, error) {
 		return nil, err
 	}
 	n := g.VertexCount()
-	return &Detector{
+	d := &Detector{
 		g:        g,
 		opt:      opt,
 		win:      win,
@@ -94,7 +98,9 @@ func NewDetector(g *Graph, opt Options) (*Detector, error) {
 		ballN:    make([]int32, n),
 		heap:     iheap.New[VertexID](),
 		vertexOf: make(map[uint64]VertexID),
-	}, nil
+	}
+	d.stepFn = d.step
+	return d, nil
 }
 
 // Push snaps the object to its nearest vertex, advances the stream clock and
@@ -109,14 +115,14 @@ func (d *Detector) Push(o Object) (Result, error) {
 		vx, vy := d.g.Position(v)
 		if math.Hypot(vx-o.X, vy-o.Y) > d.opt.SnapLimit {
 			// Too far from the network: skip, but still advance the clock.
-			if err := d.win.Advance(o.Time, d.step); err != nil {
+			if err := d.win.Advance(o.Time, d.stepFn); err != nil {
 				return Result{}, err
 			}
 			return d.Best(), nil
 		}
 	}
 	d.pendingSnap = v
-	if _, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.step); err != nil {
+	if _, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.stepFn); err != nil {
 		return Result{}, err
 	}
 	return d.Best(), nil
@@ -181,7 +187,7 @@ func (d *Detector) score(c VertexID) float64 {
 
 // AdvanceTo moves the stream clock without a new arrival.
 func (d *Detector) AdvanceTo(t float64) (Result, error) {
-	if err := d.win.Advance(t, d.step); err != nil {
+	if err := d.win.Advance(t, d.stepFn); err != nil {
 		return Result{}, err
 	}
 	return d.Best(), nil

@@ -157,6 +157,17 @@ type Options struct {
 	// spread hotspots over more shards; larger blocks route fewer boundary
 	// objects to two shards.
 	ShardBlockCols int
+	// ShardFlushEvents fixes the number of events the shard router buffers
+	// per shard before shipping a batch to the shard goroutine. 0 (the
+	// default) selects backlog-adaptive batching: small batches while a
+	// shard's channel is empty, for low detection latency, doubling with
+	// the channel depth up to the maximum under backlog, for throughput.
+	// Batch sizing never changes which events a shard sees or their order,
+	// so results are identical under every setting. Ignored on the
+	// single-engine path. Runtime tuning, not logical state: checkpoints do
+	// not record it, so pass it again on restore (RestoreShardedTuned; the
+	// server re-applies its configured value automatically).
+	ShardFlushEvents int
 }
 
 func (o Options) config() (core.Config, error) {
@@ -196,7 +207,15 @@ type Detector struct {
 	counted  bool
 	shards   int // requested Options.Shards (recorded in checkpoints)
 	blkCols  int // requested Options.ShardBlockCols
+	flushEvs int // requested Options.ShardFlushEvents (not checkpointed)
 	closed   bool
+
+	// The window engine's emit callbacks, captured once: binding a method
+	// value per Push would put one closure allocation on the per-object hot
+	// path.
+	stepFn      func(core.Event)
+	stepQuietFn func(core.Event)
+	routeStepFn func(core.Event)
 
 	finalStats Stats // merged stats captured by Close (sharded path)
 }
@@ -222,9 +241,14 @@ func New(alg Algorithm, opt Options) (*Detector, error) {
 		counted:  opt.CountWindows,
 		shards:   opt.Shards,
 		blkCols:  opt.ShardBlockCols,
+		flushEvs: opt.ShardFlushEvents,
 	}
+	d.stepFn = d.step
+	d.stepQuietFn = d.stepQuiet
+	d.routeStepFn = d.routeStep
 	if opt.Shards >= 2 && alg != AG2 {
-		d.pipe, err = shard.New(cfg, opt.Shards, opt.ShardBlockCols,
+		d.pipe, err = shard.NewWithParams(cfg, opt.Shards, opt.ShardBlockCols,
+			shard.Params{FlushEvents: opt.ShardFlushEvents},
 			func(scfg core.Config) (core.Engine, error) { return newEngine(alg, scfg, opt) })
 		if err != nil {
 			return nil, err
@@ -284,15 +308,16 @@ func (d *Detector) Algorithm() Algorithm { return d.alg }
 // when it was derived from Window.
 func (d *Detector) Options() Options {
 	opt := Options{
-		Width:          d.cfg.Width,
-		Height:         d.cfg.Height,
-		Window:         d.cfg.WC,
-		PastWindow:     d.cfg.WP,
-		Alpha:          d.cfg.Alpha,
-		AG2Gamma:       d.ag2Gamma,
-		CountWindows:   d.counted,
-		Shards:         d.shards,
-		ShardBlockCols: d.blkCols,
+		Width:            d.cfg.Width,
+		Height:           d.cfg.Height,
+		Window:           d.cfg.WC,
+		PastWindow:       d.cfg.WP,
+		Alpha:            d.cfg.Alpha,
+		AG2Gamma:         d.ag2Gamma,
+		CountWindows:     d.counted,
+		Shards:           d.shards,
+		ShardBlockCols:   d.blkCols,
+		ShardFlushEvents: d.flushEvs,
 	}
 	if d.cfg.Area != nil {
 		opt.Area = &Region{
@@ -315,7 +340,7 @@ func (d *Detector) Push(o Object) (Result, error) {
 	if d.pipe != nil {
 		return d.pushSharded([]Object{o})
 	}
-	_, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.step)
+	_, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.stepFn)
 	if err != nil {
 		return Result{}, err
 	}
@@ -340,7 +365,7 @@ func (d *Detector) PushBatch(objs []Object) (Result, error) {
 		return d.pushSharded(objs)
 	}
 	for _, o := range objs {
-		if _, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.stepQuiet); err != nil {
+		if _, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.stepQuietFn); err != nil {
 			return toResult(d.cur), err
 		}
 	}
@@ -350,7 +375,7 @@ func (d *Detector) PushBatch(objs []Object) (Result, error) {
 
 func (d *Detector) pushSharded(objs []Object) (Result, error) {
 	for _, o := range objs {
-		if _, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.routeStep); err != nil {
+		if _, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.routeStepFn); err != nil {
 			return toResult(d.cur), err
 		}
 	}
@@ -370,7 +395,7 @@ func (d *Detector) AdvanceTo(t float64) (Result, error) {
 		return toResult(d.cur), ErrClosed
 	}
 	if d.pipe != nil {
-		if err := d.win.Advance(t, d.routeStep); err != nil {
+		if err := d.win.Advance(t, d.routeStepFn); err != nil {
 			return Result{}, err
 		}
 		res, _, err := d.pipe.Query()
@@ -380,7 +405,7 @@ func (d *Detector) AdvanceTo(t float64) (Result, error) {
 		d.cur = res
 		return toResult(d.cur), nil
 	}
-	if err := d.win.Advance(t, d.step); err != nil {
+	if err := d.win.Advance(t, d.stepFn); err != nil {
 		return Result{}, err
 	}
 	d.cur = d.eng.Best()

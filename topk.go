@@ -20,6 +20,11 @@ type TopKDetector struct {
 	win window.Source
 	eng core.TopKEngine
 	cur []core.Result
+
+	// Emit callbacks captured once; binding a method value per Push would
+	// put a closure allocation on the per-object hot path.
+	stepFn    func(core.Event)
+	processFn func(core.Event)
 }
 
 // NewTopK returns a top-k detector. Supported algorithms: CellCSPOT (the
@@ -57,7 +62,10 @@ func NewTopK(alg Algorithm, opt Options, k int) (*TopKDetector, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TopKDetector{alg: alg, k: k, cfg: cfg, win: win, eng: eng}, nil
+	d := &TopKDetector{alg: alg, k: k, cfg: cfg, win: win, eng: eng}
+	d.stepFn = d.step
+	d.processFn = eng.Process
+	return d, nil
 }
 
 // Algorithm returns the detector's algorithm.
@@ -70,7 +78,7 @@ func (d *TopKDetector) K() int { return d.k }
 // it makes due, and returns the refreshed top-k regions in rank order.
 // Slots beyond the number of non-empty regions have Found == false.
 func (d *TopKDetector) Push(o Object) ([]Result, error) {
-	_, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.step)
+	_, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.stepFn)
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +94,7 @@ func (d *TopKDetector) Push(o Object) ([]Result, error) {
 // On error the stream state includes every object before the offending one.
 func (d *TopKDetector) PushBatch(objs []Object) ([]Result, error) {
 	for _, o := range objs {
-		if _, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.eng.Process); err != nil {
+		if _, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.processFn); err != nil {
 			return nil, err
 		}
 	}
@@ -97,7 +105,7 @@ func (d *TopKDetector) PushBatch(objs []Object) ([]Result, error) {
 // AdvanceTo moves the stream clock to t without a new arrival and returns
 // the refreshed top-k regions.
 func (d *TopKDetector) AdvanceTo(t float64) ([]Result, error) {
-	if err := d.win.Advance(t, d.step); err != nil {
+	if err := d.win.Advance(t, d.stepFn); err != nil {
 		return nil, err
 	}
 	d.cur = d.eng.BestK()
