@@ -28,8 +28,10 @@ race:
 bench:
 	$(GO) run ./cmd/surgebench -exp all
 
-# Laptop-scale hotpath benchmark; writes BENCH_hotpath.json to bench-out/ so
-# CI can archive every PR's perf point (ns/obj, allocs/obj, objs/sec).
+# Laptop-scale benchmarks; writes BENCH_hotpath.json (ns/obj, allocs/obj,
+# objs/sec) and BENCH_topk.json (continuous vs replay /v1/topk latency,
+# ingest overhead of top-k maintenance) to bench-out/ so CI can archive
+# every PR's perf point.
 bench-smoke:
 	mkdir -p bench-out
-	$(GO) run ./cmd/surgebench -exp hotpath -max-exact 1000 -max-approx 10000 -json-dir bench-out
+	$(GO) run ./cmd/surgebench -exp hotpath,topkserve -max-exact 1000 -max-approx 10000 -json-dir bench-out

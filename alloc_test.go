@@ -54,3 +54,35 @@ func TestPushZeroAllocGAPS(t *testing.T) {
 		t.Fatalf("GAPS Push allocates %v allocs/op in steady state, want 0", a)
 	}
 }
+
+// TestTopKPushZeroAllocKCCS guards the continuous top-k maintenance path —
+// the code the serving layer runs on every ingested object when /v1/topk is
+// served from the maintained answer. Steady-state Push (window transitions,
+// per-problem cell updates, the lazy heap flush, the greedy re-resolve and
+// the result refresh) must not touch the heap, matching the pooling
+// contract of the single-region engines.
+func TestTopKPushZeroAllocKCCS(t *testing.T) {
+	det, err := surge.NewTopK(surge.CellCSPOT, surge.Options{
+		Width: 1, Height: 1, Window: 16, Alpha: 0.5,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs := [5][2]float64{{0.5, 0.5}, {3.2, 1.7}, {-2.4, 0.9}, {7.9, -3.3}, {0.6, 0.4}}
+	i := 0
+	tm := 0.0
+	push := func() {
+		l := locs[i%len(locs)]
+		i++
+		tm += 0.125
+		if _, err := det.Push(surge.Object{X: l[0], Y: l[1], Weight: 1, Time: tm}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for n := 0; n < 4096; n++ {
+		push()
+	}
+	if a := testing.AllocsPerRun(2048, push); a != 0 {
+		t.Fatalf("kCCS top-k Push allocates %v allocs/op in steady state, want 0", a)
+	}
+}

@@ -2,9 +2,10 @@ package surge
 
 import (
 	"bytes"
+	"cmp"
 	"encoding/gob"
 	"fmt"
-	"sort"
+	"slices"
 
 	"surge/internal/core"
 )
@@ -51,66 +52,141 @@ type checkpointObject struct {
 	X, Y, Weight, Time float64
 }
 
-// trackLive maintains the live-object bookkeeping needed to checkpoint.
-// Tracking is always on: the overhead is one map entry per live object.
+// liveObj is one live-window object tracked for checkpointing and for
+// seeding attached top-k detectors: the original object plus whether it has
+// crossed from Wc into Wp.
+type liveObj struct {
+	obj  core.Object
+	past bool
+}
+
+// trackLiveObj maintains the live-object bookkeeping needed to checkpoint
+// (and to replay the windows into an attached top-k engine). Tracking is
+// always on: the overhead is one map entry per live object.
 //
 // (The bookkeeping lives here rather than in the window engine so the
 // engine stays a pure event generator.)
-func (d *Detector) trackLive(ev core.Event) {
+func trackLiveObj(live map[uint64]liveObj, ev core.Event) {
 	switch ev.Kind {
 	case core.New:
-		d.liveObjs[ev.Obj.ID] = ev.Obj
+		live[ev.Obj.ID] = liveObj{obj: ev.Obj}
+	case core.Grown:
+		if lo, ok := live[ev.Obj.ID]; ok && !lo.past {
+			lo.past = true
+			live[ev.Obj.ID] = lo
+		}
 	case core.Expired:
-		delete(d.liveObjs, ev.Obj.ID)
+		delete(live, ev.Obj.ID)
 	}
+}
+
+func (d *Detector) trackLive(ev core.Event) { trackLiveObj(d.liveObjs, ev) }
+
+// buildCheckpointObjects collects the live objects into scratch and sorts
+// them into the canonical (time, x, y) replay order. The scratch is reused
+// across calls so periodic checkpointing does not reallocate the object
+// list.
+func buildCheckpointObjects(scratch []checkpointObject, live map[uint64]liveObj) []checkpointObject {
+	scratch = scratch[:0]
+	for _, lo := range live {
+		o := lo.obj
+		scratch = append(scratch, checkpointObject{X: o.X, Y: o.Y, Weight: o.Weight, Time: o.T})
+	}
+	slices.SortFunc(scratch, func(a, b checkpointObject) int {
+		switch {
+		case a.Time != b.Time:
+			return cmp.Compare(a.Time, b.Time)
+		case a.X != b.X:
+			return cmp.Compare(a.X, b.X)
+		default:
+			return cmp.Compare(a.Y, b.Y)
+		}
+	})
+	return scratch
+}
+
+// sliceWriter appends gob output to a caller-provided byte slice, so a
+// serving layer can checkpoint into a pooled buffer instead of allocating a
+// fresh snapshot per request.
+type sliceWriter struct{ buf []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+func encodeCheckpoint(dst []byte, env *checkpointEnvelope) ([]byte, error) {
+	w := sliceWriter{buf: dst}
+	if err := gob.NewEncoder(&w).Encode(env); err != nil {
+		return nil, fmt.Errorf("surge: encoding checkpoint: %w", err)
+	}
+	return w.buf, nil
+}
+
+// appendEnvelope assembles and encodes the one checkpoint envelope shape
+// both detector kinds write: the caller supplies the options (already
+// carrying any pipeline-shape fields) and the sorted object list, and the
+// geometry common to every detector is filled in from cfg here so the two
+// writers cannot drift apart.
+func appendEnvelope(dst []byte, alg Algorithm, clock float64, cfg core.Config, counted bool, opt checkpointOptions, objs []checkpointObject) ([]byte, error) {
+	opt.Width = cfg.Width
+	opt.Height = cfg.Height
+	opt.Window = cfg.WC
+	opt.PastWindow = cfg.WP
+	opt.Alpha = cfg.Alpha
+	opt.CountWindows = counted
+	if cfg.Area != nil {
+		opt.HasArea = true
+		opt.Area = Region{
+			MinX: cfg.Area.MinX, MinY: cfg.Area.MinY,
+			MaxX: cfg.Area.MaxX, MaxY: cfg.Area.MaxY,
+		}
+	}
+	env := checkpointEnvelope{
+		Version:   checkpointVersion,
+		Algorithm: int32(alg),
+		Clock:     clock,
+		Options:   opt,
+		Objects:   objs,
+	}
+	return encodeCheckpoint(dst, &env)
 }
 
 // Checkpoint serialises the detector's logical state: options, stream clock
 // and live objects. The result can be persisted and later passed to
 // Restore.
-func (d *Detector) Checkpoint() ([]byte, error) {
-	env := checkpointEnvelope{
-		Version:   checkpointVersion,
-		Algorithm: int32(d.alg),
-		Clock:     d.win.Now(),
-		Options: checkpointOptions{
-			Width:          d.cfg.Width,
-			Height:         d.cfg.Height,
-			Window:         d.cfg.WC,
-			PastWindow:     d.cfg.WP,
-			Alpha:          d.cfg.Alpha,
-			AG2Gamma:       d.ag2Gamma,
-			CountWindows:   d.counted,
-			Shards:         d.shards,
-			ShardBlockCols: d.blkCols,
-		},
+func (d *Detector) Checkpoint() ([]byte, error) { return d.AppendCheckpoint(nil) }
+
+// AppendCheckpoint appends the checkpoint to dst (which may be nil) and
+// returns the extended slice. Passing a recycled buffer keeps periodic
+// checkpointing — and the serving layer's replay-mode top-k queries — from
+// allocating a fresh snapshot every time; the detector's internal object
+// scratch is reused across calls too.
+func (d *Detector) AppendCheckpoint(dst []byte) ([]byte, error) {
+	d.ckptObjs = buildCheckpointObjects(d.ckptObjs, d.liveObjs)
+	return appendEnvelope(dst, d.alg, d.win.Now(), d.cfg, d.counted, checkpointOptions{
+		AG2Gamma:       d.ag2Gamma,
+		Shards:         d.shards,
+		ShardBlockCols: d.blkCols,
+	}, d.ckptObjs)
+}
+
+// Checkpoint serialises a standalone top-k detector's logical state in the
+// same engine-independent format as Detector.Checkpoint, so RestoreTopK
+// (or Restore) resumes it. An attached top-k detector delegates to its
+// parent — their logical state is the same live window content.
+func (d *TopKDetector) Checkpoint() ([]byte, error) { return d.AppendCheckpoint(nil) }
+
+// AppendCheckpoint appends the checkpoint to dst; see
+// Detector.AppendCheckpoint.
+func (d *TopKDetector) AppendCheckpoint(dst []byte) ([]byte, error) {
+	if d.parent != nil {
+		return d.parent.AppendCheckpoint(dst)
 	}
-	if d.cfg.Area != nil {
-		env.Options.HasArea = true
-		env.Options.Area = Region{
-			MinX: d.cfg.Area.MinX, MinY: d.cfg.Area.MinY,
-			MaxX: d.cfg.Area.MaxX, MaxY: d.cfg.Area.MaxY,
-		}
-	}
-	for _, o := range d.liveObjs {
-		env.Objects = append(env.Objects, checkpointObject{X: o.X, Y: o.Y, Weight: o.Weight, Time: o.T})
-	}
-	// Deterministic output: sort by time, then position.
-	sort.Slice(env.Objects, func(i, j int) bool {
-		a, b := env.Objects[i], env.Objects[j]
-		if a.Time != b.Time {
-			return a.Time < b.Time
-		}
-		if a.X != b.X {
-			return a.X < b.X
-		}
-		return a.Y < b.Y
-	})
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
-		return nil, fmt.Errorf("surge: encoding checkpoint: %w", err)
-	}
-	return buf.Bytes(), nil
+	d.ckptObjs = buildCheckpointObjects(d.ckptObjs, d.liveObjs)
+	// Top-k detection has no sharded pipeline (and no aG2 variant), so the
+	// pipeline-shape and AG2Gamma fields stay zero.
+	return appendEnvelope(dst, d.alg, d.win.Now(), d.cfg, d.counted, checkpointOptions{}, d.ckptObjs)
 }
 
 // KeepShards passes the checkpoint's recorded shard configuration through

@@ -90,12 +90,27 @@ func (c *Client) Best(ctx context.Context) (*State, error) {
 	return &out, nil
 }
 
-// TopK returns the greedy top-k bursty regions over the live windows.
-// k <= 0 uses the server's configured default.
+// TopK returns the greedy top-k bursty regions over the live windows,
+// served O(1) from the server's continuously maintained answer whenever it
+// covers k (TopK.Continuous reports which path answered). k <= 0 uses the
+// server's configured default.
 func (c *Client) TopK(ctx context.Context, k int) (*TopK, error) {
+	return c.TopKMode(ctx, k, "")
+}
+
+// TopKMode is TopK with an explicit serving mode: "continuous" requires
+// the maintained answer (the server rejects uncovered k), "replay" forces
+// the checkpoint-replay escape hatch, "" or "auto" prefers the maintained
+// answer and falls back to replay.
+func (c *Client) TopKMode(ctx context.Context, k int, mode string) (*TopK, error) {
 	path := "/v1/topk"
+	sep := byte('?')
 	if k > 0 {
-		path += "?k=" + strconv.Itoa(k)
+		path += string(sep) + "k=" + strconv.Itoa(k)
+		sep = '&'
+	}
+	if mode != "" {
+		path += string(sep) + "mode=" + mode
 	}
 	var out TopK
 	if err := c.getJSON(ctx, path, &out); err != nil {

@@ -7,18 +7,24 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
-// Subscription is a live feed of bursty-region change notifications
-// (GET /v1/subscribe, Server-Sent Events). Read Events until it closes,
-// then consult Err; Close cancels the stream.
+// Subscription is a live feed of detection-change notifications
+// (GET /v1/subscribe, Server-Sent Events): bursty-region changes on Events,
+// top-k changes on TopKEvents. Read the channels until they close, then
+// consult Err; Close cancels the stream.
 type Subscription struct {
-	hello  State
-	events chan Notification
-	ctx    context.Context
-	cancel context.CancelFunc
+	hello   State
+	resumed bool
+	events  chan Notification
+	topk    chan TopKNotification
+	lastEID atomic.Uint64
+	ctx     context.Context
+	cancel  context.CancelFunc
 
 	mu   sync.Mutex
 	err  error
@@ -27,10 +33,25 @@ type Subscription struct {
 
 // Subscribe opens the notification stream. It returns once the server's
 // initial "hello" event has been received — from that point on, every
-// change to the bursty region is delivered (or accounted for in a
-// Notification.Dropped count if this subscriber falls behind the server's
-// per-subscriber buffer).
+// change to the bursty region (and, on servers maintaining continuous
+// top-k, to the top-k answer) is delivered or accounted for in a Dropped
+// count if this subscriber falls behind the server's per-subscriber buffer.
 func (c *Client) Subscribe(ctx context.Context) (*Subscription, error) {
+	return c.SubscribeFrom(ctx, 0)
+}
+
+// SubscribeFrom resumes the notification stream after a disconnect:
+// lastEventID is the event id of the last notification this subscriber saw
+// (Subscription.LastEventID of the broken subscription, or the hello's
+// State.Events). The server replays the missed events from its bounded
+// notification ring with their original ids instead of restarting the
+// stream; events that have already left the ring are counted in the first
+// replayed event's Dropped field, so the loss accounting stays exact across
+// reconnects. No hello event is sent on resume — Hello returns the zero
+// State and Resumed reports true.
+//
+// SubscribeFrom(ctx, 0) is Subscribe.
+func (c *Client) SubscribeFrom(ctx context.Context, lastEventID uint64) (*Subscription, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/subscribe", nil)
 	if err != nil {
@@ -38,6 +59,10 @@ func (c *Client) Subscribe(ctx context.Context) (*Subscription, error) {
 		return nil, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	resume := lastEventID > 0
+	if resume {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(lastEventID, 10))
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		cancel()
@@ -55,43 +80,69 @@ func (c *Client) Subscribe(ctx context.Context) (*Subscription, error) {
 	}
 
 	sub := &Subscription{
-		events: make(chan Notification, 256),
-		ctx:    ctx,
-		cancel: cancel,
-		done:   make(chan struct{}),
+		resumed: resume,
+		events:  make(chan Notification, 256),
+		topk:    make(chan TopKNotification, 256),
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
 	}
+	sub.lastEID.Store(lastEventID)
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64<<10), 1<<20)
 
-	// The hello event arrives synchronously so the caller knows the
-	// subscription is registered before it triggers any changes.
-	event, data, err := nextEvent(sc)
-	if err != nil {
-		resp.Body.Close()
-		cancel()
-		return nil, fmt.Errorf("client: subscribe: reading hello: %w", err)
-	}
-	if event != "hello" {
-		resp.Body.Close()
-		cancel()
-		return nil, fmt.Errorf("client: subscribe: first event %q, want hello", event)
-	}
-	if err := json.Unmarshal([]byte(data), &sub.hello); err != nil {
-		resp.Body.Close()
-		cancel()
-		return nil, fmt.Errorf("client: subscribe: decoding hello: %w", err)
+	if !resume {
+		// The hello event arrives synchronously so the caller knows the
+		// subscription is registered before it triggers any changes.
+		event, id, data, err := nextEvent(sc)
+		if err != nil {
+			resp.Body.Close()
+			cancel()
+			return nil, fmt.Errorf("client: subscribe: reading hello: %w", err)
+		}
+		if event != "hello" {
+			resp.Body.Close()
+			cancel()
+			return nil, fmt.Errorf("client: subscribe: first event %q, want hello", event)
+		}
+		if err := json.Unmarshal([]byte(data), &sub.hello); err != nil {
+			resp.Body.Close()
+			cancel()
+			return nil, fmt.Errorf("client: subscribe: decoding hello: %w", err)
+		}
+		sub.trackEID(id)
 	}
 
 	go sub.run(resp.Body, sc)
 	return sub, nil
 }
 
-// Hello returns the server state at subscription time.
+// Hello returns the server state at subscription time (the zero State on a
+// resumed subscription, which receives no hello).
 func (s *Subscription) Hello() State { return s.hello }
 
-// Events returns the notification channel. It is closed when the stream
-// ends; check Err afterwards.
+// Resumed reports whether the subscription was opened with SubscribeFrom
+// and therefore received no hello event.
+func (s *Subscription) Resumed() bool { return s.resumed }
+
+// LastEventID returns the event id of the most recently decoded
+// notification. The reader goroutine runs ahead of the consumer's channel
+// reads, so to resume exactly after the last notification you processed,
+// pass that notification's EventID to SubscribeFrom instead; LastEventID
+// is the right cursor once the channels have been drained.
+func (s *Subscription) LastEventID() uint64 { return s.lastEID.Load() }
+
+// Events returns the bursty-region notification channel. It is closed when
+// the stream ends; check Err afterwards.
 func (s *Subscription) Events() <-chan Notification { return s.events }
+
+// TopKEvents returns the top-k notification channel, fed by servers that
+// maintain continuous top-k. Every notification is a complete snapshot of
+// the answer, so the channel keeps only the freshest ones: when a slow
+// consumer fills it, the oldest buffered notification is replaced (the loss
+// shows up in the next notification's Dropped accounting together with any
+// server-side drops). The channel is closed when the stream ends.
+func (s *Subscription) TopKEvents() <-chan TopKNotification { return s.topk }
 
 // Err returns the terminal stream error, if any, once Events is closed.
 // A subscription ended by Close (or its context) reports nil.
@@ -108,38 +159,84 @@ func (s *Subscription) Close() error {
 	return nil
 }
 
+func (s *Subscription) fail(err error) {
+	s.mu.Lock()
+	s.err = err
+	s.mu.Unlock()
+}
+
+func (s *Subscription) trackEID(id string) uint64 {
+	if id == "" {
+		return 0
+	}
+	v, err := strconv.ParseUint(id, 10, 64)
+	if err != nil {
+		return 0
+	}
+	s.lastEID.Store(v)
+	return v
+}
+
 func (s *Subscription) run(body io.ReadCloser, sc *bufio.Scanner) {
 	defer close(s.done)
 	defer close(s.events)
+	defer close(s.topk)
 	defer body.Close()
 	for {
-		event, data, err := nextEvent(sc)
+		event, id, data, err := nextEvent(sc)
 		if err != nil {
 			// Cancellation surfaces as a read error on the body; report
 			// only errors the caller didn't cause.
 			if err != io.EOF && !isCanceled(err) {
-				s.mu.Lock()
-				s.err = err
-				s.mu.Unlock()
+				s.fail(err)
 			}
 			return
 		}
-		if event != "burst" {
-			continue // future event types are skippable by design
-		}
-		var n Notification
-		if err := json.Unmarshal([]byte(data), &n); err != nil {
-			s.mu.Lock()
-			s.err = fmt.Errorf("client: subscribe: decoding notification: %w", err)
-			s.mu.Unlock()
-			return
-		}
-		// The send must stay cancellable: a consumer that stopped reading
-		// would otherwise pin this goroutine (and Close) on a full buffer.
-		select {
-		case s.events <- n:
-		case <-s.ctx.Done():
-			return
+		switch event {
+		case "burst":
+			var n Notification
+			if err := json.Unmarshal([]byte(data), &n); err != nil {
+				s.fail(fmt.Errorf("client: subscribe: decoding notification: %w", err))
+				return
+			}
+			n.EventID = s.trackEID(id)
+			// The send must stay cancellable: a consumer that stopped
+			// reading would otherwise pin this goroutine (and Close) on a
+			// full buffer.
+			select {
+			case s.events <- n:
+			case <-s.ctx.Done():
+				return
+			}
+		case "topk":
+			var n TopKNotification
+			if err := json.Unmarshal([]byte(data), &n); err != nil {
+				s.fail(fmt.Errorf("client: subscribe: decoding top-k notification: %w", err))
+				return
+			}
+			n.EventID = s.trackEID(id)
+			// Latest-wins: each notification is a full snapshot, so a slow
+			// consumer is served best by replacing the oldest buffered one.
+			// The evicted notification's loss account (plus itself) is
+			// folded into the one being delivered, so "delivered + sum of
+			// Dropped = published" holds across client-side drops too.
+			for {
+				select {
+				case s.topk <- n:
+				case <-s.ctx.Done():
+					return
+				default:
+					select {
+					case old := <-s.topk:
+						n.Dropped += old.Dropped + 1
+					default:
+					}
+					continue
+				}
+				break
+			}
+		default:
+			// future event types are skippable by design
 		}
 	}
 }
@@ -149,30 +246,32 @@ func isCanceled(err error) bool {
 		strings.Contains(err.Error(), "use of closed network connection")
 }
 
-// nextEvent reads one SSE event: "event:"/"data:" field lines terminated
-// by a blank line. Comment lines (leading ':') are keep-alives and are
-// skipped. Returns io.EOF at end of stream.
-func nextEvent(sc *bufio.Scanner) (event, data string, err error) {
+// nextEvent reads one SSE event: "event:"/"id:"/"data:" field lines
+// terminated by a blank line. Comment lines (leading ':') are keep-alives
+// and are skipped. Returns io.EOF at end of stream.
+func nextEvent(sc *bufio.Scanner) (event, id, data string, err error) {
 	var dataLines []string
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
 		case line == "":
 			if event != "" || len(dataLines) > 0 {
-				return event, strings.Join(dataLines, "\n"), nil
+				return event, id, strings.Join(dataLines, "\n"), nil
 			}
 		case strings.HasPrefix(line, ":"):
 			// keep-alive comment
 		case strings.HasPrefix(line, "event:"):
 			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "id:"):
+			id = strings.TrimSpace(strings.TrimPrefix(line, "id:"))
 		case strings.HasPrefix(line, "data:"):
 			dataLines = append(dataLines, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
 		default:
-			// id: and unknown fields are ignored
+			// unknown fields are ignored
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return "", "", err
+		return "", "", "", err
 	}
-	return "", "", io.EOF
+	return "", "", "", io.EOF
 }

@@ -9,9 +9,14 @@
 //	                    "time,x,y,weight" with Content-Type text/csv)
 //	                    -> IngestResult
 //	GET  /v1/best       -> State (current bursty region + stream clock)
-//	GET  /v1/topk?k=N   -> TopK (greedy top-k over the live windows)
+//	GET  /v1/topk?k=N   -> TopK (greedy top-k over the live windows);
+//	                    served O(1) from the continuously maintained
+//	                    answer, ?mode=replay forces checkpoint replay
 //	GET  /v1/subscribe  -> text/event-stream: one "hello" event (State),
-//	                    then a "burst" event (Notification) per change
+//	                    then a "burst" event (Notification) per bursty-
+//	                    region change and a "topk" event (TopKNotification)
+//	                    per top-k change; reconnect with Last-Event-ID to
+//	                    resume instead of restarting from hello
 //	POST /v1/snapshot   -> application/octet-stream detector checkpoint
 //	POST /v1/restore    <- application/octet-stream checkpoint -> State
 //	GET  /healthz       -> Health
@@ -62,8 +67,9 @@ type EngineStats struct {
 // State is a point-in-time view of the detector: the answer of /v1/best,
 // the payload of the SSE "hello" event, and the reply to /v1/restore.
 type State struct {
-	Seq    uint64      `json:"seq"` // sequence number of the latest change
-	Now    float64     `json:"now"` // stream clock
+	Seq    uint64      `json:"seq"`    // sequence number of the latest bursty-region change
+	Events uint64      `json:"events"` // SSE events published (burst + topk); the hello's event id
+	Now    float64     `json:"now"`    // stream clock
 	Live   int         `json:"live"`
 	Shards int         `json:"shards"`
 	Result Result      `json:"result"`
@@ -71,13 +77,37 @@ type State struct {
 }
 
 // Notification is one SSE "burst" event: the bursty region changed.
-// Dropped counts the notifications this subscriber lost to the
-// slow-consumer policy since the previously delivered one.
+// Dropped counts the SSE events (of any kind) this subscriber lost to the
+// slow-consumer policy — or to reconnect-ring eviction — since the
+// previously delivered event.
 type Notification struct {
 	Seq     uint64  `json:"seq"`
 	Time    float64 `json:"time"` // stream clock at the change
 	Result  Result  `json:"result"`
 	Dropped uint64  `json:"dropped,omitempty"`
+
+	// EventID is the SSE event id this notification arrived with, filled
+	// in by the client (it is stream metadata, not part of the JSON body).
+	// Pass the EventID of the last notification you processed to
+	// SubscribeFrom to resume after a disconnect.
+	EventID uint64 `json:"-"`
+}
+
+// TopKNotification is one SSE "topk" event: the maintained top-k answer
+// changed (any rank's score or region). Results is the complete refreshed
+// answer in rank order, so each event is a self-contained snapshot — a
+// consumer that loses events (see Dropped) is current again after the next
+// one.
+type TopKNotification struct {
+	Seq     uint64   `json:"seq"`
+	Time    float64  `json:"time"` // stream clock at the change
+	K       int      `json:"k"`
+	Results []Result `json:"results"`
+	Dropped uint64   `json:"dropped,omitempty"`
+
+	// EventID is the SSE event id this notification arrived with, filled
+	// in by the client; see Notification.EventID.
+	EventID uint64 `json:"-"`
 }
 
 // IngestResult is the reply to /v1/ingest.
@@ -87,11 +117,15 @@ type IngestResult struct {
 	Result   Result `json:"result"`   // answer after the last batch
 }
 
-// TopK is the reply to /v1/topk.
+// TopK is the reply to /v1/topk. Continuous reports which path served it:
+// true for the maintained O(1) snapshot, false for checkpoint replay (the
+// ?mode=replay escape hatch, or a k beyond the maintained one). Both paths
+// report bitwise identical scores for the canonically rescored engines.
 type TopK struct {
-	K         int      `json:"k"`
-	Algorithm string   `json:"algorithm"`
-	Results   []Result `json:"results"` // rank order; Found=false slots trail
+	K          int      `json:"k"`
+	Algorithm  string   `json:"algorithm"`
+	Continuous bool     `json:"continuous,omitempty"`
+	Results    []Result `json:"results"` // rank order; Found=false slots trail
 }
 
 // Health is the reply to /healthz.

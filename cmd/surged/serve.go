@@ -4,8 +4,11 @@
 //
 //	POST /v1/ingest     NDJSON or CSV object batches
 //	GET  /v1/best       current bursty region
-//	GET  /v1/topk?k=N   greedy top-k over the live windows
-//	GET  /v1/subscribe  SSE stream of bursty-region changes
+//	GET  /v1/topk?k=N   greedy top-k over the live windows, O(1) from the
+//	                    continuously maintained answer (-topk); add
+//	                    ?mode=replay to force checkpoint replay
+//	GET  /v1/subscribe  SSE stream of bursty-region and top-k changes;
+//	                    Last-Event-ID resumes after a disconnect
 //	POST /v1/snapshot   detector checkpoint (octet-stream)
 //	POST /v1/restore    replace state from a checkpoint
 //	GET  /healthz       health summary
@@ -44,7 +47,9 @@ func runServe(args []string) error {
 		shards  = fs.Int("shards", 0, "engine shards: 1 = single engine, 0 = one per CPU")
 		blkCols = fs.Int("block-cols", 0, "ownership block width in query-width columns (0 = default)")
 		batch   = fs.Int("batch", 512, "objects per detector synchronisation on ingest")
-		k       = fs.Int("k", 5, "default k for /v1/topk")
+		topk    = fs.Int("topk", 5, "k of the continuously maintained top-k served O(1) by /v1/topk; 0 disables maintenance (every query replays a checkpoint)")
+		kOld    = fs.Int("k", 5, "deprecated alias of -topk")
+		ring    = fs.Int("notify-ring", 256, "recent SSE notifications retained for Last-Event-ID reconnect backfill")
 		policy  = fs.String("time-policy", "clamp", "out-of-order ingest timestamps: clamp (lift to the stream clock, safe for concurrent ingesters) or strict (reject)")
 		subBuf  = fs.Int("sub-buffer", 64, "per-subscriber notification buffer before oldest-first drops")
 		ckptOut = fs.String("checkpoint", "", "write a checkpoint to this file on shutdown")
@@ -72,6 +77,15 @@ func runServe(args []string) error {
 	if *flush < 0 {
 		return fmt.Errorf("invalid -flush %d", *flush)
 	}
+	// -k predates -topk; honour it when it is the only one given.
+	topkSet := false
+	fs.Visit(func(f *flag.Flag) { topkSet = topkSet || f.Name == "topk" })
+	if !topkSet {
+		*topk = *kOld
+	}
+	if *topk < 0 {
+		return fmt.Errorf("invalid -topk %d", *topk)
+	}
 	cfg := server.Config{
 		Algorithm: alg,
 		Options: surge.Options{
@@ -79,7 +93,9 @@ func runServe(args []string) error {
 			Window: *win, PastWindow: *pastW, Alpha: *alpha,
 			Shards: nShards, ShardBlockCols: *blkCols, ShardFlushEvents: *flush,
 		},
-		TopK:             *k,
+		TopK:             *topk,
+		TopKReplayOnly:   *topk == 0,
+		NotifyRing:       *ring,
 		TimePolicy:       tp,
 		BatchSize:        *batch,
 		SubscriberBuffer: *subBuf,

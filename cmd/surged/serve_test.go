@@ -101,6 +101,9 @@ func TestRunServeRejectsBadFlags(t *testing.T) {
 	if err := runServe([]string{"-shards", "-2"}); err == nil {
 		t.Fatal("negative shards accepted")
 	}
+	if err := runServe([]string{"-topk", "-1"}); err == nil {
+		t.Fatal("negative topk accepted")
+	}
 	if err := runServe([]string{"-restore", "/nonexistent/surge.ckpt"}); err == nil {
 		t.Fatal("missing restore file accepted")
 	}

@@ -104,6 +104,15 @@
 //     cell churn under a moving stream costs no heap traffic. Recycled
 //     state is byte-identical to a fresh cell's, so reuse cannot perturb
 //     the bit-identical score guarantees.
+//   - The continuous top-k maintenance path (kCCS behind the server loop)
+//     is allocation-free in the steady state too, guarded by its own
+//     AllocsPerRun test. Three structural optimisations keep its per-event
+//     cost near a single-region engine's despite the k chained problems:
+//     cells share one bound/candidate slot until a level change actually
+//     splits them (almost every cell, since levels only change around the
+//     current top-k regions); heap positions are stored in the cells
+//     instead of hash maps; and heap-key refreshes are deferred to a dirty
+//     queue flushed once per query instead of per visibility operation.
 //   - The shard router recycles its event batches through a sync.Pool —
 //     shard workers hand slices back after applying them — and sizes each
 //     flush by the receiving shard's backlog: Options.ShardFlushEvents = 0
@@ -123,11 +132,14 @@
 // The perf trajectory is tracked by machine-readable benchmark reports:
 // `surgebench -exp hotpath -json-dir .` writes BENCH_hotpath.json with
 // ns/obj, allocs/obj and objs/sec for the single-engine (CCS, GAPS),
-// sharded-batch and HTTP-ingest configurations, and the `shards` and
+// sharded-batch and HTTP-ingest configurations, the `shards` and
 // `serve` experiments write BENCH_shards.json / BENCH_serve.json with
 // their scaling curves (rows of objects_per_sec and speedup per shard
-// count). CI runs the hotpath experiment at laptop scale on every PR and
-// archives the JSON, so regressions show up as a diff in the perf point.
+// count), and the `topkserve` experiment writes BENCH_topk.json with the
+// /v1/topk latency percentiles (continuous vs replay) and the ingest
+// overhead of continuous maintenance. CI runs the hotpath and topkserve
+// experiments at laptop scale on every PR and archives the JSON, so
+// regressions show up as a diff in the perf point.
 // For profiling a live instance, `surged serve -pprof` mounts
 // net/http/pprof under /debug/pprof/ (off by default).
 //
@@ -140,10 +152,13 @@
 //	POST /v1/ingest     NDJSON {"time","x","y","weight"} or CSV
 //	                    "time,x,y,weight" object batches
 //	GET  /v1/best       current bursty region, stream clock, engine stats
-//	GET  /v1/topk?k=N   greedy top-k over the live windows (computed on
-//	                    demand by replaying a checkpoint off the hot path)
+//	GET  /v1/topk?k=N   greedy top-k over the live windows, answered O(1)
+//	                    from the continuously maintained kCCS answer
+//	                    (?mode=replay forces the checkpoint-replay path)
 //	GET  /v1/subscribe  Server-Sent Events: a "hello" event with the
-//	                    current state, then one "burst" event per change
+//	                    current state, then one "burst" event per bursty-
+//	                    region change and one "topk" event per top-k
+//	                    change; Last-Event-ID resumes after a disconnect
 //	POST /v1/snapshot   detector checkpoint (restorable by Restore)
 //	POST /v1/restore    replace the server's state from a checkpoint
 //	GET  /healthz       health summary
@@ -161,7 +176,38 @@
 // uncoordinated ingesters are rejected ("strict" policy) or lifted to the
 // stream clock ("clamp"). A subscriber that falls behind its buffer loses
 // oldest-first notifications, with the loss counted on the next delivered
-// notification — never silently. On SIGTERM the server checkpoints before
-// the listener drains, and a later "surged serve -restore" resumes the
-// stream, into any shard count (RestoreSharded).
+// notification — never silently; a subscriber that reconnects with the
+// standard Last-Event-ID header is backfilled from a bounded ring of
+// recent events (surged -notify-ring) with the same exact loss accounting
+// instead of being restarted from the hello state. On SIGTERM the server
+// checkpoints before the listener drains, and a later "surged serve
+// -restore" resumes the stream, into any shard count (RestoreSharded).
+//
+// # Continuous top-k serving
+//
+// The server maintains the top-k answer continuously instead of computing
+// it per query: a kCCS top-k detector is attached to the ingest detector's
+// event stream (Detector.AttachTopK) behind the same single-writer loop,
+// refreshed after every applied batch, and published as an immutable
+// snapshot that GET /v1/topk serves with one atomic load — O(1) per query
+// regardless of stream size, with no garbage and no loop round-trip. Any
+// k up to the maintained one (surged -topk, default 5) is served as a
+// prefix of the snapshot, the greedy chain being prefix-stable; larger k
+// fall back to the replay path, which checkpoints the live windows into a
+// pooled buffer and replays them into a fresh detector off the loop
+// (?mode=replay forces it, surged -topk 0 makes it the only path).
+//
+// The kCCS engine keeps its per-cell state canonical — arrival-ordered
+// object storage, candidate scores maintained as arrival-order folds,
+// levels a pure function of the live content — so the continuously
+// maintained answer is bitwise identical (scores) to replaying a
+// checkpoint of the same windows: the fast path and the escape hatch are
+// interchangeable, which the randomized equivalence tests pin down for
+// kCCS, kGAPS and kMGAPS (the grid engines report canonical folds too).
+// Top-k rank changes are pushed to subscribers as "topk" SSE events; the
+// maintenance cost on the ingest path is tracked by the topkserve
+// benchmark (BENCH_topk.json). Known follow-ups: aG2 still has no top-k
+// variant (kCCS substitutes), and the maintained detector is single-engine
+// — amortising maintenance across the shard workers needs the cross-shard
+// top-k merge (see ROADMAP).
 package surge

@@ -32,8 +32,8 @@ type Options struct {
 	MaxApprox int
 	// JSONDir, when non-empty, is where experiments that emit
 	// machine-readable results ("serve" -> BENCH_serve.json, "shards" ->
-	// BENCH_shards.json, "hotpath" -> BENCH_hotpath.json) write their JSON
-	// files. Empty disables the files.
+	// BENCH_shards.json, "hotpath" -> BENCH_hotpath.json, "topkserve" ->
+	// BENCH_topk.json) write their JSON files. Empty disables the files.
 	JSONDir string
 }
 
@@ -52,7 +52,7 @@ func DefaultOptions(out io.Writer) Options {
 
 // Experiments returns the registry of experiment ids in run order.
 func Experiments() []string {
-	return []string{"table1", "fig5", "table2", "fig6", "fig7", "table3", "table4", "fig8", "fig9", "case", "ablation", "roadnet", "shards", "serve", "hotpath"}
+	return []string{"table1", "fig5", "table2", "fig6", "fig7", "table3", "table4", "fig8", "fig9", "case", "ablation", "roadnet", "shards", "serve", "hotpath", "topkserve"}
 }
 
 // Run executes one experiment by id.
@@ -88,6 +88,8 @@ func Run(id string, o Options) error {
 		return Serve(o)
 	case "hotpath":
 		return Hotpath(o)
+	case "topkserve":
+		return TopKServe(o)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v)", id, Experiments())
 	}

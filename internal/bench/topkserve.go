@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"surge"
+	"surge/client"
+	"surge/internal/server"
+)
+
+// topkIngestRow is one ingest measurement of the topkserve experiment: the
+// full HTTP ingest path with the continuous top-k maintenance on or off.
+type topkIngestRow struct {
+	Config        string  `json:"config"` // "replay-only" (baseline) or "continuous"
+	Objects       int     `json:"objects"`
+	Seconds       float64 `json:"seconds"`
+	ObjectsPerSec float64 `json:"objects_per_sec"`
+}
+
+// topkQueryRow is one /v1/topk latency measurement.
+type topkQueryRow struct {
+	Mode      string  `json:"mode"` // "continuous" or "replay"
+	K         int     `json:"k"`
+	LiveObjs  int     `json:"live_objects"`
+	Queries   int     `json:"queries"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+}
+
+// topkReport is the BENCH_topk.json document. QuerySpeedupP50 is the
+// replay-to-continuous ratio of median query latency; IngestOverheadPct is
+// the throughput cost of maintaining the top-k answer on the ingest path
+// ((baseline - continuous) / baseline * 100, medians of interleaved runs).
+type topkReport struct {
+	Experiment        string          `json:"experiment"`
+	GoMaxProcs        int             `json:"gomaxprocs"`
+	K                 int             `json:"k"`
+	Ingest            []topkIngestRow `json:"ingest"`
+	Query             []topkQueryRow  `json:"query"`
+	QuerySpeedupP50   float64         `json:"query_speedup_p50"`
+	IngestOverheadPct float64         `json:"ingest_overhead_pct"`
+}
+
+// TopKServe measures continuous top-k serving against the checkpoint-replay
+// path it replaces:
+//
+//   - /v1/topk query latency (p50/p99 over sequential queries) in continuous
+//     mode — one atomic snapshot load — versus ?mode=replay, which
+//     checkpoints the live windows and replays them into a fresh detector
+//     per query;
+//   - HTTP ingest throughput (4 concurrent NDJSON ingesters, the serve
+//     experiment's scenario) with maintenance on versus off, interleaved
+//     runs, medians — the objs/sec cost of keeping the answer current.
+//
+// Results are written to BENCH_topk.json via -json-dir.
+func TopKServe(o Options) error {
+	d := o.dataset("Taxi")
+	w := defaultWindow("Taxi")
+	k := o.K
+	objs := toSurgeObjects(genFor(d, w, o.MaxApprox))
+	bodies, err := ndjsonBodies(objs, serveIngesters)
+	if err != nil {
+		return err
+	}
+
+	// Ingest throughput, medians of interleaved runs so machine noise hits
+	// both configurations equally.
+	const rounds = 3
+	base := make([]topkIngestRow, 0, rounds)
+	cont := make([]topkIngestRow, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		row, err := topkIngestOnce(o, d.QueryWidth(), d.QueryHeight(), w, k, true, bodies, len(objs))
+		if err != nil {
+			return err
+		}
+		base = append(base, row)
+		row, err = topkIngestOnce(o, d.QueryWidth(), d.QueryHeight(), w, k, false, bodies, len(objs))
+		if err != nil {
+			return err
+		}
+		cont = append(cont, row)
+	}
+	ingest := []topkIngestRow{medianIngest(base), medianIngest(cont)}
+	overhead := (ingest[0].ObjectsPerSec - ingest[1].ObjectsPerSec) / ingest[0].ObjectsPerSec * 100
+
+	// Query latency on a continuous server holding the full stream's live
+	// windows; the replay path is exercised through the same server's
+	// ?mode=replay escape hatch, so both paths answer over identical state.
+	s, err := server.New(server.Config{
+		Algorithm:  surge.CellCSPOT,
+		Options:    topkServeOptions(o, d.QueryWidth(), d.QueryHeight(), w),
+		TimePolicy: server.Clamp,
+		BatchSize:  512,
+		TopK:       k,
+	})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(s.Handler())
+	c := client.New(ts.URL)
+	ctx := context.Background()
+	if err := topkIngestBodies(ctx, c, bodies); err != nil {
+		ts.Close()
+		s.Close()
+		return err
+	}
+	st, err := c.Best(ctx)
+	if err != nil {
+		ts.Close()
+		s.Close()
+		return err
+	}
+	contQ, err := measureTopKQueries(ctx, c, k, "continuous", 2000, st.Live)
+	if err == nil {
+		// Sanity: the fast path must actually serve these.
+		var tk *client.TopK
+		if tk, err = c.TopK(ctx, k); err == nil && !tk.Continuous {
+			err = fmt.Errorf("topkserve: continuous query served by replay")
+		}
+	}
+	if err != nil {
+		ts.Close()
+		s.Close()
+		return err
+	}
+	replayQ, err := measureTopKQueries(ctx, c, k, "replay", 200, st.Live)
+	ts.Close()
+	s.Close()
+	if err != nil {
+		return err
+	}
+	speedup := replayQ.P50Micros / contQ.P50Micros
+
+	t := NewTable(o.Out, fmt.Sprintf("TopK serve (Taxi, GOMAXPROCS=%d, k=%d): /v1/topk latency and ingest overhead",
+		runtime.GOMAXPROCS(0), k),
+		"Row", "Value")
+	t.Row("query p50 continuous (us)", fmt.Sprintf("%.1f", contQ.P50Micros))
+	t.Row("query p99 continuous (us)", fmt.Sprintf("%.1f", contQ.P99Micros))
+	t.Row("query p50 replay (us)", fmt.Sprintf("%.1f", replayQ.P50Micros))
+	t.Row("query p99 replay (us)", fmt.Sprintf("%.1f", replayQ.P99Micros))
+	t.Row("query speedup (p50)", fmt.Sprintf("%.1fx", speedup))
+	t.Row("ingest replay-only (kobj/s)", fmt.Sprintf("%.1f", ingest[0].ObjectsPerSec/1e3))
+	t.Row("ingest continuous (kobj/s)", fmt.Sprintf("%.1f", ingest[1].ObjectsPerSec/1e3))
+	t.Row("ingest overhead (%)", fmt.Sprintf("%.1f", overhead))
+	t.Flush()
+
+	return o.writeJSONReport("BENCH_topk.json", topkReport{
+		Experiment:        "topkserve",
+		GoMaxProcs:        runtime.GOMAXPROCS(0),
+		K:                 k,
+		Ingest:            ingest,
+		Query:             []topkQueryRow{contQ, replayQ},
+		QuerySpeedupP50:   speedup,
+		IngestOverheadPct: overhead,
+	})
+}
+
+func topkServeOptions(o Options, qw, qh, window float64) surge.Options {
+	shards := runtime.NumCPU()
+	if shards < 2 {
+		shards = 2
+	}
+	return surge.Options{Width: qw, Height: qh, Window: window, Alpha: o.Alpha, Shards: shards}
+}
+
+// topkIngestOnce stands a server up and fires the pre-encoded NDJSON bodies
+// concurrently, with the continuous top-k maintenance on or off.
+func topkIngestOnce(o Options, qw, qh, window float64, k int, replayOnly bool, bodies [][]byte, total int) (topkIngestRow, error) {
+	s, err := server.New(server.Config{
+		Algorithm:      surge.CellCSPOT,
+		Options:        topkServeOptions(o, qw, qh, window),
+		TimePolicy:     server.Clamp,
+		BatchSize:      512,
+		TopK:           k,
+		TopKReplayOnly: replayOnly,
+	})
+	if err != nil {
+		return topkIngestRow{}, err
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	c := client.New(ts.URL)
+	start := time.Now()
+	if err := topkIngestBodies(context.Background(), c, bodies); err != nil {
+		return topkIngestRow{}, err
+	}
+	elapsed := time.Since(start)
+	name := "continuous"
+	if replayOnly {
+		name = "replay-only"
+	}
+	return topkIngestRow{
+		Config:        name,
+		Objects:       total,
+		Seconds:       elapsed.Seconds(),
+		ObjectsPerSec: float64(total) / elapsed.Seconds(),
+	}, nil
+}
+
+// topkIngestBodies streams the bodies through concurrent ingesters.
+func topkIngestBodies(ctx context.Context, c *client.Client, bodies [][]byte) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(bodies))
+	for g, body := range bodies {
+		wg.Add(1)
+		go func(g int, body []byte) {
+			defer wg.Done()
+			res, err := c.IngestStream(ctx, bytes.NewReader(body), client.NDJSON)
+			if err == nil && res.Accepted == 0 {
+				err = fmt.Errorf("ingester %d: nothing accepted", g)
+			}
+			errs[g] = err
+		}(g, body)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// measureTopKQueries times n sequential /v1/topk queries in the given mode
+// and reports percentiles.
+func measureTopKQueries(ctx context.Context, c *client.Client, k int, mode string, n, live int) (topkQueryRow, error) {
+	lats := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		tk, err := c.TopKMode(ctx, k, mode)
+		if err != nil {
+			return topkQueryRow{}, fmt.Errorf("topkserve: %s query %d: %w", mode, i, err)
+		}
+		lats = append(lats, float64(time.Since(start).Microseconds()))
+		if mode == "replay" && tk.Continuous {
+			return topkQueryRow{}, fmt.Errorf("topkserve: replay query served from the snapshot")
+		}
+	}
+	sort.Float64s(lats)
+	return topkQueryRow{
+		Mode:      mode,
+		K:         k,
+		LiveObjs:  live,
+		Queries:   n,
+		P50Micros: lats[len(lats)/2],
+		P99Micros: lats[len(lats)*99/100],
+	}, nil
+}
+
+// medianIngest returns the row with the median throughput of rs.
+func medianIngest(rs []topkIngestRow) topkIngestRow {
+	sorted := append([]topkIngestRow(nil), rs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ObjectsPerSec < sorted[j].ObjectsPerSec })
+	return sorted[len(sorted)/2]
+}

@@ -23,9 +23,75 @@ import (
 	"surge/internal/iheap"
 )
 
+// gobj is one live object of a cell, stored in arrival order (IDs are
+// assigned by the window engine in stream order); expired entries are
+// tombstoned and compaction preserves the order. The ordered list exists so
+// reported scores can be computed as canonical arrival-order folds — a pure
+// function of the cell's content — while the O(1) incremental accumulators
+// keep ordering the heap.
+type gobj struct {
+	id   uint64
+	wt   float64
+	past bool
+	dead bool
+}
+
 type gcell struct {
-	fc, fp float64
+	fc, fp float64 // incremental accumulators: heap keys, not reported values
 	nc, np int
+	objs   []gobj // arrival-ordered; expired entries are tombstoned
+	dead   int    // tombstones in objs
+}
+
+// lookup returns the position of the live object with the given ID (objs is
+// sorted by ID; see gobj).
+func (c *gcell) lookup(id uint64) (int, bool) {
+	lo, hi := 0, len(c.objs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.objs[mid].id < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.objs) && c.objs[lo].id == id && !c.objs[lo].dead {
+		return lo, true
+	}
+	return 0, false
+}
+
+// remove tombstones the object at position i and compacts the backing array
+// once half of it is dead, preserving arrival order.
+func (c *gcell) remove(i int) {
+	c.objs[i].dead = true
+	c.dead++
+	if c.dead > 16 && c.dead*2 >= len(c.objs) {
+		kept := c.objs[:0]
+		for _, g := range c.objs {
+			if !g.dead {
+				kept = append(kept, g)
+			}
+		}
+		c.objs = kept
+		c.dead = 0
+	}
+}
+
+// fold returns the canonical arrival-order window scores of the cell.
+func (c *gcell) fold(cfg core.Config) (fc, fp float64) {
+	for i := range c.objs {
+		g := &c.objs[i]
+		if g.dead {
+			continue
+		}
+		if g.past {
+			fp += g.wt / cfg.WP
+		} else {
+			fc += g.wt / cfg.WC
+		}
+	}
+	return fc, fp
 }
 
 type layer struct {
@@ -132,16 +198,32 @@ func (e *Engine) Process(ev core.Event) {
 		e.stats.CellsTouched++
 		switch ev.Kind {
 		case core.New:
+			c.objs = append(c.objs, gobj{id: o.ID, wt: o.Weight})
 			c.fc += dc
 			c.nc++
 		case core.Grown:
+			i, ok := c.lookup(o.ID)
+			if !ok || c.objs[i].past {
+				break
+			}
+			c.objs[i].past = true
 			c.fc -= dc
 			c.nc--
 			c.fp += dp
 			c.np++
 		case core.Expired:
-			c.fp -= dp
-			c.np--
+			i, ok := c.lookup(o.ID)
+			if !ok {
+				break
+			}
+			if c.objs[i].past {
+				c.fp -= dp
+				c.np--
+			} else { // expired without a Grown event (defensive)
+				c.fc -= dc
+				c.nc--
+			}
+			c.remove(i)
 		}
 		// Reset empty accumulators so float drift cannot build up over the
 		// lifetime of a long stream.
@@ -154,7 +236,9 @@ func (e *Engine) Process(ev core.Event) {
 		if c.nc == 0 && c.np == 0 {
 			delete(l.cells, ck)
 			l.heap.Remove(ck)
-			*c = gcell{}
+			c.objs = c.objs[:0] // keep the backing array for reuse
+			c.dead = 0
+			c.fc, c.fp = 0, 0
 			e.free = append(e.free, c)
 			continue
 		}
@@ -165,13 +249,15 @@ func (e *Engine) Process(ev core.Event) {
 // Best reports the cell with the maximum burst score across all grids.
 func (e *Engine) Best() core.Result {
 	var best core.Result
+	bestKey := 0.0
 	for li := range e.layers {
 		l := &e.layers[li]
 		ck, sc, ok := l.heap.Max()
-		if !ok || sc <= 0 || sc <= best.Score {
+		if !ok || sc <= 0 || (best.Found && sc <= bestKey) {
 			continue
 		}
-		best = e.resultOf(l, ck, sc)
+		best = e.resultOf(l, ck)
+		bestKey = sc
 	}
 	return best
 }
@@ -230,7 +316,7 @@ func (e *Engine) popTop(l *layer, k int, dst []core.Result) []core.Result {
 		if sc <= 0 {
 			break
 		}
-		dst = append(dst, e.resultOf(l, ck, sc))
+		dst = append(dst, e.resultOf(l, ck))
 		taken++
 	}
 	for i, ck := range e.popKeys {
@@ -239,15 +325,22 @@ func (e *Engine) popTop(l *layer, k int, dst []core.Result) []core.Result {
 	return dst
 }
 
-func (e *Engine) resultOf(l *layer, ck grid.Cell, sc float64) core.Result {
+// resultOf reports a cell canonically: the returned scores are the
+// arrival-order folds of the cell's live objects, independent of the
+// accumulator history, so a continuously maintained engine reports bitwise
+// the same values as one rebuilt from a checkpoint of the same content.
+// (The heap keys remain the incremental accumulators; they only order the
+// candidate selection, where equal content differs by at most rounding.)
+func (e *Engine) resultOf(l *layer, ck grid.Cell) core.Result {
 	c := l.cells[ck]
 	r := l.g.CellRect(ck)
+	fc, fp := c.fold(e.cfg)
 	return core.Result{
 		Point:  geom.Point{X: r.MaxX, Y: r.MaxY},
 		Region: r,
-		Score:  sc,
-		FC:     c.fc,
-		FP:     c.fp,
+		Score:  e.cfg.Score(fc, fp),
+		FC:     fc,
+		FP:     fp,
 		Found:  true,
 	}
 }

@@ -75,8 +75,16 @@ func ParseTimePolicy(s string) (TimePolicy, error) {
 type Config struct {
 	Algorithm surge.Algorithm
 	Options   surge.Options
-	// TopK is the default k of /v1/topk (0 = 5).
+	// TopK is the k of the continuously maintained top-k detector and the
+	// default k of /v1/topk (0 = 5).
 	TopK int
+	// TopKReplayOnly disables the continuously maintained top-k detector:
+	// /v1/topk then answers every query by checkpoint replay (the pre-
+	// maintenance behaviour) and no "topk" SSE events are published.
+	TopKReplayOnly bool
+	// NotifyRing is the number of recent SSE events retained for
+	// Last-Event-ID reconnect backfill (0 = 256).
+	NotifyRing int
 	// TimePolicy handles out-of-order ingest timestamps (default Strict).
 	TimePolicy TimePolicy
 	// BatchSize is the number of objects per detector synchronisation on
@@ -115,16 +123,30 @@ type Server struct {
 	closeErr error
 
 	// Loop-owned state: only the event loop may touch these.
-	det   *surge.Detector
-	clock float64      // largest ingested timestamp
-	last  surge.Result // last published answer
-	seq   uint64       // change sequence number
+	det      *surge.Detector
+	tdet     *surge.TopKDetector // maintained top-k; nil in replay-only mode
+	clock    float64             // largest ingested timestamp
+	last     surge.Result        // last published answer
+	lastTopK []surge.Result      // last published top-k answer (copy)
+	seq      uint64              // bursty-region change sequence number
+	tkSeq    uint64              // top-k change sequence number
+	eid      uint64              // SSE event id, shared by both event kinds
+
+	// topkSnap is the latest maintained top-k answer, swapped in whole by
+	// the event loop: /v1/topk serves it with one atomic load — O(1) per
+	// query, no loop round-trip, no allocation.
+	topkSnap atomic.Pointer[client.TopK]
 
 	hub hub
 
 	// chunkPool recycles the per-request ingest chunk buffers (capacity
 	// s.batch) across requests, keeping the ingest hot path allocation-free.
 	chunkPool sync.Pool
+
+	// ckptPool recycles the checkpoint buffers of replay-mode top-k
+	// queries, so the escape hatch does not allocate a fresh snapshot per
+	// request.
+	ckptPool sync.Pool
 
 	// Counters (atomics so /metrics and handlers read them lock-free).
 	objects   atomic.Uint64 // objects applied
@@ -135,6 +157,10 @@ type Server struct {
 	ingestErr atomic.Uint64 // failed ingest requests
 	snapshots atomic.Uint64
 	restores  atomic.Uint64
+
+	topkFast   atomic.Uint64 // /v1/topk answered from the maintained snapshot
+	topkReplay atomic.Uint64 // /v1/topk answered by checkpoint replay
+	topkNotifs atomic.Uint64 // top-k notifications published
 }
 
 // New builds the detector and starts the event loop.
@@ -178,10 +204,39 @@ func New(cfg Config) (*Server, error) {
 		c := make([]surge.Object, 0, s.batch)
 		return &c
 	}
+	s.ckptPool.New = func() any { return new([]byte) }
 	s.hub.subs = make(map[*subscriber]struct{})
+	s.hub.ringCap = cfg.NotifyRing
+	if s.hub.ringCap <= 0 {
+		s.hub.ringCap = 256
+	}
+	if !cfg.TopKReplayOnly {
+		tdet, err := det.AttachTopK(topKAlgorithm(cfg.Algorithm), cfg.TopK)
+		if err != nil {
+			det.Close()
+			return nil, err
+		}
+		s.tdet = tdet
+		s.lastTopK = append(s.lastTopK, tdet.BestK()...)
+		s.topkSnap.Store(s.topkWire(s.lastTopK))
+	}
 	s.routes()
 	go s.loop()
 	return s, nil
+}
+
+// topkWire converts a maintained top-k answer to its wire snapshot.
+func (s *Server) topkWire(res []surge.Result) *client.TopK {
+	out := &client.TopK{
+		K:          s.tdet.K(),
+		Algorithm:  s.tdet.Algorithm().String(),
+		Continuous: true,
+		Results:    make([]client.Result, len(res)),
+	}
+	for i, r := range res {
+		out.Results[i] = client.FromResult(r)
+	}
+	return out
 }
 
 // loop is the single-writer event loop: the only goroutine that touches
@@ -322,6 +377,7 @@ func (s *Server) applyBatch(objs []surge.Object) (surge.Result, int, error) {
 		s.clock = now
 	}
 	s.publish(res)
+	s.refreshTopK()
 	if err != nil {
 		return res, clamped, err
 	}
@@ -339,8 +395,48 @@ func (s *Server) publish(res surge.Result) {
 	s.last = res
 	s.seq++
 	s.notifs.Add(1)
+	s.eid++
 	n := client.Notification{Seq: s.seq, Time: s.det.Now(), Result: client.FromResult(res)}
-	s.dropped.Add(s.hub.broadcast(n))
+	s.dropped.Add(s.hub.broadcast(frame{eid: s.eid, burst: n}))
+}
+
+// refreshTopK runs on the event loop after every applied batch: query the
+// maintained top-k detector and, when any rank changed (bitwise on scores
+// and regions), swap the lock-free snapshot and broadcast a "topk" event.
+func (s *Server) refreshTopK() {
+	if s.tdet == nil {
+		return
+	}
+	res := s.tdet.BestK()
+	if topkEqual(res, s.lastTopK) {
+		return
+	}
+	s.lastTopK = append(s.lastTopK[:0], res...)
+	snap := s.topkWire(s.lastTopK)
+	s.topkSnap.Store(snap)
+	s.tkSeq++
+	s.topkNotifs.Add(1)
+	s.eid++
+	n := client.TopKNotification{
+		Seq:     s.tkSeq,
+		Time:    s.det.Now(),
+		K:       snap.K,
+		Results: snap.Results,
+	}
+	s.dropped.Add(s.hub.broadcast(frame{eid: s.eid, topk: true, tk: n}))
+}
+
+// topkEqual compares two top-k answers bitwise (scores, regions, found).
+func topkEqual(a, b []surge.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // state runs on the event loop: snapshot the queryable state. Best and
@@ -349,6 +445,7 @@ func (s *Server) state() client.State {
 	st := s.det.Stats()
 	return client.State{
 		Seq:    s.seq,
+		Events: s.eid,
 		Now:    s.det.Now(),
 		Live:   s.det.Live(),
 		Shards: s.det.Shards(),
@@ -375,20 +472,33 @@ func (s *Server) Snapshot() ([]byte, error) {
 }
 
 // Restore replaces the detector with the checkpointed state, restored into
-// the server's configured shard count. The replay happens off the event
-// loop; only the swap synchronises with ingest.
+// the server's configured shard count. The replay — including the seeding
+// of a fresh maintained top-k detector — happens off the event loop; only
+// the swap synchronises with ingest.
 func (s *Server) Restore(data []byte) error {
 	nd, err := surge.RestoreShardedTuned(s.cfg.Algorithm, data,
 		s.cfg.Options.Shards, s.cfg.Options.ShardBlockCols, s.cfg.Options.ShardFlushEvents)
 	if err != nil {
 		return err
 	}
+	var ntd *surge.TopKDetector
+	if !s.cfg.TopKReplayOnly {
+		if ntd, err = nd.AttachTopK(topKAlgorithm(s.cfg.Algorithm), s.cfg.TopK); err != nil {
+			nd.Close()
+			return err
+		}
+	}
 	derr := s.do(func() {
-		old := s.det
+		old, oldTK := s.det, s.tdet
 		s.det = nd
+		s.tdet = ntd
 		s.clock = nd.Now()
 		s.restores.Add(1)
 		s.publish(nd.Best())
+		s.refreshTopK()
+		if oldTK != nil {
+			oldTK.Close()
+		}
 		old.Close()
 	})
 	if derr != nil {
@@ -407,24 +517,71 @@ func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, st)
 }
 
-// handleTopK serves greedy top-k on demand: the live windows are
-// checkpointed on the loop, then replayed into a fresh top-k detector off
-// the loop, so an expensive top-k query never stalls ingestion.
+// handleTopK serves the top-k bursty regions. The fast path — the default
+// whenever the server maintains continuous top-k and the requested k is
+// covered — is one atomic load of the snapshot the event loop keeps
+// current: O(1) per query, off the loop, allocation-free. The greedy chain
+// is prefix-stable (rank i never depends on ranks > i), so any k <= the
+// maintained K is served as a prefix of the snapshot.
+//
+// ?mode=replay is the escape hatch (and the path for k beyond the
+// maintained K): the live windows are checkpointed on the loop into a
+// pooled buffer, then replayed into a fresh top-k detector off the loop, so
+// even an expensive replay query never stalls ingestion. The canonically
+// rescored kCCS makes both paths report bitwise identical scores.
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
 	k := s.cfg.TopK
-	if q := r.URL.Query().Get("k"); q != "" {
-		v, err := strconv.Atoi(q)
+	if qk := q.Get("k"); qk != "" {
+		v, err := strconv.Atoi(qk)
 		if err != nil || v < 1 || v > 1000 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("server: invalid k %q", q), 0)
+			writeError(w, http.StatusBadRequest, fmt.Errorf("server: invalid k %q", qk), 0)
 			return
 		}
 		k = v
 	}
-	data, err := s.Snapshot()
-	if err != nil {
+	mode := q.Get("mode")
+	switch mode {
+	case "", "auto", "continuous", "replay":
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: unknown top-k mode %q (want continuous or replay)", mode), 0)
+		return
+	}
+	if mode != "replay" {
+		if snap := s.topkSnap.Load(); snap != nil && k <= snap.K {
+			s.topkFast.Add(1)
+			out := *snap
+			if k < snap.K {
+				out.K = k
+				out.Results = snap.Results[:k]
+			}
+			writeJSON(w, out)
+			return
+		}
+		if mode == "continuous" {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("server: no maintained top-k covers k=%d (maintained k=%d, continuous=%v); drop mode or use mode=replay",
+					k, s.cfg.TopK, !s.cfg.TopKReplayOnly), 0)
+			return
+		}
+	}
+	s.topkReplay.Add(1)
+	bufp := s.ckptPool.Get().(*[]byte)
+	defer s.ckptPool.Put(bufp)
+	var data []byte
+	var cerr error
+	if err := s.do(func() {
+		data, cerr = s.det.AppendCheckpoint((*bufp)[:0])
+		s.snapshots.Add(1)
+	}); err != nil {
 		writeError(w, http.StatusServiceUnavailable, err, 0)
 		return
 	}
+	if cerr != nil {
+		writeError(w, http.StatusInternalServerError, cerr, 0)
+		return
+	}
+	*bufp = data // keep the grown capacity pooled for the next query
 	alg := topKAlgorithm(s.cfg.Algorithm)
 	td, err := surge.RestoreTopK(alg, data, k)
 	if err != nil {
@@ -525,6 +682,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeMetric(w, "surge_ingest_errors_total", "counter", "Failed ingest requests.", float64(s.ingestErr.Load()))
 	writeMetric(w, "surge_notifications_total", "counter", "Bursty-region change notifications published.", float64(s.notifs.Load()))
 	writeMetric(w, "surge_notifications_dropped_total", "counter", "Notifications lost to slow subscribers.", float64(s.dropped.Load()))
+	writeMetric(w, "surge_topk_fast_queries_total", "counter", "Top-k queries served from the maintained snapshot.", float64(s.topkFast.Load()))
+	writeMetric(w, "surge_topk_replay_queries_total", "counter", "Top-k queries served by checkpoint replay.", float64(s.topkReplay.Load()))
+	writeMetric(w, "surge_topk_notifications_total", "counter", "Top-k change notifications published.", float64(s.topkNotifs.Load()))
+	continuous := 0.0
+	if s.tdet != nil {
+		continuous = 1
+	}
+	writeMetric(w, "surge_topk_continuous", "gauge", "Whether a continuously maintained top-k detector is serving /v1/topk.", continuous)
+	writeMetric(w, "surge_topk_k", "gauge", "k of the maintained top-k detector (and the default query k).", float64(s.cfg.TopK))
 	writeMetric(w, "surge_snapshots_total", "counter", "Checkpoints taken.", float64(s.snapshots.Load()))
 	writeMetric(w, "surge_restores_total", "counter", "Checkpoints restored.", float64(s.restores.Load()))
 	writeMetric(w, "surge_subscribers", "gauge", "Open notification subscriptions.", float64(s.hub.count()))

@@ -446,29 +446,65 @@ func TestMetricsAndHealth(t *testing.T) {
 // directly: a full subscriber loses oldest-first and the loss is accounted
 // on the next delivered notification.
 func TestSlowSubscriberDrops(t *testing.T) {
-	h := hub{subs: make(map[*subscriber]struct{})}
-	sub := &subscriber{ch: make(chan client.Notification, 2)}
+	h := hub{subs: make(map[*subscriber]struct{}), ringCap: 8}
+	sub := &subscriber{ch: make(chan frame, 2)}
 	h.add(sub)
 	var lost uint64
 	for seq := uint64(1); seq <= 5; seq++ {
-		lost += h.broadcast(client.Notification{Seq: seq})
+		lost += h.broadcast(frame{eid: seq, burst: client.Notification{Seq: seq}})
 	}
 	if lost != 3 {
 		t.Fatalf("broadcast reported %d drops, want 3", lost)
 	}
 	// Buffer holds the two newest. Delivered count (2) plus the sum of the
 	// delivered Dropped accounts (1 + 2) equals the 5 published.
-	n := <-sub.ch
-	if n.Seq != 4 || n.Dropped != 1 {
-		t.Fatalf("first delivered = seq %d dropped %d, want seq 4 dropped 1", n.Seq, n.Dropped)
+	f := <-sub.ch
+	if f.burst.Seq != 4 || f.dropped() != 1 {
+		t.Fatalf("first delivered = seq %d dropped %d, want seq 4 dropped 1", f.burst.Seq, f.dropped())
 	}
-	n = <-sub.ch
-	if n.Seq != 5 || n.Dropped != 2 {
-		t.Fatalf("second delivered = seq %d dropped %d, want seq 5 dropped 2", n.Seq, n.Dropped)
+	f = <-sub.ch
+	if f.burst.Seq != 5 || f.dropped() != 2 {
+		t.Fatalf("second delivered = seq %d dropped %d, want seq 5 dropped 2", f.burst.Seq, f.dropped())
 	}
 	h.remove(sub)
 	if h.count() != 0 {
 		t.Fatal("subscriber not removed")
+	}
+}
+
+// TestHubReconnectBackfill exercises the Last-Event-ID ring directly: a
+// resuming subscriber gets exactly the frames it missed, and frames evicted
+// from the ring are accounted on the first replayed frame's Dropped field.
+func TestHubReconnectBackfill(t *testing.T) {
+	h := hub{subs: make(map[*subscriber]struct{}), ringCap: 4}
+	for seq := uint64(1); seq <= 10; seq++ {
+		h.broadcast(frame{eid: seq, burst: client.Notification{Seq: seq}})
+	}
+	// Ring holds 7..10. Resuming from 5 misses 6 frames, of which 6 is gone.
+	sub := &subscriber{ch: make(chan frame, 4)}
+	backlog := h.addResuming(sub, 5)
+	if len(backlog) != 4 {
+		t.Fatalf("backlog of %d frames, want 4", len(backlog))
+	}
+	for i, f := range backlog {
+		if f.eid != uint64(7+i) {
+			t.Fatalf("backlog[%d] eid %d, want %d", i, f.eid, 7+i)
+		}
+	}
+	if backlog[0].dropped() != 1 {
+		t.Fatalf("first replayed frame dropped %d, want 1 (eid 6 left the ring)", backlog[0].dropped())
+	}
+	// Delivered (4) + dropped (1) + already-seen (5) = 10 published.
+	// A subscriber resuming from the newest id gets nothing.
+	sub2 := &subscriber{ch: make(chan frame, 4)}
+	if b := h.addResuming(sub2, 10); len(b) != 0 || sub2.dropped != 0 {
+		t.Fatalf("up-to-date resume got %d frames, dropped %d", len(b), sub2.dropped)
+	}
+	// Live frames keep flowing to resumed subscribers.
+	h.broadcast(frame{eid: 11, burst: client.Notification{Seq: 11}})
+	f := <-sub.ch
+	if f.eid != 11 || f.dropped() != 0 {
+		t.Fatalf("live frame after resume = eid %d dropped %d, want 11/0", f.eid, f.dropped())
 	}
 }
 

@@ -3,7 +3,9 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -14,28 +16,104 @@ import (
 // subscriptions from being reaped by proxies and detect dead peers.
 const keepAliveInterval = 15 * time.Second
 
+// frame is one published SSE event — a "burst" notification or a "topk"
+// notification — tagged with the stream-wide event id (the SSE id field).
+// Event ids are assigned sequentially across both kinds, so a reconnecting
+// subscriber's Last-Event-ID identifies an exact position in the stream.
+type frame struct {
+	eid   uint64
+	topk  bool
+	burst client.Notification
+	tk    client.TopKNotification
+}
+
+// dropped returns the frame's loss account.
+func (f *frame) dropped() uint64 {
+	if f.topk {
+		return f.tk.Dropped
+	}
+	return f.burst.Dropped
+}
+
+// setDropped stamps the loss account carried to the subscriber.
+func (f *frame) setDropped(d uint64) {
+	if f.topk {
+		f.tk.Dropped = d
+	} else {
+		f.burst.Dropped = d
+	}
+}
+
+// write renders the frame as one SSE event.
+func (f *frame) write(w io.Writer) error {
+	if f.topk {
+		return writeEvent(w, "topk", f.eid, f.tk)
+	}
+	return writeEvent(w, "burst", f.eid, f.burst)
+}
+
 // subscriber is one open /v1/subscribe stream. The channel is written only
-// by the event loop (under the hub lock); dropped accumulates the
-// notifications lost to the slow-consumer policy since the last delivery
-// and is loop-owned too.
+// by the event loop (under the hub lock); dropped accumulates the events
+// lost to the slow-consumer policy since the last delivery and is written
+// under the hub lock too.
 type subscriber struct {
-	ch      chan client.Notification
+	ch      chan frame
 	dropped uint64
 }
 
-// hub is the subscriber registry. Handlers add/remove under the lock; the
-// event loop broadcasts under the lock, so a subscriber present during
+// hub is the subscriber registry plus the bounded ring of recent frames
+// that backs Last-Event-ID reconnects. Handlers add/remove under the lock;
+// the event loop broadcasts under the lock, so a subscriber present during
 // broadcast is guaranteed delivery or a Dropped account — never a silent
-// gap.
+// gap — and a reconnect observes a consistent cut of the ring.
 type hub struct {
-	mu   sync.Mutex
-	subs map[*subscriber]struct{}
+	mu      sync.Mutex
+	subs    map[*subscriber]struct{}
+	ring    []frame // the newest min(newest, ringCap) frames, indexed by (eid-1) % ringCap
+	ringCap int
+	newest  uint64 // eid of the most recently published frame
 }
 
 func (h *hub) add(sub *subscriber) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.subs[sub] = struct{}{}
+}
+
+// addResuming registers a reconnecting subscriber and returns the frames it
+// missed since lastID, oldest first, for the handler to replay before
+// entering the live stream. Frames that have already left the ring are
+// accounted on the first returned frame's Dropped field (or carried into
+// the subscriber's loss account when nothing is left to replay), so the
+// invariant "delivered count + sum of delivered Dropped = published count"
+// holds across the reconnect.
+func (h *hub) addResuming(sub *subscriber, lastID uint64) []frame {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.subs[sub] = struct{}{}
+	if h.newest == 0 || lastID >= h.newest {
+		return nil
+	}
+	oldest := uint64(1)
+	if h.newest > uint64(len(h.ring)) {
+		oldest = h.newest - uint64(len(h.ring)) + 1
+	}
+	from := lastID + 1
+	var missed uint64
+	if from < oldest {
+		missed = oldest - from
+		from = oldest
+	}
+	out := make([]frame, 0, h.newest-from+1)
+	for eid := from; eid <= h.newest; eid++ {
+		out = append(out, h.ring[(eid-1)%uint64(h.ringCap)])
+	}
+	if len(out) > 0 {
+		out[0].setDropped(out[0].dropped() + missed)
+	} else {
+		sub.dropped = missed // cannot happen (missed > 0 implies frames remain); defensive
+	}
+	return out
 }
 
 func (h *hub) remove(sub *subscriber) {
@@ -50,32 +128,41 @@ func (h *hub) count() int {
 	return len(h.subs)
 }
 
-// broadcast delivers n to every subscriber without ever blocking the event
-// loop. A full subscriber loses its oldest buffered notification to make
-// room for the newest one — the freshest answer is always deliverable —
-// and the loss is surfaced on the next delivered notification's Dropped
-// field. Returns the number of notifications dropped across subscribers.
-func (h *hub) broadcast(n client.Notification) uint64 {
+// broadcast records f in the reconnect ring and delivers it to every
+// subscriber without ever blocking the event loop. A full subscriber loses
+// its oldest buffered frame to make room for the newest one — the freshest
+// answer is always deliverable — and the loss is surfaced on the next
+// delivered frame's Dropped field. Returns the number of frames dropped
+// across subscribers.
+func (h *hub) broadcast(f frame) uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.newest = f.eid
+	if h.ringCap > 0 {
+		if len(h.ring) < h.ringCap {
+			h.ring = append(h.ring, f)
+		} else {
+			h.ring[(f.eid-1)%uint64(h.ringCap)] = f
+		}
+	}
 	var lost uint64
 	for sub := range h.subs {
-		if sub.trySend(n) {
+		if sub.trySend(f) {
 			continue
 		}
 		// Full: evict the oldest (the only receiver is the subscriber's
 		// handler, so draining one slot is enough room unless the handler
 		// raced a receive — then the retry has room anyway). The evicted
-		// notification's own Dropped account is reclaimed so the invariant
+		// frame's own Dropped account is reclaimed so the invariant
 		// "delivered count + sum of delivered Dropped = published count"
 		// holds however far a subscriber falls behind.
 		select {
 		case old := <-sub.ch:
-			sub.dropped += old.Dropped + 1
+			sub.dropped += old.dropped() + 1
 			lost++
 		default:
 		}
-		if !sub.trySend(n) {
+		if !sub.trySend(f) {
 			sub.dropped++ // cannot happen with a buffered channel; never block
 			lost++
 		}
@@ -85,10 +172,10 @@ func (h *hub) broadcast(n client.Notification) uint64 {
 
 // trySend attaches the accumulated loss count and delivers without
 // blocking.
-func (sub *subscriber) trySend(n client.Notification) bool {
-	n.Dropped = sub.dropped
+func (sub *subscriber) trySend(f frame) bool {
+	f.setDropped(sub.dropped)
 	select {
-	case sub.ch <- n:
+	case sub.ch <- f:
 		sub.dropped = 0
 		return true
 	default:
@@ -96,30 +183,52 @@ func (sub *subscriber) trySend(n client.Notification) bool {
 	}
 }
 
-// handleSubscribe streams bursty-region changes as Server-Sent Events: a
+// handleSubscribe streams detection changes as Server-Sent Events: a
 // "hello" event carrying the current State, then one "burst" event
-// (Notification) per answer change. The hello is sent only after the
-// subscriber is registered, so a client that has read it observes every
-// subsequent change (modulo the accounted slow-consumer drops).
+// (Notification) per bursty-region change and — when the server maintains
+// continuous top-k — one "topk" event (TopKNotification) per top-k change.
+// The hello is sent only after the subscriber is registered, so a client
+// that has read it observes every subsequent change (modulo the accounted
+// slow-consumer drops).
+//
+// A reconnecting subscriber that sends a Last-Event-ID header resumes the
+// stream instead: the events it missed are replayed from a bounded ring
+// (Config.NotifyRing) with their original ids, events evicted from the ring
+// are counted in the first replayed event's Dropped field, and no hello is
+// sent.
 func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("server: streaming unsupported"), 0)
 		return
 	}
-	sub := &subscriber{ch: make(chan client.Notification, s.subBuf)}
-	s.hub.add(sub)
+	sub := &subscriber{ch: make(chan frame, s.subBuf)}
+	lastID, resume := lastEventID(r)
+	var backlog []frame
+	if resume {
+		backlog = s.hub.addResuming(sub, lastID)
+	} else {
+		s.hub.add(sub)
+	}
 	defer s.hub.remove(sub)
 
 	var st client.State
-	if err := s.do(func() { st = s.state() }); err != nil {
-		writeError(w, http.StatusServiceUnavailable, err, 0)
-		return
+	if !resume {
+		if err := s.do(func() { st = s.state() }); err != nil {
+			writeError(w, http.StatusServiceUnavailable, err, 0)
+			return
+		}
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("X-Accel-Buffering", "no")
-	if err := writeEvent(w, "hello", st.Seq, st); err != nil {
+	if resume {
+		for i := range backlog {
+			if err := backlog[i].write(w); err != nil {
+				return
+			}
+		}
+	} else if err := writeEvent(w, "hello", st.Events, st); err != nil {
 		return
 	}
 	fl.Flush()
@@ -129,8 +238,8 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	for {
 		select {
-		case n := <-sub.ch:
-			if err := writeEvent(w, "burst", n.Seq, n); err != nil {
+		case f := <-sub.ch:
+			if err := f.write(w); err != nil {
 				return
 			}
 			fl.Flush()
@@ -147,8 +256,22 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// lastEventID parses the SSE reconnect header. A malformed value is treated
+// as a fresh subscription.
+func lastEventID(r *http.Request) (uint64, bool) {
+	v := r.Header.Get("Last-Event-ID")
+	if v == "" {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
 // writeEvent renders one SSE frame.
-func writeEvent(w http.ResponseWriter, event string, id uint64, payload any) error {
+func writeEvent(w io.Writer, event string, id uint64, payload any) error {
 	data, err := json.Marshal(payload)
 	if err != nil {
 		return err

@@ -7,11 +7,54 @@
 // problems of higher order); objects that covered the previous i-th point but
 // not the new one are promoted back to level k.
 //
-// Each cell maintains k static bounds, k dynamic bounds and k candidate
-// points — one per problem — updated by a uniform set of visibility
-// operations. Window events and level changes both reduce to these
-// operations, so the bound/validity reasoning of the single-region engine
-// (Lemmas 2-4) carries over per problem.
+// Each cell maintains static bounds, dynamic bounds and candidate points per
+// problem, updated by a uniform set of visibility operations. Window events
+// and level changes both reduce to these operations, so the bound/validity
+// reasoning of the single-region engine (Lemmas 2-4) carries over per
+// problem.
+//
+// # Shared-until-split cells
+//
+// Level demotions only ever touch the objects covering a top-k point, so at
+// any moment almost every cell holds objects at level k exclusively — and
+// for such a cell the k problems see identical content: one set of bounds
+// and one candidate is simultaneously correct for all of them. The engine
+// exploits this: a cell starts "unsplit", carrying a single shared
+// (us, ud, candidate) slot and living in one shared heap, and per-problem
+// state is materialized only when a level change actually touches the cell
+// ("split" cells — a handful around the current top-k regions). Event
+// maintenance on an unsplit cell therefore costs the same as in the
+// single-region engine regardless of k, and one snapshot search of an
+// unsplit cell refreshes it for every problem at once. A split cell whose
+// leveled objects disappear folds back to the shared representation at the
+// next flush.
+//
+// # Canonical rescoring and schedule independence
+//
+// Cells store their rectangle objects in arrival order (IDs are assigned by
+// the window engine in stream order), expired entries are tombstoned and
+// compaction preserves the order — the same storage discipline as the
+// single-region cellcspot engine. Whenever a candidate is valid and found,
+// its fc and fp equal the arrival-order left folds of the window
+// contributions of the objects visible to its problem that cover it. A
+// surviving stream New appends the last element of that fold (an O(1)
+// update); every other surviving visibility change (expiry of a covering
+// past object, a level promotion of an interior object) recomputes the fold
+// with rescore. Levels themselves are, after a resolve, a pure function of
+// the live content (the greedy chain determines them), so the reported
+// top-k scores are bitwise independent of when queries ran — the property
+// that makes the continuously maintained serving path provably equal to
+// checkpoint replay.
+//
+// # Lazy heap maintenance
+//
+// The heaps order cells by their upper bounds with the positions stored in
+// the cells (kheap), so no hash map is touched. Refreshing heap keys on
+// every visibility operation would still dominate the maintenance cost, so
+// Process only appends the touched cell to a dirty queue; the keys of the
+// queued cells are flushed in bulk when the next query resolves. Between
+// queries the heaps are stale, which is safe because only resolve reads
+// them.
 package topk
 
 import (
@@ -20,7 +63,6 @@ import (
 	"surge/internal/core"
 	"surge/internal/geom"
 	"surge/internal/grid"
-	"surge/internal/iheap"
 	"surge/internal/sweep"
 )
 
@@ -28,6 +70,7 @@ type kobj struct {
 	id       uint64
 	x, y, wt float64
 	past     bool
+	dead     bool
 	lvl      int // 1..k; visible to problem i iff lvl >= i
 }
 
@@ -38,43 +81,113 @@ type kcand struct {
 	fc, fp float64
 }
 
+// kcell keeps its rectangle objects in arrival order (see the package
+// comment) plus either one shared bound/candidate slot (unsplit) or one per
+// problem (split).
 type kcell struct {
-	key   grid.Cell
-	objs  map[uint64]*kobj
-	us    []float64 // per problem: static bound over visible current objects
+	key     grid.Cell
+	objs    []kobj // arrival-ordered; expired entries are tombstoned
+	dead    int    // tombstones in objs
+	leveled int    // live objects with lvl < k
+	split   bool   // per-problem state materialized
+	queued  bool   // in the engine's dirty queue awaiting a heap flush
+	gone    bool   // emptied while queued; recycled at the next flush
+
+	// Shared state, authoritative while !split: one slot serves every
+	// problem, and spos is the cell's position in the engine's shared heap.
+	sus    float64
+	susCur int
+	sud    float64
+	scand  kcand
+	spos   int
+
+	// Per-problem state, authoritative while split; allocated on first
+	// split and kept across recycling. hpos[i] is the position in the i-th
+	// problem heap.
+	us    []float64
 	usCur []int
-	ud    []float64 // per problem: dynamic bound; +Inf before first search
+	ud    []float64
 	cand  []kcand
+	hpos  []int
 }
 
-// visibility operations
-type opKind uint8
+// pos returns the cell's position in heap ix (-1 = the shared heap).
+func (c *kcell) pos(ix int) int {
+	if ix < 0 {
+		return c.spos
+	}
+	return c.hpos[ix]
+}
 
-const (
-	opAddCur  opKind = iota // a current-window object becomes visible
-	opAddPast               // a past-window object becomes visible
-	opRmCur                 // a current-window object becomes invisible
-	opRmPast                // a past-window object becomes invisible
-	opRetag                 // a visible object moves from Wc to Wp
-)
+func (c *kcell) setPos(ix, v int) {
+	if ix < 0 {
+		c.spos = v
+	} else {
+		c.hpos[ix] = v
+	}
+}
+
+// live returns the number of live objects in the cell.
+func (c *kcell) live() int { return len(c.objs) - c.dead }
+
+// lookup returns the position of the live object with the given ID. IDs are
+// assigned in stream order and objs is arrival-ordered (compaction
+// preserves it), so the slice is sorted by ID and a binary search suffices.
+func (c *kcell) lookup(id uint64) (int, bool) {
+	lo, hi := 0, len(c.objs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.objs[mid].id < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.objs) && c.objs[lo].id == id && !c.objs[lo].dead {
+		return lo, true
+	}
+	return 0, false
+}
+
+// remove tombstones the object at position i and compacts the backing array
+// once half of it is dead. Compaction preserves arrival order.
+func (c *kcell) remove(i int) {
+	c.objs[i].dead = true
+	c.dead++
+	if c.dead > 16 && c.dead*2 >= len(c.objs) {
+		kept := c.objs[:0]
+		for _, g := range c.objs {
+			if !g.dead {
+				kept = append(kept, g)
+			}
+		}
+		c.objs = kept
+		c.dead = 0
+	}
+}
 
 // KCCS is the exact top-k detector. It is not safe for concurrent use.
 type KCCS struct {
 	cfg   core.Config
 	k     int
 	grid  grid.Grid
-	objs  map[uint64]*kobj
-	cells map[grid.Cell]*kcell
-	heaps []*iheap.Heap[grid.Cell] // one per problem
+	cells map[uint64]*kcell // keyed by ckey: packed cell coordinates hit the fast64 map path
+	main  kheap             // unsplit cells, one shared key each
+	aux   []kheap           // split cells, one heap per problem
 	sr    sweep.Searcher
 	stats core.Stats
 
 	top   []kcand // current top-k points (the level assignment anchors)
 	dirty bool
 
+	queue []*kcell // cells with stale heap keys, flushed at the next query
+	free  []*kcell // emptied cells kept for reuse
+
 	cellScratch  []grid.Cell
 	entryScratch []sweep.Entry
-	coverScratch []*kobj
+	covScratch   []kobj   // covering() results (copies of cell entries)
+	idScratch    []uint64 // ids consumed by the new rank point, ascending
+	out          []core.Result
 }
 
 var _ core.TopKEngine = (*KCCS)(nil)
@@ -91,12 +204,13 @@ func NewKCCS(cfg core.Config, k int) (*KCCS, error) {
 		cfg:   cfg,
 		k:     k,
 		grid:  grid.Aligned(cfg.Width, cfg.Height),
-		objs:  make(map[uint64]*kobj),
-		cells: make(map[grid.Cell]*kcell),
+		cells: make(map[uint64]*kcell),
+		main:  kheap{ix: -1},
 		top:   make([]kcand, k),
+		out:   make([]core.Result, k),
 	}
 	for i := 0; i < k; i++ {
-		e.heaps = append(e.heaps, iheap.New[grid.Cell]())
+		e.aux = append(e.aux, kheap{ix: i})
 	}
 	return e, nil
 }
@@ -112,166 +226,372 @@ func (e *KCCS) Process(ev core.Event) {
 	}
 	e.stats.Events++
 	e.dirty = true
-	switch ev.Kind {
-	case core.New:
-		o := &kobj{id: ev.Obj.ID, x: ev.Obj.X, y: ev.Obj.Y, wt: ev.Obj.Weight, lvl: e.k}
-		e.objs[o.id] = o
-		e.forCells(o, func(c *kcell) {
-			c.objs[o.id] = o
-			for i := 1; i <= e.k; i++ {
-				e.applyOp(c, i, opAddCur, o)
-			}
-		})
-	case core.Grown:
-		o := e.objs[ev.Obj.ID]
-		if o == nil || o.past {
-			return
-		}
-		lvl := o.lvl
-		o.past = true
-		o.lvl = e.k // the event makes the object visible everywhere again
-		e.forCells(o, func(c *kcell) {
-			for i := 1; i <= lvl; i++ {
-				e.applyOp(c, i, opRetag, o)
-			}
-			for i := lvl + 1; i <= e.k; i++ {
-				e.applyOp(c, i, opAddPast, o)
-			}
-		})
-	case core.Expired:
-		o := e.objs[ev.Obj.ID]
-		if o == nil {
-			return
-		}
-		lvl := o.lvl
-		e.forCells(o, func(c *kcell) {
-			for i := 1; i <= lvl; i++ {
-				if o.past {
-					e.applyOp(c, i, opRmPast, o)
-				} else {
-					e.applyOp(c, i, opRmCur, o)
-				}
-			}
-			delete(c.objs, o.id)
-			if len(c.objs) == 0 {
-				delete(e.cells, c.key)
-				for i := 0; i < e.k; i++ {
-					e.heaps[i].Remove(c.key)
-				}
-			}
-		})
-		delete(e.objs, o.id)
-	}
-}
-
-// forCells visits (creating if needed) the cells overlapped by o's coverage.
-func (e *KCCS) forCells(o *kobj, f func(c *kcell)) {
-	e.cellScratch = e.grid.CoverCells(e.cellScratch[:0], o.x, o.y, e.cfg.Width, e.cfg.Height)
+	o := ev.Obj
+	cover := e.cfg.CoverRect(o.X, o.Y)
+	dc := o.Weight / e.cfg.WC
+	dp := o.Weight / e.cfg.WP
+	e.cellScratch = e.grid.CoverCells(e.cellScratch[:0], o.X, o.Y, e.cfg.Width, e.cfg.Height)
 	for _, ck := range e.cellScratch {
 		e.stats.CellsTouched++
-		c := e.cells[ck]
+		c := e.cells[ckey(ck)]
 		if c == nil {
-			c = &kcell{
-				key:   ck,
-				objs:  make(map[uint64]*kobj),
-				us:    make([]float64, e.k),
-				usCur: make([]int, e.k),
-				ud:    make([]float64, e.k),
-				cand:  make([]kcand, e.k),
+			if ev.Kind != core.New {
+				continue // object was filtered or unknown; nothing to undo
 			}
-			for i := range c.ud {
-				c.ud[i] = math.Inf(1)
-			}
-			e.cells[ck] = c
+			c = e.newCell(ck)
 		}
-		f(c)
+		switch ev.Kind {
+		case core.New:
+			e.applyNew(c, o, cover, dc)
+		case core.Grown:
+			e.applyGrown(c, o.ID, cover, dc)
+		case core.Expired:
+			e.applyExpired(c, o.ID, cover, dc, dp)
+		}
+		if c.live() == 0 {
+			e.dropCell(c)
+			continue
+		}
+		e.enqueue(c)
 	}
 }
 
-// applyOp updates problem i's bounds and candidate in cell c for one
-// visibility operation on object o, then refreshes the heap key.
-func (e *KCCS) applyOp(c *kcell, i int, op opKind, o *kobj) {
-	ix := i - 1
-	dc := o.wt / e.cfg.WC
-	dp := o.wt / e.cfg.WP
-	cov := e.cfg.CoverRect(o.x, o.y)
-	cd := &c.cand[ix]
-	switch op {
-	case opAddCur:
+// dropCell removes an emptied cell from the map and heaps and retires it.
+func (e *KCCS) dropCell(c *kcell) {
+	delete(e.cells, ckey(c.key))
+	if c.split {
+		for i := range e.aux {
+			e.aux[i].Remove(c)
+		}
+	} else {
+		e.main.Remove(c)
+	}
+	if c.queued {
+		c.gone = true
+	} else {
+		e.recycle(c)
+	}
+}
+
+// applyNew appends the object (visible to every problem) and updates the
+// bounds and candidates. The new object is last in arrival order, so a
+// surviving covered candidate takes the O(1) canonical fold append.
+func (e *KCCS) applyNew(c *kcell, o core.Object, cover geom.Rect, dc float64) {
+	c.objs = append(c.objs, kobj{id: o.ID, x: o.X, y: o.Y, wt: o.Weight, lvl: e.k})
+	if !c.split {
+		c.sus += dc
+		c.susCur++
+		if !math.IsInf(c.sud, 1) {
+			c.sud += dc
+		}
+		e.candAddCurLast(c, &c.scand, cover, dc, -1)
+		return
+	}
+	for ix := 0; ix < e.k; ix++ {
 		c.us[ix] += dc
 		c.usCur[ix]++
 		if !math.IsInf(c.ud[ix], 1) {
 			c.ud[ix] += dc
 		}
-		if cd.valid {
-			switch {
-			case !cd.found:
-				cd.valid = false
-			case cov.CoversOC(cd.p):
-				keep := cd.fc >= cd.fp
-				cd.fc += dc
-				if !keep {
-					cd.valid = false
-				}
-			default:
-				cd.valid = false
-			}
-		}
-	case opAddPast:
-		// Past weight only lowers scores: bounds stand; a covered candidate
-		// loses its guarantee, an uncovered (or empty) one keeps it.
-		if cd.valid && cd.found && cov.CoversOC(cd.p) {
-			cd.fp += dp
+		e.candAddCurLast(c, &c.cand[ix], cover, dc, ix)
+	}
+}
+
+// candAddCurLast applies a stream New (arrival-order last) to one candidate
+// slot; ix identifies the slot for the dynamic-bound refresh (-1 = shared).
+func (e *KCCS) candAddCurLast(c *kcell, cd *kcand, cover geom.Rect, dc float64, ix int) {
+	if !cd.valid {
+		return
+	}
+	switch {
+	case !cd.found:
+		cd.valid = false
+	case cover.CoversOC(cd.p):
+		if cd.fc >= cd.fp {
+			cd.fc += dc // appended last in arrival order: canonical
+			e.setUD(c, ix, e.candScore(cd))
+		} else {
 			cd.valid = false
 		}
-	case opRmCur:
+	default:
+		// New current weight elsewhere in the cell can overtake the
+		// candidate: it is no longer certainly the in-cell maximum.
+		cd.valid = false
+	}
+}
+
+func (e *KCCS) setUD(c *kcell, ix int, v float64) {
+	if ix < 0 {
+		c.sud = v
+	} else {
+		c.ud[ix] = v
+	}
+}
+
+// applyGrown retags the object from Wc to Wp. The transition also promotes
+// the object back to level k (Algorithm 4): for the problems it was visible
+// to, the retag keeps bounds per Eqn 3 and invalidates covered candidates
+// (Lemma 4, case 2); for the problems it was demoted out of, it becomes
+// visible as a past object, which only ever lowers scores.
+func (e *KCCS) applyGrown(c *kcell, id uint64, cover geom.Rect, dc float64) {
+	i, ok := c.lookup(id)
+	if !ok || c.objs[i].past {
+		return
+	}
+	g := &c.objs[i]
+	lvl := g.lvl
+	g.past = true
+	g.lvl = e.k
+	if !c.split { // lvl == k: a pure retag of the shared slot
+		c.sus -= dc
+		c.susCur--
+		if c.susCur <= 0 {
+			c.susCur = 0
+			c.sus = 0 // kill float drift once the current window empties
+		}
+		if c.scand.valid && c.scand.found && cover.CoversOC(c.scand.p) {
+			c.scand.valid = false
+		}
+		return
+	}
+	if lvl < e.k {
+		c.leveled--
+	}
+	for ix := 0; ix < lvl; ix++ { // retag: visible, Wc -> Wp
 		c.us[ix] -= dc
 		c.usCur[ix]--
 		if c.usCur[ix] <= 0 {
 			c.usCur[ix] = 0
-			c.us[ix] = 0
+			c.us[ix] = 0 // kill float drift once the current window empties
 		}
-		if cd.valid && cd.found {
-			if cov.CoversOC(cd.p) {
-				cd.fc -= dc
-				cd.valid = false
-			}
-		} else if cd.valid && !cd.found {
-			cd.valid = false // defensive; cannot occur with a visible current object
-		}
-	case opRmPast:
-		if !math.IsInf(c.ud[ix], 1) {
-			c.ud[ix] += e.cfg.Alpha * dp
-		}
-		if cd.valid && cd.found {
-			switch {
-			case cov.CoversOC(cd.p):
-				keep := cd.fc >= cd.fp
-				cd.fp -= dp
-				if !keep {
-					cd.valid = false
-				}
-			default:
-				cd.valid = false
-			}
-		}
-	case opRetag:
-		c.us[ix] -= dc
-		c.usCur[ix]--
-		if c.usCur[ix] <= 0 {
-			c.usCur[ix] = 0
-			c.us[ix] = 0
-		}
-		if cd.valid && cd.found && cov.CoversOC(cd.p) {
-			cd.fc -= dc
-			cd.fp += dp
+		cd := &c.cand[ix]
+		if cd.valid && cd.found && cover.CoversOC(cd.p) {
 			cd.valid = false
 		}
 	}
-	if cd.valid {
-		c.ud[ix] = e.candScore(cd)
+	for ix := lvl; ix < e.k; ix++ { // a past object becomes visible
+		cd := &c.cand[ix]
+		if cd.valid && cd.found && cover.CoversOC(cd.p) {
+			cd.valid = false
+		}
 	}
-	e.heaps[ix].Set(c.key, minf(c.us[ix], c.ud[ix]))
+}
+
+// applyExpired removes the object from the problems it is visible to. A
+// covered candidate that survives the removal of a past object (Lemma 4)
+// is rescored canonically over the survivors.
+func (e *KCCS) applyExpired(c *kcell, id uint64, cover geom.Rect, dc, dp float64) {
+	i, ok := c.lookup(id)
+	if !ok {
+		return
+	}
+	lvl := c.objs[i].lvl
+	past := c.objs[i].past
+	if !c.split {
+		c.remove(i)
+		if past {
+			if !math.IsInf(c.sud, 1) {
+				c.sud += e.cfg.Alpha * dp
+			}
+			e.candRmPast(c, &c.scand, cover, -1)
+		} else { // expired without a Grown event (defensive)
+			c.sus -= dc
+			c.susCur--
+			if c.susCur <= 0 {
+				c.susCur = 0
+				c.sus = 0
+			}
+			e.candRmCur(&c.scand, cover)
+		}
+		return
+	}
+	if lvl < e.k {
+		c.leveled--
+	}
+	if !past { // expired without a Grown event (defensive)
+		for ix := 0; ix < lvl; ix++ {
+			c.us[ix] -= dc
+			c.usCur[ix]--
+			if c.usCur[ix] <= 0 {
+				c.usCur[ix] = 0
+				c.us[ix] = 0
+			}
+		}
+	}
+	c.remove(i)
+	for ix := 0; ix < lvl; ix++ {
+		if past {
+			if !math.IsInf(c.ud[ix], 1) {
+				c.ud[ix] += e.cfg.Alpha * dp
+			}
+			e.candRmPast(c, &c.cand[ix], cover, ix)
+		} else {
+			e.candRmCur(&c.cand[ix], cover)
+		}
+	}
+}
+
+// candRmPast applies the removal of a visible past object to one candidate
+// slot (the object must already be tombstoned so the rescore folds over the
+// survivors).
+func (e *KCCS) candRmPast(c *kcell, cd *kcand, cover geom.Rect, ix int) {
+	if !cd.valid || !cd.found {
+		// A valid not-found candidate stays valid: every point in the cell
+		// has fc == 0 and removing past weight keeps scores at zero.
+		return
+	}
+	switch {
+	case cover.CoversOC(cd.p):
+		if cd.fc >= cd.fp {
+			e.rescore(c, cd, ix)
+			e.setUD(c, ix, e.candScore(cd))
+		} else {
+			cd.valid = false
+		}
+	default:
+		// Removing past weight elsewhere can raise another point above the
+		// candidate.
+		cd.valid = false
+	}
+}
+
+// candRmCur applies the removal of a visible current object to one
+// candidate slot.
+func (e *KCCS) candRmCur(cd *kcand, cover geom.Rect) {
+	if cd.valid && cd.found && cover.CoversOC(cd.p) {
+		cd.valid = false
+	} else if cd.valid && !cd.found {
+		cd.valid = false // defensive; cannot occur with a visible current object
+	}
+}
+
+// newCell takes a recycled cell or allocates a fresh one. Fresh cells start
+// unsplit; the per-problem slices are materialized on first split and kept
+// across recycling.
+func (e *KCCS) newCell(ck grid.Cell) *kcell {
+	var c *kcell
+	if n := len(e.free); n > 0 {
+		c = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		c = &kcell{sud: math.Inf(1), spos: -1}
+	}
+	c.key = ck
+	e.cells[ckey(ck)] = c
+	return c
+}
+
+// recycle resets an emptied cell to the state of a fresh one and keeps it
+// for reuse; the backing arrays keep their capacity. The reset state is
+// indistinguishable from a new cell's, so reuse cannot perturb the
+// bit-identical score guarantees.
+func (e *KCCS) recycle(c *kcell) {
+	c.objs = c.objs[:0]
+	c.dead = 0
+	c.leveled = 0
+	c.split = false
+	c.sus = 0
+	c.susCur = 0
+	c.sud = math.Inf(1)
+	c.scand = kcand{}
+	c.spos = -1
+	for ix := range c.us {
+		c.us[ix] = 0
+		c.usCur[ix] = 0
+		c.ud[ix] = math.Inf(1)
+		c.cand[ix] = kcand{}
+		c.hpos[ix] = -1
+	}
+	e.free = append(e.free, c)
+}
+
+// ensureSplit materializes per-problem state from the shared slot and moves
+// the cell out of the shared heap; the per-problem heap insertions happen
+// at the next flush.
+func (e *KCCS) ensureSplit(c *kcell) {
+	if c.split {
+		return
+	}
+	c.split = true
+	if c.us == nil {
+		c.us = make([]float64, e.k)
+		c.usCur = make([]int, e.k)
+		c.ud = make([]float64, e.k)
+		c.cand = make([]kcand, e.k)
+		c.hpos = make([]int, e.k)
+		for ix := range c.hpos {
+			c.hpos[ix] = -1
+		}
+	}
+	for ix := 0; ix < e.k; ix++ {
+		c.us[ix] = c.sus
+		c.usCur[ix] = c.susCur
+		c.ud[ix] = c.sud
+		c.cand[ix] = c.scand
+	}
+	e.main.Remove(c)
+}
+
+// unsplit folds a split cell with no leveled objects back to the shared
+// representation: the k problems see identical content again, so any valid
+// per-problem candidate is the exact in-cell maximum for all of them and
+// the largest of the per-problem bounds is a valid shared bound. Called
+// from flush; the cell re-enters the shared heap there.
+func (e *KCCS) unsplit(c *kcell) {
+	c.split = false
+	c.sus = c.us[0]
+	c.susCur = c.usCur[0]
+	c.sud = c.ud[0]
+	c.scand = kcand{}
+	for ix := 0; ix < e.k; ix++ {
+		if c.us[ix] > c.sus {
+			c.sus = c.us[ix]
+		}
+		if c.ud[ix] > c.sud {
+			c.sud = c.ud[ix]
+		}
+		if !c.scand.valid && c.cand[ix].valid {
+			c.scand = c.cand[ix]
+		}
+		e.aux[ix].Remove(c)
+	}
+	if c.scand.valid {
+		// Valid candidate => exact maximum; restore the tight bound.
+		c.sud = e.candScore(&c.scand)
+	}
+}
+
+// enqueue marks the cell's heap keys stale until the next flush.
+func (e *KCCS) enqueue(c *kcell) {
+	if !c.queued {
+		c.queued = true
+		e.queue = append(e.queue, c)
+	}
+}
+
+// flush refreshes the heap keys of the queued cells, folds split cells with
+// no remaining leveled objects back to the shared representation, and
+// recycles the cells that emptied since they were queued.
+func (e *KCCS) flush() {
+	for _, c := range e.queue {
+		c.queued = false
+		if c.gone {
+			c.gone = false
+			e.recycle(c)
+			continue
+		}
+		if c.split && c.leveled == 0 {
+			e.unsplit(c)
+		}
+		if c.split {
+			for ix := range e.aux {
+				e.aux[ix].Set(c, minf(c.us[ix], c.ud[ix]))
+			}
+		} else {
+			e.main.Set(c, minf(c.sus, c.sud))
+		}
+	}
+	e.queue = e.queue[:0]
 }
 
 func (e *KCCS) candScore(cd *kcand) float64 {
@@ -281,23 +601,46 @@ func (e *KCCS) candScore(cd *kcand) float64 {
 	return e.cfg.Score(cd.fc, cd.fp)
 }
 
+// rescore recomputes a candidate's window scores at its point as the
+// canonical arrival-order fold over the cell's live objects visible to its
+// problem (lvl >= ix+1; the shared slot, ix = -1, sees every live object).
+func (e *KCCS) rescore(c *kcell, cd *kcand, ix int) {
+	var fc, fp float64
+	p := cd.p
+	for j := range c.objs {
+		g := &c.objs[j]
+		if g.dead || g.lvl <= ix || !e.cfg.CoverRect(g.x, g.y).CoversOC(p) {
+			continue
+		}
+		if g.past {
+			fp += g.wt / e.cfg.WP
+		} else {
+			fc += g.wt / e.cfg.WC
+		}
+	}
+	cd.fc, cd.fp = fc, fp
+}
+
 // BestK reports the top-k bursty regions, re-running the greedy chain
-// (Algorithm 4, lines 2-17) if any event arrived since the last query.
+// (Algorithm 4, lines 2-17) if any event arrived since the last query. The
+// returned slice is reused by subsequent calls; callers that retain it must
+// copy.
 func (e *KCCS) BestK() []core.Result {
 	if e.dirty {
 		e.resolve()
 		e.dirty = false
 	}
-	out := make([]core.Result, e.k)
-	for i, t := range e.top {
+	for i := range e.top {
+		e.out[i] = core.Result{}
+		t := &e.top[i]
 		if !t.found {
 			continue
 		}
-		sc := e.candScore(&e.top[i])
+		sc := e.candScore(t)
 		if sc <= 0 {
 			continue
 		}
-		out[i] = core.Result{
+		e.out[i] = core.Result{
 			Point:  t.p,
 			Region: e.cfg.RegionAt(t.p),
 			Score:  sc,
@@ -306,28 +649,31 @@ func (e *KCCS) BestK() []core.Result {
 			Found:  true,
 		}
 	}
-	return out
+	return e.out
 }
 
 // resolve runs the k chained cSPOT problems and refreshes the levels.
 func (e *KCCS) resolve() {
 	for i := 1; i <= e.k; i++ {
+		e.flush()
 		pold := e.top[i-1]
 		res := e.solve(i)
 		e.top[i-1] = res
 
-		// Level maintenance (Algorithm 4, lines 15-16).
-		newCovers := map[uint64]bool{}
+		// Level maintenance (Algorithm 4, lines 15-16). The ids consumed by
+		// the new point are collected first (ascending: arrival order is id
+		// order) so the promotion pass can skip them with a binary search.
+		e.idScratch = e.idScratch[:0]
 		if res.found {
 			for _, o := range e.covering(res.p) {
 				if o.lvl >= i {
-					newCovers[o.id] = true
+					e.idScratch = append(e.idScratch, o.id)
 				}
 			}
 		}
 		if pold.found {
 			for _, o := range e.covering(pold.p) {
-				if o.lvl == i && !newCovers[o.id] {
+				if o.lvl == i && !containsID(e.idScratch, o.id) {
 					e.setLevel(o, e.k) // newly visible to every problem again
 				}
 			}
@@ -340,87 +686,233 @@ func (e *KCCS) resolve() {
 			}
 		}
 	}
+	e.flush()
 }
 
-// covering returns the live objects whose coverage rectangle covers p.
-func (e *KCCS) covering(p geom.Point) []*kobj {
-	e.coverScratch = e.coverScratch[:0]
-	c := e.cells[e.grid.CellOf(p.X, p.Y)]
+// covering returns copies of the live objects whose coverage rectangle
+// covers p, in arrival (= id) order. The scratch is reused per call.
+func (e *KCCS) covering(p geom.Point) []kobj {
+	e.covScratch = e.covScratch[:0]
+	c := e.cells[ckey(e.grid.CellOf(p.X, p.Y))]
 	if c == nil {
-		return e.coverScratch
+		return e.covScratch
 	}
-	for _, o := range c.objs {
-		if e.cfg.CoverRect(o.x, o.y).CoversOC(p) {
-			e.coverScratch = append(e.coverScratch, o)
+	for j := range c.objs {
+		g := &c.objs[j]
+		if !g.dead && e.cfg.CoverRect(g.x, g.y).CoversOC(p) {
+			e.covScratch = append(e.covScratch, *g)
 		}
 	}
-	return e.coverScratch
+	return e.covScratch
 }
 
-// setLevel moves o from its current level to lvl, translating the visibility
-// change into add/remove operations on the intermediate problems.
-func (e *KCCS) setLevel(o *kobj, lvl int) {
+// containsID reports whether ids (ascending) contains id.
+func containsID(ids []uint64, id uint64) bool {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(ids) && ids[lo] == id
+}
+
+// setLevel moves o (a copy carrying its current level) to lvl, translating
+// the visibility change into add/remove operations on the intermediate
+// problems in every cell holding the object. A touched cell is split first:
+// its problems no longer see identical content. Level changes splice
+// interior arrival positions, so a covered candidate that survives one is
+// rescored canonically rather than updated incrementally.
+func (e *KCCS) setLevel(o kobj, lvl int) {
 	old := o.lvl
 	if old == lvl {
 		return
 	}
-	o.lvl = lvl
-	e.forCells(o, func(c *kcell) {
+	dc := o.wt / e.cfg.WC
+	dp := o.wt / e.cfg.WP
+	cover := e.cfg.CoverRect(o.x, o.y)
+	e.cellScratch = e.grid.CoverCells(e.cellScratch[:0], o.x, o.y, e.cfg.Width, e.cfg.Height)
+	for _, ck := range e.cellScratch {
+		c := e.cells[ckey(ck)]
+		if c == nil {
+			continue
+		}
+		j, ok := c.lookup(o.id)
+		if !ok {
+			continue
+		}
+		e.stats.CellsTouched++
+		e.ensureSplit(c)
+		c.objs[j].lvl = lvl
+		switch {
+		case old == e.k && lvl < e.k:
+			c.leveled++
+		case old < e.k && lvl == e.k:
+			c.leveled--
+		}
 		if lvl > old { // becomes visible to problems old+1..lvl
-			for i := old + 1; i <= lvl; i++ {
+			for ix := old; ix < lvl; ix++ {
 				if o.past {
-					e.applyOp(c, i, opAddPast, o)
+					e.addPast(c, ix, cover)
 				} else {
-					e.applyOp(c, i, opAddCur, o)
+					e.addCurInterior(c, ix, cover, dc)
 				}
 			}
 		} else { // becomes invisible to problems lvl+1..old
-			for i := lvl + 1; i <= old; i++ {
+			for ix := lvl; ix < old; ix++ {
 				if o.past {
-					e.applyOp(c, i, opRmPast, o)
+					if !math.IsInf(c.ud[ix], 1) {
+						c.ud[ix] += e.cfg.Alpha * dp
+					}
+					e.candRmPast(c, &c.cand[ix], cover, ix)
 				} else {
-					e.applyOp(c, i, opRmCur, o)
+					c.us[ix] -= dc
+					c.usCur[ix]--
+					if c.usCur[ix] <= 0 {
+						c.usCur[ix] = 0
+						c.us[ix] = 0
+					}
+					e.candRmCur(&c.cand[ix], cover)
 				}
 			}
 		}
-	})
-}
-
-// solve runs the lazy best-first search for problem i.
-func (e *KCCS) solve(i int) kcand {
-	ix := i - 1
-	h := e.heaps[ix]
-	for {
-		ck, u, ok := h.Max()
-		if !ok || u <= 0 {
-			return kcand{}
-		}
-		c := e.cells[ck]
-		if c.cand[ix].valid {
-			if !c.cand[ix].found || e.candScore(&c.cand[ix]) <= 0 {
-				return kcand{}
-			}
-			return c.cand[ix]
-		}
-		e.searchCell(c, i)
-		h.Set(ck, minf(c.us[ix], c.ud[ix]))
+		e.enqueue(c)
 	}
 }
 
-// searchCell runs SL-CSPOT over the objects visible to problem i inside the
-// cell, refreshing the candidate and both bounds.
+// addCurInterior makes a current-window object visible to problem ix at an
+// interior arrival position (level promotion).
+func (e *KCCS) addCurInterior(c *kcell, ix int, cover geom.Rect, dc float64) {
+	c.us[ix] += dc
+	c.usCur[ix]++
+	if !math.IsInf(c.ud[ix], 1) {
+		c.ud[ix] += dc
+	}
+	cd := &c.cand[ix]
+	if !cd.valid {
+		return
+	}
+	switch {
+	case !cd.found:
+		cd.valid = false
+	case cover.CoversOC(cd.p):
+		if cd.fc >= cd.fp {
+			e.rescore(c, cd, ix) // interior insert: recompute the canonical fold
+			c.ud[ix] = e.candScore(cd)
+		} else {
+			cd.valid = false
+		}
+	default:
+		cd.valid = false // new current weight elsewhere can overtake it
+	}
+}
+
+// addPast makes a past object visible to problem ix. Past weight only
+// lowers scores, so the bounds stand; a covered candidate loses its
+// guarantee, an uncovered (or not-found) one keeps it.
+func (e *KCCS) addPast(c *kcell, ix int, cover geom.Rect) {
+	cd := &c.cand[ix]
+	if cd.valid && cd.found && cover.CoversOC(cd.p) {
+		cd.valid = false
+	}
+}
+
+// solve runs the lazy best-first search for problem i over the shared heap
+// (unsplit cells, whose single slot answers for every problem) and the
+// problem's own heap of split cells. The heaps must be flushed (see
+// resolve) before it runs.
+func (e *KCCS) solve(i int) kcand {
+	ix := i - 1
+	for {
+		mc, mu, mok := e.main.Max()
+		sc, su, sok := e.aux[ix].Max()
+		var c *kcell
+		var u float64
+		shared := true
+		switch {
+		case mok && (!sok || mu >= su):
+			c, u = mc, mu
+		case sok:
+			c, u, shared = sc, su, false
+		default:
+			return kcand{}
+		}
+		if u <= 0 {
+			return kcand{}
+		}
+		var cd *kcand
+		if shared {
+			cd = &c.scand
+		} else {
+			cd = &c.cand[ix]
+		}
+		if cd.valid {
+			if !cd.found || e.candScore(cd) <= 0 {
+				return kcand{}
+			}
+			return *cd
+		}
+		if shared {
+			e.searchCellShared(c)
+			e.main.Set(c, minf(c.sus, c.sud))
+		} else {
+			e.searchCell(c, i)
+			e.aux[ix].Set(c, minf(c.us[ix], c.ud[ix]))
+		}
+	}
+}
+
+// searchCellShared runs SL-CSPOT over an unsplit cell — every live object,
+// since all of them sit at level k — refreshing the shared candidate and
+// bounds, which are simultaneously exact for every problem.
+func (e *KCCS) searchCellShared(c *kcell) {
+	e.entryScratch = e.entryScratch[:0]
+	us := 0.0
+	cur := 0
+	for j := range c.objs {
+		g := &c.objs[j]
+		if g.dead {
+			continue
+		}
+		e.entryScratch = append(e.entryScratch, sweep.Entry{X: g.x, Y: g.y, Weight: g.wt, Past: g.past})
+		if !g.past {
+			us += g.wt / e.cfg.WC
+			cur++
+		}
+	}
+	c.sus = us
+	c.susCur = cur
+	res := e.sr.Search(e.cfg, e.entryScratch, e.grid.CellRect(c.key))
+	e.stats.Searches++
+	e.stats.SweepEntries += uint64(len(e.entryScratch))
+	c.scand = kcand{valid: true, found: res.Found, p: res.Point}
+	if res.Found {
+		e.rescore(c, &c.scand, -1)
+	}
+	c.sud = e.candScore(&c.scand)
+}
+
+// searchCell runs SL-CSPOT over the objects visible to problem i inside a
+// split cell, refreshing the candidate and both bounds. The entry list is
+// built in arrival order and the found candidate is rescored canonically,
+// so the refreshed state is a pure function of the cell's content and the
+// level assignment.
 func (e *KCCS) searchCell(c *kcell, i int) {
 	ix := i - 1
 	e.entryScratch = e.entryScratch[:0]
 	us := 0.0
 	cur := 0
-	for _, o := range c.objs {
-		if o.lvl < i {
+	for j := range c.objs {
+		g := &c.objs[j]
+		if g.dead || g.lvl < i {
 			continue
 		}
-		e.entryScratch = append(e.entryScratch, sweep.Entry{X: o.x, Y: o.y, Weight: o.wt, Past: o.past})
-		if !o.past {
-			us += o.wt / e.cfg.WC
+		e.entryScratch = append(e.entryScratch, sweep.Entry{X: g.x, Y: g.y, Weight: g.wt, Past: g.past})
+		if !g.past {
+			us += g.wt / e.cfg.WC
 			cur++
 		}
 	}
@@ -429,8 +921,18 @@ func (e *KCCS) searchCell(c *kcell, i int) {
 	res := e.sr.Search(e.cfg, e.entryScratch, e.grid.CellRect(c.key))
 	e.stats.Searches++
 	e.stats.SweepEntries += uint64(len(e.entryScratch))
-	c.cand[ix] = kcand{valid: true, found: res.Found, p: res.Point, fc: res.FC, fp: res.FP}
-	c.ud[ix] = res.Score
+	c.cand[ix] = kcand{valid: true, found: res.Found, p: res.Point}
+	if res.Found {
+		e.rescore(c, &c.cand[ix], ix)
+	}
+	c.ud[ix] = e.candScore(&c.cand[ix])
+}
+
+// ckey packs a cell's integer coordinates into one uint64 so the cells map
+// uses the runtime's specialized 64-bit-key fast paths instead of hashing a
+// 16-byte struct on every event.
+func ckey(ck grid.Cell) uint64 {
+	return uint64(uint32(ck.I))<<32 | uint64(uint32(ck.J))
 }
 
 func minf(a, b float64) float64 {

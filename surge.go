@@ -202,7 +202,9 @@ type Detector struct {
 	eng      core.Engine     // single-engine path; nil when sharded
 	pipe     *shard.Pipeline // sharded pipeline; nil when single-engine
 	cur      core.Result
-	liveObjs map[uint64]core.Object // live set for Checkpoint
+	liveObjs map[uint64]liveObj // live set for Checkpoint and AttachTopK
+	ckptObjs []checkpointObject // checkpoint scratch, reused across calls
+	taps     []*TopKDetector    // attached top-k detectors fed every event
 	ag2Gamma float64
 	counted  bool
 	shards   int // requested Options.Shards (recorded in checkpoints)
@@ -236,7 +238,7 @@ func New(alg Algorithm, opt Options) (*Detector, error) {
 	}
 	d := &Detector{
 		alg: alg, cfg: cfg, win: win,
-		liveObjs: make(map[uint64]core.Object),
+		liveObjs: make(map[uint64]liveObj),
 		ag2Gamma: gamma,
 		counted:  opt.CountWindows,
 		shards:   opt.Shards,
@@ -416,6 +418,9 @@ func (d *Detector) AdvanceTo(t float64) (Result, error) {
 // the paper's continuous semantics (one detection per rectangle message).
 func (d *Detector) step(ev core.Event) {
 	d.trackLive(ev)
+	if len(d.taps) != 0 {
+		d.tap(ev)
+	}
 	d.eng.Process(ev)
 	d.cur = d.eng.Best()
 }
@@ -424,13 +429,28 @@ func (d *Detector) step(ev core.Event) {
 // (PushBatch refreshes once per batch).
 func (d *Detector) stepQuiet(ev core.Event) {
 	d.trackLive(ev)
+	if len(d.taps) != 0 {
+		d.tap(ev)
+	}
 	d.eng.Process(ev)
 }
 
 // routeStep hands one window event to the sharded pipeline.
 func (d *Detector) routeStep(ev core.Event) {
 	d.trackLive(ev)
+	if len(d.taps) != 0 {
+		d.tap(ev)
+	}
 	d.pipe.Route(ev)
+}
+
+// tap feeds one window event to the attached top-k detectors, on the
+// caller's goroutine and before the event reaches the sharded pipeline, so
+// an attached engine observes exactly the single global stream order.
+func (d *Detector) tap(ev core.Event) {
+	for _, t := range d.taps {
+		t.eng.Process(ev)
+	}
 }
 
 // Best returns the current bursty region. On a sharded detector this is a

@@ -1,7 +1,9 @@
 package surge
 
 import (
+	"errors"
 	"fmt"
+	"slices"
 
 	"surge/internal/core"
 	"surge/internal/gapsurge"
@@ -9,17 +11,35 @@ import (
 	"surge/internal/window"
 )
 
+// ErrAttached is returned by the stream-mutating methods of a TopKDetector
+// created with Detector.AttachTopK: an attached detector is fed by its
+// parent's stream, so objects must be pushed through the parent.
+var ErrAttached = errors.New("surge: top-k detector is attached; push through the parent detector")
+
 // TopKDetector continuously maintains the top-k bursty regions (Section VI
 // of the paper): k regions of the query size such that every object
 // contributes to the burst score of at most one of them, selected greedily
 // by score. It is not safe for concurrent use.
+//
+// A TopKDetector is either standalone (NewTopK, RestoreTopK) — it owns its
+// sliding windows and is fed with Push/PushBatch/AdvanceTo — or attached
+// (Detector.AttachTopK) — it shares the parent detector's windows and is
+// maintained incrementally by every object the parent ingests.
 type TopKDetector struct {
-	alg Algorithm
-	k   int
-	cfg core.Config
-	win window.Source
-	eng core.TopKEngine
-	cur []core.Result
+	alg     Algorithm
+	k       int
+	cfg     core.Config
+	win     window.Source // nil when attached
+	eng     core.TopKEngine
+	parent  *Detector // non-nil when attached
+	cur     []core.Result
+	counted bool
+	closed  bool
+
+	liveObjs map[uint64]liveObj // standalone: live set for Checkpoint
+	ckptObjs []checkpointObject // checkpoint scratch, reused across calls
+
+	res []Result // result buffer reused by the query methods
 
 	// Emit callbacks captured once; binding a method value per Push would
 	// put a closure allocation on the per-object hot path.
@@ -27,9 +47,27 @@ type TopKDetector struct {
 	processFn func(core.Event)
 }
 
-// NewTopK returns a top-k detector. Supported algorithms: CellCSPOT (the
-// paper's kCCS), GridApprox (kGAPS), MultiGrid (kMGAPS) and Oracle (the
-// naive greedy baseline of Section VII-F).
+// newTopKEngine builds the top-k engine for an algorithm. Supported:
+// CellCSPOT (the paper's kCCS), GridApprox (kGAPS), MultiGrid (kMGAPS) and
+// Oracle (the naive greedy baseline of Section VII-F).
+func newTopKEngine(alg Algorithm, cfg core.Config, k int) (core.TopKEngine, error) {
+	switch alg {
+	case CellCSPOT:
+		return topk.NewKCCS(cfg, k)
+	case GridApprox:
+		return gapsurge.NewTopK(cfg, false, k)
+	case MultiGrid:
+		return gapsurge.NewTopK(cfg, true, k)
+	case Oracle:
+		return topk.NewNaive(cfg, k)
+	default:
+		return nil, fmt.Errorf("surge: algorithm %v has no top-k variant", alg)
+	}
+}
+
+// NewTopK returns a standalone top-k detector. Supported algorithms:
+// CellCSPOT (the paper's kCCS), GridApprox (kGAPS), MultiGrid (kMGAPS) and
+// Oracle (the naive greedy baseline of Section VII-F).
 //
 // The top-k detectors have no sharded pipeline yet: Options.Shards and
 // Options.ShardBlockCols are ignored and detection runs on a single engine
@@ -42,19 +80,7 @@ func NewTopK(alg Algorithm, opt Options, k int) (*TopKDetector, error) {
 	if err != nil {
 		return nil, err
 	}
-	var eng core.TopKEngine
-	switch alg {
-	case CellCSPOT:
-		eng, err = topk.NewKCCS(cfg, k)
-	case GridApprox:
-		eng, err = gapsurge.NewTopK(cfg, false, k)
-	case MultiGrid:
-		eng, err = gapsurge.NewTopK(cfg, true, k)
-	case Oracle:
-		eng, err = topk.NewNaive(cfg, k)
-	default:
-		return nil, fmt.Errorf("surge: algorithm %v has no top-k variant", alg)
-	}
+	eng, err := newTopKEngine(alg, cfg, k)
 	if err != nil {
 		return nil, err
 	}
@@ -62,10 +88,64 @@ func NewTopK(alg Algorithm, opt Options, k int) (*TopKDetector, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &TopKDetector{alg: alg, k: k, cfg: cfg, win: win, eng: eng}
+	d := &TopKDetector{
+		alg: alg, k: k, cfg: cfg, win: win, eng: eng,
+		counted:  opt.CountWindows,
+		liveObjs: make(map[uint64]liveObj),
+	}
 	d.stepFn = d.step
-	d.processFn = eng.Process
+	d.processFn = d.process
 	return d, nil
+}
+
+// AttachTopK creates a top-k detector maintained by this detector's event
+// stream: the current live windows are replayed into a fresh top-k engine
+// in arrival order, and from then on every object pushed into the parent
+// (Push, PushBatch, AdvanceTo — sharded or not) also maintains the attached
+// engine, on the caller's goroutine. Query it with BestK; the stream-
+// mutating methods return ErrAttached.
+//
+// Because the kCCS engine keeps its per-cell state canonical (arrival-
+// ordered storage, canonically rescored candidates), the attached detector
+// reports bitwise the same scores as replaying a checkpoint of the parent
+// into RestoreTopK — continuous maintenance and replay are interchangeable.
+//
+// Close the attached detector to detach it from the parent.
+func (d *Detector) AttachTopK(alg Algorithm, k int) (*TopKDetector, error) {
+	if d.closed {
+		return nil, ErrClosed
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("surge: k must be >= 1, got %d", k)
+	}
+	eng, err := newTopKEngine(alg, d.cfg, k)
+	if err != nil {
+		return nil, err
+	}
+	td := &TopKDetector{
+		alg: alg, k: k, cfg: d.cfg, eng: eng,
+		parent:  d,
+		counted: d.counted,
+	}
+	td.processFn = eng.Process
+	// Seed the engine with the live windows in arrival (= id) order — the
+	// canonical order the engines' cell storage is defined over — emitting
+	// the Grown transitions the parent's windows have already performed.
+	ids := make([]uint64, 0, len(d.liveObjs))
+	for id := range d.liveObjs {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		eng.Process(core.Event{Kind: core.New, Obj: d.liveObjs[id].obj})
+	}
+	for _, id := range ids {
+		if lo := d.liveObjs[id]; lo.past {
+			eng.Process(core.Event{Kind: core.Grown, Obj: lo.obj})
+		}
+	}
+	d.taps = append(d.taps, td)
+	return td, nil
 }
 
 // Algorithm returns the detector's algorithm.
@@ -74,10 +154,39 @@ func (d *TopKDetector) Algorithm() Algorithm { return d.alg }
 // K returns the number of regions maintained.
 func (d *TopKDetector) K() int { return d.k }
 
+// Attached reports whether the detector is fed by a parent detector.
+func (d *TopKDetector) Attached() bool { return d.parent != nil }
+
+// Close detaches an attached detector from its parent and stops further
+// maintenance; the query methods keep answering from the captured state.
+// On a standalone detector it only marks the stream closed. Close is
+// idempotent.
+func (d *TopKDetector) Close() error {
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	if d.parent != nil {
+		taps := d.parent.taps[:0]
+		for _, t := range d.parent.taps {
+			if t != d {
+				taps = append(taps, t)
+			}
+		}
+		d.parent.taps = taps
+	}
+	return nil
+}
+
 // Push feeds one object into the stream, processes every window transition
 // it makes due, and returns the refreshed top-k regions in rank order.
-// Slots beyond the number of non-empty regions have Found == false.
+// Slots beyond the number of non-empty regions have Found == false. The
+// returned slice is reused by subsequent calls; copy it to retain. On an
+// attached detector it returns ErrAttached.
 func (d *TopKDetector) Push(o Object) ([]Result, error) {
+	if err := d.pushable(); err != nil {
+		return nil, err
+	}
 	_, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.stepFn)
 	if err != nil {
 		return nil, err
@@ -90,9 +199,14 @@ func (d *TopKDetector) Push(o Object) ([]Result, error) {
 // than after every window transition. The final answer is equivalent to
 // pushing the objects individually: same regions, with scores equal up to
 // the floating-point rounding of the engines' incrementally maintained
-// caches (the query schedule decides when cached candidates are refreshed).
+// caches (the query schedule decides when cached candidates are refreshed;
+// for the canonically rescored kCCS the scores are bitwise identical).
 // On error the stream state includes every object before the offending one.
+// The returned slice is reused by subsequent calls.
 func (d *TopKDetector) PushBatch(objs []Object) ([]Result, error) {
+	if err := d.pushable(); err != nil {
+		return nil, err
+	}
 	for _, o := range objs {
 		if _, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.processFn); err != nil {
 			return nil, err
@@ -103,8 +217,12 @@ func (d *TopKDetector) PushBatch(objs []Object) ([]Result, error) {
 }
 
 // AdvanceTo moves the stream clock to t without a new arrival and returns
-// the refreshed top-k regions.
+// the refreshed top-k regions. The returned slice is reused by subsequent
+// calls.
 func (d *TopKDetector) AdvanceTo(t float64) ([]Result, error) {
+	if err := d.pushable(); err != nil {
+		return nil, err
+	}
 	if err := d.win.Advance(t, d.stepFn); err != nil {
 		return nil, err
 	}
@@ -112,19 +230,45 @@ func (d *TopKDetector) AdvanceTo(t float64) ([]Result, error) {
 	return d.results(), nil
 }
 
+// pushable rejects stream mutations on attached or closed detectors.
+func (d *TopKDetector) pushable() error {
+	if d.parent != nil {
+		return ErrAttached
+	}
+	if d.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
 func (d *TopKDetector) step(ev core.Event) {
+	d.trackLive(ev)
 	d.eng.Process(ev)
 	d.cur = d.eng.BestK()
 }
 
-// BestK returns the current top-k regions.
+func (d *TopKDetector) process(ev core.Event) {
+	d.trackLive(ev)
+	d.eng.Process(ev)
+}
+
+func (d *TopKDetector) trackLive(ev core.Event) { trackLiveObj(d.liveObjs, ev) }
+
+// BestK returns the current top-k regions. The returned slice is reused by
+// subsequent calls; copy it to retain.
 func (d *TopKDetector) BestK() []Result {
 	d.cur = d.eng.BestK()
 	return d.results()
 }
 
-// Now returns the current stream time.
-func (d *TopKDetector) Now() float64 { return d.win.Now() }
+// Now returns the current stream time (the parent's on an attached
+// detector).
+func (d *TopKDetector) Now() float64 {
+	if d.parent != nil {
+		return d.parent.Now()
+	}
+	return d.win.Now()
+}
 
 // Stats returns instrumentation counters for engines that expose them.
 func (d *TopKDetector) Stats() Stats {
@@ -135,12 +279,17 @@ func (d *TopKDetector) Stats() Stats {
 }
 
 func (d *TopKDetector) results() []Result {
-	out := make([]Result, d.k)
+	if d.res == nil {
+		d.res = make([]Result, d.k)
+	}
+	for i := range d.res {
+		d.res[i] = Result{}
+	}
 	for i, r := range d.cur {
 		if i >= d.k {
 			break
 		}
-		out[i] = toResult(r)
+		d.res[i] = toResult(r)
 	}
-	return out
+	return d.res
 }
