@@ -31,7 +31,14 @@ bench:
 # Laptop-scale benchmarks; writes BENCH_hotpath.json (ns/obj, allocs/obj,
 # objs/sec) and BENCH_topk.json (continuous vs replay /v1/topk latency,
 # ingest overhead of top-k maintenance) to bench-out/ so CI can archive
-# every PR's perf point.
+# every PR's perf point. The grep asserts the topkserve experiment actually
+# reported the continuous-top-k ingest-overhead ratio — if the experiment
+# breaks (or stops writing the field CI and the docs quote), the smoke run
+# fails loudly instead of silently archiving a hollow JSON.
 bench-smoke:
 	mkdir -p bench-out
 	$(GO) run ./cmd/surgebench -exp hotpath,topkserve -max-exact 1000 -max-approx 10000 -json-dir bench-out
+	@grep -q '"ingest_overhead_pct"' bench-out/BENCH_topk.json || { \
+		echo "bench-smoke: BENCH_topk.json lacks ingest_overhead_pct; the topkserve experiment broke"; exit 1; }
+	@grep -q '"objs_per_sec"\|"objects_per_sec"' bench-out/BENCH_hotpath.json || { \
+		echo "bench-smoke: BENCH_hotpath.json lacks throughput rows; the hotpath experiment broke"; exit 1; }

@@ -184,9 +184,11 @@ func (d *TopKDetector) AppendCheckpoint(dst []byte) ([]byte, error) {
 		return d.parent.AppendCheckpoint(dst)
 	}
 	d.ckptObjs = buildCheckpointObjects(d.ckptObjs, d.liveObjs)
-	// Top-k detection has no sharded pipeline (and no aG2 variant), so the
-	// pipeline-shape and AG2Gamma fields stay zero.
-	return appendEnvelope(dst, d.alg, d.win.Now(), d.cfg, d.counted, checkpointOptions{}, d.ckptObjs)
+	// Top-k detection has no aG2 variant, so AG2Gamma stays zero.
+	return appendEnvelope(dst, d.alg, d.win.Now(), d.cfg, d.counted, checkpointOptions{
+		Shards:         d.shards,
+		ShardBlockCols: d.blkCols,
+	}, d.ckptObjs)
 }
 
 // KeepShards passes the checkpoint's recorded shard configuration through
@@ -250,19 +252,37 @@ func RestoreShardedTuned(alg Algorithm, data []byte, shards, blockCols, flushEve
 }
 
 // RestoreTopK rebuilds a top-k detector from a checkpoint written by a
-// (single-region) Detector: the live objects are replayed through a fresh
-// TopKDetector, which therefore answers BestK over exactly the windows the
-// checkpoint captured. This is how a serving layer derives on-demand top-k
-// answers from a continuously maintained detector. Supported algorithms are
-// those of NewTopK. The checkpointed shard configuration is ignored (top-k
-// detection has no sharded pipeline yet).
+// Detector or a standalone TopKDetector: the live objects are replayed
+// through a fresh TopKDetector, which therefore answers BestK over exactly
+// the windows the checkpoint captured. This is how a serving layer derives
+// on-demand top-k answers from a continuously maintained detector.
+// Supported algorithms are those of NewTopK. The pipeline shape recorded in
+// the checkpoint is honoured: a checkpoint written by a sharded detector
+// restores into a sharded top-k pipeline with the same shard count (use
+// RestoreTopKSharded to override it; the restored detector must be Closed to
+// stop the shard goroutines).
 func RestoreTopK(alg Algorithm, data []byte, k int) (*TopKDetector, error) {
+	return RestoreTopKSharded(alg, data, k, KeepShards, KeepShards)
+}
+
+// RestoreTopKSharded is RestoreTopK with an explicit pipeline shape: shards
+// and blockCols replace the checkpointed Options.Shards and
+// Options.ShardBlockCols (KeepShards keeps the recorded value; 0 or 1 shards
+// selects the single-engine path). Because a checkpoint is
+// engine-independent — the logical state is the live object set — a
+// checkpoint written at any shard count restores into any other with the
+// same answer (bitwise for kCCS).
+func RestoreTopKSharded(alg Algorithm, data []byte, k, shards, blockCols int) (*TopKDetector, error) {
 	env, opt, err := decodeCheckpoint(data)
 	if err != nil {
 		return nil, err
 	}
-	opt.Shards = 0
-	opt.ShardBlockCols = 0
+	if shards != KeepShards {
+		opt.Shards = shards
+	}
+	if blockCols != KeepShards {
+		opt.ShardBlockCols = blockCols
+	}
 	d, err := NewTopK(alg, opt, k)
 	if err != nil {
 		return nil, err
@@ -276,6 +296,7 @@ func RestoreTopK(alg Algorithm, data []byte, k int) (*TopKDetector, error) {
 		return Result{}, err
 	}
 	if err := replayCheckpoint(env, pushAll, advance); err != nil {
+		d.Close()
 		return nil, err
 	}
 	return d, nil

@@ -128,7 +128,9 @@ type TopK struct {
 	Results    []Result `json:"results"` // rank order; Found=false slots trail
 }
 
-// Health is the reply to /healthz.
+// Health is the reply to /healthz. Err carries the detector's recorded
+// pipeline error when OK is false because the detector can no longer
+// refresh its answer (the reply then comes with a 503).
 type Health struct {
 	OK          bool    `json:"ok"`
 	Algorithm   string  `json:"algorithm"`
@@ -137,6 +139,7 @@ type Health struct {
 	Live        int     `json:"live"`
 	Subscribers int     `json:"subscribers"`
 	UptimeSec   float64 `json:"uptime_sec"`
+	Err         string  `json:"err,omitempty"`
 }
 
 // Error is the JSON body of a non-2xx reply.

@@ -110,10 +110,7 @@ func main() {
 	}
 
 	if *k > 1 {
-		if nShards > 1 {
-			fmt.Fprintln(os.Stderr, "surged: top-k detection has no sharded pipeline yet; -shards ignored")
-		}
-		if err := runTopK(alg, opt, *k, src, *every); err != nil {
+		if err := runTopK(alg, opt, *k, src, *every, nBatch); err != nil {
 			fatal(err)
 		}
 		return
@@ -234,20 +231,32 @@ func runSingle(alg surge.Algorithm, opt surge.Options, src io.Reader, every, bat
 	return nil
 }
 
-func runTopK(alg surge.Algorithm, opt surge.Options, k int, src io.Reader, every int) error {
+// runTopK streams the objects through a top-k detector — honouring -shards
+// via the cross-shard chain — ingesting nBatch objects per detector
+// synchronisation and printing the refreshed top-k at most every -every
+// objects.
+func runTopK(alg surge.Algorithm, opt surge.Options, k int, src io.Reader, every, nBatch int) error {
 	det, err := surge.NewTopK(alg, opt, k)
 	if err != nil {
 		return err
 	}
-	n := 0
-	return forEachObject(src, func(o surge.Object) error {
-		res, err := det.Push(o)
+	defer det.Close()
+	n, lastPrint := 0, 0
+	batch := make([]surge.Object, 0, nBatch)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		res, err := det.PushBatch(batch)
 		if err != nil {
 			return err
 		}
-		n++
-		if n%every == 0 {
-			fmt.Printf("t=%.1f top-%d:\n", o.Time, k)
+		n += len(batch)
+		t := batch[len(batch)-1].Time
+		batch = batch[:0]
+		if n/every > lastPrint {
+			lastPrint = n / every
+			fmt.Printf("t=%.1f top-%d:\n", t, k)
 			for i, r := range res {
 				if !r.Found {
 					break
@@ -257,7 +266,17 @@ func runTopK(alg surge.Algorithm, opt surge.Options, k int, src io.Reader, every
 			}
 		}
 		return nil
-	})
+	}
+	if err := forEachObject(src, func(o surge.Object) error {
+		batch = append(batch, o)
+		if len(batch) >= nBatch {
+			return flush()
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return flush()
 }
 
 func regionChanged(a, b surge.Result) bool {

@@ -108,7 +108,15 @@ func TestRunSingleShardedBatched(t *testing.T) {
 func TestRunTopKOnDemoStream(t *testing.T) {
 	opt := surge.Options{Width: 1, Height: 1, Window: 60, Alpha: 0.5}
 	src := demoStream(&opt)
-	if err := runTopK(surge.GridApprox, opt, 3, src, 1000); err != nil {
+	if err := runTopK(surge.GridApprox, opt, 3, src, 1000, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTopKSharded(t *testing.T) {
+	opt := surge.Options{Width: 1, Height: 1, Window: 60, Alpha: 0.5, Shards: 3}
+	src := demoStream(&opt)
+	if err := runTopK(surge.CellCSPOT, opt, 3, src, 1000, 256); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -91,6 +91,29 @@
 // are applied one by one, but the lazy engines defer their snapshot searches
 // to a single query at the end of the batch.
 //
+// The top-k detectors shard the same way (NewTopK with Options.Shards, or
+// AttachTopK on a sharded parent, whose engines then ride the parent's shard
+// workers): every shard maintains the greedy chain's candidate state —
+// bounds, candidates and visibility levels per problem — for its owned
+// columns plus the halo, and each query runs the chain globally. Rank by
+// rank, the coordinator collects every shard's best owned candidate for the
+// current problem, selects the global winner (ties broken canonically:
+// score, then region coordinates), and commits it back so the objects it
+// covers are masked out of the higher-ranked problems; only the shards whose
+// blocks the winner's coverage rectangle can reach apply the mask and
+// re-solve the next problem — a shard outside that set provably holds no
+// affected object, so its cached answer stands and block-boundary regions
+// resolve exactly as in the single-engine chain. The merged answer is
+// bitwise the single-engine answer for kCCS (and the naive oracle), and the
+// same regions with canonical fold scores for kGAPS/kMGAPS — up to exact
+// equal-score ties, the same caveat as the single-region pipeline: the
+// coordinator breaks ties canonically (score, then region coordinates)
+// while an engine's internal search resolves them in heap order, so
+// streams with bitwise-tied candidates (e.g. unit weights) can mask a
+// different tied region than a single engine would. Cross-count
+// restore works like the single-region path: checkpoints record the shape,
+// RestoreTopK honours it and RestoreTopKSharded overrides it.
+//
 // # Performance
 //
 // The steady-state ingest path is allocation-free from the HTTP body to the
@@ -104,9 +127,11 @@
 //     cell churn under a moving stream costs no heap traffic. Recycled
 //     state is byte-identical to a fresh cell's, so reuse cannot perturb
 //     the bit-identical score guarantees.
-//   - The continuous top-k maintenance path (kCCS behind the server loop)
-//     is allocation-free in the steady state too, guarded by its own
-//     AllocsPerRun test. Three structural optimisations keep its per-event
+//   - The continuous top-k maintenance path is allocation-free per event in
+//     the steady state too, guarded by an AllocsPerRun test on the
+//     single-engine path (the cross-shard chain additionally allocates a
+//     few small op headers per merge round, amortised over the batch).
+//     Three structural optimisations keep its per-event
 //     cost near a single-region engine's despite the k chained problems:
 //     cells share one bound/candidate slot until a level change actually
 //     splits them (almost every cell, since levels only change around the
@@ -187,14 +212,23 @@
 //
 // The server maintains the top-k answer continuously instead of computing
 // it per query: a kCCS top-k detector is attached to the ingest detector's
-// event stream (Detector.AttachTopK) behind the same single-writer loop,
-// refreshed after every applied batch, and published as an immutable
-// snapshot that GET /v1/topk serves with one atomic load — O(1) per query
-// regardless of stream size, with no garbage and no loop round-trip. Any
-// k up to the maintained one (surged -topk, default 5) is served as a
-// prefix of the snapshot, the greedy chain being prefix-stable; larger k
-// fall back to the replay path, which checkpoints the live windows into a
-// pooled buffer and replays them into a fresh detector off the loop
+// event stream (Detector.AttachTopK), refreshed after every applied batch,
+// and published as an immutable snapshot that GET /v1/topk serves with one
+// atomic load — O(1) per query regardless of stream size, with no garbage
+// and no loop round-trip. On a sharded server the maintained engines ride
+// the shard workers — per-event maintenance is distributed exactly like
+// detection (each (event, cell) pair is processed by exactly one shard, so
+// sharding adds no duplicated maintenance work), off the event-loop thread,
+// and the per-batch refresh is the cross-shard merge, which re-solves only
+// the shards around the committed ranks (BENCH_topk.json tracks the ingest
+// overhead; on a single-CPU box it is the inherent cost of the second
+// engine, roughly a third of throughput, and it amortises across cores on
+// larger boxes — see the ROADMAP's serve-from-chain item for the planned
+// single-core cut). Any k up to
+// the maintained one (surged -topk, default 5) is served as a prefix of the
+// snapshot, the greedy chain being prefix-stable; larger k fall back to the
+// replay path, which checkpoints the live windows into a pooled buffer and
+// replays them into a fresh single-engine detector off the loop
 // (?mode=replay forces it, surged -topk 0 makes it the only path).
 //
 // The kCCS engine keeps its per-cell state canonical — arrival-ordered
@@ -206,8 +240,9 @@
 // kCCS, kGAPS and kMGAPS (the grid engines report canonical folds too).
 // Top-k rank changes are pushed to subscribers as "topk" SSE events; the
 // maintenance cost on the ingest path is tracked by the topkserve
-// benchmark (BENCH_topk.json). Known follow-ups: aG2 still has no top-k
-// variant (kCCS substitutes), and the maintained detector is single-engine
-// — amortising maintenance across the shard workers needs the cross-shard
-// top-k merge (see ROADMAP).
+// benchmark (BENCH_topk.json). A detector whose pipeline fails keeps
+// serving its last good answer and records the failure (Detector.Err);
+// /healthz then reports it with a 503 so orchestrators recycle the
+// instance. Known follow-up: aG2 still has no top-k variant (kCCS
+// substitutes).
 package surge

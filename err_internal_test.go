@@ -1,0 +1,61 @@
+package surge
+
+import "testing"
+
+// TestErrRecordsPipelineFailure severs the shard pipeline behind the
+// detector's back — the library-level stand-in for a failed worker — and
+// pins the degraded-mode contract: Best keeps serving the last good answer,
+// Stats stops reporting, the stream mutators return the error, and Err
+// surfaces the first pipeline failure instead of the detector swallowing it.
+func TestErrRecordsPipelineFailure(t *testing.T) {
+	d, err := New(CellCSPOT, Options{Width: 1, Height: 1, Window: 50, Alpha: 0.5, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	objs := make([]Object, 0, 50)
+	for i := 0; i < 50; i++ {
+		objs = append(objs, Object{X: float64(i % 7), Y: float64(i % 5), Weight: 10, Time: float64(i)})
+	}
+	if _, err := d.PushBatch(objs); err != nil {
+		t.Fatal(err)
+	}
+	want := d.Best()
+	if !want.Found || d.Err() != nil {
+		t.Fatalf("healthy detector: best=%+v err=%v", want, d.Err())
+	}
+
+	d.pipe.Close() // the pipeline dies out from under the detector
+
+	if got := d.Best(); got != want {
+		t.Fatalf("degraded Best must serve the stale answer: %+v != %+v", got, want)
+	}
+	if d.Err() == nil {
+		t.Fatal("pipeline failure must be recorded in Err")
+	}
+	first := d.Err()
+	if st := d.Stats(); st != (Stats{}) {
+		t.Fatalf("degraded Stats must be zero, got %+v", st)
+	}
+	res, perr := d.Push(Object{X: 1, Y: 1, Weight: 1, Time: 51})
+	if perr == nil {
+		t.Fatal("push into a dead pipeline must fail")
+	}
+	if res != want {
+		t.Fatalf("failed push must retain the answer: %+v != %+v", res, want)
+	}
+	if d.Err() != first {
+		t.Fatalf("Err must keep the first failure: %v != %v", d.Err(), first)
+	}
+	// Sustained pushing in the degraded state must keep failing cleanly —
+	// enough events to cross the router's flush threshold, which used to
+	// panic on the closed worker channel instead of erroring.
+	for i := 0; i < 500; i++ {
+		if _, perr := d.Push(Object{X: float64(i % 3), Y: 1, Weight: 1, Time: 52 + float64(i)}); perr == nil {
+			t.Fatal("degraded push must keep failing")
+		}
+	}
+	if got := d.Best(); got != want {
+		t.Fatalf("degraded Best drifted: %+v != %+v", got, want)
+	}
+}

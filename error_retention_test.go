@@ -1,0 +1,74 @@
+package surge_test
+
+import (
+	"math"
+	"testing"
+
+	"surge"
+)
+
+// TestWindowErrorRetainsAnswer pins the error contract of the stream
+// mutators: Push, PushBatch and AdvanceTo all retain (and return) the
+// previous answer on a window error — out-of-order timestamps, invalid
+// objects, backwards clock moves — on both the single-engine and the
+// sharded path. Only PushBatch documented this before; Push and AdvanceTo
+// returned a zero Result alongside the error.
+func TestWindowErrorRetainsAnswer(t *testing.T) {
+	for _, shards := range []int{0, 3} {
+		o := opts()
+		o.Shards = shards
+		d, err := surge.New(surge.CellCSPOT, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		objs := randomObjects(21, 200, 6)
+		if _, err := d.PushBatch(objs); err != nil {
+			t.Fatal(err)
+		}
+		want := d.Best()
+		if !want.Found {
+			t.Fatalf("shards=%d: expected a detected region before the error", shards)
+		}
+		late := surge.Object{X: 1, Y: 1, Weight: 5, Time: objs[len(objs)-1].Time - 10}
+
+		res, err := d.Push(late)
+		if err == nil {
+			t.Fatalf("shards=%d: out-of-order Push must fail", shards)
+		}
+		if res != want {
+			t.Fatalf("shards=%d: Push error dropped the answer: %+v != %+v", shards, res, want)
+		}
+		res, err = d.PushBatch([]surge.Object{late})
+		if err == nil {
+			t.Fatalf("shards=%d: out-of-order PushBatch must fail", shards)
+		}
+		if res != want {
+			t.Fatalf("shards=%d: PushBatch error dropped the answer: %+v != %+v", shards, res, want)
+		}
+		res, err = d.AdvanceTo(late.Time)
+		if err == nil {
+			t.Fatalf("shards=%d: backwards AdvanceTo must fail", shards)
+		}
+		if res != want {
+			t.Fatalf("shards=%d: AdvanceTo error dropped the answer: %+v != %+v", shards, res, want)
+		}
+		bad := surge.Object{X: math.NaN(), Y: 0, Weight: 1, Time: objs[len(objs)-1].Time + 1}
+		res, err = d.Push(bad)
+		if err == nil {
+			t.Fatalf("shards=%d: invalid object must fail", shards)
+		}
+		if res != want {
+			t.Fatalf("shards=%d: invalid-object Push dropped the answer: %+v != %+v", shards, res, want)
+		}
+		// The stream keeps working after an error, and the error did not
+		// poison the detector (Err stays nil: window errors are the
+		// caller's, pipeline errors are the detector's).
+		if d.Err() != nil {
+			t.Fatalf("shards=%d: window error recorded as pipeline error: %v", shards, d.Err())
+		}
+		if _, err := d.Push(surge.Object{X: 1, Y: 1, Weight: 5, Time: objs[len(objs)-1].Time + 2}); err != nil {
+			t.Fatalf("shards=%d: stream must continue after an error: %v", shards, err)
+		}
+	}
+}

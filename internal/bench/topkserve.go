@@ -42,6 +42,7 @@ type topkReport struct {
 	Experiment        string          `json:"experiment"`
 	GoMaxProcs        int             `json:"gomaxprocs"`
 	K                 int             `json:"k"`
+	Shards            int             `json:"shards"` // maintenance rides the shard workers
 	Ingest            []topkIngestRow `json:"ingest"`
 	Query             []topkQueryRow  `json:"query"`
 	QuerySpeedupP50   float64         `json:"query_speedup_p50"`
@@ -93,9 +94,10 @@ func TopKServe(o Options) error {
 	// Query latency on a continuous server holding the full stream's live
 	// windows; the replay path is exercised through the same server's
 	// ?mode=replay escape hatch, so both paths answer over identical state.
+	opt := topkServeOptions(o, d.QueryWidth(), d.QueryHeight(), w)
 	s, err := server.New(server.Config{
 		Algorithm:  surge.CellCSPOT,
-		Options:    topkServeOptions(o, d.QueryWidth(), d.QueryHeight(), w),
+		Options:    opt,
 		TimePolicy: server.Clamp,
 		BatchSize:  512,
 		TopK:       k,
@@ -155,6 +157,7 @@ func TopKServe(o Options) error {
 		Experiment:        "topkserve",
 		GoMaxProcs:        runtime.GOMAXPROCS(0),
 		K:                 k,
+		Shards:            opt.Shards,
 		Ingest:            ingest,
 		Query:             []topkQueryRow{contQ, replayQ},
 		QuerySpeedupP50:   speedup,

@@ -188,20 +188,12 @@ func (e *Engine) Process(ev core.Event) {
 		return
 	}
 	o := ev.Obj
-	e.cellScratch = e.grid.CoverCells(e.cellScratch[:0], o.X, o.Y, e.cfg.Width, e.cfg.Height)
-	if e.cfg.Cols != nil {
-		// Sharded ownership: the grid is query-aligned, so cell column I is
-		// exactly candidate-point column I; keep only the owned cells.
-		kept := e.cellScratch[:0]
-		for _, ck := range e.cellScratch {
-			if e.cfg.Cols.Owns(ck.I) {
-				kept = append(kept, ck)
-			}
-		}
-		e.cellScratch = kept
-		if len(e.cellScratch) == 0 {
-			return
-		}
+	// Sharded ownership is applied per cover cell (grid.CoverCellsOwned;
+	// the grid is query-aligned, so cell column I is exactly
+	// candidate-point column I).
+	e.cellScratch = e.grid.CoverCellsOwned(e.cellScratch[:0], o.X, o.Y, e.cfg.Width, e.cfg.Height, e.cfg.Cols)
+	if len(e.cellScratch) == 0 {
+		return
 	}
 	e.accountEventBoundary()
 	e.stats.Events++

@@ -223,6 +223,81 @@ type TopKEngine interface {
 	BestK() []Result
 }
 
+// TopKShard is the maskable per-problem search API a top-k engine exposes to
+// the sharded pipeline's cross-shard greedy chain. The chain (Definition 9)
+// is driven globally by a coordinator: for each rank i it collects every
+// shard's best owned candidate for problem i, selects the global winner, and
+// commits it back so the objects it covers become invisible to the problems
+// of higher rank — exactly the level discipline the single-engine chain runs
+// locally.
+//
+// The methods are a protocol, not independent queries: ProblemBest(i) is
+// only meaningful when the globally selected answers of every rank < i have
+// been committed with ApplyRank since the last stream event, and ApplyRank
+// must be called rank by rank in ascending order. Engines answer over their
+// owned candidate columns only (Config.Cols); the masking rules are defined
+// on object identity, so an engine holding a halo copy of an object applies
+// the same visibility change its owner does and the per-shard states stay
+// mutually consistent.
+type TopKShard interface {
+	TopKEngine
+	// ProblemBest reports the engine's best owned candidate for chain
+	// problem i (1-based) under the mask state committed for ranks < i.
+	ProblemBest(i int) Result
+	// ApplyRank commits the globally selected answer for rank i: sel's
+	// covered objects are masked out of the higher-ranked problems, and
+	// objects that were masked at rank i for the previously committed
+	// answer old — but are not covered by sel — become visible again.
+	ApplyRank(i int, old, sel Result)
+}
+
+// CompareTopK is the canonical selection order of the top-k merges: found
+// before not-found, higher score first, exact score ties broken on the
+// region's coordinates (lexicographically ascending). Score ties are real in
+// the multi-grid chains — the same object set can fill two overlapping cells
+// of different shifted grids with bitwise-equal fold scores — so every
+// implementation of the greedy chain (single-engine merge, per-layer
+// selection, cross-shard coordinator) must pick ties identically or the
+// masking of lower ranks diverges. Returns a negative value when a is
+// better, positive when b is, 0 only for equal keys.
+func CompareTopK(a, b Result) int {
+	switch {
+	case a.Found != b.Found:
+		if a.Found {
+			return -1
+		}
+		return 1
+	case !a.Found:
+		return 0
+	case a.Score != b.Score:
+		if a.Score > b.Score {
+			return -1
+		}
+		return 1
+	case a.Region.MinX != b.Region.MinX:
+		if a.Region.MinX < b.Region.MinX {
+			return -1
+		}
+		return 1
+	case a.Region.MinY != b.Region.MinY:
+		if a.Region.MinY < b.Region.MinY {
+			return -1
+		}
+		return 1
+	case a.Region.MaxX != b.Region.MaxX:
+		if a.Region.MaxX < b.Region.MaxX {
+			return -1
+		}
+		return 1
+	case a.Region.MaxY != b.Region.MaxY:
+		if a.Region.MaxY < b.Region.MaxY {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
 // Stats carries cheap instrumentation counters shared by the engines. It
 // powers Table II (search-trigger ratio) and the ablation benchmarks.
 type Stats struct {

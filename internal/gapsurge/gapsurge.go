@@ -15,7 +15,7 @@
 package gapsurge
 
 import (
-	"sort"
+	"slices"
 
 	"surge/internal/core"
 	"surge/internal/geom"
@@ -112,11 +112,17 @@ type Engine struct {
 	popScores []float64
 	merged    []core.Result
 	free      []*gcell // emptied cells kept for reuse, shared across layers
+
+	// Mask state of the cross-shard greedy chain (core.TopKShard):
+	// masks[i] is the region committed for rank i+1, valid when maskOK[i].
+	masks  []geom.Rect
+	maskOK []bool
 }
 
 var (
 	_ core.Engine     = (*Engine)(nil)
 	_ core.TopKEngine = (*Engine)(nil)
+	_ core.TopKShard  = (*Engine)(nil)
 )
 
 // New returns a GAP-SURGE engine (multi == false) or an MGAP-SURGE engine
@@ -279,7 +285,7 @@ func (e *Engine) BestK() []core.Result {
 	for li := range e.layers {
 		e.merged = e.popTop(&e.layers[li], 4*e.k, e.merged)
 	}
-	sort.Slice(e.merged, func(i, j int) bool { return e.merged[i].Score > e.merged[j].Score })
+	slices.SortFunc(e.merged, core.CompareTopK)
 	n := 0
 	for _, r := range e.merged {
 		if n == e.k {
@@ -298,6 +304,92 @@ func (e *Engine) BestK() []core.Result {
 		}
 	}
 	return out
+}
+
+// ProblemBest implements core.TopKShard: the engine's best owned candidate
+// for chain problem i, i.e. the best cell (across the grids) that does not
+// overlap a region committed for ranks < i.
+//
+// The single grid selects in heap-key pop order (first unmasked positive
+// cell — Algorithm 6's order; a committed region overlaps at most four
+// cells, so at most 4(i-1)+1 cells are popped). The multi-grid variant
+// mirrors BestK's merge exactly: the top-4k cells of every grid are popped
+// into one pool and the CompareTopK-least unmasked candidate wins, the same
+// canonical fold-then-region order BestK's sort uses — so equal-score cells
+// across (or within) grids resolve identically in both code paths.
+func (e *Engine) ProblemBest(i int) core.Result {
+	if !e.MultiGrid() {
+		r, _ := e.popBestUnmasked(&e.layers[0], i-1)
+		return r
+	}
+	e.merged = e.merged[:0]
+	for li := range e.layers {
+		e.merged = e.popTop(&e.layers[li], 4*e.k, e.merged)
+	}
+	var best core.Result
+	for _, r := range e.merged {
+		if e.maskedRegion(r.Region, i-1) {
+			continue
+		}
+		if core.CompareTopK(r, best) < 0 {
+			best = r
+		}
+	}
+	return best
+}
+
+// maskedRegion reports whether the region overlaps one of the first nmask
+// committed regions.
+func (e *Engine) maskedRegion(r geom.Rect, nmask int) bool {
+	for m := 0; m < nmask && m < len(e.masks); m++ {
+		if e.maskOK[m] && r.Overlaps(e.masks[m]) {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyRank implements core.TopKShard: record the globally selected region
+// for rank i. The grid chains have no level state to update — masking is
+// purely geometric — so the old answer is not needed.
+func (e *Engine) ApplyRank(i int, _, sel core.Result) {
+	for len(e.masks) < i {
+		e.masks = append(e.masks, geom.Rect{})
+		e.maskOK = append(e.maskOK, false)
+	}
+	e.masks[i-1] = sel.Region
+	e.maskOK[i-1] = sel.Found
+}
+
+// popBestUnmasked pops cells from the layer's heap in descending key order
+// until one with a positive score does not overlap the first nmask committed
+// regions, restores the heap, and reports that cell canonically.
+func (e *Engine) popBestUnmasked(l *layer, nmask int) (core.Result, bool) {
+	e.popKeys = e.popKeys[:0]
+	e.popScores = e.popScores[:0]
+	var res core.Result
+	found := false
+	for {
+		ck, sc, ok := l.heap.PopMax()
+		if !ok {
+			break
+		}
+		e.popKeys = append(e.popKeys, ck)
+		e.popScores = append(e.popScores, sc)
+		if sc <= 0 {
+			break
+		}
+		if e.maskedRegion(l.g.CellRect(ck), nmask) {
+			continue
+		}
+		res = e.resultOf(l, ck)
+		found = true
+		break
+	}
+	for i, ck := range e.popKeys {
+		l.heap.Set(ck, e.popScores[i])
+	}
+	return res, found
 }
 
 // popTop removes up to k positive-score cells from the layer's heap in

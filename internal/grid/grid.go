@@ -15,6 +15,7 @@ package grid
 import (
 	"math"
 
+	"surge/internal/core"
 	"surge/internal/geom"
 )
 
@@ -72,6 +73,17 @@ func (g Grid) CellRect(c Cell) geom.Rect {
 // and returns the extended slice. When w <= CW and h <= CH (the Cell-CSPOT
 // configuration) this is always exactly four cells (Lemma 1).
 func (g Grid) CoverCells(dst []Cell, x, y, w, h float64) []Cell {
+	return g.CoverCellsOwned(dst, x, y, w, h, nil)
+}
+
+// CoverCellsOwned is CoverCells restricted to the cells whose column index
+// cols owns (nil keeps every cell). It serves the exact engines' sharded
+// ownership filter: their grids are query-aligned, so cell column I is
+// exactly candidate-point column I, the coverage spans at most two columns,
+// and ownership costs at most two ShardOf evaluations instead of one per
+// cell. Keeping the span arithmetic in one place also keeps the engines and
+// the shard router agreeing on ownership bit for bit.
+func (g Grid) CoverCellsOwned(dst []Cell, x, y, w, h float64, cols *core.ColumnSet) []Cell {
 	// Columns run from the one containing the open left edge to the one
 	// containing the closed right endpoint x+w; analogously for rows. The
 	// left column floor((x-OffX)/CW) always intersects because the coverage
@@ -81,6 +93,9 @@ func (g Grid) CoverCells(dst []Cell, x, y, w, h float64) []Cell {
 	j0 := int(math.Floor((y - g.OffY) / g.CH))
 	j1 := int(math.Floor((y + h - g.OffY) / g.CH))
 	for i := i0; i <= i1; i++ {
+		if !cols.Owns(i) {
+			continue
+		}
 		for j := j0; j <= j1; j++ {
 			dst = append(dst, Cell{I: i, J: j})
 		}

@@ -474,7 +474,15 @@ func (s *Server) Snapshot() ([]byte, error) {
 // Restore replaces the detector with the checkpointed state, restored into
 // the server's configured shard count. The replay — including the seeding
 // of a fresh maintained top-k detector — happens off the event loop; only
-// the swap synchronises with ingest.
+// the detach of the old maintained detector and the swap synchronise with
+// ingest.
+//
+// The old attached top-k detector is closed on the loop *before* the
+// replacement attaches: Close detaches it from the still-serving detector
+// between batch refreshes, so a pending refresh can never race the close,
+// and repeated restores cannot accumulate attached engines (or keep their
+// live-object and result buffers reachable) behind the parent's tap list.
+// Until the swap lands, /v1/topk keeps serving the last published snapshot.
 func (s *Server) Restore(data []byte) error {
 	nd, err := surge.RestoreShardedTuned(s.cfg.Algorithm, data,
 		s.cfg.Options.Shards, s.cfg.Options.ShardBlockCols, s.cfg.Options.ShardFlushEvents)
@@ -483,29 +491,64 @@ func (s *Server) Restore(data []byte) error {
 	}
 	var ntd *surge.TopKDetector
 	if !s.cfg.TopKReplayOnly {
+		if derr := s.do(func() {
+			if s.tdet != nil {
+				s.tdet.Close()
+				s.tdet = nil
+			}
+		}); derr != nil {
+			nd.Close()
+			return derr
+		}
 		if ntd, err = nd.AttachTopK(topKAlgorithm(s.cfg.Algorithm), s.cfg.TopK); err != nil {
 			nd.Close()
+			// The old detector keeps serving: restore its maintained top-k
+			// (the seeding replay runs on the loop here — error path only)
+			// so a failed restore does not leave /v1/topk frozen with
+			// /healthz green.
+			s.reattachTopK()
 			return err
 		}
 	}
 	derr := s.do(func() {
-		old, oldTK := s.det, s.tdet
+		old := s.det
 		s.det = nd
 		s.tdet = ntd
 		s.clock = nd.Now()
 		s.restores.Add(1)
 		s.publish(nd.Best())
 		s.refreshTopK()
-		if oldTK != nil {
-			oldTK.Close()
-		}
 		old.Close()
 	})
 	if derr != nil {
+		// Only reachable when the server is shutting down concurrently; the
+		// loop is gone, so there is no maintained state left to repair.
 		nd.Close()
 		return derr
 	}
 	return nil
+}
+
+// reattachTopK rebuilds the maintained top-k detector on the currently
+// serving detector, on the event loop. Used by Restore's failure path after
+// the old maintained detector was already detached; best-effort (a second
+// failure leaves replay mode as the fallback, and /v1/topk k<=K requests
+// then serve the last published snapshot).
+func (s *Server) reattachTopK() {
+	s.do(func() {
+		if s.tdet != nil {
+			return
+		}
+		td, err := s.det.AttachTopK(topKAlgorithm(s.cfg.Algorithm), s.cfg.TopK)
+		if err != nil {
+			// Drop the frozen snapshot so k<=K queries fall through to the
+			// replay path instead of serving an ever-staler answer.
+			s.topkSnap.Store(nil)
+			return
+		}
+		s.tdet = td
+		s.refreshTopK()
+	})
 }
 
 func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
@@ -583,7 +626,11 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	*bufp = data // keep the grown capacity pooled for the next query
 	alg := topKAlgorithm(s.cfg.Algorithm)
-	td, err := surge.RestoreTopK(alg, data, k)
+	// Replay answers one query and is thrown away: restore into the
+	// single-engine path regardless of the checkpoint's recorded shard
+	// count (spinning a shard pipeline up per request would cost more than
+	// the query; the sharded and single-engine chains answer identically).
+	td, err := surge.RestoreTopKSharded(alg, data, k, 0, 0)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err, 0)
 		return
@@ -651,12 +698,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Subscribers: s.hub.count(),
 	}
 	err := s.do(func() {
-		h.OK = true
 		h.Shards = s.det.Shards()
 		h.Now = s.det.Now()
 		h.Live = s.det.Live()
+		// A recorded pipeline error means the detector (or its maintained
+		// top-k chain) serves a stale answer it can no longer refresh:
+		// report unhealthy so orchestrators recycle the instance instead of
+		// trusting the frozen result.
+		derr := s.det.Err()
+		if derr == nil && s.tdet != nil {
+			derr = s.tdet.Err()
+		}
+		if derr != nil {
+			h.Err = derr.Error()
+		} else {
+			h.OK = true
+		}
 	})
-	if err != nil {
+	if err != nil || !h.OK {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		json.NewEncoder(w).Encode(h)

@@ -413,6 +413,72 @@ func TestTopKFastPathAfterRestore(t *testing.T) {
 	bitEqualWireTopK(t, "restored continuous vs replay", got3, rep)
 }
 
+// TestRestoreTwiceSwapsMaintainedTopK pins the restore lifecycle of the
+// maintained top-k detector: every live restore closes the old attached
+// detector on the event loop *before* the replacement attaches, so
+// restoring repeatedly — with ingest batches racing the restores — cannot
+// accumulate attached engines behind the serving detector or leave a stale
+// maintained answer. After the dust settles the continuous answer must
+// still hold bitwise against checkpoint replay, and the server stays
+// healthy.
+func TestRestoreTwiceSwapsMaintainedTopK(t *testing.T) {
+	objs := testObjects(91, 900, 6)
+	ctx := context.Background()
+	_, _, c := newTestServer(t, Config{
+		Algorithm: surge.CellCSPOT, Options: testOptions(2), TimePolicy: Clamp, TopK: 3, BatchSize: 64,
+	})
+	ingestChunks(ctx, t, c, objs[:300], 75)
+	ckpt, err := c.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ingest concurrently while restoring twice back to back, so batch
+	// refreshes of the maintained detector race both swaps.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 300; i < 700; i += 40 {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := c.Ingest(ctx, objs[i:i+40]); err != nil {
+				return // the server serialises; an error here only ends the pressure
+			}
+		}
+	}()
+	if _, err := c.Restore(ctx, ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Restore(ctx, ckpt); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	<-done
+	// The second restore's maintained detector must actually maintain:
+	// push a deterministic tail and compare against replay over the same
+	// state.
+	ingestChunks(ctx, t, c, objs[700:], 50)
+	cont, err := c.TopKMode(ctx, 3, "continuous")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.TopKMode(ctx, 3, "replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitEqualWireTopK(t, "restore-twice continuous vs replay", cont, rep)
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Err != "" {
+		t.Fatalf("server unhealthy after restores: %+v", h)
+	}
+}
+
 // TestStateEventsCounter: hello carries the SSE event id base used for
 // reconnects.
 func TestStateEventsCounter(t *testing.T) {

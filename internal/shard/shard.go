@@ -88,11 +88,13 @@ type EngineFactory func(cfg core.Config) (core.Engine, error)
 
 type statser interface{ Stats() core.Stats }
 
-// batch is one unit of work shipped to a shard: a slice of events and,
-// when q is non-nil, a barrier request answered with the shard's current
-// best result after the events are applied.
+// batch is one unit of work shipped to a shard: a slice of events, an
+// optional top-k chain operation, and, when q is non-nil, a barrier request
+// answered with the shard's current best result after the events are
+// applied.
 type batch struct {
 	evs []core.Event
+	op  *tkOp
 	q   chan<- reply
 }
 
@@ -102,11 +104,29 @@ type reply struct {
 	stats core.Stats
 }
 
+// tkSlot is one attached top-k engine on a worker, identified by its
+// chain id.
+type tkSlot struct {
+	id  int
+	eng core.TopKShard
+}
+
 type worker struct {
 	idx  int
-	eng  core.Engine
+	eng  core.Engine // single-region engine; nil on a top-k-only pipeline
+	tks  []tkSlot    // attached top-k chain engines, fed every event
 	ch   chan batch
 	done chan struct{}
+}
+
+// chainEngine returns the worker's engine for the given chain id.
+func (w *worker) chainEngine(id int) core.TopKShard {
+	for _, t := range w.tks {
+		if t.id == id {
+			return t.eng
+		}
+	}
+	return nil
 }
 
 // Pipeline fans window events out to per-shard engines and merges their
@@ -125,6 +145,11 @@ type Pipeline struct {
 	results  []core.Result
 	stats    []core.Stats
 	closed   bool
+
+	routeSeq  uint64   // bumped per routed event; top-k chains detect staleness
+	shardSeq  []uint64 // per-shard event counters; chains skip re-solving clean shards
+	nextChain int      // next top-k chain id
+	tgt       [3]int   // Route/seed target scratch (single-caller contract)
 }
 
 // New builds a pipeline of `shards` engines over the given base config with
@@ -168,6 +193,7 @@ func NewWithParams(cfg core.Config, shards, blockCols int, par Params, factory E
 		batchCap: batchCap,
 		workers:  make([]*worker, shards),
 		pending:  make([][]core.Event, shards),
+		shardSeq: make([]uint64, shards),
 		replyc:   make(chan reply, shards),
 		results:  make([]core.Result, shards),
 		stats:    make([]core.Stats, shards),
@@ -177,12 +203,14 @@ func NewWithParams(cfg core.Config, shards, blockCols int, par Params, factory E
 		return &s
 	}
 	for i := 0; i < shards; i++ {
-		scfg := cfg
-		scfg.Cols = &core.ColumnSet{Block: blockCols, Shards: shards, Index: i}
-		eng, err := factory(scfg)
-		if err != nil {
-			p.stop()
-			return nil, fmt.Errorf("shard %d: %w", i, err)
+		var eng core.Engine
+		if factory != nil {
+			var err error
+			eng, err = factory(p.shardConfig(i))
+			if err != nil {
+				p.stop()
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
 		}
 		w := &worker{idx: i, eng: eng, ch: make(chan batch, chanDepth), done: make(chan struct{})}
 		p.workers[i] = w
@@ -191,16 +219,32 @@ func NewWithParams(cfg core.Config, shards, blockCols int, par Params, factory E
 	return p, nil
 }
 
-// run is the shard goroutine: apply event batches, answer barriers.
+// shardConfig returns the base config carrying shard i's ownership filter.
+func (p *Pipeline) shardConfig(i int) core.Config {
+	scfg := p.cfg
+	scfg.Cols = &core.ColumnSet{Block: p.block, Shards: len(p.workers), Index: i}
+	return scfg
+}
+
+// run is the shard goroutine: apply event batches to every engine, execute
+// top-k chain operations, answer barriers.
 func (p *Pipeline) run(w *worker) {
 	defer close(w.done)
 	for b := range w.ch {
 		for _, ev := range b.evs {
-			w.eng.Process(ev)
+			if w.eng != nil {
+				w.eng.Process(ev)
+			}
+			for _, t := range w.tks {
+				t.eng.Process(ev)
+			}
 		}
 		if b.evs != nil {
 			b.evs = b.evs[:0]
 			p.pool.Put(&b.evs)
+		}
+		if b.op != nil {
+			p.runOp(w, b.op)
 		}
 		if b.q != nil {
 			r := reply{idx: w.idx, best: w.eng.Best()}
@@ -208,6 +252,37 @@ func (p *Pipeline) run(w *worker) {
 				r.stats = s.Stats()
 			}
 			b.q <- r
+		}
+	}
+}
+
+// runOp executes one top-k chain operation on the worker's goroutine.
+func (p *Pipeline) runOp(w *worker, op *tkOp) {
+	switch op.kind {
+	case tkAttach:
+		w.tks = append(w.tks, tkSlot{id: op.id, eng: op.eng})
+		for _, ev := range op.seed {
+			op.eng.Process(ev)
+		}
+	case tkDetach:
+		for j, t := range w.tks {
+			if t.id == op.id {
+				w.tks = append(w.tks[:j], w.tks[j+1:]...)
+				break
+			}
+		}
+	case tkSolve:
+		r := tkReply{idx: w.idx}
+		if eng := w.chainEngine(op.id); eng != nil {
+			r.res = eng.ProblemBest(op.i)
+			if s, ok := eng.(statser); ok {
+				r.stats = s.Stats()
+			}
+		}
+		op.resc <- r
+	case tkApply:
+		if eng := w.chainEngine(op.id); eng != nil {
+			eng.ApplyRank(op.i, op.old, op.sel)
 		}
 	}
 }
@@ -227,29 +302,43 @@ func (p *Pipeline) Closed() bool { return p.closed }
 // outside the preferred area are dropped. Route must not be called after
 // Close.
 func (p *Pipeline) Route(ev core.Event) {
+	if p.closed {
+		// Degraded mode (see surge.Detector.Err): the workers are gone, so
+		// buffering more events could only grow until a flush tried to send
+		// on a closed channel. Drop the event; the next Query reports the
+		// closed-pipeline error.
+		return
+	}
 	if !p.cfg.InArea(ev.Obj) {
 		return
 	}
-	// The coverage rectangle (x, x+Width] touches columns i0..i1 under the
-	// identical floor arithmetic of grid.CoverCells; a candidate in column
-	// i0+1 can also depend on this object through a grid shifted by less
-	// than one cell (gapsurge), so the routed span always includes it.
+	p.routeSeq++
+	for _, s := range p.targets(ev) {
+		p.enqueue(s, ev)
+	}
+}
+
+// targets returns the distinct shards the event is replicated to, in the
+// pipeline's routing scratch (valid until the next call). The coverage
+// rectangle (x, x+Width] touches columns i0..i1 under the identical floor
+// arithmetic of grid.CoverCells; a candidate in column i0+1 can also depend
+// on this object through a grid shifted by less than one cell (gapsurge), so
+// the routed span always includes it. The span covers at most three columns;
+// the owners are deduped so an event reaches each shard once (with Block ==
+// 1 the owner pattern can be A,B,A, so positional dedupe is not enough).
+func (p *Pipeline) targets(ev core.Event) []int {
 	x := ev.Obj.X
 	i0 := int(math.Floor(x / p.cfg.Width))
 	i1 := int(math.Floor((x + p.cfg.Width) / p.cfg.Width))
 	if i1 < i0+1 {
 		i1 = i0 + 1
 	}
-	// The span covers at most three columns; dedupe the owners so an event
-	// reaches each shard once (with Block == 1 the owner pattern can be
-	// A,B,A, so positional dedupe is not enough).
-	var sent [3]int
 	n := 0
 	for m := i0; m <= i1; m++ {
 		s := p.cs.ShardOf(m)
 		dup := false
 		for j := 0; j < n; j++ {
-			if sent[j] == s {
+			if p.tgt[j] == s {
 				dup = true
 				break
 			}
@@ -257,13 +346,14 @@ func (p *Pipeline) Route(ev core.Event) {
 		if dup {
 			continue
 		}
-		sent[n] = s
+		p.tgt[n] = s
 		n++
-		p.enqueue(s, ev)
 	}
+	return p.tgt[:n]
 }
 
 func (p *Pipeline) enqueue(s int, ev core.Event) {
+	p.shardSeq[s]++
 	buf := p.pending[s]
 	if buf == nil {
 		buf = (*p.pool.Get().(*[]core.Event))[:0]
@@ -300,6 +390,9 @@ func (p *Pipeline) flushTarget(s int) int {
 func (p *Pipeline) Query() (core.Result, core.Stats, error) {
 	if p.closed {
 		return core.Result{}, core.Stats{}, errors.New("shard: pipeline is closed")
+	}
+	if p.workers[0].eng == nil {
+		return core.Result{}, core.Stats{}, errors.New("shard: top-k-only pipeline has no single-region engines")
 	}
 	for i, w := range p.workers {
 		w.ch <- batch{evs: p.pending[i], q: p.replyc}

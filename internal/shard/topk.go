@@ -1,0 +1,304 @@
+// Cross-shard top-k: the greedy chain of Section VI run globally over the
+// per-shard engines.
+//
+// Each shard worker maintains a top-k engine (core.TopKShard) over its owned
+// column blocks plus the one-query-width halo, fed by the same routed event
+// stream as the single-region engines. A chain query runs the greedy chain
+// at the coordinator: for every rank it collects each shard's best owned
+// candidate for the current problem, selects the global winner (maximum
+// score, ties to the lowest shard index), and commits it back with ApplyRank
+// so the winner's covered objects become invisible to the higher-ranked
+// problems — on every shard that can hold a copy of such an object, owner or
+// halo. Only those few shards then re-solve the next problem; every other
+// shard's cached answer provably still stands (see Query).
+//
+// Because the engines keep their per-cell state canonical (arrival-ordered
+// storage, canonically rescored candidates) and a shard's owned cells hold
+// exactly the objects a single engine's would, the merged chain reports
+// bitwise the same kCCS scores as the single-engine chain; the grid chains
+// (kGAPS/kMGAPS) report the same regions with canonical fold scores.
+package shard
+
+import (
+	"errors"
+	"math"
+
+	"surge/internal/core"
+)
+
+// TopKFactory builds the top-k engine for one shard. The passed config
+// carries the shard's ColumnSet ownership filter; the factory must hand it
+// through to the engine unchanged.
+type TopKFactory func(cfg core.Config) (core.TopKShard, error)
+
+// Op kinds of the worker-side top-k protocol (batch.op).
+const (
+	tkAttach uint8 = iota // install op.eng for chain op.id, apply op.seed
+	tkDetach              // remove chain op.id's engine
+	tkSolve               // answer ProblemBest(op.i) on op.resc
+	tkApply               // ApplyRank(op.i, op.old, op.sel), no reply
+)
+
+// tkOp is one top-k chain operation shipped to a worker inside a batch.
+// Operations and event batches share the per-worker channel, so they are
+// applied in exactly the order the coordinator issued them.
+type tkOp struct {
+	kind     uint8
+	id       int // chain id
+	i        int // rank / problem index, 1-based
+	old, sel core.Result
+	eng      core.TopKShard // tkAttach
+	seed     []core.Event   // tkAttach: pre-routed seed events for this shard
+	resc     chan<- tkReply // tkSolve
+}
+
+type tkReply struct {
+	idx   int
+	res   core.Result
+	stats core.Stats
+}
+
+// TopKChain is the coordinator of one cross-shard top-k detector attached to
+// a pipeline. It shares the pipeline's single-caller contract: one goroutine
+// routes events and queries, the parallelism lives in the workers.
+type TopKChain struct {
+	p  *Pipeline
+	id int
+	k  int
+
+	top      []core.Result // committed global answers, by rank
+	ans      []core.Result // per-shard cached problem answers
+	lastProb []int         // problem index each cached answer solved
+	seenSh   []uint64      // pipeline shardSeq at each shard's last solve
+	stats    []core.Stats  // per-shard engine stats from the last resolve
+	out      []core.Result // last resolved answer, reused across queries
+	sum      core.Stats
+
+	replyc   chan tkReply
+	aff      []int  // affected-shard scratch
+	seenSeq  uint64 // routeSeq at the last resolve
+	valid    bool   // out/sum hold a resolved answer
+	detached bool
+}
+
+// AttachTopK installs a top-k chain of size k on the pipeline: one engine
+// per shard, built by the factory with the shard's ownership config, fed
+// every subsequently routed event on the shard workers. seed is an optional
+// global event sequence (in stream order) replayed into the engines before
+// any new events — the caller's live windows; it is routed with the same
+// halo replication as live events. Any events buffered in the router are
+// shipped first, so a seed derived from the already-routed stream state is
+// never applied twice.
+func (p *Pipeline) AttachTopK(k int, factory TopKFactory, seed []core.Event) (*TopKChain, error) {
+	if p.closed {
+		return nil, errors.New("shard: pipeline is closed")
+	}
+	if k < 1 {
+		return nil, errors.New("shard: top-k chain needs k >= 1")
+	}
+	engines := make([]core.TopKShard, len(p.workers))
+	for i := range p.workers {
+		eng, err := factory(p.shardConfig(i))
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = eng
+	}
+	seeds := make([][]core.Event, len(p.workers))
+	for _, ev := range seed {
+		if !p.cfg.InArea(ev.Obj) {
+			continue
+		}
+		for _, s := range p.targets(ev) {
+			seeds[s] = append(seeds[s], ev)
+		}
+	}
+	p.flushPending()
+	id := p.nextChain
+	p.nextChain++
+	c := &TopKChain{
+		p:        p,
+		id:       id,
+		k:        k,
+		top:      make([]core.Result, k),
+		ans:      make([]core.Result, len(p.workers)),
+		lastProb: make([]int, len(p.workers)),
+		seenSh:   make([]uint64, len(p.workers)),
+		stats:    make([]core.Stats, len(p.workers)),
+		out:      make([]core.Result, 0, k),
+		replyc:   make(chan tkReply, len(p.workers)),
+	}
+	for i, w := range p.workers {
+		w.ch <- batch{op: &tkOp{kind: tkAttach, id: id, eng: engines[i], seed: seeds[i]}}
+	}
+	return c, nil
+}
+
+// NewTopK builds a top-k-only pipeline: the shard workers run just the
+// chain's engines (no single-region engines; Query is unavailable) and the
+// returned chain answers BestK-style queries via Query. Closing the pipeline
+// stops the workers.
+func NewTopK(cfg core.Config, shards, blockCols int, par Params, k int, factory TopKFactory) (*Pipeline, *TopKChain, error) {
+	p, err := NewWithParams(cfg, shards, blockCols, par, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := p.AttachTopK(k, factory, nil)
+	if err != nil {
+		p.Close()
+		return nil, nil, err
+	}
+	return p, c, nil
+}
+
+// flushPending ships the router's buffered events without a barrier.
+func (p *Pipeline) flushPending() {
+	for i, buf := range p.pending {
+		if len(buf) > 0 {
+			p.workers[i].ch <- batch{evs: buf}
+			p.pending[i] = nil
+		}
+	}
+}
+
+// K returns the chain's k.
+func (c *TopKChain) K() int { return c.k }
+
+// Query runs the cross-shard greedy chain and returns the global top-k
+// regions in rank order (slots beyond the non-empty regions have Found ==
+// false) together with the summed engine statistics. The returned slice is
+// reused by subsequent calls.
+//
+// The resolve asks every shard for its problem-1 answer behind a barrier
+// that flushes the routed events, then walks the ranks: select the global
+// winner, commit it with ApplyRank on the shards whose blocks the winner's
+// (and the previously committed answer's) coverage can reach, and re-solve
+// the next problem on exactly those shards. An untouched shard's cached
+// answer remains exact: had it held any object at a level <= the current
+// rank, that object would cover a committed point and the shard would have
+// been in the affected set — so its problems i and i+1 see identical content
+// and one answer serves both. When no event arrived since the last resolve
+// the cached answer is returned without touching the workers.
+func (c *TopKChain) Query() ([]core.Result, core.Stats, error) {
+	p := c.p
+	if p.closed || c.detached {
+		return nil, core.Stats{}, errors.New("shard: top-k chain is closed")
+	}
+	if c.valid && c.seenSeq == p.routeSeq {
+		return c.out, c.sum, nil
+	}
+	// Re-solve problem 1 only where it can have changed: a shard whose
+	// cached answer already solves problem 1 and that received no event
+	// since that solve would answer identically, so its cache stands. (A
+	// shard affected by a rank commit was re-solved at the next problem,
+	// which set its lastProb above 1, so it cannot take this skip.)
+	need := 0
+	for i, w := range p.workers {
+		if c.valid && c.lastProb[i] == 1 && c.seenSh[i] == p.shardSeq[i] {
+			continue
+		}
+		w.ch <- batch{evs: p.pending[i], op: &tkOp{kind: tkSolve, id: c.id, i: 1, resc: c.replyc}}
+		p.pending[i] = nil
+		need++
+	}
+	for ; need > 0; need-- {
+		r := <-c.replyc
+		c.ans[r.idx] = r.res
+		c.stats[r.idx] = r.stats
+		c.lastProb[r.idx] = 1
+		c.seenSh[r.idx] = p.shardSeq[r.idx]
+	}
+	for i := 1; i <= c.k; i++ {
+		var sel core.Result
+		for _, r := range c.ans {
+			if core.CompareTopK(r, sel) < 0 {
+				sel = r
+			}
+		}
+		old := c.top[i-1]
+		c.top[i-1] = sel
+		if i == c.k {
+			// Committing the last rank is a provable no-op for every engine
+			// family: levels are capped at k (demotion to k of an lvl-k
+			// object and promotion of an lvl-k object both no-op) and a
+			// geometric mask for rank k is never read by problems <= k.
+			break
+		}
+		c.aff = p.affectedShards(c.aff[:0], old, sel)
+		for _, s := range c.aff {
+			p.workers[s].ch <- batch{op: &tkOp{kind: tkApply, id: c.id, i: i, old: old, sel: sel}}
+		}
+		for _, s := range c.aff {
+			p.workers[s].ch <- batch{op: &tkOp{kind: tkSolve, id: c.id, i: i + 1, resc: c.replyc}}
+		}
+		for range c.aff {
+			r := <-c.replyc
+			c.ans[r.idx] = r.res
+			c.stats[r.idx] = r.stats
+			c.lastProb[r.idx] = i + 1
+		}
+	}
+	c.out = append(c.out[:0], c.top...)
+	var st core.Stats
+	for _, s := range c.stats {
+		st.Events += s.Events
+		st.Searches += s.Searches
+		st.SearchEvents += s.SearchEvents
+		st.SweepEntries += s.SweepEntries
+		st.CellsTouched += s.CellsTouched
+	}
+	c.sum = st
+	c.seenSeq = p.routeSeq
+	c.valid = true
+	return c.out, c.sum, nil
+}
+
+// affectedShards appends the distinct shards that can hold a copy of an
+// object covering either result's bursty point. An object covering p lies at
+// x in [p.X-Width, p.X), and the router replicates it to the owners of
+// columns floor(x/Width)..floor((x+Width)/Width); by the monotonicity of
+// float division both bounds are bracketed by the same expressions evaluated
+// at the interval's endpoints, so the owners of columns
+// floor((p.X-Width)/Width)..floor((p.X+Width)/Width) are a (tight,
+// conservative) superset. Shards outside the set provably hold no copy and
+// their chain state is untouched by the commit.
+func (p *Pipeline) affectedShards(dst []int, rs ...core.Result) []int {
+	for _, r := range rs {
+		if !r.Found {
+			continue
+		}
+		lo := int(math.Floor((r.Point.X - p.cfg.Width) / p.cfg.Width))
+		hi := int(math.Floor((r.Point.X + p.cfg.Width) / p.cfg.Width))
+		for m := lo; m <= hi; m++ {
+			s := p.cs.ShardOf(m)
+			dup := false
+			for _, d := range dst {
+				if d == s {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				dst = append(dst, s)
+			}
+		}
+	}
+	return dst
+}
+
+// Close detaches the chain from the pipeline: the workers drop its engines
+// and stop maintaining them. Queries fail afterwards; callers that need the
+// final answer must Query before closing. Closing an already-detached chain
+// or a chain on a closed pipeline is a no-op.
+func (c *TopKChain) Close() {
+	if c.detached {
+		return
+	}
+	c.detached = true
+	if c.p.closed {
+		return
+	}
+	for _, w := range c.p.workers {
+		w.ch <- batch{op: &tkOp{kind: tkDetach, id: c.id}}
+	}
+}

@@ -59,6 +59,7 @@ package topk
 
 import (
 	"math"
+	"slices"
 
 	"surge/internal/core"
 	"surge/internal/geom"
@@ -186,11 +187,15 @@ type KCCS struct {
 	cellScratch  []grid.Cell
 	entryScratch []sweep.Entry
 	covScratch   []kobj   // covering() results (copies of cell entries)
+	selScratch   []kobj   // applyRank's saved covering(selP) set
 	idScratch    []uint64 // ids consumed by the new rank point, ascending
 	out          []core.Result
 }
 
-var _ core.TopKEngine = (*KCCS)(nil)
+var (
+	_ core.TopKEngine = (*KCCS)(nil)
+	_ core.TopKShard  = (*KCCS)(nil)
+)
 
 // NewKCCS returns an exact top-k engine for the given k >= 1.
 func NewKCCS(cfg core.Config, k int) (*KCCS, error) {
@@ -224,13 +229,21 @@ func (e *KCCS) Process(ev core.Event) {
 	if !e.cfg.InArea(ev.Obj) {
 		return
 	}
+	o := ev.Obj
+	// Sharded ownership is applied per cover cell (grid.CoverCellsOwned): a
+	// kept cell still receives every object whose coverage touches it —
+	// neighbour-column objects included — so its content matches the single
+	// engine's and the per-cell work is partitioned exactly (each
+	// (event, cell) pair is processed by one shard).
+	e.cellScratch = e.grid.CoverCellsOwned(e.cellScratch[:0], o.X, o.Y, e.cfg.Width, e.cfg.Height, e.cfg.Cols)
+	if len(e.cellScratch) == 0 {
+		return
+	}
 	e.stats.Events++
 	e.dirty = true
-	o := ev.Obj
 	cover := e.cfg.CoverRect(o.X, o.Y)
 	dc := o.Weight / e.cfg.WC
 	dp := o.Weight / e.cfg.WP
-	e.cellScratch = e.grid.CoverCells(e.cellScratch[:0], o.X, o.Y, e.cfg.Width, e.cfg.Height)
 	for _, ck := range e.cellScratch {
 		e.stats.CellsTouched++
 		c := e.cells[ckey(ck)]
@@ -631,23 +644,7 @@ func (e *KCCS) BestK() []core.Result {
 		e.dirty = false
 	}
 	for i := range e.top {
-		e.out[i] = core.Result{}
-		t := &e.top[i]
-		if !t.found {
-			continue
-		}
-		sc := e.candScore(t)
-		if sc <= 0 {
-			continue
-		}
-		e.out[i] = core.Result{
-			Point:  t.p,
-			Region: e.cfg.RegionAt(t.p),
-			Score:  sc,
-			FC:     t.fc,
-			FP:     t.fp,
-			Found:  true,
-		}
+		e.out[i] = e.candResult(&e.top[i])
 	}
 	return e.out
 }
@@ -659,50 +656,140 @@ func (e *KCCS) resolve() {
 		pold := e.top[i-1]
 		res := e.solve(i)
 		e.top[i-1] = res
-
-		// Level maintenance (Algorithm 4, lines 15-16). The ids consumed by
-		// the new point are collected first (ascending: arrival order is id
-		// order) so the promotion pass can skip them with a binary search.
-		e.idScratch = e.idScratch[:0]
-		if res.found {
-			for _, o := range e.covering(res.p) {
-				if o.lvl >= i {
-					e.idScratch = append(e.idScratch, o.id)
-				}
-			}
-		}
-		if pold.found {
-			for _, o := range e.covering(pold.p) {
-				if o.lvl == i && !containsID(e.idScratch, o.id) {
-					e.setLevel(o, e.k) // newly visible to every problem again
-				}
-			}
-		}
-		if res.found {
-			for _, o := range e.covering(res.p) {
-				if o.lvl > i {
-					e.setLevel(o, i) // now consumed by problem i
-				}
-			}
-		}
+		e.applyRank(i, pold.found, pold.p, res.found, res.p)
 	}
 	e.flush()
 }
 
-// covering returns copies of the live objects whose coverage rectangle
-// covers p, in arrival (= id) order. The scratch is reused per call.
-func (e *KCCS) covering(p geom.Point) []kobj {
-	e.covScratch = e.covScratch[:0]
-	c := e.cells[ckey(e.grid.CellOf(p.X, p.Y))]
-	if c == nil {
-		return e.covScratch
-	}
-	for j := range c.objs {
-		g := &c.objs[j]
-		if !g.dead && e.cfg.CoverRect(g.x, g.y).CoversOC(p) {
-			e.covScratch = append(e.covScratch, *g)
+// applyRank runs the level maintenance (Algorithm 4, lines 15-16) that
+// commits the answer selP for rank i, with oldP the previously committed
+// rank-i answer. The ids consumed by the new point are collected first
+// (ascending: arrival order is id order) so the promotion pass can skip them
+// with a binary search.
+func (e *KCCS) applyRank(i int, oldFound bool, oldP geom.Point, selFound bool, selP geom.Point) {
+	e.idScratch = e.idScratch[:0]
+	e.selScratch = e.selScratch[:0]
+	if selFound {
+		// One scan serves both selP passes: the promotion pass in between
+		// only touches objects that do not cover selP (an object covering
+		// both points at lvl == i is in idScratch and skipped), so the
+		// saved copies and their levels stay exact.
+		for _, o := range e.covering(selP) {
+			e.selScratch = append(e.selScratch, o)
+			if o.lvl >= i {
+				e.idScratch = append(e.idScratch, o.id)
+			}
 		}
 	}
+	if oldFound {
+		for _, o := range e.covering(oldP) {
+			if o.lvl == i && !containsID(e.idScratch, o.id) {
+				e.setLevel(o, e.k) // newly visible to every problem again
+			}
+		}
+	}
+	for _, o := range e.selScratch {
+		if o.lvl > i {
+			e.setLevel(o, i) // now consumed by problem i
+		}
+	}
+}
+
+// ProblemBest implements core.TopKShard: flush the lazy heap keys, then run
+// the best-first search for chain problem i over the owned cells. No level
+// maintenance happens here — the cross-shard coordinator selects the global
+// winner and commits it with ApplyRank.
+func (e *KCCS) ProblemBest(i int) core.Result {
+	e.flush()
+	cd := e.solve(i)
+	return e.candResult(&cd)
+}
+
+// ApplyRank implements core.TopKShard: commit the globally selected rank-i
+// answer. The demotion/promotion rules are a pure function of each object's
+// identity, level and the two points, so a shard holding a halo copy of an
+// object reaches the same level its owner does. Points whose cells this
+// engine never saw fall out of covering() naturally.
+func (e *KCCS) ApplyRank(i int, old, sel core.Result) {
+	e.applyRank(i, old.Found, old.Point, sel.Found, sel.Point)
+}
+
+// candResult converts a solved candidate to the engine's reported result.
+func (e *KCCS) candResult(cd *kcand) core.Result {
+	if !cd.found {
+		return core.Result{}
+	}
+	sc := e.candScore(cd)
+	if sc <= 0 {
+		return core.Result{}
+	}
+	return core.Result{
+		Point:  cd.p,
+		Region: e.cfg.RegionAt(cd.p),
+		Score:  sc,
+		FC:     cd.fc,
+		FP:     cd.fp,
+		Found:  true,
+	}
+}
+
+// covering returns copies of the live objects held by this engine whose
+// coverage rectangle covers p, in arrival (= id) order. An object covering p
+// lies in p's query-width column or the one to its left, so its cell copies
+// sit in row(p) of columns col(p)-1..col(p)+1; a sharded engine keeps only
+// its owned columns of that span (the copy of a left-column object can live
+// in the right neighbour's cell), so all three cells are scanned and objects
+// appearing in two of them are deduped by id. The scratch is reused per
+// call.
+func (e *KCCS) covering(p geom.Point) []kobj {
+	e.covScratch = e.covScratch[:0]
+	pc := e.grid.CellOf(p.X, p.Y)
+	if e.cfg.Cols == nil {
+		// Single engine: every covering object's coverage touches p's own
+		// column, so the cell of p holds a copy of each — one scan, no
+		// dedupe.
+		if c := e.cells[ckey(pc)]; c != nil {
+			for j := range c.objs {
+				g := &c.objs[j]
+				if !g.dead && e.cfg.CoverRect(g.x, g.y).CoversOC(p) {
+					e.covScratch = append(e.covScratch, *g)
+				}
+			}
+		}
+		return e.covScratch
+	}
+	for di := -1; di <= 1; di++ {
+		c := e.cells[ckey(grid.Cell{I: pc.I + di, J: pc.J})]
+		if c == nil {
+			continue
+		}
+		for j := range c.objs {
+			g := &c.objs[j]
+			if !g.dead && e.cfg.CoverRect(g.x, g.y).CoversOC(p) {
+				e.covScratch = append(e.covScratch, *g)
+			}
+		}
+	}
+	// Each cell's objects are id-sorted; sort the 3-cell union and drop the
+	// duplicate copies so every covering object is reported once, in
+	// arrival order.
+	slices.SortFunc(e.covScratch, func(a, b kobj) int {
+		switch {
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		}
+		return 0
+	})
+	out := e.covScratch[:0]
+	for i, g := range e.covScratch {
+		if i > 0 && out[len(out)-1].id == g.id {
+			continue
+		}
+		out = append(out, g)
+	}
+	e.covScratch = out
 	return e.covScratch
 }
 

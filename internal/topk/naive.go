@@ -32,11 +32,17 @@ type Naive struct {
 
 	entryScratch []sweep.Entry
 	blockScratch []sweep.Entry
+
+	// Mask state of the cross-shard greedy chain (core.TopKShard):
+	// maskPts[i] is the bursty point committed for rank i+1.
+	maskPts []geom.Point
+	maskOK  []bool
 }
 
 var (
 	_ core.Engine     = (*Naive)(nil)
 	_ core.TopKEngine = (*Naive)(nil)
+	_ core.TopKShard  = (*Naive)(nil)
 )
 
 // NewNaive returns a naive top-k detector.
@@ -191,6 +197,43 @@ func (n *Naive) BestK() []core.Result {
 		entries = kept
 	}
 	return out
+}
+
+// ProblemBest implements core.TopKShard: a full snapshot search for chain
+// problem i over the live objects not covered by the regions committed for
+// ranks < i, restricted to the owned column blocks when the configuration
+// carries a ColumnSet.
+func (n *Naive) ProblemBest(i int) core.Result {
+	entries := n.entryScratch[:0]
+	for _, o := range n.objs {
+		covered := false
+		for m := 0; m < i-1 && m < len(n.maskPts); m++ {
+			if n.maskOK[m] && n.cfg.CoverRect(o.x, o.y).CoversOC(n.maskPts[m]) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			entries = append(entries, sweep.Entry{X: o.x, Y: o.y, Weight: o.wt, Past: o.past})
+		}
+	}
+	n.entryScratch = entries
+	if n.cfg.Cols == nil {
+		return n.toResult(n.search(entries))
+	}
+	return n.toResult(n.searchOwned(entries))
+}
+
+// ApplyRank implements core.TopKShard: record the globally selected bursty
+// point for rank i (exclusion is recomputed from scratch per problem, so the
+// old answer is not needed).
+func (n *Naive) ApplyRank(i int, _, sel core.Result) {
+	for len(n.maskPts) < i {
+		n.maskPts = append(n.maskPts, geom.Point{})
+		n.maskOK = append(n.maskOK, false)
+	}
+	n.maskPts[i-1] = sel.Point
+	n.maskOK[i-1] = sel.Found
 }
 
 // RegionScore returns the normalised current- and past-window scores of an

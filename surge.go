@@ -202,9 +202,11 @@ type Detector struct {
 	eng      core.Engine     // single-engine path; nil when sharded
 	pipe     *shard.Pipeline // sharded pipeline; nil when single-engine
 	cur      core.Result
+	err      error              // first pipeline failure, surfaced by Err
 	liveObjs map[uint64]liveObj // live set for Checkpoint and AttachTopK
 	ckptObjs []checkpointObject // checkpoint scratch, reused across calls
 	taps     []*TopKDetector    // attached top-k detectors fed every event
+	ctaps    []*TopKDetector    // attached top-k detectors riding the shard workers
 	ag2Gamma float64
 	counted  bool
 	shards   int // requested Options.Shards (recorded in checkpoints)
@@ -333,8 +335,9 @@ func (d *Detector) Options() Options {
 // Push feeds one object into the stream, processes every window transition
 // it makes due, and returns the refreshed bursty region. Objects must arrive
 // in non-decreasing time order. On a sharded detector every Push is a full
-// pipeline synchronisation; use PushBatch for throughput. After Close it
-// returns the last answer and ErrClosed.
+// pipeline synchronisation; use PushBatch for throughput. On error the
+// previous answer is retained and returned, exactly as for PushBatch. After
+// Close it returns the last answer and ErrClosed.
 func (d *Detector) Push(o Object) (Result, error) {
 	if d.closed {
 		return toResult(d.cur), ErrClosed
@@ -344,7 +347,7 @@ func (d *Detector) Push(o Object) (Result, error) {
 	}
 	_, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.stepFn)
 	if err != nil {
-		return Result{}, err
+		return toResult(d.cur), err
 	}
 	return toResult(d.cur), nil
 }
@@ -383,6 +386,7 @@ func (d *Detector) pushSharded(objs []Object) (Result, error) {
 	}
 	res, _, err := d.pipe.Query()
 	if err != nil {
+		d.recordErr(err)
 		return toResult(d.cur), err
 	}
 	d.cur = res
@@ -391,24 +395,27 @@ func (d *Detector) pushSharded(objs []Object) (Result, error) {
 
 // AdvanceTo moves the stream clock to t without a new arrival (processing
 // any Grown/Expired transitions that become due) and returns the refreshed
-// bursty region. After Close it returns the last answer and ErrClosed.
+// bursty region. On error the previous answer is retained and returned,
+// exactly as for PushBatch. After Close it returns the last answer and
+// ErrClosed.
 func (d *Detector) AdvanceTo(t float64) (Result, error) {
 	if d.closed {
 		return toResult(d.cur), ErrClosed
 	}
 	if d.pipe != nil {
 		if err := d.win.Advance(t, d.routeStepFn); err != nil {
-			return Result{}, err
+			return toResult(d.cur), err
 		}
 		res, _, err := d.pipe.Query()
 		if err != nil {
+			d.recordErr(err)
 			return toResult(d.cur), err
 		}
 		d.cur = res
 		return toResult(d.cur), nil
 	}
 	if err := d.win.Advance(t, d.stepFn); err != nil {
-		return Result{}, err
+		return toResult(d.cur), err
 	}
 	d.cur = d.eng.Best()
 	return toResult(d.cur), nil
@@ -435,18 +442,17 @@ func (d *Detector) stepQuiet(ev core.Event) {
 	d.eng.Process(ev)
 }
 
-// routeStep hands one window event to the sharded pipeline.
+// routeStep hands one window event to the sharded pipeline. Top-k
+// detectors attached to a sharded parent ride the shard workers (ctaps),
+// so there are no caller-side taps on this path.
 func (d *Detector) routeStep(ev core.Event) {
 	d.trackLive(ev)
-	if len(d.taps) != 0 {
-		d.tap(ev)
-	}
 	d.pipe.Route(ev)
 }
 
-// tap feeds one window event to the attached top-k detectors, on the
-// caller's goroutine and before the event reaches the sharded pipeline, so
-// an attached engine observes exactly the single global stream order.
+// tap feeds one window event to the top-k detectors attached to a
+// single-engine parent, on the caller's goroutine, so an attached engine
+// observes exactly the single global stream order.
 func (d *Detector) tap(ev core.Event) {
 	for _, t := range d.taps {
 		t.eng.Process(ev)
@@ -454,8 +460,9 @@ func (d *Detector) tap(ev core.Event) {
 }
 
 // Best returns the current bursty region. On a sharded detector this is a
-// pipeline synchronisation point. After Close it keeps returning the answer
-// captured at Close.
+// pipeline synchronisation point; if the pipeline fails, the previous answer
+// is served and the error is recorded for Err. After Close it keeps
+// returning the answer captured at Close.
 func (d *Detector) Best() Result {
 	if d.closed {
 		return toResult(d.cur)
@@ -463,12 +470,27 @@ func (d *Detector) Best() Result {
 	if d.pipe != nil {
 		if res, _, err := d.pipe.Query(); err == nil {
 			d.cur = res
+		} else {
+			d.recordErr(err)
 		}
 		return toResult(d.cur)
 	}
 	d.cur = d.eng.Best()
 	return toResult(d.cur)
 }
+
+// recordErr keeps the first pipeline failure for Err.
+func (d *Detector) recordErr(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Err returns the first error the sharded pipeline reported to a query or
+// push, nil if none. A detector with a non-nil Err keeps serving its last
+// good answer (Best) but can no longer refresh it; serving layers should
+// surface the condition (the bundled server reports it on /healthz).
+func (d *Detector) Err() error { return d.err }
 
 // Now returns the current stream time.
 func (d *Detector) Now() float64 { return d.win.Now() }
@@ -487,10 +509,11 @@ func (d *Detector) Shards() int {
 
 // Close stops the detector: on the sharded path the shard goroutines are
 // shut down after buffered events are flushed and a final synchronisation
-// runs, so Best and Stats keep reporting the end-of-stream answer. After
-// Close, Push, PushBatch and AdvanceTo return ErrClosed (on both the sharded
-// and the single-engine path) while the query methods keep answering from
-// the captured state. Close is idempotent.
+// runs, so Best and Stats keep reporting the end-of-stream answer — and any
+// top-k detectors attached to the shard workers capture their final answer
+// too. After Close, Push, PushBatch and AdvanceTo return ErrClosed (on both
+// the sharded and the single-engine path) while the query methods keep
+// answering from the captured state. Close is idempotent.
 func (d *Detector) Close() error {
 	if d.closed {
 		return nil
@@ -502,6 +525,9 @@ func (d *Detector) Close() error {
 			d.finalStats = toStats(s.Stats())
 		}
 		return nil
+	}
+	for _, t := range d.ctaps {
+		t.freeze()
 	}
 	if res, st, err := d.pipe.Query(); err == nil {
 		d.cur = res
@@ -523,6 +549,7 @@ func (d *Detector) Stats() Stats {
 	if d.pipe != nil {
 		_, st, err := d.pipe.Query()
 		if err != nil {
+			d.recordErr(err)
 			return Stats{}
 		}
 		return toStats(st)

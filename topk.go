@@ -7,6 +7,7 @@ import (
 
 	"surge/internal/core"
 	"surge/internal/gapsurge"
+	"surge/internal/shard"
 	"surge/internal/topk"
 	"surge/internal/window"
 )
@@ -29,22 +30,31 @@ type TopKDetector struct {
 	alg     Algorithm
 	k       int
 	cfg     core.Config
-	win     window.Source // nil when attached
-	eng     core.TopKEngine
-	parent  *Detector // non-nil when attached
+	win     window.Source    // nil when attached
+	eng     core.TopKEngine  // single-engine path; nil when chain-backed
+	pipe    *shard.Pipeline  // owned top-k-only pipeline (standalone sharded)
+	chain   *shard.TopKChain // cross-shard chain (on pipe, or the parent's pipeline)
+	parent  *Detector        // non-nil when attached
 	cur     []core.Result
+	err     error // first chain failure, surfaced by Err
 	counted bool
 	closed  bool
+	frozen  bool // chain gone (parent closed); query methods serve cur
+	shards  int  // requested Options.Shards (recorded in checkpoints)
+	blkCols int  // requested Options.ShardBlockCols
 
 	liveObjs map[uint64]liveObj // standalone: live set for Checkpoint
 	ckptObjs []checkpointObject // checkpoint scratch, reused across calls
 
 	res []Result // result buffer reused by the query methods
 
+	finalStats Stats // merged stats captured at freeze/Close (chain-backed)
+
 	// Emit callbacks captured once; binding a method value per Push would
 	// put a closure allocation on the per-object hot path.
 	stepFn    func(core.Event)
 	processFn func(core.Event)
+	routeFn   func(core.Event)
 }
 
 // newTopKEngine builds the top-k engine for an algorithm. Supported:
@@ -65,13 +75,31 @@ func newTopKEngine(alg Algorithm, cfg core.Config, k int) (core.TopKEngine, erro
 	}
 }
 
+// newTopKShardEngine builds the per-shard engine of the cross-shard chain;
+// every supported top-k engine implements the maskable per-problem API.
+func newTopKShardEngine(alg Algorithm, cfg core.Config, k int) (core.TopKShard, error) {
+	eng, err := newTopKEngine(alg, cfg, k)
+	if err != nil {
+		return nil, err
+	}
+	se, ok := eng.(core.TopKShard)
+	if !ok {
+		return nil, fmt.Errorf("surge: algorithm %v has no sharded top-k variant", alg)
+	}
+	return se, nil
+}
+
 // NewTopK returns a standalone top-k detector. Supported algorithms:
 // CellCSPOT (the paper's kCCS), GridApprox (kGAPS), MultiGrid (kMGAPS) and
 // Oracle (the naive greedy baseline of Section VII-F).
 //
-// The top-k detectors have no sharded pipeline yet: Options.Shards and
-// Options.ShardBlockCols are ignored and detection runs on a single engine
-// (cross-shard top-k merge is a ROADMAP item).
+// Options.Shards >= 2 runs the sharded top-k pipeline: every shard maintains
+// the chain's candidate state over its owned column blocks (plus the halo),
+// and each query runs the greedy chain globally — the best region across
+// shards is selected, its objects are masked, and only the shards its
+// coverage can reach re-solve the lower-ranked problems. The merged answer
+// equals the single-engine chain's (bitwise for kCCS; same regions for
+// kGAPS/kMGAPS). Call Close when done to stop the shard goroutines.
 func NewTopK(alg Algorithm, opt Options, k int) (*TopKDetector, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("surge: k must be >= 1, got %d", k)
@@ -80,43 +108,79 @@ func NewTopK(alg Algorithm, opt Options, k int) (*TopKDetector, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := newTopKEngine(alg, cfg, k)
-	if err != nil {
-		return nil, err
-	}
 	win, err := newSource(opt, cfg)
 	if err != nil {
 		return nil, err
 	}
 	d := &TopKDetector{
-		alg: alg, k: k, cfg: cfg, win: win, eng: eng,
+		alg: alg, k: k, cfg: cfg, win: win,
 		counted:  opt.CountWindows,
 		liveObjs: make(map[uint64]liveObj),
+		shards:   opt.Shards,
+		blkCols:  opt.ShardBlockCols,
 	}
 	d.stepFn = d.step
+	d.routeFn = d.routeStep
+	if opt.Shards >= 2 {
+		d.pipe, d.chain, err = shard.NewTopK(cfg, opt.Shards, opt.ShardBlockCols,
+			shard.Params{FlushEvents: opt.ShardFlushEvents}, k,
+			func(scfg core.Config) (core.TopKShard, error) { return newTopKShardEngine(alg, scfg, k) })
+		if err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	d.eng, err = newTopKEngine(alg, cfg, k)
+	if err != nil {
+		return nil, err
+	}
 	d.processFn = d.process
 	return d, nil
 }
 
 // AttachTopK creates a top-k detector maintained by this detector's event
-// stream: the current live windows are replayed into a fresh top-k engine
-// in arrival order, and from then on every object pushed into the parent
-// (Push, PushBatch, AdvanceTo — sharded or not) also maintains the attached
-// engine, on the caller's goroutine. Query it with BestK; the stream-
-// mutating methods return ErrAttached.
+// stream: the current live windows are replayed into fresh top-k engines in
+// arrival order, and from then on every object pushed into the parent
+// (Push, PushBatch, AdvanceTo) also maintains the attached engines. On a
+// single-engine parent the maintenance runs on the caller's goroutine; on a
+// sharded parent the engines ride the shard workers — each worker maintains
+// the chain's candidate state for its owned columns alongside its
+// single-region engine, so per-event maintenance is distributed exactly like
+// detection and BestK merges the per-shard answers with the cross-shard
+// greedy chain. Query it with BestK; the stream-mutating methods return
+// ErrAttached.
 //
 // Because the kCCS engine keeps its per-cell state canonical (arrival-
 // ordered storage, canonically rescored candidates), the attached detector
 // reports bitwise the same scores as replaying a checkpoint of the parent
-// into RestoreTopK — continuous maintenance and replay are interchangeable.
+// into RestoreTopK — continuous maintenance and replay are interchangeable,
+// sharded or not.
 //
-// Close the attached detector to detach it from the parent.
+// Close the attached detector to detach it from the parent. Closing the
+// parent freezes the attached detector's answer.
 func (d *Detector) AttachTopK(alg Algorithm, k int) (*TopKDetector, error) {
 	if d.closed {
 		return nil, ErrClosed
 	}
 	if k < 1 {
 		return nil, fmt.Errorf("surge: k must be >= 1, got %d", k)
+	}
+	if d.pipe != nil {
+		chain, err := d.pipe.AttachTopK(k, func(scfg core.Config) (core.TopKShard, error) {
+			return newTopKShardEngine(alg, scfg, k)
+		}, d.seedEvents())
+		if err != nil {
+			return nil, err
+		}
+		td := &TopKDetector{
+			alg: alg, k: k, cfg: d.cfg, chain: chain,
+			parent:  d,
+			counted: d.counted,
+			shards:  d.shards,
+			blkCols: d.blkCols,
+		}
+		d.ctaps = append(d.ctaps, td)
+		return td, nil
 	}
 	eng, err := newTopKEngine(alg, d.cfg, k)
 	if err != nil {
@@ -128,24 +192,33 @@ func (d *Detector) AttachTopK(alg Algorithm, k int) (*TopKDetector, error) {
 		counted: d.counted,
 	}
 	td.processFn = eng.Process
-	// Seed the engine with the live windows in arrival (= id) order — the
-	// canonical order the engines' cell storage is defined over — emitting
-	// the Grown transitions the parent's windows have already performed.
+	for _, ev := range d.seedEvents() {
+		eng.Process(ev)
+	}
+	d.taps = append(d.taps, td)
+	return td, nil
+}
+
+// seedEvents returns the live windows as the canonical arrival-order event
+// sequence — New transitions in arrival (= id) order, then the Grown
+// transitions the windows have already performed — the order the engines'
+// cell storage is defined over.
+func (d *Detector) seedEvents() []core.Event {
 	ids := make([]uint64, 0, len(d.liveObjs))
 	for id := range d.liveObjs {
 		ids = append(ids, id)
 	}
 	slices.Sort(ids)
+	evs := make([]core.Event, 0, 2*len(ids))
 	for _, id := range ids {
-		eng.Process(core.Event{Kind: core.New, Obj: d.liveObjs[id].obj})
+		evs = append(evs, core.Event{Kind: core.New, Obj: d.liveObjs[id].obj})
 	}
 	for _, id := range ids {
 		if lo := d.liveObjs[id]; lo.past {
-			eng.Process(core.Event{Kind: core.Grown, Obj: lo.obj})
+			evs = append(evs, core.Event{Kind: core.Grown, Obj: lo.obj})
 		}
 	}
-	d.taps = append(d.taps, td)
-	return td, nil
+	return evs
 }
 
 // Algorithm returns the detector's algorithm.
@@ -157,25 +230,89 @@ func (d *TopKDetector) K() int { return d.k }
 // Attached reports whether the detector is fed by a parent detector.
 func (d *TopKDetector) Attached() bool { return d.parent != nil }
 
+// recordErr keeps the first chain failure for Err.
+func (d *TopKDetector) recordErr(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Err returns the first error the cross-shard chain reported to a query or
+// push, nil if none — the top-k counterpart of Detector.Err. A detector
+// with a non-nil Err keeps serving its last good answer (BestK) but can no
+// longer refresh it. Freezes at Close are not errors.
+func (d *TopKDetector) Err() error { return d.err }
+
+// Shards returns the number of engine shards maintaining the chain (1 on
+// the single-engine path; an attached detector reports its parent's count).
+func (d *TopKDetector) Shards() int {
+	switch {
+	case d.pipe != nil:
+		return d.pipe.Shards()
+	case d.parent != nil:
+		return d.parent.Shards()
+	default:
+		return 1
+	}
+}
+
 // Close detaches an attached detector from its parent and stops further
-// maintenance; the query methods keep answering from the captured state.
-// On a standalone detector it only marks the stream closed. Close is
+// maintenance; the query methods keep answering from the captured state. On
+// a standalone detector it marks the stream closed and, on the sharded path,
+// captures the final answer and shuts the shard goroutines down. Close is
 // idempotent.
 func (d *TopKDetector) Close() error {
 	if d.closed {
 		return nil
 	}
 	d.closed = true
-	if d.parent != nil {
-		taps := d.parent.taps[:0]
-		for _, t := range d.parent.taps {
-			if t != d {
-				taps = append(taps, t)
-			}
+	if d.chain != nil {
+		d.freeze()
+		if d.pipe != nil { // standalone sharded: the pipeline is ours
+			d.pipe.Close()
+		} else { // attached: detach from the parent's workers
+			d.chain.Close()
 		}
-		d.parent.taps = taps
+	}
+	if d.parent != nil {
+		d.parent.detachTopK(d)
 	}
 	return nil
+}
+
+// freeze captures the chain's final answer and statistics so the query
+// methods keep answering after the chain is gone. Called by Close and by
+// the parent detector's Close.
+func (d *TopKDetector) freeze() {
+	if d.frozen {
+		return
+	}
+	d.frozen = true
+	if res, st, err := d.chain.Query(); err == nil {
+		d.cur = append(d.cur[:0], res...)
+		d.finalStats = toStats(st)
+	}
+}
+
+// detachTopK removes td from the detector's attached-tap bookkeeping,
+// truncating the freed tail slots so a detached detector's engine and
+// buffers are not kept reachable through the parent's slices.
+func (d *Detector) detachTopK(td *TopKDetector) {
+	d.taps = removeTap(d.taps, td)
+	d.ctaps = removeTap(d.ctaps, td)
+}
+
+func removeTap(taps []*TopKDetector, td *TopKDetector) []*TopKDetector {
+	kept := taps[:0]
+	for _, t := range taps {
+		if t != td {
+			kept = append(kept, t)
+		}
+	}
+	for i := len(kept); i < len(taps); i++ {
+		taps[i] = nil // drop the stale tail reference
+	}
+	return kept
 }
 
 // Push feeds one object into the stream, processes every window transition
@@ -187,11 +324,46 @@ func (d *TopKDetector) Push(o Object) ([]Result, error) {
 	if err := d.pushable(); err != nil {
 		return nil, err
 	}
+	if d.pipe != nil {
+		return d.pushSharded([]Object{o})
+	}
 	_, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.stepFn)
 	if err != nil {
 		return nil, err
 	}
 	return d.results(), nil
+}
+
+// pushSharded routes a batch into the shard workers and synchronises on the
+// cross-shard chain once at the end.
+func (d *TopKDetector) pushSharded(objs []Object) ([]Result, error) {
+	for _, o := range objs {
+		if _, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.routeFn); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.refreshFromChain(); err != nil {
+		return nil, err
+	}
+	return d.results(), nil
+}
+
+// refreshFromChain synchronises d.cur with the cross-shard chain, recording
+// the first failure for Err.
+func (d *TopKDetector) refreshFromChain() error {
+	res, _, err := d.chain.Query()
+	if err != nil {
+		d.recordErr(err)
+		return err
+	}
+	d.cur = append(d.cur[:0], res...)
+	return nil
+}
+
+// routeStep hands one window event to the sharded pipeline.
+func (d *TopKDetector) routeStep(ev core.Event) {
+	d.trackLive(ev)
+	d.pipe.Route(ev)
 }
 
 // PushBatch feeds a time-ordered batch of objects and returns the top-k
@@ -206,6 +378,9 @@ func (d *TopKDetector) Push(o Object) ([]Result, error) {
 func (d *TopKDetector) PushBatch(objs []Object) ([]Result, error) {
 	if err := d.pushable(); err != nil {
 		return nil, err
+	}
+	if d.pipe != nil {
+		return d.pushSharded(objs)
 	}
 	for _, o := range objs {
 		if _, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.processFn); err != nil {
@@ -222,6 +397,15 @@ func (d *TopKDetector) PushBatch(objs []Object) ([]Result, error) {
 func (d *TopKDetector) AdvanceTo(t float64) ([]Result, error) {
 	if err := d.pushable(); err != nil {
 		return nil, err
+	}
+	if d.pipe != nil {
+		if err := d.win.Advance(t, d.routeFn); err != nil {
+			return nil, err
+		}
+		if err := d.refreshFromChain(); err != nil {
+			return nil, err
+		}
+		return d.results(), nil
 	}
 	if err := d.win.Advance(t, d.stepFn); err != nil {
 		return nil, err
@@ -254,9 +438,19 @@ func (d *TopKDetector) process(ev core.Event) {
 
 func (d *TopKDetector) trackLive(ev core.Event) { trackLiveObj(d.liveObjs, ev) }
 
-// BestK returns the current top-k regions. The returned slice is reused by
-// subsequent calls; copy it to retain.
+// BestK returns the current top-k regions. On a chain-backed detector
+// (standalone sharded, or attached to a sharded parent) this runs the
+// cross-shard greedy merge — a synchronisation point of the shard pipeline —
+// unless no event arrived since the last query. After Close (or after a
+// parent's Close) it keeps returning the answer captured then. The returned
+// slice is reused by subsequent calls; copy it to retain.
 func (d *TopKDetector) BestK() []Result {
+	if d.chain != nil {
+		if !d.frozen {
+			d.refreshFromChain() // on failure, serve the retained answer
+		}
+		return d.results()
+	}
 	d.cur = d.eng.BestK()
 	return d.results()
 }
@@ -270,8 +464,22 @@ func (d *TopKDetector) Now() float64 {
 	return d.win.Now()
 }
 
-// Stats returns instrumentation counters for engines that expose them.
+// Stats returns instrumentation counters for engines that expose them. On a
+// chain-backed detector the per-shard counters are summed (a synchronisation
+// point; an event replicated into a halo is counted by each shard that
+// received it). After a freeze the counters captured then are returned.
 func (d *TopKDetector) Stats() Stats {
+	if d.chain != nil {
+		if d.frozen {
+			return d.finalStats
+		}
+		if _, st, err := d.chain.Query(); err == nil {
+			return toStats(st)
+		} else {
+			d.recordErr(err)
+		}
+		return Stats{}
+	}
 	if s, ok := d.eng.(statser); ok {
 		return toStats(s.Stats())
 	}
