@@ -40,5 +40,9 @@ bench-smoke:
 	$(GO) run ./cmd/surgebench -exp hotpath,topkserve -max-exact 1000 -max-approx 10000 -json-dir bench-out
 	@grep -q '"ingest_overhead_pct"' bench-out/BENCH_topk.json || { \
 		echo "bench-smoke: BENCH_topk.json lacks ingest_overhead_pct; the topkserve experiment broke"; exit 1; }
+	@grep -q '"bestserve_ingest_gain_pct"' bench-out/BENCH_topk.json || { \
+		echo "bench-smoke: BENCH_topk.json lacks bestserve_ingest_gain_pct; the bestserve rows broke"; exit 1; }
+	@grep -q '"best-chain"' bench-out/BENCH_topk.json && grep -q '"best-engines"' bench-out/BENCH_topk.json || { \
+		echo "bench-smoke: BENCH_topk.json lacks the bestserve chain-vs-engines rows"; exit 1; }
 	@grep -q '"objs_per_sec"\|"objects_per_sec"' bench-out/BENCH_hotpath.json || { \
 		echo "bench-smoke: BENCH_hotpath.json lacks throughput rows; the hotpath experiment broke"; exit 1; }

@@ -18,17 +18,19 @@ import (
 // top-k changes on TopKEvents. Read the channels until they close, then
 // consult Err; Close cancels the stream.
 type Subscription struct {
-	hello   State
 	resumed bool
 	events  chan Notification
 	topk    chan TopKNotification
 	lastEID atomic.Uint64
+	epoch   atomic.Uint64 // server stream epoch from event ids ("epoch.eid")
 	ctx     context.Context
 	cancel  context.CancelFunc
 
-	mu   sync.Mutex
-	err  error
-	done chan struct{}
+	mu       sync.Mutex
+	hello    State
+	resynced bool // a resume was answered with a fresh hello (server restarted)
+	err      error
+	done     chan struct{}
 }
 
 // Subscribe opens the notification stream. It returns once the server's
@@ -51,7 +53,55 @@ func (c *Client) Subscribe(ctx context.Context) (*Subscription, error) {
 // State and Resumed reports true.
 //
 // SubscribeFrom(ctx, 0) is Subscribe.
+//
+// A bare event id can only resume within one server process. To survive a
+// server restart, resume with SubscribeFromCursor and the Cursor of the
+// broken subscription instead.
 func (c *Client) SubscribeFrom(ctx context.Context, lastEventID uint64) (*Subscription, error) {
+	var cursor string
+	if lastEventID > 0 {
+		cursor = strconv.FormatUint(lastEventID, 10)
+	}
+	return c.subscribe(ctx, cursor)
+}
+
+// SubscribeFromCursor resumes the notification stream from a Cursor taken
+// off a previous subscription ("epoch.eid"). Unlike a bare event id, the
+// cursor identifies the server process it came from: if the server has
+// restarted since (its replay ring is gone and its event ids restarted),
+// the server answers with a fresh hello instead of a bogus replay — the
+// subscription then reports Resynced true and Hello carries the new state,
+// so the caller knows to rebuild its view rather than patch it.
+//
+// An empty cursor is Subscribe.
+func (c *Client) SubscribeFromCursor(ctx context.Context, cursor string) (*Subscription, error) {
+	if cursor != "" {
+		if _, _, err := parseCursor(cursor); err != nil {
+			return nil, err
+		}
+	}
+	return c.subscribe(ctx, cursor)
+}
+
+// parseCursor splits a subscription cursor: "epoch.eid" or a bare "eid"
+// (epoch 0).
+func parseCursor(cursor string) (epoch, eid uint64, err error) {
+	s := cursor
+	if e, n, found := strings.Cut(cursor, "."); found {
+		epoch, err = strconv.ParseUint(e, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("client: invalid subscription cursor %q", cursor)
+		}
+		s = n
+	}
+	eid, err = strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("client: invalid subscription cursor %q", cursor)
+	}
+	return epoch, eid, nil
+}
+
+func (c *Client) subscribe(ctx context.Context, cursor string) (*Subscription, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/subscribe", nil)
 	if err != nil {
@@ -59,9 +109,9 @@ func (c *Client) SubscribeFrom(ctx context.Context, lastEventID uint64) (*Subscr
 		return nil, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
-	resume := lastEventID > 0
+	resume := cursor != ""
 	if resume {
-		req.Header.Set("Last-Event-ID", strconv.FormatUint(lastEventID, 10))
+		req.Header.Set("Last-Event-ID", cursor)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -87,7 +137,11 @@ func (c *Client) SubscribeFrom(ctx context.Context, lastEventID uint64) (*Subscr
 		cancel:  cancel,
 		done:    make(chan struct{}),
 	}
-	sub.lastEID.Store(lastEventID)
+	if resume {
+		epoch, eid, _ := parseCursor(cursor) // validated by the callers
+		sub.epoch.Store(epoch)
+		sub.lastEID.Store(eid)
+	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64<<10), 1<<20)
 
@@ -117,13 +171,44 @@ func (c *Client) SubscribeFrom(ctx context.Context, lastEventID uint64) (*Subscr
 	return sub, nil
 }
 
-// Hello returns the server state at subscription time (the zero State on a
-// resumed subscription, which receives no hello).
-func (s *Subscription) Hello() State { return s.hello }
+// Hello returns the server state at subscription time. A resumed
+// subscription receives no hello and reports the zero State — unless the
+// server could not honour the resume (see Resynced), in which case Hello
+// returns the fresh state the server resynchronised with.
+func (s *Subscription) Hello() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hello
+}
 
-// Resumed reports whether the subscription was opened with SubscribeFrom
-// and therefore received no hello event.
+// Resumed reports whether the subscription was opened with SubscribeFrom or
+// SubscribeFromCursor and therefore expects no hello event.
 func (s *Subscription) Resumed() bool { return s.resumed }
+
+// Resynced reports that a resumed subscription was answered with a fresh
+// hello instead of a replay: the cursor's server process is gone (restart,
+// failover), so no missed events could be recovered. The caller should
+// treat Hello as a new baseline and rebuild any derived state.
+func (s *Subscription) Resynced() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resynced
+}
+
+// Cursor returns the resume cursor of the most recently decoded event:
+// "epoch.eid", or a bare event id when the server predates stream epochs,
+// or "" before any event has carried an id. Pass it to SubscribeFromCursor
+// to resume after a disconnect — including across server restarts.
+func (s *Subscription) Cursor() string {
+	eid := s.lastEID.Load()
+	if eid == 0 {
+		return ""
+	}
+	if epoch := s.epoch.Load(); epoch != 0 {
+		return strconv.FormatUint(epoch, 10) + "." + strconv.FormatUint(eid, 10)
+	}
+	return strconv.FormatUint(eid, 10)
+}
 
 // LastEventID returns the event id of the most recently decoded
 // notification. The reader goroutine runs ahead of the consumer's channel
@@ -165,11 +250,23 @@ func (s *Subscription) fail(err error) {
 	s.mu.Unlock()
 }
 
+// trackEID records the position carried by an SSE id field — "epoch.eid"
+// from epoch-aware servers, a bare event id from older ones — and returns
+// the event id for the notification's EventID field.
 func (s *Subscription) trackEID(id string) uint64 {
 	if id == "" {
 		return 0
 	}
-	v, err := strconv.ParseUint(id, 10, 64)
+	num := id
+	if e, n, found := strings.Cut(id, "."); found {
+		epoch, err := strconv.ParseUint(e, 10, 64)
+		if err != nil {
+			return 0
+		}
+		s.epoch.Store(epoch)
+		num = n
+	}
+	v, err := strconv.ParseUint(num, 10, 64)
 	if err != nil {
 		return 0
 	}
@@ -235,6 +332,21 @@ func (s *Subscription) run(body io.ReadCloser, sc *bufio.Scanner) {
 				}
 				break
 			}
+		case "hello":
+			// A hello on a resumed stream means the server declined the
+			// resume (foreign epoch: the process restarted) and opened a
+			// fresh subscription instead. Record the resynchronised state
+			// so the consumer can rebuild from it.
+			var st State
+			if err := json.Unmarshal([]byte(data), &st); err != nil {
+				s.fail(fmt.Errorf("client: subscribe: decoding hello: %w", err))
+				return
+			}
+			s.mu.Lock()
+			s.hello = st
+			s.resynced = true
+			s.mu.Unlock()
+			s.trackEID(id)
 		default:
 			// future event types are skippable by design
 		}

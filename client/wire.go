@@ -67,9 +67,10 @@ type EngineStats struct {
 // State is a point-in-time view of the detector: the answer of /v1/best,
 // the payload of the SSE "hello" event, and the reply to /v1/restore.
 type State struct {
-	Seq    uint64      `json:"seq"`    // sequence number of the latest bursty-region change
-	Events uint64      `json:"events"` // SSE events published (burst + topk); the hello's event id
-	Now    float64     `json:"now"`    // stream clock
+	Seq    uint64      `json:"seq"`             // sequence number of the latest bursty-region change
+	Epoch  uint64      `json:"epoch,omitempty"` // server stream epoch; SSE ids are "epoch.eid" (0 from pre-epoch servers)
+	Events uint64      `json:"events"`          // SSE events published (burst + topk); the hello's event id
+	Now    float64     `json:"now"`             // stream clock
 	Live   int         `json:"live"`
 	Shards int         `json:"shards"`
 	Result Result      `json:"result"`

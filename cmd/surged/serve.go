@@ -55,6 +55,7 @@ func runServe(args []string) error {
 		ckptOut = fs.String("checkpoint", "", "write a checkpoint to this file on shutdown")
 		ckptIn  = fs.String("restore", "", "seed the detector from this checkpoint file at boot")
 		flush   = fs.Int("flush", 0, "sharded router flush size in events per shard (0 = adapt to shard backlog)")
+		dualEng = fs.Bool("best-from-engines", false, "keep the legacy dual-engine layout: single-region engines answer /v1/best beside the maintained top-k chain (default: one chain serves both)")
 		pprofOn = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling; leave off unless the listener is access-controlled)")
 	)
 	fs.Parse(args)
@@ -95,6 +96,7 @@ func runServe(args []string) error {
 		},
 		TopK:             *topk,
 		TopKReplayOnly:   *topk == 0,
+		BestFromEngines:  *dualEng,
 		NotifyRing:       *ring,
 		TimePolicy:       tp,
 		BatchSize:        *batch,

@@ -138,6 +138,12 @@
 //     current top-k regions); heap positions are stored in the cells
 //     instead of hash maps; and heap-key refreshes are deferred to a dirty
 //     queue flushed once per query instead of per visibility operation.
+//   - The CCS engine and the top-k engines share one packed cell layout:
+//     cells are addressed by a single uint64 key (grid.Cell.Pack, two
+//     sign-extended int32 coordinates) instead of a two-field struct key,
+//     and each cell records its own heap position, so the hot per-event
+//     sequence — map lookup, bound update, heap sift — runs on machine
+//     words with no composite-key hashing and no position map.
 //   - The shard router recycles its event batches through a sync.Pool —
 //     shard workers hand slices back after applying them — and sizes each
 //     flush by the receiving shard's backlog: Options.ShardFlushEvents = 0
@@ -157,12 +163,16 @@
 // The perf trajectory is tracked by machine-readable benchmark reports:
 // `surgebench -exp hotpath -json-dir .` writes BENCH_hotpath.json with
 // ns/obj, allocs/obj and objs/sec for the single-engine (CCS, GAPS),
-// sharded-batch and HTTP-ingest configurations, the `shards` and
+// sharded-batch and HTTP-ingest configurations (each the fastest of
+// several interleaved rounds — the least-interfered estimate on a shared
+// runner), the `shards` and
 // `serve` experiments write BENCH_shards.json / BENCH_serve.json with
 // their scaling curves (rows of objects_per_sec and speedup per shard
 // count), and the `topkserve` experiment writes BENCH_topk.json with the
-// /v1/topk latency percentiles (continuous vs replay) and the ingest
-// overhead of continuous maintenance. CI runs the hotpath and topkserve
+// /v1/topk latency percentiles (continuous vs replay), the ingest cost of
+// the unified chain layout against the dual-engine layout it replaced and
+// against a server with no top-k at all, and the /v1/best latency of both
+// serving layouts. CI runs the hotpath and topkserve
 // experiments at laptop scale on every PR and archives the JSON, so
 // regressions show up as a diff in the perf point.
 // For profiling a live instance, `surged serve -pprof` mounts
@@ -176,7 +186,10 @@
 //
 //	POST /v1/ingest     NDJSON {"time","x","y","weight"} or CSV
 //	                    "time,x,y,weight" object batches
-//	GET  /v1/best       current bursty region, stream clock, engine stats
+//	GET  /v1/best       current bursty region, stream clock, engine stats;
+//	                    with maintained top-k (surged -topk, the default)
+//	                    it is served from rank 1 of the maintained chain
+//	                    and the single-region engines are dropped
 //	GET  /v1/topk?k=N   greedy top-k over the live windows, answered O(1)
 //	                    from the continuously maintained kCCS answer
 //	                    (?mode=replay forces the checkpoint-replay path)
@@ -204,7 +217,15 @@
 // notification — never silently; a subscriber that reconnects with the
 // standard Last-Event-ID header is backfilled from a bounded ring of
 // recent events (surged -notify-ring) with the same exact loss accounting
-// instead of being restarted from the hello state. On SIGTERM the server
+// instead of being restarted from the hello state. Event ids carry the
+// server's stream epoch — a random per-process identifier announced in the
+// hello frame and rendered into every SSE id as "epoch.eid" — so a cursor
+// from before a process restart is never confused with a position on the
+// new process's stream: a resume whose epoch matches is honoured exactly,
+// while a foreign-epoch cursor (the server restarted, e.g. from a
+// checkpoint) degrades to a fresh subscription whose hello resynchronises
+// the client (client.Subscription.Cursor / SubscribeFromCursor / Resynced
+// round-trip this without the caller parsing ids). On SIGTERM the server
 // checkpoints before the listener drains, and a later "surged serve
 // -restore" resumes the stream, into any shard count (RestoreSharded).
 //
@@ -220,16 +241,30 @@
 // detection (each (event, cell) pair is processed by exactly one shard, so
 // sharding adds no duplicated maintenance work), off the event-loop thread,
 // and the per-batch refresh is the cross-shard merge, which re-solves only
-// the shards around the committed ranks (BENCH_topk.json tracks the ingest
-// overhead; on a single-CPU box it is the inherent cost of the second
-// engine, roughly a third of throughput, and it amortises across cores on
-// larger boxes — see the ROADMAP's serve-from-chain item for the planned
-// single-core cut). Any k up to
+// the shards around the committed ranks. Any k up to
 // the maintained one (surged -topk, default 5) is served as a prefix of the
 // snapshot, the greedy chain being prefix-stable; larger k fall back to the
 // replay path, which checkpoints the live windows into a pooled buffer and
 // replays them into a fresh single-engine detector off the loop
 // (?mode=replay forces it, surged -topk 0 makes it the only path).
+//
+// With a maintained chain attached, the chain is the server's only engine:
+// rank 1 of the greedy chain over the unconstrained plane is exactly the
+// single-region answer (the first problem of the chain is the single-region
+// problem), so /v1/best and the "burst" SSE stream are served from the
+// maintained snapshot's rank 1 (Detector.AttachTopKBest) and the
+// single-region engines are dropped at attach rather than run in parallel.
+// Equal-score selections follow one canonical order (core.CompareTopK:
+// score, then region coordinates) across every engine family and the
+// coordinator, which is what keeps the chain-served answer bitwise equal to
+// the engine-served one. The pre-change dual-engine layout — engines for
+// /v1/best, chain for /v1/topk — remains available for comparison behind
+// surged -best-from-engines; BENCH_topk.json prices both
+// (ingest_overhead_pct, bestserve_ingest_gain_pct: on a 1-CPU box the
+// unified layout ingests ~70% faster than the dual layout it replaced, and
+// maintained top-k costs ~5% versus a server with no top-k at all). The
+// exceptions are the engines with no chain variant (AG2, Oracle): they keep
+// their single-region engines, and BestFromEngines is implied.
 //
 // The kCCS engine keeps its per-cell state canonical — arrival-ordered
 // object storage, candidate scores maintained as arrival-order folds,

@@ -48,7 +48,13 @@ type hotpathReport struct {
 // Unlike the paper-replay experiments it times the entire feed (no warm-up
 // split) and reads runtime.MemStats around it: the rows are a perf-trajectory
 // metric for the ingest path, tracked in BENCH_hotpath.json via -json-dir,
-// not the paper's per-object detection latency.
+// not the paper's per-object detection latency. Each configuration is fed
+// into a fresh detector hotpathRounds times, interleaved so machine noise
+// hits every configuration equally, and the fastest row (by ns/obj) is
+// reported: on a shared runner external load only ever adds time, so the
+// least-interfered round is the closest estimate of the code's own cost —
+// single-shot rows (and even medians, when the load fluctuates on the scale
+// of the whole run) swing by 20%+.
 func Hotpath(o Options) error {
 	d := o.dataset("Taxi")
 	w := defaultWindow("Taxi")
@@ -60,25 +66,23 @@ func Hotpath(o Options) error {
 		shards = 2
 	}
 
-	rows := make([]hotpathRow, 0, 4)
+	exactObjs := toSurgeObjects(genFor(d, w, o.MaxExact*4))
+	approxObjs := toSurgeObjects(genFor(d, w, o.MaxApprox))
+	bodies, err := ndjsonBodies(approxObjs, serveIngesters)
+	if err != nil {
+		return err
+	}
 
 	// Single-engine Push, continuous query per arrival.
-	for _, sp := range []struct {
-		name  string
-		alg   surge.Algorithm
-		limit int
-	}{
-		{"ccs-push", surge.CellCSPOT, o.MaxExact * 4},
-		{"gaps-push", surge.GridApprox, o.MaxApprox},
-	} {
-		objs := toSurgeObjects(genFor(d, w, sp.limit))
-		det, err := surge.New(sp.alg, surge.Options{
+	pushOnce := func(name string, alg surge.Algorithm, objs []surge.Object) (hotpathRow, error) {
+		det, err := surge.New(alg, surge.Options{
 			Width: qw, Height: qh, Window: w, Alpha: o.Alpha,
 		})
 		if err != nil {
-			return err
+			return hotpathRow{}, err
 		}
-		row, err := measureHotpath(sp.name, len(objs), func() error {
+		defer det.Close()
+		return measureHotpath(name, len(objs), func() error {
 			for _, ob := range objs {
 				if _, err := det.Push(ob); err != nil {
 					return err
@@ -86,50 +90,36 @@ func Hotpath(o Options) error {
 			}
 			return nil
 		})
-		det.Close()
-		if err != nil {
-			return err
-		}
-		rows = append(rows, row)
 	}
 
 	// Sharded pipeline, batch ingest.
-	{
-		objs := toSurgeObjects(genFor(d, w, o.MaxExact*4))
+	shardedOnce := func() (hotpathRow, error) {
 		det, err := surge.New(surge.CellCSPOT, surge.Options{
 			Width: qw, Height: qh, Window: w, Alpha: o.Alpha, Shards: shards,
 		})
 		if err != nil {
-			return err
+			return hotpathRow{}, err
 		}
-		row, err := measureHotpath("sharded", len(objs), func() error {
+		defer det.Close()
+		row, err := measureHotpath("sharded", len(exactObjs), func() error {
 			const batch = 512
-			for lo := 0; lo < len(objs); lo += batch {
+			for lo := 0; lo < len(exactObjs); lo += batch {
 				hi := lo + batch
-				if hi > len(objs) {
-					hi = len(objs)
+				if hi > len(exactObjs) {
+					hi = len(exactObjs)
 				}
-				if _, err := det.PushBatch(objs[lo:hi]); err != nil {
+				if _, err := det.PushBatch(exactObjs[lo:hi]); err != nil {
 					return err
 				}
 			}
 			return nil
 		})
-		det.Close()
-		if err != nil {
-			return err
-		}
 		row.Shards = shards
-		rows = append(rows, row)
+		return row, err
 	}
 
 	// Full HTTP ingest path: concurrent NDJSON ingesters.
-	{
-		objs := toSurgeObjects(genFor(d, w, o.MaxApprox))
-		bodies, err := ndjsonBodies(objs, serveIngesters)
-		if err != nil {
-			return err
-		}
+	httpOnce := func() (hotpathRow, error) {
 		s, err := server.New(server.Config{
 			Algorithm: surge.CellCSPOT,
 			Options: surge.Options{
@@ -143,12 +133,16 @@ func Hotpath(o Options) error {
 			TopKReplayOnly: true,
 		})
 		if err != nil {
-			return err
+			return hotpathRow{}, err
 		}
 		ts := httptest.NewServer(s.Handler())
+		defer func() {
+			ts.Close()
+			s.Close()
+		}()
 		c := client.New(ts.URL)
 		ctx := context.Background()
-		row, err := measureHotpath("http-ingest", len(objs), func() error {
+		row, err := measureHotpath("http-ingest", len(approxObjs), func() error {
 			var wg sync.WaitGroup
 			errs := make([]error, len(bodies))
 			for g, body := range bodies {
@@ -170,13 +164,32 @@ func Hotpath(o Options) error {
 			}
 			return nil
 		})
-		ts.Close()
-		s.Close()
-		if err != nil {
-			return err
-		}
 		row.Shards = shards
-		rows = append(rows, row)
+		return row, err
+	}
+
+	configs := []struct {
+		name string
+		run  func() (hotpathRow, error)
+	}{
+		{"ccs-push", func() (hotpathRow, error) { return pushOnce("ccs-push", surge.CellCSPOT, exactObjs) }},
+		{"gaps-push", func() (hotpathRow, error) { return pushOnce("gaps-push", surge.GridApprox, approxObjs) }},
+		{"sharded", shardedOnce},
+		{"http-ingest", httpOnce},
+	}
+	samples := make([][]hotpathRow, len(configs))
+	for r := 0; r < hotpathRounds; r++ {
+		for i, cfg := range configs {
+			row, err := cfg.run()
+			if err != nil {
+				return err
+			}
+			samples[i] = append(samples[i], row)
+		}
+	}
+	rows := make([]hotpathRow, len(configs))
+	for i := range configs {
+		rows[i] = fastestHotpath(samples[i])
 	}
 
 	t := NewTable(o.Out, fmt.Sprintf("Hotpath (Taxi, GOMAXPROCS=%d): ingest cost per object", runtime.GOMAXPROCS(0)),
@@ -195,6 +208,22 @@ func Hotpath(o Options) error {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Rows:       rows,
 	})
+}
+
+// hotpathRounds is how many interleaved times each configuration is fed; the
+// reported row is the per-configuration fastest by ns/obj.
+const hotpathRounds = 5
+
+// fastestHotpath returns the row with the lowest ns/obj of rs — the
+// least-interfered round on a shared runner.
+func fastestHotpath(rs []hotpathRow) hotpathRow {
+	best := rs[0]
+	for _, r := range rs[1:] {
+		if r.NsPerObj < best.NsPerObj {
+			best = r
+		}
+	}
+	return best
 }
 
 // measureHotpath times fn and attributes the process-wide heap traffic it

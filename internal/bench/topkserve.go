@@ -35,18 +35,40 @@ type topkQueryRow struct {
 }
 
 // topkReport is the BENCH_topk.json document. QuerySpeedupP50 is the
-// replay-to-continuous ratio of median query latency; IngestOverheadPct is
-// the throughput cost of maintaining the top-k answer on the ingest path
-// ((baseline - continuous) / baseline * 100, medians of interleaved runs).
+// replay-to-continuous ratio of median query latency.
+//
+// IngestOverheadPct is the throughput cost of continuous top-k serving
+// measured against the layout that previously provided the same serving
+// surface. Before serve-from-chain, a server with -topk ran the chain on
+// top of the single-region engines (the dual-engine layout), and this field
+// recorded the chain's cost relative to the engine-only baseline — the
+// committed history up to the serve-from-chain change reads ~30%+. Now the
+// chain replaces the engines at attach, so the equal-functionality baseline
+// is that pre-change dual-engine layout, measured in-run as "best-engines":
+// the field is (dual - continuous) / dual * 100, and a negative value means
+// the unified chain layout ingests faster than the layout it replaced.
+// ReplayIngestOverheadPct keeps the old axis — continuous (chain-only)
+// versus a server with no top-k at all ((replay - continuous) / replay *
+// 100) — which now prices maintained top-k against not having it.
+//
+// The bestserve rows compare the two /v1/best serving layouts under
+// maintained top-k: "best-chain" (default: rank-1 of the maintained chain,
+// no single-region engines) versus "best-engines" (legacy dual-engine
+// layout, Config.BestFromEngines). BestServeGainPct is the ingest
+// throughput gained by dropping the engines ((chain - dual) / dual * 100).
 type topkReport struct {
-	Experiment        string          `json:"experiment"`
-	GoMaxProcs        int             `json:"gomaxprocs"`
-	K                 int             `json:"k"`
-	Shards            int             `json:"shards"` // maintenance rides the shard workers
-	Ingest            []topkIngestRow `json:"ingest"`
-	Query             []topkQueryRow  `json:"query"`
-	QuerySpeedupP50   float64         `json:"query_speedup_p50"`
-	IngestOverheadPct float64         `json:"ingest_overhead_pct"`
+	Experiment              string          `json:"experiment"`
+	GoMaxProcs              int             `json:"gomaxprocs"`
+	K                       int             `json:"k"`
+	Shards                  int             `json:"shards"` // maintenance rides the shard workers
+	Ingest                  []topkIngestRow `json:"ingest"`
+	Query                   []topkQueryRow  `json:"query"`
+	QuerySpeedupP50         float64         `json:"query_speedup_p50"`
+	IngestOverheadPct       float64         `json:"ingest_overhead_pct"`
+	ReplayIngestOverheadPct float64         `json:"replay_ingest_overhead_pct"`
+	BestIngest              []topkIngestRow `json:"bestserve_ingest"`
+	BestQuery               []topkQueryRow  `json:"bestserve_query"` // /v1/best p50/p99 per layout
+	BestServeGainPct        float64         `json:"bestserve_ingest_gain_pct"`
 }
 
 // TopKServe measures continuous top-k serving against the checkpoint-replay
@@ -72,24 +94,35 @@ func TopKServe(o Options) error {
 	}
 
 	// Ingest throughput, medians of interleaved runs so machine noise hits
-	// both configurations equally.
-	const rounds = 3
+	// every configuration equally.
+	const rounds = 5
 	base := make([]topkIngestRow, 0, rounds)
 	cont := make([]topkIngestRow, 0, rounds)
+	chain := make([]topkIngestRow, 0, rounds)
+	dual := make([]topkIngestRow, 0, rounds)
 	for r := 0; r < rounds; r++ {
-		row, err := topkIngestOnce(o, d.QueryWidth(), d.QueryHeight(), w, k, true, bodies, len(objs))
+		row, err := topkIngestOnce(o, d.QueryWidth(), d.QueryHeight(), w, k, true, false, bodies, len(objs))
 		if err != nil {
 			return err
 		}
 		base = append(base, row)
-		row, err = topkIngestOnce(o, d.QueryWidth(), d.QueryHeight(), w, k, false, bodies, len(objs))
+		row, err = topkIngestOnce(o, d.QueryWidth(), d.QueryHeight(), w, k, false, false, bodies, len(objs))
 		if err != nil {
 			return err
 		}
 		cont = append(cont, row)
+		chain = append(chain, row.renamed("best-chain")) // same layout, same run
+		row, err = topkIngestOnce(o, d.QueryWidth(), d.QueryHeight(), w, k, false, true, bodies, len(objs))
+		if err != nil {
+			return err
+		}
+		dual = append(dual, row.renamed("best-engines"))
 	}
 	ingest := []topkIngestRow{medianIngest(base), medianIngest(cont)}
-	overhead := (ingest[0].ObjectsPerSec - ingest[1].ObjectsPerSec) / ingest[0].ObjectsPerSec * 100
+	replayOverhead := (ingest[0].ObjectsPerSec - ingest[1].ObjectsPerSec) / ingest[0].ObjectsPerSec * 100
+	bestIngest := []topkIngestRow{medianIngest(chain), medianIngest(dual)}
+	overhead := (bestIngest[1].ObjectsPerSec - bestIngest[0].ObjectsPerSec) / bestIngest[1].ObjectsPerSec * 100
+	bestGain := (bestIngest[0].ObjectsPerSec - bestIngest[1].ObjectsPerSec) / bestIngest[1].ObjectsPerSec * 100
 
 	// Query latency on a continuous server holding the full stream's live
 	// windows; the replay path is exercised through the same server's
@@ -133,12 +166,43 @@ func TopKServe(o Options) error {
 		return err
 	}
 	replayQ, err := measureTopKQueries(ctx, c, k, "replay", 200, st.Live)
+	var bestChainQ topkQueryRow
+	if err == nil {
+		// The long-lived server serves /v1/best from the chain (the default
+		// layout), so it doubles as the best-chain latency probe.
+		bestChainQ, err = measureBestQueries(ctx, c, "best-chain", 2000, st.Live)
+	}
 	ts.Close()
 	s.Close()
 	if err != nil {
 		return err
 	}
 	speedup := replayQ.P50Micros / contQ.P50Micros
+
+	// The legacy layout's /v1/best latency needs a dual-engine server over
+	// the same stream.
+	sDual, err := server.New(server.Config{
+		Algorithm:       surge.CellCSPOT,
+		Options:         opt,
+		TimePolicy:      server.Clamp,
+		BatchSize:       512,
+		TopK:            k,
+		BestFromEngines: true,
+	})
+	if err != nil {
+		return err
+	}
+	tsDual := httptest.NewServer(sDual.Handler())
+	cDual := client.New(tsDual.URL)
+	var bestEngQ topkQueryRow
+	if err = topkIngestBodies(ctx, cDual, bodies); err == nil {
+		bestEngQ, err = measureBestQueries(ctx, cDual, "best-engines", 2000, st.Live)
+	}
+	tsDual.Close()
+	sDual.Close()
+	if err != nil {
+		return err
+	}
 
 	t := NewTable(o.Out, fmt.Sprintf("TopK serve (Taxi, GOMAXPROCS=%d, k=%d): /v1/topk latency and ingest overhead",
 		runtime.GOMAXPROCS(0), k),
@@ -150,18 +214,30 @@ func TopKServe(o Options) error {
 	t.Row("query speedup (p50)", fmt.Sprintf("%.1fx", speedup))
 	t.Row("ingest replay-only (kobj/s)", fmt.Sprintf("%.1f", ingest[0].ObjectsPerSec/1e3))
 	t.Row("ingest continuous (kobj/s)", fmt.Sprintf("%.1f", ingest[1].ObjectsPerSec/1e3))
-	t.Row("ingest overhead (%)", fmt.Sprintf("%.1f", overhead))
+	t.Row("ingest overhead vs dual-engine (%)", fmt.Sprintf("%.1f", overhead))
+	t.Row("ingest overhead vs replay-only (%)", fmt.Sprintf("%.1f", replayOverhead))
+	t.Row("best p50 chain-served (us)", fmt.Sprintf("%.1f", bestChainQ.P50Micros))
+	t.Row("best p99 chain-served (us)", fmt.Sprintf("%.1f", bestChainQ.P99Micros))
+	t.Row("best p50 dual-engine (us)", fmt.Sprintf("%.1f", bestEngQ.P50Micros))
+	t.Row("best p99 dual-engine (us)", fmt.Sprintf("%.1f", bestEngQ.P99Micros))
+	t.Row("ingest chain-served (kobj/s)", fmt.Sprintf("%.1f", bestIngest[0].ObjectsPerSec/1e3))
+	t.Row("ingest dual-engine (kobj/s)", fmt.Sprintf("%.1f", bestIngest[1].ObjectsPerSec/1e3))
+	t.Row("bestserve ingest gain (%)", fmt.Sprintf("%.1f", bestGain))
 	t.Flush()
 
 	return o.writeJSONReport("BENCH_topk.json", topkReport{
-		Experiment:        "topkserve",
-		GoMaxProcs:        runtime.GOMAXPROCS(0),
-		K:                 k,
-		Shards:            opt.Shards,
-		Ingest:            ingest,
-		Query:             []topkQueryRow{contQ, replayQ},
-		QuerySpeedupP50:   speedup,
-		IngestOverheadPct: overhead,
+		Experiment:              "topkserve",
+		GoMaxProcs:              runtime.GOMAXPROCS(0),
+		K:                       k,
+		Shards:                  opt.Shards,
+		Ingest:                  ingest,
+		Query:                   []topkQueryRow{contQ, replayQ},
+		QuerySpeedupP50:         speedup,
+		IngestOverheadPct:       overhead,
+		ReplayIngestOverheadPct: replayOverhead,
+		BestIngest:              bestIngest,
+		BestQuery:               []topkQueryRow{bestChainQ, bestEngQ},
+		BestServeGainPct:        bestGain,
 	})
 }
 
@@ -173,16 +249,25 @@ func topkServeOptions(o Options, qw, qh, window float64) surge.Options {
 	return surge.Options{Width: qw, Height: qh, Window: window, Alpha: o.Alpha, Shards: shards}
 }
 
+// renamed relabels an ingest row for reuse under another comparison.
+func (r topkIngestRow) renamed(config string) topkIngestRow {
+	r.Config = config
+	return r
+}
+
 // topkIngestOnce stands a server up and fires the pre-encoded NDJSON bodies
-// concurrently, with the continuous top-k maintenance on or off.
-func topkIngestOnce(o Options, qw, qh, window float64, k int, replayOnly bool, bodies [][]byte, total int) (topkIngestRow, error) {
+// concurrently, with the continuous top-k maintenance on or off and —
+// when maintenance is on — with /v1/best served from the chain (default)
+// or from the legacy dual-engine layout (dualEngine).
+func topkIngestOnce(o Options, qw, qh, window float64, k int, replayOnly, dualEngine bool, bodies [][]byte, total int) (topkIngestRow, error) {
 	s, err := server.New(server.Config{
-		Algorithm:      surge.CellCSPOT,
-		Options:        topkServeOptions(o, qw, qh, window),
-		TimePolicy:     server.Clamp,
-		BatchSize:      512,
-		TopK:           k,
-		TopKReplayOnly: replayOnly,
+		Algorithm:       surge.CellCSPOT,
+		Options:         topkServeOptions(o, qw, qh, window),
+		TimePolicy:      server.Clamp,
+		BatchSize:       512,
+		TopK:            k,
+		TopKReplayOnly:  replayOnly,
+		BestFromEngines: dualEngine,
 	})
 	if err != nil {
 		return topkIngestRow{}, err
@@ -232,6 +317,32 @@ func topkIngestBodies(ctx context.Context, c *client.Client, bodies [][]byte) er
 		}
 	}
 	return nil
+}
+
+// measureBestQueries times n sequential /v1/best queries and reports
+// percentiles; the Mode labels which serving layout answered.
+func measureBestQueries(ctx context.Context, c *client.Client, label string, n, live int) (topkQueryRow, error) {
+	lats := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		st, err := c.Best(ctx)
+		if err != nil {
+			return topkQueryRow{}, fmt.Errorf("topkserve: %s query %d: %w", label, i, err)
+		}
+		lats = append(lats, float64(time.Since(start).Microseconds()))
+		if i == 0 && !st.Result.Found {
+			return topkQueryRow{}, fmt.Errorf("topkserve: %s: no region found over the bench stream", label)
+		}
+	}
+	sort.Float64s(lats)
+	return topkQueryRow{
+		Mode:      label,
+		K:         1,
+		LiveObjs:  live,
+		Queries:   n,
+		P50Micros: lats[len(lats)/2],
+		P99Micros: lats[len(lats)*99/100],
+	}, nil
 }
 
 // measureTopKQueries times n sequential /v1/topk queries in the given mode

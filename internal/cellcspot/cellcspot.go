@@ -20,6 +20,15 @@
 // Ud(c) equals the exact maximum burst score inside the cell, so the heap
 // key of a valid cell is exact and the lazy search loop can stop as soon as
 // the top cell is valid.
+//
+// The storage layout matches the packed representation of the top-k engine
+// (internal/topk): the cell map is keyed by grid.Cell.Pack (uint64 keys hit
+// the runtime's specialized map fast paths) and the heap stores its position
+// index inside the cells (cheap), so the per-event hot path hashes one word
+// and never probes a map for heap maintenance. Exact-score ties at the top
+// are resolved by core.CompareTopK — the one canonical selection order shared
+// with the sharded barrier merge and the top-k chain — so the reported region
+// is independent of heap order and shard partitioning.
 package cellcspot
 
 import (
@@ -29,7 +38,6 @@ import (
 	"surge/internal/core"
 	"surge/internal/geom"
 	"surge/internal/grid"
-	"surge/internal/iheap"
 	"surge/internal/sweep"
 )
 
@@ -94,6 +102,7 @@ type cell struct {
 	objs     []obj   // arrival-ordered; expired entries are tombstoned
 	dead     int     // tombstones in objs
 	curCount int     // objects currently in Wc
+	pos      int     // position in the engine heap; -1 when absent
 	us       float64 // static upper bound (Definition 7)
 	ud       float64 // dynamic upper bound (Eqn 3); +Inf before first search
 	cand     candidate
@@ -146,8 +155,8 @@ type Engine struct {
 	cfg   core.Config
 	mode  Mode
 	grid  grid.Grid
-	cells map[grid.Cell]*cell
-	heap  *iheap.Heap[grid.Cell]
+	cells map[uint64]*cell // keyed by grid.Cell.Pack (see the package comment)
+	heap  cheap
 	sr    sweep.Searcher
 	stats core.Stats
 
@@ -156,7 +165,7 @@ type Engine struct {
 
 	cellScratch  []grid.Cell
 	entryScratch []sweep.Entry
-	popScratch   []grid.Cell
+	popScratch   []*cell
 	free         []*cell // emptied cells kept for reuse (see recycle)
 }
 
@@ -171,8 +180,7 @@ func New(cfg core.Config, mode Mode) (*Engine, error) {
 		cfg:   cfg,
 		mode:  mode,
 		grid:  grid.Aligned(cfg.Width, cfg.Height),
-		cells: make(map[grid.Cell]*cell),
-		heap:  iheap.New[grid.Cell](),
+		cells: make(map[uint64]*cell),
 	}, nil
 }
 
@@ -203,7 +211,8 @@ func (e *Engine) Process(ev core.Event) {
 	cover := e.cfg.CoverRect(o.X, o.Y)
 	for _, ck := range e.cellScratch {
 		e.stats.CellsTouched++
-		c := e.cells[ck]
+		pk := ck.Pack()
+		c := e.cells[pk]
 		if c == nil {
 			if ev.Kind != core.New {
 				continue // object was filtered or unknown; nothing to undo
@@ -213,23 +222,21 @@ func (e *Engine) Process(ev core.Event) {
 				e.free = e.free[:n-1]
 				c.key = ck
 			} else {
-				c = &cell{key: ck, ud: math.Inf(1)}
+				c = &cell{key: ck, ud: math.Inf(1), pos: -1}
 			}
-			e.cells[ck] = c
+			e.cells[pk] = c
 		}
 		e.applyEvent(c, ev, cover)
 		if c.live() == 0 {
-			delete(e.cells, ck)
-			e.heap.Remove(ck)
+			delete(e.cells, pk)
+			e.heap.Remove(c)
 			e.recycle(c)
 			continue
 		}
 		if e.mode == ModeBase {
 			e.searchCell(c)
-			e.heap.Set(ck, e.candScore(c))
-		} else {
-			e.heap.Set(ck, c.bound())
 		}
+		e.heap.Set(c, e.heapKey(c))
 	}
 	if e.mode == ModeBase {
 		e.accountEventBoundary()
@@ -358,6 +365,7 @@ func (e *Engine) recycle(c *cell) {
 	c.objs = c.objs[:0]
 	c.dead = 0
 	c.curCount = 0
+	c.pos = -1
 	c.us = 0
 	c.ud = math.Inf(1)
 	c.cand = candidate{}
@@ -388,6 +396,15 @@ func (c *cell) bound() float64 {
 		return c.us
 	}
 	return c.ud
+}
+
+// heapKey returns the cell's heap priority: its exact candidate score in
+// ModeBase (no bounds are maintained there), the upper bound otherwise.
+func (e *Engine) heapKey(c *cell) float64 {
+	if e.mode == ModeBase {
+		return e.candScore(c)
+	}
+	return c.bound()
 }
 
 // candScore returns the burst score of the cell's candidate (0 when the last
@@ -448,54 +465,102 @@ func (e *Engine) Best() core.Result {
 
 func (e *Engine) bestCCS() core.Result {
 	for {
-		ck, _, ok := e.heap.Max()
+		c, u, ok := e.heap.Max()
 		if !ok {
 			return core.Result{}
 		}
-		c := e.cells[ck]
-		if c.cand.valid {
-			return e.resultOf(c)
+		if !c.cand.valid {
+			e.searchCell(c)
+			e.heap.Set(c, c.bound())
+			continue
 		}
-		e.searchCell(c)
-		e.heap.Set(ck, c.bound())
+		best := e.resultOf(c)
+		if !best.Found {
+			return best
+		}
+		if e.heap.SecondPrio() != u {
+			return best
+		}
+		return e.canonicalTieBest(c, u, best)
 	}
+}
+
+// canonicalTieBest resolves an exact-score tie at the top of the heap by
+// core.CompareTopK — the canonical selection order shared with the sharded
+// barrier merge and the top-k chain — so the reported region does not depend
+// on heap order or on how cells are partitioned across shards. It pops the
+// winning cell and every further cell whose key bitwise-equals the winning
+// key, keeps the CompareTopK-least result, and reinstates the popped cells.
+// Only bitwise float ties (in practice, identically loaded cells) enter this
+// path, so its extra heap work is negligible.
+func (e *Engine) canonicalTieBest(top *cell, u float64, best core.Result) core.Result {
+	e.popScratch = e.popScratch[:0]
+	e.heap.Remove(top)
+	e.popScratch = append(e.popScratch, top)
+	for {
+		c, cu, ok := e.heap.Max()
+		if !ok || cu != u {
+			break
+		}
+		if e.mode != ModeBase && !c.cand.valid {
+			e.searchCell(c)
+			e.heap.Set(c, c.bound())
+			continue
+		}
+		if r := e.resultOf(c); r.Found && core.CompareTopK(r, best) < 0 {
+			best = r
+		}
+		e.heap.Remove(c)
+		e.popScratch = append(e.popScratch, c)
+	}
+	for _, c := range e.popScratch {
+		e.heap.Set(c, e.heapKey(c))
+	}
+	return best
 }
 
 func (e *Engine) bestStatic() core.Result {
 	var best core.Result
 	e.popScratch = e.popScratch[:0]
 	for e.heap.Len() > 0 {
-		ck, u, _ := e.heap.Max()
-		if u <= best.Score || u <= 0 {
+		c, u, _ := e.heap.Max()
+		// Cells whose bound bitwise-equals the best score so far are still
+		// examined: they may hold an equal-score region that the canonical
+		// tie-break (core.CompareTopK) must prefer.
+		if u < best.Score || u <= 0 {
 			break
 		}
-		c := e.cells[ck]
 		if !c.cand.valid {
 			e.searchCell(c)
 		}
-		if sc := e.candScore(c); c.cand.found && sc > best.Score {
-			best = e.resultOf(c)
+		if c.cand.found {
+			if r := e.resultOf(c); r.Found && (!best.Found || core.CompareTopK(r, best) < 0) {
+				best = r
+			}
 		}
 		e.heap.PopMax()
-		e.popScratch = append(e.popScratch, ck)
+		e.popScratch = append(e.popScratch, c)
 	}
 	// Reinstate the popped cells with their (unchanged) static bounds.
-	for _, ck := range e.popScratch {
-		e.heap.Set(ck, e.cells[ck].us)
+	for _, c := range e.popScratch {
+		e.heap.Set(c, c.us)
 	}
 	return best
 }
 
 func (e *Engine) bestBase() core.Result {
-	ck, sc, ok := e.heap.Max()
+	c, sc, ok := e.heap.Max()
 	if !ok || sc <= 0 {
 		return core.Result{}
 	}
-	c := e.cells[ck]
 	if !c.cand.found {
 		return core.Result{}
 	}
-	return e.resultOf(c)
+	best := e.resultOf(c)
+	if best.Found && e.heap.SecondPrio() == sc {
+		return e.canonicalTieBest(c, sc, best)
+	}
+	return best
 }
 
 func (e *Engine) resultOf(c *cell) core.Result {

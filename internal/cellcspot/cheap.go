@@ -1,25 +1,23 @@
-package topk
+package cellcspot
 
 import "math"
 
-// kheap is an indexed max-heap over the engine's cells. Unlike the generic
-// iheap, the position index lives inside the cells themselves (kcell.spos
-// for the shared heap, kcell.hpos[ix] for a problem heap), so heap
-// maintenance — one Set per flushed cell, one Remove per dead cell, on the
-// per-event maintenance path — never touches a hash map. Replacing the
-// map-keyed heap removed the dominant cost (16-byte key hashing and map
-// probes) of continuous top-k maintenance.
-type kheap struct {
-	ix    int // position slot this heap maintains: -1 = shared, else problem index
-	cells []*kcell
+// cheap is an indexed max-heap over the engine's cells. Following the kheap
+// layout proven in internal/topk, the position index lives inside the cells
+// themselves (cell.pos), so heap maintenance — one Set per touched cell, one
+// Remove per emptied cell, on the per-event hot path — never probes a hash
+// map. On top of the kheap operations it supports the pop/reinstate loop of
+// the B-CCS best scan and the canonical tie drain (PopMax + SecondPrio).
+type cheap struct {
+	cells []*cell
 	prio  []float64
 }
 
 // Len returns the number of cells in the heap.
-func (h *kheap) Len() int { return len(h.cells) }
+func (h *cheap) Len() int { return len(h.cells) }
 
 // Max returns the cell with the highest priority without removing it.
-func (h *kheap) Max() (*kcell, float64, bool) {
+func (h *cheap) Max() (*cell, float64, bool) {
 	if len(h.cells) == 0 {
 		return nil, 0, false
 	}
@@ -28,9 +26,9 @@ func (h *kheap) Max() (*kcell, float64, bool) {
 
 // SecondPrio returns the second-highest priority in the heap — the larger of
 // the root's children, the only slots it can occupy — or -Inf when the heap
-// holds fewer than two cells. solve uses it to detect an exact-score tie at
-// the top without mutating the heap.
-func (h *kheap) SecondPrio() float64 {
+// holds fewer than two cells. The best loops use it to detect an exact-score
+// tie at the top without mutating the heap.
+func (h *cheap) SecondPrio() float64 {
 	switch len(h.cells) {
 	case 0, 1:
 		return math.Inf(-1)
@@ -44,8 +42,8 @@ func (h *kheap) SecondPrio() float64 {
 }
 
 // Set inserts c with priority p, or updates c's priority if present.
-func (h *kheap) Set(c *kcell, p float64) {
-	if i := c.pos(h.ix); i >= 0 {
+func (h *cheap) Set(c *cell, p float64) {
+	if i := c.pos; i >= 0 {
 		old := h.prio[i]
 		h.prio[i] = p
 		if p > old {
@@ -58,35 +56,42 @@ func (h *kheap) Set(c *kcell, p float64) {
 	h.cells = append(h.cells, c)
 	h.prio = append(h.prio, p)
 	i := len(h.cells) - 1
-	c.setPos(h.ix, i)
+	c.pos = i
 	h.up(i)
 }
 
 // Remove deletes c from the heap if present.
-func (h *kheap) Remove(c *kcell) {
-	i := c.pos(h.ix)
+func (h *cheap) Remove(c *cell) {
+	i := c.pos
 	if i < 0 {
 		return
 	}
 	last := len(h.cells) - 1
 	if i != last {
 		h.cells[i], h.prio[i] = h.cells[last], h.prio[last]
-		h.cells[i].setPos(h.ix, i)
+		h.cells[i].pos = i
 	}
 	h.cells = h.cells[:last]
 	h.prio = h.prio[:last]
-	c.setPos(h.ix, -1)
+	c.pos = -1
 	if i < last {
 		h.up(i)
 		h.down(i)
 	}
 }
 
-// up and down sift with a hole instead of pairwise swaps (see iheap): the
+// PopMax removes the root cell.
+func (h *cheap) PopMax() {
+	if len(h.cells) > 0 {
+		h.Remove(h.cells[0])
+	}
+}
+
+// up and down sift with a hole instead of pairwise swaps (see kheap): the
 // moving cell is held aside, displaced cells shift one level with a single
 // position write each, and the held cell is written once at its final slot.
 
-func (h *kheap) up(i int) {
+func (h *cheap) up(i int) {
 	j := i
 	c, p := h.cells[i], h.prio[i]
 	for j > 0 {
@@ -95,16 +100,16 @@ func (h *kheap) up(i int) {
 			break
 		}
 		h.cells[j], h.prio[j] = h.cells[parent], h.prio[parent]
-		h.cells[j].setPos(h.ix, j)
+		h.cells[j].pos = j
 		j = parent
 	}
 	if j != i {
 		h.cells[j], h.prio[j] = c, p
-		c.setPos(h.ix, j)
+		c.pos = j
 	}
 }
 
-func (h *kheap) down(i int) {
+func (h *cheap) down(i int) {
 	n := len(h.cells)
 	j := i
 	c, p := h.cells[i], h.prio[i]
@@ -122,11 +127,11 @@ func (h *kheap) down(i int) {
 			break
 		}
 		h.cells[j], h.prio[j] = h.cells[best], h.prio[best]
-		h.cells[j].setPos(h.ix, j)
+		h.cells[j].pos = j
 		j = best
 	}
 	if j != i {
 		h.cells[j], h.prio[j] = c, p
-		c.setPos(h.ix, j)
+		c.pos = j
 	}
 }

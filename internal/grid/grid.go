@@ -24,6 +24,20 @@ type Cell struct {
 	I, J int
 }
 
+// Pack encodes the cell coordinates into one uint64 (each index truncated to
+// its low 32 bits). The engines key their cell maps by packed cells so every
+// per-event lookup hits the runtime's specialized 64-bit-key map fast paths
+// instead of hashing a 16-byte struct; indices beyond ±2^31 would alias, far
+// outside any realistic grid extent.
+func (c Cell) Pack() uint64 {
+	return uint64(uint32(c.I))<<32 | uint64(uint32(c.J))
+}
+
+// Unpack inverts Pack for indices within ±2^31.
+func Unpack(k uint64) Cell {
+	return Cell{I: int(int32(k >> 32)), J: int(int32(k))}
+}
+
 // Grid is a regular grid with cell size CW x CH, whose lines are offset from
 // the origin by (OffX, OffY).
 type Grid struct {

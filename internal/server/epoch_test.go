@@ -1,0 +1,152 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"surge"
+)
+
+// TestSSEEpochCursor covers the restart-aware resume protocol: event ids
+// carry the server's stream epoch, Cursor round-trips through
+// SubscribeFromCursor on the same process as an exact resume, and a cursor
+// presented to a *different* process (a restart from checkpoint) degrades
+// to a fresh subscription with a resynchronising hello instead of a bogus
+// replay of unrelated event ids.
+func TestSSEEpochCursor(t *testing.T) {
+	objs := testObjects(73, 900, 6)
+	cfg := Config{
+		Algorithm: surge.CellCSPOT, Options: testOptions(2),
+		TimePolicy: Strict, BatchSize: 32, TopK: 3, NotifyRing: 4096,
+	}
+	srvA, _, cA := newTestServer(t, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	sub, err := cA.Subscribe(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Hello().Epoch == 0 {
+		t.Fatal("hello carries no stream epoch")
+	}
+	if sub.Hello().Epoch != srvA.epoch {
+		t.Fatalf("hello epoch %d != server epoch %d", sub.Hello().Epoch, srvA.epoch)
+	}
+	ingestChunks(ctx, t, cA, objs[:300], 100)
+
+	var lastSeq uint64
+	for i := 0; i < 3; i++ {
+		select {
+		case n := <-sub.Events():
+			lastSeq = n.Seq
+		case <-ctx.Done():
+			t.Fatal("no burst events")
+		}
+	}
+	cursor := sub.Cursor()
+	wantPrefix := fmt.Sprintf("%d.", srvA.epoch)
+	if !strings.HasPrefix(cursor, wantPrefix) {
+		t.Fatalf("cursor %q does not carry the server epoch %d", cursor, srvA.epoch)
+	}
+	sub.Close()
+	// The reader may have decoded past the last processed notification;
+	// using its final cursor keeps the resumed stream gap-free from the
+	// client's own high-water mark.
+	cursor = sub.Cursor()
+
+	ingestChunks(ctx, t, cA, objs[300:600], 100)
+
+	// Same process: the cursor resumes exactly — no hello, no resync,
+	// seq-continuous burst stream.
+	sub2, err := cA.SubscribeFromCursor(ctx, cursor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub2.Resumed() || sub2.Hello().Seq != 0 {
+		t.Fatalf("same-process cursor did not resume: hello %+v", sub2.Hello())
+	}
+	st, err := cA.Best(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := lastSeq
+	for seen < st.Seq {
+		select {
+		case n, ok := <-sub2.Events():
+			if !ok {
+				t.Fatalf("resumed subscription closed: %v", sub2.Err())
+			}
+			if n.Seq <= seen {
+				t.Fatalf("resumed burst seq %d after %d", n.Seq, seen)
+			}
+			seen = n.Seq
+		case <-sub2.TopKEvents():
+		case <-ctx.Done():
+			t.Fatalf("timed out resuming: at seq %d of %d", seen, st.Seq)
+		}
+	}
+	if sub2.Resynced() {
+		t.Fatal("same-process resume reported a resync")
+	}
+	if !strings.HasPrefix(sub2.Cursor(), wantPrefix) {
+		t.Fatalf("resumed cursor %q lost the epoch", sub2.Cursor())
+	}
+	sub2.Close()
+	cursor = sub2.Cursor()
+
+	// "Restart": a second server seeded from A's checkpoint. Same detector
+	// state, different process — different epoch, empty replay ring.
+	ckpt, err := srvA.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := cfg
+	cfgB.Checkpoint = ckpt
+	srvB, _, cB := newTestServer(t, cfgB)
+	if srvB.epoch == srvA.epoch {
+		t.Fatalf("restarted server reused epoch %d", srvA.epoch)
+	}
+
+	sub3, err := cB.SubscribeFromCursor(ctx, cursor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub3.Close()
+	// The foreign-epoch cursor cannot be honoured: the server opens a fresh
+	// subscription and resynchronises with a hello, delivered on the stream.
+	deadline := time.Now().Add(30 * time.Second)
+	for !sub3.Resynced() {
+		if time.Now().After(deadline) {
+			t.Fatal("restarted server never resynchronised the foreign cursor")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := sub3.Hello().Epoch; got != srvB.epoch {
+		t.Fatalf("resync hello epoch %d, want %d", got, srvB.epoch)
+	}
+	// The resync hello re-bases the cursor onto the new process's stream.
+	ingestChunks(ctx, t, cB, objs[600:], 100)
+	select {
+	case n := <-sub3.Events():
+		if n.Seq == 0 {
+			t.Fatal("no burst after resync")
+		}
+	case <-ctx.Done():
+		t.Fatal("no burst events after resync")
+	}
+	if !strings.HasPrefix(sub3.Cursor(), fmt.Sprintf("%d.", srvB.epoch)) {
+		t.Fatalf("post-resync cursor %q not on epoch %d", sub3.Cursor(), srvB.epoch)
+	}
+
+	// Malformed cursors are rejected client-side.
+	if _, err := cB.SubscribeFromCursor(ctx, "not-a-cursor"); err == nil {
+		t.Fatal("malformed cursor accepted")
+	}
+	if _, err := cB.SubscribeFromCursor(ctx, "12.34.56"); err == nil {
+		t.Fatal("double-dotted cursor accepted")
+	}
+}

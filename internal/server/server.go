@@ -27,6 +27,8 @@
 package server
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -82,6 +84,16 @@ type Config struct {
 	// /v1/topk then answers every query by checkpoint replay (the pre-
 	// maintenance behaviour) and no "topk" SSE events are published.
 	TopKReplayOnly bool
+	// BestFromEngines keeps the legacy dual-engine serving layout: the
+	// single-region engines answer /v1/best while the maintained top-k chain
+	// answers /v1/topk. By default (false), an algorithm whose chain rank-1
+	// answer is bitwise its single-region answer retires the single-region
+	// engines and serves both endpoints from the one maintained chain
+	// (surge.Detector.AttachTopKBest), removing the duplicated per-event
+	// engine maintenance from the ingest path. Ignored when TopKReplayOnly
+	// is set (no chain is maintained) and for algorithms without an exact
+	// chain counterpart (AG2, Oracle).
+	BestFromEngines bool
 	// NotifyRing is the number of recent SSE events retained for
 	// Last-Event-ID reconnect backfill (0 = 256).
 	NotifyRing int
@@ -131,6 +143,14 @@ type Server struct {
 	seq      uint64              // bursty-region change sequence number
 	tkSeq    uint64              // top-k change sequence number
 	eid      uint64              // SSE event id, shared by both event kinds
+
+	// epoch identifies this server process's notification stream: SSE event
+	// ids are rendered "epoch.eid", so a Last-Event-ID cursor taken before a
+	// process restart (whose ring is gone and whose eids restart from 1) is
+	// recognised and answered with a fresh hello instead of a bogus resume.
+	// Random and nonzero; constant for the server's lifetime, including
+	// across /v1/restore (the ring stays continuous there).
+	epoch uint64
 
 	// topkSnap is the latest maintained top-k answer, swapped in whole by
 	// the event loop: /v1/topk serves it with one atomic load — O(1) per
@@ -190,6 +210,7 @@ func New(cfg Config) (*Server, error) {
 		quit:   make(chan struct{}),
 		done:   make(chan struct{}),
 		start:  time.Now(),
+		epoch:  newEpoch(),
 		det:    det,
 		clock:  det.Now(),
 		last:   det.Best(),
@@ -211,7 +232,7 @@ func New(cfg Config) (*Server, error) {
 		s.hub.ringCap = 256
 	}
 	if !cfg.TopKReplayOnly {
-		tdet, err := det.AttachTopK(topKAlgorithm(cfg.Algorithm), cfg.TopK)
+		tdet, err := s.attachMaintained(det)
 		if err != nil {
 			det.Close()
 			return nil, err
@@ -219,10 +240,45 @@ func New(cfg Config) (*Server, error) {
 		s.tdet = tdet
 		s.lastTopK = append(s.lastTopK, tdet.BestK()...)
 		s.topkSnap.Store(s.topkWire(s.lastTopK))
+		s.last = det.Best() // serve-from-chain may have swapped the source
 	}
 	s.routes()
 	go s.loop()
 	return s, nil
+}
+
+// newEpoch draws the random nonzero stream epoch for a server instance.
+// Two distinct processes (or two Servers in one process) get different
+// epochs with overwhelming probability, so a client cursor from one never
+// silently resumes mid-ring on another.
+func newEpoch() uint64 {
+	var b [8]byte
+	for i := 0; i < 4; i++ {
+		if _, err := rand.Read(b[:]); err != nil {
+			break
+		}
+		if e := binary.LittleEndian.Uint64(b[:]); e != 0 {
+			return e
+		}
+	}
+	return uint64(time.Now().UnixNano()) | 1
+}
+
+// serveBestFromChain reports whether this server retires the single-region
+// engines and serves /v1/best from the maintained chain's rank-1 region.
+func (s *Server) serveBestFromChain() bool {
+	return !s.cfg.TopKReplayOnly && !s.cfg.BestFromEngines && chainServesBest(s.cfg.Algorithm)
+}
+
+// attachMaintained attaches the maintained top-k detector to det — by
+// default taking over Best serving too (AttachTopKBest), so one maintained
+// engine family answers /v1/best, /v1/topk and the notification stream.
+func (s *Server) attachMaintained(det *surge.Detector) (*surge.TopKDetector, error) {
+	alg := topKAlgorithm(s.cfg.Algorithm)
+	if s.serveBestFromChain() {
+		return det.AttachTopKBest(alg, s.cfg.TopK)
+	}
+	return det.AttachTopK(alg, s.cfg.TopK)
 }
 
 // topkWire converts a maintained top-k answer to its wire snapshot.
@@ -445,6 +501,7 @@ func (s *Server) state() client.State {
 	st := s.det.Stats()
 	return client.State{
 		Seq:    s.seq,
+		Epoch:  s.epoch,
 		Events: s.eid,
 		Now:    s.det.Now(),
 		Live:   s.det.Live(),
@@ -500,7 +557,7 @@ func (s *Server) Restore(data []byte) error {
 			nd.Close()
 			return derr
 		}
-		if ntd, err = nd.AttachTopK(topKAlgorithm(s.cfg.Algorithm), s.cfg.TopK); err != nil {
+		if ntd, err = s.attachMaintained(nd); err != nil {
 			nd.Close()
 			// The old detector keeps serving: restore its maintained top-k
 			// (the seeding replay runs on the loop here — error path only)
@@ -539,7 +596,7 @@ func (s *Server) reattachTopK() {
 		if s.tdet != nil {
 			return
 		}
-		td, err := s.det.AttachTopK(topKAlgorithm(s.cfg.Algorithm), s.cfg.TopK)
+		td, err := s.attachMaintained(s.det)
 		if err != nil {
 			// Drop the frozen snapshot so k<=K queries fall through to the
 			// replay path instead of serving an ever-staler answer.
@@ -654,6 +711,23 @@ func topKAlgorithm(alg surge.Algorithm) surge.Algorithm {
 	}
 }
 
+// chainServesBest reports whether the maintained chain's rank-1 region is
+// bitwise the algorithm's single-region answer, making serve-from-chain
+// (AttachTopKBest) exact: the exact family (CCS, B-CCS, Base — all report
+// the exact bursty region the kCCS chain's first problem solves) and the
+// grid approximations paired with their own chains (GAPS with kGAPS, MGAPS
+// with kMGAPS). AG2 answers differ from the exact chain's, and the Oracle
+// top-k uses its own recomputation fold, so both keep the dual-engine
+// layout.
+func chainServesBest(alg surge.Algorithm) bool {
+	switch alg {
+	case surge.CellCSPOT, surge.StaticBound, surge.Baseline, surge.GridApprox, surge.MultiGrid:
+		return true
+	default:
+		return false
+	}
+}
+
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	data, err := s.Snapshot()
 	if err != nil {
@@ -749,6 +823,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		continuous = 1
 	}
 	writeMetric(w, "surge_topk_continuous", "gauge", "Whether a continuously maintained top-k detector is serving /v1/topk.", continuous)
+	fromChain := 0.0
+	if s.serveBestFromChain() {
+		fromChain = 1
+	}
+	writeMetric(w, "surge_best_from_chain", "gauge", "Whether /v1/best is served from the maintained top-k chain's rank-1 region.", fromChain)
 	writeMetric(w, "surge_topk_k", "gauge", "k of the maintained top-k detector (and the default query k).", float64(s.cfg.TopK))
 	writeMetric(w, "surge_snapshots_total", "counter", "Checkpoints taken.", float64(s.snapshots.Load()))
 	writeMetric(w, "surge_restores_total", "counter", "Checkpoints restored.", float64(s.restores.Load()))

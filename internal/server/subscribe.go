@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -44,12 +45,12 @@ func (f *frame) setDropped(d uint64) {
 	}
 }
 
-// write renders the frame as one SSE event.
-func (f *frame) write(w io.Writer) error {
+// write renders the frame as one SSE event under the given stream epoch.
+func (f *frame) write(w io.Writer, epoch uint64) error {
 	if f.topk {
-		return writeEvent(w, "topk", f.eid, f.tk)
+		return writeEvent(w, "topk", epoch, f.eid, f.tk)
 	}
-	return writeEvent(w, "burst", f.eid, f.burst)
+	return writeEvent(w, "burst", epoch, f.eid, f.burst)
 }
 
 // subscriber is one open /v1/subscribe stream. The channel is written only
@@ -196,6 +197,14 @@ func (sub *subscriber) trySend(f frame) bool {
 // (Config.NotifyRing) with their original ids, events evicted from the ring
 // are counted in the first replayed event's Dropped field, and no hello is
 // sent.
+//
+// Event ids carry the server's stream epoch ("epoch.eid"). A cursor whose
+// epoch does not match this server — the process restarted, or the client
+// moved between servers — cannot be resumed (the ring it points into is
+// gone and eids restarted from 1), so the subscription degrades to a fresh
+// one: a new hello resynchronises the client instead of replaying frames
+// that happen to share the numeric id. Bare numeric cursors (pre-epoch
+// clients) keep the legacy same-process resume semantics.
 func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
@@ -203,7 +212,10 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sub := &subscriber{ch: make(chan frame, s.subBuf)}
-	lastID, resume := lastEventID(r)
+	lastEpoch, lastID, resume := lastEventID(r)
+	if resume && lastEpoch != 0 && lastEpoch != s.epoch {
+		resume = false // foreign-epoch cursor: resync with a fresh hello
+	}
 	var backlog []frame
 	if resume {
 		backlog = s.hub.addResuming(sub, lastID)
@@ -224,11 +236,11 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Accel-Buffering", "no")
 	if resume {
 		for i := range backlog {
-			if err := backlog[i].write(w); err != nil {
+			if err := backlog[i].write(w, s.epoch); err != nil {
 				return
 			}
 		}
-	} else if err := writeEvent(w, "hello", st.Events, st); err != nil {
+	} else if err := writeEvent(w, "hello", s.epoch, st.Events, st); err != nil {
 		return
 	}
 	fl.Flush()
@@ -239,7 +251,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case f := <-sub.ch:
-			if err := f.write(w); err != nil {
+			if err := f.write(w, s.epoch); err != nil {
 				return
 			}
 			fl.Flush()
@@ -256,26 +268,41 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// lastEventID parses the SSE reconnect header. A malformed value is treated
-// as a fresh subscription.
-func lastEventID(r *http.Request) (uint64, bool) {
+// lastEventID parses the SSE reconnect header: "epoch.eid" as stamped on
+// every event this server emits, or a bare "eid" from a pre-epoch client
+// (returned with epoch 0, meaning "same process assumed"). A malformed
+// value is treated as a fresh subscription.
+func lastEventID(r *http.Request) (epoch, id uint64, ok bool) {
 	v := r.Header.Get("Last-Event-ID")
 	if v == "" {
-		return 0, false
+		return 0, 0, false
+	}
+	if e, n, found := strings.Cut(v, "."); found {
+		epoch, err := strconv.ParseUint(e, 10, 64)
+		if err != nil {
+			return 0, 0, false
+		}
+		id, err := strconv.ParseUint(n, 10, 64)
+		if err != nil {
+			return 0, 0, false
+		}
+		return epoch, id, true
 	}
 	id, err := strconv.ParseUint(v, 10, 64)
 	if err != nil {
-		return 0, false
+		return 0, 0, false
 	}
-	return id, true
+	return 0, id, true
 }
 
-// writeEvent renders one SSE frame.
-func writeEvent(w io.Writer, event string, id uint64, payload any) error {
+// writeEvent renders one SSE frame. The id field is "epoch.eid": eid orders
+// events within one server process, epoch distinguishes processes so a
+// cursor survives a restart (see handleSubscribe).
+func writeEvent(w io.Writer, event string, epoch, id uint64, payload any) error {
 	data, err := json.Marshal(payload)
 	if err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", event, id, data)
+	_, err = fmt.Fprintf(w, "event: %s\nid: %d.%d\ndata: %s\n\n", event, epoch, id, data)
 	return err
 }

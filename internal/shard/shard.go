@@ -150,6 +150,13 @@ type Pipeline struct {
 	shardSeq  []uint64 // per-shard event counters; chains skip re-solving clean shards
 	nextChain int      // next top-k chain id
 	tgt       [3]int   // Route/seed target scratch (single-caller contract)
+
+	// noEngines records that the workers run no single-region engines — a
+	// top-k-only pipeline (factory == nil) or one whose engines were dropped
+	// by DropEngines. It is the coordinator-side mirror of the workers'
+	// w.eng == nil state: Query must not read w.eng (the workers write it on
+	// their own goroutines), so it consults this flag instead.
+	noEngines bool
 }
 
 // New builds a pipeline of `shards` engines over the given base config with
@@ -202,6 +209,7 @@ func NewWithParams(cfg core.Config, shards, blockCols int, par Params, factory E
 		s := make([]core.Event, 0, batchCap)
 		return &s
 	}
+	p.noEngines = factory == nil
 	for i := 0; i < shards; i++ {
 		var eng core.Engine
 		if factory != nil {
@@ -284,6 +292,8 @@ func (p *Pipeline) runOp(w *worker, op *tkOp) {
 		if eng := w.chainEngine(op.id); eng != nil {
 			eng.ApplyRank(op.i, op.old, op.sel)
 		}
+	case tkDropEng:
+		w.eng = nil
 	}
 }
 
@@ -383,16 +393,18 @@ func (p *Pipeline) flushTarget(s int) int {
 }
 
 // Query flushes the event buffers, waits for every shard to drain, and
-// returns the merged bursty region (maximum score, ties to the lowest shard
-// index) together with the summed engine statistics. It is the pipeline's
-// only synchronisation point: after Query returns, every routed event has
-// been applied.
+// returns the merged bursty region together with the summed engine
+// statistics. Equal-score shard answers are merged by core.CompareTopK — the
+// canonical cross-family selection order the engines themselves use — so the
+// merged answer is bit-identical to a single engine's no matter how cells
+// are partitioned. It is the pipeline's only synchronisation point: after
+// Query returns, every routed event has been applied.
 func (p *Pipeline) Query() (core.Result, core.Stats, error) {
 	if p.closed {
 		return core.Result{}, core.Stats{}, errors.New("shard: pipeline is closed")
 	}
-	if p.workers[0].eng == nil {
-		return core.Result{}, core.Stats{}, errors.New("shard: top-k-only pipeline has no single-region engines")
+	if p.noEngines {
+		return core.Result{}, core.Stats{}, errors.New("shard: pipeline has no single-region engines")
 	}
 	for i, w := range p.workers {
 		w.ch <- batch{evs: p.pending[i], q: p.replyc}
@@ -405,7 +417,7 @@ func (p *Pipeline) Query() (core.Result, core.Stats, error) {
 	}
 	var best core.Result
 	for _, r := range p.results {
-		if r.Found && (!best.Found || r.Score > best.Score) {
+		if r.Found && (!best.Found || core.CompareTopK(r, best) < 0) {
 			best = r
 		}
 	}
@@ -418,6 +430,22 @@ func (p *Pipeline) Query() (core.Result, core.Stats, error) {
 		st.CellsTouched += s.CellsTouched
 	}
 	return best, st, nil
+}
+
+// DropEngines permanently retires the single-region engines: each worker
+// drops its engine on its own goroutine (freeing the engine's state for
+// collection) and stops feeding routed events to it, while attached top-k
+// chains keep running. Query fails afterwards — callers switch to serving
+// from an attached chain before dropping. DropEngines is idempotent and a
+// no-op on a top-k-only or closed pipeline.
+func (p *Pipeline) DropEngines() {
+	if p.closed || p.noEngines {
+		return
+	}
+	p.noEngines = true
+	for _, w := range p.workers {
+		w.ch <- batch{op: &tkOp{kind: tkDropEng}}
+	}
 }
 
 // Close stops the shard goroutines and waits for them to exit. Buffered

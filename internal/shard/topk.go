@@ -33,10 +33,11 @@ type TopKFactory func(cfg core.Config) (core.TopKShard, error)
 
 // Op kinds of the worker-side top-k protocol (batch.op).
 const (
-	tkAttach uint8 = iota // install op.eng for chain op.id, apply op.seed
-	tkDetach              // remove chain op.id's engine
-	tkSolve               // answer ProblemBest(op.i) on op.resc
-	tkApply               // ApplyRank(op.i, op.old, op.sel), no reply
+	tkAttach  uint8 = iota // install op.eng for chain op.id, apply op.seed
+	tkDetach               // remove chain op.id's engine
+	tkSolve                // answer ProblemBest(op.i) on op.resc
+	tkApply                // ApplyRank(op.i, op.old, op.sel), no reply
+	tkDropEng              // drop the worker's single-region engine (DropEngines)
 )
 
 // tkOp is one top-k chain operation shipped to a worker inside a batch.
@@ -66,16 +67,31 @@ type TopKChain struct {
 	id int
 	k  int
 
-	top      []core.Result // committed global answers, by rank
-	ans      []core.Result // per-shard cached problem answers
-	lastProb []int         // problem index each cached answer solved
-	seenSh   []uint64      // pipeline shardSeq at each shard's last solve
-	stats    []core.Stats  // per-shard engine stats from the last resolve
-	out      []core.Result // last resolved answer, reused across queries
-	sum      core.Stats
+	top   []core.Result // committed global answers, by rank
+	ans   []core.Result // per-shard current problem contribution
+	stats []core.Stats  // per-shard engine stats from each shard's last solve
+	out   []core.Result // last resolved answer, reused across queries
+	sum   core.Stats
+
+	// Steady-state caches: per-(shard, problem) solved answers and
+	// per-(shard, rank) committed selections, each stamped by a chain-local
+	// monotone counter so validity checks can order solves against commits
+	// (see pValid and applyIsNoop). In the steady state — answers stable,
+	// events confined to a few shards — a query touches only the shards
+	// whose problem-1 answer can have changed and re-commits nothing.
+	ansP      [][]core.Result // [shard][problem-1] last solved answer
+	ansOK     [][]bool
+	ansSeq    [][]uint64      // pipeline shardSeq at the solve
+	ansStamp  [][]uint64      // stamp at the solve
+	rankSel   [][]core.Result // [shard][rank-1] last committed selection
+	rankOK    [][]bool
+	rankSeq   [][]uint64 // pipeline shardSeq at the commit
+	rankStamp [][]uint64 // stamp of the commit
+	stamp     uint64
 
 	replyc   chan tkReply
 	aff      []int  // affected-shard scratch
+	solves   []int  // rank-stage solve scratch
 	seenSeq  uint64 // routeSeq at the last resolve
 	valid    bool   // out/sum hold a resolved answer
 	detached bool
@@ -116,17 +132,34 @@ func (p *Pipeline) AttachTopK(k int, factory TopKFactory, seed []core.Event) (*T
 	p.flushPending()
 	id := p.nextChain
 	p.nextChain++
+	n := len(p.workers)
 	c := &TopKChain{
-		p:        p,
-		id:       id,
-		k:        k,
-		top:      make([]core.Result, k),
-		ans:      make([]core.Result, len(p.workers)),
-		lastProb: make([]int, len(p.workers)),
-		seenSh:   make([]uint64, len(p.workers)),
-		stats:    make([]core.Stats, len(p.workers)),
-		out:      make([]core.Result, 0, k),
-		replyc:   make(chan tkReply, len(p.workers)),
+		p:         p,
+		id:        id,
+		k:         k,
+		top:       make([]core.Result, k),
+		ans:       make([]core.Result, n),
+		stats:     make([]core.Stats, n),
+		out:       make([]core.Result, 0, k),
+		ansP:      make([][]core.Result, n),
+		ansOK:     make([][]bool, n),
+		ansSeq:    make([][]uint64, n),
+		ansStamp:  make([][]uint64, n),
+		rankSel:   make([][]core.Result, n),
+		rankOK:    make([][]bool, n),
+		rankSeq:   make([][]uint64, n),
+		rankStamp: make([][]uint64, n),
+		replyc:    make(chan tkReply, n),
+	}
+	for s := 0; s < n; s++ {
+		c.ansP[s] = make([]core.Result, k)
+		c.ansOK[s] = make([]bool, k)
+		c.ansSeq[s] = make([]uint64, k)
+		c.ansStamp[s] = make([]uint64, k)
+		c.rankSel[s] = make([]core.Result, k)
+		c.rankOK[s] = make([]bool, k)
+		c.rankSeq[s] = make([]uint64, k)
+		c.rankStamp[s] = make([]uint64, k)
 	}
 	for i, w := range p.workers {
 		w.ch <- batch{op: &tkOp{kind: tkAttach, id: id, eng: engines[i], seed: seeds[i]}}
@@ -164,6 +197,58 @@ func (p *Pipeline) flushPending() {
 // K returns the chain's k.
 func (c *TopKChain) K() int { return c.k }
 
+// pValid reports whether shard s's cached answer for problem prob (1-based)
+// is still exact: the shard saw no event since the solve, and no commit at a
+// rank below the problem landed on the shard after it. Only those commits
+// can change what the problem sees — a demotion to rank r < prob hides an
+// object from problem prob and a promotion at rank r < prob re-exposes one,
+// while commits at ranks >= prob move levels only within the problem's
+// visible range.
+func (c *TopKChain) pValid(s, prob int) bool {
+	if !c.ansOK[s][prob-1] || c.ansSeq[s][prob-1] != c.p.shardSeq[s] {
+		return false
+	}
+	for r := 1; r < prob; r++ {
+		if c.rankOK[s][r-1] && c.rankStamp[s][r-1] > c.ansStamp[s][prob-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyIsNoop reports whether re-committing sel at rank i to shard s is a
+// provable no-op, so the commit can be skipped. A re-commit with old == sel
+// reduces to "demote every object covering sel's point with level > i to i"
+// (the promotion pass touches nothing: all level-i covering objects are in
+// the new selection's id set). Right after the shard last applied this very
+// commit, no covering object sat above level i. Since then, a covering
+// object can only have risen above i through a new arrival (guarded by
+// shardSeq) or a promotion — and promotions happen only at commits whose
+// selection changed, which re-stamp their rank — at a rank r <= i, guarded
+// by comparing the other ranks' commit stamps against ours (a changed
+// commit at rank i itself re-stamped rankSel, failing the equality).
+func (c *TopKChain) applyIsNoop(s, i int, old, sel core.Result) bool {
+	if old != sel || !c.rankOK[s][i-1] || c.rankSel[s][i-1] != sel || c.rankSeq[s][i-1] != c.p.shardSeq[s] {
+		return false
+	}
+	for r := 1; r < i; r++ {
+		if c.rankOK[s][r-1] && c.rankStamp[s][r-1] > c.rankStamp[s][i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// recordSolve caches one shard's solved problem answer.
+func (c *TopKChain) recordSolve(r tkReply, prob int) {
+	c.ans[r.idx] = r.res
+	c.stats[r.idx] = r.stats
+	c.ansP[r.idx][prob-1] = r.res
+	c.ansOK[r.idx][prob-1] = true
+	c.ansSeq[r.idx][prob-1] = c.p.shardSeq[r.idx]
+	c.ansStamp[r.idx][prob-1] = c.stamp
+}
+
 // Query runs the cross-shard greedy chain and returns the global top-k
 // regions in rank order (slots beyond the non-empty regions have Found ==
 // false) together with the summed engine statistics. The returned slice is
@@ -173,12 +258,20 @@ func (c *TopKChain) K() int { return c.k }
 // that flushes the routed events, then walks the ranks: select the global
 // winner, commit it with ApplyRank on the shards whose blocks the winner's
 // (and the previously committed answer's) coverage can reach, and re-solve
-// the next problem on exactly those shards. An untouched shard's cached
-// answer remains exact: had it held any object at a level <= the current
-// rank, that object would cover a committed point and the shard would have
-// been in the affected set — so its problems i and i+1 see identical content
-// and one answer serves both. When no event arrived since the last resolve
-// the cached answer is returned without touching the workers.
+// the next problem on exactly those shards. An untouched shard's current
+// contribution remains exact: had it held any object at a level <= the
+// current rank, that object would cover a committed point and the shard
+// would have been in the affected set — so its problems i and i+1 see
+// identical content and one answer serves both.
+//
+// Repeat work is skipped through the per-(shard, problem) answer cache and
+// the per-(shard, rank) commit record: a commit whose selection a shard
+// already holds (applyIsNoop) is not re-sent, and a problem whose cached
+// answer is untouched by events and later commits (pValid) is not re-solved.
+// When no event at all arrived since the last resolve the whole answer is
+// returned without touching the workers; in the steady state — stable
+// answers, events confined to a few shards — a query costs one solve per
+// event-receiving shard and nothing else.
 func (c *TopKChain) Query() ([]core.Result, core.Stats, error) {
 	p := c.p
 	if p.closed || c.detached {
@@ -187,14 +280,13 @@ func (c *TopKChain) Query() ([]core.Result, core.Stats, error) {
 	if c.valid && c.seenSeq == p.routeSeq {
 		return c.out, c.sum, nil
 	}
-	// Re-solve problem 1 only where it can have changed: a shard whose
-	// cached answer already solves problem 1 and that received no event
-	// since that solve would answer identically, so its cache stands. (A
-	// shard affected by a rank commit was re-solved at the next problem,
-	// which set its lastProb above 1, so it cannot take this skip.)
+	// Re-solve problem 1 only where it can have changed: commits never alter
+	// what problem 1 sees, so a shard's cached problem-1 answer stands until
+	// an event reaches the shard.
 	need := 0
 	for i, w := range p.workers {
-		if c.valid && c.lastProb[i] == 1 && c.seenSh[i] == p.shardSeq[i] {
+		if c.pValid(i, 1) {
+			c.ans[i] = c.ansP[i][0]
 			continue
 		}
 		w.ch <- batch{evs: p.pending[i], op: &tkOp{kind: tkSolve, id: c.id, i: 1, resc: c.replyc}}
@@ -202,11 +294,7 @@ func (c *TopKChain) Query() ([]core.Result, core.Stats, error) {
 		need++
 	}
 	for ; need > 0; need-- {
-		r := <-c.replyc
-		c.ans[r.idx] = r.res
-		c.stats[r.idx] = r.stats
-		c.lastProb[r.idx] = 1
-		c.seenSh[r.idx] = p.shardSeq[r.idx]
+		c.recordSolve(<-c.replyc, 1)
 	}
 	for i := 1; i <= c.k; i++ {
 		var sel core.Result
@@ -225,17 +313,30 @@ func (c *TopKChain) Query() ([]core.Result, core.Stats, error) {
 			break
 		}
 		c.aff = p.affectedShards(c.aff[:0], old, sel)
+		c.solves = c.solves[:0]
 		for _, s := range c.aff {
-			p.workers[s].ch <- batch{op: &tkOp{kind: tkApply, id: c.id, i: i, old: old, sel: sel}}
+			if !c.applyIsNoop(s, i, old, sel) {
+				p.workers[s].ch <- batch{op: &tkOp{kind: tkApply, id: c.id, i: i, old: old, sel: sel}}
+				c.stamp++
+				c.rankSel[s][i-1] = sel
+				c.rankOK[s][i-1] = true
+				c.rankSeq[s][i-1] = p.shardSeq[s]
+				c.rankStamp[s][i-1] = c.stamp
+			}
+			// A commit just sent stamped rank i above the cached answer's
+			// solve, so pValid fails and the shard re-solves; a skipped
+			// commit leaves a still-valid cache servable as-is.
+			if c.pValid(s, i+1) {
+				c.ans[s] = c.ansP[s][i]
+				continue
+			}
+			c.solves = append(c.solves, s)
 		}
-		for _, s := range c.aff {
+		for _, s := range c.solves {
 			p.workers[s].ch <- batch{op: &tkOp{kind: tkSolve, id: c.id, i: i + 1, resc: c.replyc}}
 		}
-		for range c.aff {
-			r := <-c.replyc
-			c.ans[r.idx] = r.res
-			c.stats[r.idx] = r.stats
-			c.lastProb[r.idx] = i + 1
+		for range c.solves {
+			c.recordSolve(<-c.replyc, i+1)
 		}
 	}
 	c.out = append(c.out[:0], c.top...)

@@ -59,7 +59,6 @@ package topk
 
 import (
 	"math"
-	"slices"
 
 	"surge/internal/core"
 	"surge/internal/geom"
@@ -172,7 +171,7 @@ type KCCS struct {
 	cfg   core.Config
 	k     int
 	grid  grid.Grid
-	cells map[uint64]*kcell // keyed by ckey: packed cell coordinates hit the fast64 map path
+	cells map[uint64]*kcell // keyed by grid.Cell.Pack: packed coordinates hit the fast64 map path
 	main  kheap             // unsplit cells, one shared key each
 	aux   []kheap           // split cells, one heap per problem
 	sr    sweep.Searcher
@@ -187,8 +186,11 @@ type KCCS struct {
 	cellScratch  []grid.Cell
 	entryScratch []sweep.Entry
 	covScratch   []kobj   // covering() results (copies of cell entries)
+	covMerge     []kobj   // covering() merge buffer (sharded 3-cell union)
 	selScratch   []kobj   // applyRank's saved covering(selP) set
 	idScratch    []uint64 // ids consumed by the new rank point, ascending
+	tieShared    []*kcell // canonicalSolve's popped unsplit cells
+	tieSplit     []*kcell // canonicalSolve's popped split cells
 	out          []core.Result
 }
 
@@ -246,7 +248,7 @@ func (e *KCCS) Process(ev core.Event) {
 	dp := o.Weight / e.cfg.WP
 	for _, ck := range e.cellScratch {
 		e.stats.CellsTouched++
-		c := e.cells[ckey(ck)]
+		c := e.cells[ck.Pack()]
 		if c == nil {
 			if ev.Kind != core.New {
 				continue // object was filtered or unknown; nothing to undo
@@ -271,7 +273,7 @@ func (e *KCCS) Process(ev core.Event) {
 
 // dropCell removes an emptied cell from the map and heaps and retires it.
 func (e *KCCS) dropCell(c *kcell) {
-	delete(e.cells, ckey(c.key))
+	delete(e.cells, c.key.Pack())
 	if c.split {
 		for i := range e.aux {
 			e.aux[i].Remove(c)
@@ -490,7 +492,7 @@ func (e *KCCS) newCell(ck grid.Cell) *kcell {
 		c = &kcell{sud: math.Inf(1), spos: -1}
 	}
 	c.key = ck
-	e.cells[ckey(ck)] = c
+	e.cells[ck.Pack()] = c
 	return c
 }
 
@@ -681,7 +683,11 @@ func (e *KCCS) applyRank(i int, oldFound bool, oldP geom.Point, selFound bool, s
 			}
 		}
 	}
-	if oldFound {
+	if oldFound && !(selFound && oldP == selP) {
+		// When the committed point is unchanged (the steady state of a stable
+		// hotspot), every oldP-covering object at lvl == i also covers selP
+		// and so is in idScratch — the promotion pass is a provable no-op and
+		// the second covering scan is skipped entirely.
 		for _, o := range e.covering(oldP) {
 			if o.lvl == i && !containsID(e.idScratch, o.id) {
 				e.setLevel(o, e.k) // newly visible to every problem again
@@ -748,7 +754,7 @@ func (e *KCCS) covering(p geom.Point) []kobj {
 		// Single engine: every covering object's coverage touches p's own
 		// column, so the cell of p holds a copy of each — one scan, no
 		// dedupe.
-		if c := e.cells[ckey(pc)]; c != nil {
+		if c := e.cells[pc.Pack()]; c != nil {
 			for j := range c.objs {
 				g := &c.objs[j]
 				if !g.dead && e.cfg.CoverRect(g.x, g.y).CoversOC(p) {
@@ -758,8 +764,14 @@ func (e *KCCS) covering(p geom.Point) []kobj {
 		}
 		return e.covScratch
 	}
+	// Each cell's objects are id-sorted, so the per-cell match runs are
+	// sorted subsequences: merge the (at most 3) runs by id instead of
+	// sorting the union, dropping the duplicate copies, so every covering
+	// object is reported once, in arrival (= id) order.
+	var bounds [4]int
+	runs := 0
 	for di := -1; di <= 1; di++ {
-		c := e.cells[ckey(grid.Cell{I: pc.I + di, J: pc.J})]
+		c := e.cells[(grid.Cell{I: pc.I + di, J: pc.J}).Pack()]
 		if c == nil {
 			continue
 		}
@@ -769,27 +781,36 @@ func (e *KCCS) covering(p geom.Point) []kobj {
 				e.covScratch = append(e.covScratch, *g)
 			}
 		}
-	}
-	// Each cell's objects are id-sorted; sort the 3-cell union and drop the
-	// duplicate copies so every covering object is reported once, in
-	// arrival order.
-	slices.SortFunc(e.covScratch, func(a, b kobj) int {
-		switch {
-		case a.id < b.id:
-			return -1
-		case a.id > b.id:
-			return 1
+		if len(e.covScratch) > bounds[runs] {
+			runs++
+			bounds[runs] = len(e.covScratch)
 		}
-		return 0
-	})
-	out := e.covScratch[:0]
-	for i, g := range e.covScratch {
-		if i > 0 && out[len(out)-1].id == g.id {
-			continue
-		}
-		out = append(out, g)
 	}
-	e.covScratch = out
+	if runs <= 1 {
+		return e.covScratch
+	}
+	e.covMerge = e.covMerge[:0]
+	var at [3]int
+	for r := 0; r < runs; r++ {
+		at[r] = bounds[r]
+	}
+	for {
+		best := -1
+		for r := 0; r < runs; r++ {
+			if at[r] < bounds[r+1] && (best < 0 || e.covScratch[at[r]].id < e.covScratch[at[best]].id) {
+				best = r
+			}
+		}
+		if best < 0 {
+			break
+		}
+		g := e.covScratch[at[best]]
+		at[best]++
+		if n := len(e.covMerge); n == 0 || e.covMerge[n-1].id != g.id {
+			e.covMerge = append(e.covMerge, g)
+		}
+	}
+	e.covScratch, e.covMerge = e.covMerge, e.covScratch
 	return e.covScratch
 }
 
@@ -823,7 +844,7 @@ func (e *KCCS) setLevel(o kobj, lvl int) {
 	cover := e.cfg.CoverRect(o.x, o.y)
 	e.cellScratch = e.grid.CoverCells(e.cellScratch[:0], o.x, o.y, e.cfg.Width, e.cfg.Height)
 	for _, ck := range e.cellScratch {
-		c := e.cells[ckey(ck)]
+		c := e.cells[ck.Pack()]
 		if c == nil {
 			continue
 		}
@@ -940,6 +961,18 @@ func (e *KCCS) solve(i int) kcand {
 			if !cd.found || e.candScore(cd) <= 0 {
 				return kcand{}
 			}
+			// Exact-score tie at the top: the loser heap's root or the
+			// winner heap's second-best carries the same key. Resolve by
+			// the canonical cross-family order instead of heap order.
+			tied := false
+			if shared {
+				tied = (sok && su == u) || e.main.SecondPrio() == u
+			} else {
+				tied = (mok && mu == u) || e.aux[ix].SecondPrio() == u
+			}
+			if tied {
+				return e.canonicalSolve(i, c, shared, *cd)
+			}
 			return *cd
 		}
 		if shared {
@@ -950,6 +983,80 @@ func (e *KCCS) solve(i int) kcand {
 			e.aux[ix].Set(c, minf(c.us[ix], c.ud[ix]))
 		}
 	}
+}
+
+// canonicalSolve resolves an exact-score tie for problem i by
+// core.CompareTopK — the canonical selection order shared with the
+// single-region engine and the cross-shard merges — so the solved candidate
+// does not depend on heap order or shard partitioning. The winning cell and
+// every further cell whose key bitwise-equals the winning key u are popped
+// (from whichever heap holds them), the CompareTopK-least candidate is kept,
+// and the popped cells are reinstated with their current keys. Only bitwise
+// float ties enter this path.
+func (e *KCCS) canonicalSolve(i int, top *kcell, topShared bool, best kcand) kcand {
+	ix := i - 1
+	u := topBound(e, top, topShared, ix)
+	bres := e.candResult(&best)
+	e.tieShared = e.tieShared[:0]
+	e.tieSplit = e.tieSplit[:0]
+	pop := func(c *kcell, shared bool) {
+		if shared {
+			e.main.Remove(c)
+			e.tieShared = append(e.tieShared, c)
+		} else {
+			e.aux[ix].Remove(c)
+			e.tieSplit = append(e.tieSplit, c)
+		}
+	}
+	pop(top, topShared)
+	for {
+		mc, mu, mok := e.main.Max()
+		sc, su, sok := e.aux[ix].Max()
+		var c *kcell
+		shared := true
+		switch {
+		case mok && mu == u:
+			c = mc
+		case sok && su == u:
+			c, shared = sc, false
+		default:
+			for _, p := range e.tieShared {
+				e.main.Set(p, minf(p.sus, p.sud))
+			}
+			for _, p := range e.tieSplit {
+				e.aux[ix].Set(p, minf(p.us[ix], p.ud[ix]))
+			}
+			return best
+		}
+		var cd *kcand
+		if shared {
+			cd = &c.scand
+		} else {
+			cd = &c.cand[ix]
+		}
+		if !cd.valid {
+			if shared {
+				e.searchCellShared(c)
+				e.main.Set(c, minf(c.sus, c.sud))
+			} else {
+				e.searchCell(c, i)
+				e.aux[ix].Set(c, minf(c.us[ix], c.ud[ix]))
+			}
+			continue
+		}
+		if r := e.candResult(cd); r.Found && core.CompareTopK(r, bres) < 0 {
+			best, bres = *cd, r
+		}
+		pop(c, shared)
+	}
+}
+
+// topBound returns the heap key the winning cell was selected under.
+func topBound(e *KCCS, c *kcell, shared bool, ix int) float64 {
+	if shared {
+		return minf(c.sus, c.sud)
+	}
+	return minf(c.us[ix], c.ud[ix])
 }
 
 // searchCellShared runs SL-CSPOT over an unsplit cell — every live object,
@@ -1013,13 +1120,6 @@ func (e *KCCS) searchCell(c *kcell, i int) {
 		e.rescore(c, &c.cand[ix], ix)
 	}
 	c.ud[ix] = e.candScore(&c.cand[ix])
-}
-
-// ckey packs a cell's integer coordinates into one uint64 so the cells map
-// uses the runtime's specialized 64-bit-key fast paths instead of hashing a
-// 16-byte struct on every event.
-func ckey(ck grid.Cell) uint64 {
-	return uint64(uint32(ck.I))<<32 | uint64(uint32(ck.J))
 }
 
 func minf(a, b float64) float64 {

@@ -208,11 +208,18 @@ type Detector struct {
 	taps     []*TopKDetector    // attached top-k detectors fed every event
 	ctaps    []*TopKDetector    // attached top-k detectors riding the shard workers
 	ag2Gamma float64
-	counted  bool
-	shards   int // requested Options.Shards (recorded in checkpoints)
-	blkCols  int // requested Options.ShardBlockCols
-	flushEvs int // requested Options.ShardFlushEvents (not checkpointed)
-	closed   bool
+
+	// AttachTopKBest state: the chain serving Best, and whether the
+	// single-region engines were retired. engOff outlives bestChain — if the
+	// serving chain is detached the detector degrades to its retained answer
+	// (recordErr) instead of touching the dropped engines.
+	bestChain *TopKDetector
+	engOff    bool
+	counted   bool
+	shards    int // requested Options.Shards (recorded in checkpoints)
+	blkCols   int // requested Options.ShardBlockCols
+	flushEvs  int // requested Options.ShardFlushEvents (not checkpointed)
+	closed    bool
 
 	// The window engine's emit callbacks, captured once: binding a method
 	// value per Push would put one closure allocation on the per-object hot
@@ -349,7 +356,10 @@ func (d *Detector) Push(o Object) (Result, error) {
 	if err != nil {
 		return toResult(d.cur), err
 	}
-	return toResult(d.cur), nil
+	if d.bestChain != nil {
+		err = d.refreshFromBestChain()
+	}
+	return toResult(d.cur), err
 }
 
 // PushBatch feeds a time-ordered batch of objects and returns the bursty
@@ -374,6 +384,13 @@ func (d *Detector) PushBatch(objs []Object) (Result, error) {
 			return toResult(d.cur), err
 		}
 	}
+	if d.engOff {
+		var err error
+		if d.bestChain != nil {
+			err = d.refreshFromBestChain()
+		}
+		return toResult(d.cur), err
+	}
 	d.cur = d.eng.Best()
 	return toResult(d.cur), nil
 }
@@ -383,6 +400,13 @@ func (d *Detector) pushSharded(objs []Object) (Result, error) {
 		if _, err := d.win.Push(core.Object{X: o.X, Y: o.Y, Weight: o.Weight, T: o.Time}, d.routeStepFn); err != nil {
 			return toResult(d.cur), err
 		}
+	}
+	if d.engOff {
+		var err error
+		if d.bestChain != nil {
+			err = d.refreshFromBestChain()
+		}
+		return toResult(d.cur), err
 	}
 	res, _, err := d.pipe.Query()
 	if err != nil {
@@ -406,6 +430,13 @@ func (d *Detector) AdvanceTo(t float64) (Result, error) {
 		if err := d.win.Advance(t, d.routeStepFn); err != nil {
 			return toResult(d.cur), err
 		}
+		if d.engOff {
+			var err error
+			if d.bestChain != nil {
+				err = d.refreshFromBestChain()
+			}
+			return toResult(d.cur), err
+		}
 		res, _, err := d.pipe.Query()
 		if err != nil {
 			d.recordErr(err)
@@ -417,16 +448,28 @@ func (d *Detector) AdvanceTo(t float64) (Result, error) {
 	if err := d.win.Advance(t, d.stepFn); err != nil {
 		return toResult(d.cur), err
 	}
+	if d.engOff {
+		var err error
+		if d.bestChain != nil {
+			err = d.refreshFromBestChain()
+		}
+		return toResult(d.cur), err
+	}
 	d.cur = d.eng.Best()
 	return toResult(d.cur), nil
 }
 
 // step processes one window event and refreshes the current answer, matching
 // the paper's continuous semantics (one detection per rectangle message).
+// With the engines retired (AttachTopKBest) the taps already maintained the
+// serving chain; Push/AdvanceTo refresh the answer from it once at the end.
 func (d *Detector) step(ev core.Event) {
 	d.trackLive(ev)
 	if len(d.taps) != 0 {
 		d.tap(ev)
+	}
+	if d.engOff {
+		return
 	}
 	d.eng.Process(ev)
 	d.cur = d.eng.Best()
@@ -438,6 +481,9 @@ func (d *Detector) stepQuiet(ev core.Event) {
 	d.trackLive(ev)
 	if len(d.taps) != 0 {
 		d.tap(ev)
+	}
+	if d.engOff {
+		return
 	}
 	d.eng.Process(ev)
 }
@@ -467,6 +513,12 @@ func (d *Detector) Best() Result {
 	if d.closed {
 		return toResult(d.cur)
 	}
+	if d.engOff {
+		if d.bestChain != nil {
+			d.refreshFromBestChain() // on failure serve the retained answer
+		}
+		return toResult(d.cur)
+	}
 	if d.pipe != nil {
 		if res, _, err := d.pipe.Query(); err == nil {
 			d.cur = res
@@ -477,6 +529,19 @@ func (d *Detector) Best() Result {
 	}
 	d.cur = d.eng.Best()
 	return toResult(d.cur)
+}
+
+// refreshFromBestChain synchronises d.cur with the serving chain's rank-1
+// region (AttachTopKBest), recording the first chain failure for Err. On
+// failure the retained answer stands.
+func (d *Detector) refreshFromBestChain() error {
+	r, err := d.bestChain.rank1()
+	if err != nil {
+		d.recordErr(err)
+		return err
+	}
+	d.cur = r
+	return nil
 }
 
 // recordErr keeps the first pipeline failure for Err.
@@ -520,6 +585,15 @@ func (d *Detector) Close() error {
 	}
 	d.closed = true
 	if d.pipe == nil {
+		if d.engOff {
+			if d.bestChain != nil {
+				if r, err := d.bestChain.rank1(); err == nil {
+					d.cur = r
+				}
+				d.finalStats = d.bestChain.Stats()
+			}
+			return nil
+		}
 		d.cur = d.eng.Best()
 		if s, ok := d.eng.(statser); ok {
 			d.finalStats = toStats(s.Stats())
@@ -528,6 +602,15 @@ func (d *Detector) Close() error {
 	}
 	for _, t := range d.ctaps {
 		t.freeze()
+	}
+	if d.engOff {
+		if d.bestChain != nil { // frozen above: serves its captured answer
+			if r, err := d.bestChain.rank1(); err == nil {
+				d.cur = r
+			}
+			d.finalStats = d.bestChain.Stats()
+		}
+		return d.pipe.Close()
 	}
 	if res, st, err := d.pipe.Query(); err == nil {
 		d.cur = res
@@ -545,6 +628,12 @@ func (d *Detector) Close() error {
 func (d *Detector) Stats() Stats {
 	if d.closed {
 		return d.finalStats
+	}
+	if d.engOff {
+		if d.bestChain != nil {
+			return d.bestChain.Stats()
+		}
+		return Stats{}
 	}
 	if d.pipe != nil {
 		_, st, err := d.pipe.Query()

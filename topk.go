@@ -17,6 +17,12 @@ import (
 // parent's stream, so objects must be pushed through the parent.
 var ErrAttached = errors.New("surge: top-k detector is attached; push through the parent detector")
 
+// errBestChainDetached is recorded on a parent whose serving chain
+// (AttachTopKBest) was detached: the retired engines are gone, so Best can
+// only answer from the state captured at detach. A subsequent
+// AttachTopKBest clears it — a fresh chain takes over serving.
+var errBestChainDetached = errors.New("surge: serving top-k chain detached; Best answers from the state captured at detach")
+
 // TopKDetector continuously maintains the top-k bursty regions (Section VI
 // of the paper): k regions of the query size such that every object
 // contributes to the burst score of at most one of them, selected greedily
@@ -199,6 +205,69 @@ func (d *Detector) AttachTopK(alg Algorithm, k int) (*TopKDetector, error) {
 	return td, nil
 }
 
+// AttachTopKBest attaches a top-k detector exactly like AttachTopK and then
+// switches the parent to serve Best from the chain's rank-1 region, retiring
+// the single-region engines entirely: on a sharded parent the workers drop
+// their engines (freeing their state), on a single-engine parent the engine
+// is released. One maintained engine family then answers both the top-k and
+// the single-region queries, so ingest pays the chain maintenance once
+// instead of maintaining two engine families side by side.
+//
+// The chain's first problem is the unconstrained cSPOT problem, so its
+// rank-1 region is the single-region answer — bitwise for the exact family
+// (the kCCS chain under CellCSPOT answers exactly what CCS, B-CCS and Base
+// report) and for the grid approximations paired with their own chains
+// (GridApprox with kGAPS, MultiGrid with kMGAPS). Pass a chain algorithm
+// whose rank-1 matches the parent's algorithm; AG2 and Oracle parents have
+// no matching chain and should keep AttachTopK.
+//
+// The engine retirement is permanent: closing (detaching) the returned
+// detector leaves the parent without any engine — it degrades to its
+// retained answer and records an error for Err, like a failed pipeline —
+// until another AttachTopKBest installs a fresh serving chain (which clears
+// that detach error). Stats reports the chain's counters. Checkpoint is
+// unaffected (it serialises the live windows, not engine state).
+func (d *Detector) AttachTopKBest(alg Algorithm, k int) (*TopKDetector, error) {
+	if d.bestChain != nil {
+		return nil, errors.New("surge: detector already serves Best from a top-k chain")
+	}
+	td, err := d.AttachTopK(alg, k)
+	if err != nil {
+		return nil, err
+	}
+	d.bestChain = td
+	d.engOff = true
+	if d.err == errBestChainDetached {
+		d.err = nil // serving recovered: a fresh chain took over
+	}
+	if d.pipe != nil {
+		d.pipe.DropEngines()
+	} else {
+		d.eng = nil
+	}
+	d.refreshFromBestChain()
+	return td, nil
+}
+
+// rank1 returns the chain's current rank-1 answer — the single-region result
+// the parent serves under AttachTopKBest — refreshing the cached top-k unless
+// frozen. On a chain failure the retained answer is returned alongside the
+// error.
+func (td *TopKDetector) rank1() (core.Result, error) {
+	var err error
+	if td.chain != nil {
+		if !td.frozen {
+			err = td.refreshFromChain()
+		}
+	} else {
+		td.cur = td.eng.BestK()
+	}
+	if len(td.cur) == 0 {
+		return core.Result{}, err
+	}
+	return td.cur[0], err
+}
+
 // seedEvents returns the live windows as the canonical arrival-order event
 // sequence — New transitions in arrival (= id) order, then the Grown
 // transitions the windows have already performed — the order the engines'
@@ -296,10 +365,20 @@ func (d *TopKDetector) freeze() {
 
 // detachTopK removes td from the detector's attached-tap bookkeeping,
 // truncating the freed tail slots so a detached detector's engine and
-// buffers are not kept reachable through the parent's slices.
+// buffers are not kept reachable through the parent's slices. Detaching the
+// chain that serves Best (AttachTopKBest) captures its final answer and
+// degrades the parent to that retained answer, recording an error for Err —
+// the engines it replaced are gone.
 func (d *Detector) detachTopK(td *TopKDetector) {
 	d.taps = removeTap(d.taps, td)
 	d.ctaps = removeTap(d.ctaps, td)
+	if td == d.bestChain {
+		if r, err := td.rank1(); err == nil {
+			d.cur = r
+		}
+		d.bestChain = nil
+		d.recordErr(errBestChainDetached)
+	}
 }
 
 func removeTap(taps []*TopKDetector, td *TopKDetector) []*TopKDetector {

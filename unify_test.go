@@ -1,0 +1,149 @@
+package surge_test
+
+import (
+	"fmt"
+	"testing"
+
+	"surge"
+)
+
+// TestServeFromChainEquivalence is the unification guarantee behind
+// AttachTopKBest: with a maintained top-k chain serving Best, every answer
+// must stay bitwise identical to the engine-served answer — across shard
+// counts, when the chain is attached mid-stream, and across a
+// checkpoint→restore cycle that re-attaches the chain. The reference run is
+// additionally pinned against the pre-change fixture (see
+// pinned_unify_test.go), so "equivalent" means equivalent to the answers
+// the dual-engine layout produced before the refactor, not merely
+// self-consistent.
+func TestServeFromChainEquivalence(t *testing.T) {
+	objs := pinnedStream()
+	nBatches := (len(objs) + pinnedBatch - 1) / pinnedBatch
+	attachAt := nBatches / 3 // mid-stream attach point (batch index)
+	restoreAt := 2 * nBatches / 3
+
+	// Reference: single-engine, engine-served Best over the pinned stream —
+	// itself pinned bitwise by TestPinnedAnswers.
+	want := make([]surge.Result, 0, nBatches)
+	ref, err := surge.New(surge.CellCSPOT, pinnedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(objs); i += pinnedBatch {
+		if _, err := ref.PushBatch(objs[i:min(i+pinnedBatch, len(objs))]); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, ref.Best())
+	}
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 2, 4, 7} {
+		shards := shards
+		opts := pinnedOptions()
+		opts.Shards = shards
+
+		t.Run(fmt.Sprintf("chain-attached-at-boot/shards=%d", shards), func(t *testing.T) {
+			d, err := surge.New(surge.CellCSPOT, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			td, err := d.AttachTopKBest(surge.CellCSPOT, pinnedK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer td.Close()
+			for b, i := 0, 0; i < len(objs); b, i = b+1, i+pinnedBatch {
+				if _, err := d.PushBatch(objs[i:min(i+pinnedBatch, len(objs))]); err != nil {
+					t.Fatal(err)
+				}
+				if got := d.Best(); got != want[b] {
+					t.Fatalf("batch %d: chain-served %+v != engine-served %+v", b, got, want[b])
+				}
+				if top := td.BestK(); len(top) > 0 && top[0] != want[b] {
+					t.Fatalf("batch %d: chain rank-1 %+v != engine-served %+v", b, top[0], want[b])
+				}
+			}
+		})
+
+		t.Run(fmt.Sprintf("attach-mid-stream/shards=%d", shards), func(t *testing.T) {
+			d, err := surge.New(surge.CellCSPOT, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			for b, i := 0, 0; i < len(objs); b, i = b+1, i+pinnedBatch {
+				if b == attachAt {
+					// The chain seeds from the live windows and takes over
+					// Best serving from this point on.
+					td, err := d.AttachTopKBest(surge.CellCSPOT, pinnedK)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer td.Close()
+					if got := d.Best(); got != want[b-1] {
+						t.Fatalf("attach at batch %d: takeover answer %+v != engine-served %+v", b, got, want[b-1])
+					}
+				}
+				if _, err := d.PushBatch(objs[i:min(i+pinnedBatch, len(objs))]); err != nil {
+					t.Fatal(err)
+				}
+				if got := d.Best(); got != want[b] {
+					t.Fatalf("batch %d (attach at %d): %+v != engine-served %+v", b, attachAt, got, want[b])
+				}
+			}
+		})
+
+		t.Run(fmt.Sprintf("snapshot-restore/shards=%d", shards), func(t *testing.T) {
+			d, err := surge.New(surge.CellCSPOT, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			td, err := d.AttachTopKBest(surge.CellCSPOT, pinnedK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			closeBoth := func() {
+				td.Close()
+				d.Close()
+			}
+			for b, i := 0, 0; i < len(objs); b, i = b+1, i+pinnedBatch {
+				if b == restoreAt {
+					// Checkpoint the serving detector, rebuild from the
+					// bytes with the same shard count, re-attach the serving
+					// chain, and keep streaming: answers must not notice.
+					ckpt, err := d.Checkpoint()
+					if err != nil {
+						closeBoth()
+						t.Fatal(err)
+					}
+					closeBoth()
+					d, err = surge.RestoreSharded(surge.CellCSPOT, ckpt, shards, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					td, err = d.AttachTopKBest(surge.CellCSPOT, pinnedK)
+					if err != nil {
+						d.Close()
+						t.Fatal(err)
+					}
+					if got := d.Best(); got != want[b-1] {
+						closeBoth()
+						t.Fatalf("restore at batch %d: %+v != engine-served %+v", b, got, want[b-1])
+					}
+				}
+				if _, err := d.PushBatch(objs[i:min(i+pinnedBatch, len(objs))]); err != nil {
+					closeBoth()
+					t.Fatal(err)
+				}
+				if got := d.Best(); got != want[b] {
+					closeBoth()
+					t.Fatalf("batch %d (restore at %d): %+v != engine-served %+v", b, restoreAt, got, want[b])
+				}
+			}
+			closeBoth()
+		})
+	}
+}
