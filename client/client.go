@@ -152,6 +152,18 @@ func (c *Client) Restore(ctx context.Context, checkpoint []byte) (*State, error)
 	return &out, nil
 }
 
+// Stats returns the server's typed telemetry snapshot: latency histograms
+// for every pipeline stage, pipeline counters and Go runtime health. The
+// endpoint is served lock-free, so it answers even when the server's event
+// loop is stalled.
+func (c *Client) Stats(ctx context.Context) (*StatsSnapshot, error) {
+	var out StatsSnapshot
+	if err := c.getJSON(ctx, "/v1/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Health returns the server's health summary.
 func (c *Client) Health(ctx context.Context) (*Health, error) {
 	var out Health

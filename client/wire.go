@@ -19,6 +19,9 @@
 //	                    resume instead of restarting from hello
 //	POST /v1/snapshot   -> application/octet-stream detector checkpoint
 //	POST /v1/restore    <- application/octet-stream checkpoint -> State
+//	GET  /v1/stats      -> StatsSnapshot (latency histograms, pipeline
+//	                    telemetry and runtime health; served lock-free,
+//	                    so it answers even when the event loop is wedged)
 //	GET  /healthz       -> Health
 //	GET  /metrics       -> Prometheus text format
 //
@@ -131,16 +134,91 @@ type TopK struct {
 
 // Health is the reply to /healthz. Err carries the detector's recorded
 // pipeline error when OK is false because the detector can no longer
-// refresh its answer (the reply then comes with a 503).
+// refresh its answer (the reply then comes with a 503) — or the probe
+// error when the event loop failed to answer within the health timeout.
 type Health struct {
 	OK          bool    `json:"ok"`
 	Algorithm   string  `json:"algorithm"`
+	Version     string  `json:"version"`    // module build version ("dev" for source builds)
+	GoVersion   string  `json:"go_version"` // Go toolchain that built the server
 	Shards      int     `json:"shards"`
 	Now         float64 `json:"now"`
 	Live        int     `json:"live"`
 	Subscribers int     `json:"subscribers"`
 	UptimeSec   float64 `json:"uptime_sec"`
-	Err         string  `json:"err,omitempty"`
+	// LastIngestAgeSec is the seconds since the last applied ingest batch,
+	// -1 before the first: probes distinguish a stalled stream (no data
+	// arriving) from a stalled process.
+	LastIngestAgeSec float64 `json:"last_ingest_age_sec"`
+	Err              string  `json:"err,omitempty"`
+}
+
+// HistogramStats summarises one latency or value histogram in /v1/stats.
+// Duration histograms report seconds; value histograms (batch sizes,
+// buffer occupancy, shard counts) report raw counts. Quantiles are bucket
+// midpoints of a log-scale histogram (<= 12.5% relative error), clamped to
+// the exact observed Max.
+type HistogramStats struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// RuntimeStats is the Go runtime health block of /v1/stats, sampled from
+// runtime/metrics at request time.
+type RuntimeStats struct {
+	Goroutines         int64   `json:"goroutines"`
+	HeapBytes          uint64  `json:"heap_bytes"`
+	GCCycles           uint64  `json:"gc_cycles"`
+	GCPauseP50Sec      float64 `json:"gc_pause_p50_sec"`
+	GCPauseP99Sec      float64 `json:"gc_pause_p99_sec"`
+	GCPauseMaxSec      float64 `json:"gc_pause_max_sec"`
+	SchedLatencyP50Sec float64 `json:"sched_latency_p50_sec"`
+	SchedLatencyP99Sec float64 `json:"sched_latency_p99_sec"`
+}
+
+// StatsSnapshot is the reply to /v1/stats: a typed, point-in-time view of
+// the pipeline's telemetry — the same numbers /metrics renders for
+// Prometheus, shaped for programmatic consumers. It is assembled entirely
+// from lock-free counters, loop-state mirrors and histogram snapshots, so
+// the endpoint answers even when the event loop is wedged (mirror values
+// are then the last state the loop published).
+type StatsSnapshot struct {
+	UptimeSec        float64 `json:"uptime_sec"`
+	LastIngestAgeSec float64 `json:"last_ingest_age_sec"` // -1 before the first ingest
+	LoopTickAgeSec   float64 `json:"loop_tick_age_sec"`   // -1 before the first lag probe
+	Now              float64 `json:"now"`                 // stream clock
+	Live             int     `json:"live"`
+	Shards           int     `json:"shards"`
+
+	Objects       uint64 `json:"objects"`
+	Batches       uint64 `json:"batches"`
+	IngestErrors  uint64 `json:"ingest_errors"`
+	Notifications uint64 `json:"notifications"`
+	Dropped       uint64 `json:"dropped"`
+	TopKCommits   uint64 `json:"topk_commits"`
+	Subscribers   int    `json:"subscribers"`
+
+	// Ingest path (seconds unless noted).
+	IngestAck     HistogramStats `json:"ingest_ack"`
+	IngestParse   HistogramStats `json:"ingest_parse"`
+	IngestBatch   HistogramStats `json:"ingest_batch_objects"` // objects per batch
+	LoopQueueWait HistogramStats `json:"loop_queue_wait"`
+	LoopApply     HistogramStats `json:"loop_apply"`
+	LoopLag       HistogramStats `json:"loop_lag"`
+	SSEDelivery   HistogramStats `json:"sse_delivery"`
+	SSEBuffer     HistogramStats `json:"sse_buffer_occupancy"` // frames buffered per subscriber
+	ShardFlush    HistogramStats `json:"shard_flush_events"`   // events per shipped shard batch
+	ShardBarrier  HistogramStats `json:"shard_barrier_wait"`
+	TopKResolve   HistogramStats `json:"topk_resolve"`
+	TopKSolveWait HistogramStats `json:"topk_solve_wait"`
+	TopKShards    HistogramStats `json:"topk_resolved_shards"` // shard solves per resolve
+
+	Runtime RuntimeStats `json:"runtime"`
 }
 
 // Error is the JSON body of a non-2xx reply.

@@ -33,6 +33,7 @@ func main() {
 		maxApprox = flag.Int("max-approx", 120000, "measured objects per point for approximate engines")
 		full      = flag.Bool("full", false, "paper scale: rate-scale=1, larger samples")
 		jsonDir   = flag.String("json-dir", ".", "directory for machine-readable results (BENCH_*.json); empty disables")
+		obsMax    = flag.Float64("obs-overhead-max", 0, "fail the hotpath experiment if observability overhead exceeds this percent (0 = report only)")
 	)
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func main() {
 	o.MaxExact = *maxExact
 	o.MaxApprox = *maxApprox
 	o.JSONDir = *jsonDir
+	o.ObsOverheadMaxPct = *obsMax
 	if *full {
 		o.RateScale = 1
 		o.MaxExact = 50000

@@ -11,8 +11,14 @@
 //	                    Last-Event-ID resumes after a disconnect
 //	POST /v1/snapshot   detector checkpoint (octet-stream)
 //	POST /v1/restore    replace state from a checkpoint
+//	GET  /v1/stats      typed JSON telemetry: latency histograms for every
+//	                    pipeline stage, counters and runtime health
 //	GET  /healthz       health summary
 //	GET  /metrics       Prometheus text metrics
+//
+// Lifecycle events (startup, checkpoint, restore, degraded-mode
+// transitions, shutdown) are structured logs on stderr; -log-format picks
+// text or JSON.
 //
 // On SIGINT/SIGTERM the server checkpoints to -checkpoint (if set), stops
 // accepting work and shuts the HTTP listener down gracefully.
@@ -23,6 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -57,6 +64,7 @@ func runServe(args []string) error {
 		flush   = fs.Int("flush", 0, "sharded router flush size in events per shard (0 = adapt to shard backlog)")
 		dualEng = fs.Bool("best-from-engines", false, "keep the legacy dual-engine layout: single-region engines answer /v1/best beside the maintained top-k chain (default: one chain serves both)")
 		pprofOn = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling; leave off unless the listener is access-controlled)")
+		logFmt  = fs.String("log-format", "text", "structured log format on stderr: text or json")
 	)
 	fs.Parse(args)
 
@@ -87,6 +95,15 @@ func runServe(args []string) error {
 	if *topk < 0 {
 		return fmt.Errorf("invalid -topk %d", *topk)
 	}
+	var logger *slog.Logger
+	switch *logFmt {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		return fmt.Errorf("invalid -log-format %q (want text or json)", *logFmt)
+	}
 	cfg := server.Config{
 		Algorithm: alg,
 		Options: surge.Options{
@@ -102,6 +119,7 @@ func runServe(args []string) error {
 		BatchSize:        *batch,
 		SubscriberBuffer: *subBuf,
 		EnablePprof:      *pprofOn,
+		Logger:           logger,
 	}
 	if *ckptIn != "" {
 		data, err := os.ReadFile(*ckptIn)
@@ -128,8 +146,10 @@ func runServe(args []string) error {
 	}
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "surged: serving %s shards=%d on %s (query %gx%g window %g/%g alpha %g)\n",
-			alg, nShards, *addr, eff.Width, eff.Height, eff.Window, eff.PastWindow, eff.Alpha)
+		logger.Info("surged serving",
+			"algorithm", alg.String(), "shards", nShards, "addr", *addr,
+			"width", eff.Width, "height", eff.Height,
+			"window", eff.Window, "past_window", eff.PastWindow, "alpha", eff.Alpha)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -143,19 +163,19 @@ func runServe(args []string) error {
 	// Graceful shutdown: Shutdown stops accepting work *before* the
 	// checkpoint is taken, so every acknowledged ingest is in the file and
 	// SSE subscribers disconnect, letting the listener drain.
-	fmt.Fprintln(os.Stderr, "surged: shutting down")
+	logger.Info("surged shutting down")
 	if *ckptOut != "" {
 		data, err := s.Shutdown()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "surged: checkpoint failed: %v\n", err)
+			logger.Error("checkpoint failed", "err", err)
 		} else if err := os.WriteFile(*ckptOut, data, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "surged: writing %s: %v\n", *ckptOut, err)
+			logger.Error("writing checkpoint file failed", "path", *ckptOut, "err", err)
 		} else {
-			fmt.Fprintf(os.Stderr, "surged: checkpoint written to %s (%d bytes)\n", *ckptOut, len(data))
+			logger.Info("checkpoint written", "path", *ckptOut, "bytes", len(data))
 		}
 	}
 	if err := s.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "surged: detector close: %v\n", err)
+		logger.Error("detector close failed", "err", err)
 	}
 	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

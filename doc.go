@@ -199,11 +199,17 @@
 //	                    change; Last-Event-ID resumes after a disconnect
 //	POST /v1/snapshot   detector checkpoint (restorable by Restore)
 //	POST /v1/restore    replace the server's state from a checkpoint
-//	GET  /healthz       health summary
-//	GET  /metrics       Prometheus text counters
+//	GET  /v1/stats      typed JSON telemetry snapshot (client.StatsSnapshot):
+//	                    latency histograms for every pipeline stage,
+//	                    counters and Go runtime health
+//	GET  /healthz       health summary with build info and last-ingest age
+//	GET  /metrics       Prometheus text exposition
 //
 // The wire schema is defined (and consumed) by the typed surge/client
-// package; see examples/server for an end-to-end tour.
+// package; see examples/server for an end-to-end tour. Lifecycle events —
+// startup, checkpoint, restore, shutdown, degraded-mode transitions — are
+// structured slog records; surged -log-format selects text or json on
+// stderr (library embedders wire server.Config.Logger).
 //
 // Consistency guarantees: the detector is owned by a single-writer event
 // loop — handlers parse request bodies concurrently and the loop applies
@@ -280,4 +286,57 @@
 // /healthz then reports it with a 503 so orchestrators recycle the
 // instance. Known follow-up: aG2 still has no top-k variant (kCCS
 // substitutes).
+//
+// # Observability
+//
+// Every pipeline stage is instrumented with lock-free, fixed-bucket
+// log-scale histograms (internal/obs): recording is atomics only — zero
+// heap allocations per observation — so the telemetry lives inside the
+// zero-allocation ingest hot path without breaking its contract (the
+// steady-state allocs/obj guard runs with instrumentation on, and the
+// hotpath benchmark prices obs-on vs obs-off as obs_overhead_pct in
+// BENCH_hotpath.json; make bench-smoke fails beyond a small budget).
+// Values below 8 are exact and every octave above splits into 8
+// sub-buckets, bounding relative quantile error at 12.5%.
+//
+// The numbers surface three ways: GET /metrics renders Prometheus text
+// (histograms as summaries with p50/p90/p99/p999, _sum and _count), GET
+// /v1/stats returns the same data as a typed JSON snapshot
+// (client.StatsSnapshot, fetched by client.Stats), and both are served
+// entirely from atomics and loop-state mirrors — no event-loop round-trip,
+// so the scrape keeps answering (with the loop's last published state)
+// when the loop is wedged, which is exactly when the numbers matter.
+// /healthz bounds its loop probe with a timeout and reports a stalled loop
+// as a 503 instead of hanging.
+//
+// Latency and value histograms (summaries):
+//
+//	surge_ingest_ack_seconds         ingest chunk submit -> applied & acked
+//	surge_ingest_parse_seconds       ingest body parse time (total - ack waits)
+//	surge_ingest_batch_objects       objects per applied batch
+//	surge_loop_queue_wait_seconds    event-loop queue wait: submit -> start
+//	surge_loop_apply_seconds         batch apply duration on the loop
+//	surge_loop_lag_seconds           self-timed loop lag probe (500ms cadence)
+//	surge_sse_delivery_seconds       SSE publish -> written to subscriber
+//	surge_sse_buffer_occupancy       per-subscriber buffer depth at broadcast
+//	surge_shard_flush_events         events per shipped shard batch
+//	surge_shard_barrier_wait_seconds shard Query barrier wait
+//	surge_topk_resolve_seconds       cross-shard top-k resolve (slow path)
+//	surge_topk_solve_wait_seconds    time blocked on shard solve replies
+//	surge_topk_resolved_shards       shard solve ops per resolve
+//
+// Counters and gauges beyond the pre-existing serving set
+// (surge_objects_ingested_total, surge_shards, surge_best_score, ...):
+//
+//	surge_shard_events_total{shard}  per-shard events shipped (counter)
+//	surge_shard_channel_depth{shard} per-shard channel depth (gauge)
+//	surge_topk_commits_total         top-k rank commits shipped (counter)
+//	surge_last_ingest_age_seconds    seconds since the last applied batch (-1 = never)
+//	surge_loop_tick_age_seconds      seconds since the loop answered a probe (-1 = never)
+//	surge_build_info{version,go_version,algorithm,shards} constant 1
+//	surge_runtime_goroutines         live goroutines (gauge)
+//	surge_runtime_heap_bytes         live heap bytes (gauge)
+//	surge_runtime_gc_cycles_total    completed GC cycles (counter)
+//	surge_runtime_gc_pause_seconds   GC pause distribution (summary)
+//	surge_runtime_sched_latency_seconds goroutine scheduling latency (summary)
 package surge

@@ -35,6 +35,10 @@ type Options struct {
 	// BENCH_shards.json, "hotpath" -> BENCH_hotpath.json, "topkserve" ->
 	// BENCH_topk.json) write their JSON files. Empty disables the files.
 	JSONDir string
+	// ObsOverheadMaxPct, when > 0, makes the hotpath experiment fail loudly
+	// if the observability instrumentation costs more than this percentage
+	// of sharded ingest throughput (measured obs-on vs obs-off).
+	ObsOverheadMaxPct float64
 }
 
 // DefaultOptions returns laptop-scale defaults.

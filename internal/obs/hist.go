@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram is log-linear: values below 2^subBits are exact, and every
+// octave above is split into 2^subBits sub-buckets, giving a worst-case
+// relative error of 1/2^subBits (12.5%) across the full uint64 range. The
+// layout is the HdrHistogram/OpenTelemetry exponential-bucket trick reduced
+// to fixed arrays and a handful of bit operations so Record is branch-light
+// and allocation-free.
+const (
+	subBits = 3
+	nSub    = 1 << subBits // sub-buckets per octave
+	// Buckets 0..nSub-1 are exact; octaves e = subBits..63 contribute nSub
+	// buckets each starting at index nSub.
+	nBuckets = nSub * (64 - subBits + 1) // 496
+)
+
+// bucketIdx maps a value to its bucket index. Values < nSub map to
+// themselves; larger values map to (octave, sub-bucket) where the sub-bucket
+// is the subBits bits below the leading bit.
+func bucketIdx(v uint64) int {
+	if v < nSub {
+		return int(v)
+	}
+	e := uint(bits.Len64(v) - 1) // subBits..63
+	return int(((e - subBits + 1) << subBits) | uint((v>>(e-subBits))&(nSub-1)))
+}
+
+// bucketBounds returns the inclusive lower bound and the width of bucket
+// idx; the bucket covers [low, low+width).
+func bucketBounds(idx int) (low, width uint64) {
+	if idx < nSub {
+		return uint64(idx), 1
+	}
+	top := uint(idx >> subBits) // 1..64-subBits
+	rem := uint64(idx & (nSub - 1))
+	return (nSub + rem) << (top - 1), 1 << (top - 1)
+}
+
+// Histogram is a lock-free fixed-bucket log-scale histogram. Record is
+// wait-free except for a bounded max CAS, performs no allocation, and is
+// safe for any number of concurrent recorders. Duration histograms record
+// nanoseconds and are rendered in seconds.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [nBuckets]atomic.Uint64
+}
+
+// Record adds one observation. It allocates nothing.
+func (h *Histogram) Record(v uint64) {
+	h.buckets[bucketIdx(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Observe records a duration in nanoseconds (negative clamps to zero).
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Record(uint64(d))
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Reset zeroes the histogram. Racing recorders may leave a few counts
+// behind; Reset is meant for benchmark harnesses, not steady-state use.
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// HistSnapshot is a point-in-time copy of a histogram. Count is recomputed
+// from the bucket array so quantile math is internally consistent even when
+// recorders race the snapshot.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+	buckets [nBuckets]uint64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.buckets[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1) of the
+// recorded values: the midpoint of the bucket holding the target rank
+// (exact for values < 2*nSub). Returns 0 when empty.
+func (s *HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var cum uint64
+	for i, c := range s.buckets {
+		cum += c
+		if cum > rank {
+			low, width := bucketBounds(i)
+			if width <= 1 {
+				return float64(low)
+			}
+			v := float64(low) + float64(width)/2
+			if m := float64(s.Max); v > m {
+				v = m
+			}
+			return v
+		}
+	}
+	return float64(s.Max)
+}
+
+// Mean returns the average of the recorded values, 0 when empty.
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

@@ -1,0 +1,33 @@
+package obs
+
+// Canonical names of the pipeline metrics, shared by every recording site
+// and by the /v1/stats snapshot builder so a name can never drift between
+// the package that records a metric and the package that renders it. All
+// latency histograms record nanoseconds and render in seconds.
+const (
+	// HTTP ingest path.
+	MIngestAck   = "surge_ingest_ack_seconds"   // chunk submit -> batch applied & acked
+	MIngestParse = "surge_ingest_parse_seconds" // request time spent parsing (total - ack waits)
+	MIngestBatch = "surge_ingest_batch_objects" // objects per applied batch
+
+	// Event loop.
+	MLoopQueueWait = "surge_loop_queue_wait_seconds" // submit -> closure starts on the loop
+	MLoopApply     = "surge_loop_apply_seconds"      // applyBatch duration on the loop
+	MLoopLag       = "surge_loop_lag_seconds"        // self-timed probe: send -> loop runs it
+
+	// SSE fan-out.
+	MSSEDelivery = "surge_sse_delivery_seconds" // publish -> written to the subscriber
+	MSSEBuffer   = "surge_sse_buffer_occupancy" // per-subscriber channel depth at broadcast
+
+	// Shard router.
+	MShardFlush   = "surge_shard_flush_events"         // events per shipped batch
+	MShardDepth   = "surge_shard_channel_depth"        // per-shard channel depth at flush (gauge)
+	MShardBarrier = "surge_shard_barrier_wait_seconds" // Query barrier: flush -> all shards answered
+	MShardEvents  = "surge_shard_events_total"         // per-shard events shipped (halo replicas included)
+
+	// Cross-shard top-k chain.
+	MTopKResolve   = "surge_topk_resolve_seconds"    // full chain resolve (slow path only)
+	MTopKSolveWait = "surge_topk_solve_wait_seconds" // time blocked on shard solve replies
+	MTopKShards    = "surge_topk_resolved_shards"    // solve ops issued per resolve
+	MTopKCommits   = "surge_topk_commits_total"      // ApplyRank commits shipped
+)

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+)
+
+// runtimeSamples are the runtime/metrics keys surfaced as surge_runtime_*.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// RuntimeSnapshot is a point-in-time read of Go runtime health: scheduler
+// and heap gauges plus quantiles of the runtime's own GC pause and
+// scheduling latency distributions (all latencies in seconds).
+type RuntimeSnapshot struct {
+	Goroutines  int64   `json:"goroutines"`
+	HeapBytes   uint64  `json:"heap_bytes"`
+	GCCycles    uint64  `json:"gc_cycles"`
+	GCPauseP50  float64 `json:"gc_pause_p50_sec"`
+	GCPauseP99  float64 `json:"gc_pause_p99_sec"`
+	GCPauseMax  float64 `json:"gc_pause_max_sec"`
+	SchedLatP50 float64 `json:"sched_latency_p50_sec"`
+	SchedLatP99 float64 `json:"sched_latency_p99_sec"`
+}
+
+// ReadRuntime samples the runtime metrics. It is cheap enough for scrape
+// paths but not for per-event paths.
+func ReadRuntime() RuntimeSnapshot {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	var rs RuntimeSnapshot
+	for _, s := range samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			if s.Value.Kind() == metrics.KindUint64 {
+				rs.Goroutines = int64(s.Value.Uint64())
+			}
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				rs.HeapBytes = s.Value.Uint64()
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if s.Value.Kind() == metrics.KindUint64 {
+				rs.GCCycles = s.Value.Uint64()
+			}
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				rs.GCPauseP50 = histQuantile(h, 0.5)
+				rs.GCPauseP99 = histQuantile(h, 0.99)
+				rs.GCPauseMax = histMax(h)
+			}
+		case "/sched/latencies:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				rs.SchedLatP50 = histQuantile(h, 0.5)
+				rs.SchedLatP99 = histQuantile(h, 0.99)
+			}
+		}
+	}
+	return rs
+}
+
+// WritePrometheus renders the snapshot as surge_runtime_* metrics.
+func (rs RuntimeSnapshot) WritePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "# HELP surge_runtime_goroutines Live goroutine count.\n# TYPE surge_runtime_goroutines gauge\nsurge_runtime_goroutines %d\n", rs.Goroutines)
+	fmt.Fprintf(w, "# HELP surge_runtime_heap_bytes Bytes of live heap objects.\n# TYPE surge_runtime_heap_bytes gauge\nsurge_runtime_heap_bytes %d\n", rs.HeapBytes)
+	fmt.Fprintf(w, "# HELP surge_runtime_gc_cycles_total Completed GC cycles.\n# TYPE surge_runtime_gc_cycles_total counter\nsurge_runtime_gc_cycles_total %d\n", rs.GCCycles)
+	fmt.Fprintf(w, "# HELP surge_runtime_gc_pause_seconds GC stop-the-world pause distribution.\n# TYPE surge_runtime_gc_pause_seconds summary\n")
+	fmt.Fprintf(w, "surge_runtime_gc_pause_seconds{quantile=\"0.5\"} %s\n", fmtFloat(rs.GCPauseP50))
+	fmt.Fprintf(w, "surge_runtime_gc_pause_seconds{quantile=\"0.99\"} %s\n", fmtFloat(rs.GCPauseP99))
+	fmt.Fprintf(w, "surge_runtime_gc_pause_seconds{quantile=\"1\"} %s\n", fmtFloat(rs.GCPauseMax))
+	fmt.Fprintf(w, "# HELP surge_runtime_sched_latency_seconds Goroutine scheduling latency distribution.\n# TYPE surge_runtime_sched_latency_seconds summary\n")
+	fmt.Fprintf(w, "surge_runtime_sched_latency_seconds{quantile=\"0.5\"} %s\n", fmtFloat(rs.SchedLatP50))
+	fmt.Fprintf(w, "surge_runtime_sched_latency_seconds{quantile=\"0.99\"} %s\n", fmtFloat(rs.SchedLatP99))
+}
+
+// histQuantile estimates the q-quantile of a runtime Float64Histogram: the
+// upper bound of the bucket holding the target rank.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > rank {
+			return bucketUpper(h, i)
+		}
+	}
+	return bucketUpper(h, len(h.Counts)-1)
+}
+
+// histMax returns the upper bound of the highest non-empty bucket.
+func histMax(h *metrics.Float64Histogram) float64 {
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] > 0 {
+			return bucketUpper(h, i)
+		}
+	}
+	return 0
+}
+
+// bucketUpper is bucket i's finite upper bound: Buckets[i+1] unless that is
+// +Inf, in which case the lower bound stands in.
+func bucketUpper(h *metrics.Float64Histogram, i int) float64 {
+	up := h.Buckets[i+1]
+	if math.IsInf(up, 1) {
+		up = h.Buckets[i]
+	}
+	if math.IsInf(up, -1) {
+		up = 0
+	}
+	return up
+}

@@ -11,10 +11,12 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 	"unsafe"
 
 	"surge"
 	"surge/client"
+	"surge/internal/obs"
 )
 
 // handleIngest streams an NDJSON (default) or CSV batch into the detector.
@@ -35,13 +37,28 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var (
 		accepted, clamped int
 		final             surge.Result
+		ackTotal          time.Duration
+		reqStart          time.Time
 	)
+	rec := obs.On()
+	if rec {
+		reqStart = time.Now()
+	}
 	apply := func(chunk []surge.Object) error {
 		var res surge.Result
 		var c int
 		var aerr error
+		var t0 time.Time
+		if rec {
+			t0 = time.Now()
+		}
 		if err := s.do(func() { res, c, aerr = s.applyBatch(chunk) }); err != nil {
 			return err
+		}
+		if rec {
+			d := time.Since(t0)
+			ackTotal += d
+			s.mAck.Observe(d)
 		}
 		if aerr != nil {
 			return aerr
@@ -81,6 +98,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	})
 	if err == nil && len(*chunk) > 0 {
 		err = apply(*chunk)
+	}
+	if rec {
+		// Parse cost is the request time the handler spent outside the
+		// event loop: scanning, decoding and validation.
+		s.mParse.Observe(time.Since(reqStart) - ackTotal)
 	}
 	if err != nil {
 		s.ingestErr.Add(1)

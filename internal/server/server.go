@@ -32,8 +32,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -41,6 +45,7 @@ import (
 
 	"surge"
 	"surge/client"
+	"surge/internal/obs"
 )
 
 // ErrClosed is returned by server methods after Close.
@@ -117,6 +122,10 @@ type Config struct {
 	// expose internals and cost memory, so only enable them on instances
 	// whose listener is access-controlled.
 	EnablePprof bool
+	// Logger receives structured lifecycle logs: startup, checkpoint,
+	// restore, shutdown and degraded-mode transitions. Nil discards them
+	// (the library stays silent by default; surged wires -log-format here).
+	Logger *slog.Logger
 }
 
 // Server hosts one detector. Create with New, expose Handler on an
@@ -181,6 +190,34 @@ type Server struct {
 	topkFast   atomic.Uint64 // /v1/topk answered from the maintained snapshot
 	topkReplay atomic.Uint64 // /v1/topk answered by checkpoint replay
 	topkNotifs atomic.Uint64 // top-k notifications published
+
+	log           *slog.Logger  // never nil; discards when Config.Logger is nil
+	degradedOnce  bool          // loop-owned: degraded transition logged
+	healthTimeout time.Duration // /healthz event-loop probe budget
+
+	// Latency histograms (process-wide obs.Default registry; the shard
+	// pipeline and top-k chain register theirs from internal/shard).
+	mAck        *obs.Histogram // ingest chunk submit -> applied & acked
+	mParse      *obs.Histogram // ingest request parse time (total - ack waits)
+	mBatchObjs  *obs.Histogram // objects per applied batch
+	mQueueWait  *obs.Histogram // do() submit -> closure starts
+	mApply      *obs.Histogram // applyBatch duration on the loop
+	mLag        *obs.Histogram // loop lag probe
+	mSSEDeliver *obs.Histogram // publish -> written to subscriber
+
+	// Loop-state mirrors: the event loop writes them after every batch (and
+	// on restore) so /metrics, /healthz and /v1/stats read consistent
+	// pipeline state without a loop round-trip — the scrape path keeps
+	// working even when the loop is wedged.
+	statNow        atomic.Uint64 // stream clock (float64 bits)
+	statLive       atomic.Uint64 // objects inside the windows
+	statShards     atomic.Int64
+	statFound      atomic.Uint64    // 1 when a bursty region exists
+	statScore      atomic.Uint64    // best score (float64 bits)
+	engStats       [5]atomic.Uint64 // events, searches, searchEvents, sweepEntries, cellsTouched
+	lastIngestNano atomic.Int64     // wall clock of the last applied batch
+	lastTickNano   atomic.Int64     // wall clock of the last loop-lag probe completion
+	lastStatsNano  int64            // loop-owned: last engine-stats refresh
 }
 
 // New builds the detector and starts the event loop.
@@ -214,6 +251,19 @@ func New(cfg Config) (*Server, error) {
 		det:    det,
 		clock:  det.Now(),
 		last:   det.Best(),
+
+		log:           cfg.Logger,
+		healthTimeout: defaultHealthTimeout,
+		mAck:          obs.Default.Duration(obs.MIngestAck, "Ingest chunk latency: submit to applied and acknowledged."),
+		mParse:        obs.Default.Duration(obs.MIngestParse, "Ingest request time spent parsing the body (excludes ack waits)."),
+		mBatchObjs:    obs.Default.Values(obs.MIngestBatch, "Objects per batch applied to the detector."),
+		mQueueWait:    obs.Default.Duration(obs.MLoopQueueWait, "Event-loop queue wait: submit to closure start."),
+		mApply:        obs.Default.Duration(obs.MLoopApply, "Batch apply duration on the event loop."),
+		mLag:          obs.Default.Duration(obs.MLoopLag, "Event-loop lag: self-timed probe from send to execution."),
+		mSSEDeliver:   obs.Default.Duration(obs.MSSEDelivery, "SSE delivery latency: publish to written to the subscriber."),
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
 	}
 	if s.batch <= 0 {
 		s.batch = 512
@@ -242,9 +292,126 @@ func New(cfg Config) (*Server, error) {
 		s.topkSnap.Store(s.topkWire(s.lastTopK))
 		s.last = det.Best() // serve-from-chain may have swapped the source
 	}
+	s.hub.occ = obs.Default.Values(obs.MSSEBuffer, "Per-subscriber buffer occupancy observed at broadcast.")
+	s.statShards.Store(int64(det.Shards()))
+	s.statNow.Store(math.Float64bits(s.clock))
+	s.statLive.Store(uint64(det.Live()))
+	s.noteBest(s.last)
+	s.refreshEngineStats(time.Now())
 	s.routes()
 	go s.loop()
+	go s.lagLoop()
+	s.log.Info("server started",
+		"algorithm", cfg.Algorithm.String(),
+		"shards", det.Shards(),
+		"topk", cfg.TopK,
+		"continuous_topk", !cfg.TopKReplayOnly,
+		"best_from_chain", s.serveBestFromChain(),
+		"restored", cfg.Checkpoint != nil)
 	return s, nil
+}
+
+const (
+	// defaultHealthTimeout bounds how long /healthz waits for the event
+	// loop before reporting it stalled.
+	defaultHealthTimeout = 2 * time.Second
+	// lagProbeInterval paces the self-timed event-loop lag probe.
+	lagProbeInterval = 500 * time.Millisecond
+	// engineStatsInterval throttles the det.Stats() refresh on the loop: on
+	// a sharded detector Stats is a pipeline barrier, so the mirrors trade
+	// up to a second of staleness for a bounded, batch-independent cost.
+	engineStatsInterval = time.Second
+)
+
+// buildVersion is the module version baked into the binary, "dev" for
+// plain source builds.
+var buildVersion = func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "dev"
+}()
+
+// lagLoop self-times the event loop: every probe sends a closure and the
+// loop records how long it sat in the queue — the externally observable
+// scheduling delay an ingest submission would see right now.
+func (s *Server) lagLoop() {
+	t := time.NewTicker(lagProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.probeLag()
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// probeLag fires one lag probe without waiting for it to run (a wedged
+// loop must not wedge the prober; the probe records itself whenever the
+// loop gets to it).
+func (s *Server) probeLag() {
+	t0 := time.Now()
+	select {
+	case s.reqs <- func() {
+		if obs.On() {
+			s.mLag.Observe(time.Since(t0))
+		}
+		s.lastTickNano.Store(time.Now().UnixNano())
+	}:
+	case <-s.quit:
+	}
+}
+
+// noteBest mirrors the published answer for lock-free scrapes.
+func (s *Server) noteBest(res surge.Result) {
+	found := uint64(0)
+	if res.Found {
+		found = 1
+	}
+	s.statFound.Store(found)
+	s.statScore.Store(math.Float64bits(res.Score))
+}
+
+// noteBatch runs on the event loop after a batch lands: stamp the ingest
+// clock, refresh the state mirrors, price the apply and log the first
+// degraded-mode transition.
+func (s *Server) noteBatch(t0 time.Time, rec bool, err error) {
+	now := time.Now()
+	s.lastIngestNano.Store(now.UnixNano())
+	s.statNow.Store(math.Float64bits(s.clock))
+	s.statLive.Store(uint64(s.det.Live()))
+	if rec {
+		s.mApply.Observe(now.Sub(t0))
+	}
+	if err != nil && !s.degradedOnce {
+		s.degradedOnce = true
+		s.log.Error("pipeline degraded: batch apply failed, detector serves stale answers", "err", err)
+	}
+	s.maybeRefreshEngineStats(now)
+}
+
+// maybeRefreshEngineStats refreshes the engine-statistics mirrors at most
+// once per engineStatsInterval. Runs on the event loop.
+func (s *Server) maybeRefreshEngineStats(now time.Time) {
+	if now.UnixNano()-s.lastStatsNano < int64(engineStatsInterval) {
+		return
+	}
+	s.refreshEngineStats(now)
+}
+
+// refreshEngineStats mirrors det.Stats() into atomics. On a sharded
+// detector Stats synchronises the pipeline, so callers throttle; serving
+// from the maintained chain answers from the chain's cache and is cheap.
+func (s *Server) refreshEngineStats(now time.Time) {
+	s.lastStatsNano = now.UnixNano()
+	st := s.det.Stats()
+	s.engStats[0].Store(st.Events)
+	s.engStats[1].Store(st.Searches)
+	s.engStats[2].Store(st.SearchEvents)
+	s.engStats[3].Store(st.SweepEntries)
+	s.engStats[4].Store(st.CellsTouched)
 }
 
 // newEpoch draws the random nonzero stream epoch for a server instance.
@@ -317,16 +484,56 @@ func (s *Server) loop() {
 	}
 }
 
-// do runs fn on the event loop and waits for it.
+// do runs fn on the event loop and waits for it. The queue wait — submit to
+// closure start — is recorded per call; the timestamp rides the closure the
+// call allocates anyway, so the hot path gains no allocation.
 func (s *Server) do(fn func()) error {
 	ran := make(chan struct{})
+	rec := obs.On()
+	var t0 time.Time
+	if rec {
+		t0 = time.Now()
+	}
 	select {
-	case s.reqs <- func() { defer close(ran); fn() }:
+	case s.reqs <- func() {
+		if rec {
+			s.mQueueWait.Observe(time.Since(t0))
+		}
+		defer close(ran)
+		fn()
+	}:
 	case <-s.quit:
 		return ErrClosed
 	}
 	<-ran
 	return nil
+}
+
+// errLoopStalled reports a /healthz probe the event loop failed to answer
+// inside the timeout: the process is up but the stream pipeline is wedged.
+var errLoopStalled = errors.New("server: event loop stalled")
+
+// doTimeout is do with a deadline. On timeout the closure may still run
+// later (the loop owns it once submitted), so fn must only write state that
+// is safe to publish late — the handlers pass loop-owned mirrors or dedicated
+// heap cells they stop reading on the timeout path.
+func (s *Server) doTimeout(fn func(), d time.Duration) error {
+	ran := make(chan struct{})
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case s.reqs <- func() { defer close(ran); fn() }:
+	case <-s.quit:
+		return ErrClosed
+	case <-timer.C:
+		return errLoopStalled
+	}
+	select {
+	case <-ran:
+		return nil
+	case <-timer.C:
+		return errLoopStalled
+	}
 }
 
 // stopLoop stops accepting work and waits for the event loop to drain:
@@ -347,7 +554,13 @@ func (s *Server) stopLoop() {
 func (s *Server) Shutdown() ([]byte, error) {
 	s.stopLoop()
 	s.snapshots.Add(1)
-	return s.det.Checkpoint()
+	data, err := s.det.Checkpoint()
+	if err != nil {
+		s.log.Error("shutdown checkpoint failed", "err", err)
+	} else {
+		s.log.Info("shutdown: final state checkpointed", "bytes", len(data), "objects", s.objects.Load())
+	}
+	return data, err
 }
 
 // Close stops the event loop, disconnects subscribers and closes the
@@ -356,6 +569,7 @@ func (s *Server) Close() error {
 	s.closing.Do(func() {
 		s.stopLoop()
 		s.closeErr = s.det.Close()
+		s.log.Info("server closed", "objects", s.objects.Load(), "uptime_sec", time.Since(s.start).Seconds(), "err", s.closeErr)
 	})
 	return s.closeErr
 }
@@ -382,6 +596,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /v1/restore", s.handleRestore)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.EnablePprof {
@@ -409,6 +624,12 @@ func (s *Server) putChunk(c *[]surge.Object) {
 // applyBatch runs on the event loop: apply the time policy, push the batch,
 // publish the answer if it changed.
 func (s *Server) applyBatch(objs []surge.Object) (surge.Result, int, error) {
+	rec := obs.On()
+	var t0 time.Time
+	if rec {
+		t0 = time.Now()
+		s.mBatchObjs.Record(uint64(len(objs)))
+	}
 	clamped := 0
 	if s.cfg.TimePolicy == Clamp {
 		for i := range objs {
@@ -434,11 +655,11 @@ func (s *Server) applyBatch(objs []surge.Object) (surge.Result, int, error) {
 	}
 	s.publish(res)
 	s.refreshTopK()
-	if err != nil {
-		return res, clamped, err
+	if err == nil {
+		s.objects.Add(uint64(len(objs)))
 	}
-	s.objects.Add(uint64(len(objs)))
-	return res, clamped, nil
+	s.noteBatch(t0, rec, err)
+	return res, clamped, err
 }
 
 // publish runs on the event loop: broadcast the answer when it changed.
@@ -452,8 +673,13 @@ func (s *Server) publish(res surge.Result) {
 	s.seq++
 	s.notifs.Add(1)
 	s.eid++
+	s.noteBest(res)
 	n := client.Notification{Seq: s.seq, Time: s.det.Now(), Result: client.FromResult(res)}
-	s.dropped.Add(s.hub.broadcast(frame{eid: s.eid, burst: n}))
+	f := frame{eid: s.eid, burst: n}
+	if obs.On() {
+		f.pub = time.Now()
+	}
+	s.dropped.Add(s.hub.broadcast(f))
 }
 
 // refreshTopK runs on the event loop after every applied batch: query the
@@ -479,7 +705,11 @@ func (s *Server) refreshTopK() {
 		K:       snap.K,
 		Results: snap.Results,
 	}
-	s.dropped.Add(s.hub.broadcast(frame{eid: s.eid, topk: true, tk: n}))
+	f := frame{eid: s.eid, topk: true, tk: n}
+	if obs.On() {
+		f.pub = time.Now()
+	}
+	s.dropped.Add(s.hub.broadcast(f))
 }
 
 // topkEqual compares two top-k answers bitwise (scores, regions, found).
@@ -575,6 +805,10 @@ func (s *Server) Restore(data []byte) error {
 		s.restores.Add(1)
 		s.publish(nd.Best())
 		s.refreshTopK()
+		s.statShards.Store(int64(nd.Shards()))
+		s.statNow.Store(math.Float64bits(s.clock))
+		s.statLive.Store(uint64(nd.Live()))
+		s.refreshEngineStats(time.Now())
 		old.Close()
 	})
 	if derr != nil {
@@ -583,6 +817,7 @@ func (s *Server) Restore(data []byte) error {
 		nd.Close()
 		return derr
 	}
+	s.log.Info("restored from checkpoint", "bytes", len(data), "shards", nd.Shards(), "now", nd.Now(), "live", nd.Live())
 	return nil
 }
 
@@ -768,13 +1003,29 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := client.Health{
 		Algorithm:   s.cfg.Algorithm.String(),
+		Version:     buildVersion,
+		GoVersion:   runtime.Version(),
 		UptimeSec:   time.Since(s.start).Seconds(),
 		Subscribers: s.hub.count(),
+		// Mirror values stand in when the loop cannot answer; the loop
+		// overwrites them with the authoritative state below.
+		Shards: int(s.statShards.Load()),
+		Now:    math.Float64frombits(s.statNow.Load()),
+		Live:   int(s.statLive.Load()),
 	}
-	err := s.do(func() {
-		h.Shards = s.det.Shards()
-		h.Now = s.det.Now()
-		h.Live = s.det.Live()
+	// Last-ingest age lets probes detect a stalled *stream* (no data
+	// arriving) separately from a stalled process; -1 means "never".
+	h.LastIngestAgeSec = -1
+	if t := s.lastIngestNano.Load(); t != 0 {
+		h.LastIngestAgeSec = time.Since(time.Unix(0, t)).Seconds()
+	}
+	// The loop writes into a dedicated heap cell that the timeout path
+	// never reads, so a probe that gave up cannot race a late closure run.
+	loopH := new(client.Health)
+	err := s.doTimeout(func() {
+		loopH.Shards = s.det.Shards()
+		loopH.Now = s.det.Now()
+		loopH.Live = s.det.Live()
 		// A recorded pipeline error means the detector (or its maintained
 		// top-k chain) serves a stale answer it can no longer refresh:
 		// report unhealthy so orchestrators recycle the instance instead of
@@ -784,12 +1035,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			derr = s.tdet.Err()
 		}
 		if derr != nil {
-			h.Err = derr.Error()
+			loopH.Err = derr.Error()
 		} else {
-			h.OK = true
+			loopH.OK = true
 		}
-	})
-	if err != nil || !h.OK {
+	}, s.healthTimeout)
+	if err == nil {
+		h.OK = loopH.OK
+		h.Err = loopH.Err
+		h.Shards = loopH.Shards
+		h.Now = loopH.Now
+		h.Live = loopH.Live
+	} else {
+		h.Err = err.Error()
+	}
+	if !h.OK {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		json.NewEncoder(w).Encode(h)
@@ -798,17 +1058,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, h)
 }
 
+// handleMetrics renders the Prometheus scrape. It never round-trips the
+// event loop: every value comes from atomics, loop-state mirrors or
+// histogram snapshots, so the scrape stays up — and keeps reporting — when
+// the loop is wedged, which is exactly when the numbers matter most.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	var st client.State
-	if err := s.do(func() { st = s.state() }); err != nil {
-		writeError(w, http.StatusServiceUnavailable, err, 0)
-		return
-	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	found := 0.0
-	if st.Result.Found {
-		found = 1
-	}
+	found := float64(s.statFound.Load())
 	writeMetric(w, "surge_objects_ingested_total", "counter", "Objects applied to the detector.", float64(s.objects.Load()))
 	writeMetric(w, "surge_objects_clamped_total", "counter", "Late objects lifted to the stream clock (clamp policy).", float64(s.clamped.Load()))
 	writeMetric(w, "surge_ingest_batches_total", "counter", "Detector synchronisations on the ingest path.", float64(s.batches.Load()))
@@ -832,17 +1088,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeMetric(w, "surge_snapshots_total", "counter", "Checkpoints taken.", float64(s.snapshots.Load()))
 	writeMetric(w, "surge_restores_total", "counter", "Checkpoints restored.", float64(s.restores.Load()))
 	writeMetric(w, "surge_subscribers", "gauge", "Open notification subscriptions.", float64(s.hub.count()))
-	writeMetric(w, "surge_shards", "gauge", "Engine shards processing the stream.", float64(st.Shards))
-	writeMetric(w, "surge_live_objects", "gauge", "Objects inside the sliding windows.", float64(st.Live))
-	writeMetric(w, "surge_stream_time", "gauge", "Current stream clock.", st.Now)
+	writeMetric(w, "surge_shards", "gauge", "Engine shards processing the stream.", float64(s.statShards.Load()))
+	writeMetric(w, "surge_live_objects", "gauge", "Objects inside the sliding windows.", float64(s.statLive.Load()))
+	writeMetric(w, "surge_stream_time", "gauge", "Current stream clock.", math.Float64frombits(s.statNow.Load()))
 	writeMetric(w, "surge_best_found", "gauge", "Whether a bursty region currently exists.", found)
-	writeMetric(w, "surge_best_score", "gauge", "Burst score of the current bursty region.", st.Result.Score)
-	writeMetric(w, "surge_engine_events_total", "counter", "Window events processed by the engines (halo replicas counted per shard).", float64(st.Stats.Events))
-	writeMetric(w, "surge_engine_searches_total", "counter", "Snapshot searches run by the engines.", float64(st.Stats.Searches))
-	writeMetric(w, "surge_engine_search_events_total", "counter", "Events that triggered at least one search.", float64(st.Stats.SearchEvents))
-	writeMetric(w, "surge_engine_sweep_entries_total", "counter", "Sweep entries processed by the engines.", float64(st.Stats.SweepEntries))
-	writeMetric(w, "surge_engine_cells_touched_total", "counter", "Grid cells touched by the engines.", float64(st.Stats.CellsTouched))
+	writeMetric(w, "surge_best_score", "gauge", "Burst score of the current bursty region.", math.Float64frombits(s.statScore.Load()))
+	writeMetric(w, "surge_engine_events_total", "counter", "Window events processed by the engines (halo replicas counted per shard).", float64(s.engStats[0].Load()))
+	writeMetric(w, "surge_engine_searches_total", "counter", "Snapshot searches run by the engines.", float64(s.engStats[1].Load()))
+	writeMetric(w, "surge_engine_search_events_total", "counter", "Events that triggered at least one search.", float64(s.engStats[2].Load()))
+	writeMetric(w, "surge_engine_sweep_entries_total", "counter", "Sweep entries processed by the engines.", float64(s.engStats[3].Load()))
+	writeMetric(w, "surge_engine_cells_touched_total", "counter", "Grid cells touched by the engines.", float64(s.engStats[4].Load()))
 	writeMetric(w, "surge_uptime_seconds", "gauge", "Seconds since the server started.", time.Since(s.start).Seconds())
+	writeMetric(w, "surge_last_ingest_age_seconds", "gauge", "Seconds since the last applied batch (-1 before the first).", s.lastIngestAge())
+	writeMetric(w, "surge_loop_tick_age_seconds", "gauge", "Seconds since the event loop last answered a lag probe (-1 before the first).", ageSec(s.lastTickNano.Load()))
+	fmt.Fprintf(w, "# HELP surge_build_info Build metadata; the value is always 1.\n# TYPE surge_build_info gauge\nsurge_build_info{version=%q,go_version=%q,algorithm=%q,shards=%q} 1\n",
+		buildVersion, runtime.Version(), s.cfg.Algorithm.String(), strconv.FormatInt(s.statShards.Load(), 10))
+	obs.Default.WritePrometheus(w)
+	obs.ReadRuntime().WritePrometheus(w)
+}
+
+// lastIngestAge returns seconds since the last applied batch, -1 before
+// any ingest.
+func (s *Server) lastIngestAge() float64 {
+	return ageSec(s.lastIngestNano.Load())
+}
+
+// ageSec converts a stored wall-clock nanosecond stamp to an age in
+// seconds, -1 when the stamp was never set.
+func ageSec(nano int64) float64 {
+	if nano == 0 {
+		return -1
+	}
+	return time.Since(time.Unix(0, nano)).Seconds()
 }
 
 func writeMetric(w http.ResponseWriter, name, kind, help string, v float64) {

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"time"
+
+	"surge/client"
+	"surge/internal/obs"
+)
+
+// handleStats serves the typed telemetry snapshot. Like /metrics it never
+// round-trips the event loop: counters, loop-state mirrors and histogram
+// snapshots are all read lock-free, so the endpoint answers even when the
+// loop is wedged — the mirror values are then the last state the loop
+// published, which is exactly what an operator debugging the wedge needs.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := client.StatsSnapshot{
+		UptimeSec:        time.Since(s.start).Seconds(),
+		LastIngestAgeSec: s.lastIngestAge(),
+		LoopTickAgeSec:   ageSec(s.lastTickNano.Load()),
+		Now:              math.Float64frombits(s.statNow.Load()),
+		Live:             int(s.statLive.Load()),
+		Shards:           int(s.statShards.Load()),
+
+		Objects:       s.objects.Load(),
+		Batches:       s.batches.Load(),
+		IngestErrors:  s.ingestErr.Load(),
+		Notifications: s.notifs.Load() + s.topkNotifs.Load(),
+		Dropped:       s.dropped.Load(),
+		TopKCommits:   obs.Default.Counter(obs.MTopKCommits, "").Value(),
+		Subscribers:   s.hub.count(),
+
+		IngestAck:     histSecs(s.mAck),
+		IngestParse:   histSecs(s.mParse),
+		IngestBatch:   histVals(s.mBatchObjs),
+		LoopQueueWait: histSecs(s.mQueueWait),
+		LoopApply:     histSecs(s.mApply),
+		LoopLag:       histSecs(s.mLag),
+		SSEDelivery:   histSecs(s.mSSEDeliver),
+		SSEBuffer:     histVals(s.hub.occ),
+		// The shard pipeline and top-k chain register these from
+		// internal/shard; get-or-create hands back the same instances (or
+		// empty ones on an unsharded, replay-only server).
+		ShardFlush:    histVals(obs.Default.Values(obs.MShardFlush, "")),
+		ShardBarrier:  histSecs(obs.Default.Duration(obs.MShardBarrier, "")),
+		TopKResolve:   histSecs(obs.Default.Duration(obs.MTopKResolve, "")),
+		TopKSolveWait: histSecs(obs.Default.Duration(obs.MTopKSolveWait, "")),
+		TopKShards:    histVals(obs.Default.Values(obs.MTopKShards, "")),
+	}
+	rt := obs.ReadRuntime()
+	st.Runtime = client.RuntimeStats{
+		Goroutines:         rt.Goroutines,
+		HeapBytes:          rt.HeapBytes,
+		GCCycles:           rt.GCCycles,
+		GCPauseP50Sec:      rt.GCPauseP50,
+		GCPauseP99Sec:      rt.GCPauseP99,
+		GCPauseMaxSec:      rt.GCPauseMax,
+		SchedLatencyP50Sec: rt.SchedLatP50,
+		SchedLatencyP99Sec: rt.SchedLatP99,
+	}
+	writeJSON(w, st)
+}
+
+// histSecs summarises a duration histogram in seconds for the wire.
+func histSecs(h *obs.Histogram) client.HistogramStats {
+	return histWire(h, 1e-9)
+}
+
+// histVals summarises a raw-value histogram for the wire.
+func histVals(h *obs.Histogram) client.HistogramStats {
+	return histWire(h, 1)
+}
+
+func histWire(h *obs.Histogram, scale float64) client.HistogramStats {
+	snap := h.Snapshot()
+	return client.HistogramStats{
+		Count: snap.Count,
+		Mean:  snap.Mean() * scale,
+		Max:   float64(snap.Max) * scale,
+		P50:   snap.Quantile(0.5) * scale,
+		P90:   snap.Quantile(0.9) * scale,
+		P99:   snap.Quantile(0.99) * scale,
+		P999:  snap.Quantile(0.999) * scale,
+	}
+}

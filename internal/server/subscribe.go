@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"surge/client"
+	"surge/internal/obs"
 )
 
 // keepAliveInterval paces the SSE comment lines that keep idle
@@ -26,6 +27,11 @@ type frame struct {
 	topk  bool
 	burst client.Notification
 	tk    client.TopKNotification
+	// pub is when the event loop published the frame; the subscriber
+	// handler records publish->write delivery latency from it. Zero when
+	// recording was off at publish (and ignored for backlog replays, whose
+	// stamps describe a past delivery, not this one).
+	pub time.Time
 }
 
 // dropped returns the frame's loss account.
@@ -72,7 +78,8 @@ type hub struct {
 	subs    map[*subscriber]struct{}
 	ring    []frame // the newest min(newest, ringCap) frames, indexed by (eid-1) % ringCap
 	ringCap int
-	newest  uint64 // eid of the most recently published frame
+	newest  uint64         // eid of the most recently published frame
+	occ     *obs.Histogram // per-subscriber buffer occupancy at broadcast; nil in bare-hub tests
 }
 
 func (h *hub) add(sub *subscriber) {
@@ -147,7 +154,11 @@ func (h *hub) broadcast(f frame) uint64 {
 		}
 	}
 	var lost uint64
+	rec := h.occ != nil && obs.On()
 	for sub := range h.subs {
+		if rec {
+			h.occ.Record(uint64(len(sub.ch)))
+		}
 		if sub.trySend(f) {
 			continue
 		}
@@ -255,6 +266,9 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			fl.Flush()
+			if !f.pub.IsZero() && obs.On() {
+				s.mSSEDeliver.Observe(time.Since(f.pub))
+			}
 		case <-ticker.C:
 			if _, err := fmt.Fprint(w, ": keep-alive\n\n"); err != nil {
 				return

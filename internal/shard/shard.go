@@ -47,9 +47,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
+	"time"
 
 	"surge/internal/core"
+	"surge/internal/obs"
 )
 
 // DefaultBlockCols is the default number of query-width columns per
@@ -151,6 +154,13 @@ type Pipeline struct {
 	nextChain int      // next top-k chain id
 	tgt       [3]int   // Route/seed target scratch (single-caller contract)
 
+	// Telemetry (process-wide obs.Default; recording amortised over batch
+	// ship points, gated behind obs.On).
+	mFlush   *obs.Histogram // events per shipped batch
+	mBarrier *obs.Histogram // Query barrier wait
+	mDepth   []*obs.Gauge   // per-shard channel depth at flush
+	mEvents  []*obs.Counter // per-shard events shipped
+
 	// noEngines records that the workers run no single-region engines — a
 	// top-k-only pipeline (factory == nil) or one whose engines were dropped
 	// by DropEngines. It is the coordinator-side mirror of the workers'
@@ -208,6 +218,15 @@ func NewWithParams(cfg core.Config, shards, blockCols int, par Params, factory E
 	p.pool.New = func() any {
 		s := make([]core.Event, 0, batchCap)
 		return &s
+	}
+	p.mFlush = obs.Default.Values(obs.MShardFlush, "Events per batch shipped to a shard worker.")
+	p.mBarrier = obs.Default.Duration(obs.MShardBarrier, "Query barrier: flush to all shards answered.")
+	p.mDepth = make([]*obs.Gauge, shards)
+	p.mEvents = make([]*obs.Counter, shards)
+	for i := 0; i < shards; i++ {
+		label := strconv.Itoa(i)
+		p.mDepth[i] = obs.Default.Gauge(obs.MShardDepth, "Per-shard channel depth (batches) observed at flush.", "shard", label)
+		p.mEvents[i] = obs.Default.Counter(obs.MShardEvents, "Events shipped per shard (halo replicas included).", "shard", label)
 	}
 	p.noEngines = factory == nil
 	for i := 0; i < shards; i++ {
@@ -370,10 +389,23 @@ func (p *Pipeline) enqueue(s int, ev core.Event) {
 	}
 	buf = append(buf, ev)
 	if len(buf) >= p.flushTarget(s) {
+		p.noteShip(s, len(buf))
 		p.workers[s].ch <- batch{evs: buf}
 		buf = nil
 	}
 	p.pending[s] = buf
+}
+
+// noteShip records one batch ship to shard s: the batch size, the shard's
+// cumulative event count and its channel depth at the moment of the ship.
+// Amortised over whole batches, so the per-event routing cost is untouched.
+func (p *Pipeline) noteShip(s, events int) {
+	if !obs.On() {
+		return
+	}
+	p.mFlush.Record(uint64(events))
+	p.mEvents[s].Add(uint64(events))
+	p.mDepth[s].Set(float64(len(p.workers[s].ch)))
 }
 
 // flushTarget returns the buffered-event count at which the router ships a
@@ -406,7 +438,15 @@ func (p *Pipeline) Query() (core.Result, core.Stats, error) {
 	if p.noEngines {
 		return core.Result{}, core.Stats{}, errors.New("shard: pipeline has no single-region engines")
 	}
+	rec := obs.On()
+	var t0 time.Time
+	if rec {
+		t0 = time.Now()
+	}
 	for i, w := range p.workers {
+		if n := len(p.pending[i]); n > 0 {
+			p.noteShip(i, n)
+		}
 		w.ch <- batch{evs: p.pending[i], q: p.replyc}
 		p.pending[i] = nil
 	}
@@ -414,6 +454,9 @@ func (p *Pipeline) Query() (core.Result, core.Stats, error) {
 		r := <-p.replyc
 		p.results[r.idx] = r.best
 		p.stats[r.idx] = r.stats
+	}
+	if rec {
+		p.mBarrier.Observe(time.Since(t0))
 	}
 	var best core.Result
 	for _, r := range p.results {

@@ -22,8 +22,10 @@ package shard
 import (
 	"errors"
 	"math"
+	"time"
 
 	"surge/internal/core"
+	"surge/internal/obs"
 )
 
 // TopKFactory builds the top-k engine for one shard. The passed config
@@ -95,6 +97,13 @@ type TopKChain struct {
 	seenSeq  uint64 // routeSeq at the last resolve
 	valid    bool   // out/sum hold a resolved answer
 	detached bool
+
+	// Telemetry (process-wide obs.Default). The fast path — cached answer,
+	// no events since — records nothing: only actual resolves are priced.
+	mResolve   *obs.Histogram // full resolve duration
+	mSolveWait *obs.Histogram // time blocked on shard solve replies
+	mShards    *obs.Histogram // solve ops issued per resolve
+	mCommits   *obs.Counter   // ApplyRank commits shipped
 }
 
 // AttachTopK installs a top-k chain of size k on the pipeline: one engine
@@ -150,6 +159,11 @@ func (p *Pipeline) AttachTopK(k int, factory TopKFactory, seed []core.Event) (*T
 		rankSeq:   make([][]uint64, n),
 		rankStamp: make([][]uint64, n),
 		replyc:    make(chan tkReply, n),
+
+		mResolve:   obs.Default.Duration(obs.MTopKResolve, "Cross-shard top-k chain resolve duration (cache misses only)."),
+		mSolveWait: obs.Default.Duration(obs.MTopKSolveWait, "Time the top-k coordinator spent blocked on shard solve replies."),
+		mShards:    obs.Default.Values(obs.MTopKShards, "Shard solve operations issued per top-k resolve."),
+		mCommits:   obs.Default.Counter(obs.MTopKCommits, "Top-k rank commits (ApplyRank) shipped to shard workers."),
 	}
 	for s := 0; s < n; s++ {
 		c.ansP[s] = make([]core.Result, k)
@@ -188,6 +202,7 @@ func NewTopK(cfg core.Config, shards, blockCols int, par Params, k int, factory 
 func (p *Pipeline) flushPending() {
 	for i, buf := range p.pending {
 		if len(buf) > 0 {
+			p.noteShip(i, len(buf))
 			p.workers[i].ch <- batch{evs: buf}
 			p.pending[i] = nil
 		}
@@ -280,6 +295,13 @@ func (c *TopKChain) Query() ([]core.Result, core.Stats, error) {
 	if c.valid && c.seenSeq == p.routeSeq {
 		return c.out, c.sum, nil
 	}
+	rec := obs.On()
+	var t0 time.Time
+	var solveWait time.Duration
+	solveOps := 0
+	if rec {
+		t0 = time.Now()
+	}
 	// Re-solve problem 1 only where it can have changed: commits never alter
 	// what problem 1 sees, so a shard's cached problem-1 answer stands until
 	// an event reaches the shard.
@@ -289,9 +311,20 @@ func (c *TopKChain) Query() ([]core.Result, core.Stats, error) {
 			c.ans[i] = c.ansP[i][0]
 			continue
 		}
+		if n := len(p.pending[i]); n > 0 {
+			p.noteShip(i, n)
+		}
 		w.ch <- batch{evs: p.pending[i], op: &tkOp{kind: tkSolve, id: c.id, i: 1, resc: c.replyc}}
 		p.pending[i] = nil
 		need++
+	}
+	solveOps += need
+	if rec && need > 0 {
+		w0 := time.Now()
+		for ; need > 0; need-- {
+			c.recordSolve(<-c.replyc, 1)
+		}
+		solveWait += time.Since(w0)
 	}
 	for ; need > 0; need-- {
 		c.recordSolve(<-c.replyc, 1)
@@ -317,6 +350,9 @@ func (c *TopKChain) Query() ([]core.Result, core.Stats, error) {
 		for _, s := range c.aff {
 			if !c.applyIsNoop(s, i, old, sel) {
 				p.workers[s].ch <- batch{op: &tkOp{kind: tkApply, id: c.id, i: i, old: old, sel: sel}}
+				if rec {
+					c.mCommits.Inc()
+				}
 				c.stamp++
 				c.rankSel[s][i-1] = sel
 				c.rankOK[s][i-1] = true
@@ -335,9 +371,23 @@ func (c *TopKChain) Query() ([]core.Result, core.Stats, error) {
 		for _, s := range c.solves {
 			p.workers[s].ch <- batch{op: &tkOp{kind: tkSolve, id: c.id, i: i + 1, resc: c.replyc}}
 		}
-		for range c.solves {
-			c.recordSolve(<-c.replyc, i+1)
+		solveOps += len(c.solves)
+		if rec && len(c.solves) > 0 {
+			w0 := time.Now()
+			for range c.solves {
+				c.recordSolve(<-c.replyc, i+1)
+			}
+			solveWait += time.Since(w0)
+		} else {
+			for range c.solves {
+				c.recordSolve(<-c.replyc, i+1)
+			}
 		}
+	}
+	if rec {
+		c.mResolve.Observe(time.Since(t0))
+		c.mSolveWait.Observe(solveWait)
+		c.mShards.Record(uint64(solveOps))
 	}
 	c.out = append(c.out[:0], c.top...)
 	var st core.Stats
