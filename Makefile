@@ -55,3 +55,5 @@ bench-smoke:
 		echo "bench-smoke: BENCH_hotpath.json lacks ingest-ack latency quantiles; the obs histograms broke"; exit 1; }
 	@grep -q '"obs_overhead_pct"' bench-out/BENCH_hotpath.json || { \
 		echo "bench-smoke: BENCH_hotpath.json lacks obs_overhead_pct; the obs-on-vs-off comparison broke"; exit 1; }
+	@grep -q '"wal_overhead_pct"' bench-out/BENCH_hotpath.json || { \
+		echo "bench-smoke: BENCH_hotpath.json lacks wal_overhead_pct; the durable-ingest rows broke"; exit 1; }

@@ -22,8 +22,9 @@ const (
 // Client talks to one surged serve instance. The zero value is not usable;
 // use New. Client is safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry *RetryPolicy // nil: no automatic retries
 }
 
 // Option customises a Client.
@@ -81,6 +82,30 @@ func (c *Client) IngestStream(ctx context.Context, body io.Reader, contentType s
 	return &out, nil
 }
 
+// IngestSeq ingests a batch idempotently: the request carries an
+// Ingest-Seq header of "source:seq", the server applies each (source, seq)
+// pair at most once, and a retry of an already-applied sequence replays
+// the original ack instead of re-applying the data. Sequences must be
+// assigned monotonically (1, 2, 3, ...) per source; a stale seq fails with
+// ErrSeqOutOfOrder. Combined with WithRetry, delivery is effectively-once.
+func (c *Client) IngestSeq(ctx context.Context, source string, seq uint64, objs []surge.Object) (*IngestResult, error) {
+	var buf bytes.Buffer
+	if err := EncodeNDJSON(&buf, objs); err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/ingest", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", NDJSON)
+	req.Header.Set("Ingest-Seq", source+":"+strconv.FormatUint(seq, 10))
+	var out IngestResult
+	if err := c.doJSON(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Best returns the current bursty region and stream clock.
 func (c *Client) Best(ctx context.Context) (*State, error) {
 	var out State
@@ -125,7 +150,7 @@ func (c *Client) Snapshot(ctx context.Context) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +204,7 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return "", err
 	}
@@ -200,7 +225,7 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 }
 
 func (c *Client) doJSON(req *http.Request, out any) error {
-	resp, err := c.hc.Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}
@@ -212,11 +237,19 @@ func (c *Client) doJSON(req *http.Request, out any) error {
 }
 
 // decodeError turns a non-2xx reply into an *Error when the body carries
-// the JSON error schema, or a plain error otherwise.
+// the JSON error schema, or a plain error otherwise. The HTTP status and
+// any Retry-After header are folded into the *Error so callers get the
+// whole failure from one value.
 func decodeError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
 	var e Error
 	if err := json.Unmarshal(body, &e); err == nil && e.Err != "" {
+		e.Status = resp.StatusCode
+		if e.RetryAfterSec == 0 {
+			if d, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok {
+				e.RetryAfterSec = d.Seconds()
+			}
+		}
 		return &e
 	}
 	return fmt.Errorf("client: %s: %s", resp.Status, strings.TrimSpace(string(body)))

@@ -1,0 +1,162 @@
+package client
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// RetryPolicy configures the client's automatic retries. Retries cover
+// transport errors (connection refused/reset), 429 replies (honouring
+// Retry-After) and 5xx replies — but only for requests that are safe to
+// repeat: all GETs, snapshot and restore, and ingest only when it carries
+// an Ingest-Seq header, because the server's per-source dedupe then makes
+// the retry effectively-once. Ingest without a sequence is never retried:
+// an ack lost after the server applied the batch would double-count it.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first.
+	// 0 means 4.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; each further
+	// attempt doubles it, with jitter. 0 means 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (a larger server Retry-After
+	// still wins). 0 means 5s.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	return p
+}
+
+// WithRetry enables automatic retries with the given policy; see
+// RetryPolicy for which requests and failures are covered.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) {
+		pp := p.withDefaults()
+		c.retry = &pp
+	}
+}
+
+// retriable reports whether req is safe to send more than once. Requests
+// whose body cannot be replayed (a streaming ingest from an io.Reader) are
+// not, regardless of policy.
+func retriable(req *http.Request) bool {
+	if req.Body != nil && req.GetBody == nil {
+		return false
+	}
+	if req.Method == http.MethodGet {
+		return true
+	}
+	if req.URL.Path == "/v1/ingest" {
+		return req.Header.Get("Ingest-Seq") != ""
+	}
+	return true
+}
+
+// retryStatus reports whether an HTTP status is worth retrying.
+func retryStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// parseRetryAfter parses a Retry-After header value: either delay seconds
+// or an HTTP-date.
+func parseRetryAfter(v string) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.ParseFloat(v, 64); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs * float64(time.Second)), true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// backoff returns the jittered exponential delay before retry attempt i
+// (0-based): the deterministic half plus up to the same amount of jitter,
+// so concurrent clients shed at the same instant do not retry in lockstep.
+func (p RetryPolicy) backoff(i int) time.Duration {
+	d := p.BaseDelay << uint(i)
+	if d <= 0 || d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// do sends req, retrying per the client's policy when the request is
+// retriable. On a retryable status the server's Retry-After wins over the
+// computed backoff when it is longer. The final failing attempt's response
+// (or transport error) is returned untouched so callers decode it as usual.
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	attempts := 1
+	if c.retry != nil && retriable(req) {
+		attempts = c.retry.MaxAttempts
+	}
+	for i := 0; ; i++ {
+		if i > 0 && req.GetBody != nil {
+			body, err := req.GetBody()
+			if err != nil {
+				return nil, err
+			}
+			req.Body = body
+		}
+		resp, err := c.hc.Do(req)
+		last := i+1 >= attempts
+		if err != nil {
+			if last {
+				return nil, err
+			}
+			if serr := sleepCtx(req.Context(), c.retry.backoff(i)); serr != nil {
+				return nil, err
+			}
+			continue
+		}
+		if !retryStatus(resp.StatusCode) || last {
+			return resp, nil
+		}
+		wait := c.retry.backoff(i)
+		if ra, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok && ra > wait {
+			wait = ra
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+		resp.Body.Close()
+		if serr := sleepCtx(req.Context(), wait); serr != nil {
+			return nil, serr
+		}
+	}
+}

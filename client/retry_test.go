@@ -1,0 +1,157 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"surge"
+)
+
+func testObjs() []surge.Object {
+	return []surge.Object{{Time: 1, X: 1, Y: 1, Weight: 1}}
+}
+
+func ackOK(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(IngestResult{Accepted: 1})
+}
+
+func TestRetryOn429WithRetryAfter(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(Error{Err: "overloaded", Code: CodeOverloaded})
+			return
+		}
+		ackOK(w)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}))
+	res, err := c.IngestSeq(context.Background(), "src", 1, testObjs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 1 || hits.Load() != 2 {
+		t.Fatalf("accepted=%d hits=%d, want 1 accepted on the second attempt", res.Accepted, hits.Load())
+	}
+}
+
+func TestRetryOn5xxGET(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) < 3 {
+			http.Error(w, "boom", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(Health{OK: true})
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond}))
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || hits.Load() != 3 {
+		t.Fatalf("ok=%v hits=%d, want success on the third attempt", h.OK, hits.Load())
+	}
+}
+
+func TestNoRetryOfUnsequencedIngest(t *testing.T) {
+	// An ingest without Ingest-Seq must not be retried: the server may have
+	// applied it even though the reply was lost, and a blind repeat would
+	// double-count. The 503 here must surface after exactly one attempt.
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond}))
+	if _, err := c.Ingest(context.Background(), testObjs()); err == nil {
+		t.Fatal("want an error")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("unsequenced ingest was retried: %d attempts", hits.Load())
+	}
+}
+
+func TestRetryExhaustionReturnsTypedError(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The big hint only on the final attempt, so the test does not
+		// actually sleep it — it just has to survive into the error.
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+		} else {
+			w.Header().Set("Retry-After", "2")
+		}
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(Error{Err: "overloaded", Code: CodeOverloaded})
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}))
+	_, err := c.IngestSeq(context.Background(), "src", 1, testObjs())
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	var e *Error
+	if !errors.As(err, &e) || e.Status != http.StatusTooManyRequests || e.RetryAfterSec != 2 {
+		t.Fatalf("error lost its transport metadata: %+v", e)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("attempts = %d, want 2", hits.Load())
+	}
+}
+
+func TestRetryTransportError(t *testing.T) {
+	// A connect failure on a retriable request retries, then surfaces the
+	// transport error once attempts are exhausted.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close() // nothing listens any more
+	c := New(url, WithRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}))
+	if _, err := c.Best(context.Background()); err == nil {
+		t.Fatal("want a transport error")
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	if d, ok := parseRetryAfter("3"); !ok || d != 3*time.Second {
+		t.Fatalf("seconds form: got %v %v", d, ok)
+	}
+	if d, ok := parseRetryAfter("0"); !ok || d != 0 {
+		t.Fatalf("zero seconds: got %v %v", d, ok)
+	}
+	future := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	if d, ok := parseRetryAfter(future); !ok || d < 80*time.Second || d > 91*time.Second {
+		t.Fatalf("http-date form: got %v %v", d, ok)
+	}
+	past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	if d, ok := parseRetryAfter(past); !ok || d != 0 {
+		t.Fatalf("past http-date should mean no wait: got %v %v", d, ok)
+	}
+	if _, ok := parseRetryAfter("soon"); ok {
+		t.Fatal("garbage should not parse")
+	}
+	if _, ok := parseRetryAfter(""); ok {
+		t.Fatal("empty should not parse")
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}.withDefaults()
+	for i := 0; i < 20; i++ {
+		d := p.backoff(i)
+		if d < p.BaseDelay/2 || d > p.MaxDelay {
+			t.Fatalf("backoff(%d) = %v outside [%v, %v]", i, d, p.BaseDelay/2, p.MaxDelay)
+		}
+	}
+}

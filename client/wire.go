@@ -29,7 +29,11 @@
 // coordinates survive the wire bit-for-bit.
 package client
 
-import "surge"
+import (
+	"errors"
+
+	"surge"
+)
 
 // Object is one stream element on the wire: an NDJSON ingest line. A
 // missing weight defaults to 1 on the server.
@@ -151,6 +155,18 @@ type Health struct {
 	// arriving) from a stalled process.
 	LastIngestAgeSec float64 `json:"last_ingest_age_sec"`
 	Err              string  `json:"err,omitempty"`
+
+	// Durable reports whether the server runs with a write-ahead log
+	// (-data-dir); the recovery fields below describe its last boot.
+	Durable bool `json:"durable,omitempty"`
+	// RecoveredBatches is the number of WAL batches replayed at boot on top
+	// of the newest checkpoint.
+	RecoveredBatches uint64 `json:"recovered_batches,omitempty"`
+	// RecoverySec is how long the boot replay took.
+	RecoverySec float64 `json:"recovery_sec,omitempty"`
+	// WALTornBytes is the byte count discarded by torn-tail truncation at
+	// the last boot (0 after a clean shutdown).
+	WALTornBytes int64 `json:"wal_torn_bytes,omitempty"`
 }
 
 // HistogramStats summarises one latency or value histogram in /v1/stats.
@@ -218,17 +234,89 @@ type StatsSnapshot struct {
 	TopKSolveWait HistogramStats `json:"topk_solve_wait"`
 	TopKShards    HistogramStats `json:"topk_resolved_shards"` // shard solves per resolve
 
+	// Throttled counts ingest chunks shed with 429 by admission control.
+	Throttled uint64 `json:"throttled,omitempty"`
+
+	// WAL is the durability block, nil on servers without -data-dir.
+	WAL *WALStats `json:"wal,omitempty"`
+
 	Runtime RuntimeStats `json:"runtime"`
 }
+
+// WALStats is the durability block of /v1/stats on a server running with a
+// write-ahead log.
+type WALStats struct {
+	SyncPolicy     string  `json:"sync_policy"` // always | interval | off
+	Frames         uint64  `json:"frames"`      // frames appended since boot
+	AppendedBytes  uint64  `json:"appended_bytes"`
+	Segments       int     `json:"segments"`   // segment files on disk
+	SizeBytes      int64   `json:"size_bytes"` // total segment bytes on disk
+	LastSyncAgeSec float64 `json:"last_sync_age_sec"`
+	Checkpoints    uint64  `json:"checkpoints"` // durable checkpoints written
+
+	Append HistogramStats `json:"append"` // frame write (+ fsync under always)
+	Fsync  HistogramStats `json:"fsync"`
+
+	// Boot recovery summary (mirrors the /healthz fields).
+	RecoveredBatches uint64  `json:"recovered_batches"`
+	RecoveredObjects uint64  `json:"recovered_objects"`
+	RecoverySec      float64 `json:"recovery_sec"`
+	TornBytes        int64   `json:"torn_bytes"`
+}
+
+// Error codes carried by Error.Code for failures a client is expected to
+// branch on (everything else is prose in Error.Err).
+const (
+	// CodeOverloaded: the server shed the request (429) because its ingest
+	// admission watermark was crossed; retry after Error.RetryAfterSec.
+	CodeOverloaded = "overloaded"
+	// CodeSeqOutOfOrder: the request's Ingest-Seq is lower than the newest
+	// sequence the server has seen from that source — a stale retry the
+	// client must not repeat.
+	CodeSeqOutOfOrder = "seq_out_of_order"
+	// CodeSeqConflict: another request with the same Ingest-Seq source is
+	// in flight; serialise retries per source.
+	CodeSeqConflict = "seq_conflict"
+)
+
+// Sentinel errors matched by errors.Is against a decoded *Error.
+var (
+	ErrOverloaded    = errors.New("client: server overloaded")
+	ErrSeqOutOfOrder = errors.New("client: ingest sequence out of order")
+	ErrSeqConflict   = errors.New("client: ingest sequence in flight elsewhere")
+)
 
 // Error is the JSON body of a non-2xx reply.
 type Error struct {
 	Err      string `json:"error"`
+	Code     string `json:"code,omitempty"`     // machine-readable cause (Code* constants)
 	Accepted int    `json:"accepted,omitempty"` // objects applied before the failure
+	// RetryAfterSec mirrors the Retry-After header of a 429 reply (0 when
+	// absent), so callers get the backoff hint without reaching into the
+	// HTTP response.
+	RetryAfterSec float64 `json:"retry_after_sec,omitempty"`
+
+	// Status is the HTTP status code the error arrived with, filled in by
+	// the client (transport metadata, not part of the JSON body).
+	Status int `json:"-"`
 }
 
 // Error implements the error interface.
 func (e *Error) Error() string { return e.Err }
+
+// Is maps error codes to the package's sentinel errors, so callers can
+// write errors.Is(err, client.ErrSeqOutOfOrder) without unwrapping.
+func (e *Error) Is(target error) bool {
+	switch target {
+	case ErrOverloaded:
+		return e.Code == CodeOverloaded
+	case ErrSeqOutOfOrder:
+		return e.Code == CodeSeqOutOfOrder
+	case ErrSeqConflict:
+		return e.Code == CodeSeqConflict
+	}
+	return false
+}
 
 // FromObject converts a surge.Object to its wire form.
 func FromObject(o surge.Object) Object {

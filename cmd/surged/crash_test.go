@@ -1,0 +1,294 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"reflect"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"surge"
+	"surge/client"
+	"surge/internal/server"
+)
+
+// childEnv re-executes this test binary as a surged serve process: the
+// fault-injection tests need a real subprocess they can kill -9 mid-
+// stream, which an in-process server cannot model.
+const childEnv = "SURGED_CRASH_SERVE_ARGS"
+
+func TestMain(m *testing.M) {
+	if args := os.Getenv(childEnv); args != "" {
+		if err := runServe(strings.Split(args, "\x1f")); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startChild launches a surged serve subprocess with the given flags.
+func startChild(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), childEnv+"="+strings.Join(args, "\x1f"))
+	if testing.Verbose() {
+		cmd.Stderr = os.Stderr
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd
+}
+
+// crashBatches is the deterministic test stream: nBatch requests of per
+// objects each, with a drifting hotspot and ~20% late timestamps so the
+// clamp policy does real work that recovery must reproduce bit-for-bit.
+func crashBatches(nBatch, per int) [][]surge.Object {
+	rng := rand.New(rand.NewPCG(77, 78))
+	out := make([][]surge.Object, nBatch)
+	tm := 0.0
+	for b := range out {
+		batch := make([]surge.Object, per)
+		for i := range batch {
+			tm += rng.ExpFloat64() * 0.4
+			o := surge.Object{Time: tm, X: rng.Float64() * 4, Y: rng.Float64() * 4, Weight: 1 + rng.Float64()*9}
+			if rng.IntN(5) == 0 {
+				o.Time = tm - 1 - rng.Float64()*5 // late: will be clamped
+			}
+			if i%3 == 0 {
+				o.X = 2 + rng.Float64()*0.5
+				o.Y = 2 + rng.Float64()*0.5
+			}
+			batch[i] = o
+		}
+		out[b] = batch
+	}
+	return out
+}
+
+// referenceRun feeds the whole stream to an uninterrupted in-process
+// server with the same configuration and returns the ack of every batch
+// plus a query client. The crashed-and-recovered subprocess must match it
+// bitwise at every compared point.
+func referenceRun(t *testing.T, shards int, batches [][]surge.Object) (*server.Server, []*client.IngestResult) {
+	t.Helper()
+	s, err := server.New(server.Config{
+		Algorithm:  surge.CellCSPOT,
+		Options:    surge.Options{Width: 1, Height: 1, Window: 60, Alpha: 0.5, Shards: shards},
+		BatchSize:  4,
+		TimePolicy: server.Clamp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	srv := newLoopbackServer(t, s)
+	c := client.New(srv)
+	acks := make([]*client.IngestResult, len(batches))
+	for i, b := range batches {
+		ack, err := c.IngestSeq(context.Background(), "crash", uint64(i+1), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acks[i] = ack
+	}
+	return s, acks
+}
+
+// newLoopbackServer serves s.Handler() on a loopback listener and returns
+// its base URL.
+func newLoopbackServer(t *testing.T, s *server.Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go http.Serve(ln, s.Handler())
+	t.Cleanup(func() { ln.Close() })
+	return "http://" + ln.Addr().String()
+}
+
+func compareAnswers(t *testing.T, label string, got, want *client.Client) {
+	t.Helper()
+	ctx := context.Background()
+	gb, err := got.Best(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := want.Best(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gb.Result, wb.Result) || gb.Now != wb.Now || gb.Live != wb.Live {
+		t.Fatalf("%s: best diverged:\ngot  result=%+v now=%v live=%d\nwant result=%+v now=%v live=%d",
+			label, gb.Result, gb.Now, gb.Live, wb.Result, wb.Now, wb.Live)
+	}
+	gt, err := got.TopK(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, err := want.TopK(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gt.Results, wt.Results) {
+		t.Fatalf("%s: topk diverged:\ngot  %+v\nwant %+v", label, gt.Results, wt.Results)
+	}
+}
+
+// TestCrashRecoveryKill9 is the fault-injection harness: stream sequenced
+// batches into a surged subprocess, SIGKILL it with a request in flight,
+// restart it from the same -data-dir, retry the uncertain batch (the
+// dedupe must make the retry effectively-once regardless of how much of it
+// was applied), finish the stream, and require every compared answer to be
+// bitwise identical to an uninterrupted reference run.
+//
+// Short mode runs one combination with a fixed kill point; full mode runs
+// shard counts {1,2,4} x all three sync policies with randomized kill
+// points (the seed is logged for reproduction).
+func TestCrashRecoveryKill9(t *testing.T) {
+	type combo struct {
+		shards int
+		sync   string
+	}
+	combos := []combo{{2, "5ms"}}
+	if !testing.Short() {
+		combos = combos[:0]
+		for _, sh := range []int{1, 2, 4} {
+			for _, sy := range []string{"always", "5ms", "off"} {
+				combos = append(combos, combo{sh, sy})
+			}
+		}
+	}
+	seed := uint64(time.Now().UnixNano())
+	t.Logf("randomized kill points from seed %d", seed)
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+
+	const nBatch, per = 18, 15
+	batches := crashBatches(nBatch, per)
+
+	for _, cb := range combos {
+		t.Run(fmt.Sprintf("shards=%d_sync=%s", cb.shards, cb.sync), func(t *testing.T) {
+			refSrv, refAcks := referenceRun(t, cb.shards, batches)
+			refURL := newLoopbackServer(t, refSrv)
+			ref := client.New(refURL)
+
+			dir := t.TempDir()
+			addr := freePort(t)
+			serveArgs := []string{
+				"-addr", addr, "-algo", "CCS", "-width", "1", "-height", "1",
+				"-window", "60", "-alpha", "0.5", "-batch", "4",
+				"-shards", strconv.Itoa(cb.shards),
+				"-data-dir", dir, "-wal-sync", cb.sync,
+				"-checkpoint-every", "150ms",
+			}
+			child := startChild(t, serveArgs...)
+			base := "http://" + addr
+			c := client.New(base, client.WithRetry(client.RetryPolicy{
+				MaxAttempts: 5, BaseDelay: 20 * time.Millisecond,
+			}))
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			waitHealthy(ctx, t, c)
+
+			// Acked prefix, then a kill with the next request in flight.
+			killAfter := 6
+			if !testing.Short() {
+				killAfter = 3 + int(rng.Uint64()%uint64(nBatch-6))
+			}
+			for i := 0; i < killAfter; i++ {
+				ack, err := c.IngestSeq(ctx, "crash", uint64(i+1), batches[i])
+				if err != nil {
+					t.Fatalf("batch %d: %v", i+1, err)
+				}
+				if !reflect.DeepEqual(ack, refAcks[i]) {
+					t.Fatalf("batch %d ack diverged from reference:\ngot  %+v\nwant %+v", i+1, ack, refAcks[i])
+				}
+			}
+			inflight := make(chan struct{})
+			go func() {
+				defer close(inflight)
+				// No retry here: this request races the SIGKILL on purpose;
+				// its outcome is unknown — exactly the uncertainty the
+				// post-restart retry must resolve.
+				plain := client.New(base)
+				plain.IngestSeq(ctx, "crash", uint64(killAfter+1), batches[killAfter])
+			}()
+			delay := 2 * time.Millisecond
+			if !testing.Short() {
+				delay = time.Duration(rng.Uint64()%8) * time.Millisecond
+			}
+			time.Sleep(delay)
+			if err := child.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+				t.Fatal(err)
+			}
+			child.Wait()
+			<-inflight
+
+			// Restart from the data directory; recovery replays the WAL.
+			child = startChild(t, serveArgs...)
+			defer func() {
+				child.Process.Signal(syscall.SIGTERM)
+				child.Wait()
+			}()
+			waitHealthy(ctx, t, c)
+			h, err := c.Health(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !h.Durable {
+				t.Fatal("restarted server does not report durable mode")
+			}
+
+			// Retry the uncertain batch: whether the kill landed before,
+			// during or after its apply, the dedupe must produce the ack the
+			// crash-free run produced — applying nothing twice.
+			ack, err := c.IngestSeq(ctx, "crash", uint64(killAfter+1), batches[killAfter])
+			if err != nil {
+				t.Fatalf("retry of uncertain batch %d: %v", killAfter+1, err)
+			}
+			if !reflect.DeepEqual(ack, refAcks[killAfter]) {
+				t.Fatalf("retried batch %d ack diverged:\ngot  %+v\nwant %+v", killAfter+1, ack, refAcks[killAfter])
+			}
+
+			// The acked prefix (now batches 1..killAfter+1) must match a
+			// reference run over exactly that prefix, bitwise.
+			prefSrv, _ := referenceRun(t, cb.shards, batches[:killAfter+1])
+			compareAnswers(t, "acked prefix after recovery", c, client.New(newLoopbackServer(t, prefSrv)))
+
+			// Finish the stream; the final state must match the full
+			// uninterrupted run.
+			for i := killAfter + 1; i < nBatch; i++ {
+				ack, err := c.IngestSeq(ctx, "crash", uint64(i+1), batches[i])
+				if err != nil {
+					t.Fatalf("batch %d: %v", i+1, err)
+				}
+				if !reflect.DeepEqual(ack, refAcks[i]) {
+					t.Fatalf("batch %d ack diverged:\ngot  %+v\nwant %+v", i+1, ack, refAcks[i])
+				}
+			}
+			compareAnswers(t, "final state", c, ref)
+		})
+	}
+}

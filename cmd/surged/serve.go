@@ -20,6 +20,14 @@
 // transitions, shutdown) are structured logs on stderr; -log-format picks
 // text or JSON.
 //
+// With -data-dir the server is durable: every acknowledged ingest batch is
+// appended to a write-ahead log in the directory before its 200 goes out,
+// and boot recovers the exact acknowledged state by replaying the log tail
+// on top of the newest checkpoint — a kill -9 loses nothing that was
+// acked. -wal-sync picks the fsync policy (what a *machine* crash can
+// lose) and -checkpoint-every paces the background checkpoints that keep
+// the log compact. See the package surge doc's Durability section.
+//
 // On SIGINT/SIGTERM the server checkpoints to -checkpoint (if set), stops
 // accepting work and shuts the HTTP listener down gracefully.
 package main
@@ -39,6 +47,7 @@ import (
 
 	"surge"
 	"surge/internal/server"
+	"surge/internal/wal"
 )
 
 func runServe(args []string) error {
@@ -65,6 +74,12 @@ func runServe(args []string) error {
 		dualEng = fs.Bool("best-from-engines", false, "keep the legacy dual-engine layout: single-region engines answer /v1/best beside the maintained top-k chain (default: one chain serves both)")
 		pprofOn = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling; leave off unless the listener is access-controlled)")
 		logFmt  = fs.String("log-format", "text", "structured log format on stderr: text or json")
+
+		dataDir  = fs.String("data-dir", "", "durable mode: write-ahead log and checkpoints live here; boot recovers the acknowledged state from it")
+		walSync  = fs.String("wal-sync", "always", "WAL fsync policy: always (fsync before each ack), off (never), or an interval like 100ms (background fsync; a machine crash can lose up to one interval)")
+		ckptEvry = fs.Duration("checkpoint-every", time.Minute, "durable mode: background checkpoint period (compacts the covered WAL); <0 disables")
+		walSegMB = fs.Int("wal-segment-mb", 64, "durable mode: WAL segment rotation size in MiB")
+		maxPend  = fs.Int("max-pending", 256, "admission control: shed ingest chunks with 429 once this many wait on the event loop; <0 disables")
 	)
 	fs.Parse(args)
 
@@ -118,6 +133,7 @@ func runServe(args []string) error {
 		TimePolicy:       tp,
 		BatchSize:        *batch,
 		SubscriberBuffer: *subBuf,
+		MaxPending:       *maxPend,
 		EnablePprof:      *pprofOn,
 		Logger:           logger,
 	}
@@ -128,8 +144,29 @@ func runServe(args []string) error {
 		}
 		cfg.Checkpoint = data
 	}
-	s, err := server.New(cfg)
-	if err != nil {
+	var s *server.Server
+	if *dataDir != "" {
+		if *walSegMB < 1 {
+			return fmt.Errorf("invalid -wal-segment-mb %d", *walSegMB)
+		}
+		sync, every, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			return err
+		}
+		if *ckptIn != "" {
+			return fmt.Errorf("-restore and -data-dir are mutually exclusive: the data directory defines the state (POST a checkpoint to /v1/restore instead)")
+		}
+		s, err = server.NewDurable(cfg, server.DurableConfig{
+			Dir:             *dataDir,
+			Sync:            sync,
+			SyncEvery:       every,
+			SegmentBytes:    int64(*walSegMB) << 20,
+			CheckpointEvery: *ckptEvry,
+		})
+		if err != nil {
+			return err
+		}
+	} else if s, err = server.New(cfg); err != nil {
 		return err
 	}
 
@@ -164,14 +201,18 @@ func runServe(args []string) error {
 	// checkpoint is taken, so every acknowledged ingest is in the file and
 	// SSE subscribers disconnect, letting the listener drain.
 	logger.Info("surged shutting down")
-	if *ckptOut != "" {
+	if *ckptOut != "" || *dataDir != "" {
+		// In durable mode Shutdown also persists the final checkpoint to the
+		// data directory, so the next boot replays nothing.
 		data, err := s.Shutdown()
 		if err != nil {
 			logger.Error("checkpoint failed", "err", err)
-		} else if err := os.WriteFile(*ckptOut, data, 0o644); err != nil {
-			logger.Error("writing checkpoint file failed", "path", *ckptOut, "err", err)
-		} else {
-			logger.Info("checkpoint written", "path", *ckptOut, "bytes", len(data))
+		} else if *ckptOut != "" {
+			if err := wal.WriteFileAtomic(*ckptOut, data, 0o644); err != nil {
+				logger.Error("writing checkpoint file failed", "path", *ckptOut, "err", err)
+			} else {
+				logger.Info("checkpoint written", "path", *ckptOut, "bytes", len(data))
+			}
 		}
 	}
 	if err := s.Close(); err != nil {

@@ -235,6 +235,60 @@
 // checkpoints before the listener drains, and a later "surged serve
 // -restore" resumes the stream, into any shard count (RestoreSharded).
 //
+// # Durability
+//
+// surged serve -data-dir makes the server durable: every acknowledged
+// ingest chunk is appended to a write-ahead log in the directory before
+// its 200 goes out, on the same single-writer loop that applies it, so log
+// order equals apply order. Frames are length-prefixed and CRC32C-checked
+// in fixed-size segments; each frame records the chunk's objects as they
+// arrived, before timestamp clamping, so replay re-runs the identical
+// clamp against the restored stream clock and recovers bit-identical
+// state. Boot loads the newest checkpoint (surge.ckpt, written atomically:
+// temp file, fsync, rename, directory fsync), replays the log tail past
+// its LSN through the normal ingest path, and truncates at the first torn
+// record — a partially written tail from a crash mid-append, counted in
+// /healthz as wal_torn_bytes. A background checkpoint (surged
+// -checkpoint-every) persists the detector state plus the ingest dedupe
+// table and deletes the log segments it covers, bounding both recovery
+// time and disk growth; graceful shutdown writes a final checkpoint so the
+// next boot replays nothing.
+//
+// What a crash can lose depends only on the kind of crash. A process kill
+// (kill -9, OOM) loses nothing acknowledged under any setting: the frame
+// is in the page cache before the ack. A machine crash is governed by
+// surged -wal-sync: "always" fsyncs before every ack (lose nothing),
+// an interval like "100ms" fsyncs in the background (lose at most one
+// interval of acks), "off" never fsyncs (lose up to the page cache). The
+// hotpath benchmark prices the interval policy against plain HTTP ingest
+// as wal_overhead_pct in BENCH_hotpath.json.
+//
+// Retries are made safe by sequenced ingest: a client that tags POST
+// /v1/ingest with an Ingest-Seq: source:seq header (client.IngestSeq) gets
+// effectively-once semantics per source. Sequence numbers must increase by
+// one; a duplicate of a completed sequence re-sends the original ack
+// without re-applying anything, a retry of a half-applied request resumes
+// at the first unapplied chunk (chunking is deterministic), a lower
+// sequence is rejected 409 seq_out_of_order, and two concurrent requests
+// for the same source conflict with 409 seq_conflict. The dedupe table
+// rides the WAL and the checkpoints, so the contract holds across crash
+// recovery — the fault-injection suite kills a serving process mid-request
+// and asserts the retried ack and the final answers are bitwise equal to
+// an uninterrupted run. client.WithRetry turns the contract into a
+// drop-in retry loop: transport errors, 5xx and 429 responses are retried
+// with jittered exponential backoff, honouring Retry-After, and only
+// requests that are safe to repeat (idempotent reads, sequenced ingest)
+// are ever retried.
+//
+// Under sustained overload the server sheds ingest instead of queueing
+// without bound: once surged -max-pending chunks are waiting on the event
+// loop, further chunks are rejected with 429, a Retry-After hint and the
+// typed code "overloaded" (client.ErrOverloaded), counted as
+// surge_ingest_throttled_total. The WAL's own telemetry —
+// append/fsync latency histograms, segment count and size, recovery
+// figures — is surfaced on /metrics as surge_wal_* and on /v1/stats as
+// client.WALStats.
+//
 // # Continuous top-k serving
 //
 // The server maintains the top-k answer continuously instead of computing

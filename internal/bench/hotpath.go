@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"surge/internal/core"
 	"surge/internal/obs"
 	"surge/internal/server"
+	"surge/internal/wal"
 )
 
 // hotpathRow is one measured configuration of the hotpath experiment, as
@@ -45,7 +47,12 @@ type hotpathReport struct {
 	// Adjacent-in-time rounds share ambient load, so each ratio cancels the
 	// runner's drift and the median discards outlier rounds. Negative
 	// values are machine noise.
-	ObsOverheadPct float64      `json:"obs_overhead_pct"`
+	ObsOverheadPct float64 `json:"obs_overhead_pct"`
+	// WALOverheadPct is the throughput cost of durable ingest with the
+	// interval fsync policy: the median per-round http-ingest-wal-interval /
+	// http-ingest ns/obj ratio, minus one, in percent. Same pairing and
+	// median rationale as ObsOverheadPct.
+	WALOverheadPct float64      `json:"wal_overhead_pct"`
 	Rows           []hotpathRow `json:"rows"`
 }
 
@@ -150,9 +157,12 @@ func Hotpath(o Options) error {
 		return row, err
 	}
 
-	// Full HTTP ingest path: concurrent NDJSON ingesters.
-	httpOnce := func() (hotpathRow, error) {
-		s, err := server.New(server.Config{
+	// Full HTTP ingest path: concurrent NDJSON ingesters. A non-empty WAL
+	// sync policy prices durable ingest: same path plus the write-ahead log
+	// (fresh directory each round, background checkpoints off so the row
+	// prices the log append alone).
+	httpOnce := func(name, walSync string) (hotpathRow, error) {
+		cfg := server.Config{
 			Algorithm: surge.CellCSPOT,
 			Options: surge.Options{
 				Width: qw, Height: qh, Window: w, Alpha: o.Alpha, Shards: shards,
@@ -163,7 +173,25 @@ func Hotpath(o Options) error {
 			// of continuous top-k maintenance is measured separately (and
 			// against this same configuration) by the topkserve experiment.
 			TopKReplayOnly: true,
-		})
+		}
+		var s *server.Server
+		var err error
+		if walSync != "" {
+			dir, derr := os.MkdirTemp("", "surge-bench-wal-")
+			if derr != nil {
+				return hotpathRow{}, derr
+			}
+			defer os.RemoveAll(dir)
+			sync, every, perr := wal.ParseSyncPolicy(walSync)
+			if perr != nil {
+				return hotpathRow{}, perr
+			}
+			s, err = server.NewDurable(cfg, server.DurableConfig{
+				Dir: dir, Sync: sync, SyncEvery: every, CheckpointEvery: -1,
+			})
+		} else {
+			s, err = server.New(cfg)
+		}
 		if err != nil {
 			return hotpathRow{}, err
 		}
@@ -178,7 +206,7 @@ func Hotpath(o Options) error {
 		// describe this round only.
 		ack := obs.Default.Duration(obs.MIngestAck, "")
 		ack.Reset()
-		row, err := measureHotpath("http-ingest", len(approxObjs), func() error {
+		row, err := measureHotpath(name, len(approxObjs), func() error {
 			var wg sync.WaitGroup
 			errs := make([]error, len(bodies))
 			for g, body := range bodies {
@@ -223,7 +251,14 @@ func Hotpath(o Options) error {
 		// pair harder and bias every ratio the same way.
 		{"sharded", hotpathOverheadRounds, func() (hotpathRow, error) { return shardedOnce("sharded", true, 3) }},
 		{"sharded-noobs", hotpathOverheadRounds, func() (hotpathRow, error) { return shardedOnce("sharded-noobs", false, 3) }},
-		{"http-ingest", hotpathRounds, func() (hotpathRow, error) { return httpOnce() }},
+		{"http-ingest", hotpathRounds, func() (hotpathRow, error) { return httpOnce("http-ingest", "") }},
+		// Durable variants, one per WAL sync policy. The interval row is the
+		// recommended production setting and feeds wal_overhead_pct; it runs
+		// adjacent to plain http-ingest in every round so the pair shares
+		// ambient load.
+		{"http-ingest-wal-interval", hotpathRounds, func() (hotpathRow, error) { return httpOnce("http-ingest-wal-interval", "100ms") }},
+		{"http-ingest-wal-always", hotpathRounds, func() (hotpathRow, error) { return httpOnce("http-ingest-wal-always", "always") }},
+		{"http-ingest-wal-off", hotpathRounds, func() (hotpathRow, error) { return httpOnce("http-ingest-wal-off", "off") }},
 	}
 	maxRounds := 0
 	for _, cfg := range configs {
@@ -262,7 +297,7 @@ func Hotpath(o Options) error {
 		}
 	}
 	rows := make([]hotpathRow, len(configs))
-	var onRows, offRows []hotpathRow
+	var onRows, offRows, httpRows, walRows []hotpathRow
 	for i := range configs {
 		rows[i] = fastestHotpath(samples[i])
 		switch configs[i].name {
@@ -270,9 +305,14 @@ func Hotpath(o Options) error {
 			onRows = samples[i]
 		case "sharded-noobs":
 			offRows = samples[i]
+		case "http-ingest":
+			httpRows = samples[i]
+		case "http-ingest-wal-interval":
+			walRows = samples[i]
 		}
 	}
-	overhead := obsOverheadPct(onRows, offRows)
+	overhead := pairedOverheadPct(onRows, offRows)
+	walOverhead := pairedOverheadPct(walRows, httpRows)
 
 	t := NewTable(o.Out, fmt.Sprintf("Hotpath (Taxi, GOMAXPROCS=%d): ingest cost per object", runtime.GOMAXPROCS(0)),
 		"Config", "Objects", "ns/obj", "allocs/obj", "B/obj", "kobj/s", "ack p99 (us)")
@@ -290,11 +330,13 @@ func Hotpath(o Options) error {
 	}
 	t.Flush()
 	fmt.Fprintf(o.Out, "(observability overhead on sharded ingest: %.2f%%)\n", overhead)
+	fmt.Fprintf(o.Out, "(WAL overhead on http ingest, interval sync: %.2f%%)\n", walOverhead)
 
 	if err := o.writeJSONReport("BENCH_hotpath.json", hotpathReport{
 		Experiment:     "hotpath",
 		GoMaxProcs:     runtime.GOMAXPROCS(0),
 		ObsOverheadPct: overhead,
+		WALOverheadPct: walOverhead,
 		Rows:           rows,
 	}); err != nil {
 		return err
@@ -306,14 +348,15 @@ func Hotpath(o Options) error {
 	return nil
 }
 
-// obsOverheadPct estimates the instrumentation's per-object time cost from
-// the interleaved sharded / sharded-noobs rounds. Each round's pair ran
-// adjacent in time, so their ratio cancels the ambient load both saw; the
-// median of the per-round ratios then discards the outlier rounds a shared
-// runner produces, which a fastest-vs-fastest comparison cannot (the two
-// minima come from different moments and their difference swings by more
-// than the few-percent signal). Zero when either sample set is missing.
-func obsOverheadPct(onRows, offRows []hotpathRow) float64 {
+// pairedOverheadPct estimates the relative per-object time cost of the
+// onRows configuration over the offRows baseline from interleaved rounds.
+// Each round's pair ran adjacent in time, so their ratio cancels the
+// ambient load both saw; the median of the per-round ratios then discards
+// the outlier rounds a shared runner produces, which a fastest-vs-fastest
+// comparison cannot (the two minima come from different moments and their
+// difference swings by more than the few-percent signal). Zero when either
+// sample set is missing.
+func pairedOverheadPct(onRows, offRows []hotpathRow) float64 {
 	n := len(onRows)
 	if len(offRows) < n {
 		n = len(offRows)

@@ -30,4 +30,12 @@ const (
 	MTopKSolveWait = "surge_topk_solve_wait_seconds" // time blocked on shard solve replies
 	MTopKShards    = "surge_topk_resolved_shards"    // solve ops issued per resolve
 	MTopKCommits   = "surge_topk_commits_total"      // ApplyRank commits shipped
+
+	// Write-ahead log (durable ingest).
+	MWALAppend   = "surge_wal_append_seconds" // frame write (+ fsync under always)
+	MWALFsync    = "surge_wal_fsync_seconds"  // fsync latency
+	MWALBytes    = "surge_wal_appended_bytes_total"
+	MWALFrames   = "surge_wal_frames_total"
+	MWALSegments = "surge_wal_segments"   // segment files on disk (gauge)
+	MWALSize     = "surge_wal_size_bytes" // total segment bytes (gauge)
 )

@@ -1,0 +1,450 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"surge"
+	"surge/client"
+	"surge/internal/wal"
+)
+
+// DurableConfig configures the write-ahead-logged variant of the server
+// (surged serve -data-dir). The directory holds two things: wal/, the
+// segment files logging every acknowledged ingest batch, and surge.ckpt,
+// the newest durable checkpoint (detector state + covered WAL position +
+// ingest dedupe table). Boot loads the checkpoint, replays the WAL tail
+// through the normal ingest path and resumes exactly where the
+// acknowledged stream left off.
+type DurableConfig struct {
+	// Dir is the data directory (required; created if missing).
+	Dir string
+	// Sync is the WAL fsync policy (default wal.SyncAlways). A killed
+	// process loses no acknowledged batch under any policy; the policy
+	// chooses what a machine crash can lose.
+	Sync wal.SyncPolicy
+	// SyncEvery is the background fsync period under wal.SyncInterval
+	// (0 = 100ms).
+	SyncEvery time.Duration
+	// SegmentBytes rotates WAL segments at this size (0 = 64 MiB).
+	SegmentBytes int64
+	// CheckpointEvery is the period of the background durable checkpoint,
+	// which also compacts fully covered WAL segments (0 = 1m; negative
+	// disables the background checkpointer — Shutdown still writes one).
+	CheckpointEvery time.Duration
+}
+
+// walState is the durability attachment of a Server built by NewDurable.
+// The recovery summary fields are written once, before the server starts
+// serving, and only read afterwards.
+type walState struct {
+	log      *wal.Log
+	ckptPath string
+	scratch  []byte // loop-owned WAL record encode buffer
+
+	recBatches uint64  // WAL batches replayed at boot
+	recObjects uint64  // objects those batches held
+	recSec     float64 // boot replay duration
+	torn       int64   // bytes discarded by torn-tail truncation at boot
+}
+
+// sourceSeq is the per-source ingest dedupe state behind the Ingest-Seq
+// header: the newest sequence seen, how many chunks of it are applied, and
+// the ack to replay for a duplicate. Guarded by Server.seqMu; the active
+// flag serialises requests per source.
+type sourceSeq struct {
+	seq      uint64
+	chunks   uint32 // chunks of seq applied so far (resume point)
+	done     bool   // seq fully applied; result is the ack to replay
+	active   bool   // a request for this source is in flight
+	accepted int
+	clamped  int
+	result   surge.Result
+}
+
+// seqEntry is the checkpointed form of sourceSeq (the in-flight flags are
+// meaningless across a restart and are not persisted).
+type seqEntry struct {
+	Seq      uint64        `json:"seq"`
+	Chunks   uint32        `json:"chunks"`
+	Done     bool          `json:"done"`
+	Accepted int           `json:"accepted"`
+	Clamped  int           `json:"clamped"`
+	Result   client.Result `json:"result"`
+}
+
+// NewDurable builds a durable server: load the newest checkpoint from
+// dc.Dir, open the WAL (truncating any torn tail), replay the tail on top
+// of the checkpoint through the normal batch-apply path, and attach the
+// log so every subsequent acknowledged ingest batch is appended before its
+// 200 goes out. The caller must not serve HTTP until NewDurable returns —
+// replay assumes the ingest path is idle.
+func NewDurable(cfg Config, dc DurableConfig) (*Server, error) {
+	if dc.Dir == "" {
+		return nil, errors.New("server: durable server needs a data directory")
+	}
+	if err := os.MkdirAll(dc.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	ckptPath := filepath.Join(dc.Dir, "surge.ckpt")
+	ck, err := readDurableCheckpoint(ckptPath)
+	if err != nil {
+		return nil, err
+	}
+	if ck != nil {
+		cfg.Checkpoint = ck.det
+	}
+	wlog, recov, err := wal.Open(filepath.Join(dc.Dir, "wal"), wal.Options{
+		Sync: dc.Sync, SyncEvery: dc.SyncEvery, SegmentBytes: dc.SegmentBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s, err := New(cfg)
+	if err != nil {
+		wlog.Close()
+		return nil, err
+	}
+	ws := &walState{log: wlog, ckptPath: ckptPath, torn: recov.TornBytes}
+	var after uint64
+	if ck != nil {
+		after = ck.lsn
+		s.restoreSeqs(ck.seqs)
+	}
+	t0 := time.Now()
+	rerr := wlog.Replay(after, func(lsn uint64, payload []byte) error {
+		src, seq, chunk, objs, derr := decodeWALRecord(payload)
+		if derr != nil {
+			return fmt.Errorf("server: wal record %d: %w", lsn, derr)
+		}
+		if err := s.do(func() {
+			// Replay reproduces the original apply bit-for-bit: the record
+			// holds the pre-clamp objects and the clamp depends only on the
+			// stream clock, which the checkpoint restored. A batch whose
+			// apply failed originally fails identically here, leaving the
+			// same state either way.
+			res, c, aerr := s.applyBatch(objs)
+			if aerr == nil {
+				s.noteSeqApplied(src, seq, chunk, len(objs), c, res)
+			}
+		}); err != nil {
+			return err
+		}
+		ws.recBatches++
+		ws.recObjects += uint64(len(objs))
+		return nil
+	})
+	if rerr != nil {
+		s.Close()
+		wlog.Close()
+		return nil, rerr
+	}
+	ws.recSec = time.Since(t0).Seconds()
+	s.wal = ws
+	every := dc.CheckpointEvery
+	if every == 0 {
+		every = time.Minute
+	}
+	if every > 0 {
+		go s.checkpointLoop(every)
+	}
+	s.log.Info("durable recovery complete",
+		"dir", dc.Dir,
+		"wal_sync", wlog.Policy().String(),
+		"checkpoint", ck != nil,
+		"replayed_batches", ws.recBatches,
+		"replayed_objects", ws.recObjects,
+		"torn_bytes", recov.TornBytes,
+		"last_lsn", recov.LastLSN,
+		"recovery_sec", ws.recSec)
+	return s, nil
+}
+
+// applyLogged runs on the event loop: append the chunk to the WAL (when
+// one is attached), then apply it. The append happens first and its error
+// aborts the apply, so a 200 is only ever sent for a batch the log holds —
+// and because both the append and the apply happen on the loop, WAL order
+// is exactly apply order.
+func (s *Server) applyLogged(objs []surge.Object, src string, seq uint64, chunk uint32) (surge.Result, int, error) {
+	if s.wal != nil {
+		s.wal.scratch = encodeWALRecord(s.wal.scratch[:0], src, seq, chunk, objs)
+		if _, err := s.wal.log.Append(s.wal.scratch); err != nil {
+			return surge.Result{}, 0, fmt.Errorf("%w: %w", errWALAppend, err)
+		}
+	}
+	return s.applyBatch(objs)
+}
+
+// errWALAppend marks an ingest failure caused by the WAL, not the request:
+// the handler reports it as a 500 rather than a 400.
+var errWALAppend = errors.New("server: wal append failed")
+
+// noteSeqApplied folds one applied chunk into the per-source dedupe state.
+// Used on the live path after a chunk lands and by boot replay; the max
+// semantics on (seq, chunks) make it idempotent, so a checkpointed dedupe
+// table slightly ahead of or behind the checkpointed WAL position
+// converges to the same state during replay.
+func (s *Server) noteSeqApplied(src string, seq uint64, chunk uint32, objs, clamped int, res surge.Result) {
+	if src == "" {
+		return
+	}
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	st := s.seqs[src]
+	if st == nil {
+		st = &sourceSeq{}
+		s.seqs[src] = st
+	}
+	if seq < st.seq {
+		return
+	}
+	if seq > st.seq {
+		*st = sourceSeq{seq: seq, active: st.active}
+	}
+	if chunk+1 > st.chunks {
+		st.chunks = chunk + 1
+		st.accepted += objs
+		st.clamped += clamped
+		st.result = res
+	}
+}
+
+// restoreSeqs loads the checkpointed dedupe table at boot.
+func (s *Server) restoreSeqs(entries map[string]seqEntry) {
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	for src, e := range entries {
+		s.seqs[src] = &sourceSeq{
+			seq:      e.Seq,
+			chunks:   e.Chunks,
+			done:     e.Done,
+			accepted: e.Accepted,
+			clamped:  e.Clamped,
+			result:   e.Result.ToResult(),
+		}
+	}
+}
+
+// snapshotSeqs serialises the dedupe table for a durable checkpoint.
+func (s *Server) snapshotSeqs() map[string]seqEntry {
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	out := make(map[string]seqEntry, len(s.seqs))
+	for src, st := range s.seqs {
+		out[src] = seqEntry{
+			Seq:      st.seq,
+			Chunks:   st.chunks,
+			Done:     st.done,
+			Accepted: st.accepted,
+			Clamped:  st.clamped,
+			Result:   client.FromResult(st.result),
+		}
+	}
+	return out
+}
+
+// checkpointLoop writes a durable checkpoint every period until the server
+// shuts down. Each checkpoint also compacts the WAL segments it covers, so
+// the log stays bounded by the ingest volume of one period.
+func (s *Server) checkpointLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.checkpointDurable(); err != nil && !errors.Is(err, ErrClosed) {
+				s.log.Error("durable checkpoint failed", "err", err)
+			}
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// checkpointDurable checkpoints the detector on the event loop — so the
+// captured WAL position exactly matches the captured state — and persists
+// the pair atomically.
+func (s *Server) checkpointDurable() error {
+	var det []byte
+	var lsn uint64
+	var cerr error
+	if err := s.do(func() {
+		det, cerr = s.det.Checkpoint()
+		lsn = s.wal.log.LastLSN()
+		s.snapshots.Add(1)
+	}); err != nil {
+		return err
+	}
+	if cerr != nil {
+		return cerr
+	}
+	return s.persistCheckpoint(det, lsn)
+}
+
+// persistCheckpoint writes the durable checkpoint wrapper atomically, then
+// compacts the WAL segments it fully covers.
+func (s *Server) persistCheckpoint(det []byte, lsn uint64) error {
+	buf := encodeDurableCheckpoint(lsn, s.snapshotSeqs(), det)
+	if err := wal.WriteFileAtomic(s.wal.ckptPath, buf, 0o644); err != nil {
+		return err
+	}
+	s.ckpts.Add(1)
+	if err := s.wal.log.CompactBefore(lsn); err != nil && !errors.Is(err, wal.ErrClosed) {
+		return err
+	}
+	s.log.Info("durable checkpoint written", "bytes", len(buf), "lsn", lsn)
+	return nil
+}
+
+// --- WAL record payload ---
+//
+// The WAL stores opaque payloads; this is the server's record schema:
+//
+//	byte    version (1)
+//	uvarint len(source); source bytes ("" for unsequenced ingest)
+//	uvarint sequence (0 for unsequenced ingest)
+//	uvarint chunk index within the request
+//	uvarint object count
+//	32 B    per object: time, x, y, weight as little-endian float64 bits
+//
+// Objects are recorded pre-clamp (as parsed), so replay re-runs the same
+// clamp against the same restored stream clock and lands bit-identically.
+
+const walRecordVersion = 1
+
+func encodeWALRecord(buf []byte, src string, seq uint64, chunk uint32, objs []surge.Object) []byte {
+	buf = append(buf, walRecordVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(src)))
+	buf = append(buf, src...)
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, uint64(chunk))
+	buf = binary.AppendUvarint(buf, uint64(len(objs)))
+	for _, o := range objs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o.Time))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o.X))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o.Y))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o.Weight))
+	}
+	return buf
+}
+
+var errBadWALRecord = errors.New("truncated or malformed record")
+
+func decodeWALRecord(b []byte) (src string, seq uint64, chunk uint32, objs []surge.Object, err error) {
+	fail := func() (string, uint64, uint32, []surge.Object, error) {
+		return "", 0, 0, nil, errBadWALRecord
+	}
+	if len(b) < 1 || b[0] != walRecordVersion {
+		return fail()
+	}
+	b = b[1:]
+	n, k := binary.Uvarint(b)
+	if k <= 0 || uint64(len(b[k:])) < n {
+		return fail()
+	}
+	src = string(b[k : k+int(n)])
+	b = b[k+int(n):]
+	if seq, k = binary.Uvarint(b); k <= 0 {
+		return fail()
+	}
+	b = b[k:]
+	c, k := binary.Uvarint(b)
+	if k <= 0 || c > math.MaxUint32 {
+		return fail()
+	}
+	chunk = uint32(c)
+	b = b[k:]
+	cnt, k := binary.Uvarint(b)
+	if k <= 0 || uint64(len(b[k:])) != cnt*32 {
+		return fail()
+	}
+	b = b[k:]
+	objs = make([]surge.Object, cnt)
+	for i := range objs {
+		objs[i] = surge.Object{
+			Time:   math.Float64frombits(binary.LittleEndian.Uint64(b[0:8])),
+			X:      math.Float64frombits(binary.LittleEndian.Uint64(b[8:16])),
+			Y:      math.Float64frombits(binary.LittleEndian.Uint64(b[16:24])),
+			Weight: math.Float64frombits(binary.LittleEndian.Uint64(b[24:32])),
+		}
+		b = b[32:]
+	}
+	return src, seq, chunk, objs, nil
+}
+
+// --- Durable checkpoint wrapper (surge.ckpt) ---
+//
+//	8 B  magic "SURGEDC1"
+//	8 B  WAL LSN covered by this checkpoint (little-endian)
+//	4 B  dedupe-table JSON length; the JSON (map[source]seqEntry)
+//	4 B  detector checkpoint length; the bytes (surge.Restore format)
+//
+// The file is written with WriteFileAtomic, so boot sees either the old
+// checkpoint or the new one, never a torn mix.
+
+var ckptMagic = [8]byte{'S', 'U', 'R', 'G', 'E', 'D', 'C', '1'}
+
+type durableCheckpoint struct {
+	lsn  uint64
+	seqs map[string]seqEntry
+	det  []byte
+}
+
+func encodeDurableCheckpoint(lsn uint64, seqs map[string]seqEntry, det []byte) []byte {
+	sj, err := json.Marshal(seqs)
+	if err != nil { // a map of plain structs cannot fail to marshal
+		sj = []byte("{}")
+	}
+	buf := make([]byte, 0, 24+len(sj)+len(det))
+	buf = append(buf, ckptMagic[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, lsn)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sj)))
+	buf = append(buf, sj...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(det)))
+	buf = append(buf, det...)
+	return buf
+}
+
+// readDurableCheckpoint loads dir's checkpoint, returning (nil, nil) when
+// none exists yet. A checkpoint that fails to parse is a hard error —
+// atomic writes mean it cannot be a crash artifact, so silently starting
+// empty would discard acknowledged state.
+func readDurableCheckpoint(path string) (*durableCheckpoint, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	bad := func(what string) (*durableCheckpoint, error) {
+		return nil, fmt.Errorf("server: corrupt durable checkpoint %s: %s", path, what)
+	}
+	if len(b) < 24 || [8]byte(b[:8]) != ckptMagic {
+		return nil, fmt.Errorf("server: %s is not a durable checkpoint (bad magic)", path)
+	}
+	ck := &durableCheckpoint{lsn: binary.LittleEndian.Uint64(b[8:16])}
+	b = b[16:]
+	sl := binary.LittleEndian.Uint32(b[:4])
+	b = b[4:]
+	if uint64(len(b)) < uint64(sl)+4 {
+		return bad("short dedupe table")
+	}
+	if err := json.Unmarshal(b[:sl], &ck.seqs); err != nil {
+		return bad("dedupe table: " + err.Error())
+	}
+	b = b[sl:]
+	dl := binary.LittleEndian.Uint32(b[:4])
+	b = b[4:]
+	if uint64(len(b)) != uint64(dl) {
+		return bad("detector checkpoint length mismatch")
+	}
+	ck.det = b
+	return ck, nil
+}

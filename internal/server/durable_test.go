@@ -1,0 +1,333 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"surge"
+	"surge/client"
+	"surge/internal/wal"
+)
+
+// newDurableTestServer boots a durable server over dir. The caller crashes
+// it with s.Close() (no Shutdown: nothing checkpointed, like a kill) or
+// stops it cleanly with s.Shutdown() then s.Close().
+func newDurableTestServer(t *testing.T, dir string, cfg Config, dc DurableConfig) (*Server, *httptest.Server, *client.Client) {
+	t.Helper()
+	dc.Dir = dir
+	if dc.CheckpointEvery == 0 {
+		dc.CheckpointEvery = -1 // deterministic tests drive checkpoints explicitly
+	}
+	s, err := NewDurable(cfg, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts, client.New(ts.URL)
+}
+
+// streamBatches feeds objs to c in fixed-size ingest requests.
+func streamBatches(t *testing.T, c *client.Client, objs []surge.Object, per int) {
+	t.Helper()
+	for i := 0; i < len(objs); i += per {
+		end := min(i+per, len(objs))
+		if _, err := c.Ingest(context.Background(), objs[i:end]); err != nil {
+			t.Fatalf("ingest batch at %d: %v", i, err)
+		}
+	}
+}
+
+// answersOf snapshots the served answers that must survive a crash
+// bitwise: /v1/best (result, clock, live) and the full /v1/topk.
+func answersOf(t *testing.T, c *client.Client) (client.Result, float64, int, []client.Result) {
+	t.Helper()
+	st, err := c.Best(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := c.TopK(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Result, st.Now, st.Live, tk.Results
+}
+
+func assertSameAnswers(t *testing.T, label string, c, ref *client.Client) {
+	t.Helper()
+	res, now, live, tk := answersOf(t, c)
+	wres, wnow, wlive, wtk := answersOf(t, ref)
+	if !reflect.DeepEqual(res, wres) || now != wnow || live != wlive {
+		t.Fatalf("%s: best diverged: got (%+v, now=%v, live=%d) want (%+v, now=%v, live=%d)",
+			label, res, now, live, wres, wnow, wlive)
+	}
+	if !reflect.DeepEqual(tk, wtk) {
+		t.Fatalf("%s: topk diverged:\ngot  %+v\nwant %+v", label, tk, wtk)
+	}
+}
+
+func TestDurableCrashRecovery(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		t.Run("shards="+strconv.Itoa(shards), func(t *testing.T) {
+			objs := testObjects(11, 600, 4)
+			cfg := Config{Options: testOptions(shards), BatchSize: 64}
+			_, _, ref := newTestServer(t, cfg)
+			streamBatches(t, ref, objs, 50)
+
+			dir := t.TempDir()
+			s1, ts1, c1 := newDurableTestServer(t, dir, cfg, DurableConfig{Sync: wal.SyncOff})
+			streamBatches(t, c1, objs, 50)
+			// Crash: no Shutdown, so no checkpoint — boot must replay the
+			// whole WAL.
+			ts1.Close()
+			s1.Close()
+
+			s2, _, c2 := newDurableTestServer(t, dir, cfg, DurableConfig{Sync: wal.SyncOff})
+			h, err := c2.Health(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !h.Durable || h.RecoveredBatches == 0 {
+				t.Fatalf("want durable health with replayed batches, got %+v", h)
+			}
+			assertSameAnswers(t, "after crash recovery", c2, ref)
+
+			// Clean shutdown persists a checkpoint; the next boot replays
+			// nothing and still serves the same answers.
+			if _, err := s2.Shutdown(); err != nil {
+				t.Fatal(err)
+			}
+			s2.Close()
+			_, _, c3 := newDurableTestServer(t, dir, cfg, DurableConfig{Sync: wal.SyncOff})
+			h, err = c3.Health(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.RecoveredBatches != 0 {
+				t.Fatalf("clean shutdown should leave nothing to replay, got %d batches", h.RecoveredBatches)
+			}
+			assertSameAnswers(t, "after clean restart", c3, ref)
+		})
+	}
+}
+
+func TestDurableTornTailRecovery(t *testing.T) {
+	objs := testObjects(23, 400, 4)
+	cfg := Config{Options: testOptions(2), BatchSize: 64}
+	_, _, ref := newTestServer(t, cfg)
+	streamBatches(t, ref, objs, 40)
+
+	dir := t.TempDir()
+	s1, ts1, c1 := newDurableTestServer(t, dir, cfg, DurableConfig{Sync: wal.SyncOff})
+	streamBatches(t, c1, objs, 40)
+	ts1.Close()
+	s1.Close()
+
+	// A torn tail: garbage after the last complete frame, as a crash mid-
+	// write leaves it. Recovery must truncate exactly the garbage and keep
+	// every complete frame.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments: %v", err)
+	}
+	sort.Strings(segs)
+	garbage := []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(garbage); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, _, c2 := newDurableTestServer(t, dir, cfg, DurableConfig{Sync: wal.SyncOff})
+	h, err := c2.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.WALTornBytes != int64(len(garbage)) {
+		t.Fatalf("torn bytes = %d, want %d", h.WALTornBytes, len(garbage))
+	}
+	assertSameAnswers(t, "after torn-tail recovery", c2, ref)
+}
+
+func TestDurableCheckpointCompaction(t *testing.T) {
+	objs := testObjects(31, 500, 4)
+	// Clamp: the post-checkpoint tail restarts its clock, and replay must
+	// reproduce the same clamping from the restored stream clock.
+	cfg := Config{Options: testOptions(1), BatchSize: 32, TimePolicy: Clamp}
+	dir := t.TempDir()
+	// Tiny segments so the stream rotates many times.
+	s, _, c := newDurableTestServer(t, dir, cfg, DurableConfig{Sync: wal.SyncOff, SegmentBytes: 4 << 10})
+	streamBatches(t, c, objs, 32)
+	if got := s.wal.log.Segments(); got < 3 {
+		t.Fatalf("want several wal segments before compaction, got %d", got)
+	}
+	if err := s.checkpointDurable(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.wal.log.Segments(); got != 1 {
+		t.Fatalf("checkpoint should compact to the one active segment, got %d", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "surge.ckpt")); err != nil {
+		t.Fatalf("checkpoint file missing: %v", err)
+	}
+	if got := s.ckpts.Load(); got != 1 {
+		t.Fatalf("checkpoints written = %d, want 1", got)
+	}
+
+	// More ingest after the checkpoint: boot replays only the tail.
+	tail := testObjects(37, 100, 4)
+	streamBatches(t, c, tail, 32)
+	_, _, refc := newTestServer(t, cfg)
+	streamBatches(t, refc, objs, 32)
+	streamBatches(t, refc, tail, 32)
+
+	s.Close() // crash: the post-checkpoint tail exists only in the WAL
+	s2, _, c2 := newDurableTestServer(t, dir, cfg, DurableConfig{Sync: wal.SyncOff, SegmentBytes: 4 << 10})
+	if s2.wal.recBatches == 0 || s2.wal.recBatches >= uint64(len(objs)+len(tail))/32 {
+		t.Fatalf("want a partial replay of just the tail, replayed %d batches", s2.wal.recBatches)
+	}
+	assertSameAnswers(t, "after checkpoint+tail recovery", c2, refc)
+}
+
+func TestIngestSeqDuplicateReplaysAck(t *testing.T) {
+	s, _, c := newTestServer(t, Config{Options: testOptions(1), TimePolicy: Clamp})
+	objs := testObjects(41, 120, 4)
+	ack1, err := c.IngestSeq(context.Background(), "sensor-a", 1, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := s.objects.Load()
+	ack2, err := c.IngestSeq(context.Background(), "sensor-a", 1, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ack1, ack2) {
+		t.Fatalf("duplicate ack differs:\nfirst  %+v\nsecond %+v", ack1, ack2)
+	}
+	if got := s.objects.Load(); got != applied {
+		t.Fatalf("duplicate was re-applied: objects %d -> %d", applied, got)
+	}
+	// The next sequence still applies normally.
+	if _, err := c.IngestSeq(context.Background(), "sensor-a", 2, objs[:10]); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.objects.Load(); got != applied+10 {
+		t.Fatalf("next sequence not applied: objects = %d, want %d", got, applied+10)
+	}
+}
+
+func TestIngestSeqOutOfOrder(t *testing.T) {
+	_, _, c := newTestServer(t, Config{Options: testOptions(1)})
+	objs := testObjects(43, 20, 4)
+	if _, err := c.IngestSeq(context.Background(), "src", 5, objs); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.IngestSeq(context.Background(), "src", 4, objs)
+	if !errors.Is(err, client.ErrSeqOutOfOrder) {
+		t.Fatalf("want ErrSeqOutOfOrder, got %v", err)
+	}
+	var ce *client.Error
+	if !errors.As(err, &ce) || ce.Status != http.StatusConflict || ce.Code != client.CodeSeqOutOfOrder {
+		t.Fatalf("want 409 %s, got %+v", client.CodeSeqOutOfOrder, ce)
+	}
+}
+
+func TestIngestSeqConflict(t *testing.T) {
+	s, _, c := newTestServer(t, Config{Options: testOptions(1)})
+	s.seqMu.Lock()
+	s.seqs["src"] = &sourceSeq{seq: 1, active: true}
+	s.seqMu.Unlock()
+	_, err := c.IngestSeq(context.Background(), "src", 2, testObjects(47, 10, 4))
+	if !errors.Is(err, client.ErrSeqConflict) {
+		t.Fatalf("want ErrSeqConflict, got %v", err)
+	}
+}
+
+func TestDurableSeqSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Options: testOptions(2), BatchSize: 64}
+	objs := testObjects(53, 150, 4)
+	s1, ts1, c1 := newDurableTestServer(t, dir, cfg, DurableConfig{Sync: wal.SyncOff})
+	ack1, err := c1.IngestSeq(context.Background(), "feeder", 1, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	s1.Close() // crash before any checkpoint
+
+	s2, _, c2 := newDurableTestServer(t, dir, cfg, DurableConfig{Sync: wal.SyncOff})
+	applied := s2.objects.Load()
+	// The retry of the batch whose ack could have been lost must replay the
+	// original ack without re-applying anything.
+	ack2, err := c2.IngestSeq(context.Background(), "feeder", 1, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ack1, ack2) {
+		t.Fatalf("replayed ack differs across restart:\nfirst  %+v\nsecond %+v", ack1, ack2)
+	}
+	if got := s2.objects.Load(); got != applied {
+		t.Fatalf("retry after restart re-applied data: objects %d -> %d", applied, got)
+	}
+}
+
+func TestAdmissionControl429(t *testing.T) {
+	s, ts, c := newTestServer(t, Config{Options: testOptions(1), MaxPending: 1})
+	// Wedge the event loop so submitted chunks pile up.
+	block := make(chan struct{})
+	go s.do(func() { <-block })
+	defer close(block)
+
+	// First ingest occupies the single admission slot (blocked on the
+	// wedged loop); wait until it is counted.
+	go c.Ingest(context.Background(), testObjects(59, 5, 4))
+	deadline := time.Now().Add(2 * time.Second)
+	for s.pendingChunks.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first chunk never became pending")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	_, err := c.Ingest(context.Background(), testObjects(61, 5, 4))
+	if !errors.Is(err, client.ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	var ce *client.Error
+	if !errors.As(err, &ce) || ce.Status != http.StatusTooManyRequests || ce.RetryAfterSec <= 0 {
+		t.Fatalf("want 429 with a retry hint, got %+v", ce)
+	}
+
+	// The Retry-After header itself must be parseable by generic clients.
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/x-ndjson",
+		strings.NewReader("{\"time\":1,\"x\":1,\"y\":1}\n{\"time\":2,\"x\":1,\"y\":1}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("want 429, got %d", resp.StatusCode)
+	}
+	if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || sec < 1 {
+		t.Fatalf("unparseable Retry-After %q: %v", resp.Header.Get("Retry-After"), err)
+	}
+	if s.throttled.Load() < 2 {
+		t.Fatalf("throttled counter = %d, want >= 2", s.throttled.Load())
+	}
+}

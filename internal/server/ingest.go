@@ -29,13 +29,51 @@ import (
 // (parseObjectJSON / the CSV field walk) and the chunk buffer is recycled
 // across requests, so per-request heap traffic is bounded by the handful of
 // event-loop submissions, not by the object count.
+//
+// An optional Ingest-Seq header ("source:sequence") makes the request
+// idempotent: the server applies each (source, sequence) at most once, a
+// retry of an applied sequence replays the original ack, and a retry of a
+// partially applied one (the ack was lost mid-request) resumes at the
+// first unapplied chunk — chunking is deterministic from the body and the
+// batch size, so the resume point is exact. Sequences must grow
+// monotonically per source.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	parse := parseNDJSON
 	if ct := r.Header.Get("Content-Type"); strings.Contains(ct, "csv") {
 		parse = parseCSV
 	}
 	var (
+		seqSrc string
+		seqNum uint64
+		seqSt  *sourceSeq
+		skip   uint32 // chunks of this sequence already applied (resume)
+	)
+	if h := r.Header.Get("Ingest-Seq"); h != "" {
+		src, num, err := parseIngestSeq(h)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err, 0)
+			return
+		}
+		st, sk, replay, err := s.claimSeq(src, num)
+		if err != nil {
+			s.ingestErr.Add(1)
+			code := client.CodeSeqOutOfOrder
+			if errors.Is(err, errSeqConflict) {
+				code = client.CodeSeqConflict
+			}
+			writeErrorCode(w, http.StatusConflict, code, 0, err, 0)
+			return
+		}
+		if replay != nil {
+			writeJSON(w, *replay)
+			return
+		}
+		seqSrc, seqNum, seqSt, skip = src, num, st, sk
+		defer s.releaseSeq(st)
+	}
+	var (
 		accepted, clamped int
+		chunkIdx          uint32
 		final             surge.Result
 		ackTotal          time.Duration
 		reqStart          time.Time
@@ -45,6 +83,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		reqStart = time.Now()
 	}
 	apply := func(chunk []surge.Object) error {
+		idx := chunkIdx
+		chunkIdx++
+		if idx < skip {
+			// Applied before the lost ack; the dedupe state holds its counts.
+			return nil
+		}
+		if s.maxPending > 0 && s.pendingChunks.Add(1) > s.maxPending {
+			s.pendingChunks.Add(-1)
+			s.throttled.Add(1)
+			return errOverloaded
+		}
 		var res surge.Result
 		var c int
 		var aerr error
@@ -52,7 +101,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if rec {
 			t0 = time.Now()
 		}
-		if err := s.do(func() { res, c, aerr = s.applyBatch(chunk) }); err != nil {
+		err := s.do(func() { res, c, aerr = s.applyLogged(chunk, seqSrc, seqNum, idx) })
+		if s.maxPending > 0 {
+			s.pendingChunks.Add(-1)
+		}
+		if err != nil {
 			return err
 		}
 		if rec {
@@ -62,6 +115,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		if aerr != nil {
 			return aerr
+		}
+		if seqSt != nil {
+			s.noteSeqApplied(seqSrc, seqNum, idx, len(chunk), c, res)
 		}
 		final = res
 		accepted += len(chunk)
@@ -107,17 +163,122 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.ingestErr.Add(1)
 		status := http.StatusBadRequest
-		if err == ErrClosed {
+		code := ""
+		retryAfter := 0
+		switch {
+		case errors.Is(err, ErrClosed):
 			status = http.StatusServiceUnavailable
+		case errors.Is(err, errOverloaded):
+			status = http.StatusTooManyRequests
+			code = client.CodeOverloaded
+			retryAfter = overloadRetryAfterSec
+		case errors.Is(err, errWALAppend):
+			status = http.StatusInternalServerError
 		}
-		writeError(w, status, err, accepted)
+		writeErrorCode(w, status, code, retryAfter, err, accepted)
 		return
 	}
-	writeJSON(w, client.IngestResult{
+	out := client.IngestResult{
 		Accepted: accepted,
 		Clamped:  clamped,
 		Result:   client.FromResult(final),
-	})
+	}
+	if seqSt != nil {
+		// The ack must be the one a crash-free run would have sent — and the
+		// one a duplicate retry replays — so report the sequence's cumulative
+		// state, which includes chunks applied before a lost ack.
+		out = s.finishSeq(seqSt)
+	}
+	writeJSON(w, out)
+}
+
+// overloadRetryAfterSec is the backoff hint sent with a 429: the loop
+// drains hundreds of chunks per second even under load, so one second is
+// enough for the watermark to clear.
+const overloadRetryAfterSec = 1
+
+// errOverloaded marks a chunk shed by admission control.
+var errOverloaded = errors.New("server: ingest queue full, retry later")
+
+// errSeqOutOfOrder and errSeqConflict are the Ingest-Seq rejections; both
+// map to 409 with their client.Code* counterparts.
+var (
+	errSeqOutOfOrder = errors.New("server: ingest sequence is older than the newest one seen from this source")
+	errSeqConflict   = errors.New("server: another request from this source is in flight")
+)
+
+// parseIngestSeq parses an Ingest-Seq header: "source:sequence" with a
+// non-empty source (at most 128 bytes; colons allowed — the split is at
+// the last one) and a decimal sequence >= 1.
+func parseIngestSeq(h string) (string, uint64, error) {
+	i := strings.LastIndexByte(h, ':')
+	if i <= 0 || i == len(h)-1 {
+		return "", 0, fmt.Errorf("server: malformed Ingest-Seq %q (want source:sequence)", h)
+	}
+	src := h[:i]
+	if len(src) > 128 {
+		return "", 0, fmt.Errorf("server: Ingest-Seq source exceeds 128 bytes")
+	}
+	seq, err := strconv.ParseUint(h[i+1:], 10, 64)
+	if err != nil || seq == 0 {
+		return "", 0, fmt.Errorf("server: invalid Ingest-Seq sequence %q (want a decimal >= 1)", h[i+1:])
+	}
+	return src, seq, nil
+}
+
+// claimSeq admits an Ingest-Seq'd request against the per-source dedupe
+// state: reject stale sequences and concurrent requests for the same
+// source, replay the stored ack for a completed duplicate, and otherwise
+// mark the source in flight and return how many chunks of this sequence
+// are already applied (the resume point after a lost ack).
+func (s *Server) claimSeq(src string, seq uint64) (st *sourceSeq, skip uint32, replay *client.IngestResult, err error) {
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	st = s.seqs[src]
+	if st == nil {
+		st = &sourceSeq{}
+		s.seqs[src] = st
+	}
+	if st.active {
+		return nil, 0, nil, errSeqConflict
+	}
+	if seq < st.seq {
+		return nil, 0, nil, fmt.Errorf("%w (got %d, newest %d)", errSeqOutOfOrder, seq, st.seq)
+	}
+	if seq == st.seq {
+		if st.done {
+			return nil, 0, &client.IngestResult{
+				Accepted: st.accepted,
+				Clamped:  st.clamped,
+				Result:   client.FromResult(st.result),
+			}, nil
+		}
+		skip = st.chunks
+	} else {
+		*st = sourceSeq{seq: seq}
+	}
+	st.active = true
+	return st, skip, nil, nil
+}
+
+// releaseSeq clears the in-flight flag when the request finishes.
+func (s *Server) releaseSeq(st *sourceSeq) {
+	s.seqMu.Lock()
+	st.active = false
+	s.seqMu.Unlock()
+}
+
+// finishSeq marks the sequence fully applied and returns its cumulative
+// ack — the reply now, and the one replayed for any later duplicate.
+func (s *Server) finishSeq(st *sourceSeq) client.IngestResult {
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	st.done = true
+	return client.IngestResult{
+		Accepted: st.accepted,
+		Clamped:  st.clamped,
+		Result:   client.FromResult(st.result),
+	}
 }
 
 // validateObject mirrors the window engine's own object validation so a

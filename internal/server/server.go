@@ -111,6 +111,11 @@ type Config struct {
 	// subscriber that falls further behind loses oldest-first, with the
 	// loss accounted in Notification.Dropped (0 = 64).
 	SubscriberBuffer int
+	// MaxPending is the admission-control watermark: when this many ingest
+	// chunks are already submitted and waiting on the event loop, further
+	// chunks are shed with 429 and a Retry-After hint instead of queueing
+	// unboundedly (0 = 256; negative disables shedding).
+	MaxPending int
 	// Checkpoint optionally seeds the detector from a snapshot instead of
 	// starting empty. The checkpoint's recorded query options (width,
 	// height, windows, alpha, area) define the detector — only Shards,
@@ -176,6 +181,20 @@ type Server struct {
 	// queries, so the escape hatch does not allocate a fresh snapshot per
 	// request.
 	ckptPool sync.Pool
+
+	// wal is the durability attachment (NewDurable); nil on a plain server.
+	// Its log is appended on the event loop inside applyLogged.
+	wal   *walState
+	ckpts atomic.Uint64 // durable checkpoints written
+
+	// Ingest-Seq dedupe: per-source sequence state for idempotent retries.
+	seqMu sync.Mutex
+	seqs  map[string]*sourceSeq
+
+	// Admission control: chunks submitted to the loop and not yet applied.
+	maxPending    int64
+	pendingChunks atomic.Int64
+	throttled     atomic.Uint64 // chunks shed with 429
 
 	// Counters (atomics so /metrics and handlers read them lock-free).
 	objects   atomic.Uint64 // objects applied
@@ -251,6 +270,7 @@ func New(cfg Config) (*Server, error) {
 		det:    det,
 		clock:  det.Now(),
 		last:   det.Best(),
+		seqs:   make(map[string]*sourceSeq),
 
 		log:           cfg.Logger,
 		healthTimeout: defaultHealthTimeout,
@@ -270,6 +290,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if s.subBuf <= 0 {
 		s.subBuf = 64
+	}
+	switch {
+	case cfg.MaxPending > 0:
+		s.maxPending = int64(cfg.MaxPending)
+	case cfg.MaxPending == 0:
+		s.maxPending = 256
 	}
 	s.chunkPool.New = func() any {
 		c := make([]surge.Object, 0, s.batch)
@@ -550,25 +576,40 @@ func (s *Server) stopLoop() {
 // Shutdown stops accepting work, then checkpoints the final detector
 // state. Stopping first closes the acknowledgement window: every ingest
 // acked with a 200 is in the returned checkpoint, every one rejected with
-// 503 is not. The caller should still Close.
+// 503 is not. On a durable server the checkpoint is also persisted to the
+// data directory (and its WAL compacted), so the next boot replays
+// nothing. The caller should still Close.
 func (s *Server) Shutdown() ([]byte, error) {
 	s.stopLoop()
 	s.snapshots.Add(1)
+	// The loop is drained: nothing else touches the detector or appends to
+	// the WAL, so reading both here is race-free and mutually consistent.
 	data, err := s.det.Checkpoint()
 	if err != nil {
 		s.log.Error("shutdown checkpoint failed", "err", err)
-	} else {
-		s.log.Info("shutdown: final state checkpointed", "bytes", len(data), "objects", s.objects.Load())
+		return data, err
 	}
-	return data, err
+	s.log.Info("shutdown: final state checkpointed", "bytes", len(data), "objects", s.objects.Load())
+	if s.wal != nil {
+		if werr := s.persistCheckpoint(data, s.wal.log.LastLSN()); werr != nil {
+			s.log.Error("shutdown durable checkpoint failed", "err", werr)
+			return data, werr
+		}
+	}
+	return data, nil
 }
 
 // Close stops the event loop, disconnects subscribers and closes the
-// detector. It is idempotent.
+// detector (and the WAL on a durable server). It is idempotent.
 func (s *Server) Close() error {
 	s.closing.Do(func() {
 		s.stopLoop()
 		s.closeErr = s.det.Close()
+		if s.wal != nil {
+			if werr := s.wal.log.Close(); werr != nil && s.closeErr == nil {
+				s.closeErr = werr
+			}
+		}
 		s.log.Info("server closed", "objects", s.objects.Load(), "uptime_sec", time.Since(s.start).Seconds(), "err", s.closeErr)
 	})
 	return s.closeErr
@@ -797,6 +838,9 @@ func (s *Server) Restore(data []byte) error {
 			return err
 		}
 	}
+	var durCkpt []byte
+	var durLSN uint64
+	var durErr error
 	derr := s.do(func() {
 		old := s.det
 		s.det = nd
@@ -810,12 +854,28 @@ func (s *Server) Restore(data []byte) error {
 		s.statLive.Store(uint64(nd.Live()))
 		s.refreshEngineStats(time.Now())
 		old.Close()
+		if s.wal != nil {
+			// Capture the restored state and the WAL position inside the
+			// swap, so the durable checkpoint written below supersedes every
+			// pre-restore WAL frame: a crash after a restore must never
+			// replay the old stream over the restored state.
+			durCkpt, durErr = nd.Checkpoint()
+			durLSN = s.wal.log.LastLSN()
+		}
 	})
 	if derr != nil {
 		// Only reachable when the server is shutting down concurrently; the
 		// loop is gone, so there is no maintained state left to repair.
 		nd.Close()
 		return derr
+	}
+	if s.wal != nil {
+		if durErr == nil {
+			durErr = s.persistCheckpoint(durCkpt, durLSN)
+		}
+		if durErr != nil {
+			return fmt.Errorf("server: restore applied but durable checkpoint failed (a crash before the next checkpoint replays the pre-restore log): %w", durErr)
+		}
 	}
 	s.log.Info("restored from checkpoint", "bytes", len(data), "shards", nd.Shards(), "now", nd.Now(), "live", nd.Live())
 	return nil
@@ -1013,6 +1073,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Now:    math.Float64frombits(s.statNow.Load()),
 		Live:   int(s.statLive.Load()),
 	}
+	if s.wal != nil {
+		h.Durable = true
+		h.RecoveredBatches = s.wal.recBatches
+		h.RecoverySec = s.wal.recSec
+		h.WALTornBytes = s.wal.torn
+	}
 	// Last-ingest age lets probes detect a stalled *stream* (no data
 	// arriving) separately from a stalled process; -1 means "never".
 	h.LastIngestAgeSec = -1
@@ -1098,6 +1164,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeMetric(w, "surge_engine_search_events_total", "counter", "Events that triggered at least one search.", float64(s.engStats[2].Load()))
 	writeMetric(w, "surge_engine_sweep_entries_total", "counter", "Sweep entries processed by the engines.", float64(s.engStats[3].Load()))
 	writeMetric(w, "surge_engine_cells_touched_total", "counter", "Grid cells touched by the engines.", float64(s.engStats[4].Load()))
+	writeMetric(w, "surge_ingest_throttled_total", "counter", "Ingest chunks shed with 429 by admission control.", float64(s.throttled.Load()))
+	writeMetric(w, "surge_ingest_pending_chunks", "gauge", "Ingest chunks submitted and not yet applied.", float64(s.pendingChunks.Load()))
+	if s.wal != nil {
+		writeMetric(w, "surge_wal_last_sync_age_seconds", "gauge", "Seconds since the last completed WAL fsync.", s.wal.log.LastSyncAge())
+		writeMetric(w, "surge_wal_checkpoints_total", "counter", "Durable checkpoints written.", float64(s.ckpts.Load()))
+		writeMetric(w, "surge_wal_recovered_batches", "gauge", "WAL batches replayed at the last boot.", float64(s.wal.recBatches))
+		writeMetric(w, "surge_wal_recovered_objects", "gauge", "Objects replayed from the WAL at the last boot.", float64(s.wal.recObjects))
+		writeMetric(w, "surge_wal_recovery_seconds", "gauge", "Boot WAL replay duration.", s.wal.recSec)
+		writeMetric(w, "surge_wal_torn_bytes", "gauge", "Bytes discarded by torn-tail truncation at the last boot.", float64(s.wal.torn))
+	}
 	writeMetric(w, "surge_uptime_seconds", "gauge", "Seconds since the server started.", time.Since(s.start).Seconds())
 	writeMetric(w, "surge_last_ingest_age_seconds", "gauge", "Seconds since the last applied batch (-1 before the first).", s.lastIngestAge())
 	writeMetric(w, "surge_loop_tick_age_seconds", "gauge", "Seconds since the event loop last answered a lag probe (-1 before the first).", ageSec(s.lastTickNano.Load()))
@@ -1132,7 +1208,22 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error, accepted int) {
+	writeErrorCode(w, status, "", 0, err, accepted)
+}
+
+// writeErrorCode is writeError with a machine-readable code and an
+// optional Retry-After hint (seconds; also sent as the HTTP header so
+// generic clients back off without parsing the body).
+func writeErrorCode(w http.ResponseWriter, status int, code string, retryAfterSec int, err error, accepted int) {
+	if retryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(client.Error{Err: err.Error(), Accepted: accepted})
+	json.NewEncoder(w).Encode(client.Error{
+		Err:           err.Error(),
+		Code:          code,
+		Accepted:      accepted,
+		RetryAfterSec: float64(retryAfterSec),
+	})
 }

@@ -47,6 +47,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TopKResolve:   histSecs(obs.Default.Duration(obs.MTopKResolve, "")),
 		TopKSolveWait: histSecs(obs.Default.Duration(obs.MTopKSolveWait, "")),
 		TopKShards:    histVals(obs.Default.Values(obs.MTopKShards, "")),
+
+		Throttled: s.throttled.Load(),
+	}
+	if s.wal != nil {
+		// Segment count and size come from the obs gauges the WAL mirrors on
+		// every append, not from the log itself, keeping this endpoint free
+		// of the WAL mutex (which an fsync can hold for milliseconds).
+		st.WAL = &client.WALStats{
+			SyncPolicy:       s.wal.log.Policy().String(),
+			Frames:           obs.Default.Counter(obs.MWALFrames, "").Value(),
+			AppendedBytes:    obs.Default.Counter(obs.MWALBytes, "").Value(),
+			Segments:         int(obs.Default.Gauge(obs.MWALSegments, "").Value()),
+			SizeBytes:        int64(obs.Default.Gauge(obs.MWALSize, "").Value()),
+			LastSyncAgeSec:   s.wal.log.LastSyncAge(),
+			Checkpoints:      s.ckpts.Load(),
+			Append:           histSecs(obs.Default.Duration(obs.MWALAppend, "")),
+			Fsync:            histSecs(obs.Default.Duration(obs.MWALFsync, "")),
+			RecoveredBatches: s.wal.recBatches,
+			RecoveredObjects: s.wal.recObjects,
+			RecoverySec:      s.wal.recSec,
+			TornBytes:        s.wal.torn,
+		}
 	}
 	rt := obs.ReadRuntime()
 	st.Runtime = client.RuntimeStats{

@@ -1,0 +1,46 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path so that a crash at any point leaves
+// either the old file or the new one, never a torn mix: write to a
+// temporary file in the same directory, fsync it, rename over the target,
+// then fsync the directory so the rename itself is durable. Used for
+// checkpoint files, whose partial write would otherwise be mistaken for a
+// valid (truncated) checkpoint on the next boot.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	defer func() {
+		if tmpPath != "" {
+			os.Remove(tmpPath)
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		return err
+	}
+	tmpPath = "" // renamed away; nothing to clean up
+	return syncDir(dir)
+}

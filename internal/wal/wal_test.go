@@ -1,0 +1,372 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func appendN(t *testing.T, l *Log, from, to int) {
+	t.Helper()
+	for i := from; i <= to; i++ {
+		payload := []byte(fmt.Sprintf("record-%04d", i))
+		lsn, err := l.Append(payload)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("append %d assigned lsn %d", i, lsn)
+		}
+	}
+}
+
+func collect(t *testing.T, l *Log, after uint64) map[uint64]string {
+	t.Helper()
+	out := make(map[uint64]string)
+	err := l.Replay(after, func(lsn uint64, payload []byte) error {
+		out[lsn] = string(payload)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncInterval, SyncOff} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l, rec, err := Open(dir, Options{Sync: policy, SyncEvery: time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.LastLSN != 0 || rec.TornBytes != 0 {
+				t.Fatalf("fresh log recovery = %+v", rec)
+			}
+			appendN(t, l, 1, 50)
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			l2, rec2, err := Open(dir, Options{Sync: policy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l2.Close()
+			if rec2.LastLSN != 50 || rec2.TornBytes != 0 {
+				t.Fatalf("recovery = %+v, want LastLSN=50 torn=0", rec2)
+			}
+			got := collect(t, l2, 30)
+			if len(got) != 20 {
+				t.Fatalf("replay after 30 returned %d records, want 20", len(got))
+			}
+			for i := 31; i <= 50; i++ {
+				if got[uint64(i)] != fmt.Sprintf("record-%04d", i) {
+					t.Fatalf("lsn %d payload %q", i, got[uint64(i)])
+				}
+			}
+			// Appends continue the sequence after recovery.
+			lsn, err := l2.Append([]byte("after"))
+			if err != nil || lsn != 51 {
+				t.Fatalf("post-recovery append lsn=%d err=%v", lsn, err)
+			}
+		})
+	}
+}
+
+func TestRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncOff, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 1, 60)
+	if l.Segments() < 3 {
+		t.Fatalf("got %d segments, want rotation to produce >= 3", l.Segments())
+	}
+	// Everything is recoverable across the segment boundaries.
+	if got := collect(t, l, 0); len(got) != 60 {
+		t.Fatalf("replay returned %d records, want 60", len(got))
+	}
+
+	// Compact half: segments fully below LSN 30 go away, the rest stays.
+	if err := l.CompactBefore(30); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, l, 30)
+	if len(got) != 30 {
+		t.Fatalf("replay after compaction returned %d records, want 30", len(got))
+	}
+
+	// Compact everything: only one (empty, active) segment remains.
+	if err := l.CompactBefore(60); err != nil {
+		t.Fatal(err)
+	}
+	if n := l.Segments(); n != 1 {
+		t.Fatalf("%d segments after full compaction, want 1", n)
+	}
+	if got := collect(t, l, 0); len(got) != 0 {
+		t.Fatalf("replay after full compaction returned %d records, want 0", len(got))
+	}
+	// The log keeps appending with continuous LSNs.
+	lsn, err := l.Append([]byte("next"))
+	if err != nil || lsn != 61 {
+		t.Fatalf("append after compaction lsn=%d err=%v", lsn, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.LastLSN != 61 {
+		t.Fatalf("recovered LastLSN %d, want 61", rec.LastLSN)
+	}
+}
+
+// lastSegment returns the path of the highest-index segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	last := matches[0]
+	for _, m := range matches[1:] {
+		if m > last {
+			last = m
+		}
+	}
+	return last
+}
+
+func TestTornTailTruncatedAtRandomOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rounds := 20
+	if testing.Short() {
+		rounds = 6
+	}
+	for round := 0; round < rounds; round++ {
+		dir := t.TempDir()
+		l, _, err := Open(dir, Options{Sync: SyncOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 10 + rng.Intn(40)
+		appendN(t, l, 1, n)
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Tear the tail: cut a random number of bytes off the segment.
+		path := lastSegment(t, dir)
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := int64(1 + rng.Intn(int(info.Size())))
+		if err := os.Truncate(path, info.Size()-cut); err != nil {
+			t.Fatal(err)
+		}
+
+		l2, rec, err := Open(dir, Options{Sync: SyncOff})
+		if err != nil {
+			t.Fatalf("round %d: reopen after tear: %v", round, err)
+		}
+		got := collect(t, l2, 0)
+		// Every surviving record must be an unbroken prefix 1..k.
+		k := rec.LastLSN
+		if uint64(len(got)) != k {
+			t.Fatalf("round %d: %d records with LastLSN %d", round, len(got), k)
+		}
+		for i := uint64(1); i <= k; i++ {
+			want := fmt.Sprintf("record-%04d", i)
+			if got[i] != want {
+				t.Fatalf("round %d: lsn %d = %q, want %q", round, i, got[i], want)
+			}
+		}
+		if k == uint64(n) && rec.TornBytes == 0 {
+			t.Fatalf("round %d: tear of %d bytes lost nothing and reported no torn bytes", round, cut)
+		}
+		// The log must be appendable again, continuing from the survivor.
+		if lsn, err := l2.Append([]byte("resume")); err != nil || lsn != k+1 {
+			t.Fatalf("round %d: append after recovery lsn=%d err=%v", round, lsn, err)
+		}
+		l2.Close()
+	}
+}
+
+func TestCorruptFrameTruncatesFromThere(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rounds := 20
+	if testing.Short() {
+		rounds = 6
+	}
+	for round := 0; round < rounds; round++ {
+		dir := t.TempDir()
+		l, _, err := Open(dir, Options{Sync: SyncOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendN(t, l, 1, 30)
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Flip one byte somewhere in the segment.
+		path := lastSegment(t, dir)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := rng.Intn(len(data))
+		data[pos] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		l2, rec, err := Open(dir, Options{Sync: SyncOff})
+		if err != nil {
+			t.Fatalf("round %d: reopen after corruption: %v", round, err)
+		}
+		got := collect(t, l2, 0)
+		k := rec.LastLSN
+		if uint64(len(got)) != k || k >= 30 {
+			t.Fatalf("round %d: corruption at %d survived: %d records, LastLSN %d", round, pos, len(got), k)
+		}
+		for i := uint64(1); i <= k; i++ {
+			if got[i] != fmt.Sprintf("record-%04d", i) {
+				t.Fatalf("round %d: lsn %d payload %q", round, i, got[i])
+			}
+		}
+		if rec.TornBytes == 0 {
+			t.Fatalf("round %d: no torn bytes reported", round)
+		}
+		l2.Close()
+	}
+}
+
+func TestTornMiddleSegmentDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncOff, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 1, 60)
+	if l.Segments() < 3 {
+		t.Fatalf("want >= 3 segments, got %d", l.Segments())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the FIRST segment: everything after it is untrustworthy.
+	matches, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	first := matches[0]
+	for _, m := range matches[1:] {
+		if m < first {
+			first = m
+		}
+	}
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := collect(t, l2, 0)
+	if uint64(len(got)) != rec.LastLSN {
+		t.Fatalf("%d records with LastLSN %d", len(got), rec.LastLSN)
+	}
+	for i := uint64(1); i <= rec.LastLSN; i++ {
+		if got[i] != fmt.Sprintf("record-%04d", i) {
+			t.Fatalf("lsn %d payload %q", i, got[i])
+		}
+	}
+	if l2.Segments() != 1 {
+		t.Fatalf("later segments not dropped: %d segments", l2.Segments())
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	if p, _, err := ParseSyncPolicy("always"); err != nil || p != SyncAlways {
+		t.Fatalf("always -> %v, %v", p, err)
+	}
+	if p, _, err := ParseSyncPolicy("off"); err != nil || p != SyncOff {
+		t.Fatalf("off -> %v, %v", p, err)
+	}
+	p, d, err := ParseSyncPolicy("250ms")
+	if err != nil || p != SyncInterval || d != 250*time.Millisecond {
+		t.Fatalf("250ms -> %v, %v, %v", p, d, err)
+	}
+	for _, bad := range []string{"", "sometimes", "-5s", "0s"} {
+		if _, _, err := ParseSyncPolicy(bad); err == nil {
+			t.Fatalf("ParseSyncPolicy(%q) accepted", bad)
+		}
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt")
+	if err := WriteFileAtomic(path, []byte("one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("two"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || !bytes.Equal(data, []byte("two")) {
+		t.Fatalf("read %q, %v", data, err)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d entries left in dir, want 1", len(entries))
+	}
+}
+
+func TestIntervalSyncAdvancesLastSyncAge(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncInterval, SyncEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		l.mu.Lock()
+		dirty := l.dirty
+		l.mu.Unlock()
+		if !dirty {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval syncer never flushed the append")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if age := l.LastSyncAge(); age < 0 || age > 2 {
+		t.Fatalf("LastSyncAge = %v", age)
+	}
+}
