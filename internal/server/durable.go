@@ -8,6 +8,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"surge"
@@ -47,6 +49,19 @@ type walState struct {
 	log      *wal.Log
 	ckptPath string
 	scratch  []byte // loop-owned WAL record encode buffer
+
+	// Checkpoint persistence is serialised: the background checkpointLoop,
+	// Shutdown and Restore may all reach persistCheckpoint concurrently, and
+	// an older capture must never overwrite a newer one — CompactBefore may
+	// already have deleted the WAL frames between the two positions, so the
+	// rollback would lose acknowledged batches on the next boot. ckptGen
+	// hands out capture tickets in state order (on the event loop, or after
+	// it drained), and persistCheckpoint drops any ticket older than the
+	// newest one persisted.
+	ckptMu   sync.Mutex
+	ckptGen  atomic.Uint64
+	lastGen  uint64        // newest persisted ticket; guarded by ckptMu
+	loopDone chan struct{} // closed when checkpointLoop exits; nil when disabled
 
 	recBatches uint64  // WAL batches replayed at boot
 	recObjects uint64  // objects those batches held
@@ -116,6 +131,31 @@ func NewDurable(cfg Config, dc DurableConfig) (*Server, error) {
 	if ck != nil {
 		after = ck.lsn
 		s.restoreSeqs(ck.seqs)
+		if recov.LastLSN < ck.lsn {
+			// The log ends before the checkpoint: the normal state after a
+			// clean shutdown (compaction emptied the WAL), or a machine crash
+			// under a relaxed sync policy that lost frames the fsynced
+			// checkpoint already covers. No data is missing — the checkpoint
+			// holds those frames' state — but LSN assignment must not restart
+			// inside the covered range: a later recovery would skip the
+			// reused numbers as "covered" and silently drop acknowledged
+			// batches. Every surviving frame is <= LastLSN < ck.lsn, i.e.
+			// itself covered, so drop the log and renumber past the
+			// checkpoint.
+			if recov.LastLSN > 0 {
+				s.log.Warn("wal ends before the checkpoint (machine crash with relaxed sync?); discarding covered frames",
+					"wal_last_lsn", recov.LastLSN, "ckpt_lsn", ck.lsn)
+			}
+			rerr := wlog.CompactBefore(ck.lsn)
+			if rerr == nil {
+				rerr = wlog.SkipTo(ck.lsn)
+			}
+			if rerr != nil {
+				s.Close()
+				wlog.Close()
+				return nil, rerr
+			}
+		}
 	}
 	t0 := time.Now()
 	rerr := wlog.Replay(after, func(lsn uint64, payload []byte) error {
@@ -152,6 +192,7 @@ func NewDurable(cfg Config, dc DurableConfig) (*Server, error) {
 		every = time.Minute
 	}
 	if every > 0 {
+		ws.loopDone = make(chan struct{})
 		go s.checkpointLoop(every)
 	}
 	s.log.Info("durable recovery complete",
@@ -186,10 +227,13 @@ func (s *Server) applyLogged(objs []surge.Object, src string, seq uint64, chunk 
 var errWALAppend = errors.New("server: wal append failed")
 
 // noteSeqApplied folds one applied chunk into the per-source dedupe state.
-// Used on the live path after a chunk lands and by boot replay; the max
-// semantics on (seq, chunks) make it idempotent, so a checkpointed dedupe
-// table slightly ahead of or behind the checkpointed WAL position
-// converges to the same state during replay.
+// Both callers — the live ingest path and boot replay — run it on the event
+// loop, in the same closure as the apply, so the dedupe table a checkpoint
+// snapshots is never behind the WAL position the checkpoint captured (a
+// behind table would resume a retried sequence at a stale skip count and
+// re-apply an already-applied chunk after a crash). It can be slightly
+// ahead — snapshotSeqs runs after the loop capture — which is safe: the max
+// semantics on (seq, chunks) make replay idempotent.
 func (s *Server) noteSeqApplied(src string, seq uint64, chunk uint32, objs, clamped int, res surge.Result) {
 	if src == "" {
 		return
@@ -251,8 +295,11 @@ func (s *Server) snapshotSeqs() map[string]seqEntry {
 
 // checkpointLoop writes a durable checkpoint every period until the server
 // shuts down. Each checkpoint also compacts the WAL segments it covers, so
-// the log stays bounded by the ingest volume of one period.
+// the log stays bounded by the ingest volume of one period. Shutdown and
+// Close join loopDone so no background persist is in flight when the final
+// checkpoint writes or the log closes.
 func (s *Server) checkpointLoop(every time.Duration) {
+	defer close(s.wal.loopDone)
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {
@@ -272,11 +319,12 @@ func (s *Server) checkpointLoop(every time.Duration) {
 // the pair atomically.
 func (s *Server) checkpointDurable() error {
 	var det []byte
-	var lsn uint64
+	var lsn, gen uint64
 	var cerr error
 	if err := s.do(func() {
 		det, cerr = s.det.Checkpoint()
 		lsn = s.wal.log.LastLSN()
+		gen = s.wal.ckptGen.Add(1)
 		s.snapshots.Add(1)
 	}); err != nil {
 		return err
@@ -284,18 +332,29 @@ func (s *Server) checkpointDurable() error {
 	if cerr != nil {
 		return cerr
 	}
-	return s.persistCheckpoint(det, lsn)
+	return s.persistCheckpoint(det, lsn, gen)
 }
 
 // persistCheckpoint writes the durable checkpoint wrapper atomically, then
-// compacts the WAL segments it fully covers.
-func (s *Server) persistCheckpoint(det []byte, lsn uint64) error {
+// compacts the WAL segments it fully covers. gen is the capture ticket from
+// walState.ckptGen: writes are serialised under ckptMu, and a capture older
+// than the newest persisted one is dropped — a slow background checkpoint
+// must never roll surge.ckpt back over a newer Shutdown/Restore checkpoint
+// whose covering WAL segments are already compacted away.
+func (s *Server) persistCheckpoint(det []byte, lsn, gen uint64) error {
+	ws := s.wal
+	ws.ckptMu.Lock()
+	defer ws.ckptMu.Unlock()
+	if gen < ws.lastGen {
+		return nil
+	}
 	buf := encodeDurableCheckpoint(lsn, s.snapshotSeqs(), det)
-	if err := wal.WriteFileAtomic(s.wal.ckptPath, buf, 0o644); err != nil {
+	if err := wal.WriteFileAtomic(ws.ckptPath, buf, 0o644); err != nil {
 		return err
 	}
+	ws.lastGen = gen
 	s.ckpts.Add(1)
-	if err := s.wal.log.CompactBefore(lsn); err != nil && !errors.Is(err, wal.ErrClosed) {
+	if err := ws.log.CompactBefore(lsn); err != nil && !errors.Is(err, wal.ErrClosed) {
 		return err
 	}
 	s.log.Info("durable checkpoint written", "bytes", len(buf), "lsn", lsn)
@@ -361,10 +420,16 @@ func decodeWALRecord(b []byte) (src string, seq uint64, chunk uint32, objs []sur
 	chunk = uint32(c)
 	b = b[k:]
 	cnt, k := binary.Uvarint(b)
-	if k <= 0 || uint64(len(b[k:])) != cnt*32 {
+	if k <= 0 {
 		return fail()
 	}
 	b = b[k:]
+	// Overflow-safe form of len(b) == cnt*32: a corrupt count near 2^59
+	// would wrap the product, pass the naive check and make() an absurd
+	// slice, crashing recovery instead of reporting a bad record.
+	if uint64(len(b))%32 != 0 || uint64(len(b))/32 != cnt {
+		return fail()
+	}
 	objs = make([]surge.Object, cnt)
 	for i := range objs {
 		objs[i] = surge.Object{

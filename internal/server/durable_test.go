@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -203,6 +204,96 @@ func TestDurableCheckpointCompaction(t *testing.T) {
 		t.Fatalf("want a partial replay of just the tail, replayed %d batches", s2.wal.recBatches)
 	}
 	assertSameAnswers(t, "after checkpoint+tail recovery", c2, refc)
+}
+
+// TestDurableStaleCheckpointDropped pins persistCheckpoint's ordering: a
+// checkpoint captured earlier (lower generation ticket) that reaches the
+// disk after a newer one — the background loop racing Shutdown/Restore —
+// must be dropped, not rolled over surge.ckpt. The newer checkpoint already
+// compacted the WAL frames between the two positions, so the rollback would
+// lose acknowledged batches at the next boot.
+func TestDurableStaleCheckpointDropped(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Options: testOptions(1), BatchSize: 32, TimePolicy: Clamp}
+	s, _, c := newDurableTestServer(t, dir, cfg, DurableConfig{Sync: wal.SyncOff})
+	streamBatches(t, c, testObjects(67, 100, 4), 50)
+
+	// Capture an early checkpoint on the loop, as checkpointLoop does...
+	var oldDet []byte
+	var oldLSN, oldGen uint64
+	var oldErr error
+	if err := s.do(func() {
+		oldDet, oldErr = s.det.Checkpoint()
+		oldLSN = s.wal.log.LastLSN()
+		oldGen = s.wal.ckptGen.Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if oldErr != nil {
+		t.Fatal(oldErr)
+	}
+	// ...then advance the stream and persist a newer checkpoint before the
+	// early capture lands.
+	streamBatches(t, c, testObjects(71, 100, 4), 50)
+	if err := s.checkpointDurable(); err != nil {
+		t.Fatal(err)
+	}
+	newLSN := s.wal.log.LastLSN()
+	if err := s.persistCheckpoint(oldDet, oldLSN, oldGen); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := readDurableCheckpoint(filepath.Join(dir, "surge.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil || ck.lsn != newLSN {
+		t.Fatalf("stale checkpoint rolled surge.ckpt back: lsn %d, want %d", ck.lsn, newLSN)
+	}
+}
+
+// TestDurableLSNReuseAfterCleanRestart reboots from a clean shutdown (whose
+// compaction left the WAL empty, i.e. ending before the checkpoint), ingests
+// more, and crashes. Boot must renumber the log past the checkpoint: frames
+// reusing covered LSNs would be skipped by Replay(after=ckpt.lsn) and the
+// acknowledged tail silently lost.
+func TestDurableLSNReuseAfterCleanRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Options: testOptions(1), BatchSize: 32, TimePolicy: Clamp}
+	head := testObjects(73, 200, 4)
+	tail := testObjects(79, 100, 4)
+
+	s1, ts1, c1 := newDurableTestServer(t, dir, cfg, DurableConfig{Sync: wal.SyncOff})
+	streamBatches(t, c1, head, 40)
+	if _, err := s1.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	s1.Close()
+
+	s2, ts2, c2 := newDurableTestServer(t, dir, cfg, DurableConfig{Sync: wal.SyncOff})
+	streamBatches(t, c2, tail, 40)
+	ts2.Close()
+	s2.Close() // crash: the tail exists only in the WAL
+
+	_, _, c3 := newDurableTestServer(t, dir, cfg, DurableConfig{Sync: wal.SyncOff})
+	_, _, refc := newTestServer(t, cfg)
+	streamBatches(t, refc, head, 40)
+	streamBatches(t, refc, tail, 40)
+	assertSameAnswers(t, "after restart+crash recovery", c3, refc)
+}
+
+// TestDecodeWALRecordCorruptCount feeds decode a CRC-framed record whose
+// object count is absurd: the length check must reject it instead of
+// wrapping the product and attempting a huge allocation.
+func TestDecodeWALRecordCorruptCount(t *testing.T) {
+	buf := []byte{walRecordVersion}
+	buf = binary.AppendUvarint(buf, 0)     // empty source
+	buf = binary.AppendUvarint(buf, 0)     // sequence
+	buf = binary.AppendUvarint(buf, 0)     // chunk
+	buf = binary.AppendUvarint(buf, 1<<59) // cnt*32 wraps to 0 == len(rest)
+	if _, _, _, _, err := decodeWALRecord(buf); !errors.Is(err, errBadWALRecord) {
+		t.Fatalf("want errBadWALRecord, got %v", err)
+	}
 }
 
 func TestIngestSeqDuplicateReplaysAck(t *testing.T) {

@@ -101,7 +101,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if rec {
 			t0 = time.Now()
 		}
-		err := s.do(func() { res, c, aerr = s.applyLogged(chunk, seqSrc, seqNum, idx) })
+		err := s.do(func() {
+			res, c, aerr = s.applyLogged(chunk, seqSrc, seqNum, idx)
+			if aerr == nil && seqSt != nil {
+				// Fold the dedupe update on the loop, in the same closure as
+				// the apply (boot replay does the same): a durable checkpoint
+				// captures its WAL position on the loop, so the dedupe table
+				// it later snapshots can never be behind that position.
+				s.noteSeqApplied(seqSrc, seqNum, idx, len(chunk), c, res)
+			}
+		})
 		if s.maxPending > 0 {
 			s.pendingChunks.Add(-1)
 		}
@@ -115,9 +124,6 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		if aerr != nil {
 			return aerr
-		}
-		if seqSt != nil {
-			s.noteSeqApplied(seqSrc, seqNum, idx, len(chunk), c, res)
 		}
 		final = res
 		accepted += len(chunk)

@@ -581,6 +581,12 @@ func (s *Server) stopLoop() {
 // nothing. The caller should still Close.
 func (s *Server) Shutdown() ([]byte, error) {
 	s.stopLoop()
+	if s.wal != nil && s.wal.loopDone != nil {
+		// Join the background checkpointer: its in-flight iteration ends
+		// once the loop drains, and waiting here means no stale persist can
+		// race the final checkpoint below.
+		<-s.wal.loopDone
+	}
 	s.snapshots.Add(1)
 	// The loop is drained: nothing else touches the detector or appends to
 	// the WAL, so reading both here is race-free and mutually consistent.
@@ -591,7 +597,7 @@ func (s *Server) Shutdown() ([]byte, error) {
 	}
 	s.log.Info("shutdown: final state checkpointed", "bytes", len(data), "objects", s.objects.Load())
 	if s.wal != nil {
-		if werr := s.persistCheckpoint(data, s.wal.log.LastLSN()); werr != nil {
+		if werr := s.persistCheckpoint(data, s.wal.log.LastLSN(), s.wal.ckptGen.Add(1)); werr != nil {
 			s.log.Error("shutdown durable checkpoint failed", "err", werr)
 			return data, werr
 		}
@@ -606,6 +612,11 @@ func (s *Server) Close() error {
 		s.stopLoop()
 		s.closeErr = s.det.Close()
 		if s.wal != nil {
+			if s.wal.loopDone != nil {
+				// Join the background checkpointer before closing the log so
+				// an in-flight persist never races the close.
+				<-s.wal.loopDone
+			}
 			if werr := s.wal.log.Close(); werr != nil && s.closeErr == nil {
 				s.closeErr = werr
 			}
@@ -839,7 +850,7 @@ func (s *Server) Restore(data []byte) error {
 		}
 	}
 	var durCkpt []byte
-	var durLSN uint64
+	var durLSN, durGen uint64
 	var durErr error
 	derr := s.do(func() {
 		old := s.det
@@ -861,6 +872,7 @@ func (s *Server) Restore(data []byte) error {
 			// replay the old stream over the restored state.
 			durCkpt, durErr = nd.Checkpoint()
 			durLSN = s.wal.log.LastLSN()
+			durGen = s.wal.ckptGen.Add(1)
 		}
 	})
 	if derr != nil {
@@ -871,7 +883,7 @@ func (s *Server) Restore(data []byte) error {
 	}
 	if s.wal != nil {
 		if durErr == nil {
-			durErr = s.persistCheckpoint(durCkpt, durLSN)
+			durErr = s.persistCheckpoint(durCkpt, durLSN, durGen)
 		}
 		if durErr != nil {
 			return fmt.Errorf("server: restore applied but durable checkpoint failed (a crash before the next checkpoint replays the pre-restore log): %w", durErr)

@@ -583,6 +583,33 @@ func (l *Log) Replay(after uint64, fn func(lsn uint64, payload []byte) error) er
 	return nil
 }
 
+// SkipTo raises LSN assignment so the next Append is numbered at least
+// lsn+1; a no-op when the log is already past lsn. The server calls it at
+// boot when a checkpoint covers positions beyond the recovered log (the
+// compacted-empty state after a clean shutdown, or frames lost to a machine
+// crash under a relaxed sync policy) — reusing those numbers would make the
+// next recovery skip the reassigned frames as already covered. The retained
+// segments must hold no frames: recovery reads a numbering jump inside the
+// frame sequence as a torn tail, so the caller compacts the (fully covered)
+// log first.
+func (l *Log) SkipTo(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if lsn <= l.lsn {
+		return nil
+	}
+	for _, seg := range l.segs {
+		if seg.firstLSN != 0 {
+			return fmt.Errorf("wal: cannot skip to lsn %d past live frames (last lsn %d)", lsn, l.lsn)
+		}
+	}
+	l.lsn = lsn
+	return nil
+}
+
 // LastLSN returns the LSN of the most recently appended (or recovered)
 // frame, 0 for an empty log.
 func (l *Log) LastLSN() uint64 {

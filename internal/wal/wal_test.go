@@ -302,6 +302,43 @@ func TestTornMiddleSegmentDropsLaterSegments(t *testing.T) {
 	}
 }
 
+// TestSkipTo pins the LSN skip-ahead used when a checkpoint covers
+// positions beyond the recovered log: numbering resumes past the skip, the
+// jump survives a reopen, and a log still holding frames refuses to skip
+// (the jump would read as a torn tail to recovery).
+func TestSkipTo(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SkipTo(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SkipTo(10); err != nil { // already past: no-op
+		t.Fatal(err)
+	}
+	appendN(t, l, 41, 45)
+	if err := l.SkipTo(100); err == nil {
+		t.Fatal("SkipTo past live frames must refuse")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.LastLSN != 45 || rec.TornBytes != 0 {
+		t.Fatalf("recovery after skip = %+v, want LastLSN=45 torn=0", rec)
+	}
+	got := collect(t, l2, 0)
+	if len(got) != 5 || got[41] != "record-0041" {
+		t.Fatalf("replay after skip: %v", got)
+	}
+}
+
 func TestParseSyncPolicy(t *testing.T) {
 	if p, _, err := ParseSyncPolicy("always"); err != nil || p != SyncAlways {
 		t.Fatalf("always -> %v, %v", p, err)
