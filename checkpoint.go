@@ -50,6 +50,15 @@ type checkpointOptions struct {
 
 type checkpointObject struct {
 	X, Y, Weight, Time float64
+	// Seq is the object's arrival rank (the window engine's monotone ID).
+	// Replay sorts same-time objects by Seq, so within-tie arrival order —
+	// and with it the last-bit rounding of the engines' score folds —
+	// survives a restore. Timestamp ties are routine under the serving
+	// layer's Clamp policy, which rewrites every late arrival to the
+	// current stream time. Checkpoints written before this field existed
+	// decode with Seq zero (gob matches by name) and fall back to the old
+	// (x, y) tie order.
+	Seq uint64
 }
 
 // liveObj is one live-window object tracked for checkpointing and for
@@ -83,19 +92,21 @@ func trackLiveObj(live map[uint64]liveObj, ev core.Event) {
 func (d *Detector) trackLive(ev core.Event) { trackLiveObj(d.liveObjs, ev) }
 
 // buildCheckpointObjects collects the live objects into scratch and sorts
-// them into the canonical (time, x, y) replay order. The scratch is reused
+// them into the canonical (time, arrival) replay order. The scratch is reused
 // across calls so periodic checkpointing does not reallocate the object
 // list.
 func buildCheckpointObjects(scratch []checkpointObject, live map[uint64]liveObj) []checkpointObject {
 	scratch = scratch[:0]
 	for _, lo := range live {
 		o := lo.obj
-		scratch = append(scratch, checkpointObject{X: o.X, Y: o.Y, Weight: o.Weight, Time: o.T})
+		scratch = append(scratch, checkpointObject{X: o.X, Y: o.Y, Weight: o.Weight, Time: o.T, Seq: o.ID})
 	}
 	slices.SortFunc(scratch, func(a, b checkpointObject) int {
 		switch {
 		case a.Time != b.Time:
 			return cmp.Compare(a.Time, b.Time)
+		case a.Seq != b.Seq:
+			return cmp.Compare(a.Seq, b.Seq)
 		case a.X != b.X:
 			return cmp.Compare(a.X, b.X)
 		default:
@@ -203,11 +214,13 @@ const KeepShards = -1
 // sharded pipeline with the same shard count (use RestoreSharded to
 // override it).
 //
-// Scores are bit-identical to the writing detector when object timestamps
-// are unique. Objects sharing a timestamp are replayed in the checkpoint's
-// canonical (time, x, y) order, so their within-tie arrival order — and
-// with it the last-bit rounding of the engines' score folds — may differ
-// from the original stream.
+// Scores are bit-identical to the writing detector: objects replay in
+// their original arrival order (the checkpoint records each object's
+// arrival rank, so even objects sharing a timestamp — routine under the
+// serving layer's Clamp policy — keep their within-tie order and with it
+// the last-bit rounding of the engines' score folds). Checkpoints written
+// before the arrival rank existed replay ties in (x, y) order, which can
+// differ from the original stream in the last bit.
 func Restore(alg Algorithm, data []byte) (*Detector, error) {
 	return RestoreSharded(alg, data, KeepShards, KeepShards)
 }

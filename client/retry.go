@@ -10,12 +10,15 @@ import (
 )
 
 // RetryPolicy configures the client's automatic retries. Retries cover
-// transport errors (connection refused/reset), 429 replies (honouring
-// Retry-After) and 5xx replies — but only for requests that are safe to
-// repeat: all GETs, snapshot and restore, and ingest only when it carries
-// an Ingest-Seq header, because the server's per-source dedupe then makes
-// the retry effectively-once. Ingest without a sequence is never retried:
-// an ack lost after the server applied the batch would double-count it.
+// transport errors (connection refused/reset), 429 replies and 5xx replies
+// — including the 503 durability_degraded shed a durable server emits while
+// its repair loop rotates away from a failed disk; a served Retry-After
+// always wins over the computed backoff when it is longer. Only requests
+// that are safe to repeat are retried: all GETs, snapshot and restore, and
+// ingest only when it carries an Ingest-Seq header, because the server's
+// per-source dedupe then makes the retry effectively-once. Ingest without a
+// sequence is never retried: an ack lost after the server applied the batch
+// would double-count it.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of attempts including the first.
 	// 0 means 4.

@@ -83,6 +83,61 @@ func TestNoRetryOfUnsequencedIngest(t *testing.T) {
 	}
 }
 
+// TestRetryOnDegraded503 pins the graceful-degradation contract on the
+// client side: a sequenced ingest shed with 503 durability_degraded is
+// retried after the server's (fractional) Retry-After and succeeds once
+// the server has repaired itself.
+func TestRetryOnDegraded503(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0.05")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(Error{Err: "durability degraded", Code: CodeDurabilityDegraded, RetryAfterSec: 0.05})
+			return
+		}
+		ackOK(w)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}))
+	t0 := time.Now()
+	res, err := c.IngestSeq(context.Background(), "src", 1, testObjs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 1 || hits.Load() != 3 {
+		t.Fatalf("accepted=%d hits=%d, want success on the third attempt", res.Accepted, hits.Load())
+	}
+	// Two shed replies, each with a 50ms fractional Retry-After that beats
+	// the millisecond backoff.
+	if d := time.Since(t0); d < 80*time.Millisecond {
+		t.Fatalf("retries returned in %v, want the ~100ms the server asked for", d)
+	}
+}
+
+// TestDegraded503TypedError pins the sentinel: an exhausted degraded shed
+// surfaces as a typed *Error matching errors.Is(err, ErrDegraded).
+func TestDegraded503TypedError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(Error{Err: "durability degraded", Code: CodeDurabilityDegraded, RetryAfterSec: 1})
+	}))
+	defer ts.Close()
+	c := New(ts.URL) // no retry: the sentinel must not depend on the policy
+	_, err := c.IngestSeq(context.Background(), "src", 1, testObjs())
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("want ErrDegraded, got %v", err)
+	}
+	if errors.Is(err, ErrOverloaded) {
+		t.Fatal("degraded shed matched the overload sentinel")
+	}
+	var e *Error
+	if !errors.As(err, &e) || e.Status != http.StatusServiceUnavailable || e.RetryAfterSec != 1 {
+		t.Fatalf("error lost its transport metadata: %+v", e)
+	}
+}
+
 func TestRetryExhaustionReturnsTypedError(t *testing.T) {
 	var hits atomic.Int64
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

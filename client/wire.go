@@ -167,6 +167,18 @@ type Health struct {
 	// WALTornBytes is the byte count discarded by torn-tail truncation at
 	// the last boot (0 after a clean shutdown).
 	WALTornBytes int64 `json:"wal_torn_bytes,omitempty"`
+	// Durability is the degradation state machine's position on a durable
+	// server: "ok" (no fault since boot), "degraded" (a WAL append/fsync
+	// failed; ingest is shed with 503 while queries keep serving, and OK is
+	// false), or "recovered" (a repair restored durability; OK is true).
+	Durability string `json:"durability,omitempty"`
+	// DegradedCount and RepairedCount count the ok->degraded and
+	// degraded->recovered transitions since boot.
+	DegradedCount uint64 `json:"degraded_count,omitempty"`
+	RepairedCount uint64 `json:"repaired_count,omitempty"`
+	// DegradedSec is the cumulative wall-clock time spent degraded,
+	// including the current spell.
+	DegradedSec float64 `json:"degraded_sec,omitempty"`
 }
 
 // HistogramStats summarises one latency or value histogram in /v1/stats.
@@ -262,6 +274,14 @@ type WALStats struct {
 	RecoveredObjects uint64  `json:"recovered_objects"`
 	RecoverySec      float64 `json:"recovery_sec"`
 	TornBytes        int64   `json:"torn_bytes"`
+
+	// Degradation state machine (mirrors the /healthz fields).
+	Durability       string  `json:"durability,omitempty"` // ok | degraded | recovered
+	DegradedCount    uint64  `json:"degraded_count,omitempty"`
+	RepairedCount    uint64  `json:"repaired_count,omitempty"`
+	DegradedSec      float64 `json:"degraded_sec,omitempty"`
+	CheckpointErrors uint64  `json:"checkpoint_errors,omitempty"`
+	ShedDegraded     uint64  `json:"shed_degraded,omitempty"` // chunks shed with 503 while degraded
 }
 
 // Error codes carried by Error.Code for failures a client is expected to
@@ -277,6 +297,10 @@ const (
 	// CodeSeqConflict: another request with the same Ingest-Seq source is
 	// in flight; serialise retries per source.
 	CodeSeqConflict = "seq_conflict"
+	// CodeDurabilityDegraded: the server shed the ingest (503) because its
+	// write-ahead log cannot accept the batch; a background repair loop is
+	// working, so retry after Error.RetryAfterSec (WithRetry does).
+	CodeDurabilityDegraded = "durability_degraded"
 )
 
 // Sentinel errors matched by errors.Is against a decoded *Error.
@@ -284,6 +308,7 @@ var (
 	ErrOverloaded    = errors.New("client: server overloaded")
 	ErrSeqOutOfOrder = errors.New("client: ingest sequence out of order")
 	ErrSeqConflict   = errors.New("client: ingest sequence in flight elsewhere")
+	ErrDegraded      = errors.New("client: server durability degraded")
 )
 
 // Error is the JSON body of a non-2xx reply.
@@ -314,6 +339,8 @@ func (e *Error) Is(target error) bool {
 		return e.Code == CodeSeqOutOfOrder
 	case ErrSeqConflict:
 		return e.Code == CodeSeqConflict
+	case ErrDegraded:
+		return e.Code == CodeDurabilityDegraded
 	}
 	return false
 }

@@ -153,8 +153,21 @@ func compareAnswers(t *testing.T, label string, got, want *client.Client) {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(gt.Results, wt.Results) {
-		t.Fatalf("%s: topk diverged:\ngot  %+v\nwant %+v", label, gt.Results, wt.Results)
+		t.Fatalf("%s: topk diverged:\ngot  %s\nwant %s", label, fmtResults(gt.Results), fmtResults(wt.Results))
 	}
+}
+
+// fmtResults renders wire results with the region rectangles dereferenced,
+// so a divergence in a tie-broken region is visible in the failure output.
+func fmtResults(rs []client.Result) string {
+	var b strings.Builder
+	for i, r := range rs {
+		fmt.Fprintf(&b, "\n  [%d] found=%v score=%v", i, r.Found, r.Score)
+		if r.Region != nil {
+			fmt.Fprintf(&b, " region=%+v", *r.Region)
+		}
+	}
+	return b.String()
 }
 
 // TestCrashRecoveryKill9 is the fault-injection harness: stream sequenced

@@ -75,6 +75,9 @@ func runServe(args []string) error {
 		pprofOn = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling; leave off unless the listener is access-controlled)")
 		logFmt  = fs.String("log-format", "text", "structured log format on stderr: text or json")
 
+		readHdrT = fs.Duration("read-header-timeout", 10*time.Second, "close connections whose request headers take longer than this to arrive (slowloris guard)")
+		idleT    = fs.Duration("idle-timeout", 120*time.Second, "close idle keep-alive connections after this long")
+
 		dataDir  = fs.String("data-dir", "", "durable mode: write-ahead log and checkpoints live here; boot recovers the acknowledged state from it")
 		walSync  = fs.String("wal-sync", "always", "WAL fsync policy: always (fsync before each ack), off (never), or an interval like 100ms (background fsync; a machine crash can lose up to one interval)")
 		ckptEvry = fs.Duration("checkpoint-every", time.Minute, "durable mode: background checkpoint period (compacts the covered WAL); <0 disables")
@@ -170,7 +173,16 @@ func runServe(args []string) error {
 		return err
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	// No blanket read/write timeouts: ingest streams and SSE subscriptions
+	// are legitimately long-lived. The header and idle timeouts (plus a
+	// header size cap) bound what a misbehaving client can pin.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: *readHdrT,
+		IdleTimeout:       *idleT,
+		MaxHeaderBytes:    1 << 20,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

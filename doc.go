@@ -289,6 +289,46 @@
 // figures — is surfaced on /metrics as surge_wal_* and on /v1/stats as
 // client.WALStats.
 //
+// # Failure modes and graceful degradation
+//
+// A durable server survives disk faults and pipeline panics without
+// dropping the service. When a WAL append or fsync fails, the log poisons
+// itself (nothing further is acknowledged against the dead segment), the
+// server enters the degraded state, and a repair loop retries with
+// jittered backoff: rotate the log to a fresh segment, write a fresh
+// checkpoint to re-establish the durable floor, then resume. While
+// degraded, ingest is shed with 503, the typed code "durability_degraded"
+// (client.ErrDegraded) and a Retry-After hint — client.WithRetry rides
+// through the window — while queries, subscriptions and stats keep serving
+// from the last good state. The failure modes, what an operator observes,
+// and what to do:
+//
+//	fault                    observed behaviour              health state         operator action
+//	-----                    ------------------              ------------         ---------------
+//	disk full (ENOSPC)       ingest 503 durability_degraded; wal.durability      free disk space; the repair
+//	                         failed append never acked;      "degraded",          loop resumes service by
+//	                         queries keep serving            healthz 503          itself, no restart needed
+//	I/O error (EIO)          same shed-and-repair cycle;     wal.durability       check the device; if the
+//	                         surge_wal_faults_total and      "degraded" then      fault persists the server
+//	                         surge_wal_repairs_total count   "recovered"          stays degraded and retries
+//	                         the cycle                                            with backoff forever
+//	torn WAL tail            boot truncates at the first     healthz OK,          none: the torn frame was
+//	(crash mid-append)       corrupt frame and replays the   wal_torn_bytes > 0   never acknowledged; retry
+//	                         intact prefix                                        the uncertain batch
+//	checkpoint write fails   checkpointing retried with      healthz OK (appends  free disk/fix perms; WAL
+//	                         backoff; counted as             are still durable —  replay at next boot is
+//	                         surge_checkpoint_errors_total   not a degradation)   longer until one lands
+//	pipeline panic           ingest 500, the panic and its   healthz 503 with     capture the logged stack,
+//	(engine bug)             stack logged once; queries      the panic text       restart; a durable server
+//	                         serve the last good snapshot;                        recovers acknowledged
+//	                         Close/Query never deadlock                           state from the log
+//
+// The degradation counters ride /healthz and /v1/stats (durability state,
+// degraded/repaired transition counts, seconds spent degraded) and
+// /metrics (surge_durability_degraded, surge_degraded_transitions_total,
+// surge_repairs_total, surge_degraded_seconds_total), so an alert can key
+// on surge_durability_degraded == 1 outlasting the repair backoff.
+//
 // # Continuous top-k serving
 //
 // The server maintains the top-k answer continuously instead of computing

@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"surge"
 	"surge/client"
@@ -175,7 +176,14 @@ func serve(cfg server.Config) (*client.Client, func()) {
 	check(err)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	check(err)
-	hs := &http.Server{Handler: s.Handler()}
+	// Long-lived ingest/SSE connections rule out blanket read/write
+	// timeouts; the header and idle timeouts still bound slow clients.
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
 	go hs.Serve(ln)
 	fmt.Printf("serving %s shards=%d on http://%s\n", cfg.Algorithm, cfg.Options.Shards, ln.Addr())
 	return client.New("http://" + ln.Addr().String()), func() {

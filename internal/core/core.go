@@ -215,6 +215,13 @@ type Engine interface {
 	Best() Result
 }
 
+// TestEngineWrap, when non-nil, wraps every engine the surge package builds.
+// It exists for fault-injection tests only — the serving layer uses it to
+// plant a panicking engine inside a shard worker and assert the pipeline's
+// panic containment end to end. Production code never sets it, so the
+// nil check is the entire steady-state cost.
+var TestEngineWrap func(Engine) Engine
+
 // TopKEngine is the common interface of the top-k detectors.
 type TopKEngine interface {
 	Process(ev Event)

@@ -1,0 +1,334 @@
+// Package fault abstracts the filesystem calls the durability layer makes
+// so tests can inject disk faults — EIO, ENOSPC, short writes, fsync
+// failures, added latency — at precise points: the nth WAL append, during a
+// segment rotation, in the middle of a checkpoint rename. Production code
+// passes OS, a zero-cost passthrough to package os; tests wrap it in an
+// Injector armed with Rules.
+//
+// The fast path of an unarmed Injector is one atomic load per filesystem
+// call (the same discipline as obs.On), so threading an Injector through a
+// production configuration costs nothing measurable and never allocates.
+package fault
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// File is the subset of *os.File the WAL and checkpoint writers use.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+	Chmod(mode fs.FileMode) error
+	Name() string
+}
+
+// FS is the subset of package os the durability layer calls. All methods
+// have os semantics exactly.
+type FS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	Open(name string) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Stat(name string) (fs.FileInfo, error)
+	Truncate(name string, size int64) error
+	Remove(name string) error
+	Rename(oldpath, newpath string) error
+}
+
+// OS is the production FS: a direct passthrough to package os.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)      { return os.Stat(name) }
+func (osFS) Truncate(name string, size int64) error     { return os.Truncate(name, size) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+
+// Op identifies the class of filesystem call a Rule matches.
+type Op uint8
+
+const (
+	OpOpen Op = iota // OpenFile, Open, CreateTemp
+	OpWrite
+	OpSync // file fsync, including directory fsync via Open(dir).Sync
+	OpTruncate
+	OpRemove
+	OpRename
+	OpMkdir
+	OpStat
+	OpReadDir
+)
+
+// String names the op the way a test failure should read.
+func (o Op) String() string {
+	switch o {
+	case OpOpen:
+		return "open"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpTruncate:
+		return "truncate"
+	case OpRemove:
+		return "remove"
+	case OpRename:
+		return "rename"
+	case OpMkdir:
+		return "mkdir"
+	case OpStat:
+		return "stat"
+	default:
+		return "readdir"
+	}
+}
+
+// Rule makes matching calls fail (or stall). A call matches when its op
+// equals Op and its path contains Path ("" matches any path). The first
+// After matching calls pass through untouched; the next Count matching
+// calls fire (Count 0 = every one until Clear). A firing call sleeps
+// Latency, then fails with Err — except when ShortWrite > 0 on an OpWrite,
+// which writes only the first ShortWrite bytes through to the real file
+// before failing, leaving a torn frame on disk the way a full disk or a
+// crashed kernel would.
+type Rule struct {
+	Op         Op
+	Path       string // substring of the file path; "" = any
+	After      int
+	Count      int
+	Err        error
+	ShortWrite int
+	Latency    time.Duration
+}
+
+type ruleState struct {
+	Rule
+	seen  int // matching calls observed
+	fired int
+}
+
+// Injector wraps an FS and fires armed Rules. The zero value is unusable;
+// use NewInjector. Arm, Clear and the FS methods are safe for concurrent
+// use.
+type Injector struct {
+	base  FS
+	armed atomic.Bool
+	mu    sync.Mutex
+	rules []*ruleState
+	fired atomic.Uint64
+}
+
+// NewInjector wraps base (OS when nil) with no rules armed.
+func NewInjector(base FS) *Injector {
+	if base == nil {
+		base = OS
+	}
+	return &Injector{base: base}
+}
+
+// Arm adds rules and enables the injection slow path.
+func (in *Injector) Arm(rules ...Rule) {
+	in.mu.Lock()
+	for _, r := range rules {
+		rc := r
+		in.rules = append(in.rules, &ruleState{Rule: rc})
+	}
+	armed := len(in.rules) > 0
+	in.mu.Unlock()
+	in.armed.Store(armed)
+}
+
+// Clear drops every rule and restores passthrough behaviour.
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	in.rules = nil
+	in.mu.Unlock()
+	in.armed.Store(false)
+}
+
+// Fired reports how many calls have had a fault injected since creation.
+func (in *Injector) Fired() uint64 { return in.fired.Load() }
+
+// check consults the rules for (op, path). It returns the error to inject
+// (nil = pass through) and, for OpWrite, how many bytes to write before
+// failing (-1 = the whole buffer). When every rule has exhausted its Count
+// the injector disarms itself, so a burst of faults "clears" without the
+// test having to intervene — mirroring a transient disk error.
+func (in *Injector) check(op Op, path string) (error, int) {
+	if !in.armed.Load() {
+		return nil, -1
+	}
+	in.mu.Lock()
+	var hit *ruleState
+	for _, r := range in.rules {
+		if r.Count > 0 && r.fired >= r.Count {
+			continue // spent
+		}
+		if r.Op != op || (r.Path != "" && !strings.Contains(path, r.Path)) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		r.fired++
+		hit = r
+		break
+	}
+	exhausted := len(in.rules) > 0
+	for _, r := range in.rules {
+		if r.Count == 0 || r.fired < r.Count {
+			exhausted = false
+			break
+		}
+	}
+	if exhausted {
+		in.armed.Store(false)
+	}
+	if hit == nil {
+		in.mu.Unlock()
+		return nil, -1
+	}
+	err, short, lat := hit.Err, hit.ShortWrite, hit.Latency
+	in.mu.Unlock()
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	in.fired.Add(1)
+	if op == OpWrite && short > 0 {
+		return err, short
+	}
+	return err, 0
+}
+
+func (in *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	if err, _ := in.check(OpMkdir, path); err != nil {
+		return &fs.PathError{Op: "mkdir", Path: path, Err: err}
+	}
+	return in.base.MkdirAll(path, perm)
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if err, _ := in.check(OpOpen, name); err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+	}
+	f, err := in.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, in: in, name: name}, nil
+}
+
+func (in *Injector) Open(name string) (File, error) {
+	if err, _ := in.check(OpOpen, name); err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+	}
+	f, err := in.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, in: in, name: name}, nil
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if err, _ := in.check(OpOpen, dir+"/"+pattern); err != nil {
+		return nil, &fs.PathError{Op: "createtemp", Path: dir, Err: err}
+	}
+	f, err := in.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, in: in, name: f.Name()}, nil
+}
+
+func (in *Injector) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err, _ := in.check(OpReadDir, name); err != nil {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: err}
+	}
+	return in.base.ReadDir(name)
+}
+
+func (in *Injector) Stat(name string) (fs.FileInfo, error) {
+	if err, _ := in.check(OpStat, name); err != nil {
+		return nil, &fs.PathError{Op: "stat", Path: name, Err: err}
+	}
+	return in.base.Stat(name)
+}
+
+func (in *Injector) Truncate(name string, size int64) error {
+	if err, _ := in.check(OpTruncate, name); err != nil {
+		return &fs.PathError{Op: "truncate", Path: name, Err: err}
+	}
+	return in.base.Truncate(name, size)
+}
+
+func (in *Injector) Remove(name string) error {
+	if err, _ := in.check(OpRemove, name); err != nil {
+		return &fs.PathError{Op: "remove", Path: name, Err: err}
+	}
+	return in.base.Remove(name)
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err, _ := in.check(OpRename, newpath); err != nil {
+		return &fs.PathError{Op: "rename", Path: newpath, Err: err}
+	}
+	return in.base.Rename(oldpath, newpath)
+}
+
+// injFile threads Write/Sync through the injector's rules.
+type injFile struct {
+	f    File
+	in   *Injector
+	name string
+}
+
+func (f *injFile) Read(p []byte) (int, error) { return f.f.Read(p) }
+func (f *injFile) Close() error               { return f.f.Close() }
+func (f *injFile) Chmod(m fs.FileMode) error  { return f.f.Chmod(m) }
+func (f *injFile) Name() string               { return f.f.Name() }
+
+func (f *injFile) Write(p []byte) (int, error) {
+	err, short := f.in.check(OpWrite, f.name)
+	if err == nil {
+		return f.f.Write(p)
+	}
+	perr := &fs.PathError{Op: "write", Path: f.name, Err: err}
+	if short > 0 {
+		if short > len(p) {
+			short = len(p)
+		}
+		n, werr := f.f.Write(p[:short])
+		if werr != nil {
+			return n, werr
+		}
+		return n, perr
+	}
+	return 0, perr
+}
+
+func (f *injFile) Sync() error {
+	if err, _ := f.in.check(OpSync, f.name); err != nil {
+		return &fs.PathError{Op: "sync", Path: f.name, Err: err}
+	}
+	return f.f.Sync()
+}

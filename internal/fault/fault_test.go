@@ -1,0 +1,199 @@
+package fault
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestOSPassthrough sanity-checks the production FS against a real file.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a", "f.txt")
+	if err := OS.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OS.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OS.Stat(path)
+	if err != nil || st.Size() != 5 {
+		t.Fatalf("stat: %v size=%d", err, st.Size())
+	}
+}
+
+// TestRuleAfterCount checks skip-then-fire sequencing: After matching calls
+// pass, the next Count fire, and the injector disarms itself once every
+// rule is spent.
+func TestRuleAfterCount(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Arm(Rule{Op: OpWrite, After: 2, Count: 2, Err: syscall.EIO})
+
+	f, err := in.OpenFile(filepath.Join(dir, "w.txt"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 6; i++ {
+		_, err := f.Write([]byte("x"))
+		wantFail := i == 2 || i == 3
+		if wantFail && !errors.Is(err, syscall.EIO) {
+			t.Fatalf("write %d: err = %v, want EIO", i, err)
+		}
+		if !wantFail && err != nil {
+			t.Fatalf("write %d: unexpected err %v", i, err)
+		}
+	}
+	if got := in.Fired(); got != 2 {
+		t.Fatalf("Fired() = %d, want 2", got)
+	}
+	if in.armed.Load() {
+		t.Fatal("injector still armed after every rule was spent")
+	}
+}
+
+// TestRulePathFilter checks that a Path substring restricts the rule to
+// matching files.
+func TestRulePathFilter(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Arm(Rule{Op: OpRemove, Path: "victim", Err: syscall.EIO})
+	other := filepath.Join(dir, "other.txt")
+	victim := filepath.Join(dir, "victim.txt")
+	for _, p := range []string{other, victim} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.Remove(other); err != nil {
+		t.Fatalf("non-matching remove failed: %v", err)
+	}
+	err := in.Remove(victim)
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("matching remove err = %v, want EIO", err)
+	}
+	var perr *fs.PathError
+	if !errors.As(err, &perr) || perr.Path != victim {
+		t.Fatalf("injected error is not a PathError for %s: %v", victim, err)
+	}
+	if _, serr := os.Stat(victim); serr != nil {
+		t.Fatal("victim was removed despite the injected failure")
+	}
+}
+
+// TestShortWrite checks the torn-frame primitive: the prefix reaches the
+// real file, the call still errors.
+func TestShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Arm(Rule{Op: OpWrite, Count: 1, Err: syscall.ENOSPC, ShortWrite: 3})
+	path := filepath.Join(dir, "torn.txt")
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := f.Write([]byte("abcdef"))
+	if !errors.Is(werr, syscall.ENOSPC) || n != 3 {
+		t.Fatalf("short write: n=%d err=%v, want 3/ENOSPC", n, werr)
+	}
+	f.Close()
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "abc" {
+		t.Fatalf("file holds %q (err %v), want the 3-byte prefix", got, err)
+	}
+	// The rule is spent: the next write goes through whole.
+	f2, err := in.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Write([]byte("def")); err != nil {
+		t.Fatalf("write after exhaustion: %v", err)
+	}
+	f2.Close()
+}
+
+// TestSyncAndOpenRules checks fsync and open interception, including
+// CreateTemp matching on dir/pattern.
+func TestSyncAndOpenRules(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Arm(
+		Rule{Op: OpSync, Count: 1, Err: syscall.EIO},
+		Rule{Op: OpOpen, Path: "ckpt", Count: 1, Err: syscall.EMFILE},
+	)
+	f, err := in.OpenFile(filepath.Join(dir, "s.txt"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync err = %v, want EIO", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after exhaustion: %v", err)
+	}
+	if _, err := in.CreateTemp(dir, "ckpt-*"); !errors.Is(err, syscall.EMFILE) {
+		t.Fatalf("createtemp err = %v, want EMFILE", err)
+	}
+	if tmp, err := in.CreateTemp(dir, "ckpt-*"); err != nil {
+		t.Fatalf("createtemp after exhaustion: %v", err)
+	} else {
+		tmp.Close()
+	}
+}
+
+// TestClearRestoresPassthrough checks Clear drops an unlimited rule.
+func TestClearRestoresPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Arm(Rule{Op: OpWrite, Err: syscall.EIO}) // Count 0: fires forever
+	f, err := in.OpenFile(filepath.Join(dir, "c.txt"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("write err = %v, want EIO", err)
+	}
+	if in.armed.Load() == false {
+		t.Fatal("unlimited rule disarmed itself")
+	}
+	in.Clear()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("write after Clear: %v", err)
+	}
+}
+
+// TestLatencyRule checks a latency-only rule stalls without failing.
+func TestLatencyRule(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.Arm(Rule{Op: OpWrite, Count: 1, Latency: 50 * time.Millisecond})
+	f, err := in.OpenFile(filepath.Join(dir, "l.txt"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	t0 := time.Now()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("latency-only rule failed the write: %v", err)
+	}
+	if d := time.Since(t0); d < 40*time.Millisecond {
+		t.Fatalf("write returned in %v, want >= ~50ms stall", d)
+	}
+}

@@ -38,4 +38,13 @@ const (
 	MWALFrames   = "surge_wal_frames_total"
 	MWALSegments = "surge_wal_segments"   // segment files on disk (gauge)
 	MWALSize     = "surge_wal_size_bytes" // total segment bytes (gauge)
+
+	// Degradation and repair (fault tolerance).
+	MWALFaults   = "surge_wal_faults_total"        // poisoning write/fsync/rotation failures
+	MWALRepairs  = "surge_wal_repairs_total"       // successful log repairs
+	MCkptErrors  = "surge_checkpoint_errors_total" // failed durable checkpoint attempts
+	MDegraded    = "surge_durability_degraded"     // 1 while ingest is shed (gauge)
+	MDegradedTot = "surge_degraded_transitions_total"
+	MRepairedTot = "surge_repairs_total" // degraded -> ok transitions
+	MDegradedSec = "surge_degraded_seconds_total"
 )

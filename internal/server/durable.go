@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	mrand "math/rand/v2"
 	"os"
 	"path/filepath"
 	"sync"
@@ -14,6 +15,7 @@ import (
 
 	"surge"
 	"surge/client"
+	"surge/internal/fault"
 	"surge/internal/wal"
 )
 
@@ -40,6 +42,10 @@ type DurableConfig struct {
 	// which also compacts fully covered WAL segments (0 = 1m; negative
 	// disables the background checkpointer — Shutdown still writes one).
 	CheckpointEvery time.Duration
+	// FS is the filesystem the WAL and checkpoint files live on (nil =
+	// fault.OS). Tests pass a fault.Injector to exercise disk-failure and
+	// degradation paths.
+	FS fault.FS
 }
 
 // walState is the durability attachment of a Server built by NewDurable.
@@ -48,7 +54,13 @@ type DurableConfig struct {
 type walState struct {
 	log      *wal.Log
 	ckptPath string
+	fs       fault.FS
 	scratch  []byte // loop-owned WAL record encode buffer
+
+	// repairKick wakes the repair loop after a degradation; repairDone is
+	// closed when the loop exits (Close joins it before closing the log).
+	repairKick chan struct{}
+	repairDone chan struct{}
 
 	// Checkpoint persistence is serialised: the background checkpointLoop,
 	// Shutdown and Restore may all reach persistCheckpoint concurrently, and
@@ -104,6 +116,9 @@ func NewDurable(cfg Config, dc DurableConfig) (*Server, error) {
 	if dc.Dir == "" {
 		return nil, errors.New("server: durable server needs a data directory")
 	}
+	if dc.FS == nil {
+		dc.FS = fault.OS
+	}
 	if err := os.MkdirAll(dc.Dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -116,7 +131,7 @@ func NewDurable(cfg Config, dc DurableConfig) (*Server, error) {
 		cfg.Checkpoint = ck.det
 	}
 	wlog, recov, err := wal.Open(filepath.Join(dc.Dir, "wal"), wal.Options{
-		Sync: dc.Sync, SyncEvery: dc.SyncEvery, SegmentBytes: dc.SegmentBytes,
+		Sync: dc.Sync, SyncEvery: dc.SyncEvery, SegmentBytes: dc.SegmentBytes, FS: dc.FS,
 	})
 	if err != nil {
 		return nil, err
@@ -126,7 +141,11 @@ func NewDurable(cfg Config, dc DurableConfig) (*Server, error) {
 		wlog.Close()
 		return nil, err
 	}
-	ws := &walState{log: wlog, ckptPath: ckptPath, torn: recov.TornBytes}
+	ws := &walState{
+		log: wlog, ckptPath: ckptPath, fs: dc.FS, torn: recov.TornBytes,
+		repairKick: make(chan struct{}, 1),
+		repairDone: make(chan struct{}),
+	}
 	var after uint64
 	if ck != nil {
 		after = ck.lsn
@@ -195,6 +214,7 @@ func NewDurable(cfg Config, dc DurableConfig) (*Server, error) {
 		ws.loopDone = make(chan struct{})
 		go s.checkpointLoop(every)
 	}
+	go s.repairLoop()
 	s.log.Info("durable recovery complete",
 		"dir", dc.Dir,
 		"wal_sync", wlog.Policy().String(),
@@ -212,19 +232,163 @@ func NewDurable(cfg Config, dc DurableConfig) (*Server, error) {
 // aborts the apply, so a 200 is only ever sent for a batch the log holds —
 // and because both the append and the apply happen on the loop, WAL order
 // is exactly apply order.
+//
+// An append failure transitions the server to degraded instead of failing
+// every future ingest: the batch is rejected (never acked), ingest is shed
+// with 503 until the background repair loop truncates the partial tail,
+// rotates to a fresh segment and re-establishes the durable floor with a
+// fresh checkpoint. Queries keep serving throughout.
 func (s *Server) applyLogged(objs []surge.Object, src string, seq uint64, chunk uint32) (surge.Result, int, error) {
 	if s.wal != nil {
+		if s.degraded.Load() {
+			return surge.Result{}, 0, errDegraded
+		}
 		s.wal.scratch = encodeWALRecord(s.wal.scratch[:0], src, seq, chunk, objs)
 		if _, err := s.wal.log.Append(s.wal.scratch); err != nil {
-			return surge.Result{}, 0, fmt.Errorf("%w: %w", errWALAppend, err)
+			s.enterDegraded(err)
+			return surge.Result{}, 0, fmt.Errorf("%w: %w", errDegraded, err)
 		}
 	}
 	return s.applyBatch(objs)
 }
 
-// errWALAppend marks an ingest failure caused by the WAL, not the request:
-// the handler reports it as a 500 rather than a 400.
-var errWALAppend = errors.New("server: wal append failed")
+// errDegraded marks ingest shed while durability is lost: the WAL cannot
+// hold the batch, so acknowledging it would break the crash contract. The
+// handler reports 503 with code "durability_degraded" and a Retry-After;
+// the repair loop restores ingest without a restart.
+var errDegraded = errors.New("server: durability degraded, ingest shed until the log is repaired")
+
+// degradedRetryAfterSec is the backoff hint sent with a degraded 503: a
+// transient fault usually repairs within one attempt of the repair loop.
+const degradedRetryAfterSec = 1
+
+// enterDegraded transitions ok -> degraded on the first WAL failure and
+// wakes the repair loop. Later failures just refresh the fault message.
+func (s *Server) enterDegraded(err error) {
+	msg := err.Error()
+	s.faultMsg.Store(&msg)
+	if !s.degraded.CompareAndSwap(false, true) {
+		return
+	}
+	s.degradedSince.Store(time.Now().UnixNano())
+	s.degradedCount.Add(1)
+	s.log.Error("durability degraded: shedding ingest until the log is repaired", "err", err)
+	select {
+	case s.wal.repairKick <- struct{}{}:
+	default:
+	}
+}
+
+// exitDegraded transitions degraded -> recovered once a repair succeeded.
+func (s *Server) exitDegraded() {
+	if !s.degraded.CompareAndSwap(true, false) {
+		return
+	}
+	var spell time.Duration
+	if t := s.degradedSince.Swap(0); t != 0 {
+		spell = time.Duration(time.Now().UnixNano() - t)
+		s.degradedNano.Add(int64(spell))
+	}
+	s.repairedCount.Add(1)
+	s.log.Info("durability repaired: ingest resumed", "degraded_sec", spell.Seconds())
+}
+
+// degradedSec returns the cumulative wall-clock time spent degraded,
+// including the current spell.
+func (s *Server) degradedSec() float64 {
+	total := time.Duration(s.degradedNano.Load())
+	if t := s.degradedSince.Load(); t != 0 {
+		total += time.Duration(time.Now().UnixNano() - t)
+	}
+	return total.Seconds()
+}
+
+// durabilityString names the degradation state machine's position for
+// /healthz and /v1/stats: "degraded" while ingest is shed, "recovered" once
+// at least one repair has restored durability, "ok" when no fault ever hit.
+func (s *Server) durabilityString() string {
+	switch {
+	case s.degraded.Load():
+		return "degraded"
+	case s.repairedCount.Load() > 0:
+		return "recovered"
+	default:
+		return "ok"
+	}
+}
+
+// faultString returns the most recent WAL fault message, "" when none.
+func (s *Server) faultString() string {
+	if p := s.faultMsg.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+const (
+	repairBaseDelay = 25 * time.Millisecond
+	repairMaxDelay  = 2 * time.Second
+)
+
+// jitter spreads a backoff delay over [d/2, d] so concurrent retry loops
+// do not synchronise.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(mrand.Int64N(int64(d/2)))
+}
+
+// repairLoop waits for a degradation and retries repair with jittered
+// exponential backoff until the log accepts appends again. It exits when
+// the server shuts down.
+func (s *Server) repairLoop() {
+	defer close(s.wal.repairDone)
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-s.wal.repairKick:
+		}
+		delay := repairBaseDelay
+		for {
+			err := s.repairDurability()
+			if err == nil {
+				break
+			}
+			if errors.Is(err, ErrClosed) || errors.Is(err, wal.ErrClosed) {
+				return
+			}
+			s.log.Warn("durability repair failed; retrying", "err", err, "backoff_sec", delay.Seconds())
+			select {
+			case <-s.quit:
+				return
+			case <-time.After(jitter(delay)):
+			}
+			if delay *= 2; delay > repairMaxDelay {
+				delay = repairMaxDelay
+			}
+		}
+	}
+}
+
+// repairDurability is one repair attempt: truncate the poisoned tail and
+// rotate the log to a fresh segment, then write a fresh checkpoint. The
+// checkpoint is not optional — a failed fsync may have silently dropped
+// pages the kernel already marked clean, so the surviving segments cannot
+// be trusted; checkpointing the in-memory state (which also compacts the
+// suspect segments away) re-establishes the durable floor from scratch.
+// Only then does ingest resume.
+func (s *Server) repairDurability() error {
+	if err := s.wal.log.Repair(); err != nil {
+		return err
+	}
+	if err := s.checkpointDurable(); err != nil {
+		return err
+	}
+	s.exitDegraded()
+	return nil
+}
 
 // noteSeqApplied folds one applied chunk into the per-source dedupe state.
 // Both callers — the live ingest path and boot replay — run it on the event
@@ -293,23 +457,52 @@ func (s *Server) snapshotSeqs() map[string]seqEntry {
 	return out
 }
 
+// ckptRetryBase paces the retry after a failed background checkpoint: a
+// full -checkpoint-every period of waiting would let WAL segments pile up
+// while the failure is likely transient.
+const (
+	ckptRetryBase = 100 * time.Millisecond
+	ckptRetryMax  = 10 * time.Second
+)
+
 // checkpointLoop writes a durable checkpoint every period until the server
 // shuts down. Each checkpoint also compacts the WAL segments it covers, so
-// the log stays bounded by the ingest volume of one period. Shutdown and
-// Close join loopDone so no background persist is in flight when the final
-// checkpoint writes or the log closes.
+// the log stays bounded by the ingest volume of one period. A failed
+// attempt is retried with jittered exponential backoff instead of waiting
+// out the period with segments accumulating. Shutdown and Close join
+// loopDone so no background persist is in flight when the final checkpoint
+// writes or the log closes.
 func (s *Server) checkpointLoop(every time.Duration) {
 	defer close(s.wal.loopDone)
 	t := time.NewTicker(every)
 	defer t.Stop()
+	var delay time.Duration    // nonzero while retrying a failed checkpoint
+	var retry <-chan time.Time // nil unless a retry is scheduled
 	for {
 		select {
 		case <-t.C:
-			if err := s.checkpointDurable(); err != nil && !errors.Is(err, ErrClosed) {
-				s.log.Error("durable checkpoint failed", "err", err)
-			}
+		case <-retry:
 		case <-s.quit:
 			return
+		}
+		err := s.checkpointDurable()
+		switch {
+		case err == nil:
+			delay, retry = 0, nil
+		case errors.Is(err, ErrClosed):
+			return
+		default:
+			if delay *= 2; delay < ckptRetryBase {
+				delay = ckptRetryBase
+			}
+			if delay > ckptRetryMax {
+				delay = ckptRetryMax
+			}
+			if delay > every {
+				delay = every
+			}
+			s.log.Error("durable checkpoint failed; retrying", "err", err, "backoff_sec", delay.Seconds())
+			retry = time.After(jitter(delay))
 		}
 	}
 }
@@ -330,9 +523,16 @@ func (s *Server) checkpointDurable() error {
 		return err
 	}
 	if cerr != nil {
+		s.ckptErrs.Add(1)
 		return cerr
 	}
-	return s.persistCheckpoint(det, lsn, gen)
+	if err := s.persistCheckpoint(det, lsn, gen); err != nil {
+		if !errors.Is(err, wal.ErrClosed) {
+			s.ckptErrs.Add(1)
+		}
+		return err
+	}
+	return nil
 }
 
 // persistCheckpoint writes the durable checkpoint wrapper atomically, then
@@ -349,7 +549,7 @@ func (s *Server) persistCheckpoint(det []byte, lsn, gen uint64) error {
 		return nil
 	}
 	buf := encodeDurableCheckpoint(lsn, s.snapshotSeqs(), det)
-	if err := wal.WriteFileAtomic(ws.ckptPath, buf, 0o644); err != nil {
+	if err := wal.WriteFileAtomicFS(ws.fs, ws.ckptPath, buf, 0o644); err != nil {
 		return err
 	}
 	ws.lastGen = gen

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"surge/client"
+	"surge/internal/fault"
+	"surge/internal/wal"
+)
+
+// TestWALFaultDegradesAndRepairs drives the full degradation state machine:
+// a WAL append hits EIO, the server sheds ingest with 503
+// durability_degraded while queries keep serving, the repair loop retries
+// against a still-failing disk, and once the fault clears the server
+// re-enters service with nothing acknowledged lost — the retried stream
+// lands bitwise on the uninterrupted reference, across a restart too.
+func TestWALFaultDegradesAndRepairs(t *testing.T) {
+	objs := testObjects(101, 400, 4)
+	cfg := Config{Options: testOptions(2), BatchSize: 64}
+	_, _, ref := newTestServer(t, cfg)
+	streamBatches(t, ref, objs, 50)
+
+	in := fault.NewInjector(nil)
+	dir := t.TempDir()
+	s, _, c := newDurableTestServer(t, dir, cfg, DurableConfig{Sync: wal.SyncAlways, FS: in})
+	ctx := context.Background()
+	streamBatches(t, c, objs[:200], 50)
+
+	// One append fails; the repair loop's truncate keeps failing until the
+	// test clears it, holding the server in the degraded state.
+	in.Arm(
+		fault.Rule{Op: fault.OpWrite, Path: "wal-", Count: 1, Err: syscall.EIO},
+		fault.Rule{Op: fault.OpTruncate, Path: "wal-", Err: syscall.EIO},
+	)
+	_, err := c.Ingest(ctx, objs[200:250])
+	if !errors.Is(err, client.ErrDegraded) {
+		t.Fatalf("ingest during fault: err = %v, want ErrDegraded", err)
+	}
+	var ce *client.Error
+	if !errors.As(err, &ce) || ce.Status != http.StatusServiceUnavailable ||
+		ce.Code != client.CodeDurabilityDegraded || ce.RetryAfterSec <= 0 {
+		t.Fatalf("degraded error = %+v, want 503 %s with a retry hint", ce, client.CodeDurabilityDegraded)
+	}
+
+	// While degraded: ingest is shed up front, queries and stats keep
+	// serving, healthz reports the lost durability.
+	if _, err := c.Ingest(ctx, objs[200:250]); !errors.Is(err, client.ErrDegraded) {
+		t.Fatalf("second ingest not shed: %v", err)
+	}
+	if s.shedDegraded.Load() == 0 {
+		t.Fatal("shed counter untouched by a degraded-mode ingest")
+	}
+	if _, err := c.Best(ctx); err != nil {
+		t.Fatalf("best during degradation: %v", err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats during degradation: %v", err)
+	}
+	if st.WAL == nil || st.WAL.Durability != "degraded" || st.WAL.DegradedCount != 1 {
+		t.Fatalf("stats during degradation = %+v", st.WAL)
+	}
+	if _, err := c.Health(ctx); err == nil || !strings.Contains(err.Error(), "durability degraded") {
+		t.Fatalf("healthz during degradation = %v, want 503 with the fault", err)
+	}
+
+	// Clear the disk fault: the next repair retry rotates to a fresh
+	// segment, re-checkpoints, and resumes ingest.
+	in.Clear()
+	deadline := time.Now().Add(15 * time.Second)
+	var h *client.Health
+	for {
+		h, err = c.Health(ctx)
+		if err == nil && h.OK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never recovered: health=%+v err=%v", h, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if h.Durability != "recovered" || h.DegradedCount != 1 || h.RepairedCount != 1 {
+		t.Fatalf("recovered health = %+v, want recovered/1/1", h)
+	}
+	if h.DegradedSec <= 0 {
+		t.Fatalf("degraded_sec = %v, want > 0", h.DegradedSec)
+	}
+
+	// The shed batch was never applied or acknowledged: retrying it and the
+	// rest of the stream must land exactly on the uninterrupted reference.
+	streamBatches(t, c, objs[200:], 50)
+	assertSameAnswers(t, "after repair", c, ref)
+
+	// And the repaired log replays cleanly: crash, reboot on a clean disk.
+	s.Close()
+	_, _, c2 := newDurableTestServer(t, dir, cfg, DurableConfig{Sync: wal.SyncAlways})
+	assertSameAnswers(t, "after post-repair restart", c2, ref)
+}
+
+// TestCheckpointFaultRetries pins the background checkpointer's retry: a
+// failing checkpoint rename is counted, retried with backoff, and succeeds
+// once the fault clears — without the loop wedging or the server degrading.
+func TestCheckpointFaultRetries(t *testing.T) {
+	in := fault.NewInjector(nil)
+	dir := t.TempDir()
+	// Clamp: the second ingest below restarts its stream clock.
+	cfg := Config{Options: testOptions(1), BatchSize: 64, TimePolicy: Clamp}
+	s, _, c := newDurableTestServer(t, dir, cfg,
+		DurableConfig{Sync: wal.SyncOff, CheckpointEvery: 30 * time.Millisecond, FS: in})
+	streamBatches(t, c, testObjects(103, 150, 4), 50)
+
+	in.Arm(fault.Rule{Op: fault.OpRename, Path: "surge.ckpt", Count: 2, Err: syscall.EIO})
+	deadline := time.Now().Add(15 * time.Second)
+	for s.ckptErrs.Load() < 2 || s.ckpts.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("checkpoint retry stalled: errs=%d ok=%d", s.ckptErrs.Load(), s.ckpts.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Checkpoint failures are not a durability loss: appends kept working.
+	if s.degraded.Load() {
+		t.Fatal("checkpoint failure degraded the server")
+	}
+	if _, err := c.Ingest(context.Background(), testObjects(107, 50, 4)); err != nil {
+		t.Fatalf("ingest during checkpoint retries: %v", err)
+	}
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WAL == nil || st.WAL.CheckpointErrors < 2 {
+		t.Fatalf("stats checkpoint_errors = %+v, want >= 2", st.WAL)
+	}
+}
+
+// TestFsyncFaultUnacked pins the SyncAlways contract under an fsync fault:
+// the append whose fsync failed is not acknowledged, the server degrades,
+// and after repair plus restart the recovered stream holds exactly the
+// acknowledged prefix.
+func TestFsyncFaultUnacked(t *testing.T) {
+	objs := testObjects(109, 300, 4)
+	cfg := Config{Options: testOptions(1), BatchSize: 64}
+	_, _, ref := newTestServer(t, cfg)
+	streamBatches(t, ref, objs, 50)
+
+	in := fault.NewInjector(nil)
+	dir := t.TempDir()
+	s, _, c := newDurableTestServer(t, dir, cfg, DurableConfig{Sync: wal.SyncAlways, FS: in})
+	ctx := context.Background()
+	streamBatches(t, c, objs[:150], 50)
+
+	in.Arm(fault.Rule{Op: fault.OpSync, Path: "wal-", Count: 1, Err: syscall.EIO})
+	if _, err := c.Ingest(ctx, objs[150:200]); !errors.Is(err, client.ErrDegraded) {
+		t.Fatalf("ingest over failed fsync: err = %v, want ErrDegraded", err)
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if h, err := c.Health(ctx); err == nil && h.OK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never recovered from the fsync fault")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	streamBatches(t, c, objs[150:], 50)
+	assertSameAnswers(t, "after fsync-fault repair", c, ref)
+
+	s.Close()
+	_, _, c2 := newDurableTestServer(t, dir, cfg, DurableConfig{Sync: wal.SyncAlways})
+	assertSameAnswers(t, "after fsync-fault restart", c2, ref)
+}

@@ -89,6 +89,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			// Applied before the lost ack; the dedupe state holds its counts.
 			return nil
 		}
+		if s.degraded.Load() {
+			// Durability lost: shed before queueing (one atomic load on the
+			// healthy fast path). applyLogged re-checks on the loop, so a
+			// fault landing between here and the apply still never acks.
+			s.shedDegraded.Add(1)
+			return errDegraded
+		}
 		if s.maxPending > 0 && s.pendingChunks.Add(1) > s.maxPending {
 			s.pendingChunks.Add(-1)
 			s.throttled.Add(1)
@@ -178,7 +185,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusTooManyRequests
 			code = client.CodeOverloaded
 			retryAfter = overloadRetryAfterSec
-		case errors.Is(err, errWALAppend):
+		case errors.Is(err, errDegraded):
+			status = http.StatusServiceUnavailable
+			code = client.CodeDurabilityDegraded
+			retryAfter = degradedRetryAfterSec
+		case errors.Is(err, errPipeline):
 			status = http.StatusInternalServerError
 		}
 		writeErrorCode(w, status, code, retryAfter, err, accepted)

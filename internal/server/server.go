@@ -187,6 +187,20 @@ type Server struct {
 	wal   *walState
 	ckpts atomic.Uint64 // durable checkpoints written
 
+	// Durability degradation state machine (ok -> degraded -> recovered):
+	// degraded is set on the first WAL append/fsync failure and cleared by a
+	// successful repair. While set, ingest is shed with 503 (one atomic load
+	// on the hot path); queries, SSE and scrapes keep serving. Always false
+	// on a plain server.
+	degraded      atomic.Bool
+	degradedCount atomic.Uint64 // ok -> degraded transitions
+	repairedCount atomic.Uint64 // degraded -> recovered transitions
+	degradedSince atomic.Int64  // nano wall clock of the current spell; 0 when healthy
+	degradedNano  atomic.Int64  // cumulative nanos of completed degraded spells
+	ckptErrs      atomic.Uint64 // failed durable checkpoint attempts
+	shedDegraded  atomic.Uint64 // ingest chunks shed with 503 while degraded
+	faultMsg      atomic.Pointer[string]
+
 	// Ingest-Seq dedupe: per-source sequence state for idempotent retries.
 	seqMu sync.Mutex
 	seqs  map[string]*sourceSeq
@@ -495,19 +509,34 @@ func (s *Server) loop() {
 	for {
 		select {
 		case fn := <-s.reqs:
-			fn()
+			s.runLoopOp(fn)
 		case <-s.quit:
 			// Drain work that already won the submission race.
 			for {
 				select {
 				case fn := <-s.reqs:
-					fn()
+					s.runLoopOp(fn)
 				default:
 					return
 				}
 			}
 		}
 	}
+}
+
+// runLoopOp is the loop's panic backstop: a panicking op must not kill the
+// event loop — that would wedge every do() caller behind a dead channel and
+// take queries down with it. The submitted closure's own defer unblocks its
+// caller during the unwind; the recover here keeps the loop alive for the
+// next op. applyBatch additionally recovers its own panics into errors so a
+// panicking apply is a rejected batch, never a zero-valued false ack.
+func (s *Server) runLoopOp(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.log.Error("panic in event-loop op recovered", "panic", r, "stack", string(debug.Stack()))
+		}
+	}()
+	fn()
 }
 
 // do runs fn on the event loop and waits for it. The queue wait — submit to
@@ -581,11 +610,23 @@ func (s *Server) stopLoop() {
 // nothing. The caller should still Close.
 func (s *Server) Shutdown() ([]byte, error) {
 	s.stopLoop()
-	if s.wal != nil && s.wal.loopDone != nil {
-		// Join the background checkpointer: its in-flight iteration ends
-		// once the loop drains, and waiting here means no stale persist can
-		// race the final checkpoint below.
-		<-s.wal.loopDone
+	if s.wal != nil {
+		if s.wal.loopDone != nil {
+			// Join the background checkpointer: its in-flight iteration ends
+			// once the loop drains, and waiting here means no stale persist can
+			// race the final checkpoint below.
+			<-s.wal.loopDone
+		}
+		if s.wal.repairDone != nil {
+			<-s.wal.repairDone
+		}
+		if s.degraded.Load() {
+			// Best-effort final repair so the checkpoint below can compact a
+			// writable log; the checkpoint itself re-establishes the floor.
+			if err := s.wal.log.Repair(); err == nil {
+				s.exitDegraded()
+			}
+		}
 	}
 	s.snapshots.Add(1)
 	// The loop is drained: nothing else touches the detector or appends to
@@ -616,6 +657,11 @@ func (s *Server) Close() error {
 				// Join the background checkpointer before closing the log so
 				// an in-flight persist never races the close.
 				<-s.wal.loopDone
+			}
+			if s.wal.repairDone != nil {
+				// Join the repair loop too: a repair rotates and reopens
+				// segment files and must not race the close below.
+				<-s.wal.repairDone
 			}
 			if werr := s.wal.log.Close(); werr != nil && s.closeErr == nil {
 				s.closeErr = werr
@@ -673,16 +719,32 @@ func (s *Server) putChunk(c *[]surge.Object) {
 	s.chunkPool.Put(c)
 }
 
+// errPipeline marks a batch whose apply failed inside the detector
+// pipeline (or panicked) rather than by request fault: the handler reports
+// it as a 500, and the detector serves its last good answer from then on.
+var errPipeline = errors.New("server: pipeline failed")
+
 // applyBatch runs on the event loop: apply the time policy, push the batch,
-// publish the answer if it changed.
-func (s *Server) applyBatch(objs []surge.Object) (surge.Result, int, error) {
+// publish the answer if it changed. A panic anywhere below — an engine bug
+// tripped by this batch — is recovered into the error return: the batch is
+// rejected (the zero Result never reaches an ack) and the loop survives to
+// keep serving queries from the last good state.
+func (s *Server) applyBatch(objs []surge.Object) (res surge.Result, clamped int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, clamped = surge.Result{}, 0
+			err = fmt.Errorf("%w: batch apply panicked: %v", errPipeline, r)
+			s.log.Error("panic in batch apply recovered; batch rejected",
+				"panic", r, "stack", string(debug.Stack()))
+			s.noteBatch(time.Time{}, false, err)
+		}
+	}()
 	rec := obs.On()
 	var t0 time.Time
 	if rec {
 		t0 = time.Now()
 		s.mBatchObjs.Record(uint64(len(objs)))
 	}
-	clamped := 0
 	if s.cfg.TimePolicy == Clamp {
 		for i := range objs {
 			if objs[i].Time < s.clock {
@@ -700,7 +762,7 @@ func (s *Server) applyBatch(objs []surge.Object) (surge.Result, int, error) {
 			}
 		}
 	}
-	res, err := s.det.PushBatch(objs)
+	res, err = s.det.PushBatch(objs)
 	s.batches.Add(1)
 	if now := s.det.Now(); now > s.clock {
 		s.clock = now
@@ -709,6 +771,10 @@ func (s *Server) applyBatch(objs []surge.Object) (surge.Result, int, error) {
 	s.refreshTopK()
 	if err == nil {
 		s.objects.Add(uint64(len(objs)))
+	} else if s.det.Err() != nil {
+		// The pipeline itself failed (e.g. a shard engine panicked), not the
+		// request: report a 500, not a 400.
+		err = fmt.Errorf("%w: %w", errPipeline, err)
 	}
 	s.noteBatch(t0, rec, err)
 	return res, clamped, err
@@ -1090,6 +1156,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		h.RecoveredBatches = s.wal.recBatches
 		h.RecoverySec = s.wal.recSec
 		h.WALTornBytes = s.wal.torn
+		h.Durability = s.durabilityString()
+		h.DegradedCount = s.degradedCount.Load()
+		h.RepairedCount = s.repairedCount.Load()
+		h.DegradedSec = s.degradedSec()
 	}
 	// Last-ingest age lets probes detect a stalled *stream* (no data
 	// arriving) separately from a stalled process; -1 means "never".
@@ -1126,6 +1196,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		h.Live = loopH.Live
 	} else {
 		h.Err = err.Error()
+	}
+	if h.OK && s.degraded.Load() {
+		// Durability lost: ingest is shed, so the instance is not healthy —
+		// but the process keeps serving queries while the repair loop works.
+		h.OK = false
+		if h.Err == "" {
+			h.Err = "durability degraded: " + s.faultString()
+		}
 	}
 	if !h.OK {
 		w.Header().Set("Content-Type", "application/json")
@@ -1185,6 +1263,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeMetric(w, "surge_wal_recovered_objects", "gauge", "Objects replayed from the WAL at the last boot.", float64(s.wal.recObjects))
 		writeMetric(w, "surge_wal_recovery_seconds", "gauge", "Boot WAL replay duration.", s.wal.recSec)
 		writeMetric(w, "surge_wal_torn_bytes", "gauge", "Bytes discarded by torn-tail truncation at the last boot.", float64(s.wal.torn))
+		deg := 0.0
+		if s.degraded.Load() {
+			deg = 1
+		}
+		writeMetric(w, obs.MDegraded, "gauge", "Whether ingest is currently shed because durability is lost.", deg)
+		writeMetric(w, obs.MDegradedTot, "counter", "Transitions into the degraded (durability lost) state.", float64(s.degradedCount.Load()))
+		writeMetric(w, obs.MRepairedTot, "counter", "Successful repairs (degraded to recovered transitions).", float64(s.repairedCount.Load()))
+		writeMetric(w, obs.MDegradedSec, "counter", "Cumulative seconds spent in the degraded state.", s.degradedSec())
+		writeMetric(w, obs.MCkptErrors, "counter", "Failed durable checkpoint attempts.", float64(s.ckptErrs.Load()))
+		writeMetric(w, "surge_ingest_shed_degraded_total", "counter", "Ingest chunks shed with 503 while durability was degraded.", float64(s.shedDegraded.Load()))
 	}
 	writeMetric(w, "surge_uptime_seconds", "gauge", "Seconds since the server started.", time.Since(s.start).Seconds())
 	writeMetric(w, "surge_last_ingest_age_seconds", "gauge", "Seconds since the last applied batch (-1 before the first).", s.lastIngestAge())

@@ -68,6 +68,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			RecoveredObjects: s.wal.recObjects,
 			RecoverySec:      s.wal.recSec,
 			TornBytes:        s.wal.torn,
+			Durability:       s.durabilityString(),
+			DegradedCount:    s.degradedCount.Load(),
+			RepairedCount:    s.repairedCount.Load(),
+			DegradedSec:      s.degradedSec(),
+			CheckpointErrors: s.ckptErrs.Load(),
+			ShedDegraded:     s.shedDegraded.Load(),
 		}
 	}
 	rt := obs.ReadRuntime()

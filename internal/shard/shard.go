@@ -47,8 +47,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"surge/internal/core"
@@ -161,6 +163,17 @@ type Pipeline struct {
 	mDepth   []*obs.Gauge   // per-shard channel depth at flush
 	mEvents  []*obs.Counter // per-shard events shipped
 
+	// Panic containment. A panic in engine code on a worker goroutine is
+	// recovered, recorded here, and the worker turns into a zombie: it keeps
+	// draining its channel and answering barriers and solves (with zero
+	// results) so the coordinator never deadlocks, but stops touching its
+	// engines, whose state the unwound call may have left corrupt. failed is
+	// the lock-free flag the query paths consult; perr (under pmu) holds the
+	// first panic, stack included.
+	failed atomic.Bool
+	pmu    sync.Mutex
+	perr   error
+
 	// noEngines records that the workers run no single-region engines — a
 	// top-k-only pipeline (factory == nil) or one whose engines were dropped
 	// by DropEngines. It is the coordinator-side mirror of the workers'
@@ -254,37 +267,78 @@ func (p *Pipeline) shardConfig(i int) core.Config {
 }
 
 // run is the shard goroutine: apply event batches to every engine, execute
-// top-k chain operations, answer barriers.
+// top-k chain operations, answer barriers. Engine calls run behind recover
+// wrappers; after the first panic the worker keeps draining — returning pool
+// buffers and answering barriers and solves with zero results — so the
+// coordinator's reply counts always balance and Query/Close never hang on a
+// crashed shard.
 func (p *Pipeline) run(w *worker) {
 	defer close(w.done)
+	failed := false // goroutine-owned: this worker's engines are poisoned
 	for b := range w.ch {
-		for _, ev := range b.evs {
-			if w.eng != nil {
-				w.eng.Process(ev)
-			}
-			for _, t := range w.tks {
-				t.eng.Process(ev)
-			}
+		if !failed && len(b.evs) > 0 {
+			failed = !p.applyEvents(w, b.evs)
 		}
 		if b.evs != nil {
 			b.evs = b.evs[:0]
 			p.pool.Put(&b.evs)
 		}
 		if b.op != nil {
-			p.runOp(w, b.op)
+			if failed {
+				// Zombie drain: the only op with a waiting receiver is
+				// tkSolve; everything else mutates engine state we must no
+				// longer touch.
+				if b.op.kind == tkSolve {
+					b.op.resc <- tkReply{idx: w.idx}
+				}
+			} else {
+				failed = !p.runOp(w, b.op)
+			}
 		}
 		if b.q != nil {
-			r := reply{idx: w.idx, best: w.eng.Best()}
-			if s, ok := w.eng.(statser); ok {
-				r.stats = s.Stats()
+			r, ok := p.bestReply(w, failed)
+			if !ok {
+				failed = true
 			}
 			b.q <- r
 		}
 	}
 }
 
-// runOp executes one top-k chain operation on the worker's goroutine.
-func (p *Pipeline) runOp(w *worker, op *tkOp) {
+// applyEvents feeds one batch into the worker's engines. A panic in engine
+// code is recovered and recorded as the pipeline error; ok reports whether
+// the worker survived.
+func (p *Pipeline) applyEvents(w *worker, evs []core.Event) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.fail(w.idx, r)
+		}
+	}()
+	for _, ev := range evs {
+		if w.eng != nil {
+			w.eng.Process(ev)
+		}
+		for _, t := range w.tks {
+			t.eng.Process(ev)
+		}
+	}
+	return true
+}
+
+// runOp executes one top-k chain operation on the worker's goroutine. On a
+// panic the recorded obligation still holds: a tkSolve that did not get to
+// its send replies with a zero result so the coordinator's receive loop
+// completes. ok reports whether the worker survived.
+func (p *Pipeline) runOp(w *worker, op *tkOp) (ok bool) {
+	replied := false
+	defer func() {
+		if r := recover(); r != nil {
+			p.fail(w.idx, r)
+			if op.kind == tkSolve && !replied {
+				op.resc <- tkReply{idx: w.idx}
+			}
+		}
+	}()
 	switch op.kind {
 	case tkAttach:
 		w.tks = append(w.tks, tkSlot{id: op.id, eng: op.eng})
@@ -306,6 +360,7 @@ func (p *Pipeline) runOp(w *worker, op *tkOp) {
 				r.stats = s.Stats()
 			}
 		}
+		replied = true
 		op.resc <- r
 	case tkApply:
 		if eng := w.chainEngine(op.id); eng != nil {
@@ -314,6 +369,51 @@ func (p *Pipeline) runOp(w *worker, op *tkOp) {
 	case tkDropEng:
 		w.eng = nil
 	}
+	return true
+}
+
+// bestReply computes the worker's barrier answer. A failed (or engine-less)
+// worker answers with a zero reply so the barrier still balances; a panic in
+// Best/Stats fails the worker like any other engine panic.
+func (p *Pipeline) bestReply(w *worker, failed bool) (r reply, ok bool) {
+	r.idx = w.idx
+	if failed || w.eng == nil {
+		return r, !failed
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			p.fail(w.idx, rec)
+			r = reply{idx: w.idx}
+			ok = false
+		}
+	}()
+	r.best = w.eng.Best()
+	if s, ok := w.eng.(statser); ok {
+		r.stats = s.Stats()
+	}
+	return r, true
+}
+
+// fail records the first engine panic as the pipeline error, stack included,
+// so the crash site survives into Detector.Err and the serving layer's
+// health endpoint instead of tearing the process down.
+func (p *Pipeline) fail(idx int, r any) {
+	p.pmu.Lock()
+	if p.perr == nil {
+		p.perr = fmt.Errorf("shard %d: engine panicked: %v\n%s", idx, r, debug.Stack())
+	}
+	p.pmu.Unlock()
+	p.failed.Store(true)
+}
+
+// err returns the recorded pipeline panic error, nil while healthy.
+func (p *Pipeline) err() error {
+	if !p.failed.Load() {
+		return nil
+	}
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	return p.perr
 }
 
 // Shards returns the number of engine shards.
@@ -438,6 +538,9 @@ func (p *Pipeline) Query() (core.Result, core.Stats, error) {
 	if p.noEngines {
 		return core.Result{}, core.Stats{}, errors.New("shard: pipeline has no single-region engines")
 	}
+	if err := p.err(); err != nil {
+		return core.Result{}, core.Stats{}, err
+	}
 	rec := obs.On()
 	var t0 time.Time
 	if rec {
@@ -454,6 +557,12 @@ func (p *Pipeline) Query() (core.Result, core.Stats, error) {
 		r := <-p.replyc
 		p.results[r.idx] = r.best
 		p.stats[r.idx] = r.stats
+	}
+	// Every worker answered (zombies with zero replies), so a panic during
+	// this very barrier is visible now: the reply send happens after the
+	// worker records the failure.
+	if err := p.err(); err != nil {
+		return core.Result{}, core.Stats{}, err
 	}
 	if rec {
 		p.mBarrier.Observe(time.Since(t0))

@@ -292,6 +292,9 @@ func (c *TopKChain) Query() ([]core.Result, core.Stats, error) {
 	if p.closed || c.detached {
 		return nil, core.Stats{}, errors.New("shard: top-k chain is closed")
 	}
+	if err := p.err(); err != nil {
+		return nil, core.Stats{}, err
+	}
 	if c.valid && c.seenSeq == p.routeSeq {
 		return c.out, c.sum, nil
 	}
@@ -383,6 +386,12 @@ func (c *TopKChain) Query() ([]core.Result, core.Stats, error) {
 				c.recordSolve(<-c.replyc, i+1)
 			}
 		}
+	}
+	// Solve replies arrive after a panicking worker records its failure, so
+	// a crash during this resolve is visible here; the zombie zero answers
+	// polluting the caches are unreachable (every later Query errors too).
+	if err := p.err(); err != nil {
+		return nil, core.Stats{}, err
 	}
 	if rec {
 		c.mResolve.Observe(time.Since(t0))

@@ -3,6 +3,8 @@ package wal
 import (
 	"os"
 	"path/filepath"
+
+	"surge/internal/fault"
 )
 
 // WriteFileAtomic writes data to path so that a crash at any point leaves
@@ -12,15 +14,22 @@ import (
 // checkpoint files, whose partial write would otherwise be mistaken for a
 // valid (truncated) checkpoint on the next boot.
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return WriteFileAtomicFS(fault.OS, path, data, perm)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic on an explicit filesystem, so tests
+// can inject faults mid-checkpoint (torn temp write, failed fsync, failed
+// rename) through a fault.Injector.
+func WriteFileAtomicFS(fsys fault.FS, path string, data []byte, perm os.FileMode) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	tmp, err := fsys.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
 	tmpPath := tmp.Name()
 	defer func() {
 		if tmpPath != "" {
-			os.Remove(tmpPath)
+			fsys.Remove(tmpPath)
 		}
 	}()
 	if _, err := tmp.Write(data); err != nil {
@@ -38,9 +47,9 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmpPath, path); err != nil {
+	if err := fsys.Rename(tmpPath, path); err != nil {
 		return err
 	}
 	tmpPath = "" // renamed away; nothing to clean up
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }

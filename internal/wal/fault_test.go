@@ -1,0 +1,304 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"surge/internal/fault"
+)
+
+// TestAppendWriteFaultPoisonsAndRepairs injects EIO into a frame write: the
+// append fails without assigning an LSN, every later append fails fast with
+// the same error, and Repair rotates to a fresh segment so the sequence
+// resumes exactly where the acknowledged prefix left off — provable by a
+// clean reopen.
+func TestAppendWriteFaultPoisonsAndRepairs(t *testing.T) {
+	in := fault.NewInjector(nil)
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncOff, FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 1, 10)
+
+	// A short write leaves a torn frame prefix on disk, the way ENOSPC does.
+	in.Arm(fault.Rule{Op: fault.OpWrite, Path: "wal-", Count: 1, Err: syscall.ENOSPC, ShortWrite: 7})
+	if _, err := l.Append([]byte("doomed")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append over write fault: %v, want ENOSPC", err)
+	}
+	if got := l.LastLSN(); got != 10 {
+		t.Fatalf("failed append advanced LSN to %d", got)
+	}
+	if _, err := l.Append([]byte("also doomed")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("poisoned append: %v, want fail-fast ENOSPC", err)
+	}
+	if l.Poisoned() == nil {
+		t.Fatal("log not poisoned after a write fault")
+	}
+
+	if err := l.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Poisoned() != nil {
+		t.Fatal("log still poisoned after Repair")
+	}
+	appendN(t, l, 11, 20) // LSNs continue the acked sequence
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.LastLSN != 20 || rec.TornBytes != 0 {
+		t.Fatalf("recovery after repair = %+v, want LastLSN=20 torn=0", rec)
+	}
+	got := collect(t, l2, 0)
+	for i := 1; i <= 20; i++ {
+		if got[uint64(i)] != fmt.Sprintf("record-%04d", i) {
+			t.Fatalf("lsn %d payload %q", i, got[uint64(i)])
+		}
+	}
+}
+
+// TestFsyncFaultRollsBackUnacked pins the SyncAlways rollback: a frame whose
+// fsync failed is not acknowledged, so its LSN must be reassigned to the
+// next append after repair — recovery must never surface a frame the caller
+// was told failed.
+func TestFsyncFaultRollsBackUnacked(t *testing.T) {
+	in := fault.NewInjector(nil)
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncAlways, FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 1, 5)
+
+	in.Arm(fault.Rule{Op: fault.OpSync, Path: "wal-", Count: 1, Err: syscall.EIO})
+	if _, err := l.Append([]byte("unacked")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("append over fsync fault: %v, want EIO", err)
+	}
+	if got := l.LastLSN(); got != 5 {
+		t.Fatalf("unacked frame advanced LSN to %d", got)
+	}
+	if err := l.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	// The rolled-back LSN is reassigned: nothing in the sequence is skipped.
+	lsn, err := l.Append([]byte("acked"))
+	if err != nil || lsn != 6 {
+		t.Fatalf("post-repair append lsn=%d err=%v, want 6", lsn, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.LastLSN != 6 {
+		t.Fatalf("recovered LastLSN %d, want 6", rec.LastLSN)
+	}
+	got := collect(t, l2, 0)
+	if got[6] != "acked" {
+		t.Fatalf("lsn 6 payload %q, want the post-repair frame", got[6])
+	}
+	for _, p := range got {
+		if p == "unacked" {
+			t.Fatal("recovery surfaced the frame whose fsync failed")
+		}
+	}
+}
+
+// TestRotationFaultAfterDurableAppend pins the asymmetry of rotation
+// failures: the append that triggered the rotation is complete and durable,
+// so it reports success — while the log poisons itself so the NEXT append
+// fails fast instead of writing into a dead file.
+func TestRotationFaultAfterDurableAppend(t *testing.T) {
+	in := fault.NewInjector(nil)
+	dir := t.TempDir()
+	// Tiny segments: every ~3 appends rotate.
+	l, _, err := Open(dir, Options{Sync: SyncOff, SegmentBytes: 64, FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail the next segment-file creation (the rotation).
+	in.Arm(fault.Rule{Op: fault.OpOpen, Path: "wal-", Count: 1, Err: syscall.EMFILE})
+	var rotLSN uint64
+	for i := 1; ; i++ {
+		lsn, err := l.Append([]byte(fmt.Sprintf("record-%04d", i)))
+		if err != nil {
+			t.Fatalf("append %d: %v (rotation faults must not fail the triggering append)", i, err)
+		}
+		if l.Poisoned() != nil {
+			rotLSN = lsn
+			break
+		}
+		if i > 100 {
+			t.Fatal("rotation never triggered")
+		}
+	}
+	if _, err := l.Append([]byte("after")); !errors.Is(err, syscall.EMFILE) {
+		t.Fatalf("append after failed rotation: %v, want fail-fast EMFILE", err)
+	}
+	if err := l.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Append([]byte("resumed"))
+	if err != nil || lsn != rotLSN+1 {
+		t.Fatalf("post-repair append lsn=%d err=%v, want %d", lsn, err, rotLSN+1)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.LastLSN != rotLSN+1 || rec.TornBytes != 0 {
+		t.Fatalf("recovery = %+v, want LastLSN=%d torn=0", rec, rotLSN+1)
+	}
+}
+
+// TestRecoverZeroLengthSegment reopens a log whose newest segment is an
+// empty file — a crash between segment creation and the first append. The
+// empty segment is a valid active segment: nothing torn, appends continue.
+func TestRecoverZeroLengthSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 1, 10)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segmentPath(dir, 2), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.LastLSN != 10 || rec.TornBytes != 0 {
+		t.Fatalf("recovery = %+v, want LastLSN=10 torn=0", rec)
+	}
+	if got := len(collect(t, l2, 0)); got != 10 {
+		t.Fatalf("replay returned %d records, want 10", got)
+	}
+	lsn, err := l2.Append([]byte("next"))
+	if err != nil || lsn != 11 {
+		t.Fatalf("append on recovered log lsn=%d err=%v, want 11", lsn, err)
+	}
+}
+
+// TestRecoverTruncatedLengthPrefix crashes mid-write of the very first
+// header bytes: fewer than 4 bytes of length prefix at the tail. Recovery
+// must classify it as torn and truncate exactly those bytes.
+func TestRecoverTruncatedLengthPrefix(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 1, 8)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := lastSegment(t, dir)
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x2a, 0x00, 0x00}); err != nil { // 3 of 4 length bytes
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, rec, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.LastLSN != 8 || rec.TornBytes != 3 {
+		t.Fatalf("recovery = %+v, want LastLSN=8 torn=3", rec)
+	}
+	if got := len(collect(t, l2, 0)); got != 8 {
+		t.Fatalf("replay returned %d records, want 8", got)
+	}
+}
+
+// TestRecoverCorruptHeaderDropsNewerSegment corrupts a frame header (the
+// LSN bytes, so the CRC no longer matches) in the middle segment of three:
+// recovery must truncate that segment at the corrupt frame and delete the
+// newer intact segment wholesale — its frames no longer connect to the
+// acknowledged prefix.
+func TestRecoverCorruptHeaderDropsNewerSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncOff, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 1, 30)
+	if l.Segments() < 3 {
+		t.Fatalf("want >= 3 segments, got %d", l.Segments())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	// Glob returns sorted paths; hit the middle segment's first frame
+	// header (flip an LSN byte at offset 8).
+	mid := segs[len(segs)/2]
+	b, err := os.ReadFile(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[8] ^= 0xff
+	if err := os.WriteFile(mid, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.TornBytes == 0 {
+		t.Fatal("corrupt header reported no torn bytes")
+	}
+	got := collect(t, l2, 0)
+	// Everything before the corrupt segment survives; the corrupt frame and
+	// everything after (including the intact newer segments) is gone.
+	if uint64(len(got)) != rec.LastLSN {
+		t.Fatalf("replay returned %d records, want the contiguous prefix %d", len(got), rec.LastLSN)
+	}
+	if rec.LastLSN == 0 || rec.LastLSN >= 30 {
+		t.Fatalf("LastLSN = %d, want a strict prefix of the 30 appended", rec.LastLSN)
+	}
+	for i := uint64(1); i <= rec.LastLSN; i++ {
+		if got[i] != fmt.Sprintf("record-%04d", i) {
+			t.Fatalf("lsn %d payload %q", i, got[i])
+		}
+	}
+	// The sequence resumes from the recovered position.
+	lsn, err := l2.Append([]byte("resume"))
+	if err != nil || lsn != rec.LastLSN+1 {
+		t.Fatalf("append lsn=%d err=%v, want %d", lsn, err, rec.LastLSN+1)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"surge/internal/fault"
 	"surge/internal/obs"
 )
 
@@ -101,6 +102,9 @@ type Options struct {
 	// SegmentBytes rotates the active segment once it exceeds this size
 	// (0 = 64 MiB). Smaller segments compact at a finer grain.
 	SegmentBytes int64
+	// FS is the filesystem the log runs on (nil = fault.OS). Tests pass a
+	// fault.Injector to exercise disk-failure paths.
+	FS fault.FS
 }
 
 // Recovery reports what Open found on disk.
@@ -143,13 +147,15 @@ type segment struct {
 type Log struct {
 	dir string
 	opt Options
+	fs  fault.FS
 
 	mu     sync.Mutex
-	f      *os.File // active segment
+	f      fault.File // active segment
 	segs   []segment
 	lsn    uint64 // last assigned LSN
 	dirty  bool   // frames written since the last fsync
 	closed bool
+	poison error  // first unrepaired append/fsync/rotation failure
 	buf    []byte // frame scratch, reused across appends
 
 	stopSync chan struct{} // interval syncer shutdown
@@ -161,6 +167,8 @@ type Log struct {
 	mFsync  *obs.Histogram
 	cBytes  *obs.Counter
 	cFrames *obs.Counter
+	cFaults *obs.Counter
+	cRepair *obs.Counter
 	gSegs   *obs.Gauge
 	gSize   *obs.Gauge
 }
@@ -175,16 +183,22 @@ func Open(dir string, opt Options) (*Log, Recovery, error) {
 	if opt.SyncEvery <= 0 {
 		opt.SyncEvery = defaultSyncEvery
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opt.FS == nil {
+		opt.FS = fault.OS
+	}
+	if err := opt.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, Recovery{}, err
 	}
 	l := &Log{
 		dir:     dir,
 		opt:     opt,
+		fs:      opt.FS,
 		mAppend: obs.Default.Duration(obs.MWALAppend, "WAL append latency: frame write (plus fsync under the always policy)."),
 		mFsync:  obs.Default.Duration(obs.MWALFsync, "WAL fsync latency."),
 		cBytes:  obs.Default.Counter(obs.MWALBytes, "Bytes appended to the WAL."),
 		cFrames: obs.Default.Counter(obs.MWALFrames, "Frames appended to the WAL."),
+		cFaults: obs.Default.Counter(obs.MWALFaults, "WAL write/fsync/rotation failures that poisoned the log."),
+		cRepair: obs.Default.Counter(obs.MWALRepairs, "Successful WAL repairs after a poisoning fault."),
 		gSegs:   obs.Default.Gauge(obs.MWALSegments, "WAL segment files on disk."),
 		gSize:   obs.Default.Gauge(obs.MWALSize, "Total bytes of WAL segments on disk."),
 	}
@@ -205,7 +219,7 @@ func Open(dir string, opt Options) (*Log, Recovery, error) {
 // recover scans the segment files, truncates the first torn frame and
 // everything after it, and positions the log for appending.
 func (l *Log) recover() (Recovery, error) {
-	entries, err := os.ReadDir(l.dir)
+	entries, err := l.fs.ReadDir(l.dir)
 	if err != nil {
 		return Recovery{}, err
 	}
@@ -222,11 +236,11 @@ func (l *Log) recover() (Recovery, error) {
 	tornAt := -1 // index of the segment holding the first bad frame
 	for i := range l.segs {
 		seg := &l.segs[i]
-		validEnd, first, last, err := scanSegment(seg.path, prevLSN)
+		validEnd, first, last, err := scanSegment(l.fs, seg.path, prevLSN)
 		if err != nil {
 			return Recovery{}, err
 		}
-		info, err := os.Stat(seg.path)
+		info, err := l.fs.Stat(seg.path)
 		if err != nil {
 			return Recovery{}, err
 		}
@@ -236,7 +250,7 @@ func (l *Log) recover() (Recovery, error) {
 		}
 		if validEnd < info.Size() {
 			rec.TornBytes += info.Size() - validEnd
-			if err := os.Truncate(seg.path, validEnd); err != nil {
+			if err := l.fs.Truncate(seg.path, validEnd); err != nil {
 				return Recovery{}, err
 			}
 			tornAt = i
@@ -247,15 +261,15 @@ func (l *Log) recover() (Recovery, error) {
 		// Frames after a torn record are unordered relative to the
 		// acknowledged prefix: drop the later segments entirely.
 		for _, seg := range l.segs[tornAt+1:] {
-			if info, err := os.Stat(seg.path); err == nil {
+			if info, err := l.fs.Stat(seg.path); err == nil {
 				rec.TornBytes += info.Size()
 			}
-			if err := os.Remove(seg.path); err != nil {
+			if err := l.fs.Remove(seg.path); err != nil {
 				return Recovery{}, err
 			}
 		}
 		l.segs = l.segs[:tornAt+1]
-		if err := syncDir(l.dir); err != nil {
+		if err := syncDir(l.fs, l.dir); err != nil {
 			return Recovery{}, err
 		}
 	}
@@ -266,7 +280,7 @@ func (l *Log) recover() (Recovery, error) {
 		}
 	} else {
 		active := &l.segs[len(l.segs)-1]
-		f, err := os.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := l.fs.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return Recovery{}, err
 		}
@@ -281,8 +295,8 @@ func (l *Log) recover() (Recovery, error) {
 // offset of the first invalid byte (== file size when the whole segment is
 // valid) and the first and last valid LSNs. prevLSN is the last LSN of the
 // preceding segment; frames must continue the sequence with prevLSN+1.
-func scanSegment(path string, prevLSN uint64) (validEnd int64, first, last uint64, err error) {
-	f, err := os.Open(path)
+func scanSegment(fsys fault.FS, path string, prevLSN uint64) (validEnd int64, first, last uint64, err error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -375,11 +389,11 @@ func segmentPath(dir string, index uint64) string {
 // Caller holds l.mu (or is Open, before the log is shared).
 func (l *Log) openSegment(index uint64) error {
 	path := segmentPath(l.dir, index)
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := syncDir(l.fs, l.dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -391,6 +405,12 @@ func (l *Log) openSegment(index uint64) error {
 // Append frames payload, assigns it the next LSN and writes it to the
 // active segment with a single write call. Under SyncAlways it also fsyncs
 // before returning. The payload is copied; the caller may reuse it.
+//
+// A write or fsync failure poisons the log: the in-memory state rolls back
+// to the last acknowledged frame and every later Append fails fast with the
+// original error until Repair truncates the partial tail off the segment.
+// Appending past a partial frame would make the next recovery read it as a
+// torn tail and discard everything after it — including acked frames.
 func (l *Log) Append(payload []byte) (uint64, error) {
 	rec := obs.On()
 	var t0 time.Time
@@ -401,6 +421,9 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, ErrClosed
+	}
+	if l.poison != nil {
+		return 0, l.poison
 	}
 	lsn := l.lsn + 1
 	need := frameHeader + len(payload)
@@ -413,27 +436,40 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	copy(frame[frameHeader:], payload)
 	sum := crc32.Update(crc32.Checksum(frame[8:16], castagnoli), castagnoli, payload)
 	binary.LittleEndian.PutUint32(frame[4:8], sum)
+	active := &l.segs[len(l.segs)-1]
+	prevFirst, prevLast, prevSize := active.firstLSN, active.lastLSN, active.size
 	if _, err := l.f.Write(frame); err != nil {
-		return 0, fmt.Errorf("wal: append: %w", err)
+		// The frame may be partially on disk; active.size still marks the
+		// last valid byte for Repair to truncate back to.
+		err = fmt.Errorf("wal: append: %w", err)
+		l.poisonLocked(err)
+		return 0, err
 	}
 	l.lsn = lsn
 	l.dirty = true
-	active := &l.segs[len(l.segs)-1]
 	if active.firstLSN == 0 {
 		active.firstLSN = lsn
 	}
 	active.lastLSN = lsn
 	active.size += int64(need)
-	l.cBytes.Add(uint64(need))
-	l.cFrames.Inc()
 	if l.opt.Sync == SyncAlways {
 		if err := l.syncLocked(rec); err != nil {
+			// The frame is in the page cache but not durable and will not
+			// be acknowledged: roll back so the LSN is reassigned after
+			// repair and the stray bytes are truncated away.
+			l.lsn = lsn - 1
+			active.firstLSN, active.lastLSN, active.size = prevFirst, prevLast, prevSize
 			return 0, err
 		}
 	}
+	l.cBytes.Add(uint64(need))
+	l.cFrames.Inc()
 	if active.size >= l.opt.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
-			return 0, err
+			// The frame itself is complete (and synced, under always):
+			// report success and leave the log poisoned so the next append
+			// fails fast and Repair re-establishes a writable segment.
+			l.poisonLocked(fmt.Errorf("wal: rotate: %w", err))
 		}
 	}
 	l.updateGauges()
@@ -443,7 +479,25 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	return lsn, nil
 }
 
-// syncLocked fsyncs the active segment. Caller holds l.mu.
+// poisonLocked records the first fatal write-path error. Caller holds l.mu.
+func (l *Log) poisonLocked(err error) {
+	if l.poison == nil {
+		l.poison = err
+		l.cFaults.Inc()
+	}
+}
+
+// Poisoned returns the error that poisoned the log, nil when healthy.
+func (l *Log) Poisoned() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.poison
+}
+
+// syncLocked fsyncs the active segment. A failed fsync poisons the log: on
+// Linux the kernel may mark the dirty pages clean without writing them, so
+// nothing appended since the last successful fsync can be trusted until a
+// fresh checkpoint re-establishes the durable floor. Caller holds l.mu.
 func (l *Log) syncLocked(rec bool) error {
 	if !l.dirty {
 		return nil
@@ -453,7 +507,9 @@ func (l *Log) syncLocked(rec bool) error {
 		t0 = time.Now()
 	}
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync: %w", err)
+		err = fmt.Errorf("wal: fsync: %w", err)
+		l.poisonLocked(err)
+		return err
 	}
 	l.dirty = false
 	l.lastSyncNano.Store(time.Now().UnixNano())
@@ -470,7 +526,63 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return ErrClosed
 	}
+	if l.poison != nil {
+		return l.poison
+	}
 	return l.syncLocked(obs.On())
+}
+
+// Repair re-establishes an appendable log after a poisoning failure: it
+// closes the (possibly dead) active file, truncates any partial frame off
+// the active segment, and rotates to a fresh segment so appends resume on a
+// file with clean fsync state. Repair is idempotent and safe to retry; the
+// log stays poisoned until a repair attempt succeeds end to end.
+//
+// Repair alone does not restore the durability guarantee: a failed fsync
+// may have silently dropped pages from earlier appends, so the caller must
+// write a fresh checkpoint of its in-memory state (and compact the suspect
+// segments) before trusting the log again.
+func (l *Log) Repair() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.poison == nil {
+		return nil
+	}
+	if l.f != nil {
+		l.f.Close() // may already be closed by a failed rotation
+		l.f = nil
+	}
+	active := l.segs[len(l.segs)-1]
+	// Drop whatever a failed write left past the last valid frame —
+	// recovery would read it as a torn tail and discard acked frames
+	// appended after it.
+	if err := l.fs.Truncate(active.path, active.size); err != nil {
+		return fmt.Errorf("wal: repair truncate: %w", err)
+	}
+	// A previous repair attempt may have created the next segment and then
+	// failed before activating it; remove the stray file so O_EXCL creation
+	// can succeed.
+	next := active.index + 1
+	l.fs.Remove(segmentPath(l.dir, next))
+	if err := l.openSegment(next); err != nil {
+		return fmt.Errorf("wal: repair rotate: %w", err)
+	}
+	if active.firstLSN == 0 {
+		// The poisoned segment holds no valid frame: remove it rather than
+		// leaving an empty file compaction will never collect.
+		if err := l.fs.Remove(active.path); err == nil {
+			l.segs = append(l.segs[:len(l.segs)-2], l.segs[len(l.segs)-1])
+			syncDir(l.fs, l.dir)
+		}
+	}
+	l.dirty = false
+	l.poison = nil
+	l.cRepair.Inc()
+	l.updateGauges()
+	return nil
 }
 
 // syncLoop is the background fsync timer of the interval policy.
@@ -514,6 +626,9 @@ func (l *Log) CompactBefore(lsn uint64) error {
 	if l.closed {
 		return ErrClosed
 	}
+	if l.poison != nil {
+		return l.poison // Repair first; rotation needs a live active file
+	}
 	active := &l.segs[len(l.segs)-1]
 	if active.firstLSN != 0 && active.lastLSN <= lsn {
 		if err := l.rotateLocked(); err != nil {
@@ -526,7 +641,7 @@ func (l *Log) CompactBefore(lsn uint64) error {
 		seg := l.segs[i]
 		isActive := i == len(l.segs)-1
 		if !isActive && seg.lastLSN <= lsn && seg.firstLSN != 0 {
-			if err := os.Remove(seg.path); err != nil {
+			if err := l.fs.Remove(seg.path); err != nil {
 				return err
 			}
 			removed = true
@@ -536,7 +651,7 @@ func (l *Log) CompactBefore(lsn uint64) error {
 	}
 	l.segs = kept
 	if removed {
-		if err := syncDir(l.dir); err != nil {
+		if err := syncDir(l.fs, l.dir); err != nil {
 			return err
 		}
 	}
@@ -556,7 +671,7 @@ func (l *Log) Replay(after uint64, fn func(lsn uint64, payload []byte) error) er
 		if seg.firstLSN == 0 || seg.lastLSN <= after {
 			continue
 		}
-		f, err := os.Open(seg.path)
+		f, err := l.fs.Open(seg.path)
 		if err != nil {
 			return err
 		}
@@ -664,15 +779,17 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
-	var err error
-	if l.opt.Sync != SyncOff && l.dirty {
-		if serr := l.f.Sync(); serr != nil && err == nil {
-			err = serr
+	err := l.poison // a poisoned log closes dirty; surface why
+	if l.f != nil {
+		if l.opt.Sync != SyncOff && l.dirty && l.poison == nil {
+			if serr := l.f.Sync(); serr != nil && err == nil {
+				err = serr
+			}
+			l.lastSyncNano.Store(time.Now().UnixNano())
 		}
-		l.lastSyncNano.Store(time.Now().UnixNano())
-	}
-	if cerr := l.f.Close(); cerr != nil && err == nil {
-		err = cerr
+		if cerr := l.f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	l.mu.Unlock()
 	if l.stopSync != nil {
@@ -683,8 +800,8 @@ func (l *Log) Close() error {
 }
 
 // syncDir fsyncs a directory so entry creations and removals are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys fault.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return err
 	}
