@@ -42,7 +42,7 @@ bench:
 # separates signal from noise with margin on both sides.
 bench-smoke:
 	mkdir -p bench-out
-	$(GO) run ./cmd/surgebench -exp hotpath,topkserve -max-exact 1000 -max-approx 10000 -json-dir bench-out -obs-overhead-max 5
+	$(GO) run ./cmd/surgebench -exp hotpath,topkserve,tenancy -max-exact 1000 -max-approx 10000 -json-dir bench-out -obs-overhead-max 5
 	@grep -q '"ingest_overhead_pct"' bench-out/BENCH_topk.json || { \
 		echo "bench-smoke: BENCH_topk.json lacks ingest_overhead_pct; the topkserve experiment broke"; exit 1; }
 	@grep -q '"bestserve_ingest_gain_pct"' bench-out/BENCH_topk.json || { \
@@ -57,3 +57,5 @@ bench-smoke:
 		echo "bench-smoke: BENCH_hotpath.json lacks obs_overhead_pct; the obs-on-vs-off comparison broke"; exit 1; }
 	@grep -q '"wal_overhead_pct"' bench-out/BENCH_hotpath.json || { \
 		echo "bench-smoke: BENCH_hotpath.json lacks wal_overhead_pct; the durable-ingest rows broke"; exit 1; }
+	@grep -q '"tenancy_scale_pct"' bench-out/BENCH_tenancy.json || { \
+		echo "bench-smoke: BENCH_tenancy.json lacks tenancy_scale_pct; the tenancy experiment broke"; exit 1; }

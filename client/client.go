@@ -128,7 +128,15 @@ func (c *Client) TopK(ctx context.Context, k int) (*TopK, error) {
 // the checkpoint-replay escape hatch, "" or "auto" prefers the maintained
 // answer and falls back to replay.
 func (c *Client) TopKMode(ctx context.Context, k int, mode string) (*TopK, error) {
-	path := "/v1/topk"
+	var out TopK
+	if err := c.getJSON(ctx, topkPath("/v1/topk", k, mode), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// topkPath appends the k/mode query parameters to a topk endpoint path.
+func topkPath(path string, k int, mode string) string {
 	sep := byte('?')
 	if k > 0 {
 		path += string(sep) + "k=" + strconv.Itoa(k)
@@ -137,11 +145,7 @@ func (c *Client) TopKMode(ctx context.Context, k int, mode string) (*TopK, error
 	if mode != "" {
 		path += string(sep) + "mode=" + mode
 	}
-	var out TopK
-	if err := c.getJSON(ctx, path, &out); err != nil {
-		return nil, err
-	}
-	return &out, nil
+	return path
 }
 
 // Snapshot returns a detector checkpoint (see surge.Restore).
@@ -230,7 +234,7 @@ func (c *Client) doJSON(req *http.Request, out any) error {
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
 		return decodeError(resp)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)

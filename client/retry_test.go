@@ -210,3 +210,29 @@ func TestBackoffBounds(t *testing.T) {
 		}
 	}
 }
+
+// TestNoRetryOnUnknownQuery pins the unknown_query contract: a 404 with
+// code unknown_query is a terminal answer — WithRetry must give up after
+// the first attempt and surface the typed ErrUnknownQuery.
+func TestNoRetryOnUnknownQuery(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(Error{Err: "unknown query", Code: CodeUnknownQuery})
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond}))
+	_, err := c.Query("gone").Best(context.Background())
+	if !errors.Is(err, ErrUnknownQuery) {
+		t.Fatalf("err = %v, want ErrUnknownQuery", err)
+	}
+	var werr *Error
+	if !errors.As(err, &werr) || werr.Status != http.StatusNotFound || werr.Code != CodeUnknownQuery {
+		t.Fatalf("err = %+v, want a typed 404 %s", err, CodeUnknownQuery)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("client retried a 404 unknown_query %d times", hits.Load()-1)
+	}
+}

@@ -62,7 +62,7 @@ func (c *Client) SubscribeFrom(ctx context.Context, lastEventID uint64) (*Subscr
 	if lastEventID > 0 {
 		cursor = strconv.FormatUint(lastEventID, 10)
 	}
-	return c.subscribe(ctx, cursor)
+	return c.subscribe(ctx, "/v1/subscribe", cursor)
 }
 
 // SubscribeFromCursor resumes the notification stream from a Cursor taken
@@ -80,7 +80,7 @@ func (c *Client) SubscribeFromCursor(ctx context.Context, cursor string) (*Subsc
 			return nil, err
 		}
 	}
-	return c.subscribe(ctx, cursor)
+	return c.subscribe(ctx, "/v1/subscribe", cursor)
 }
 
 // parseCursor splits a subscription cursor: "epoch.eid" or a bare "eid"
@@ -101,9 +101,11 @@ func parseCursor(cursor string) (epoch, eid uint64, err error) {
 	return epoch, eid, nil
 }
 
-func (c *Client) subscribe(ctx context.Context, cursor string) (*Subscription, error) {
+// subscribe opens the SSE stream at path — "/v1/subscribe" for the default
+// query, "/v1/queries/{id}/subscribe" for a query-scoped feed.
+func (c *Client) subscribe(ctx context.Context, path, cursor string) (*Subscription, error) {
 	ctx, cancel := context.WithCancel(ctx)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/subscribe", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		cancel()
 		return nil, err

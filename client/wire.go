@@ -25,6 +25,21 @@
 //	GET  /healthz       -> Health
 //	GET  /metrics       -> Prometheus text format
 //
+// Multi-query tenancy routes the same surface by query id. One server hosts
+// a registry of named queries over one shared ingest stream; the paths above
+// address the registry's "default" query, and every query answers under
+// /v1/queries/{id}/...:
+//
+//	GET    /v1/queries             -> QueryList (the registry)
+//	POST   /v1/queries             <- QueryConfig -> QueryInfo (create)
+//	GET    /v1/queries/{id}        -> QueryInfo
+//	DELETE /v1/queries/{id}        -> 204 (subscribers disconnect)
+//	GET    /v1/queries/{id}/best | /topk | /subscribe | /stats
+//	POST   /v1/queries/{id}/snapshot | /restore
+//
+// A path addressing a query id the registry does not hold answers 404 with
+// code "unknown_query" (ErrUnknownQuery).
+//
 // JSON float64 fields use Go's shortest round-trip encoding, so scores and
 // coordinates survive the wire bit-for-bit.
 package client
@@ -149,6 +164,12 @@ type Health struct {
 	Now         float64 `json:"now"`
 	Live        int     `json:"live"`
 	Subscribers int     `json:"subscribers"`
+	// Queries is the number of registered queries (at least 1: the default).
+	Queries int `json:"queries,omitempty"`
+	// EngineSlots is the number of distinct engines backing those queries;
+	// identically-configured queries share a slot, so this can be smaller
+	// than Queries.
+	EngineSlots int     `json:"engine_slots,omitempty"`
 	UptimeSec   float64 `json:"uptime_sec"`
 	// LastIngestAgeSec is the seconds since the last applied ingest batch,
 	// -1 before the first: probes distinguish a stalled stream (no data
@@ -252,6 +273,10 @@ type StatsSnapshot struct {
 	// WAL is the durability block, nil on servers without -data-dir.
 	WAL *WALStats `json:"wal,omitempty"`
 
+	// Queries holds one telemetry row per registered query, in registry
+	// order (a single-query server reports just its default query).
+	Queries []QueryStats `json:"queries,omitempty"`
+
 	Runtime RuntimeStats `json:"runtime"`
 }
 
@@ -284,6 +309,97 @@ type WALStats struct {
 	ShedDegraded     uint64  `json:"shed_degraded,omitempty"` // chunks shed with 503 while degraded
 }
 
+// QueryConfig declares one named query of a multi-tenant server: the wire
+// form of POST /v1/queries bodies, surged's -queries file entries, and the
+// config half of QueryInfo. Zero geometry fields inherit the server's
+// default query options, so a sweep over one knob only has to state that
+// knob.
+type QueryConfig struct {
+	// ID names the query in the registry and in /v1/queries/{id}/ paths:
+	// 1-64 characters from [a-zA-Z0-9._-]. "default" is the query the
+	// legacy single-query paths address.
+	ID string `json:"id"`
+	// Algorithm is the engine name as surged's -algo flag spells it (CCS,
+	// B-CCS, Base, aG2, GAPS, MGAPS, Oracle); "" inherits the server's.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Width/Height/Window/PastWindow/Alpha are the query options; zero
+	// values inherit the server defaults (PastWindow additionally defaults
+	// to Window, as in the library).
+	Width      float64 `json:"width,omitempty"`
+	Height     float64 `json:"height,omitempty"`
+	Window     float64 `json:"window,omitempty"`
+	PastWindow float64 `json:"past_window,omitempty"`
+	Alpha      float64 `json:"alpha,omitempty"`
+	// TopK is the maintained top-k's k (0 inherits the server's).
+	TopK int `json:"topk,omitempty"`
+	// TopKReplayOnly disables the maintained top-k for this query.
+	TopKReplayOnly bool `json:"topk_replay_only,omitempty"`
+	// BestFromEngines keeps the legacy dual-engine layout for this query
+	// (see the server Config field of the same name).
+	BestFromEngines bool `json:"best_from_engines,omitempty"`
+	// Shards is the engine shard count for this query. 0 or 1 hosts a
+	// single engine on the server's shared tenant workers — the layout that
+	// scales to many queries; >= 2 gives this query its own shard pipeline.
+	Shards         int `json:"shards,omitempty"`
+	ShardBlockCols int `json:"shard_block_cols,omitempty"`
+}
+
+// QueryInfo describes one registry entry: its configuration (with inherited
+// defaults resolved) plus a light liveness summary.
+type QueryInfo struct {
+	QueryConfig
+	// Default reports whether this is the query the legacy single-query
+	// paths address.
+	Default bool `json:"default,omitempty"`
+	// Continuous reports whether a maintained top-k chain serves this
+	// query's /topk.
+	Continuous bool `json:"continuous"`
+	// Shared reports whether this query's engine state is shared with other
+	// registry entries of identical configuration (boot-time dedup; the
+	// answers are identical either way).
+	Shared      bool    `json:"shared,omitempty"`
+	Now         float64 `json:"now"`
+	Live        int     `json:"live"`
+	Subscribers int     `json:"subscribers"`
+	Result      Result  `json:"result"`
+}
+
+// QueryList is the reply to GET /v1/queries, in registry (creation) order.
+type QueryList struct {
+	Queries []QueryInfo `json:"queries"`
+}
+
+// QueryStats is one query's telemetry block: the reply to
+// /v1/queries/{id}/stats and the per-query rows of /v1/stats. Like the
+// server-wide snapshot it is assembled lock-free from counters and mirrors.
+type QueryStats struct {
+	ID         string  `json:"id"`
+	Algorithm  string  `json:"algorithm"`
+	TopK       int     `json:"topk"`
+	Continuous bool    `json:"continuous"`
+	Shards     int     `json:"shards"`
+	Now        float64 `json:"now"`
+	Live       int     `json:"live"`
+	Result     Result  `json:"result"`
+
+	Notifications     uint64 `json:"notifications"`
+	TopKNotifications uint64 `json:"topk_notifications"`
+	// Dropped counts SSE frames this query's slow subscribers lost. The
+	// accounting is exact and per-query ("delivered + dropped = published"
+	// holds per subscriber), so one query's backlog never shows up in
+	// another's numbers.
+	Dropped     uint64 `json:"dropped"`
+	Subscribers int    `json:"subscribers"`
+	TopKFast    uint64 `json:"topk_fast"`
+	TopKReplay  uint64 `json:"topk_replay"`
+	Snapshots   uint64 `json:"snapshots"`
+	Restores    uint64 `json:"restores"`
+	Clamped     uint64 `json:"clamped"`
+	// Err is this query's recorded pipeline error; the other queries keep
+	// serving when one engine fails.
+	Err string `json:"err,omitempty"`
+}
+
 // Error codes carried by Error.Code for failures a client is expected to
 // branch on (everything else is prose in Error.Err).
 const (
@@ -301,6 +417,14 @@ const (
 	// write-ahead log cannot accept the batch; a background repair loop is
 	// working, so retry after Error.RetryAfterSec (WithRetry does).
 	CodeDurabilityDegraded = "durability_degraded"
+	// CodeUnknownQuery: the request addressed a query id the registry does
+	// not hold (404) — never created, or deleted. Retrying cannot help
+	// (WithRetry gives up immediately); recreate the query or fix the id.
+	CodeUnknownQuery = "unknown_query"
+	// CodeQuotaExceeded: the request was rejected (429) because the
+	// addressed query is at a configured per-query quota (e.g. its
+	// subscriber cap). Retrying only helps once capacity frees up.
+	CodeQuotaExceeded = "quota_exceeded"
 )
 
 // Sentinel errors matched by errors.Is against a decoded *Error.
@@ -309,6 +433,8 @@ var (
 	ErrSeqOutOfOrder = errors.New("client: ingest sequence out of order")
 	ErrSeqConflict   = errors.New("client: ingest sequence in flight elsewhere")
 	ErrDegraded      = errors.New("client: server durability degraded")
+	ErrUnknownQuery  = errors.New("client: unknown query id")
+	ErrQuotaExceeded = errors.New("client: query quota exceeded")
 )
 
 // Error is the JSON body of a non-2xx reply.
@@ -341,6 +467,10 @@ func (e *Error) Is(target error) bool {
 		return e.Code == CodeSeqConflict
 	case ErrDegraded:
 		return e.Code == CodeDurabilityDegraded
+	case ErrUnknownQuery:
+		return e.Code == CodeUnknownQuery
+	case ErrQuotaExceeded:
+		return e.Code == CodeQuotaExceeded
 	}
 	return false
 }

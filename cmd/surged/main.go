@@ -145,24 +145,11 @@ func parseBatch(s string, shards int) (int, error) {
 }
 
 func parseAlgo(s string) (surge.Algorithm, error) {
-	switch strings.ToUpper(s) {
-	case "CCS":
-		return surge.CellCSPOT, nil
-	case "B-CCS", "BCCS":
-		return surge.StaticBound, nil
-	case "BASE":
-		return surge.Baseline, nil
-	case "AG2":
-		return surge.AG2, nil
-	case "GAPS":
-		return surge.GridApprox, nil
-	case "MGAPS":
-		return surge.MultiGrid, nil
-	case "ORACLE":
-		return surge.Oracle, nil
-	default:
+	alg, err := surge.ParseAlgorithm(s)
+	if err != nil {
 		return 0, fmt.Errorf("unknown algorithm %q", s)
 	}
+	return alg, nil
 }
 
 func runSingle(alg surge.Algorithm, opt surge.Options, src io.Reader, every, batchSize int) error {

@@ -16,6 +16,12 @@
 //	GET  /healthz       health summary
 //	GET  /metrics       Prometheus text metrics
 //
+// The server is multi-query: POST /v1/queries registers additional named
+// queries over the same ingest stream (GET lists them, DELETE removes one)
+// and every single-query endpoint above has a per-query twin under
+// /v1/queries/{id}/. The legacy paths address the query named "default".
+// -queries seeds named queries at boot from a JSON file.
+//
 // Lifecycle events (startup, checkpoint, restore, degraded-mode
 // transitions, shutdown) are structured logs on stderr; -log-format picks
 // text or JSON.
@@ -34,6 +40,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -78,6 +85,9 @@ func runServe(args []string) error {
 		readHdrT = fs.Duration("read-header-timeout", 10*time.Second, "close connections whose request headers take longer than this to arrive (slowloris guard)")
 		idleT    = fs.Duration("idle-timeout", 120*time.Second, "close idle keep-alive connections after this long")
 
+		queries  = fs.String("queries", "", "JSON file declaring named queries registered at boot beside \"default\" (an array of /v1/queries create bodies)")
+		qMaxSubs = fs.Int("query-max-subs", 0, "cap on concurrent SSE subscribers per query; past it a subscribe fails with 429 quota_exceeded (0 = unlimited)")
+
 		dataDir  = fs.String("data-dir", "", "durable mode: write-ahead log and checkpoints live here; boot recovers the acknowledged state from it")
 		walSync  = fs.String("wal-sync", "always", "WAL fsync policy: always (fsync before each ack), off (never), or an interval like 100ms (background fsync; a machine crash can lose up to one interval)")
 		ckptEvry = fs.Duration("checkpoint-every", time.Minute, "durable mode: background checkpoint period (compacts the covered WAL); <0 disables")
@@ -85,6 +95,12 @@ func runServe(args []string) error {
 		maxPend  = fs.Int("max-pending", 256, "admission control: shed ingest chunks with 429 once this many wait on the event loop; <0 disables")
 	)
 	fs.Parse(args)
+
+	// Reject the flag conflict before any work (parsing files, opening the
+	// data directory) happens on either side of it.
+	if *ckptIn != "" && *dataDir != "" {
+		return fmt.Errorf("-restore and -data-dir are mutually exclusive: the data directory defines the state (POST a checkpoint to /v1/restore instead)")
+	}
 
 	alg, err := parseAlgo(*algo)
 	if err != nil {
@@ -113,6 +129,9 @@ func runServe(args []string) error {
 	if *topk < 0 {
 		return fmt.Errorf("invalid -topk %d", *topk)
 	}
+	if *qMaxSubs < 0 {
+		return fmt.Errorf("invalid -query-max-subs %d", *qMaxSubs)
+	}
 	var logger *slog.Logger
 	switch *logFmt {
 	case "text":
@@ -129,16 +148,17 @@ func runServe(args []string) error {
 			Window: *win, PastWindow: *pastW, Alpha: *alpha,
 			Shards: nShards, ShardBlockCols: *blkCols, ShardFlushEvents: *flush,
 		},
-		TopK:             *topk,
-		TopKReplayOnly:   *topk == 0,
-		BestFromEngines:  *dualEng,
-		NotifyRing:       *ring,
-		TimePolicy:       tp,
-		BatchSize:        *batch,
-		SubscriberBuffer: *subBuf,
-		MaxPending:       *maxPend,
-		EnablePprof:      *pprofOn,
-		Logger:           logger,
+		TopK:                *topk,
+		TopKReplayOnly:      *topk == 0,
+		BestFromEngines:     *dualEng,
+		NotifyRing:          *ring,
+		TimePolicy:          tp,
+		BatchSize:           *batch,
+		SubscriberBuffer:    *subBuf,
+		MaxPending:          *maxPend,
+		QueryMaxSubscribers: *qMaxSubs,
+		EnablePprof:         *pprofOn,
+		Logger:              logger,
 	}
 	if *ckptIn != "" {
 		data, err := os.ReadFile(*ckptIn)
@@ -146,6 +166,15 @@ func runServe(args []string) error {
 			return err
 		}
 		cfg.Checkpoint = data
+	}
+	if *queries != "" {
+		data, err := os.ReadFile(*queries)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &cfg.Queries); err != nil {
+			return fmt.Errorf("parsing -queries %s: %w", *queries, err)
+		}
 	}
 	var s *server.Server
 	if *dataDir != "" {
@@ -155,9 +184,6 @@ func runServe(args []string) error {
 		sync, every, err := wal.ParseSyncPolicy(*walSync)
 		if err != nil {
 			return err
-		}
-		if *ckptIn != "" {
-			return fmt.Errorf("-restore and -data-dir are mutually exclusive: the data directory defines the state (POST a checkpoint to /v1/restore instead)")
 		}
 		s, err = server.NewDurable(cfg, server.DurableConfig{
 			Dir:             *dataDir,

@@ -107,6 +107,29 @@ func TestRunServeRejectsBadFlags(t *testing.T) {
 	if err := runServe([]string{"-restore", "/nonexistent/surge.ckpt"}); err == nil {
 		t.Fatal("missing restore file accepted")
 	}
+	// The -restore/-data-dir conflict is a flag error, so it must be
+	// rejected before serve touches either path (including paths that do
+	// not exist yet).
+	err := runServe([]string{"-restore", "/nonexistent/surge.ckpt", "-data-dir", "/nonexistent/dir"})
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("restore+data-dir conflict not rejected as such: %v", err)
+	}
+	if err := runServe([]string{"-queries", "/nonexistent/queries.json"}); err == nil {
+		t.Fatal("missing queries file accepted")
+	}
+	badq := filepath.Join(t.TempDir(), "queries.json")
+	if err := os.WriteFile(badq, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runServe([]string{"-queries", badq}); err == nil {
+		t.Fatal("malformed queries file accepted")
+	}
+	if err := os.WriteFile(badq, []byte(`[{"id":"default"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runServe([]string{"-addr", "127.0.0.1:0", "-queries", badq}); err == nil {
+		t.Fatal("queries file redeclaring \"default\" accepted")
+	}
 }
 
 func waitHealthy(ctx context.Context, t *testing.T, c *client.Client) {

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"surge"
+	"surge/client"
+	"surge/internal/server"
+)
+
+// queryReader is the read surface shared by a Client and a Query handle,
+// so the bitwise comparisons below cover legacy and per-query paths alike.
+type queryReader interface {
+	Best(ctx context.Context) (*client.State, error)
+	TopK(ctx context.Context, k int) (*client.TopK, error)
+}
+
+func compareQueryAnswers(t *testing.T, label string, got, want queryReader) {
+	t.Helper()
+	ctx := context.Background()
+	gb, err := got.Best(ctx)
+	if err != nil {
+		t.Fatalf("%s: best: %v", label, err)
+	}
+	wb, err := want.Best(ctx)
+	if err != nil {
+		t.Fatalf("%s: ref best: %v", label, err)
+	}
+	if !reflect.DeepEqual(gb.Result, wb.Result) || gb.Now != wb.Now || gb.Live != wb.Live {
+		t.Fatalf("%s: best diverged:\ngot  result=%+v now=%v live=%d\nwant result=%+v now=%v live=%d",
+			label, gb.Result, gb.Now, gb.Live, wb.Result, wb.Now, wb.Live)
+	}
+	gt, err := got.TopK(ctx, 0)
+	if err != nil {
+		t.Fatalf("%s: topk: %v", label, err)
+	}
+	wt, err := want.TopK(ctx, 0)
+	if err != nil {
+		t.Fatalf("%s: ref topk: %v", label, err)
+	}
+	if !reflect.DeepEqual(gt.Results, wt.Results) {
+		t.Fatalf("%s: topk diverged:\ngot  %s\nwant %s", label, fmtResults(gt.Results), fmtResults(wt.Results))
+	}
+}
+
+// TestMultiQueryCrashRecoveryKill9 is the tenancy fault-injection harness:
+// a surged subprocess hosting four queries — the default, two declared via
+// -queries (one of them sharing the default's engine slot) and one created
+// over the wire mid-stream — is SIGKILLed with a request in flight and
+// restarted from its -data-dir. The recovered registry must hold all four
+// queries and every one of them must answer bitwise identically to an
+// uninterrupted in-process reference fed the same sequenced stream.
+func TestMultiQueryCrashRecoveryKill9(t *testing.T) {
+	shardCounts := []int{2}
+	if !testing.Short() {
+		shardCounts = []int{1, 2, 4}
+	}
+	const nBatch, per, killAfter, createAfter = 18, 15, 9, 5
+	batches := crashBatches(nBatch, per)
+	runtimeQuery := client.QueryConfig{ID: "ops", Width: 2, TopK: 3}
+
+	for _, shards := range shardCounts {
+		t.Run("shards="+strconv.Itoa(shards), func(t *testing.T) {
+			bootQueries := []client.QueryConfig{
+				{ID: "wide", Width: 2, Window: 90, Shards: shards},
+				{ID: "twin", Shards: shards},
+			}
+			runtimeQuery.Shards = shards
+
+			// Uninterrupted reference with the same registry timeline.
+			refSrv, err := server.New(server.Config{
+				Algorithm:  surge.CellCSPOT,
+				Options:    surge.Options{Width: 1, Height: 1, Window: 60, Alpha: 0.5, Shards: shards},
+				BatchSize:  4,
+				TimePolicy: server.Clamp,
+				Queries:    bootQueries,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { refSrv.Close() })
+			ref := client.New(newLoopbackServer(t, refSrv))
+			ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+			defer cancel()
+			refAcks := make([]*client.IngestResult, nBatch)
+			for i, b := range batches {
+				if i == createAfter {
+					if _, err := ref.CreateQuery(ctx, runtimeQuery); err != nil {
+						t.Fatal(err)
+					}
+				}
+				ack, err := ref.IngestSeq(ctx, "crash", uint64(i+1), b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refAcks[i] = ack
+			}
+
+			qfile := filepath.Join(t.TempDir(), "queries.json")
+			qjson, err := json.Marshal(bootQueries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(qfile, qjson, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			addr := freePort(t)
+			serveArgs := []string{
+				"-addr", addr, "-algo", "CCS", "-width", "1", "-height", "1",
+				"-window", "60", "-alpha", "0.5", "-batch", "4",
+				"-shards", strconv.Itoa(shards),
+				"-queries", qfile,
+				"-data-dir", dir, "-wal-sync", "5ms",
+				"-checkpoint-every", "150ms",
+			}
+			child := startChild(t, serveArgs...)
+			base := "http://" + addr
+			c := client.New(base, client.WithRetry(client.RetryPolicy{
+				MaxAttempts: 5, BaseDelay: 20 * time.Millisecond,
+			}))
+			waitHealthy(ctx, t, c)
+
+			for i := 0; i < killAfter; i++ {
+				if i == createAfter {
+					if _, err := c.CreateQuery(ctx, runtimeQuery); err != nil {
+						t.Fatal(err)
+					}
+				}
+				ack, err := c.IngestSeq(ctx, "crash", uint64(i+1), batches[i])
+				if err != nil {
+					t.Fatalf("batch %d: %v", i+1, err)
+				}
+				if !reflect.DeepEqual(ack, refAcks[i]) {
+					t.Fatalf("batch %d ack diverged:\ngot  %+v\nwant %+v", i+1, ack, refAcks[i])
+				}
+			}
+			inflight := make(chan struct{})
+			go func() {
+				defer close(inflight)
+				plain := client.New(base)
+				plain.IngestSeq(ctx, "crash", uint64(killAfter+1), batches[killAfter])
+			}()
+			time.Sleep(2 * time.Millisecond)
+			if err := child.Process.Kill(); err != nil {
+				t.Fatal(err)
+			}
+			child.Wait()
+			<-inflight
+
+			child = startChild(t, serveArgs...)
+			defer func() {
+				child.Process.Signal(syscall.SIGTERM)
+				child.Wait()
+			}()
+			waitHealthy(ctx, t, c)
+
+			// The registry survived: all four queries, in creation order.
+			ql, err := c.Queries(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ids []string
+			for _, q := range ql.Queries {
+				ids = append(ids, q.ID)
+			}
+			want := []string{"default", "wide", "twin", "ops"}
+			if !reflect.DeepEqual(ids, want) {
+				t.Fatalf("recovered registry %v, want %v", ids, want)
+			}
+
+			// Resolve the uncertain batch and finish the stream.
+			for i := killAfter; i < nBatch; i++ {
+				ack, err := c.IngestSeq(ctx, "crash", uint64(i+1), batches[i])
+				if err != nil {
+					t.Fatalf("batch %d: %v", i+1, err)
+				}
+				if !reflect.DeepEqual(ack, refAcks[i]) {
+					t.Fatalf("batch %d ack diverged:\ngot  %+v\nwant %+v", i+1, ack, refAcks[i])
+				}
+			}
+			compareQueryAnswers(t, "default after recovery", c, ref)
+			for _, id := range []string{"wide", "twin", "ops"} {
+				compareQueryAnswers(t, fmt.Sprintf("query %q after recovery", id), c.Query(id), ref.Query(id))
+			}
+		})
+	}
+}

@@ -201,7 +201,12 @@
 //	POST /v1/restore    replace the server's state from a checkpoint
 //	GET  /v1/stats      typed JSON telemetry snapshot (client.StatsSnapshot):
 //	                    latency histograms for every pipeline stage,
-//	                    counters and Go runtime health
+//	                    counters, Go runtime health and one row per query
+//	GET  /v1/queries    query registry: list, POST to create, DELETE
+//	                    /v1/queries/{id} to retire (see Multi-tenancy)
+//	.../v1/queries/{id}/best|topk|subscribe|stats|snapshot|restore
+//	                    the per-query serving surface; the bare /v1/*
+//	                    paths above alias query "default"
 //	GET  /healthz       health summary with build info and last-ingest age
 //	GET  /metrics       Prometheus text exposition
 //
@@ -234,6 +239,65 @@
 // round-trip this without the caller parsing ids). On SIGTERM the server
 // checkpoints before the listener drains, and a later "surged serve
 // -restore" resumes the stream, into any shard count (RestoreSharded).
+//
+// # Multi-tenancy
+//
+// One server hosts a registry of named queries over one shared spatial
+// stream: ingest parsing, admission control, ordering and the WAL append
+// happen once per chunk, and the event loop fans the decoded batch out to
+// every query's engine. The per-object ingest cost is therefore paid per
+// stream, not per query — the shared plane hands each engine the same
+// read-only object slice (copied only if that engine's time policy has to
+// lift a timestamp), and the tenancy benchmark (BENCH_tenancy.json,
+// tenancy_scale_pct) tracks the throughput of 64 identical queries
+// against one.
+//
+// Lifecycle: queries exist from boot (server.Config.Queries, surged serve
+// -queries file.json) or are created and deleted at runtime through the
+// /v1/queries CRUD surface (client.CreateQuery / Client.Query /
+// Query.Delete). Query "default" is the server's own configuration, always
+// exists, cannot be deleted, and serves every legacy /v1/* path, so a
+// single-query deployment never notices the registry. Each query owns a
+// detector configuration (algorithm, cell size, window, top-k, shard
+// count), its own SSE hub with the full cursor/epoch/drop accounting of
+// the single-query server, its own snapshot/restore endpoints (checkpoints
+// move between queries and between servers), and its own telemetry row
+// (client.QueryStats in /v1/stats, per-query labelled families in
+// /metrics). A request for an unregistered id fails with 404/"unknown_query"
+// — typed client.ErrUnknownQuery, never retried by WithRetry.
+//
+// Engine sharing: boot-registry queries whose resolved configurations are
+// identical are backed by ONE engine slot (QueryInfo.Shared), so thousands
+// of dashboards watching the same query cost one detector. Sharing is an
+// internal deduplication, not a visible state: every shared query answers
+// exactly as if it ran its own engine, and a restore into one of them
+// first splits it onto a private slot. Runtime-created queries always get
+// a private engine — they join at the current stream position with empty
+// windows, which can never equal an engine that has already seen data.
+// Engines ride the existing shard workers (each slot is pinned to a
+// worker), so tenancy scales with cores rather than goroutines-per-query.
+//
+// Isolation and equivalence: a slow subscriber, an engine error or a
+// panicking pipeline in one query charges only that query's drop counters
+// and error surface; other tenants' answers, notifications and stats are
+// unperturbed, and ingest keeps acking as long as any engine accepts the
+// batch (per-query errors surface in that query's stats row). N
+// identically-configured queries on one server answer bit-for-bit the same
+// as N independent single-query servers fed the same stream — across
+// shard counts, checkpoint/restore and kill -9 crash recovery (the
+// multi-query crash harness pins this). Per-query subscriber quotas
+// (Config.QueryMaxSubscribers, surged -query-max-subs) bound the SSE cost
+// a single tenant can impose; past the quota a subscribe fails with
+// 429/"quota_exceeded" (typed client.ErrQuotaExceeded) instead of
+// degrading the query's existing subscribers.
+//
+// Durability is tenant-aware with zero extra WAL traffic: log frames stay
+// per-chunk (one append covers every query), while checkpoints carry the
+// full registry — each query's configuration plus its engine state, with
+// shared slots stored once. Recovery rebuilds the registry and replays
+// the WAL tail into every engine, restoring runtime-created queries and
+// keeping deleted ones dead across crashes; pre-registry (v1) checkpoints
+// still load and seed the default query.
 //
 // # Durability
 //

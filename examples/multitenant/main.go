@@ -1,0 +1,176 @@
+// Two tenants, one stream: host a citywide query and a downtown
+// zoom-in on the same server, so the stream is parsed, admitted and
+// logged once while each tenant gets its own answer surface:
+//
+//  1. boot the server with a named "downtown" query and an "ops-mirror"
+//     twin of the default beside "default" itself (the citywide view
+//     every legacy /v1/* path still serves) — the twin's config matches
+//     the default exactly, so both ride ONE engine (shared=true),
+//  2. register a fourth query over the wire while the stream is live
+//     (runtime queries join at the current stream position with empty
+//     windows, so they always get their own engine),
+//  3. subscribe to one tenant's SSE feed without touching the others,
+//  4. stream a downtown-sized burst from two concurrent ingesters and
+//     watch the tenants disagree about it — the zoomed query locks on
+//     while the citywide one barely moves,
+//  5. read per-query stats and delete the throwaway query.
+//
+// Identically-configured boot tenants share one engine, so a thousand
+// dashboards watching the same query cost one detector, not a thousand.
+//
+// Run with: go run ./examples/multitenant
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"surge"
+	"surge/client"
+	"surge/internal/server"
+	"surge/internal/stream"
+)
+
+func main() {
+	d := stream.TaxiLike(11)
+	d.RatePerHour *= 0.2
+	objs := d.Generate(24000)
+	// A burst sized for the downtown query: a quarter of the citywide
+	// cell, planted late in the stream.
+	burst := stream.Burst{
+		CX: 12.7, CY: 42.05,
+		SX: d.QueryWidth() / 16, SY: d.QueryHeight() / 16,
+		Start: objs[len(objs)-1].T * 0.7, Duration: 300, Count: 300, Seed: 11,
+	}
+	objs = stream.Inject(objs, burst)
+
+	cfg := server.Config{
+		Algorithm: surge.CellCSPOT,
+		Options: surge.Options{
+			Width: d.QueryWidth(), Height: d.QueryHeight(),
+			Window: 300, Alpha: 0.5, Shards: 2,
+		},
+		TimePolicy: server.Clamp,
+		BatchSize:  512,
+		// The boot registry: a zoomed-in query and a twin of the citywide
+		// view beside the default. Fields left zero inherit the server's
+		// config; the twin pins Shards to the default's count so the two
+		// configs agree exactly and dedupe onto one engine.
+		Queries: []client.QueryConfig{
+			{ID: "downtown", Width: d.QueryWidth() / 4, Height: d.QueryHeight() / 4},
+			{ID: "ops-mirror", Shards: 2},
+		},
+	}
+	c, shutdown := serve(cfg)
+	defer shutdown()
+	ctx := context.Background()
+
+	// 2. Queries are also a runtime resource: register one over the wire.
+	// It enters the stream now, with empty windows, so unlike the boot
+	// twin it cannot share an engine that has already seen data.
+	_, err := c.CreateQuery(ctx, client.QueryConfig{ID: "late",
+		Width: d.QueryWidth() / 4, Height: d.QueryHeight() / 4})
+	check(err)
+	ql, err := c.Queries(ctx)
+	check(err)
+	for _, q := range ql.Queries {
+		fmt.Printf("query %-10s algo=%s shared=%v\n", q.ID, q.Algorithm, q.Shared)
+	}
+
+	// 3. Per-tenant SSE: only downtown's changes arrive here; the other
+	// tenants' notification streams are separate feeds with separate
+	// cursors and drop accounting.
+	sub, err := c.Query("downtown").Subscribe(ctx)
+	check(err)
+	changes := 0
+	var last client.Notification
+	noteDone := make(chan struct{})
+	go func() {
+		defer close(noteDone)
+		for n := range sub.Events() {
+			changes++
+			last = n
+		}
+	}()
+
+	// 4. One shared stream, two concurrent ingesters. Parse, admission
+	// and ordering happen once; every tenant sees the same batches.
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		var part []surge.Object
+		for i := g; i < len(objs); i += 2 {
+			o := objs[i]
+			part = append(part, surge.Object{X: o.X, Y: o.Y, Weight: o.Weight, Time: o.T})
+		}
+		wg.Add(1)
+		go func(part []surge.Object) {
+			defer wg.Done()
+			var buf bytes.Buffer
+			check(client.EncodeNDJSON(&buf, part))
+			_, err := c.IngestStream(ctx, &buf, client.NDJSON)
+			check(err)
+		}(part)
+	}
+	wg.Wait()
+
+	// The tenants answer independently over the same stream state.
+	city, err := c.Best(ctx) // legacy path == query "default"
+	check(err)
+	down, err := c.Query("downtown").Best(ctx)
+	check(err)
+	fmt.Printf("citywide: score %.1f region %.4fx%.4f\n",
+		city.Result.Score, city.Result.Region.MaxX-city.Result.Region.MinX,
+		city.Result.Region.MaxY-city.Result.Region.MinY)
+	fmt.Printf("downtown: score %.1f region %.4fx%.4f (locked on the planted burst: %v)\n",
+		down.Result.Score, down.Result.Region.MaxX-down.Result.Region.MinX,
+		down.Result.Region.MaxY-down.Result.Region.MinY,
+		down.Result.Region.MinX <= burst.CX && burst.CX <= down.Result.Region.MaxX)
+
+	// 5. Per-query telemetry, then retire the throwaway query. Deleting
+	// the shared twin would free nothing: "default" keeps their engine.
+	qs, err := c.Query("ops-mirror").Stats(ctx)
+	check(err)
+	fmt.Printf("ops-mirror: %d notifications, %d live objects, err=%q\n",
+		qs.Notifications, qs.Live, qs.Err)
+	check(c.Query("late").Delete(ctx))
+	if _, err := c.Query("late").Best(ctx); err != nil {
+		fmt.Printf("deleted query answers: %v\n", err)
+	}
+
+	sub.Close()
+	<-noteDone
+	fmt.Printf("downtown SSE: %d changes (last seq %d) — the citywide feed never saw them\n",
+		changes, last.Seq)
+}
+
+// serve starts the HTTP host on a loopback listener and returns a client
+// for it plus a shutdown func.
+func serve(cfg server.Config) (*client.Client, func()) {
+	s, err := server.New(cfg)
+	check(err)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
+	go hs.Serve(ln)
+	fmt.Printf("serving %s on http://%s\n", cfg.Algorithm, ln.Addr())
+	return client.New("http://" + ln.Addr().String()), func() {
+		s.Close()
+		hs.Close()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -256,3 +256,25 @@ func labelStr(labels []string, quantile string) string {
 func fmtFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
+
+// LabeledValue is one sample of a dynamically labelled metric family for
+// WriteLabeled: Labels is a flat key,value,... list.
+type LabeledValue struct {
+	Labels []string
+	Value  float64
+}
+
+// WriteLabeled writes one Prometheus metric family with per-row labels,
+// assembled at scrape time. Unlike registry metrics, the rows are not
+// retained between scrapes — the family tracks a dynamic population (e.g.
+// per-query series) without leaking series for members that disappeared.
+// kind is "counter" or "gauge". No output when rows is empty.
+func WriteLabeled(w io.Writer, name, kind, help string, rows []LabeledValue) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s%s %s\n", name, labelStr(r.Labels, ""), fmtFloat(r.Value))
+	}
+}

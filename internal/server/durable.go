@@ -127,8 +127,35 @@ func NewDurable(cfg Config, dc DurableConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ck != nil {
+	// Assemble the boot registry. A registry checkpoint (v2) restores every
+	// persisted query bitwise and merges in Config.Queries as desired state
+	// (config-declared ids missing from the checkpoint start fresh; a query
+	// deleted after the checkpoint resurrects — delete it again). A legacy v1
+	// checkpoint seeds the default query only.
+	var seeds []tenantSeed
+	switch {
+	case ck != nil && ck.metas != nil:
+		if cfg.TopK == 0 {
+			cfg.TopK = 5
+		}
+		if cfg.TopK < 1 {
+			return nil, fmt.Errorf("server: invalid TopK %d", cfg.TopK)
+		}
+		seeds, err = checkpointSeeds(cfg, ck)
+	case ck != nil:
 		cfg.Checkpoint = ck.det
+		fallthrough
+	default:
+		if cfg.TopK == 0 {
+			cfg.TopK = 5
+		}
+		if cfg.TopK < 1 {
+			return nil, fmt.Errorf("server: invalid TopK %d", cfg.TopK)
+		}
+		seeds, err = bootSeeds(cfg)
+	}
+	if err != nil {
+		return nil, err
 	}
 	wlog, recov, err := wal.Open(filepath.Join(dc.Dir, "wal"), wal.Options{
 		Sync: dc.Sync, SyncEvery: dc.SyncEvery, SegmentBytes: dc.SegmentBytes, FS: dc.FS,
@@ -136,7 +163,7 @@ func NewDurable(cfg Config, dc DurableConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := New(cfg)
+	s, err := newServer(cfg, seeds)
 	if err != nil {
 		wlog.Close()
 		return nil, err
@@ -507,15 +534,50 @@ func (s *Server) checkpointLoop(every time.Duration) {
 	}
 }
 
-// checkpointDurable checkpoints the detector on the event loop — so the
-// captured WAL position exactly matches the captured state — and persists
-// the pair atomically.
+// captureRegistry checkpoints every registered query's engine state,
+// deduplicating shared slots (N tenants on one slot cost one checkpoint and
+// one persisted blob). Runs on the event loop, or after it drained
+// (Shutdown), so the capture is mutually consistent across tenants.
+func (s *Server) captureRegistry() (regCapture, error) {
+	var rc regCapture
+	idx := make(map[*engineSlot]int, len(s.slots))
+	for _, t := range s.order {
+		sl := t.slot.Load()
+		si, ok := idx[sl]
+		if !ok {
+			blob, err := sl.det.Checkpoint()
+			if err != nil {
+				return regCapture{}, fmt.Errorf("server: checkpoint query %q: %w", t.id, err)
+			}
+			si = len(rc.blobs)
+			rc.blobs = append(rc.blobs, blob)
+			idx[sl] = si
+		}
+		rc.metas = append(rc.metas, queryMeta{
+			ID:              t.id,
+			Slot:            si,
+			Algorithm:       t.cfg.Algorithm.String(),
+			Options:         t.cfg.Options,
+			TopK:            t.cfg.TopK,
+			TopKReplayOnly:  t.cfg.TopKReplayOnly,
+			BestFromEngines: t.cfg.BestFromEngines,
+		})
+		if t.isDefault {
+			rc.defSlot = si
+		}
+	}
+	return rc, nil
+}
+
+// checkpointDurable captures the full registry on the event loop — so the
+// captured WAL position exactly matches the captured state of every query —
+// and persists the capture atomically.
 func (s *Server) checkpointDurable() error {
-	var det []byte
+	var rc regCapture
 	var lsn, gen uint64
 	var cerr error
 	if err := s.do(func() {
-		det, cerr = s.det.Checkpoint()
+		rc, cerr = s.captureRegistry()
 		lsn = s.wal.log.LastLSN()
 		gen = s.wal.ckptGen.Add(1)
 		s.snapshots.Add(1)
@@ -526,7 +588,7 @@ func (s *Server) checkpointDurable() error {
 		s.ckptErrs.Add(1)
 		return cerr
 	}
-	if err := s.persistCheckpoint(det, lsn, gen); err != nil {
+	if err := s.persistCheckpoint(rc, lsn, gen); err != nil {
 		if !errors.Is(err, wal.ErrClosed) {
 			s.ckptErrs.Add(1)
 		}
@@ -541,14 +603,17 @@ func (s *Server) checkpointDurable() error {
 // than the newest persisted one is dropped — a slow background checkpoint
 // must never roll surge.ckpt back over a newer Shutdown/Restore checkpoint
 // whose covering WAL segments are already compacted away.
-func (s *Server) persistCheckpoint(det []byte, lsn, gen uint64) error {
+func (s *Server) persistCheckpoint(rc regCapture, lsn, gen uint64) error {
 	ws := s.wal
 	ws.ckptMu.Lock()
 	defer ws.ckptMu.Unlock()
 	if gen < ws.lastGen {
 		return nil
 	}
-	buf := encodeDurableCheckpoint(lsn, s.snapshotSeqs(), det)
+	buf, err := encodeDurableCheckpoint(lsn, s.snapshotSeqs(), rc)
+	if err != nil {
+		return err
+	}
 	if err := wal.WriteFileAtomicFS(ws.fs, ws.ckptPath, buf, 0o644); err != nil {
 		return err
 	}
@@ -557,7 +622,7 @@ func (s *Server) persistCheckpoint(det []byte, lsn, gen uint64) error {
 	if err := ws.log.CompactBefore(lsn); err != nil && !errors.Is(err, wal.ErrClosed) {
 		return err
 	}
-	s.log.Info("durable checkpoint written", "bytes", len(buf), "lsn", lsn)
+	s.log.Info("durable checkpoint written", "bytes", len(buf), "lsn", lsn, "queries", len(rc.metas), "engine_slots", len(rc.blobs))
 	return nil
 }
 
@@ -645,41 +710,169 @@ func decodeWALRecord(b []byte) (src string, seq uint64, chunk uint32, objs []sur
 
 // --- Durable checkpoint wrapper (surge.ckpt) ---
 //
-//	8 B  magic "SURGEDC1"
+// Version 2 (registry checkpoint, written by this server):
+//
+//	8 B  magic "SURGEDC2"
 //	8 B  WAL LSN covered by this checkpoint (little-endian)
 //	4 B  dedupe-table JSON length; the JSON (map[source]seqEntry)
-//	4 B  detector checkpoint length; the bytes (surge.Restore format)
+//	4 B  registry JSON length; the JSON ([]queryMeta, registry order)
+//	4 B  engine-slot count N
+//	N x  4 B blob length + detector checkpoint bytes (surge.Restore format)
+//
+// Version 1 ("SURGEDC1", read-compatible) carried a single detector blob
+// instead of the registry; it seeds the default query only.
 //
 // The file is written with WriteFileAtomic, so boot sees either the old
 // checkpoint or the new one, never a torn mix.
 
-var ckptMagic = [8]byte{'S', 'U', 'R', 'G', 'E', 'D', 'C', '1'}
+var (
+	ckptMagicV1 = [8]byte{'S', 'U', 'R', 'G', 'E', 'D', 'C', '1'}
+	ckptMagic   = [8]byte{'S', 'U', 'R', 'G', 'E', 'D', 'C', '2'}
+)
+
+// queryMeta is one registered query's persisted identity: enough to rebuild
+// its tenantConfig at boot without the serve flags. Options round-trips
+// through JSON exactly (Go encodes float64 shortest-round-trip), so a
+// restored config hashes to the same sharing key.
+type queryMeta struct {
+	ID              string        `json:"id"`
+	Slot            int           `json:"slot"` // index into the blob table
+	Algorithm       string        `json:"algorithm"`
+	Options         surge.Options `json:"options"`
+	TopK            int           `json:"topk"`
+	TopKReplayOnly  bool          `json:"topk_replay_only,omitempty"`
+	BestFromEngines bool          `json:"best_from_engines,omitempty"`
+}
+
+// regCapture is a mutually consistent checkpoint of the whole registry:
+// one meta per query, one blob per unique engine slot.
+type regCapture struct {
+	metas   []queryMeta
+	blobs   [][]byte
+	defSlot int // blob index of the default query's slot
+}
 
 type durableCheckpoint struct {
 	lsn  uint64
 	seqs map[string]seqEntry
-	det  []byte
+	det  []byte // v1 only: the single detector blob
+
+	// v2 registry: metas is nil on a v1 checkpoint.
+	metas []queryMeta
+	slots [][]byte
 }
 
-func encodeDurableCheckpoint(lsn uint64, seqs map[string]seqEntry, det []byte) []byte {
+// checkpointSeeds turns a v2 registry checkpoint into boot seeds. The
+// default query and any id also declared in cfg.Queries take their
+// configuration from the config (matching the legacy restore semantics:
+// flags choose algorithm and shard layout, the checkpoint supplies state);
+// checkpoint-only ids — created at runtime — carry their configuration in
+// the checkpoint itself. Config-declared ids missing from the checkpoint
+// are appended as fresh queries.
+func checkpointSeeds(cfg Config, ck *durableCheckpoint) ([]tenantSeed, error) {
+	confByID := make(map[string]client.QueryConfig, len(cfg.Queries))
+	for _, qc := range cfg.Queries {
+		if !validQueryID(qc.ID) {
+			return nil, fmt.Errorf("server: invalid query id %q (want 1-64 chars of [a-zA-Z0-9._-])", qc.ID)
+		}
+		if qc.ID == DefaultQueryID {
+			return nil, fmt.Errorf("server: duplicate query id %q", qc.ID)
+		}
+		if _, dup := confByID[qc.ID]; dup {
+			return nil, fmt.Errorf("server: duplicate query id %q", qc.ID)
+		}
+		confByID[qc.ID] = qc
+	}
+	seeds := make([]tenantSeed, 0, len(ck.metas)+len(cfg.Queries))
+	seen := make(map[string]bool, len(ck.metas))
+	for _, m := range ck.metas {
+		if m.Slot < 0 || m.Slot >= len(ck.slots) {
+			return nil, fmt.Errorf("server: corrupt durable checkpoint: query %q references slot %d of %d", m.ID, m.Slot, len(ck.slots))
+		}
+		if seen[m.ID] {
+			return nil, fmt.Errorf("server: corrupt durable checkpoint: duplicate query %q", m.ID)
+		}
+		seen[m.ID] = true
+		var tc tenantConfig
+		switch {
+		case m.ID == DefaultQueryID:
+			tc = defaultTenantConfig(cfg)
+		default:
+			if qc, ok := confByID[m.ID]; ok {
+				var err error
+				if tc, err = resolveQuery(cfg, qc); err != nil {
+					return nil, err
+				}
+				break
+			}
+			alg, err := surge.ParseAlgorithm(m.Algorithm)
+			if err != nil {
+				return nil, fmt.Errorf("server: corrupt durable checkpoint: query %q: %w", m.ID, err)
+			}
+			tc = tenantConfig{
+				Algorithm:       alg,
+				Options:         m.Options,
+				TopK:            m.TopK,
+				TopKReplayOnly:  m.TopKReplayOnly,
+				BestFromEngines: m.BestFromEngines,
+			}
+			if tc.TopK < 1 {
+				tc.TopK = cfg.TopK
+			}
+		}
+		seeds = append(seeds, tenantSeed{id: m.ID, cfg: tc, ckpt: ck.slots[m.Slot], slotTag: m.Slot})
+	}
+	if !seen[DefaultQueryID] {
+		// A v2 checkpoint always records the default query; tolerate its
+		// absence (hand-edited file) by booting it fresh.
+		seeds = append([]tenantSeed{{id: DefaultQueryID, cfg: defaultTenantConfig(cfg), slotTag: -1}}, seeds...)
+	}
+	for _, qc := range cfg.Queries {
+		if seen[qc.ID] {
+			continue
+		}
+		tc, err := resolveQuery(cfg, qc)
+		if err != nil {
+			return nil, err
+		}
+		seeds = append(seeds, tenantSeed{id: qc.ID, cfg: tc, slotTag: -1})
+	}
+	return seeds, nil
+}
+
+func encodeDurableCheckpoint(lsn uint64, seqs map[string]seqEntry, rc regCapture) ([]byte, error) {
 	sj, err := json.Marshal(seqs)
 	if err != nil { // a map of plain structs cannot fail to marshal
 		sj = []byte("{}")
 	}
-	buf := make([]byte, 0, 24+len(sj)+len(det))
+	mj, err := json.Marshal(rc.metas)
+	if err != nil {
+		return nil, fmt.Errorf("server: encode registry: %w", err)
+	}
+	total := 28 + len(sj) + len(mj)
+	for _, b := range rc.blobs {
+		total += 4 + len(b)
+	}
+	buf := make([]byte, 0, total)
 	buf = append(buf, ckptMagic[:]...)
 	buf = binary.LittleEndian.AppendUint64(buf, lsn)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sj)))
 	buf = append(buf, sj...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(det)))
-	buf = append(buf, det...)
-	return buf
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(mj)))
+	buf = append(buf, mj...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rc.blobs)))
+	for _, b := range rc.blobs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b)))
+		buf = append(buf, b...)
+	}
+	return buf, nil
 }
 
 // readDurableCheckpoint loads dir's checkpoint, returning (nil, nil) when
 // none exists yet. A checkpoint that fails to parse is a hard error —
 // atomic writes mean it cannot be a crash artifact, so silently starting
-// empty would discard acknowledged state.
+// empty would discard acknowledged state. Both format versions are read;
+// only v2 is written.
 func readDurableCheckpoint(path string) (*durableCheckpoint, error) {
 	b, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -691,7 +884,15 @@ func readDurableCheckpoint(path string) (*durableCheckpoint, error) {
 	bad := func(what string) (*durableCheckpoint, error) {
 		return nil, fmt.Errorf("server: corrupt durable checkpoint %s: %s", path, what)
 	}
-	if len(b) < 24 || [8]byte(b[:8]) != ckptMagic {
+	if len(b) < 24 {
+		return nil, fmt.Errorf("server: %s is not a durable checkpoint (too short)", path)
+	}
+	var v2 bool
+	switch [8]byte(b[:8]) {
+	case ckptMagic:
+		v2 = true
+	case ckptMagicV1:
+	default:
 		return nil, fmt.Errorf("server: %s is not a durable checkpoint (bad magic)", path)
 	}
 	ck := &durableCheckpoint{lsn: binary.LittleEndian.Uint64(b[8:16])}
@@ -705,11 +906,44 @@ func readDurableCheckpoint(path string) (*durableCheckpoint, error) {
 		return bad("dedupe table: " + err.Error())
 	}
 	b = b[sl:]
-	dl := binary.LittleEndian.Uint32(b[:4])
-	b = b[4:]
-	if uint64(len(b)) != uint64(dl) {
-		return bad("detector checkpoint length mismatch")
+	if !v2 {
+		dl := binary.LittleEndian.Uint32(b[:4])
+		b = b[4:]
+		if uint64(len(b)) != uint64(dl) {
+			return bad("detector checkpoint length mismatch")
+		}
+		ck.det = b
+		return ck, nil
 	}
-	ck.det = b
+	ml := binary.LittleEndian.Uint32(b[:4])
+	b = b[4:]
+	if uint64(len(b)) < uint64(ml)+4 {
+		return bad("short registry")
+	}
+	if err := json.Unmarshal(b[:ml], &ck.metas); err != nil {
+		return bad("registry: " + err.Error())
+	}
+	if ck.metas == nil {
+		ck.metas = []queryMeta{}
+	}
+	b = b[ml:]
+	n := binary.LittleEndian.Uint32(b[:4])
+	b = b[4:]
+	ck.slots = make([][]byte, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 4 {
+			return bad("short slot table")
+		}
+		bl := binary.LittleEndian.Uint32(b[:4])
+		b = b[4:]
+		if uint64(len(b)) < uint64(bl) {
+			return bad("short slot blob")
+		}
+		ck.slots = append(ck.slots, b[:bl])
+		b = b[bl:]
+	}
+	if len(b) != 0 {
+		return bad("trailing bytes")
+	}
 	return ck, nil
 }

@@ -219,11 +219,11 @@ func TestDurableStaleCheckpointDropped(t *testing.T) {
 	streamBatches(t, c, testObjects(67, 100, 4), 50)
 
 	// Capture an early checkpoint on the loop, as checkpointLoop does...
-	var oldDet []byte
+	var oldRC regCapture
 	var oldLSN, oldGen uint64
 	var oldErr error
 	if err := s.do(func() {
-		oldDet, oldErr = s.det.Checkpoint()
+		oldRC, oldErr = s.captureRegistry()
 		oldLSN = s.wal.log.LastLSN()
 		oldGen = s.wal.ckptGen.Add(1)
 	}); err != nil {
@@ -239,7 +239,7 @@ func TestDurableStaleCheckpointDropped(t *testing.T) {
 		t.Fatal(err)
 	}
 	newLSN := s.wal.log.LastLSN()
-	if err := s.persistCheckpoint(oldDet, oldLSN, oldGen); err != nil {
+	if err := s.persistCheckpoint(oldRC, oldLSN, oldGen); err != nil {
 		t.Fatal(err)
 	}
 	ck, err := readDurableCheckpoint(filepath.Join(dir, "surge.ckpt"))

@@ -1,29 +1,44 @@
-// Package server hosts a surge detector behind HTTP: surged serve. It turns
+// Package server hosts surge detectors behind HTTP: surged serve. It turns
 // the embeddable, single-goroutine Detector into a long-running service —
 // network ingestion, push-based change notification, snapshots and
 // observability — without giving up the library's exactness guarantees.
 //
+// # Multi-query tenancy
+//
+// One server hosts a registry of named queries over one shared spatial
+// stream. Each ingested object is parsed, admitted and (on a durable
+// server) logged exactly once, then fanned out to every registered query.
+// Queries are created and deleted at runtime (/v1/queries); the legacy
+// single-query paths address the registry's "default" query. Queries whose
+// configurations agree share engine state (boot-time dedup), so a thousand
+// identical dashboards cost one engine.
+//
 // # Concurrency model
 //
-// The Detector (sharded or not) is owned by a single-writer event loop: one
-// goroutine receives closures over a channel and is the only code that
-// touches the detector. HTTP handlers parse request bodies concurrently (the
-// hot path — NDJSON/CSV decoding dominates ingest cost) and submit
-// fixed-size object batches to the loop, which applies them with PushBatch,
-// the batch path of the sharded pipeline. Concurrent ingesters therefore
-// serialise at the loop, inherit its backpressure, and observe a single
-// global stream order; with the Clamp time policy, late timestamps are
-// lifted to the stream clock so independent ingesters never violate the
-// library's time-ordering contract.
+// Engine state lives in slots, each owned by a single-writer event loop:
+// one goroutine receives closures over a channel and is the only code that
+// initiates detector mutations. HTTP handlers parse request bodies
+// concurrently (the hot path — NDJSON/CSV decoding dominates ingest cost)
+// and submit fixed-size object batches to the loop, which fans each batch
+// out to the registry's slots over a fixed worker pool (one submission per
+// slot, pinned per slot so a slot's applies stay single-threaded) and waits
+// at the pool barrier. Concurrent ingesters therefore serialise at the
+// loop, inherit its backpressure, and observe a single global stream order;
+// with the Clamp time policy, late timestamps are lifted per slot to that
+// slot's stream clock so independent ingesters never violate the library's
+// time-ordering contract — and a query created mid-stream clamps exactly
+// like an independent server started at that moment would.
 //
 // # Consistency
 //
 // Because every mutation flows through the loop and PushBatch is
-// answer-equivalent to per-object Push, the SSE notification stream is
-// exactly the sequence of answer changes a single-process run of the same
-// object sequence (with the same batch boundaries) would observe — down to
-// the bit pattern of the scores for the schedule-independent engines (CCS,
-// B-CCS, Base, GAPS, MGAPS, Oracle).
+// answer-equivalent to per-object Push, each query's SSE notification
+// stream is exactly the sequence of answer changes a single-process run of
+// the same object sequence (with the same batch boundaries) would observe —
+// down to the bit pattern of the scores for the schedule-independent
+// engines (CCS, B-CCS, Base, GAPS, MGAPS, Oracle). N tenants of identical
+// configuration answer bitwise identically to N independent single-query
+// servers fed the same stream.
 package server
 
 import (
@@ -46,6 +61,7 @@ import (
 	"surge"
 	"surge/client"
 	"surge/internal/obs"
+	"surge/internal/shard"
 )
 
 // ErrClosed is returned by server methods after Close.
@@ -77,8 +93,9 @@ func ParseTimePolicy(s string) (TimePolicy, error) {
 	}
 }
 
-// Config configures a Server. Algorithm and Options are handed to surge.New
-// unchanged (Options.Shards >= 2 serves from the sharded pipeline).
+// Config configures a Server. Algorithm and Options configure the default
+// query's engine (Options.Shards >= 2 serves it from the sharded pipeline)
+// and are the inherited defaults for every entry of Queries.
 type Config struct {
 	Algorithm surge.Algorithm
 	Options   surge.Options
@@ -99,7 +116,16 @@ type Config struct {
 	// is set (no chain is maintained) and for algorithms without an exact
 	// chain counterpart (AG2, Oracle).
 	BestFromEngines bool
-	// NotifyRing is the number of recent SSE events retained for
+	// Queries declares named queries registered at boot alongside the
+	// default query (surged serve -queries). Zero fields inherit the
+	// defaults above; more queries can be added at runtime via
+	// POST /v1/queries.
+	Queries []client.QueryConfig
+	// QueryMaxSubscribers caps the concurrent SSE subscribers per query;
+	// further subscribes are rejected with 429 code "quota_exceeded"
+	// (0 = unlimited).
+	QueryMaxSubscribers int
+	// NotifyRing is the number of recent SSE events retained per query for
 	// Last-Event-ID reconnect backfill (0 = 256).
 	NotifyRing int
 	// TimePolicy handles out-of-order ingest timestamps (default Strict).
@@ -116,11 +142,11 @@ type Config struct {
 	// chunks are shed with 429 and a Retry-After hint instead of queueing
 	// unboundedly (0 = 256; negative disables shedding).
 	MaxPending int
-	// Checkpoint optionally seeds the detector from a snapshot instead of
-	// starting empty. The checkpoint's recorded query options (width,
-	// height, windows, alpha, area) define the detector — only Shards,
-	// ShardBlockCols and ShardFlushEvents are taken from Options. Inspect
-	// DetectorOptions for the effective configuration.
+	// Checkpoint optionally seeds the default query's detector from a
+	// snapshot instead of starting empty. The checkpoint's recorded query
+	// options (width, height, windows, alpha, area) define the detector —
+	// only Shards, ShardBlockCols and ShardFlushEvents are taken from
+	// Options. Inspect DetectorOptions for the effective configuration.
 	Checkpoint []byte
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ so hot-path
 	// regressions can be profiled in place. Off by default: the handlers
@@ -133,8 +159,8 @@ type Config struct {
 	Logger *slog.Logger
 }
 
-// Server hosts one detector. Create with New, expose Handler on an
-// http.Server, and Close on shutdown.
+// Server hosts a registry of queries over one shared stream. Create with
+// New, expose Handler on an http.Server, and Close on shutdown.
 type Server struct {
 	cfg      Config
 	batch    int
@@ -148,30 +174,36 @@ type Server struct {
 	closing  sync.Once
 	closeErr error
 
-	// Loop-owned state: only the event loop may touch these.
-	det      *surge.Detector
-	tdet     *surge.TopKDetector // maintained top-k; nil in replay-only mode
-	clock    float64             // largest ingested timestamp
-	last     surge.Result        // last published answer
-	lastTopK []surge.Result      // last published top-k answer (copy)
-	seq      uint64              // bursty-region change sequence number
-	tkSeq    uint64              // top-k change sequence number
-	eid      uint64              // SSE event id, shared by both event kinds
+	// pool runs the per-slot batch applies: fixed workers, one pinned to
+	// each slot, with the event loop as the only submitter.
+	pool *shard.Pool
 
-	// epoch identifies this server process's notification stream: SSE event
+	// Query registry. The event loop owns all mutations (create, delete,
+	// restore-swap); tenMu guards the map and order for concurrent readers
+	// (routing, stats, metrics). slots is the loop-owned unique-slot fan-out
+	// list, rebuilt whenever a binding changes.
+	tenMu      sync.RWMutex
+	tenants    map[string]*tenant
+	order      []*tenant
+	slots      []*engineSlot
+	nextWorker int
+	defTenant  *tenant // the "default" query; never nil, never deleted
+
+	// Loop-owned: global stream clock, the max of every slot's clock.
+	clock float64
+
+	ringCap      int
+	queryMaxSubs int
+	hubOcc       *obs.Histogram
+
+	// epoch identifies this server process's notification streams: SSE event
 	// ids are rendered "epoch.eid", so a Last-Event-ID cursor taken before a
-	// process restart (whose ring is gone and whose eids restart from 1) is
+	// process restart (whose rings are gone and whose eids restart from 1) is
 	// recognised and answered with a fresh hello instead of a bogus resume.
 	// Random and nonzero; constant for the server's lifetime, including
-	// across /v1/restore (the ring stays continuous there).
+	// across /v1/restore (the rings stay continuous there) and shared by
+	// every query (each query has its own eid space within the epoch).
 	epoch uint64
-
-	// topkSnap is the latest maintained top-k answer, swapped in whole by
-	// the event loop: /v1/topk serves it with one atomic load — O(1) per
-	// query, no loop round-trip, no allocation.
-	topkSnap atomic.Pointer[client.TopK]
-
-	hub hub
 
 	// chunkPool recycles the per-request ingest chunk buffers (capacity
 	// s.batch) across requests, keeping the ingest hot path allocation-free.
@@ -210,19 +242,20 @@ type Server struct {
 	pendingChunks atomic.Int64
 	throttled     atomic.Uint64 // chunks shed with 429
 
-	// Counters (atomics so /metrics and handlers read them lock-free).
+	// Server-wide counters (atomics so /metrics and handlers read them
+	// lock-free); each tenant additionally keeps its own.
 	objects   atomic.Uint64 // objects applied
-	clamped   atomic.Uint64 // objects lifted to the clock (Clamp policy)
-	batches   atomic.Uint64 // detector synchronisations
-	notifs    atomic.Uint64 // notifications published
-	dropped   atomic.Uint64 // notifications lost to slow subscribers
+	clamped   atomic.Uint64 // default-query objects lifted to the clock (Clamp policy)
+	batches   atomic.Uint64 // ingest-path synchronisations
+	notifs    atomic.Uint64 // notifications published (all queries)
+	dropped   atomic.Uint64 // notifications lost to slow subscribers (all queries)
 	ingestErr atomic.Uint64 // failed ingest requests
 	snapshots atomic.Uint64
 	restores  atomic.Uint64
 
-	topkFast   atomic.Uint64 // /v1/topk answered from the maintained snapshot
-	topkReplay atomic.Uint64 // /v1/topk answered by checkpoint replay
-	topkNotifs atomic.Uint64 // top-k notifications published
+	topkFast   atomic.Uint64 // topk queries answered from a maintained snapshot
+	topkReplay atomic.Uint64 // topk queries answered by checkpoint replay
+	topkNotifs atomic.Uint64 // top-k notifications published (all queries)
 
 	log           *slog.Logger  // never nil; discards when Config.Logger is nil
 	degradedOnce  bool          // loop-owned: degraded transition logged
@@ -234,26 +267,22 @@ type Server struct {
 	mParse      *obs.Histogram // ingest request parse time (total - ack waits)
 	mBatchObjs  *obs.Histogram // objects per applied batch
 	mQueueWait  *obs.Histogram // do() submit -> closure starts
-	mApply      *obs.Histogram // applyBatch duration on the loop
+	mApply      *obs.Histogram // applyBatch duration on the loop (all slots)
 	mLag        *obs.Histogram // loop lag probe
 	mSSEDeliver *obs.Histogram // publish -> written to subscriber
 
 	// Loop-state mirrors: the event loop writes them after every batch (and
 	// on restore) so /metrics, /healthz and /v1/stats read consistent
 	// pipeline state without a loop round-trip — the scrape path keeps
-	// working even when the loop is wedged.
-	statNow        atomic.Uint64 // stream clock (float64 bits)
-	statLive       atomic.Uint64 // objects inside the windows
-	statShards     atomic.Int64
-	statFound      atomic.Uint64    // 1 when a bursty region exists
-	statScore      atomic.Uint64    // best score (float64 bits)
-	engStats       [5]atomic.Uint64 // events, searches, searchEvents, sweepEntries, cellsTouched
-	lastIngestNano atomic.Int64     // wall clock of the last applied batch
-	lastTickNano   atomic.Int64     // wall clock of the last loop-lag probe completion
-	lastStatsNano  int64            // loop-owned: last engine-stats refresh
+	// working even when the loop is wedged. Per-query mirrors live on the
+	// slots and tenants.
+	statNow        atomic.Uint64 // global stream clock (float64 bits)
+	statShards     atomic.Int64  // default query's shard count
+	lastIngestNano atomic.Int64  // wall clock of the last applied batch
+	lastTickNano   atomic.Int64  // wall clock of the last loop-lag probe completion
 }
 
-// New builds the detector and starts the event loop.
+// New builds the query registry and starts the event loop.
 func New(cfg Config) (*Server, error) {
 	if cfg.TopK == 0 {
 		cfg.TopK = 5
@@ -261,36 +290,35 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TopK < 1 {
 		return nil, fmt.Errorf("server: invalid TopK %d", cfg.TopK)
 	}
-	var det *surge.Detector
-	var err error
-	if cfg.Checkpoint != nil {
-		det, err = surge.RestoreShardedTuned(cfg.Algorithm, cfg.Checkpoint,
-			cfg.Options.Shards, cfg.Options.ShardBlockCols, cfg.Options.ShardFlushEvents)
-	} else {
-		det, err = surge.New(cfg.Algorithm, cfg.Options)
-	}
+	seeds, err := bootSeeds(cfg)
 	if err != nil {
 		return nil, err
 	}
+	return newServer(cfg, seeds)
+}
+
+// newServer assembles a server from a boot registry: build one engine slot
+// per seed group (seeds that agree on configuration and checkpoint lineage
+// share a slot), bind a tenant per seed, and start the loops.
+func newServer(cfg Config, seeds []tenantSeed) (*Server, error) {
 	s := &Server{
-		cfg:    cfg,
-		batch:  cfg.BatchSize,
-		subBuf: cfg.SubscriberBuffer,
-		reqs:   make(chan func()),
-		quit:   make(chan struct{}),
-		done:   make(chan struct{}),
-		start:  time.Now(),
-		epoch:  newEpoch(),
-		det:    det,
-		clock:  det.Now(),
-		last:   det.Best(),
-		seqs:   make(map[string]*sourceSeq),
+		cfg:     cfg,
+		batch:   cfg.BatchSize,
+		subBuf:  cfg.SubscriberBuffer,
+		reqs:    make(chan func()),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+		start:   time.Now(),
+		epoch:   newEpoch(),
+		tenants: make(map[string]*tenant),
+		seqs:    make(map[string]*sourceSeq),
 
 		log:           cfg.Logger,
 		healthTimeout: defaultHealthTimeout,
+		queryMaxSubs:  cfg.QueryMaxSubscribers,
 		mAck:          obs.Default.Duration(obs.MIngestAck, "Ingest chunk latency: submit to applied and acknowledged."),
 		mParse:        obs.Default.Duration(obs.MIngestParse, "Ingest request time spent parsing the body (excludes ack waits)."),
-		mBatchObjs:    obs.Default.Values(obs.MIngestBatch, "Objects per batch applied to the detector."),
+		mBatchObjs:    obs.Default.Values(obs.MIngestBatch, "Objects per batch applied to the detectors."),
 		mQueueWait:    obs.Default.Duration(obs.MLoopQueueWait, "Event-loop queue wait: submit to closure start."),
 		mApply:        obs.Default.Duration(obs.MLoopApply, "Batch apply duration on the event loop."),
 		mLag:          obs.Default.Duration(obs.MLoopLag, "Event-loop lag: self-timed probe from send to execution."),
@@ -311,43 +339,67 @@ func New(cfg Config) (*Server, error) {
 	case cfg.MaxPending == 0:
 		s.maxPending = 256
 	}
+	s.ringCap = cfg.NotifyRing
+	if s.ringCap <= 0 {
+		s.ringCap = 256
+	}
 	s.chunkPool.New = func() any {
 		c := make([]surge.Object, 0, s.batch)
 		return &c
 	}
 	s.ckptPool.New = func() any { return new([]byte) }
-	s.hub.subs = make(map[*subscriber]struct{})
-	s.hub.ringCap = cfg.NotifyRing
-	if s.hub.ringCap <= 0 {
-		s.hub.ringCap = 256
-	}
-	if !cfg.TopKReplayOnly {
-		tdet, err := s.attachMaintained(det)
-		if err != nil {
-			det.Close()
-			return nil, err
+	s.hubOcc = obs.Default.Values(obs.MSSEBuffer, "Per-subscriber buffer occupancy observed at broadcast.")
+	s.pool = shard.NewPool(runtime.GOMAXPROCS(0))
+
+	// Group seeds: one engine slot per (configuration key, checkpoint
+	// lineage) — identical fresh queries share, and queries restored from
+	// the same persisted slot share again.
+	groups := make(map[string]*engineSlot)
+	for _, sd := range seeds {
+		gk := strconv.Itoa(sd.slotTag) + "|" + sd.cfg.key()
+		sl := groups[gk]
+		if sl == nil {
+			var err error
+			sl, err = s.buildSlot(sd.cfg, sd.ckpt)
+			if err != nil {
+				for _, b := range groups {
+					b.close()
+				}
+				s.pool.Close()
+				return nil, err
+			}
+			sl.worker = s.nextWorker
+			s.nextWorker++
+			groups[gk] = sl
 		}
-		s.tdet = tdet
-		s.lastTopK = append(s.lastTopK, tdet.BestK()...)
-		s.topkSnap.Store(s.topkWire(s.lastTopK))
-		s.last = det.Best() // serve-from-chain may have swapped the source
+		t := s.newTenant(sd.id, sd.cfg, sl)
+		t.isDefault = sd.id == DefaultQueryID
+		if t.isDefault {
+			s.defTenant = t
+		}
+		s.tenants[sd.id] = t
+		s.order = append(s.order, t)
 	}
-	s.hub.occ = obs.Default.Values(obs.MSSEBuffer, "Per-subscriber buffer occupancy observed at broadcast.")
-	s.statShards.Store(int64(det.Shards()))
+	s.rebuildSlots()
+	for _, sl := range s.slots {
+		if sl.clock > s.clock {
+			s.clock = sl.clock
+		}
+	}
+	s.statShards.Store(int64(s.defTenant.slot.Load().statShards))
 	s.statNow.Store(math.Float64bits(s.clock))
-	s.statLive.Store(uint64(det.Live()))
-	s.noteBest(s.last)
-	s.refreshEngineStats(time.Now())
 	s.routes()
 	go s.loop()
 	go s.lagLoop()
 	s.log.Info("server started",
 		"algorithm", cfg.Algorithm.String(),
-		"shards", det.Shards(),
+		"shards", s.defTenant.slot.Load().statShards,
 		"topk", cfg.TopK,
 		"continuous_topk", !cfg.TopKReplayOnly,
-		"best_from_chain", s.serveBestFromChain(),
-		"restored", cfg.Checkpoint != nil)
+		"best_from_chain", s.defTenant.cfg.serveBestFromChain(),
+		"restored", cfg.Checkpoint != nil,
+		"queries", len(s.order),
+		"engine_slots", len(s.slots))
 	return s, nil
 }
 
@@ -357,7 +409,7 @@ const (
 	defaultHealthTimeout = 2 * time.Second
 	// lagProbeInterval paces the self-timed event-loop lag probe.
 	lagProbeInterval = 500 * time.Millisecond
-	// engineStatsInterval throttles the det.Stats() refresh on the loop: on
+	// engineStatsInterval throttles the det.Stats() refresh per slot: on
 	// a sharded detector Stats is a pipeline barrier, so the mirrors trade
 	// up to a second of staleness for a bounded, batch-independent cost.
 	engineStatsInterval = time.Second
@@ -404,54 +456,20 @@ func (s *Server) probeLag() {
 	}
 }
 
-// noteBest mirrors the published answer for lock-free scrapes.
-func (s *Server) noteBest(res surge.Result) {
-	found := uint64(0)
-	if res.Found {
-		found = 1
-	}
-	s.statFound.Store(found)
-	s.statScore.Store(math.Float64bits(res.Score))
-}
-
-// noteBatch runs on the event loop after a batch lands: stamp the ingest
-// clock, refresh the state mirrors, price the apply and log the first
-// degraded-mode transition.
+// noteBatch runs on the event loop after a batch lands on every slot:
+// stamp the ingest clock, refresh the global mirrors, price the apply and
+// log the first degraded-mode transition.
 func (s *Server) noteBatch(t0 time.Time, rec bool, err error) {
 	now := time.Now()
 	s.lastIngestNano.Store(now.UnixNano())
 	s.statNow.Store(math.Float64bits(s.clock))
-	s.statLive.Store(uint64(s.det.Live()))
 	if rec {
 		s.mApply.Observe(now.Sub(t0))
 	}
 	if err != nil && !s.degradedOnce {
 		s.degradedOnce = true
-		s.log.Error("pipeline degraded: batch apply failed, detector serves stale answers", "err", err)
+		s.log.Error("pipeline degraded: batch apply failed, the failed query serves stale answers", "err", err)
 	}
-	s.maybeRefreshEngineStats(now)
-}
-
-// maybeRefreshEngineStats refreshes the engine-statistics mirrors at most
-// once per engineStatsInterval. Runs on the event loop.
-func (s *Server) maybeRefreshEngineStats(now time.Time) {
-	if now.UnixNano()-s.lastStatsNano < int64(engineStatsInterval) {
-		return
-	}
-	s.refreshEngineStats(now)
-}
-
-// refreshEngineStats mirrors det.Stats() into atomics. On a sharded
-// detector Stats synchronises the pipeline, so callers throttle; serving
-// from the maintained chain answers from the chain's cache and is cheap.
-func (s *Server) refreshEngineStats(now time.Time) {
-	s.lastStatsNano = now.UnixNano()
-	st := s.det.Stats()
-	s.engStats[0].Store(st.Events)
-	s.engStats[1].Store(st.Searches)
-	s.engStats[2].Store(st.SearchEvents)
-	s.engStats[3].Store(st.SweepEntries)
-	s.engStats[4].Store(st.CellsTouched)
 }
 
 // newEpoch draws the random nonzero stream epoch for a server instance.
@@ -471,39 +489,8 @@ func newEpoch() uint64 {
 	return uint64(time.Now().UnixNano()) | 1
 }
 
-// serveBestFromChain reports whether this server retires the single-region
-// engines and serves /v1/best from the maintained chain's rank-1 region.
-func (s *Server) serveBestFromChain() bool {
-	return !s.cfg.TopKReplayOnly && !s.cfg.BestFromEngines && chainServesBest(s.cfg.Algorithm)
-}
-
-// attachMaintained attaches the maintained top-k detector to det — by
-// default taking over Best serving too (AttachTopKBest), so one maintained
-// engine family answers /v1/best, /v1/topk and the notification stream.
-func (s *Server) attachMaintained(det *surge.Detector) (*surge.TopKDetector, error) {
-	alg := topKAlgorithm(s.cfg.Algorithm)
-	if s.serveBestFromChain() {
-		return det.AttachTopKBest(alg, s.cfg.TopK)
-	}
-	return det.AttachTopK(alg, s.cfg.TopK)
-}
-
-// topkWire converts a maintained top-k answer to its wire snapshot.
-func (s *Server) topkWire(res []surge.Result) *client.TopK {
-	out := &client.TopK{
-		K:          s.tdet.K(),
-		Algorithm:  s.tdet.Algorithm().String(),
-		Continuous: true,
-		Results:    make([]client.Result, len(res)),
-	}
-	for i, r := range res {
-		out.Results[i] = client.FromResult(r)
-	}
-	return out
-}
-
-// loop is the single-writer event loop: the only goroutine that touches
-// the detector.
+// loop is the single-writer event loop: the only goroutine that initiates
+// detector mutations.
 func (s *Server) loop() {
 	defer close(s.done)
 	for {
@@ -528,8 +515,8 @@ func (s *Server) loop() {
 // event loop — that would wedge every do() caller behind a dead channel and
 // take queries down with it. The submitted closure's own defer unblocks its
 // caller during the unwind; the recover here keeps the loop alive for the
-// next op. applyBatch additionally recovers its own panics into errors so a
-// panicking apply is a rejected batch, never a zero-valued false ack.
+// next op. Slot applies additionally recover their own panics into errors
+// so a panicking apply is a rejected batch, never a zero-valued false ack.
 func (s *Server) runLoopOp(fn func()) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -592,7 +579,7 @@ func (s *Server) doTimeout(fn func(), d time.Duration) error {
 }
 
 // stopLoop stops accepting work and waits for the event loop to drain:
-// afterwards nothing touches the detector concurrently, in-flight requests
+// afterwards nothing touches the detectors concurrently, in-flight requests
 // that were not applied get ErrClosed (never a 200), and SSE subscribers
 // disconnect.
 func (s *Server) stopLoop() {
@@ -602,12 +589,14 @@ func (s *Server) stopLoop() {
 	})
 }
 
-// Shutdown stops accepting work, then checkpoints the final detector
-// state. Stopping first closes the acknowledgement window: every ingest
-// acked with a 200 is in the returned checkpoint, every one rejected with
-// 503 is not. On a durable server the checkpoint is also persisted to the
-// data directory (and its WAL compacted), so the next boot replays
-// nothing. The caller should still Close.
+// Shutdown stops accepting work, then checkpoints the final state of every
+// registered query. Stopping first closes the acknowledgement window: every
+// ingest acked with a 200 is in the returned checkpoint, every one rejected
+// with 503 is not. On a durable server the full registry checkpoint is also
+// persisted to the data directory (and the WAL compacted), so the next boot
+// restores every query and replays nothing. The returned bytes are the
+// default query's detector checkpoint (the legacy -checkpoint artefact).
+// The caller should still Close.
 func (s *Server) Shutdown() ([]byte, error) {
 	s.stopLoop()
 	if s.wal != nil {
@@ -629,16 +618,19 @@ func (s *Server) Shutdown() ([]byte, error) {
 		}
 	}
 	s.snapshots.Add(1)
-	// The loop is drained: nothing else touches the detector or appends to
-	// the WAL, so reading both here is race-free and mutually consistent.
-	data, err := s.det.Checkpoint()
+	// The loop is drained: nothing else touches the detectors or appends to
+	// the WAL, so reading everything here is race-free and mutually
+	// consistent across tenants.
+	rc, err := s.captureRegistry()
 	if err != nil {
 		s.log.Error("shutdown checkpoint failed", "err", err)
-		return data, err
+		return nil, err
 	}
-	s.log.Info("shutdown: final state checkpointed", "bytes", len(data), "objects", s.objects.Load())
+	data := rc.blobs[rc.defSlot]
+	s.log.Info("shutdown: final state checkpointed",
+		"bytes", len(data), "objects", s.objects.Load(), "queries", len(rc.metas), "engine_slots", len(rc.blobs))
 	if s.wal != nil {
-		if werr := s.persistCheckpoint(data, s.wal.log.LastLSN(), s.wal.ckptGen.Add(1)); werr != nil {
+		if werr := s.persistCheckpoint(rc, s.wal.log.LastLSN(), s.wal.ckptGen.Add(1)); werr != nil {
 			s.log.Error("shutdown durable checkpoint failed", "err", werr)
 			return data, werr
 		}
@@ -646,12 +638,17 @@ func (s *Server) Shutdown() ([]byte, error) {
 	return data, nil
 }
 
-// Close stops the event loop, disconnects subscribers and closes the
-// detector (and the WAL on a durable server). It is idempotent.
+// Close stops the event loop, disconnects subscribers and closes every
+// engine slot (and the WAL on a durable server). It is idempotent.
 func (s *Server) Close() error {
 	s.closing.Do(func() {
 		s.stopLoop()
-		s.closeErr = s.det.Close()
+		s.pool.Close()
+		for _, sl := range s.slots {
+			if err := sl.close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
 		if s.wal != nil {
 			if s.wal.loopDone != nil {
 				// Join the background checkpointer before closing the log so
@@ -675,25 +672,62 @@ func (s *Server) Close() error {
 // Handler returns the HTTP API.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// DetectorOptions returns the detector's effective configuration, which
-// differs from Config.Options when the server was seeded from (or live-
-// restored to) a checkpoint with different query options.
+// DetectorOptions returns the default query's effective engine
+// configuration, which differs from Config.Options when the server was
+// seeded from (or live-restored to) a checkpoint with different query
+// options.
 func (s *Server) DetectorOptions() (surge.Options, error) {
 	var o surge.Options
-	if err := s.do(func() { o = s.det.Options() }); err != nil {
+	if err := s.do(func() { o = s.defTenant.slot.Load().det.Options() }); err != nil {
 		return surge.Options{}, err
 	}
 	return o, nil
 }
 
+// tenantHandler is an HTTP handler scoped to one registered query.
+type tenantHandler func(t *tenant, w http.ResponseWriter, r *http.Request)
+
+// legacy adapts a tenant handler to the legacy single-query paths, which
+// address the default query.
+func (s *Server) legacy(h tenantHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) { h(s.defTenant, w, r) }
+}
+
+// scoped adapts a tenant handler to /v1/queries/{id}/ paths: resolve the id
+// against the registry, 404 with code "unknown_query" when absent.
+func (s *Server) scoped(h tenantHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		s.tenMu.RLock()
+		t := s.tenants[id]
+		s.tenMu.RUnlock()
+		if t == nil {
+			writeErrorCode(w, http.StatusNotFound, client.CodeUnknownQuery, 0,
+				fmt.Errorf("server: unknown query %q", id), 0)
+			return
+		}
+		h(t, w, r)
+	}
+}
+
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
-	s.mux.HandleFunc("GET /v1/best", s.handleBest)
-	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
-	s.mux.HandleFunc("GET /v1/subscribe", s.handleSubscribe)
-	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("POST /v1/restore", s.handleRestore)
+	s.mux.HandleFunc("GET /v1/best", s.legacy(s.handleBest))
+	s.mux.HandleFunc("GET /v1/topk", s.legacy(s.handleTopK))
+	s.mux.HandleFunc("GET /v1/subscribe", s.legacy(s.handleSubscribe))
+	s.mux.HandleFunc("POST /v1/snapshot", s.legacy(s.handleSnapshot))
+	s.mux.HandleFunc("POST /v1/restore", s.legacy(s.handleRestore))
+	s.mux.HandleFunc("GET /v1/queries", s.handleQueryList)
+	s.mux.HandleFunc("POST /v1/queries", s.handleQueryCreate)
+	s.mux.HandleFunc("GET /v1/queries/{id}", s.scoped(s.handleQueryInfo))
+	s.mux.HandleFunc("DELETE /v1/queries/{id}", s.scoped(s.handleQueryDelete))
+	s.mux.HandleFunc("GET /v1/queries/{id}/best", s.scoped(s.handleBest))
+	s.mux.HandleFunc("GET /v1/queries/{id}/topk", s.scoped(s.handleTopK))
+	s.mux.HandleFunc("GET /v1/queries/{id}/subscribe", s.scoped(s.handleSubscribe))
+	s.mux.HandleFunc("GET /v1/queries/{id}/stats", s.scoped(s.handleQueryStats))
+	s.mux.HandleFunc("POST /v1/queries/{id}/snapshot", s.scoped(s.handleSnapshot))
+	s.mux.HandleFunc("POST /v1/queries/{id}/restore", s.scoped(s.handleRestore))
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -711,24 +745,30 @@ func (s *Server) getChunk() *[]surge.Object {
 	return s.chunkPool.Get().(*[]surge.Object)
 }
 
-// putChunk returns an ingest chunk buffer. The detector copies objects into
-// its own storage during applyBatch, so recycling the backing array is safe
-// once the request is done with it.
+// putChunk returns an ingest chunk buffer. Every slot either reads the
+// chunk in place or copies it to private scratch during applyBatch, so
+// recycling the backing array is safe once the request is done with it.
 func (s *Server) putChunk(c *[]surge.Object) {
 	*c = (*c)[:0]
 	s.chunkPool.Put(c)
 }
 
-// errPipeline marks a batch whose apply failed inside the detector
-// pipeline (or panicked) rather than by request fault: the handler reports
-// it as a 500, and the detector serves its last good answer from then on.
+// errPipeline marks a batch whose apply failed inside a detector pipeline
+// (or panicked) rather than by request fault: the handler reports it as a
+// 500, and the failed query serves its last good answer from then on.
 var errPipeline = errors.New("server: pipeline failed")
 
-// applyBatch runs on the event loop: apply the time policy, push the batch,
-// publish the answer if it changed. A panic anywhere below — an engine bug
-// tripped by this batch — is recovered into the error return: the batch is
-// rejected (the zero Result never reaches an ack) and the loop survives to
-// keep serving queries from the last good state.
+// applyBatch runs on the event loop: fan the shared batch out to every
+// engine slot over the worker pool, wait at the barrier, then publish each
+// tenant's answer if it changed. The chunk itself is read-only across
+// slots (a slot that must clamp timestamps copies to private scratch), so
+// one parse serves the whole registry.
+//
+// Failure isolation: a slot whose apply fails or panics keeps serving its
+// last good state and its tenants see no publication for the batch; the
+// other slots publish normally. The ingest ack fails only when no slot
+// accepted the batch — with a single registered query this reproduces the
+// single-detector server's semantics exactly.
 func (s *Server) applyBatch(objs []surge.Object) (res surge.Result, clamped int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -745,89 +785,118 @@ func (s *Server) applyBatch(objs []surge.Object) (res surge.Result, clamped int,
 		t0 = time.Now()
 		s.mBatchObjs.Record(uint64(len(objs)))
 	}
-	if s.cfg.TimePolicy == Clamp {
-		for i := range objs {
-			if objs[i].Time < s.clock {
-				objs[i].Time = s.clock
-				clamped++
-			} else {
-				s.clock = objs[i].Time
-			}
-		}
-		s.clamped.Add(uint64(clamped))
+	policy := s.cfg.TimePolicy
+	if len(s.slots) == 1 {
+		// Single-slot registry: apply inline, no pool hop — the dominant
+		// deployment stays on the legacy zero-overhead path.
+		s.slots[0].apply(objs, policy)
 	} else {
-		for i := range objs {
-			if objs[i].Time > s.clock {
-				s.clock = objs[i].Time
+		for _, sl := range s.slots {
+			sl := sl
+			s.pool.Submit(sl.worker, func() { sl.apply(objs, policy) })
+		}
+		s.pool.Wait()
+	}
+	s.batches.Add(1)
+	var firstErr error
+	anyOK := false
+	for _, sl := range s.slots {
+		if sl.clock > s.clock {
+			s.clock = sl.clock
+		}
+		if sl.pendErr != nil {
+			if firstErr == nil {
+				firstErr = sl.pendErr
 			}
+		} else {
+			anyOK = true
 		}
 	}
-	res, err = s.det.PushBatch(objs)
-	s.batches.Add(1)
-	if now := s.det.Now(); now > s.clock {
-		s.clock = now
+	for _, t := range s.order {
+		sl := t.slot.Load()
+		if sl.pendPanicked {
+			continue
+		}
+		if sl.pendClamped > 0 {
+			t.clamped.Add(uint64(sl.pendClamped))
+		}
+		s.publishTenant(t, sl)
+		s.refreshTenantTopK(t, sl)
 	}
-	s.publish(res)
-	s.refreshTopK()
-	if err == nil {
+	d := s.defTenant.slot.Load()
+	if !d.pendPanicked {
+		res, clamped = d.pendRes, d.pendClamped
+		s.clamped.Add(uint64(clamped))
+	}
+	if anyOK {
 		s.objects.Add(uint64(len(objs)))
-	} else if s.det.Err() != nil {
-		// The pipeline itself failed (e.g. a shard engine panicked), not the
-		// request: report a 500, not a 400.
-		err = fmt.Errorf("%w: %w", errPipeline, err)
+	} else {
+		err = firstErr
 	}
-	s.noteBatch(t0, rec, err)
+	s.noteBatch(t0, rec, firstErr)
 	return res, clamped, err
 }
 
-// publish runs on the event loop: broadcast the answer when it changed.
-// Change detection is exact (bitwise on the score), so the notification
-// stream matches an offline run bit-for-bit.
-func (s *Server) publish(res surge.Result) {
-	if res == s.last {
+// publishTenant runs on the event loop: broadcast the tenant's answer when
+// it changed. Change detection is exact (bitwise on the score), so each
+// query's notification stream matches an offline run bit-for-bit.
+func (s *Server) publishTenant(t *tenant, sl *engineSlot) {
+	res := sl.pendRes
+	if res == t.last {
 		return
 	}
-	s.last = res
-	s.seq++
+	t.last = res
+	wire := client.FromResult(res)
+	t.lastWire.Store(&wire)
+	t.seq++
+	t.eid++
+	t.notifs.Add(1)
 	s.notifs.Add(1)
-	s.eid++
-	s.noteBest(res)
-	n := client.Notification{Seq: s.seq, Time: s.det.Now(), Result: client.FromResult(res)}
-	f := frame{eid: s.eid, burst: n}
+	n := client.Notification{Seq: t.seq, Time: sl.pendNow, Result: wire}
+	f := frame{eid: t.eid, burst: n}
 	if obs.On() {
 		f.pub = time.Now()
 	}
-	s.dropped.Add(s.hub.broadcast(f))
+	d := t.hub.broadcast(f)
+	t.dropped.Add(d)
+	s.dropped.Add(d)
 }
 
-// refreshTopK runs on the event loop after every applied batch: query the
-// maintained top-k detector and, when any rank changed (bitwise on scores
-// and regions), swap the lock-free snapshot and broadcast a "topk" event.
-func (s *Server) refreshTopK() {
-	if s.tdet == nil {
+// refreshTenantTopK runs on the event loop: adopt the slot's latest top-k
+// snapshot and broadcast a "topk" event when the answer changed. The slot
+// snapshot pointer is the change signal (the slot rebuilds it only on a
+// bitwise answer change); a content-equal snapshot from a different slot —
+// a restore that reproduced the same answer — is adopted silently.
+func (s *Server) refreshTenantTopK(t *tenant, sl *engineSlot) {
+	snap := sl.tkSnap
+	if snap == nil {
 		return
 	}
-	res := s.tdet.BestK()
-	if topkEqual(res, s.lastTopK) {
+	old := t.topkSnap.Load()
+	if old == snap {
 		return
 	}
-	s.lastTopK = append(s.lastTopK[:0], res...)
-	snap := s.topkWire(s.lastTopK)
-	s.topkSnap.Store(snap)
-	s.tkSeq++
+	t.topkSnap.Store(snap)
+	if old != nil && topkWireEqual(old, snap) {
+		return
+	}
+	t.tkSeq++
+	t.eid++
+	t.topkNotifs.Add(1)
 	s.topkNotifs.Add(1)
-	s.eid++
 	n := client.TopKNotification{
-		Seq:     s.tkSeq,
-		Time:    s.det.Now(),
+		Seq:     t.tkSeq,
+		Time:    sl.pendNow,
 		K:       snap.K,
 		Results: snap.Results,
 	}
-	f := frame{eid: s.eid, topk: true, tk: n}
+	f := frame{eid: t.eid, topk: true, tk: n}
 	if obs.On() {
 		f.pub = time.Now()
 	}
-	s.dropped.Add(s.hub.broadcast(f))
+	d := t.hub.broadcast(f)
+	t.dropped.Add(d)
+	s.dropped.Add(d)
 }
 
 // topkEqual compares two top-k answers bitwise (scores, regions, found).
@@ -843,18 +912,40 @@ func topkEqual(a, b []surge.Result) bool {
 	return true
 }
 
-// state runs on the event loop: snapshot the queryable state. Best and
-// Stats are pipeline synchronisation points on a sharded detector.
-func (s *Server) state() client.State {
-	st := s.det.Stats()
+// topkWireEqual compares two wire top-k snapshots bitwise.
+func topkWireEqual(a, b *client.TopK) bool {
+	if a.K != b.K || len(a.Results) != len(b.Results) {
+		return false
+	}
+	for i := range a.Results {
+		ra, rb := a.Results[i], b.Results[i]
+		if ra.Found != rb.Found || ra.Score != rb.Score {
+			return false
+		}
+		if (ra.Region == nil) != (rb.Region == nil) {
+			return false
+		}
+		if ra.Region != nil && *ra.Region != *rb.Region {
+			return false
+		}
+	}
+	return true
+}
+
+// tenantState runs on the event loop: snapshot one query's queryable
+// state. Best and Stats are pipeline synchronisation points on a sharded
+// detector.
+func (s *Server) tenantState(t *tenant) client.State {
+	sl := t.slot.Load()
+	st := sl.det.Stats()
 	return client.State{
-		Seq:    s.seq,
+		Seq:    t.seq,
 		Epoch:  s.epoch,
-		Events: s.eid,
-		Now:    s.det.Now(),
-		Live:   s.det.Live(),
-		Shards: s.det.Shards(),
-		Result: client.FromResult(s.det.Best()),
+		Events: t.eid,
+		Now:    sl.det.Now(),
+		Live:   sl.det.Live(),
+		Shards: sl.det.Shards(),
+		Result: client.FromResult(sl.det.Best()),
 		Stats: client.EngineStats{
 			Events:       st.Events,
 			Searches:     st.Searches,
@@ -865,78 +956,93 @@ func (s *Server) state() client.State {
 	}
 }
 
-// Snapshot checkpoints the detector (consistent: it runs on the event
-// loop, between ingest batches).
+// Snapshot checkpoints the default query's detector (consistent: it runs
+// on the event loop, between ingest batches).
 func (s *Server) Snapshot() ([]byte, error) {
-	var data []byte
-	var err error
-	if derr := s.do(func() { data, err = s.det.Checkpoint(); s.snapshots.Add(1) }); derr != nil {
-		return nil, derr
-	}
-	return data, err
+	return s.snapshotTenant(s.defTenant)
 }
 
-// Restore replaces the detector with the checkpointed state, restored into
-// the server's configured shard count. The replay — including the seeding
-// of a fresh maintained top-k detector — happens off the event loop; only
-// the detach of the old maintained detector and the swap synchronise with
-// ingest.
-//
-// The old attached top-k detector is closed on the loop *before* the
-// replacement attaches: Close detaches it from the still-serving detector
-// between batch refreshes, so a pending refresh can never race the close,
-// and repeated restores cannot accumulate attached engines (or keep their
-// live-object and result buffers reachable) behind the parent's tap list.
-// Until the swap lands, /v1/topk keeps serving the last published snapshot.
+// snapshotTenant checkpoints one query's detector on the event loop.
+func (s *Server) snapshotTenant(t *tenant) ([]byte, error) {
+	var data []byte
+	var err error
+	if derr := s.do(func() {
+		if t.dead {
+			err = errUnknownQuery
+			return
+		}
+		data, err = t.slot.Load().det.Checkpoint()
+		s.snapshots.Add(1)
+		t.snapshots.Add(1)
+	}); derr != nil {
+		return nil, derr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Restore replaces the default query's engine state with the checkpointed
+// state, restored into the query's configured shard count. See
+// restoreTenant for the mechanics.
 func (s *Server) Restore(data []byte) error {
-	nd, err := surge.RestoreShardedTuned(s.cfg.Algorithm, data,
-		s.cfg.Options.Shards, s.cfg.Options.ShardBlockCols, s.cfg.Options.ShardFlushEvents)
+	return s.restoreTenant(s.defTenant, data)
+}
+
+// restoreTenant replaces one query's engine state with a checkpoint. The
+// replay — including the seeding of a fresh maintained top-k detector —
+// happens off the event loop in a brand-new slot; only the binding swap
+// synchronises with ingest. Other queries are untouched: if the restored
+// query was sharing its slot, the swap unshares it (the old slot keeps
+// serving its remaining tenants), and a failed restore leaves the old slot
+// serving as before.
+func (s *Server) restoreTenant(t *tenant, data []byte) error {
+	sl, err := s.buildSlot(t.cfg, data)
 	if err != nil {
 		return err
 	}
-	var ntd *surge.TopKDetector
-	if !s.cfg.TopKReplayOnly {
-		if derr := s.do(func() {
-			if s.tdet != nil {
-				s.tdet.Close()
-				s.tdet = nil
-			}
-		}); derr != nil {
-			nd.Close()
-			return derr
-		}
-		if ntd, err = s.attachMaintained(nd); err != nil {
-			nd.Close()
-			// The old detector keeps serving: restore its maintained top-k
-			// (the seeding replay runs on the loop here — error path only)
-			// so a failed restore does not leave /v1/topk frozen with
-			// /healthz green.
-			s.reattachTopK()
-			return err
-		}
-	}
-	var durCkpt []byte
+	var durCkpt regCapture
 	var durLSN, durGen uint64
 	var durErr error
+	var closeOld *engineSlot
 	derr := s.do(func() {
-		old := s.det
-		s.det = nd
-		s.tdet = ntd
-		s.clock = nd.Now()
-		s.restores.Add(1)
-		s.publish(nd.Best())
-		s.refreshTopK()
-		s.statShards.Store(int64(nd.Shards()))
+		if t.dead {
+			err = errUnknownQuery
+			return
+		}
+		old := t.slot.Load()
+		sl.worker = old.worker
+		t.slot.Store(sl)
+		sl.refs.Add(1)
+		if old.refs.Add(-1) == 0 {
+			closeOld = old
+		}
+		s.rebuildSlots()
+		// Recompute the global clock as the max over slots: a single-query
+		// registry rewinds to the checkpoint's clock exactly like the
+		// single-detector server did.
+		clock := 0.0
+		for i, x := range s.slots {
+			if i == 0 || x.clock > clock {
+				clock = x.clock
+			}
+		}
+		s.clock = clock
 		s.statNow.Store(math.Float64bits(s.clock))
-		s.statLive.Store(uint64(nd.Live()))
-		s.refreshEngineStats(time.Now())
-		old.Close()
+		if t.isDefault {
+			s.statShards.Store(int64(sl.det.Shards()))
+		}
+		s.restores.Add(1)
+		t.restores.Add(1)
+		s.publishTenant(t, sl)
+		s.refreshTenantTopK(t, sl)
 		if s.wal != nil {
-			// Capture the restored state and the WAL position inside the
+			// Capture the restored registry and the WAL position inside the
 			// swap, so the durable checkpoint written below supersedes every
 			// pre-restore WAL frame: a crash after a restore must never
 			// replay the old stream over the restored state.
-			durCkpt, durErr = nd.Checkpoint()
+			durCkpt, durErr = s.captureRegistry()
 			durLSN = s.wal.log.LastLSN()
 			durGen = s.wal.ckptGen.Add(1)
 		}
@@ -944,67 +1050,65 @@ func (s *Server) Restore(data []byte) error {
 	if derr != nil {
 		// Only reachable when the server is shutting down concurrently; the
 		// loop is gone, so there is no maintained state left to repair.
-		nd.Close()
+		sl.close()
 		return derr
+	}
+	if err != nil {
+		sl.close()
+		return err
+	}
+	if closeOld != nil {
+		closeOld.close()
 	}
 	if s.wal != nil {
 		if durErr == nil {
 			durErr = s.persistCheckpoint(durCkpt, durLSN, durGen)
 		}
 		if durErr != nil {
+			s.ckptErrs.Add(1)
 			return fmt.Errorf("server: restore applied but durable checkpoint failed (a crash before the next checkpoint replays the pre-restore log): %w", durErr)
 		}
 	}
-	s.log.Info("restored from checkpoint", "bytes", len(data), "shards", nd.Shards(), "now", nd.Now(), "live", nd.Live())
+	s.log.Info("restored from checkpoint", "query", t.id, "bytes", len(data),
+		"shards", sl.det.Shards(), "now", sl.clock, "live", sl.det.Live())
 	return nil
 }
 
-// reattachTopK rebuilds the maintained top-k detector on the currently
-// serving detector, on the event loop. Used by Restore's failure path after
-// the old maintained detector was already detached; best-effort (a second
-// failure leaves replay mode as the fallback, and /v1/topk k<=K requests
-// then serve the last published snapshot).
-func (s *Server) reattachTopK() {
-	s.do(func() {
-		if s.tdet != nil {
-			return
-		}
-		td, err := s.attachMaintained(s.det)
-		if err != nil {
-			// Drop the frozen snapshot so k<=K queries fall through to the
-			// replay path instead of serving an ever-staler answer.
-			s.topkSnap.Store(nil)
-			return
-		}
-		s.tdet = td
-		s.refreshTopK()
-	})
-}
-
-func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBest(t *tenant, w http.ResponseWriter, r *http.Request) {
 	var st client.State
-	if err := s.do(func() { st = s.state() }); err != nil {
+	var terr error
+	if err := s.do(func() {
+		if t.dead {
+			terr = errUnknownQuery
+			return
+		}
+		st = s.tenantState(t)
+	}); err != nil {
 		writeError(w, http.StatusServiceUnavailable, err, 0)
+		return
+	}
+	if terr != nil {
+		writeErrorCode(w, http.StatusNotFound, client.CodeUnknownQuery, 0, terr, 0)
 		return
 	}
 	writeJSON(w, st)
 }
 
-// handleTopK serves the top-k bursty regions. The fast path — the default
-// whenever the server maintains continuous top-k and the requested k is
-// covered — is one atomic load of the snapshot the event loop keeps
-// current: O(1) per query, off the loop, allocation-free. The greedy chain
-// is prefix-stable (rank i never depends on ranks > i), so any k <= the
-// maintained K is served as a prefix of the snapshot.
+// handleTopK serves one query's top-k bursty regions. The fast path — the
+// default whenever the query maintains continuous top-k and the requested
+// k is covered — is one atomic load of the snapshot the event loop keeps
+// current: O(1) per request, off the loop, allocation-free. The greedy
+// chain is prefix-stable (rank i never depends on ranks > i), so any k <=
+// the maintained K is served as a prefix of the snapshot.
 //
 // ?mode=replay is the escape hatch (and the path for k beyond the
-// maintained K): the live windows are checkpointed on the loop into a
-// pooled buffer, then replayed into a fresh top-k detector off the loop, so
-// even an expensive replay query never stalls ingestion. The canonically
+// maintained K): the query's live windows are checkpointed on the loop into
+// a pooled buffer, then replayed into a fresh top-k detector off the loop,
+// so even an expensive replay query never stalls ingestion. The canonically
 // rescored kCCS makes both paths report bitwise identical scores.
-func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTopK(t *tenant, w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	k := s.cfg.TopK
+	k := t.cfg.TopK
 	if qk := q.Get("k"); qk != "" {
 		v, err := strconv.Atoi(qk)
 		if err != nil || v < 1 || v > 1000 {
@@ -1021,7 +1125,8 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if mode != "replay" {
-		if snap := s.topkSnap.Load(); snap != nil && k <= snap.K {
+		if snap := t.topkSnap.Load(); snap != nil && k <= snap.K {
+			t.topkFast.Add(1)
 			s.topkFast.Add(1)
 			out := *snap
 			if k < snap.K {
@@ -1033,30 +1138,40 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 		if mode == "continuous" {
 			writeError(w, http.StatusBadRequest,
-				fmt.Errorf("server: no maintained top-k covers k=%d (maintained k=%d, continuous=%v); drop mode or use mode=replay",
-					k, s.cfg.TopK, !s.cfg.TopKReplayOnly), 0)
+				fmt.Errorf("server: no maintained top-k covers k=%d for query %q (maintained k=%d, continuous=%v); drop mode or use mode=replay",
+					k, t.id, t.cfg.TopK, !t.cfg.TopKReplayOnly), 0)
 			return
 		}
 	}
+	t.topkReplay.Add(1)
 	s.topkReplay.Add(1)
 	bufp := s.ckptPool.Get().(*[]byte)
 	defer s.ckptPool.Put(bufp)
 	var data []byte
 	var cerr error
 	if err := s.do(func() {
-		data, cerr = s.det.AppendCheckpoint((*bufp)[:0])
+		if t.dead {
+			cerr = errUnknownQuery
+			return
+		}
+		data, cerr = t.slot.Load().det.AppendCheckpoint((*bufp)[:0])
 		s.snapshots.Add(1)
+		t.snapshots.Add(1)
 	}); err != nil {
 		writeError(w, http.StatusServiceUnavailable, err, 0)
 		return
 	}
 	if cerr != nil {
+		if errors.Is(cerr, errUnknownQuery) {
+			writeErrorCode(w, http.StatusNotFound, client.CodeUnknownQuery, 0, cerr, 0)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, cerr, 0)
 		return
 	}
 	*bufp = data // keep the grown capacity pooled for the next query
-	alg := topKAlgorithm(s.cfg.Algorithm)
-	// Replay answers one query and is thrown away: restore into the
+	alg := topKAlgorithm(t.cfg.Algorithm)
+	// Replay answers one request and is thrown away: restore into the
 	// single-engine path regardless of the checkpoint's recorded shard
 	// count (spinning a shard pipeline up per request would cost more than
 	// the query; the sharded and single-engine chains answer identically).
@@ -1101,12 +1216,16 @@ func chainServesBest(alg surge.Algorithm) bool {
 	}
 }
 
-func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	data, err := s.Snapshot()
+func (s *Server) handleSnapshot(t *tenant, w http.ResponseWriter, r *http.Request) {
+	data, err := s.snapshotTenant(t)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, ErrClosed) {
 			status = http.StatusServiceUnavailable
+		}
+		if errors.Is(err, errUnknownQuery) {
+			writeErrorCode(w, http.StatusNotFound, client.CodeUnknownQuery, 0, err, 0)
+			return
 		}
 		writeError(w, status, err, 0)
 		return
@@ -1116,40 +1235,89 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
-func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRestore(t *tenant, w http.ResponseWriter, r *http.Request) {
 	data, err := readBody(r, 1<<30)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err, 0)
 		return
 	}
-	if err := s.Restore(data); err != nil {
+	if err := s.restoreTenant(t, data); err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, ErrClosed) {
 			status = http.StatusServiceUnavailable
+		}
+		if errors.Is(err, errUnknownQuery) {
+			writeErrorCode(w, http.StatusNotFound, client.CodeUnknownQuery, 0, err, 0)
+			return
 		}
 		writeError(w, status, err, 0)
 		return
 	}
 	var st client.State
-	if err := s.do(func() { st = s.state() }); err != nil {
+	var terr error
+	if err := s.do(func() {
+		if t.dead {
+			terr = errUnknownQuery
+			return
+		}
+		st = s.tenantState(t)
+	}); err != nil {
 		writeError(w, http.StatusServiceUnavailable, err, 0)
+		return
+	}
+	if terr != nil {
+		writeErrorCode(w, http.StatusNotFound, client.CodeUnknownQuery, 0, terr, 0)
 		return
 	}
 	writeJSON(w, st)
 }
 
+// subscriberCount sums open subscriptions across every query's hub.
+func (s *Server) subscriberCount() int {
+	s.tenMu.RLock()
+	defer s.tenMu.RUnlock()
+	n := 0
+	for _, t := range s.order {
+		n += t.hub.count()
+	}
+	return n
+}
+
+// queryCount returns the number of registered queries.
+func (s *Server) queryCount() int {
+	s.tenMu.RLock()
+	defer s.tenMu.RUnlock()
+	return len(s.order)
+}
+
+// slotCount returns the number of distinct engine slots backing the
+// registry. It dedupes through the tenants' atomic slot pointers rather
+// than reading the loop-owned s.slots list, so it is safe off-loop.
+func (s *Server) slotCount() int {
+	s.tenMu.RLock()
+	defer s.tenMu.RUnlock()
+	seen := make(map[*engineSlot]bool, len(s.order))
+	for _, t := range s.order {
+		seen[t.slot.Load()] = true
+	}
+	return len(seen)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	dslot := s.defTenant.slot.Load()
 	h := client.Health{
 		Algorithm:   s.cfg.Algorithm.String(),
 		Version:     buildVersion,
 		GoVersion:   runtime.Version(),
 		UptimeSec:   time.Since(s.start).Seconds(),
-		Subscribers: s.hub.count(),
+		Subscribers: s.subscriberCount(),
+		Queries:     s.queryCount(),
+		EngineSlots: s.slotCount(),
 		// Mirror values stand in when the loop cannot answer; the loop
 		// overwrites them with the authoritative state below.
 		Shards: int(s.statShards.Load()),
 		Now:    math.Float64frombits(s.statNow.Load()),
-		Live:   int(s.statLive.Load()),
+		Live:   int(dslot.statLive.Load()),
 	}
 	if s.wal != nil {
 		h.Durable = true
@@ -1171,16 +1339,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// never reads, so a probe that gave up cannot race a late closure run.
 	loopH := new(client.Health)
 	err := s.doTimeout(func() {
-		loopH.Shards = s.det.Shards()
-		loopH.Now = s.det.Now()
-		loopH.Live = s.det.Live()
-		// A recorded pipeline error means the detector (or its maintained
-		// top-k chain) serves a stale answer it can no longer refresh:
-		// report unhealthy so orchestrators recycle the instance instead of
-		// trusting the frozen result.
-		derr := s.det.Err()
-		if derr == nil && s.tdet != nil {
-			derr = s.tdet.Err()
+		d := s.defTenant.slot.Load()
+		loopH.Shards = d.det.Shards()
+		loopH.Now = d.det.Now()
+		loopH.Live = d.det.Live()
+		// A recorded pipeline error on any query means that query (or its
+		// maintained top-k chain) serves a stale answer it can no longer
+		// refresh: report unhealthy so orchestrators recycle the instance
+		// instead of trusting the frozen result. The other queries keep
+		// serving in the meantime.
+		var derr error
+		for _, t := range s.order {
+			sl := t.slot.Load()
+			if e := sl.det.Err(); e != nil {
+				derr = fmt.Errorf("query %q: %w", t.id, e)
+				break
+			}
+			if sl.tdet != nil {
+				if e := sl.tdet.Err(); e != nil {
+					derr = fmt.Errorf("query %q: %w", t.id, e)
+					break
+				}
+			}
 		}
 		if derr != nil {
 			loopH.Err = derr.Error()
@@ -1217,45 +1397,59 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics renders the Prometheus scrape. It never round-trips the
 // event loop: every value comes from atomics, loop-state mirrors or
 // histogram snapshots, so the scrape stays up — and keeps reporting — when
-// the loop is wedged, which is exactly when the numbers matter most.
+// the loop is wedged, which is exactly when the numbers matter most. The
+// unlabelled legacy gauges report the default query; per-query series carry
+// a query label and are assembled at scrape time, so deleted queries leave
+// no stale series behind.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	found := float64(s.statFound.Load())
-	writeMetric(w, "surge_objects_ingested_total", "counter", "Objects applied to the detector.", float64(s.objects.Load()))
-	writeMetric(w, "surge_objects_clamped_total", "counter", "Late objects lifted to the stream clock (clamp policy).", float64(s.clamped.Load()))
+	dt := s.defTenant
+	dslot := dt.slot.Load()
+	var dres client.Result
+	if rw := dt.lastWire.Load(); rw != nil {
+		dres = *rw
+	}
+	found := 0.0
+	if dres.Found {
+		found = 1
+	}
+	writeMetric(w, "surge_objects_ingested_total", "counter", "Objects applied to the detectors.", float64(s.objects.Load()))
+	writeMetric(w, "surge_objects_clamped_total", "counter", "Late default-query objects lifted to the stream clock (clamp policy).", float64(s.clamped.Load()))
 	writeMetric(w, "surge_ingest_batches_total", "counter", "Detector synchronisations on the ingest path.", float64(s.batches.Load()))
 	writeMetric(w, "surge_ingest_errors_total", "counter", "Failed ingest requests.", float64(s.ingestErr.Load()))
-	writeMetric(w, "surge_notifications_total", "counter", "Bursty-region change notifications published.", float64(s.notifs.Load()))
-	writeMetric(w, "surge_notifications_dropped_total", "counter", "Notifications lost to slow subscribers.", float64(s.dropped.Load()))
-	writeMetric(w, "surge_topk_fast_queries_total", "counter", "Top-k queries served from the maintained snapshot.", float64(s.topkFast.Load()))
-	writeMetric(w, "surge_topk_replay_queries_total", "counter", "Top-k queries served by checkpoint replay.", float64(s.topkReplay.Load()))
-	writeMetric(w, "surge_topk_notifications_total", "counter", "Top-k change notifications published.", float64(s.topkNotifs.Load()))
+	writeMetric(w, "surge_notifications_total", "counter", "Bursty-region change notifications published (all queries).", float64(s.notifs.Load()))
+	writeMetric(w, "surge_notifications_dropped_total", "counter", "Notifications lost to slow subscribers (all queries).", float64(s.dropped.Load()))
+	writeMetric(w, "surge_topk_fast_queries_total", "counter", "Top-k requests served from a maintained snapshot.", float64(s.topkFast.Load()))
+	writeMetric(w, "surge_topk_replay_queries_total", "counter", "Top-k requests served by checkpoint replay.", float64(s.topkReplay.Load()))
+	writeMetric(w, "surge_topk_notifications_total", "counter", "Top-k change notifications published (all queries).", float64(s.topkNotifs.Load()))
 	continuous := 0.0
-	if s.tdet != nil {
+	if dslot.tdet != nil {
 		continuous = 1
 	}
-	writeMetric(w, "surge_topk_continuous", "gauge", "Whether a continuously maintained top-k detector is serving /v1/topk.", continuous)
+	writeMetric(w, "surge_topk_continuous", "gauge", "Whether a continuously maintained top-k detector is serving the default query's /v1/topk.", continuous)
 	fromChain := 0.0
-	if s.serveBestFromChain() {
+	if dt.cfg.serveBestFromChain() {
 		fromChain = 1
 	}
 	writeMetric(w, "surge_best_from_chain", "gauge", "Whether /v1/best is served from the maintained top-k chain's rank-1 region.", fromChain)
-	writeMetric(w, "surge_topk_k", "gauge", "k of the maintained top-k detector (and the default query k).", float64(s.cfg.TopK))
+	writeMetric(w, "surge_topk_k", "gauge", "k of the default query's maintained top-k detector.", float64(s.cfg.TopK))
 	writeMetric(w, "surge_snapshots_total", "counter", "Checkpoints taken.", float64(s.snapshots.Load()))
 	writeMetric(w, "surge_restores_total", "counter", "Checkpoints restored.", float64(s.restores.Load()))
-	writeMetric(w, "surge_subscribers", "gauge", "Open notification subscriptions.", float64(s.hub.count()))
-	writeMetric(w, "surge_shards", "gauge", "Engine shards processing the stream.", float64(s.statShards.Load()))
-	writeMetric(w, "surge_live_objects", "gauge", "Objects inside the sliding windows.", float64(s.statLive.Load()))
-	writeMetric(w, "surge_stream_time", "gauge", "Current stream clock.", math.Float64frombits(s.statNow.Load()))
-	writeMetric(w, "surge_best_found", "gauge", "Whether a bursty region currently exists.", found)
-	writeMetric(w, "surge_best_score", "gauge", "Burst score of the current bursty region.", math.Float64frombits(s.statScore.Load()))
-	writeMetric(w, "surge_engine_events_total", "counter", "Window events processed by the engines (halo replicas counted per shard).", float64(s.engStats[0].Load()))
-	writeMetric(w, "surge_engine_searches_total", "counter", "Snapshot searches run by the engines.", float64(s.engStats[1].Load()))
-	writeMetric(w, "surge_engine_search_events_total", "counter", "Events that triggered at least one search.", float64(s.engStats[2].Load()))
-	writeMetric(w, "surge_engine_sweep_entries_total", "counter", "Sweep entries processed by the engines.", float64(s.engStats[3].Load()))
-	writeMetric(w, "surge_engine_cells_touched_total", "counter", "Grid cells touched by the engines.", float64(s.engStats[4].Load()))
+	writeMetric(w, "surge_subscribers", "gauge", "Open notification subscriptions (all queries).", float64(s.subscriberCount()))
+	writeMetric(w, "surge_queries", "gauge", "Registered queries in the registry.", float64(s.queryCount()))
+	writeMetric(w, "surge_shards", "gauge", "Engine shards processing the default query.", float64(s.statShards.Load()))
+	writeMetric(w, "surge_live_objects", "gauge", "Objects inside the default query's sliding windows.", float64(dslot.statLive.Load()))
+	writeMetric(w, "surge_stream_time", "gauge", "Current stream clock (max across queries).", math.Float64frombits(s.statNow.Load()))
+	writeMetric(w, "surge_best_found", "gauge", "Whether the default query currently has a bursty region.", found)
+	writeMetric(w, "surge_best_score", "gauge", "Burst score of the default query's current bursty region.", dres.Score)
+	writeMetric(w, "surge_engine_events_total", "counter", "Window events processed by the default query's engines (halo replicas counted per shard).", float64(dslot.engStats[0].Load()))
+	writeMetric(w, "surge_engine_searches_total", "counter", "Snapshot searches run by the default query's engines.", float64(dslot.engStats[1].Load()))
+	writeMetric(w, "surge_engine_search_events_total", "counter", "Events that triggered at least one search.", float64(dslot.engStats[2].Load()))
+	writeMetric(w, "surge_engine_sweep_entries_total", "counter", "Sweep entries processed by the default query's engines.", float64(dslot.engStats[3].Load()))
+	writeMetric(w, "surge_engine_cells_touched_total", "counter", "Grid cells touched by the default query's engines.", float64(dslot.engStats[4].Load()))
 	writeMetric(w, "surge_ingest_throttled_total", "counter", "Ingest chunks shed with 429 by admission control.", float64(s.throttled.Load()))
 	writeMetric(w, "surge_ingest_pending_chunks", "gauge", "Ingest chunks submitted and not yet applied.", float64(s.pendingChunks.Load()))
+	s.writeQueryMetrics(w)
 	if s.wal != nil {
 		writeMetric(w, "surge_wal_last_sync_age_seconds", "gauge", "Seconds since the last completed WAL fsync.", s.wal.log.LastSyncAge())
 		writeMetric(w, "surge_wal_checkpoints_total", "counter", "Durable checkpoints written.", float64(s.ckpts.Load()))
@@ -1281,6 +1475,54 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		buildVersion, runtime.Version(), s.cfg.Algorithm.String(), strconv.FormatInt(s.statShards.Load(), 10))
 	obs.Default.WritePrometheus(w)
 	obs.ReadRuntime().WritePrometheus(w)
+}
+
+// writeQueryMetrics renders the per-query metric families, one labelled
+// row per registered query. The rows are assembled at scrape time from the
+// live registry, so a deleted query's series disappear with it.
+func (s *Server) writeQueryMetrics(w http.ResponseWriter) {
+	type family struct {
+		name, kind, help string
+		val              func(t *tenant, sl *engineSlot) float64
+	}
+	families := []family{
+		{"surge_query_notifications_total", "counter", "Bursty-region change notifications published per query.",
+			func(t *tenant, _ *engineSlot) float64 { return float64(t.notifs.Load()) }},
+		{"surge_query_notifications_dropped_total", "counter", "Notifications lost to this query's slow subscribers.",
+			func(t *tenant, _ *engineSlot) float64 { return float64(t.dropped.Load()) }},
+		{"surge_query_topk_notifications_total", "counter", "Top-k change notifications published per query.",
+			func(t *tenant, _ *engineSlot) float64 { return float64(t.topkNotifs.Load()) }},
+		{"surge_query_clamped_total", "counter", "Late objects lifted to this query's stream clock (clamp policy).",
+			func(t *tenant, _ *engineSlot) float64 { return float64(t.clamped.Load()) }},
+		{"surge_query_subscribers", "gauge", "Open notification subscriptions per query.",
+			func(t *tenant, _ *engineSlot) float64 { return float64(t.hub.count()) }},
+		{"surge_query_live_objects", "gauge", "Objects inside this query's sliding windows.",
+			func(_ *tenant, sl *engineSlot) float64 { return float64(sl.statLive.Load()) }},
+		{"surge_query_stream_time", "gauge", "This query's stream clock.",
+			func(_ *tenant, sl *engineSlot) float64 { return math.Float64frombits(sl.statNow.Load()) }},
+		{"surge_query_best_score", "gauge", "Burst score of this query's current bursty region (0 when none).",
+			func(t *tenant, _ *engineSlot) float64 {
+				if rw := t.lastWire.Load(); rw != nil {
+					return rw.Score
+				}
+				return 0
+			}},
+	}
+	s.tenMu.RLock()
+	tenants := make([]*tenant, len(s.order))
+	copy(tenants, s.order)
+	s.tenMu.RUnlock()
+	rows := make([]obs.LabeledValue, 0, len(tenants))
+	for _, fam := range families {
+		rows = rows[:0]
+		for _, t := range tenants {
+			rows = append(rows, obs.LabeledValue{
+				Labels: []string{"query", t.id},
+				Value:  fam.val(t, t.slot.Load()),
+			})
+		}
+		obs.WriteLabeled(w, fam.name, fam.kind, fam.help, rows)
+	}
 }
 
 // lastIngestAge returns seconds since the last applied batch, -1 before

@@ -20,7 +20,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		LastIngestAgeSec: s.lastIngestAge(),
 		LoopTickAgeSec:   ageSec(s.lastTickNano.Load()),
 		Now:              math.Float64frombits(s.statNow.Load()),
-		Live:             int(s.statLive.Load()),
+		Live:             int(s.defTenant.slot.Load().statLive.Load()),
 		Shards:           int(s.statShards.Load()),
 
 		Objects:       s.objects.Load(),
@@ -29,7 +29,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Notifications: s.notifs.Load() + s.topkNotifs.Load(),
 		Dropped:       s.dropped.Load(),
 		TopKCommits:   obs.Default.Counter(obs.MTopKCommits, "").Value(),
-		Subscribers:   s.hub.count(),
+		Subscribers:   s.subscriberCount(),
 
 		IngestAck:     histSecs(s.mAck),
 		IngestParse:   histSecs(s.mParse),
@@ -38,7 +38,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		LoopApply:     histSecs(s.mApply),
 		LoopLag:       histSecs(s.mLag),
 		SSEDelivery:   histSecs(s.mSSEDeliver),
-		SSEBuffer:     histVals(s.hub.occ),
+		SSEBuffer:     histVals(s.hubOcc),
 		// The shard pipeline and top-k chain register these from
 		// internal/shard; get-or-create hands back the same instances (or
 		// empty ones on an unsharded, replay-only server).
@@ -49,6 +49,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TopKShards:    histVals(obs.Default.Values(obs.MTopKShards, "")),
 
 		Throttled: s.throttled.Load(),
+	}
+	s.tenMu.RLock()
+	tenants := make([]*tenant, len(s.order))
+	copy(tenants, s.order)
+	s.tenMu.RUnlock()
+	st.Queries = make([]client.QueryStats, 0, len(tenants))
+	for _, t := range tenants {
+		st.Queries = append(st.Queries, s.tenantStats(t))
 	}
 	if s.wal != nil {
 		// Segment count and size come from the obs gauges the WAL mirrors on
@@ -88,6 +96,43 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SchedLatencyP99Sec: rt.SchedLatP99,
 	}
 	writeJSON(w, st)
+}
+
+// tenantStats assembles one query's telemetry block lock-free, from the
+// tenant's counters and its slot's atomic mirrors.
+func (s *Server) tenantStats(t *tenant) client.QueryStats {
+	sl := t.slot.Load()
+	qs := client.QueryStats{
+		ID:         t.id,
+		Algorithm:  t.cfg.Algorithm.String(),
+		TopK:       t.cfg.TopK,
+		Continuous: !t.cfg.TopKReplayOnly,
+		Shards:     sl.statShards,
+		Now:        math.Float64frombits(sl.statNow.Load()),
+		Live:       int(sl.statLive.Load()),
+
+		Notifications:     t.notifs.Load(),
+		TopKNotifications: t.topkNotifs.Load(),
+		Dropped:           t.dropped.Load(),
+		Subscribers:       t.hub.count(),
+		TopKFast:          t.topkFast.Load(),
+		TopKReplay:        t.topkReplay.Load(),
+		Snapshots:         t.snapshots.Load(),
+		Restores:          t.restores.Load(),
+		Clamped:           t.clamped.Load(),
+	}
+	if rw := t.lastWire.Load(); rw != nil {
+		qs.Result = *rw
+	}
+	if ep := sl.errMsg.Load(); ep != nil {
+		qs.Err = *ep
+	}
+	return qs
+}
+
+// handleQueryStats serves one query's telemetry block.
+func (s *Server) handleQueryStats(t *tenant, w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.tenantStats(t))
 }
 
 // histSecs summarises a duration histogram in seconds for the wire.

@@ -88,6 +88,19 @@ func (h *hub) add(sub *subscriber) {
 	h.subs[sub] = struct{}{}
 }
 
+// tryAdd registers sub unless the hub already holds max subscribers
+// (max <= 0 means unlimited). The check and the insert are one critical
+// section, so concurrent connects cannot overshoot the quota.
+func (h *hub) tryAdd(sub *subscriber, max int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if max > 0 && len(h.subs) >= max {
+		return false
+	}
+	h.subs[sub] = struct{}{}
+	return true
+}
+
 // addResuming registers a reconnecting subscriber and returns the frames it
 // missed since lastID, oldest first, for the handler to replay before
 // entering the live stream. Frames that have already left the ring are
@@ -96,11 +109,21 @@ func (h *hub) add(sub *subscriber) {
 // invariant "delivered count + sum of delivered Dropped = published count"
 // holds across the reconnect.
 func (h *hub) addResuming(sub *subscriber, lastID uint64) []frame {
+	out, _ := h.tryAddResuming(sub, lastID, 0)
+	return out
+}
+
+// tryAddResuming is addResuming under the same quota as tryAdd; when the
+// quota rejects the subscriber no frames are replayed.
+func (h *hub) tryAddResuming(sub *subscriber, lastID uint64, max int) ([]frame, bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if max > 0 && len(h.subs) >= max {
+		return nil, false
+	}
 	h.subs[sub] = struct{}{}
 	if h.newest == 0 || lastID >= h.newest {
-		return nil
+		return nil, true
 	}
 	oldest := uint64(1)
 	if h.newest > uint64(len(h.ring)) {
@@ -121,7 +144,7 @@ func (h *hub) addResuming(sub *subscriber, lastID uint64) []frame {
 	} else {
 		sub.dropped = missed // cannot happen (missed > 0 implies frames remain); defensive
 	}
-	return out
+	return out, true
 }
 
 func (h *hub) remove(sub *subscriber) {
@@ -216,7 +239,11 @@ func (sub *subscriber) trySend(f frame) bool {
 // one: a new hello resynchronises the client instead of replaying frames
 // that happen to share the numeric id. Bare numeric cursors (pre-epoch
 // clients) keep the legacy same-process resume semantics.
-func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+//
+// Every query carries its own event stream: eids, the reconnect ring and
+// the slow-consumer accounting are all per query, so one tenant's slow
+// consumer can never displace another tenant's frames.
+func (s *Server) handleSubscribe(t *tenant, w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("server: streaming unsupported"), 0)
@@ -228,17 +255,35 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		resume = false // foreign-epoch cursor: resync with a fresh hello
 	}
 	var backlog []frame
+	admitted := true
 	if resume {
-		backlog = s.hub.addResuming(sub, lastID)
+		backlog, admitted = t.hub.tryAddResuming(sub, lastID, s.queryMaxSubs)
 	} else {
-		s.hub.add(sub)
+		admitted = t.hub.tryAdd(sub, s.queryMaxSubs)
 	}
-	defer s.hub.remove(sub)
+	if !admitted {
+		writeErrorCode(w, http.StatusTooManyRequests, client.CodeQuotaExceeded, 0,
+			fmt.Errorf("server: query %q is at its subscriber quota (%d)", t.id, s.queryMaxSubs), 0)
+		return
+	}
+	defer t.hub.remove(sub)
 
 	var st client.State
 	if !resume {
-		if err := s.do(func() { st = s.state() }); err != nil {
+		dead := false
+		if err := s.do(func() {
+			if t.dead {
+				dead = true
+				return
+			}
+			st = s.tenantState(t)
+		}); err != nil {
 			writeError(w, http.StatusServiceUnavailable, err, 0)
+			return
+		}
+		if dead {
+			writeErrorCode(w, http.StatusNotFound, client.CodeUnknownQuery, 0,
+				fmt.Errorf("%w: %q", errUnknownQuery, t.id), 0)
 			return
 		}
 	}
@@ -276,6 +321,8 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 			fl.Flush()
 		case <-ctx.Done():
 			return
+		case <-t.gone:
+			return // query deleted: end the stream
 		case <-s.quit:
 			return
 		}

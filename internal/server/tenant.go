@@ -1,0 +1,459 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"surge"
+	"surge/client"
+)
+
+// DefaultQueryID is the registry id of the query the legacy single-query
+// endpoints (/v1/best, /v1/topk, /v1/subscribe, ...) address. It always
+// exists and cannot be deleted.
+const DefaultQueryID = "default"
+
+// tenantConfig is one query's resolved engine configuration: everything
+// that determines the answer stream. Two tenants with equal tenantConfigs
+// are answer-identical by construction, which is what lets the registry
+// host them on one shared engine slot.
+type tenantConfig struct {
+	Algorithm       surge.Algorithm
+	Options         surge.Options
+	TopK            int
+	TopKReplayOnly  bool
+	BestFromEngines bool
+}
+
+// key renders the engine-defining configuration as a slot-sharing key.
+// Options.Area is folded in by value, not by pointer, so two configs that
+// spell the same area share.
+func (c tenantConfig) key() string {
+	area := ""
+	if c.Options.Area != nil {
+		area = fmt.Sprintf("%v", *c.Options.Area)
+	}
+	o := c.Options
+	return fmt.Sprintf("%d|%v|%v|%v|%v|%v|%s|%v|%t|%d|%d|%d|%d|%t|%t",
+		c.Algorithm, o.Width, o.Height, o.Window, o.PastWindow, o.Alpha,
+		area, o.AG2Gamma, o.CountWindows, o.Shards, o.ShardBlockCols,
+		o.ShardFlushEvents, c.TopK, c.TopKReplayOnly, c.BestFromEngines)
+}
+
+// serveBestFromChain reports whether this configuration retires the
+// single-region engines and serves best from the maintained chain's rank-1
+// region (see Config.BestFromEngines).
+func (c tenantConfig) serveBestFromChain() bool {
+	return !c.TopKReplayOnly && !c.BestFromEngines && chainServesBest(c.Algorithm)
+}
+
+// engineSlot hosts one detector (plus its maintained top-k chain) for one
+// or more tenants of identical configuration. Slots are pinned to a worker
+// of the server's shared tenant pool: every ingest batch runs each slot's
+// apply on its worker, the event loop waits at the pool barrier, then reads
+// the pend* results — so slot state needs no lock, exactly like the old
+// single-detector loop ownership, just with N islands instead of one.
+//
+// Sharing happens only at registration time (boot grouping, never
+// retroactively), and a live restore unshares: the restored tenant gets a
+// private slot while the others keep the old one.
+type engineSlot struct {
+	cfg    tenantConfig
+	key    string
+	worker int          // pool worker this slot's applies are pinned to
+	refs   atomic.Int32 // tenants bound to this slot; loop-owned writes
+
+	det  *surge.Detector
+	tdet *surge.TopKDetector // nil when cfg.TopKReplayOnly
+
+	// clock is this slot's stream clock: the largest timestamp its engine
+	// has ingested. Per-slot, not global, so a tenant created mid-stream or
+	// restored from an old checkpoint clamps exactly like an independent
+	// single-query server would.
+	clock float64
+
+	// Per-batch outputs: written by apply on the slot's worker, read by the
+	// event loop after the pool barrier.
+	pendRes      surge.Result
+	pendNow      float64
+	pendClamped  int
+	pendErr      error
+	pendPanicked bool
+
+	// scratch receives a copy of the shared ingest chunk when the clamp
+	// policy must lift timestamps for this slot: the chunk is read-only
+	// across slots, and a time-ordered stream never needs the copy, so the
+	// shared ingest plane stays allocation- and copy-free per object.
+	scratch []surge.Object
+
+	lastTopK []surge.Result
+	tkSnap   *client.TopK // wire snapshot of lastTopK; rebuilt only on change
+
+	// Lock-free mirrors for scrapes and per-query stats.
+	statShards    int
+	statNow       atomic.Uint64
+	statLive      atomic.Uint64
+	engStats      [5]atomic.Uint64 // events, searches, searchEvents, sweepEntries, cellsTouched
+	errMsg        atomic.Pointer[string]
+	lastStatsNano int64
+}
+
+// apply runs on the slot's pool worker (or inline on the loop when the
+// registry holds a single slot): apply the time policy against this slot's
+// own clock, push the batch, refresh the top-k snapshot and the stat
+// mirrors. A panic — an engine bug tripped by this batch — is recovered
+// into pendErr/pendPanicked so one broken tenant engine never takes the
+// worker, the loop, or the other tenants down.
+func (sl *engineSlot) apply(objs []surge.Object, policy TimePolicy) {
+	sl.pendRes, sl.pendClamped, sl.pendErr, sl.pendPanicked = surge.Result{}, 0, nil, false
+	defer func() {
+		if r := recover(); r != nil {
+			sl.pendRes, sl.pendClamped = surge.Result{}, 0
+			sl.pendErr = fmt.Errorf("%w: batch apply panicked: %v", errPipeline, r)
+			sl.pendPanicked = true
+			msg := sl.pendErr.Error()
+			sl.errMsg.Store(&msg)
+		}
+	}()
+	use := objs
+	if policy == Clamp {
+		copied := false
+		for i := 0; i < len(use); i++ {
+			if use[i].Time < sl.clock {
+				if !copied {
+					// First lift: move to the private scratch copy so the
+					// shared chunk stays untouched for the other slots.
+					sl.scratch = append(sl.scratch[:0], objs...)
+					use = sl.scratch
+					copied = true
+				}
+				use[i].Time = sl.clock
+				sl.pendClamped++
+			} else {
+				sl.clock = use[i].Time
+			}
+		}
+	} else {
+		for i := range use {
+			if use[i].Time > sl.clock {
+				sl.clock = use[i].Time
+			}
+		}
+	}
+	res, err := sl.det.PushBatch(use)
+	if now := sl.det.Now(); now > sl.clock {
+		sl.clock = now
+	}
+	sl.pendRes = res
+	sl.pendNow = sl.det.Now()
+	if err != nil {
+		if sl.det.Err() != nil {
+			// The engine pipeline itself failed, not the request: the slot
+			// serves its last good answer from here on.
+			err = fmt.Errorf("%w: %w", errPipeline, err)
+		}
+		sl.pendErr = err
+		msg := err.Error()
+		sl.errMsg.Store(&msg)
+	} else {
+		// errMsg mirrors the newest apply's outcome: a per-batch window
+		// error (invisible in the shared ingest ack when another slot
+		// succeeded) surfaces in this query's stats until a batch applies
+		// cleanly again; sticky pipeline errors re-store every batch.
+		sl.errMsg.Store(nil)
+	}
+	sl.refreshTopKLocal()
+	sl.statNow.Store(math.Float64bits(sl.clock))
+	sl.statLive.Store(uint64(sl.det.Live()))
+	if now := time.Now(); now.UnixNano()-sl.lastStatsNano >= int64(engineStatsInterval) {
+		sl.refreshEngineStats(now)
+	}
+}
+
+// refreshTopKLocal recomputes the slot's top-k wire snapshot when the
+// maintained answer changed (bitwise). The snapshot pointer is the change
+// signal the loop uses per tenant: a new pointer means a new answer.
+func (sl *engineSlot) refreshTopKLocal() {
+	if sl.tdet == nil {
+		return
+	}
+	res := sl.tdet.BestK()
+	if topkEqual(res, sl.lastTopK) {
+		return
+	}
+	sl.lastTopK = append(sl.lastTopK[:0], res...)
+	snap := &client.TopK{
+		K:          sl.tdet.K(),
+		Algorithm:  sl.tdet.Algorithm().String(),
+		Continuous: true,
+		Results:    make([]client.Result, len(sl.lastTopK)),
+	}
+	for i, r := range sl.lastTopK {
+		snap.Results[i] = client.FromResult(r)
+	}
+	sl.tkSnap = snap
+}
+
+// refreshEngineStats mirrors det.Stats() into atomics. On a sharded
+// detector Stats is a pipeline barrier, so apply throttles the calls.
+func (sl *engineSlot) refreshEngineStats(now time.Time) {
+	sl.lastStatsNano = now.UnixNano()
+	st := sl.det.Stats()
+	sl.engStats[0].Store(st.Events)
+	sl.engStats[1].Store(st.Searches)
+	sl.engStats[2].Store(st.SearchEvents)
+	sl.engStats[3].Store(st.SweepEntries)
+	sl.engStats[4].Store(st.CellsTouched)
+}
+
+// close releases the slot's engines. Only called once the loop no longer
+// references the slot (it left s.slots), so nothing races the teardown.
+func (sl *engineSlot) close() error {
+	return sl.det.Close()
+}
+
+// tenant is one registered query: its identity, its binding to an engine
+// slot, its own notification plane (hub, sequence numbers, SSE ring) and
+// its own counters. Fields below the marker are loop-owned; the atomics
+// serve handlers lock-free.
+type tenant struct {
+	id        string
+	cfg       tenantConfig
+	isDefault bool
+
+	// slot is the engine binding; the loop swaps it on restore, handlers
+	// load it to read the slot's stat mirrors.
+	slot atomic.Pointer[engineSlot]
+
+	// Loop-owned notification state.
+	last  surge.Result // last published answer
+	seq   uint64       // bursty-region change sequence
+	tkSeq uint64       // top-k change sequence
+	eid   uint64       // SSE event id, shared by both event kinds
+	dead  bool         // set on delete; loop ops must not touch the slot after
+
+	// gone is closed on delete so this tenant's SSE handlers disconnect.
+	gone chan struct{}
+
+	hub hub
+
+	// topkSnap serves this query's /topk fast path with one atomic load.
+	topkSnap atomic.Pointer[client.TopK]
+	// lastWire mirrors the last published answer for lock-free stats.
+	lastWire atomic.Pointer[client.Result]
+
+	// Per-query counters (atomics so stats and metrics read them lock-free).
+	notifs     atomic.Uint64
+	dropped    atomic.Uint64
+	topkNotifs atomic.Uint64
+	topkFast   atomic.Uint64
+	topkReplay atomic.Uint64
+	snapshots  atomic.Uint64
+	restores   atomic.Uint64
+	clamped    atomic.Uint64
+}
+
+// tenantSeed is one query to register at boot: its resolved configuration
+// plus an optional checkpoint to seed the engine from. slotTag groups
+// checkpointed seeds that came from the same persisted slot (-1 = fresh);
+// seeds share an engine slot when both the configuration key and the tag
+// agree, so identical fresh tenants share and registry-checkpoint sharing
+// is restored bitwise.
+type tenantSeed struct {
+	id      string
+	cfg     tenantConfig
+	ckpt    []byte
+	slotTag int
+}
+
+// buildSlot constructs a slot off the event loop: fresh from cfg, or
+// restored from a checkpoint (the checkpoint's recorded query options
+// define the engine; cfg supplies algorithm and shard layout, as
+// surge.RestoreShardedTuned documents).
+func (s *Server) buildSlot(cfg tenantConfig, ckpt []byte) (*engineSlot, error) {
+	var det *surge.Detector
+	var err error
+	if ckpt != nil {
+		det, err = surge.RestoreShardedTuned(cfg.Algorithm, ckpt,
+			cfg.Options.Shards, cfg.Options.ShardBlockCols, cfg.Options.ShardFlushEvents)
+	} else {
+		det, err = surge.New(cfg.Algorithm, cfg.Options)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sl := &engineSlot{cfg: cfg, key: cfg.key(), det: det, clock: det.Now()}
+	if !cfg.TopKReplayOnly {
+		alg := topKAlgorithm(cfg.Algorithm)
+		var td *surge.TopKDetector
+		if cfg.serveBestFromChain() {
+			td, err = det.AttachTopKBest(alg, cfg.TopK)
+		} else {
+			td, err = det.AttachTopK(alg, cfg.TopK)
+		}
+		if err != nil {
+			det.Close()
+			return nil, err
+		}
+		sl.tdet = td
+		sl.lastTopK = append(sl.lastTopK, td.BestK()...)
+		snap := &client.TopK{
+			K:          td.K(),
+			Algorithm:  td.Algorithm().String(),
+			Continuous: true,
+			Results:    make([]client.Result, len(sl.lastTopK)),
+		}
+		for i, r := range sl.lastTopK {
+			snap.Results[i] = client.FromResult(r)
+		}
+		sl.tkSnap = snap
+	}
+	sl.pendRes = det.Best() // serve-from-chain may have swapped the source
+	sl.pendNow = det.Now()
+	sl.statShards = det.Shards()
+	sl.statNow.Store(math.Float64bits(sl.clock))
+	sl.statLive.Store(uint64(det.Live()))
+	sl.refreshEngineStats(time.Now())
+	return sl, nil
+}
+
+// newTenant binds a tenant to a slot. Runs at boot or on the event loop.
+func (s *Server) newTenant(id string, cfg tenantConfig, sl *engineSlot) *tenant {
+	t := &tenant{id: id, cfg: cfg, gone: make(chan struct{})}
+	t.slot.Store(sl)
+	sl.refs.Add(1)
+	t.last = sl.pendRes
+	lw := client.FromResult(sl.pendRes)
+	t.lastWire.Store(&lw)
+	if sl.tkSnap != nil {
+		t.topkSnap.Store(sl.tkSnap)
+	}
+	t.hub.subs = make(map[*subscriber]struct{})
+	t.hub.ringCap = s.ringCap
+	t.hub.occ = s.hubOcc
+	return t
+}
+
+// rebuildSlots recomputes the unique-slot fan-out list from the registry
+// order. Loop-owned.
+func (s *Server) rebuildSlots() {
+	seen := make(map[*engineSlot]bool, len(s.order))
+	s.slots = s.slots[:0]
+	for _, t := range s.order {
+		sl := t.slot.Load()
+		if !seen[sl] {
+			seen[sl] = true
+			s.slots = append(s.slots, sl)
+		}
+	}
+}
+
+// validQueryID reports whether id is a legal registry id: 1-64 characters
+// from [a-zA-Z0-9._-], so ids embed cleanly in URL paths and metric labels.
+func validQueryID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// resolveQuery resolves one wire QueryConfig against the server defaults:
+// empty algorithm and zero geometry fields inherit the default query's
+// values, TopK 0 inherits the default k, Shards 0 selects the single-engine
+// layout that rides the shared tenant workers.
+func resolveQuery(cfg Config, qc client.QueryConfig) (tenantConfig, error) {
+	tc := tenantConfig{
+		Algorithm:       cfg.Algorithm,
+		Options:         cfg.Options,
+		TopK:            cfg.TopK,
+		TopKReplayOnly:  qc.TopKReplayOnly,
+		BestFromEngines: qc.BestFromEngines,
+	}
+	if qc.Algorithm != "" {
+		alg, err := surge.ParseAlgorithm(qc.Algorithm)
+		if err != nil {
+			return tenantConfig{}, fmt.Errorf("server: query %q: %w", qc.ID, err)
+		}
+		tc.Algorithm = alg
+	}
+	if qc.Width != 0 {
+		tc.Options.Width = qc.Width
+	}
+	if qc.Height != 0 {
+		tc.Options.Height = qc.Height
+	}
+	if qc.Window != 0 {
+		tc.Options.Window = qc.Window
+	}
+	if qc.PastWindow != 0 {
+		tc.Options.PastWindow = qc.PastWindow
+	}
+	if qc.Alpha != 0 {
+		tc.Options.Alpha = qc.Alpha
+	}
+	if qc.TopK != 0 {
+		tc.TopK = qc.TopK
+	}
+	if tc.TopK < 1 {
+		return tenantConfig{}, fmt.Errorf("server: query %q: invalid TopK %d", qc.ID, tc.TopK)
+	}
+	// Per-query engines default to the single-engine path: tenancy scales by
+	// spreading slots over the shared workers, not by spawning a shard
+	// pipeline per query. An explicit Shards >= 2 opts this query into its
+	// own pipeline.
+	tc.Options.Shards = qc.Shards
+	if tc.Options.Shards < 1 {
+		tc.Options.Shards = 1
+	}
+	tc.Options.ShardBlockCols = qc.ShardBlockCols
+	return tc, nil
+}
+
+// defaultTenantConfig is the resolved configuration of the default query.
+func defaultTenantConfig(cfg Config) tenantConfig {
+	return tenantConfig{
+		Algorithm:       cfg.Algorithm,
+		Options:         cfg.Options,
+		TopK:            cfg.TopK,
+		TopKReplayOnly:  cfg.TopKReplayOnly,
+		BestFromEngines: cfg.BestFromEngines,
+	}
+}
+
+// bootSeeds builds the boot registry from a Config: the default query
+// (seeded by Config.Checkpoint when set) plus every entry of
+// Config.Queries. Called after the Config defaults are resolved.
+func bootSeeds(cfg Config) ([]tenantSeed, error) {
+	defTag := -1
+	if cfg.Checkpoint != nil {
+		defTag = 0
+	}
+	seeds := []tenantSeed{{id: DefaultQueryID, cfg: defaultTenantConfig(cfg), ckpt: cfg.Checkpoint, slotTag: defTag}}
+	seen := map[string]bool{DefaultQueryID: true}
+	for _, qc := range cfg.Queries {
+		if !validQueryID(qc.ID) {
+			return nil, fmt.Errorf("server: invalid query id %q (want 1-64 chars of [a-zA-Z0-9._-])", qc.ID)
+		}
+		if seen[qc.ID] {
+			return nil, fmt.Errorf("server: duplicate query id %q", qc.ID)
+		}
+		seen[qc.ID] = true
+		tc, err := resolveQuery(cfg, qc)
+		if err != nil {
+			return nil, err
+		}
+		seeds = append(seeds, tenantSeed{id: qc.ID, cfg: tc, slotTag: -1})
+	}
+	return seeds, nil
+}

@@ -1,0 +1,81 @@
+package shard
+
+import "sync"
+
+// Pool is a fixed set of workers with sticky routing: Submit(w, fn) always
+// runs fn on worker w mod N, so work items that share a key land on the
+// same goroutine in submission order — per-key mutable state needs no lock
+// as long as the submitter waits at the barrier before reading it.
+//
+// The server's tenant plane uses one Pool to host per-query detector
+// engines: each ingest batch fans out as one closure per engine, pinned to
+// the engine's worker, and the event loop waits at the barrier before
+// publishing the per-tenant answers. Tenancy therefore scales with cores —
+// N queries share min(N, workers) goroutines — instead of spawning a
+// pipeline per query.
+//
+// The submitter contract matches that single-writer use: Submit and Wait
+// may only be called from one goroutine (Wait is a plain WaitGroup barrier
+// over everything submitted since the last Wait). Closures run on pool
+// goroutines and may touch shared read-only inputs plus state owned by
+// their worker key.
+type Pool struct {
+	qs   []chan func()
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewPool starts n workers (n < 1 is lifted to 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{qs: make([]chan func(), n)}
+	for i := range p.qs {
+		q := make(chan func(), 64)
+		p.qs[i] = q
+		go func() {
+			for fn := range q {
+				p.run(fn)
+			}
+		}()
+	}
+	return p
+}
+
+// run executes one closure with a panic backstop: a panicking work item
+// must not kill its worker — that would wedge every later Submit to the
+// same key behind a dead channel. Callers that need the panic as a value
+// recover it themselves (the server's engine apply does); this recover only
+// keeps the worker alive.
+func (p *Pool) run(fn func()) {
+	defer func() {
+		recover()
+		p.wg.Done()
+	}()
+	fn()
+}
+
+// Size returns the worker count.
+func (p *Pool) Size() int { return len(p.qs) }
+
+// Submit enqueues fn on worker w mod Size. It may block when that worker's
+// queue is full — backpressure the barrier submitter absorbs anyway.
+func (p *Pool) Submit(w int, fn func()) {
+	p.wg.Add(1)
+	p.qs[w%len(p.qs)] <- fn
+}
+
+// Wait blocks until every closure submitted since the last Wait has
+// finished.
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Close stops the workers after their queues drain. Submit after Close
+// panics; Wait remains safe.
+func (p *Pool) Close() {
+	p.once.Do(func() {
+		for _, q := range p.qs {
+			close(q)
+		}
+	})
+}

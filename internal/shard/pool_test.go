@@ -1,0 +1,80 @@
+package shard
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolStickyOrdering pins the routing contract: closures submitted
+// under the same key run on one worker in submission order, so per-key
+// state needs no lock.
+func TestPoolStickyOrdering(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const keys, per = 16, 200
+	seqs := make([][]int, keys) // written only by each key's worker
+	for round := 0; round < per; round++ {
+		for k := 0; k < keys; k++ {
+			k, round := k, round
+			p.Submit(k, func() { seqs[k] = append(seqs[k], round) })
+		}
+	}
+	p.Wait()
+	for k, seq := range seqs {
+		if len(seq) != per {
+			t.Fatalf("key %d ran %d closures, want %d", k, len(seq), per)
+		}
+		for i, v := range seq {
+			if v != i {
+				t.Fatalf("key %d ran round %d at position %d: sticky order broken", k, v, i)
+			}
+		}
+	}
+}
+
+// TestPoolBarrier pins the Wait contract: everything submitted before Wait
+// has finished when Wait returns, across repeated barriers.
+func TestPoolBarrier(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var done atomic.Int64
+	for round := 1; round <= 50; round++ {
+		for i := 0; i < 7; i++ {
+			p.Submit(i, func() { done.Add(1) })
+		}
+		p.Wait()
+		if got := done.Load(); got != int64(round*7) {
+			t.Fatalf("after barrier %d: %d closures done, want %d", round, got, round*7)
+		}
+	}
+}
+
+// TestPoolPanicKeepsWorkerAlive pins the recover backstop: a panicking
+// closure neither kills its worker (later submissions to the same key still
+// run) nor wedges the barrier.
+func TestPoolPanicKeepsWorkerAlive(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.Submit(1, func() { panic("injected") })
+	p.Wait() // must not hang on the panicked closure's wg slot
+
+	ran := false
+	p.Submit(1, func() { ran = true })
+	p.Wait()
+	if !ran {
+		t.Fatal("worker died with the panicking closure")
+	}
+}
+
+// TestPoolSizeClamp: worker counts below 1 are lifted, and Close is
+// idempotent.
+func TestPoolSizeClamp(t *testing.T) {
+	p := NewPool(0)
+	if p.Size() != 1 {
+		t.Fatalf("NewPool(0) size %d, want 1", p.Size())
+	}
+	p.Submit(5, func() {}) // any key routes into the single worker
+	p.Wait()
+	p.Close()
+	p.Close()
+}

@@ -63,6 +63,51 @@ func (a Algorithm) String() string {
 	}
 }
 
+// ParseAlgorithm is the inverse of Algorithm.String: it parses the paper's
+// abbreviation (case-insensitive; "BCCS" is accepted for "B-CCS") as used by
+// surged's -algo flag and the server's query configuration.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch {
+	case equalFold(s, "CCS"):
+		return CellCSPOT, nil
+	case equalFold(s, "B-CCS"), equalFold(s, "BCCS"):
+		return StaticBound, nil
+	case equalFold(s, "Base"):
+		return Baseline, nil
+	case equalFold(s, "aG2"):
+		return AG2, nil
+	case equalFold(s, "GAPS"):
+		return GridApprox, nil
+	case equalFold(s, "MGAPS"):
+		return MultiGrid, nil
+	case equalFold(s, "Oracle"):
+		return Oracle, nil
+	default:
+		return 0, fmt.Errorf("surge: unknown algorithm %q (want CCS, B-CCS, Base, aG2, GAPS, MGAPS or Oracle)", s)
+	}
+}
+
+// equalFold is strings.EqualFold for the ASCII names above, kept local so
+// the package's import set stays unchanged.
+func equalFold(s, t string) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		a, b := s[i], t[i]
+		if 'A' <= a && a <= 'Z' {
+			a += 'a' - 'A'
+		}
+		if 'A' <= b && b <= 'Z' {
+			b += 'a' - 'A'
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
 // Point is a location in the plane.
 type Point struct {
 	X, Y float64
